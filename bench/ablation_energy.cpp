@@ -1,0 +1,74 @@
+// Ablation: the reliability/energy trade-off the paper's conclusion
+// flags as future work. For the same instances and a fixed period bound,
+// sweep the replication bound K and report failure probability next to
+// energy per data set: replicas buy reliability at a linear energy cost.
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "core/period_dp.hpp"
+#include "eval/energy.hpp"
+#include "eval/evaluation.hpp"
+#include "model/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prts;
+  std::size_t instances = 100;
+  double period_bound = 200.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      instances = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      instances = 10;
+    }
+  }
+
+  std::cout << "# Ablation: reliability vs energy across replication "
+               "bounds (Algorithm 2 optimum, P <= " << period_bound
+            << ")\n";
+  std::cout << std::setw(4) << "K" << std::setw(16) << "avg failure"
+            << std::setw(16) << "avg energy" << std::setw(20)
+            << "energy/failure-decade" << "\n";
+  double base_energy = 0.0;
+  double base_log_failure = 0.0;
+  for (unsigned k = 1; k <= 3; ++k) {
+    const Platform platform = Platform::homogeneous(
+        paper::kProcessorCount, paper::kHomSpeed,
+        paper::kProcessorFailureRate, paper::kBandwidth,
+        paper::kLinkFailureRate, k);
+    Rng rng(808);
+    RunningStats failure;
+    RunningStats energy;
+    for (std::size_t inst = 0; inst < instances; ++inst) {
+      const TaskChain chain = paper::chain(rng);
+      const auto dp =
+          optimize_reliability_period(chain, platform, period_bound);
+      if (!dp) continue;
+      failure.add(dp->reliability.failure());
+      energy.add(mapping_energy(chain, platform, dp->mapping).total());
+    }
+    std::cout << std::setw(4) << k << std::setw(16) << std::scientific
+              << std::setprecision(3) << failure.mean() << std::setw(16)
+              << energy.mean() << std::defaultfloat;
+    if (k == 1) {
+      base_energy = energy.mean();
+      base_log_failure = std::log10(failure.mean());
+      std::cout << std::setw(20) << "-";
+    } else {
+      const double decades = base_log_failure - std::log10(failure.mean());
+      const double extra = energy.mean() - base_energy;
+      std::cout << std::setw(20) << std::fixed << std::setprecision(1)
+                << (decades > 0 ? extra / decades : 0.0)
+                << std::defaultfloat;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "# Reading: every replica recomputes every data set, so "
+               "energy grows with the replication level while each "
+               "decade of failure probability gets progressively more "
+               "expensive once the processor budget binds.\n";
+  return 0;
+}

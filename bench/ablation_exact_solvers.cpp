@@ -1,0 +1,71 @@
+// Ablation: the three exact tri-criteria solvers (partition enumeration,
+// pseudo-polynomial DP, ILP branch-and-bound) produce identical optima —
+// this bench compares their runtimes at paper scale and beyond, to justify
+// the enumeration solver as the production path for the figure sweeps.
+#include <benchmark/benchmark.h>
+
+#include "core/exact.hpp"
+#include "core/ilp.hpp"
+#include "model/generator.hpp"
+
+namespace {
+
+using namespace prts;
+
+TaskChain bench_chain(std::size_t n) {
+  Rng rng(31337);
+  ChainConfig config;
+  config.task_count = n;
+  return random_chain(rng, config);
+}
+
+void BM_ExactEnumeration(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const TaskChain chain = bench_chain(n);
+  const Platform platform = paper::hom_platform();
+  for (auto _ : state) {
+    const HomogeneousExactSolver solver(chain, platform);
+    benchmark::DoNotOptimize(solver.best_log_reliability(250.0, 750.0));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExactEnumeration)->DenseRange(9, 17, 2)->Complexity();
+
+void BM_ExactEnumerationQueryOnly(benchmark::State& state) {
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = paper::hom_platform();
+  const HomogeneousExactSolver solver(chain, platform);
+  double bound = 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.best_log_reliability(bound, 750.0));
+    bound += 1.0;
+    if (bound > 400.0) bound = 100.0;
+  }
+}
+BENCHMARK(BM_ExactEnumerationQueryOnly);
+
+void BM_ExactPseudoPolyDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const TaskChain chain = bench_chain(n);
+  const Platform platform = paper::hom_platform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exact_dp_log_reliability(chain, platform, 250.0, 750.0));
+  }
+}
+BENCHMARK(BM_ExactPseudoPolyDp)->DenseRange(9, 17, 2);
+
+void BM_IlpBranchAndBound(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const TaskChain chain = bench_chain(n);
+  const Platform platform = paper::hom_platform();
+  for (auto _ : state) {
+    const IlpFormulation ilp(chain, platform, 250.0, 750.0);
+    benchmark::DoNotOptimize(solve_ilp(ilp));
+  }
+}
+BENCHMARK(BM_IlpBranchAndBound)->DenseRange(9, 17, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

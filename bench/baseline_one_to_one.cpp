@@ -1,0 +1,72 @@
+// Baseline comparison motivating interval mappings (Section 1): against
+// one-to-one mappings (one task per interval), interval mappings reduce
+// communications (latency, reliability) and free processors for
+// replication — and they exist even when n > p, where one-to-one is
+// impossible. Uses n = 8 tasks on p = 10 processors so both classes are
+// feasible.
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "core/baseline.hpp"
+#include "core/reliability_dp.hpp"
+#include "eval/evaluation.hpp"
+#include "model/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prts;
+  std::size_t instances = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      instances = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      instances = 10;
+    }
+  }
+
+  const Platform platform = paper::hom_platform();
+  Rng rng(909);
+  RunningStats failure_ratio;    // one-to-one / interval
+  RunningStats latency_ratio;
+  RunningStats period_ratio;
+  for (std::size_t inst = 0; inst < instances; ++inst) {
+    ChainConfig config;
+    config.task_count = 8;
+    const TaskChain chain = random_chain(rng, config);
+    const auto one_to_one = one_to_one_mapping(chain, platform);
+    const auto interval = optimize_reliability(chain, platform);
+    const MappingMetrics interval_metrics =
+        evaluate(chain, platform, interval.mapping);
+    if (!one_to_one) continue;
+    failure_ratio.add(one_to_one->metrics.failure /
+                      interval_metrics.failure);
+    latency_ratio.add(one_to_one->metrics.worst_latency /
+                      interval_metrics.worst_latency);
+    period_ratio.add(one_to_one->metrics.worst_period /
+                     interval_metrics.worst_period);
+  }
+
+  std::cout << "# Baseline: one-to-one mapping vs interval mapping "
+               "(Algorithm 1 optimum), " << instances
+            << " instances, n=8 tasks, p=10 processors\n";
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "failure(one-to-one)/failure(interval): mean "
+            << std::scientific << std::setprecision(3)
+            << failure_ratio.mean() << std::defaultfloat << " (min "
+            << failure_ratio.min() << ", max " << failure_ratio.max()
+            << ")\n" << std::fixed << std::setprecision(2);
+  std::cout << "latency ratio:                        mean "
+            << latency_ratio.mean() << "\n";
+  std::cout << "period ratio:                         mean "
+            << period_ratio.mean() << "\n";
+  std::cout << "# Reading: one-to-one pays every communication and can "
+               "only replicate with the processors left over (10 procs, "
+               "8 tasks -> almost none), so its failure probability is "
+               "orders of magnitude above the interval optimum's; its "
+               "only advantage is the smaller period (tiny intervals), "
+               "the trade-off that motivates bounding the period rather "
+               "than forcing one-to-one.\n";
+  return 0;
+}

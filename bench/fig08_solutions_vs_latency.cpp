@@ -1,0 +1,11 @@
+// Figure 8: number of solutions vs latency bound (P = 250, homogeneous).
+// Reproduces the paper's series; see DESIGN.md section 5 for the mapping.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return prts::bench::run_figure_main(
+      argc, argv, 10.0, prts::exp::Metric::kSolutions,
+      [](const prts::exp::ExperimentConfig& config, double step) {
+        return prts::exp::run_fig_8_9(config, step);
+      });
+}

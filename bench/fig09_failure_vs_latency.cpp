@@ -1,0 +1,11 @@
+// Figure 9: average failure probability vs latency bound (P = 250, homogeneous).
+// Reproduces the paper's series; see DESIGN.md section 5 for the mapping.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return prts::bench::run_figure_main(
+      argc, argv, 10.0, prts::exp::Metric::kAvgFailure,
+      [](const prts::exp::ExperimentConfig& config, double step) {
+        return prts::exp::run_fig_8_9(config, step);
+      });
+}

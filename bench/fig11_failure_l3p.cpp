@@ -1,0 +1,11 @@
+// Figure 11: average failure probability vs period bound (L = 3P, homogeneous).
+// Reproduces the paper's series; see DESIGN.md section 5 for the mapping.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return prts::bench::run_figure_main(
+      argc, argv, 5.0, prts::exp::Metric::kAvgFailure,
+      [](const prts::exp::ExperimentConfig& config, double step) {
+        return prts::exp::run_fig_10_11(config, step);
+      });
+}

@@ -1,0 +1,11 @@
+// Figure 12: number of solutions vs period bound (L = 150, hom + het).
+// Reproduces the paper's series; see DESIGN.md section 5 for the mapping.
+#include "figure_main.hpp"
+
+int main(int argc, char** argv) {
+  return prts::bench::run_figure_main(
+      argc, argv, 2.0, prts::exp::Metric::kSolutions,
+      [](const prts::exp::ExperimentConfig& config, double step) {
+        return prts::exp::run_fig_12_13(config, step);
+      });
+}

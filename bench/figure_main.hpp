@@ -1,0 +1,79 @@
+// Shared command-line harness for the per-figure reproduction binaries.
+//
+// Flags:
+//   --instances N   number of random instances (default: 100, as the paper)
+//   --step S        sweep step (default: per figure)
+//   --seed S        RNG seed (default: 42)
+//   --threads T     worker threads (default: hardware)
+//   --csv           emit CSV instead of the aligned table
+//   --quick         8 instances, coarse step: smoke-test mode
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "exp/figures.hpp"
+#include "exp/report.hpp"
+
+namespace prts::bench {
+
+struct FigureCli {
+  exp::ExperimentConfig config;
+  double step = 0.0;  // 0: figure default
+  bool csv = false;
+};
+
+inline FigureCli parse_figure_cli(int argc, char** argv,
+                                  double default_step) {
+  FigureCli cli;
+  cli.step = default_step;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--instances") {
+      cli.config.instances = static_cast<std::size_t>(next_value());
+    } else if (arg == "--step") {
+      cli.step = next_value();
+    } else if (arg == "--seed") {
+      cli.config.seed = static_cast<std::uint64_t>(next_value());
+    } else if (arg == "--threads") {
+      cli.config.threads = static_cast<std::size_t>(next_value());
+    } else if (arg == "--csv") {
+      cli.csv = true;
+    } else if (arg == "--quick") {
+      cli.config.instances = 8;
+      cli.step = default_step * 5.0;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// Runs one figure binary: execute the sweep, print the requested metric.
+inline int run_figure_main(
+    int argc, char** argv, double default_step, exp::Metric metric,
+    const std::function<exp::FigureData(const exp::ExperimentConfig&,
+                                        double)>& runner) {
+  const FigureCli cli = parse_figure_cli(argc, argv, default_step);
+  const exp::FigureData figure = runner(cli.config, cli.step);
+  if (cli.csv) {
+    exp::print_csv(std::cout, figure);
+  } else {
+    exp::print_table(std::cout, figure, metric);
+    std::cout << "\n" << exp::summarize(figure);
+  }
+  return 0;
+}
+
+}  // namespace prts::bench

@@ -1,0 +1,99 @@
+// Extension bench: hill-climbing refinement on top of the two-phase
+// heuristics for heterogeneous instances (paper §9 asks for heuristics
+// for harder problem mixes). Sweeps the period bound from binding to
+// loose: when the bound binds, the heuristics' fixed partitions leave
+// large reliability on the table and the climb recovers it; when bounds
+// are loose, the heuristics already reach (near-)optimal single-interval
+// mappings and the climb correctly finds nothing to fix.
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "core/heuristics.hpp"
+#include "core/local_search.hpp"
+#include "model/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prts;
+  std::size_t instances = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      instances = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      instances = 15;
+    }
+  }
+  const double latency_bound = 120.0;
+
+  std::cout << "# Local-search refinement over best-of-heuristics "
+               "(heterogeneous paper instances, L <= " << latency_bound
+            << ")\n";
+  std::cout << std::setw(8) << "P" << std::setw(10) << "solved"
+            << std::setw(12) << "improved" << std::setw(22)
+            << "mean fail reduction" << std::setw(14) << "mean sweeps"
+            << "\n";
+  for (const double period_bound : {8.0, 10.0, 14.0, 20.0, 50.0}) {
+    Rng rng(606);
+    std::size_t solved = 0;
+    std::size_t improved_count = 0;
+    RunningStats improvement_factor;  // failure(start)/failure(improved)
+    RunningStats rounds;
+    for (std::size_t inst = 0; inst < instances; ++inst) {
+      const TaskChain chain = paper::chain(rng);
+      const Platform platform = paper::het_platform(rng);
+      HeuristicOptions heuristic_options;
+      heuristic_options.period_bound = period_bound;
+      heuristic_options.latency_bound = latency_bound;
+      std::optional<HeuristicSolution> start;
+      for (HeuristicKind kind :
+           {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+        auto candidate =
+            run_heuristic(chain, platform, kind, heuristic_options);
+        if (candidate &&
+            (!start || candidate->metrics.reliability >
+                           start->metrics.reliability)) {
+          start = std::move(candidate);
+        }
+      }
+      if (!start) continue;
+      ++solved;
+      LocalSearchOptions options;
+      options.period_bound = period_bound;
+      options.latency_bound = latency_bound;
+      const auto refined =
+          improve_mapping(chain, platform, start->mapping, options);
+      if (!refined) continue;
+      rounds.add(static_cast<double>(refined->rounds));
+      if (refined->metrics.reliability.log() >
+          start->metrics.reliability.log() + 1e-12) {
+        ++improved_count;
+        improvement_factor.add(start->metrics.failure /
+                               refined->metrics.failure);
+      }
+    }
+    std::cout << std::fixed << std::setprecision(0) << std::setw(8)
+              << period_bound << std::defaultfloat << std::setw(10)
+              << solved << std::setw(12) << improved_count;
+    if (improvement_factor.count() > 0) {
+      std::cout << std::setw(20) << std::scientific << std::setprecision(2)
+                << improvement_factor.mean() << "x" << std::defaultfloat
+                << std::setw(14) << std::fixed << std::setprecision(1)
+                << rounds.mean() << std::defaultfloat;
+    } else {
+      std::cout << std::setw(21) << "-" << std::setw(14) << std::fixed
+                << std::setprecision(1) << rounds.mean()
+                << std::defaultfloat;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "# Reading: under binding period bounds the fixed Heur-L/"
+               "Heur-P partitions strand reliability that the climb's "
+               "joint partition+allocation moves recover (orders of "
+               "magnitude); with loose bounds the heuristics already sit "
+               "at a local (often global) optimum and the climb verifies "
+               "it cheaply.\n";
+  return 0;
+}

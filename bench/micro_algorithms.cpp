@@ -1,0 +1,144 @@
+// Microbenchmarks of the optimization kernels: the Algorithm 1/2 dynamic
+// programs (O(n^2 p K)), Algo-Alloc, the two interval heuristics, and the
+// Eq. (3)-(9) evaluator.
+#include <benchmark/benchmark.h>
+
+#include "core/alloc.hpp"
+#include "core/heuristics.hpp"
+#include "core/period_dp.hpp"
+#include "core/reliability_dp.hpp"
+#include "eval/evaluation.hpp"
+#include "model/generator.hpp"
+
+namespace {
+
+using namespace prts;
+
+TaskChain bench_chain(std::size_t n) {
+  Rng rng(99);
+  ChainConfig config;
+  config.task_count = n;
+  return random_chain(rng, config);
+}
+
+Platform bench_platform(std::size_t p) {
+  return Platform::homogeneous(p, 1.0, 1e-8, 1.0, 1e-5, 3);
+}
+
+void BM_Algorithm1_Tasks(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const TaskChain chain = bench_chain(n);
+  const Platform platform = bench_platform(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_reliability(chain, platform));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Algorithm1_Tasks)->RangeMultiplier(2)->Range(8, 128)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Algorithm1_Processors(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = bench_platform(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_reliability(chain, platform));
+  }
+}
+BENCHMARK(BM_Algorithm1_Processors)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_Algorithm2(benchmark::State& state) {
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = bench_platform(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_reliability_period(chain, platform, 250.0));
+  }
+}
+BENCHMARK(BM_Algorithm2);
+
+void BM_PeriodMinimization(benchmark::State& state) {
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = bench_platform(10);
+  const auto target = LogReliability::from_log(
+      optimize_reliability(chain, platform).reliability.log() * 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize_period_reliability(chain, platform, target));
+  }
+}
+BENCHMARK(BM_PeriodMinimization);
+
+void BM_AlgoAllocCounts(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> failures;
+  for (std::size_t j = 0; j < m; ++j) {
+    failures.push_back(rng.uniform_real(1e-6, 0.2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo_alloc_counts(failures, 3 * m, 3));
+  }
+}
+BENCHMARK(BM_AlgoAllocCounts)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_AllocateProcessorsHet(benchmark::State& state) {
+  Rng rng(7);
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = random_het_platform(rng, HetPlatformConfig{});
+  const IntervalPartition partition = heur_p_partition(chain, 5);
+  AllocOptions options;
+  options.period_bound = 60.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        allocate_processors(chain, platform, partition, options));
+  }
+}
+BENCHMARK(BM_AllocateProcessorsHet);
+
+void BM_HeurLPartition(benchmark::State& state) {
+  const TaskChain chain = bench_chain(static_cast<std::size_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heur_l_partition(chain, 8));
+  }
+}
+BENCHMARK(BM_HeurLPartition)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_HeurPPartition(benchmark::State& state) {
+  const TaskChain chain = bench_chain(static_cast<std::size_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heur_p_partition(chain, 8));
+  }
+}
+BENCHMARK(BM_HeurPPartition)->RangeMultiplier(4)->Range(16, 256);
+
+void BM_EvaluateMapping(benchmark::State& state) {
+  Rng rng(11);
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = bench_platform(10);
+  const auto solution = optimize_reliability(chain, platform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate(chain, platform, solution.mapping));
+  }
+}
+BENCHMARK(BM_EvaluateMapping);
+
+void BM_RunHeuristicHet(benchmark::State& state) {
+  Rng rng(13);
+  const TaskChain chain = bench_chain(15);
+  const Platform platform = random_het_platform(rng, HetPlatformConfig{});
+  HeuristicOptions options;
+  options.period_bound = 50.0;
+  options.latency_bound = 150.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_heuristic(chain, platform, HeuristicKind::kHeurP, options));
+  }
+}
+BENCHMARK(BM_RunHeuristicHet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Microbenchmarks of the five RBD reliability evaluators on mapping RBDs:
+// Eq. (9) closed form, SP-tree evaluation, subset DP (exact, no routing),
+// BDD (exact, general), minimal-cut approximation, and the exponential
+// brute force — the paper's Section 4 complexity discussion in numbers.
+#include <benchmark/benchmark.h>
+
+#include "eval/evaluation.hpp"
+#include "model/generator.hpp"
+#include "rbd/bdd.hpp"
+#include "rbd/brute_force.hpp"
+#include "rbd/builder.hpp"
+#include "rbd/chain_dp.hpp"
+#include "rbd/mincut.hpp"
+
+namespace {
+
+using namespace prts;
+
+struct Instance {
+  TaskChain chain;
+  Platform platform;
+  Mapping mapping;
+};
+
+/// m intervals, each replicated `k` times, singleton-ish split of a
+/// random chain with m*k processors.
+Instance mapping_instance(std::size_t m, unsigned k) {
+  Rng rng(4242);
+  ChainConfig config;
+  config.task_count = m;
+  TaskChain chain = random_chain(rng, config);
+  Platform platform =
+      Platform::homogeneous(m * k, 1.0, 1e-4, 1.0, 1e-4, k);
+  std::vector<std::vector<std::size_t>> procs;
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::vector<std::size_t> set(k);
+    for (unsigned r = 0; r < k; ++r) set[r] = next++;
+    procs.push_back(std::move(set));
+  }
+  Mapping mapping(IntervalPartition::singletons(m), std::move(procs));
+  return Instance{std::move(chain), std::move(platform),
+                  std::move(mapping)};
+}
+
+void BM_Equation9(benchmark::State& state) {
+  const auto inst = mapping_instance(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mapping_reliability(inst.chain, inst.platform, inst.mapping));
+  }
+}
+BENCHMARK(BM_Equation9)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_SpTreeBuildAndEval(benchmark::State& state) {
+  const auto inst = mapping_instance(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    const auto sp =
+        rbd::build_routing_sp(inst.chain, inst.platform, inst.mapping);
+    benchmark::DoNotOptimize(sp.reliability());
+  }
+}
+BENCHMARK(BM_SpTreeBuildAndEval)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_NoRoutingSubsetDp(benchmark::State& state) {
+  const auto inst = mapping_instance(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbd::no_routing_reliability(
+        inst.chain, inst.platform, inst.mapping));
+  }
+}
+BENCHMARK(BM_NoRoutingSubsetDp)->RangeMultiplier(2)->Range(2, 64);
+
+void BM_NoRoutingBdd(benchmark::State& state) {
+  const auto inst = mapping_instance(
+      static_cast<std::size_t>(state.range(0)), 3);
+  const auto graph = rbd::build_no_routing_graph(inst.chain, inst.platform,
+                                                 inst.mapping);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbd::bdd_reliability(graph));
+  }
+}
+BENCHMARK(BM_NoRoutingBdd)->DenseRange(2, 8, 2);
+
+void BM_NoRoutingMinCutApprox(benchmark::State& state) {
+  const auto inst = mapping_instance(
+      static_cast<std::size_t>(state.range(0)), 2);
+  const auto graph = rbd::build_no_routing_graph(inst.chain, inst.platform,
+                                                 inst.mapping);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbd::mincut_reliability_approximation(graph));
+  }
+}
+BENCHMARK(BM_NoRoutingMinCutApprox)->DenseRange(2, 5, 1);
+
+void BM_NoRoutingBruteForce(benchmark::State& state) {
+  const auto inst = mapping_instance(
+      static_cast<std::size_t>(state.range(0)), 2);
+  const auto graph = rbd::build_no_routing_graph(inst.chain, inst.platform,
+                                                 inst.mapping);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbd::brute_force_reliability(graph));
+  }
+}
+BENCHMARK(BM_NoRoutingBruteForce)->DenseRange(2, 4, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Microbenchmarks of the simulation substrate: DES throughput in
+// data sets per second and Monte-Carlo sampling throughput (single
+// thread vs the pool).
+#include <benchmark/benchmark.h>
+
+#include "core/reliability_dp.hpp"
+#include "model/generator.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace {
+
+using namespace prts;
+
+struct Instance {
+  TaskChain chain;
+  Platform platform;
+  Mapping mapping;
+};
+
+Instance paper_instance() {
+  Rng rng(2718);
+  TaskChain chain = paper::chain(rng);
+  Platform platform = paper::hom_platform();
+  Mapping mapping = optimize_reliability(chain, platform).mapping;
+  return Instance{std::move(chain), std::move(platform),
+                  std::move(mapping)};
+}
+
+void BM_DesDatasets(benchmark::State& state) {
+  const Instance inst = paper_instance();
+  const auto datasets = static_cast<std::size_t>(state.range(0));
+  sim::SimulationConfig config;
+  config.dataset_count = datasets;
+  config.input_period = 200.0;
+  config.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_pipeline(inst.chain, inst.platform, inst.mapping,
+                               config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * datasets));
+}
+BENCHMARK(BM_DesDatasets)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_DesWithFailures(benchmark::State& state) {
+  const Instance inst = paper_instance();
+  sim::SimulationConfig config;
+  config.dataset_count = 1024;
+  config.input_period = 200.0;
+  config.inject_failures = true;
+  config.seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::simulate_pipeline(inst.chain, inst.platform, inst.mapping,
+                               config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * 1024));
+}
+BENCHMARK(BM_DesWithFailures);
+
+void BM_MonteCarloSamples(benchmark::State& state) {
+  const Instance inst = paper_instance();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim::sample_routing_success(rng, inst.chain, inst.platform,
+                                    inst.mapping));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MonteCarloSamples);
+
+void BM_MonteCarloThreads(benchmark::State& state) {
+  const Instance inst = paper_instance();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::estimate_reliability(
+        inst.chain, inst.platform, inst.mapping, 20000, 11, true, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * 20000));
+}
+BENCHMARK(BM_MonteCarloThreads)->DenseRange(1, 2, 1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Robustness study: how do Heur-L / Heur-P behave away from the paper's
+// uniform workload distribution? For each chain shape we report, at fixed
+// paper-style bounds, the fraction of instances each heuristic solves and
+// its geometric-mean failure ratio to the exact optimum.
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iomanip>
+#include <iostream>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "model/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prts;
+  std::size_t instances = 100;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      instances = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      instances = 15;
+    }
+  }
+  const Platform platform = paper::hom_platform();
+  const double period_bound = 250.0;
+  const double latency_bound = 900.0;
+
+  struct ShapeCase {
+    ChainShape shape;
+    const char* name;
+  };
+  const ShapeCase shapes[] = {
+      {ChainShape::kUniform, "uniform"},
+      {ChainShape::kIncreasing, "increasing"},
+      {ChainShape::kDecreasing, "decreasing"},
+      {ChainShape::kHotspot, "hotspot"},
+      {ChainShape::kCommHeavy, "comm-heavy"},
+  };
+
+  std::cout << "# Workload-shape robustness (P <= " << period_bound
+            << ", L <= " << latency_bound << ", " << instances
+            << " instances per shape)\n";
+  std::cout << std::setw(12) << "shape" << std::setw(8) << "exact"
+            << std::setw(8) << "HeurL" << std::setw(8) << "HeurP"
+            << std::setw(16) << "HeurL/opt fail" << std::setw(16)
+            << "HeurP/opt fail" << "\n";
+  for (const ShapeCase& shape_case : shapes) {
+    Rng rng(31415);
+    std::size_t exact_solved = 0;
+    std::size_t l_solved = 0;
+    std::size_t p_solved = 0;
+    double l_log_ratio = 0.0;
+    std::size_t l_ratio_count = 0;
+    double p_log_ratio = 0.0;
+    std::size_t p_ratio_count = 0;
+    for (std::size_t inst = 0; inst < instances; ++inst) {
+      const TaskChain chain =
+          shaped_chain(rng, paper::kTaskCount, shape_case.shape);
+      const HomogeneousExactSolver solver(chain, platform);
+      const auto exact =
+          solver.best_log_reliability(period_bound, latency_bound);
+      if (exact) ++exact_solved;
+      HeuristicOptions options;
+      options.period_bound = period_bound;
+      options.latency_bound = latency_bound;
+      const auto heur_l =
+          run_heuristic(chain, platform, HeuristicKind::kHeurL, options);
+      const auto heur_p =
+          run_heuristic(chain, platform, HeuristicKind::kHeurP, options);
+      if (heur_l) {
+        ++l_solved;
+        if (exact) {
+          l_log_ratio += std::log(heur_l->metrics.failure /
+                                  (-std::expm1(*exact)));
+          ++l_ratio_count;
+        }
+      }
+      if (heur_p) {
+        ++p_solved;
+        if (exact) {
+          p_log_ratio += std::log(heur_p->metrics.failure /
+                                  (-std::expm1(*exact)));
+          ++p_ratio_count;
+        }
+      }
+    }
+    auto geo = [](double log_sum, std::size_t count) {
+      return count == 0 ? 0.0
+                        : std::exp(log_sum / static_cast<double>(count));
+    };
+    std::cout << std::setw(12) << shape_case.name << std::setw(8)
+              << exact_solved << std::setw(8) << l_solved << std::setw(8)
+              << p_solved << std::setw(16) << std::scientific
+              << std::setprecision(2) << geo(l_log_ratio, l_ratio_count)
+              << std::setw(16) << geo(p_log_ratio, p_ratio_count)
+              << std::defaultfloat << "\n";
+  }
+  std::cout << "# Reading: Heur-P stays near-optimal on every shape. "
+               "Heur-L is competitive exactly where communication costs "
+               "drive the objectives (comm-heavy) or works are light "
+               "(hotspot), and degrades by orders of magnitude where load "
+               "balance matters and cheap-communication cuts are "
+               "uninformative (uniform, ramped works). Ramped shapes "
+               "solve rarely at these common bounds; their ratio columns "
+               "average few instances.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Gantt view of the pipelined execution: runs a few data sets through the
+// discrete-event simulator with the trace observer and renders an ASCII
+// timeline per processor, making the pipelining (Section 2.3) and the
+// comm/compute overlap (Section 2.2) visible.
+//
+//   ./gantt_trace
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/period_dp.hpp"
+#include "eval/evaluation.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+#include "sim/pipeline_sim.hpp"
+
+int main() {
+  using namespace prts;
+
+  const TaskChain chain({{6.0, 2.0}, {9.0, 3.0}, {5.0, 2.0}, {7.0, 0.0}});
+  const Platform platform = Platform::homogeneous(5, 1.0, 0.0, 1.0, 0.0, 2);
+
+  // A period-bounded optimum so the chain actually splits into stages.
+  const auto solution = optimize_reliability_period(chain, platform, 10.0);
+  if (!solution) {
+    std::cout << "no mapping fits the period bound\n";
+    return 1;
+  }
+  const MappingMetrics metrics =
+      evaluate(chain, platform, solution->mapping);
+
+  std::vector<sim::TraceEvent> events;
+  const sim::TraceObserver observer = [&](const sim::TraceEvent& event) {
+    events.push_back(event);
+  };
+  sim::SimulationConfig config;
+  config.dataset_count = 4;
+  config.input_period = metrics.worst_period;
+  config.inject_failures = false;
+  config.use_routing = false;
+  config.observer = &observer;
+  sim::simulate_pipeline(chain, platform, solution->mapping, config);
+
+  // Pair compute windows per processor.
+  struct Window {
+    double start = 0.0;
+    double end = 0.0;
+    std::size_t dataset = 0;
+  };
+  std::vector<std::vector<Window>> lanes(platform.processor_count());
+  std::vector<Window> open(platform.processor_count());
+  double horizon = 0.0;
+  for (const sim::TraceEvent& event : events) {
+    horizon = std::max(horizon, event.time);
+    if (event.processor == sim::TraceEvent::kNone) continue;
+    if (event.kind == sim::TraceEvent::Kind::kComputeStart) {
+      open[event.processor] = Window{event.time, 0.0, event.dataset};
+    } else if (event.kind == sim::TraceEvent::Kind::kComputeEnd) {
+      Window window = open[event.processor];
+      window.end = event.time;
+      lanes[event.processor].push_back(window);
+    }
+  }
+
+  std::cout << "Mapping: " << solution->mapping.interval_count()
+            << " intervals, period " << metrics.worst_period
+            << ", latency " << metrics.worst_latency << "\n";
+  std::cout << "Gantt (one column per time unit; digits = data set):\n\n";
+  const auto width = static_cast<std::size_t>(horizon) + 1;
+  for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+    if (lanes[u].empty()) continue;
+    std::string lane(width, '.');
+    for (const Window& window : lanes[u]) {
+      const auto from = static_cast<std::size_t>(window.start);
+      const auto to = static_cast<std::size_t>(window.end);
+      for (std::size_t t = from; t < to && t < width; ++t) {
+        lane[t] = static_cast<char>('0' + window.dataset % 10);
+      }
+    }
+    std::cout << "P" << u << " |" << lane << "|\n";
+  }
+  std::cout << "\nEach lane shows the data set a processor is computing; "
+               "consecutive data sets overlap across stages (pipelining) "
+               "while each processor serializes its own work.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Tri-criteria trade-off explorer on a homogeneous platform: sweeps the
+// period bound with the latency tied to it (the L = 3P regime of
+// Figures 10-11) and prints, for each bound, the exact optimum and both
+// heuristics — a compact command-line version of the paper's evaluation
+// for one instance, including the period-minimization converse of
+// Section 5.2.
+//
+//   ./tricriteria_explorer [seed]
+#include <cstdlib>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "core/period_dp.hpp"
+#include "model/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace prts;
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 1;
+
+  Rng rng(seed);
+  const TaskChain chain = paper::chain(rng);
+  const Platform platform = paper::hom_platform();
+  const HomogeneousExactSolver solver(chain, platform);
+
+  std::cout << "One paper instance (seed " << seed
+            << "), L = 3P sweep:\n\n";
+  std::cout << std::setw(8) << "P" << std::setw(8) << "L" << std::setw(14)
+            << "exact" << std::setw(14) << "Heur-L" << std::setw(14)
+            << "Heur-P" << "\n";
+  for (double period = 150.0; period <= 350.0; period += 25.0) {
+    const double latency = 3.0 * period;
+    std::cout << std::fixed << std::setprecision(0) << std::setw(8)
+              << period << std::setw(8) << latency << std::defaultfloat
+              << std::setprecision(6);
+    const auto exact = solver.best_log_reliability(period, latency);
+    if (exact) {
+      std::cout << std::setw(14) << std::scientific << std::setprecision(3)
+                << -std::expm1(*exact) << std::defaultfloat;
+    } else {
+      std::cout << std::setw(14) << "-";
+    }
+    HeuristicOptions options;
+    options.period_bound = period;
+    options.latency_bound = latency;
+    for (HeuristicKind kind :
+         {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+      const auto solution = run_heuristic(chain, platform, kind, options);
+      if (solution) {
+        std::cout << std::setw(14) << std::scientific
+                  << std::setprecision(3) << solution->metrics.failure
+                  << std::defaultfloat;
+      } else {
+        std::cout << std::setw(14) << "-";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  // The converse problem: the fastest rate sustainable at a reliability
+  // target (binary search over Algorithm 2, end of Section 5.2).
+  const auto best = solver.best_log_reliability(
+      std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::infinity());
+  const auto target = LogReliability::from_log(*best * 10.0);
+  const auto min_period =
+      optimize_period_reliability(chain, platform, target);
+  std::cout << "\nPeriod minimization under failure <= " << std::scientific
+            << std::setprecision(3) << target.failure()
+            << std::defaultfloat << ": ";
+  if (min_period) {
+    std::cout << "P* = " << min_period->period << " (failure "
+              << std::scientific << std::setprecision(3)
+              << min_period->reliability.failure() << std::defaultfloat
+              << ")\n";
+  } else {
+    std::cout << "infeasible\n";
+  }
+  return 0;
+}

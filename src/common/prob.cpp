@@ -1,0 +1,79 @@
+#include "common/prob.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace prts {
+
+LogReliability LogReliability::exp_failure(double lambda,
+                                           double duration) noexcept {
+  return from_log(-lambda * duration);
+}
+
+LogReliability LogReliability::from_reliability(double r) noexcept {
+  r = std::clamp(r, 0.0, 1.0);
+  return from_log(std::log(r));
+}
+
+LogReliability LogReliability::from_failure(double f) noexcept {
+  f = std::clamp(f, 0.0, 1.0);
+  return from_log(std::log1p(-f));
+}
+
+LogReliability LogReliability::from_log(double log_r) noexcept {
+  LogReliability out;
+  out.log_r_ = std::min(log_r, 0.0);
+  return out;
+}
+
+double LogReliability::reliability() const noexcept {
+  return std::exp(log_r_);
+}
+
+double LogReliability::failure() const noexcept { return -std::expm1(log_r_); }
+
+LogReliability LogReliability::operator*(LogReliability other) const noexcept {
+  return from_log(log_r_ + other.log_r_);
+}
+
+LogReliability& LogReliability::operator*=(LogReliability other) noexcept {
+  log_r_ = std::min(log_r_ + other.log_r_, 0.0);
+  return *this;
+}
+
+double failure_from_rate(double lambda, double duration) noexcept {
+  return -std::expm1(-lambda * duration);
+}
+
+LogReliability parallel_from_failures(
+    std::span<const double> branch_failures) noexcept {
+  if (branch_failures.empty()) {
+    // No branch at all: the stage cannot function.
+    return LogReliability::from_log(
+        -std::numeric_limits<double>::infinity());
+  }
+  double group_failure = 1.0;
+  for (double f : branch_failures) {
+    group_failure *= std::clamp(f, 0.0, 1.0);
+  }
+  return LogReliability::from_failure(group_failure);
+}
+
+LogReliability parallel_identical(double branch_failure,
+                                  unsigned replicas) noexcept {
+  if (replicas == 0) {
+    return LogReliability::from_log(
+        -std::numeric_limits<double>::infinity());
+  }
+  const double f = std::clamp(branch_failure, 0.0, 1.0);
+  return LogReliability::from_failure(std::pow(f, replicas));
+}
+
+LogReliability series(std::span<const LogReliability> parts) noexcept {
+  LogReliability out;
+  for (LogReliability part : parts) out *= part;
+  return out;
+}
+
+}  // namespace prts

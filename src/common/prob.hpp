@@ -1,0 +1,79 @@
+// Numerically stable probability arithmetic for reliability computations.
+//
+// Paper-scale failure probabilities span 1e-18 .. 1e-3. Evaluating
+// r = prod_j (1 - prod_u (1 - r_branch)) naively in double collapses every
+// factor to 1.0. We therefore keep reliabilities as *log-reliabilities*
+// (log r <= 0) and failures as plain probabilities (small, hence exactly
+// representable), converting with log1p/expm1 only at well-conditioned
+// points:
+//   component:  log r = -lambda * d          (exact, no rounding at all)
+//   failure:    f     = -expm1(log r)
+//   parallel:   F     = prod of branch f's   (products of small numbers)
+//   series:     log r = sum of log1p(-F_j)
+#pragma once
+
+#include <compare>
+#include <span>
+
+namespace prts {
+
+/// A probability of correct functioning, stored as log(r) in (-inf, 0].
+/// Multiplication (series composition) is exact addition in log space.
+class LogReliability {
+ public:
+  /// Reliability 1 (log 0). Default-constructed value.
+  constexpr LogReliability() noexcept = default;
+
+  /// Reliability of an exponential-failure component of rate `lambda`
+  /// operating for duration `d`: r = e^{-lambda d}. Exact in log space.
+  static LogReliability exp_failure(double lambda, double duration) noexcept;
+
+  /// From a plain reliability in [0, 1].
+  static LogReliability from_reliability(double r) noexcept;
+
+  /// From a failure probability in [0, 1]; well conditioned for small f.
+  static LogReliability from_failure(double f) noexcept;
+
+  /// From a precomputed log-reliability (must be <= 0, -inf allowed).
+  static LogReliability from_log(double log_r) noexcept;
+
+  /// Perfectly reliable component (r = 1).
+  static constexpr LogReliability certain() noexcept { return {}; }
+
+  /// log(r), in (-inf, 0].
+  double log() const noexcept { return log_r_; }
+
+  /// r = exp(log r). Collapses to 1.0 for |log r| < ~1e-16; prefer
+  /// failure() when the distinction matters.
+  double reliability() const noexcept;
+
+  /// f = 1 - r computed as -expm1(log r); keeps full precision for r ~ 1.
+  double failure() const noexcept;
+
+  /// Series composition: both components must function.
+  LogReliability operator*(LogReliability other) const noexcept;
+  LogReliability& operator*=(LogReliability other) noexcept;
+
+  /// Orders by reliability (log value).
+  auto operator<=>(const LogReliability&) const noexcept = default;
+
+ private:
+  double log_r_ = 0.0;
+};
+
+/// Failure probability 1 - e^{-lambda d}, stable for tiny lambda*d.
+double failure_from_rate(double lambda, double duration) noexcept;
+
+/// Parallel composition: the group functions iff at least one branch does.
+/// Input: per-branch *failure* probabilities. Returns the group reliability.
+LogReliability parallel_from_failures(
+    std::span<const double> branch_failures) noexcept;
+
+/// Parallel composition of identical branches: 1 - f^k.
+LogReliability parallel_identical(double branch_failure,
+                                  unsigned replicas) noexcept;
+
+/// Series composition of a span of log-reliabilities.
+LogReliability series(std::span<const LogReliability> parts) noexcept;
+
+}  // namespace prts

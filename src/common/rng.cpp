@@ -1,0 +1,83 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace prts {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64_next(sm);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo);  // inclusive width - 1
+  if (span == std::numeric_limits<std::uint64_t>::max()) {
+    return static_cast<std::int64_t>((*this)());
+  }
+  const std::uint64_t bound = span + 1;
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t raw = (*this)();
+    // 128-bit multiply-shift partitioning of the 64-bit range
+    // (__int128 is a GCC/Clang extension, hence the marker).
+    __extension__ using uint128 = unsigned __int128;
+    const uint128 product = static_cast<uint128>(raw) * bound;
+    if (static_cast<std::uint64_t>(product) >= threshold) {
+      return lo + static_cast<std::int64_t>(
+                      static_cast<std::uint64_t>(product >> 64));
+    }
+  }
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double rate) noexcept {
+  // -log(1-U) with U in [0,1): argument stays in (0,1], no log(0).
+  return -std::log1p(-uniform01()) / rate;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+Rng Rng::split() noexcept {
+  Rng child(0);
+  std::uint64_t sm = (*this)();
+  for (auto& word : child.state_) word = splitmix64_next(sm);
+  return child;
+}
+
+}  // namespace prts

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// The experiment harness must be bit-reproducible across platforms and
+// standard-library versions, so we implement both the generator
+// (xoshiro256**, public-domain algorithm by Blackman & Vigna) and the
+// distributions ourselves instead of relying on <random>'s
+// implementation-defined distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace prts {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro256** state. Also usable standalone as a cheap mixing function.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator: fast, 256-bit state, passes BigCrush.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi] (unbiased via
+  /// rejection sampling). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// Exponential deviate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate) noexcept;
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent child generator; useful to hand one stream per
+  /// worker thread or per experiment instance without correlation.
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace prts

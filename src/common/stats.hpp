@@ -1,0 +1,67 @@
+// Streaming statistics and confidence intervals for the Monte-Carlo
+// simulator and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace prts {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  /// Mean of the observations so far (0 when empty).
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const noexcept;
+  /// Square root of variance().
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi].
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool contains(double x) const noexcept { return lo <= x && x <= hi; }
+  double width() const noexcept { return hi - lo; }
+};
+
+/// Wilson score interval for a binomial proportion with `successes` out of
+/// `trials`, at confidence given by the normal quantile `z` (1.96 ~ 95%,
+/// 3.29 ~ 99.9%). Well-behaved for proportions near 0 or 1, which is the
+/// common case for reliability estimation. Requires trials > 0.
+ConfidenceInterval wilson_interval(std::size_t successes, std::size_t trials,
+                         double z = 1.96) noexcept;
+
+/// Normal-approximation interval mean +/- z * stddev/sqrt(n) for the mean of
+/// the accumulated observations. Degenerate (point) interval when n < 2.
+ConfidenceInterval mean_interval(const RunningStats& stats, double z = 1.96) noexcept;
+
+/// Arithmetic mean of a vector (0 when empty).
+double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Geometric mean of strictly positive values (0 when empty); computed in
+/// log space to avoid overflow/underflow.
+double geometric_mean_of(const std::vector<double>& xs) noexcept;
+
+/// Median (by copy + nth_element); 0 when empty.
+double median_of(std::vector<double> xs) noexcept;
+
+}  // namespace prts

@@ -1,0 +1,15 @@
+#include "core/baseline.hpp"
+
+namespace prts {
+
+std::optional<BaselineSolution> one_to_one_mapping(
+    const TaskChain& chain, const Platform& platform,
+    const AllocOptions& options) {
+  auto mapping = allocate_processors(
+      chain, platform, IntervalPartition::singletons(chain.size()), options);
+  if (!mapping) return std::nullopt;
+  MappingMetrics metrics = evaluate(chain, platform, *mapping);
+  return BaselineSolution{std::move(*mapping), metrics};
+}
+
+}  // namespace prts

@@ -1,0 +1,28 @@
+// One-to-one mapping baseline: the restricted mapping class the paper's
+// introduction motivates interval mappings against — every task is its
+// own interval (requires n <= p). Replication is still allocated
+// optimally (Algo-Alloc); what is lost versus interval mappings is the
+// freedom to merge tasks and save communications/processors.
+#pragma once
+
+#include <optional>
+
+#include "core/alloc.hpp"
+#include "eval/evaluation.hpp"
+
+namespace prts {
+
+/// A baseline schedule with its evaluation.
+struct BaselineSolution {
+  Mapping mapping;
+  MappingMetrics metrics;
+};
+
+/// The one-to-one mapping (one task per interval) with Algo-Alloc
+/// replication, or nullopt when n > p, the period bound excludes some
+/// task, or constraints are unsatisfiable.
+std::optional<BaselineSolution> one_to_one_mapping(
+    const TaskChain& chain, const Platform& platform,
+    const AllocOptions& options = {});
+
+}  // namespace prts

@@ -1,0 +1,270 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace prts {
+namespace {
+
+/// Mutable mapping state during the search.
+struct State {
+  std::vector<std::size_t> lasts;
+  std::vector<std::vector<std::size_t>> procs;
+};
+
+State to_state(const Mapping& mapping) {
+  State state;
+  state.lasts = mapping.partition().boundaries();
+  for (std::size_t j = 0; j < mapping.interval_count(); ++j) {
+    state.procs.emplace_back(mapping.processors(j).begin(),
+                             mapping.processors(j).end());
+  }
+  return state;
+}
+
+Mapping to_mapping(const State& state, std::size_t task_count) {
+  return Mapping(IntervalPartition::from_boundaries(state.lasts, task_count),
+                 state.procs);
+}
+
+/// Evaluates a state; returns nullopt when it violates the bounds or the
+/// allocation constraints.
+std::optional<MappingMetrics> check(const TaskChain& chain,
+                                    const Platform& platform,
+                                    const State& state,
+                                    const LocalSearchOptions& options) {
+  const Mapping mapping = to_mapping(state, chain.size());
+  if (options.constraints != nullptr) {
+    for (std::size_t j = 0; j < mapping.interval_count(); ++j) {
+      for (std::size_t u : mapping.processors(j)) {
+        if (!options.constraints->interval_allowed(
+                mapping.partition().interval(j), u)) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  const MappingMetrics metrics = evaluate(chain, platform, mapping);
+  const double period = options.use_expected_metrics
+                            ? metrics.expected_period
+                            : metrics.worst_period;
+  const double latency = options.use_expected_metrics
+                             ? metrics.expected_latency
+                             : metrics.worst_latency;
+  if (period > options.period_bound || latency > options.latency_bound) {
+    return std::nullopt;
+  }
+  return metrics;
+}
+
+/// All ways to split a replica set into two non-empty halves (by bitmask;
+/// set sizes are <= K, typically <= 4, so this is at most 14 options).
+std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+two_way_splits(const std::vector<std::size_t>& procs) {
+  std::vector<std::pair<std::vector<std::size_t>, std::vector<std::size_t>>>
+      splits;
+  const std::size_t k = procs.size();
+  if (k < 2) return splits;
+  for (std::size_t mask = 1; mask + 1 < (std::size_t{1} << k); ++mask) {
+    std::vector<std::size_t> left;
+    std::vector<std::size_t> right;
+    for (std::size_t bit = 0; bit < k; ++bit) {
+      ((mask >> bit) & 1u ? left : right).push_back(procs[bit]);
+    }
+    splits.emplace_back(std::move(left), std::move(right));
+  }
+  return splits;
+}
+
+}  // namespace
+
+std::optional<LocalSearchResult> improve_mapping(
+    const TaskChain& chain, const Platform& platform, const Mapping& start,
+    const LocalSearchOptions& options) {
+  if (start.validate(platform).has_value()) return std::nullopt;
+  State state = to_state(start);
+  auto current = check(chain, platform, state, options);
+  if (!current) return std::nullopt;
+
+  LocalSearchResult result{to_mapping(state, chain.size()), *current, 0, 0};
+  const unsigned max_k = platform.max_replication();
+
+  // Tries a candidate state; commits it when strictly more reliable.
+  auto try_improve = [&](const State& candidate) -> bool {
+    const auto metrics = check(chain, platform, candidate, options);
+    if (!metrics) return false;
+    if (metrics->reliability.log() <=
+        current->reliability.log() + 1e-15) {
+      return false;
+    }
+    state = candidate;
+    current = metrics;
+    ++result.moves_accepted;
+    return true;
+  };
+
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    ++result.rounds;
+    bool improved = false;
+
+    // Move 0: recruit an idle processor as an extra replica (always a
+    // reliability gain; may be vetoed by the worst-case bounds).
+    std::vector<bool> used(platform.processor_count(), false);
+    for (const auto& replica_set : state.procs) {
+      for (std::size_t u : replica_set) used[u] = true;
+    }
+    for (std::size_t u = 0; u < platform.processor_count() && !improved;
+         ++u) {
+      if (used[u]) continue;
+      for (std::size_t j = 0; j < state.procs.size() && !improved; ++j) {
+        if (state.procs[j].size() >= max_k) continue;
+        State candidate = state;
+        candidate.procs[j].push_back(u);
+        if (try_improve(candidate)) improved = true;
+      }
+    }
+
+    // Idle processors ordered most-reliable-per-work first, used by the
+    // split move to refill both halves (a raw split loses redundancy and
+    // almost never improves on its own — the refilled macro-move jumps
+    // that valley).
+    std::vector<std::size_t> idle;
+    for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+      if (!used[u]) idle.push_back(u);
+    }
+    std::sort(idle.begin(), idle.end(), [&](std::size_t a, std::size_t b) {
+      const double ka = platform.failure_rate(a) / platform.speed(a);
+      const double kb = platform.failure_rate(b) / platform.speed(b);
+      if (ka != kb) return ka < kb;
+      return a < b;
+    });
+
+    // Move 1: split interval j at an inner boundary, dividing its
+    // replicas between the halves (all 2-way divisions), optionally
+    // refilling both halves with idle processors up to K.
+    const std::size_t m = state.lasts.size();
+    for (std::size_t j = 0; j < m && !improved; ++j) {
+      const std::size_t first = j == 0 ? 0 : state.lasts[j - 1] + 1;
+      const std::size_t last = state.lasts[j];
+      if (first == last || state.procs[j].size() < 2) continue;
+      for (std::size_t cut = first; cut < last && !improved; ++cut) {
+        for (auto& [left, right] : two_way_splits(state.procs[j])) {
+          for (const bool refill : {true, false}) {
+            State candidate = state;
+            std::vector<std::size_t> left_set = left;
+            std::vector<std::size_t> right_set = right;
+            if (refill) {
+              std::size_t next_idle = 0;
+              while (next_idle < idle.size() &&
+                     (left_set.size() < max_k ||
+                      right_set.size() < max_k)) {
+                // Top up the thinner half first.
+                auto& target = left_set.size() <= right_set.size() &&
+                                       left_set.size() < max_k
+                                   ? left_set
+                                   : right_set;
+                if (target.size() >= max_k) break;
+                target.push_back(idle[next_idle++]);
+              }
+            }
+            candidate.lasts.insert(
+                candidate.lasts.begin() + static_cast<std::ptrdiff_t>(j),
+                cut);
+            candidate.procs[j] = left_set;
+            candidate.procs.insert(
+                candidate.procs.begin() + static_cast<std::ptrdiff_t>(j) +
+                    1,
+                right_set);
+            if (try_improve(candidate)) {
+              improved = true;
+              break;
+            }
+          }
+          if (improved) break;
+        }
+      }
+    }
+
+    // Move 2: merge adjacent intervals, keeping the most reliable <= K
+    // replicas of the union (the rest go idle).
+    for (std::size_t j = 0; j + 1 < state.lasts.size() && !improved; ++j) {
+      State candidate = state;
+      std::vector<std::size_t> merged = candidate.procs[j];
+      merged.insert(merged.end(), candidate.procs[j + 1].begin(),
+                    candidate.procs[j + 1].end());
+      const std::size_t first = j == 0 ? 0 : candidate.lasts[j - 1] + 1;
+      const std::size_t last = candidate.lasts[j + 1];
+      const double work = chain.work_sum(first, last);
+      // Most reliable first: smallest branch failure on the merged work.
+      std::sort(merged.begin(), merged.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double fa = platform.failure_rate(a) *
+                                    (work / platform.speed(a));
+                  const double fb = platform.failure_rate(b) *
+                                    (work / platform.speed(b));
+                  if (fa != fb) return fa < fb;
+                  return a < b;
+                });
+      if (merged.size() > max_k) merged.resize(max_k);
+      candidate.lasts.erase(candidate.lasts.begin() +
+                            static_cast<std::ptrdiff_t>(j));
+      candidate.procs.erase(candidate.procs.begin() +
+                            static_cast<std::ptrdiff_t>(j) + 1);
+      candidate.procs[j] = std::move(merged);
+      if (try_improve(candidate)) improved = true;
+    }
+
+    // Move 3: move one replica from interval a to interval b.
+    for (std::size_t a = 0; a < state.procs.size() && !improved; ++a) {
+      if (state.procs[a].size() < 2) continue;
+      for (std::size_t b = 0; b < state.procs.size() && !improved; ++b) {
+        if (a == b || state.procs[b].size() >= max_k) continue;
+        for (std::size_t idx = 0; idx < state.procs[a].size(); ++idx) {
+          State candidate = state;
+          const std::size_t u = candidate.procs[a][idx];
+          candidate.procs[a].erase(candidate.procs[a].begin() +
+                                   static_cast<std::ptrdiff_t>(idx));
+          candidate.procs[b].push_back(u);
+          if (try_improve(candidate)) {
+            improved = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Move 4: swap the replica sets of two intervals.
+    for (std::size_t a = 0; a < state.procs.size() && !improved; ++a) {
+      for (std::size_t b = a + 1; b < state.procs.size() && !improved;
+           ++b) {
+        State candidate = state;
+        std::swap(candidate.procs[a], candidate.procs[b]);
+        if (try_improve(candidate)) improved = true;
+      }
+    }
+
+    // Move 5: shift the boundary between adjacent intervals by one task
+    // in either direction (classic partition refinement).
+    for (std::size_t j = 0; j + 1 < state.lasts.size() && !improved; ++j) {
+      const std::size_t first = j == 0 ? 0 : state.lasts[j - 1] + 1;
+      if (state.lasts[j] > first) {  // left interval keeps >= 1 task
+        State candidate = state;
+        --candidate.lasts[j];
+        if (try_improve(candidate)) improved = true;
+      }
+      if (!improved && state.lasts[j] + 1 < state.lasts[j + 1]) {
+        State candidate = state;
+        ++candidate.lasts[j];
+        if (try_improve(candidate)) improved = true;
+      }
+    }
+
+    if (!improved) break;  // local optimum
+  }
+
+  result.mapping = to_mapping(state, chain.size());
+  result.metrics = *current;
+  return result;
+}
+
+}  // namespace prts

@@ -1,0 +1,58 @@
+// Local-search improvement of mappings — a step toward the paper's §9
+// future work ("heuristics for even more difficult problems"). Starting
+// from any feasible mapping (typically a Heur-L/Heur-P result), hill-climb
+// over four neighborhood moves while keeping the period and latency
+// bounds satisfied:
+//   * split an interval at one of its inner boundaries,
+//   * merge two adjacent intervals (freeing one replica set),
+//   * move one replica processor from one interval to another,
+//   * swap the replica sets of two intervals (useful on heterogeneous
+//     platforms where fast processors should carry heavy intervals).
+// Moves are accepted when they strictly improve the Eq. (9) reliability;
+// the search is deterministic (first-improvement in a fixed move order)
+// and stops at a local optimum or after `max_rounds` sweeps.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+
+#include "eval/evaluation.hpp"
+#include "model/constraints.hpp"
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// Options for the local search.
+struct LocalSearchOptions {
+  double period_bound = std::numeric_limits<double>::infinity();
+  double latency_bound = std::numeric_limits<double>::infinity();
+
+  /// Check bounds against expected metrics instead of worst-case ones.
+  bool use_expected_metrics = false;
+
+  /// Optional task-processor eligibility (nullptr: everything allowed).
+  const AllocationConstraints* constraints = nullptr;
+
+  /// Maximum full neighborhood sweeps (each sweep is O(n^2 + m p)).
+  std::size_t max_rounds = 64;
+};
+
+/// Outcome of a local search run.
+struct LocalSearchResult {
+  Mapping mapping;
+  MappingMetrics metrics;
+  std::size_t rounds = 0;          ///< sweeps executed
+  std::size_t moves_accepted = 0;  ///< improving moves taken
+};
+
+/// Improves `start` (which must satisfy the bounds and be valid for the
+/// platform) by hill-climbing; returns the improved mapping, never worse
+/// than the start. Returns nullopt if `start` itself violates the bounds.
+std::optional<LocalSearchResult> improve_mapping(
+    const TaskChain& chain, const Platform& platform, const Mapping& start,
+    const LocalSearchOptions& options = {});
+
+}  // namespace prts

@@ -1,0 +1,125 @@
+#include "core/period_dp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/dp_detail.hpp"
+#include "eval/evaluation.hpp"
+
+namespace prts {
+
+std::optional<DpSolution> optimize_reliability_period(
+    const TaskChain& chain, const Platform& platform, double period_bound) {
+  if (!platform.is_homogeneous()) {
+    throw std::invalid_argument(
+        "optimize_reliability_period: Algorithm 2 requires a homogeneous "
+        "platform");
+  }
+  const std::size_t n = chain.size();
+  const std::size_t p = platform.processor_count();
+  const double speed = platform.speed(0);
+  const unsigned max_q = static_cast<unsigned>(
+      std::min<std::size_t>(platform.max_replication(), p));
+
+  const auto failure = detail::interval_branch_failures(chain, platform);
+
+  // Period feasibility of the interval covering tasks j..i-1: computation
+  // time and both boundary communications must fit the bound (Eq. (6)).
+  auto interval_fits = [&](std::size_t j, std::size_t i) {
+    if (chain.work_sum(j, i - 1) / speed > period_bound) return false;
+    if (platform.comm_time(chain.out_size(i - 1)) > period_bound) {
+      return false;
+    }
+    const double in_size = j == 0 ? 0.0 : chain.out_size(j - 1);
+    return platform.comm_time(in_size) <= period_bound;
+  };
+
+  std::vector<std::vector<double>> F(
+      n + 1, std::vector<double>(p + 1, detail::kMinusInf));
+  std::vector<std::vector<detail::DpChoice>> parent(
+      n + 1, std::vector<detail::DpChoice>(p + 1));
+  F[0][0] = 0.0;
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t k = 1; k <= p; ++k) {
+      for (std::size_t j = 0; j < i; ++j) {
+        if (!interval_fits(j, i)) continue;
+        const unsigned q_max = static_cast<unsigned>(
+            std::min<std::size_t>(max_q, k));
+        for (unsigned q = 1; q <= q_max; ++q) {
+          const double before = F[j][k - q];
+          if (before == detail::kMinusInf) continue;
+          const double value =
+              before + detail::stage_log_reliability(failure[j][i], q);
+          if (value > F[i][k]) {
+            F[i][k] = value;
+            parent[i][k] = detail::DpChoice{j, q};
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t k_best = 0;
+  double best = detail::kMinusInf;
+  for (std::size_t k = 1; k <= p; ++k) {
+    if (F[n][k] > best) {
+      best = F[n][k];
+      k_best = k;
+    }
+  }
+  if (k_best == 0) return std::nullopt;
+  return DpSolution{detail::rebuild_mapping(chain, parent, k_best),
+                    LogReliability::from_log(best)};
+}
+
+std::optional<PeriodSolution> optimize_period_reliability(
+    const TaskChain& chain, const Platform& platform,
+    LogReliability min_reliability) {
+  if (!platform.is_homogeneous()) {
+    throw std::invalid_argument(
+        "optimize_period_reliability: requires a homogeneous platform");
+  }
+  const std::size_t n = chain.size();
+  const double speed = platform.speed(0);
+
+  // Candidate periods: interval computation times and communication times.
+  std::vector<double> candidates;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      candidates.push_back(chain.work_sum(j, i) / speed);
+    }
+    candidates.push_back(platform.comm_time(chain.out_size(j)));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  // Feasible at a candidate period iff Algorithm 2 reaches the bound.
+  auto feasible = [&](double period) -> std::optional<DpSolution> {
+    auto solution = optimize_reliability_period(chain, platform, period);
+    if (solution && solution->reliability >= min_reliability) {
+      return solution;
+    }
+    return std::nullopt;
+  };
+
+  if (!feasible(candidates.back())) return std::nullopt;
+
+  std::size_t lo = 0;
+  std::size_t hi = candidates.size() - 1;  // known feasible
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (feasible(candidates[mid])) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  auto solution = feasible(candidates[hi]);
+  return PeriodSolution{std::move(solution->mapping), solution->reliability,
+                        candidates[hi]};
+}
+
+}  // namespace prts

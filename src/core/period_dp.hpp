@@ -1,0 +1,40 @@
+// Algorithm 2: optimal reliability under a period bound on fully
+// homogeneous platforms (Section 5.2, Theorem 2) — the Algorithm 1 DP
+// restricted to intervals whose computation and communication times fit
+// the bound — plus the converse problem (period minimization under a
+// reliability bound) solved by binary search over the finite set of
+// candidate periods, as suggested at the end of Section 5.2.
+#pragma once
+
+#include <optional>
+
+#include "core/reliability_dp.hpp"
+
+namespace prts {
+
+/// Computes the reliability-optimal mapping whose (worst-case = expected)
+/// period does not exceed `period_bound` (Algorithm 2). Returns nullopt
+/// when no mapping fits the bound. Throws std::invalid_argument on
+/// heterogeneous platforms.
+std::optional<DpSolution> optimize_reliability_period(const TaskChain& chain,
+                                                      const Platform& platform,
+                                                      double period_bound);
+
+/// A mapping with its achieved period.
+struct PeriodSolution {
+  Mapping mapping;
+  LogReliability reliability;
+  double period = 0.0;
+};
+
+/// Minimizes the period subject to reliability >= `min_reliability` by
+/// binary-searching the candidate period set {W(i..j)/s} u {o_i/b} with
+/// Algorithm 2 as the feasibility test (both polynomial). Returns nullopt
+/// when even the unconstrained-period optimum (Algorithm 1) misses the
+/// reliability bound. Throws std::invalid_argument on heterogeneous
+/// platforms.
+std::optional<PeriodSolution> optimize_period_reliability(
+    const TaskChain& chain, const Platform& platform,
+    LogReliability min_reliability);
+
+}  // namespace prts

@@ -1,0 +1,105 @@
+#include "core/reductions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace prts::reductions {
+
+TwoPartitionReduction build_two_partition_reduction(
+    const std::vector<double>& values, double lambda) {
+  if (values.empty()) {
+    throw std::invalid_argument("two_partition: need at least one value");
+  }
+  const std::size_t n = values.size();
+  const double sum = std::accumulate(values.begin(), values.end(), 0.0);
+  const double half_sum = sum / 2.0;
+  const double max_value = *std::max_element(values.begin(), values.end());
+  const double min_value = *std::min_element(values.begin(), values.end());
+  // B = (n/4 + n a_max^2 + T + 2) / (2 a_min), as in the proof.
+  const double separator =
+      (static_cast<double>(n) / 4.0 +
+       static_cast<double>(n) * max_value * max_value + half_sum + 2.0) /
+      (2.0 * min_value);
+
+  // Chain: for each i, tasks (B), (1/2 with output a_i), (a_i); then a
+  // final B task. All other outputs are 0 (per the proof's o values).
+  std::vector<Task> tasks;
+  tasks.reserve(3 * n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    tasks.push_back(Task{separator, 0.0});
+    tasks.push_back(Task{0.5, values[i]});
+    tasks.push_back(Task{values[i], 0.0});
+  }
+  tasks.push_back(Task{separator, 0.0});
+
+  // 6n unit-speed processors, K = 2; the proof's rcomm = 1 is modeled by
+  // a zero link failure rate.
+  Platform platform = Platform::homogeneous(6 * n, 1.0, lambda, 1.0, 0.0, 2);
+
+  const double latency_bound = (static_cast<double>(n) + 1.0) * separator +
+                               static_cast<double>(n) / 2.0 + 3.0 * half_sum;
+  return TwoPartitionReduction{TaskChain(std::move(tasks)),
+                               std::move(platform), latency_bound, separator,
+                               half_sum};
+}
+
+Mapping two_partition_mapping(const TwoPartitionReduction& reduction,
+                              const std::vector<bool>& in_subset) {
+  const std::size_t n = in_subset.size();
+  std::vector<std::size_t> lasts;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = 3 * i;  // first task of block i
+    lasts.push_back(base);           // separator task alone
+    if (in_subset[i]) {
+      lasts.push_back(base + 1);  // split: (1/2) | (a_i)
+      lasts.push_back(base + 2);
+    } else {
+      lasts.push_back(base + 2);  // merged: (1/2, a_i)
+    }
+  }
+  lasts.push_back(3 * n);  // final separator
+
+  std::vector<std::vector<std::size_t>> procs;
+  std::size_t next = 0;
+  for (std::size_t j = 0; j < lasts.size(); ++j) {
+    procs.push_back({next, next + 1});  // every interval duplicated
+    next += 2;
+  }
+  return Mapping(
+      IntervalPartition::from_boundaries(lasts, reduction.chain.size()),
+      std::move(procs));
+}
+
+ThreePartitionReduction build_three_partition_reduction(
+    const std::vector<double>& values, double target, double lambda) {
+  if (values.size() % 3 != 0 || values.empty()) {
+    throw std::invalid_argument(
+        "three_partition: need 3n values for some n >= 1");
+  }
+  const std::size_t n = values.size() / 3;
+  const double gamma = 1.0 + 1.0 / (2.0 * (target - 1.0));
+
+  // n tasks of work 1/n each, outputs 0 (rcomm = 1).
+  std::vector<Task> tasks(n, Task{1.0 / static_cast<double>(n), 0.0});
+
+  // 3n unit-speed processors with failure rate lambda * gamma^{a_u}.
+  std::vector<Processor> processors;
+  processors.reserve(values.size());
+  for (double a : values) {
+    processors.push_back(Processor{1.0, lambda * std::pow(gamma, a)});
+  }
+  Platform platform(std::move(processors), 1.0, 0.0, 3);
+  return ThreePartitionReduction{TaskChain(std::move(tasks)),
+                                 std::move(platform), gamma, lambda, target};
+}
+
+Mapping three_partition_mapping(
+    const ThreePartitionReduction& reduction,
+    const std::vector<std::vector<std::size_t>>& groups) {
+  return Mapping(IntervalPartition::singletons(reduction.chain.size()),
+                 groups);
+}
+
+}  // namespace prts::reductions

@@ -1,0 +1,73 @@
+// The NP-hardness reduction constructions of the paper, as code.
+//
+// Section 5.3 (Theorem 3) reduces 2-PARTITION to bi-criteria
+// (reliability, latency) optimization on homogeneous platforms;
+// Section 6 (Theorem 5) reduces 3-PARTITION to mono-criterion reliability
+// optimization on heterogeneous platforms. Building the reduction
+// instances programmatically lets the test suite check the *forward*
+// direction of each proof end-to-end: a yes-instance of the source
+// problem yields a mapping meeting the claimed reliability/latency
+// bounds, and a better-than-claimed mapping cannot exist (verified by
+// exhaustive search on small instances).
+//
+// The numerical constants of the paper (lambda = 1e-8 * 10^-n * a_max^-3n)
+// underflow double precision for all but trivial sizes; the builders
+// accept an explicit lambda so tests can use representable magnitudes
+// while keeping the combinatorial structure intact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts::reductions {
+
+/// The Section 5.3 instance built from a 2-PARTITION input a_1..a_n:
+/// 3n+1 tasks (alternating B-sized separators, 1/2-work tasks and
+/// a_i-work tasks), 6n unit-speed processors, K = 2, plus the latency
+/// budget L = (n+1)B + n/2 + 3T of the proof.
+struct TwoPartitionReduction {
+  TaskChain chain;
+  Platform platform;
+  double latency_bound;
+  double separator_work;  ///< B
+  double half_sum;        ///< T = (sum a_i) / 2
+};
+
+/// Builds the reduction instance. `lambda` overrides the paper's
+/// (denormal) failure rate; the structure is unchanged.
+TwoPartitionReduction build_two_partition_reduction(
+    const std::vector<double>& values, double lambda);
+
+/// The mapping the proof associates with a solution subset A' (indices
+/// into `values`): every interval duplicated, separators alone, and for
+/// each i the pair (tau_{3i-1}, tau_{3i}) split iff a_i is in A'.
+/// Requires enough processors (guaranteed by the construction).
+Mapping two_partition_mapping(const TwoPartitionReduction& reduction,
+                              const std::vector<bool>& in_subset);
+
+/// The Section 6 instance built from a 3-PARTITION input a_1..a_3n with
+/// target T: n unit-work tasks (scaled by 1/n), 3n processors with
+/// failure rates lambda * gamma^{a_u}, gamma = 1 + 1/(2(T-1)), K = 3.
+struct ThreePartitionReduction {
+  TaskChain chain;
+  Platform platform;
+  double gamma;
+  double lambda;
+  double target;  ///< T
+};
+
+/// Builds the reduction instance; `lambda` overrides 1e-8 / (n T^2).
+ThreePartitionReduction build_three_partition_reduction(
+    const std::vector<double>& values, double target, double lambda);
+
+/// The mapping the proof associates with a partition B_1..B_n of the
+/// processor indices: task i alone on the three processors of B_i.
+Mapping three_partition_mapping(const ThreePartitionReduction& reduction,
+                                const std::vector<std::vector<std::size_t>>&
+                                    groups);
+
+}  // namespace prts::reductions

@@ -1,0 +1,29 @@
+// Algorithm 1: optimal mono-criterion reliability optimization on fully
+// homogeneous platforms (Section 5.1, Theorem 1), a dynamic program over
+// (prefix length, processors used) running in O(n^2 p K) <= O(n^2 p^2).
+#pragma once
+
+#include <optional>
+
+#include "common/prob.hpp"
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// An optimal mapping with its Eq. (9) reliability.
+struct DpSolution {
+  Mapping mapping;
+  LogReliability reliability;
+};
+
+/// Computes the reliability-optimal interval mapping on a fully
+/// homogeneous platform (Algorithm 1). Processor ids are assigned to
+/// intervals in chain order (they are interchangeable on a homogeneous
+/// platform). Throws std::invalid_argument on heterogeneous platforms,
+/// where the problem is NP-complete (Theorem 5).
+DpSolution optimize_reliability(const TaskChain& chain,
+                                const Platform& platform);
+
+}  // namespace prts

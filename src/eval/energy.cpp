@@ -1,0 +1,30 @@
+#include "eval/energy.hpp"
+
+#include <cmath>
+
+namespace prts {
+
+EnergyMetrics mapping_energy(const TaskChain& chain, const Platform& platform,
+                             const Mapping& mapping,
+                             const EnergyModel& model) {
+  const IntervalPartition& part = mapping.partition();
+  EnergyMetrics metrics;
+  for (std::size_t j = 0; j < part.interval_count(); ++j) {
+    const double work = part.work(chain, j);
+    const double in_size = j == 0 ? 0.0 : part.out_size(chain, j - 1);
+    const double out_size = part.out_size(chain, j);
+    for (std::size_t u : mapping.processors(j)) {
+      const double speed = platform.speed(u);
+      const double busy = work / speed;
+      metrics.computation +=
+          busy * (model.static_power +
+                  model.dynamic_coefficient * std::pow(speed, model.exponent));
+      metrics.communication +=
+          (platform.comm_time(in_size) + platform.comm_time(out_size)) *
+          model.link_power;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace prts

@@ -1,0 +1,40 @@
+// Energy consumption of a mapping — the additional criterion the paper's
+// conclusion names for future work ("resource costs, and power
+// consumption"). Classic CMOS model (cf. the paper's reference [39],
+// Zhu/Melhem/Mosse): a processor busy for t time units at speed s draws
+// static_power + dynamic_coefficient * s^exponent per time unit; a link
+// transfer of duration t draws link_power per time unit. Replication
+// multiplies energy: every replica computes (and communicates) every
+// data set, which is exactly the reliability/energy tension the
+// conclusion points at.
+#pragma once
+
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// Power-model coefficients.
+struct EnergyModel {
+  double static_power = 0.1;         ///< per busy time unit, any speed
+  double dynamic_coefficient = 1.0;  ///< multiplies speed^exponent
+  double exponent = 3.0;             ///< the CMOS alpha (~2..3)
+  double link_power = 0.5;           ///< per transfer time unit per link
+};
+
+/// Breakdown of the per-data-set energy of a mapping.
+struct EnergyMetrics {
+  double computation = 0.0;    ///< sum over replicas of busy-time power
+  double communication = 0.0;  ///< sum over replica transfers (in + out)
+  double total() const noexcept { return computation + communication; }
+};
+
+/// Energy consumed to push one data set through the mapping, with the
+/// routing communication scheme (each replica receives its input once
+/// and emits its output once, as in Eq. (9)'s branches).
+EnergyMetrics mapping_energy(const TaskChain& chain, const Platform& platform,
+                             const Mapping& mapping,
+                             const EnergyModel& model = {});
+
+}  // namespace prts

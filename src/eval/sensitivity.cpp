@@ -1,0 +1,66 @@
+#include "eval/sensitivity.hpp"
+
+#include <cmath>
+
+#include "eval/evaluation.hpp"
+
+namespace prts {
+
+std::size_t SensitivityReport::most_critical_processor() const noexcept {
+  std::size_t best = processor.size();
+  for (std::size_t u = 0; u < processor.size(); ++u) {
+    if (processor[u] < 0.0 &&
+        (best == processor.size() || processor[u] < processor[best])) {
+      best = u;
+    }
+  }
+  return best;
+}
+
+SensitivityReport reliability_sensitivity(const TaskChain& chain,
+                                          const Platform& platform,
+                                          const Mapping& mapping) {
+  const IntervalPartition& part = mapping.partition();
+  SensitivityReport report;
+  report.processor.assign(platform.processor_count(), 0.0);
+
+  for (std::size_t j = 0; j < part.interval_count(); ++j) {
+    const double work = part.work(chain, j);
+    const double in_size = j == 0 ? 0.0 : part.out_size(chain, j - 1);
+    const double out_size = part.out_size(chain, j);
+    const double comm_duration =
+        platform.comm_time(in_size) + platform.comm_time(out_size);
+    const auto procs = mapping.processors(j);
+
+    // Branch failures and their product (the interval failure F_j).
+    std::vector<double> branch_failure;
+    branch_failure.reserve(procs.size());
+    double interval_failure = 1.0;
+    for (std::size_t u : procs) {
+      const double f =
+          branch_reliability(platform, u, work, in_size, out_size)
+              .failure();
+      branch_failure.push_back(f);
+      interval_failure *= f;
+    }
+    const double stage_reliability = 1.0 - interval_failure;
+    if (!(stage_reliability > 0.0)) continue;  // derivative undefined: -inf
+
+    for (std::size_t idx = 0; idx < procs.size(); ++idx) {
+      const std::size_t u = procs[idx];
+      // prod of the other branches' failures.
+      double others = 1.0;
+      for (std::size_t v = 0; v < procs.size(); ++v) {
+        if (v != idx) others *= branch_failure[v];
+      }
+      const double branch_reliability_value = 1.0 - branch_failure[idx];
+      const double common =
+          branch_reliability_value * others / stage_reliability;
+      report.processor[u] -= (work / platform.speed(u)) * common;
+      report.link -= comm_duration * common;
+    }
+  }
+  return report;
+}
+
+}  // namespace prts

@@ -1,0 +1,42 @@
+// Sensitivity of the mapping reliability to the component failure rates:
+// the partial derivatives of log r (Eq. (9)) with respect to each
+// processor's lambda_u and the link lambda_l. A reliability engineer uses
+// these to find which component dominates the system failure probability
+// and where hardening (or an extra replica) pays off most.
+//
+// Closed form: with branch failure f_{j,u} = 1 - e^{-x_{j,u}} and
+// x_{j,u} = lambda_u W_j/s_u + lambda_l (o_in + o_out)/b, each interval
+// contributes log(1 - prod_u f_{j,u}) and
+//   d log r / d lambda_u =
+//     - (W_j/s_u) (1 - f_{j,u}) (prod_{v != u} f_{j,v}) / (1 - F_j).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// All partial derivatives of log reliability; entries are <= 0 (raising
+/// any failure rate can only hurt).
+struct SensitivityReport {
+  /// d log r / d lambda_u per processor (0 for unused processors).
+  std::vector<double> processor;
+
+  /// d log r / d lambda_l (all links share one rate).
+  double link = 0.0;
+
+  /// Index of the processor with the most negative derivative — the most
+  /// failure-critical replica. processor.size() when no processor is used.
+  std::size_t most_critical_processor() const noexcept;
+};
+
+/// Computes the exact derivatives for a mapping under Eq. (9).
+SensitivityReport reliability_sensitivity(const TaskChain& chain,
+                                          const Platform& platform,
+                                          const Mapping& mapping);
+
+}  // namespace prts

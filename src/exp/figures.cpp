@@ -1,0 +1,62 @@
+#include "exp/figures.hpp"
+
+namespace prts::exp {
+namespace {
+
+std::vector<SweepPoint> fixed_latency_points(const std::vector<double>& x,
+                                             double latency) {
+  std::vector<SweepPoint> points;
+  points.reserve(x.size());
+  for (double period : x) points.push_back(SweepPoint{period, latency});
+  return points;
+}
+
+std::vector<SweepPoint> fixed_period_points(const std::vector<double>& x,
+                                            double period) {
+  std::vector<SweepPoint> points;
+  points.reserve(x.size());
+  for (double latency : x) points.push_back(SweepPoint{period, latency});
+  return points;
+}
+
+}  // namespace
+
+FigureData run_fig_6_7(const ExperimentConfig& config, double step) {
+  const auto x = sweep_range(step, 500.0, step);
+  return run_hom_experiment(
+      "Figures 6-7: homogeneous, L = 750, sweep on period bound",
+      "period bound", x, fixed_latency_points(x, 750.0), config);
+}
+
+FigureData run_fig_8_9(const ExperimentConfig& config, double step) {
+  const auto x = sweep_range(400.0, 1100.0, step);
+  return run_hom_experiment(
+      "Figures 8-9: homogeneous, P = 250, sweep on latency bound",
+      "latency bound", x, fixed_period_points(x, 250.0), config);
+}
+
+FigureData run_fig_10_11(const ExperimentConfig& config, double step) {
+  const auto x = sweep_range(150.0, 350.0, step);
+  std::vector<SweepPoint> points;
+  points.reserve(x.size());
+  for (double period : x) points.push_back(SweepPoint{period, 3.0 * period});
+  return run_hom_experiment(
+      "Figures 10-11: homogeneous, L = 3P, sweep on period bound",
+      "period bound", x, points, config);
+}
+
+FigureData run_fig_12_13(const ExperimentConfig& config, double step) {
+  const auto x = sweep_range(step, 150.0, step);
+  return run_het_experiment(
+      "Figures 12-13: hom + het, L = 150, sweep on period bound",
+      "period bound", x, fixed_latency_points(x, 150.0), config);
+}
+
+FigureData run_fig_14_15(const ExperimentConfig& config, double step) {
+  const auto x = sweep_range(50.0, 250.0, step);
+  return run_het_experiment(
+      "Figures 14-15: hom + het, P = 50, sweep on latency bound",
+      "latency bound", x, fixed_period_points(x, 50.0), config);
+}
+
+}  // namespace prts::exp

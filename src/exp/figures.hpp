@@ -1,0 +1,32 @@
+// The ten evaluation figures of the paper (Section 8), one function per
+// figure. Figure pairs (6,7), (8,9), (10,11), (12,13), (14,15) share a
+// sweep; the *_pair functions run each sweep once and the per-figure
+// helpers project out the relevant metric when printing.
+#pragma once
+
+#include "exp/runner.hpp"
+
+namespace prts::exp {
+
+/// What the figure plots.
+enum class Metric {
+  kSolutions,   ///< number of instances with a solution
+  kAvgFailure,  ///< average failure probability among solved instances
+};
+
+/// Figures 6 & 7: homogeneous, L = 750, P in [1, 500].
+FigureData run_fig_6_7(const ExperimentConfig& config, double step = 10.0);
+
+/// Figures 8 & 9: homogeneous, P = 250, L in [400, 1100].
+FigureData run_fig_8_9(const ExperimentConfig& config, double step = 10.0);
+
+/// Figures 10 & 11: homogeneous, L = 3P, P in [150, 350].
+FigureData run_fig_10_11(const ExperimentConfig& config, double step = 5.0);
+
+/// Figures 12 & 13: hom + het, L = 150, P in [1, 150].
+FigureData run_fig_12_13(const ExperimentConfig& config, double step = 2.0);
+
+/// Figures 14 & 15: hom + het, P = 50, L in [50, 250].
+FigureData run_fig_14_15(const ExperimentConfig& config, double step = 2.0);
+
+}  // namespace prts::exp

@@ -1,0 +1,98 @@
+#include "exp/report.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace prts::exp {
+
+void print_table(std::ostream& out, const FigureData& figure, Metric metric) {
+  out << "# " << figure.title << "\n";
+  out << "# metric: "
+      << (metric == Metric::kSolutions ? "number of solutions"
+                                       : "average failure probability")
+      << "\n";
+  out << std::setw(14) << figure.x_label;
+  for (const auto& series : figure.series) {
+    out << std::setw(14) << series.name;
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < figure.x.size(); ++i) {
+    out << std::setw(14) << figure.x[i];
+    for (const auto& series : figure.series) {
+      if (metric == Metric::kSolutions) {
+        out << std::setw(14) << series.solutions[i];
+      } else if (std::isnan(series.avg_failure[i])) {
+        out << std::setw(14) << "-";
+      } else {
+        out << std::setw(14) << std::scientific << std::setprecision(3)
+            << series.avg_failure[i] << std::defaultfloat;
+      }
+    }
+    out << "\n";
+  }
+}
+
+void print_csv(std::ostream& out, const FigureData& figure) {
+  out << figure.x_label;
+  for (const auto& series : figure.series) {
+    out << "," << series.name << "_solutions"
+        << "," << series.name << "_avg_failure";
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < figure.x.size(); ++i) {
+    out << figure.x[i];
+    for (const auto& series : figure.series) {
+      out << "," << series.solutions[i] << ",";
+      if (!std::isnan(series.avg_failure[i])) {
+        out << std::scientific << std::setprecision(6)
+            << series.avg_failure[i] << std::defaultfloat;
+      }
+    }
+    out << "\n";
+  }
+}
+
+std::string summarize(const FigureData& figure) {
+  std::ostringstream out;
+  // Who leads the solution count, point by point.
+  for (const auto& series : figure.series) {
+    std::size_t leads = 0;
+    std::size_t total_solved = 0;
+    for (std::size_t i = 0; i < figure.x.size(); ++i) {
+      bool best = true;
+      for (const auto& other : figure.series) {
+        if (other.solutions[i] > series.solutions[i]) best = false;
+      }
+      if (best) ++leads;
+      total_solved += series.solutions[i];
+    }
+    out << series.name << ": leads or ties #solutions at " << leads << "/"
+        << figure.x.size() << " points, " << total_solved
+        << " instance-solutions total";
+    // Geometric-mean failure ratio vs the first series.
+    if (&series != &figure.series.front()) {
+      double log_sum = 0.0;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < figure.x.size(); ++i) {
+        const double mine = series.avg_failure[i];
+        const double reference = figure.series.front().avg_failure[i];
+        if (!std::isnan(mine) && !std::isnan(reference) && mine > 0.0 &&
+            reference > 0.0) {
+          log_sum += std::log(mine / reference);
+          ++count;
+        }
+      }
+      if (count > 0) {
+        out << ", failure geo-mean ratio vs "
+            << figure.series.front().name << ": "
+            << std::exp(log_sum / static_cast<double>(count));
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prts::exp

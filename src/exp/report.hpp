@@ -1,0 +1,25 @@
+// Plain-text reporting of reproduced figures: an aligned table mirroring
+// the paper's plotted series, plus CSV output for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/figures.hpp"
+
+namespace prts::exp {
+
+/// Writes the figure as an aligned table of the selected metric, one row
+/// per sweep point, one column per method.
+void print_table(std::ostream& out, const FigureData& figure, Metric metric);
+
+/// Writes both metrics as CSV: x, then per method `<name>_solutions` and
+/// `<name>_avg_failure` columns.
+void print_csv(std::ostream& out, const FigureData& figure);
+
+/// Summarizes a series: at how many points each method leads the
+/// solution count, and the geometric-mean failure ratio vs the first
+/// series (where both are defined). Used in EXPERIMENTS.md.
+std::string summarize(const FigureData& figure);
+
+}  // namespace prts::exp

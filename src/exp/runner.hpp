@@ -1,0 +1,70 @@
+// The Section 8 experiment methodology: 100 random instances; for every
+// (period bound, latency bound) sweep point and every method, count the
+// instances where the method finds a feasible schedule, and average the
+// failure probability of the returned schedules over exactly those
+// instances (hence, as the paper notes for Figures 13/15, different
+// methods average over different instance sets).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "model/generator.hpp"
+
+namespace prts::exp {
+
+/// One sweep point: both bounds explicit (coupled sweeps like L = 3P just
+/// fill both from one parameter).
+struct SweepPoint {
+  double period_bound = 0.0;
+  double latency_bound = 0.0;
+};
+
+/// One method's curve across the sweep.
+struct MethodSeries {
+  std::string name;
+  std::vector<std::size_t> solutions;  ///< solved instances per point
+  std::vector<double> avg_failure;     ///< mean failure among solved (NaN if none)
+};
+
+/// A reproduced figure: x values plus one series per method.
+struct FigureData {
+  std::string title;
+  std::string x_label;
+  std::vector<double> x;
+  std::vector<MethodSeries> series;
+};
+
+/// Configuration shared by all experiments.
+struct ExperimentConfig {
+  std::size_t instances = paper::kInstanceCount;
+  std::uint64_t seed = 42;
+  std::size_t threads = 0;  ///< hardware concurrency when 0
+};
+
+/// Homogeneous experiment (Section 8.1): methods ILP (exact), Heur-L,
+/// Heur-P on the speed-1 homogeneous platform.
+FigureData run_hom_experiment(const std::string& title,
+                              const std::string& x_label,
+                              const std::vector<double>& x,
+                              const std::vector<SweepPoint>& points,
+                              const ExperimentConfig& config);
+
+/// Heterogeneous experiment (Section 8.2): methods Heur-L/Heur-P on a
+/// random heterogeneous platform (speeds in [1,100]) and on the speed-5
+/// homogeneous comparison platform, same chains.
+FigureData run_het_experiment(const std::string& title,
+                              const std::string& x_label,
+                              const std::vector<double>& x,
+                              const std::vector<SweepPoint>& points,
+                              const ExperimentConfig& config);
+
+/// Evenly spaced sweep values lo, lo+step, ..., <= hi.
+std::vector<double> sweep_range(double lo, double hi, double step);
+
+}  // namespace prts::exp

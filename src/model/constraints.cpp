@@ -1,0 +1,39 @@
+#include "model/constraints.hpp"
+
+namespace prts {
+
+AllocationConstraints::AllocationConstraints(std::size_t task_count,
+                                             std::size_t processor_count)
+    : task_count_(task_count),
+      processor_count_(processor_count),
+      allowed_(task_count * processor_count, true) {}
+
+AllocationConstraints AllocationConstraints::all_allowed(
+    std::size_t task_count, std::size_t processor_count) {
+  return AllocationConstraints(task_count, processor_count);
+}
+
+void AllocationConstraints::forbid(std::size_t task,
+                                   std::size_t processor) noexcept {
+  allowed_[task * processor_count_ + processor] = false;
+}
+
+void AllocationConstraints::allow(std::size_t task,
+                                  std::size_t processor) noexcept {
+  allowed_[task * processor_count_ + processor] = true;
+}
+
+bool AllocationConstraints::allowed(std::size_t task,
+                                    std::size_t processor) const noexcept {
+  return allowed_[task * processor_count_ + processor];
+}
+
+bool AllocationConstraints::interval_allowed(
+    const Interval& interval, std::size_t processor) const noexcept {
+  for (std::size_t task = interval.first; task <= interval.last; ++task) {
+    if (!allowed(task, processor)) return false;
+  }
+  return true;
+}
+
+}  // namespace prts

@@ -1,0 +1,46 @@
+// Task-processor allocation constraints (Section 7.2 remark): a task may
+// require a hardware driver that only exists on some processors. The
+// heterogeneous allocator refuses to place an interval on a processor that
+// is not allowed for *every* task of the interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/interval.hpp"
+
+namespace prts {
+
+/// A boolean eligibility matrix between tasks and processors. The default
+/// (all_allowed) permits every placement, matching the base model.
+class AllocationConstraints {
+ public:
+  /// Every task may run on every processor.
+  static AllocationConstraints all_allowed(std::size_t task_count,
+                                           std::size_t processor_count);
+
+  /// Forbids running `task` on `processor`.
+  void forbid(std::size_t task, std::size_t processor) noexcept;
+
+  /// Re-allows running `task` on `processor`.
+  void allow(std::size_t task, std::size_t processor) noexcept;
+
+  /// True when `task` may run on `processor`.
+  bool allowed(std::size_t task, std::size_t processor) const noexcept;
+
+  /// True when every task of `interval` may run on `processor`.
+  bool interval_allowed(const Interval& interval,
+                        std::size_t processor) const noexcept;
+
+  std::size_t task_count() const noexcept { return task_count_; }
+  std::size_t processor_count() const noexcept { return processor_count_; }
+
+ private:
+  AllocationConstraints(std::size_t task_count, std::size_t processor_count);
+
+  std::size_t task_count_ = 0;
+  std::size_t processor_count_ = 0;
+  std::vector<bool> allowed_;  // row-major [task][processor]
+};
+
+}  // namespace prts

@@ -1,0 +1,43 @@
+#include "model/dot.hpp"
+
+#include <sstream>
+
+namespace prts {
+
+std::string mapping_to_dot(const TaskChain& chain, const Platform& platform,
+                           const Mapping& mapping) {
+  (void)platform;  // reserved for per-processor annotations
+  const IntervalPartition& part = mapping.partition();
+  std::ostringstream out;
+  out << "digraph mapping {\n";
+  out << "  rankdir=LR;\n";
+  out << "  node [shape=record];\n";
+  out << "  env_in [shape=point];\n";
+  out << "  env_out [shape=point];\n";
+  for (std::size_t j = 0; j < part.interval_count(); ++j) {
+    const Interval& ival = part.interval(j);
+    out << "  i" << j << " [label=\"I" << j << " | tasks " << ival.first
+        << ".." << ival.last << " | W=" << part.work(chain, j) << " | {";
+    bool first = true;
+    for (std::size_t u : mapping.processors(j)) {
+      if (!first) out << " ";
+      out << "P" << u;
+      first = false;
+    }
+    out << "}\"];\n";
+  }
+  out << "  env_in -> i0;\n";
+  for (std::size_t j = 0; j + 1 < part.interval_count(); ++j) {
+    out << "  i" << j << " -> i" << j + 1 << " [label=\"o="
+        << part.out_size(chain, j) << "\"];\n";
+  }
+  out << "  i" << part.interval_count() - 1 << " -> env_out";
+  const double final_out =
+      part.out_size(chain, part.interval_count() - 1);
+  if (final_out > 0.0) out << " [label=\"o=" << final_out << "\"]";
+  out << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace prts

@@ -1,0 +1,20 @@
+// Graphviz (DOT) export of an interval mapping, reproducing the paper's
+// Figure 3 drawing: intervals as a left-to-right chain of records, each
+// listing its task range, weight and replica processors, with the
+// inter-interval communication sizes on the edges.
+#pragma once
+
+#include <string>
+
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// DOT digraph of the mapping: one record node per interval
+/// ("I_j | tasks f..l | W=... | {P...}") and o_j-labeled edges.
+std::string mapping_to_dot(const TaskChain& chain, const Platform& platform,
+                           const Mapping& mapping);
+
+}  // namespace prts

@@ -1,0 +1,100 @@
+#include "model/generator.hpp"
+
+#include <vector>
+
+namespace prts {
+
+TaskChain random_chain(Rng& rng, const ChainConfig& config) {
+  std::vector<Task> tasks;
+  tasks.reserve(config.task_count);
+  for (std::size_t i = 0; i < config.task_count; ++i) {
+    Task task;
+    task.work =
+        static_cast<double>(rng.uniform_int(config.work_lo, config.work_hi));
+    const bool is_last = (i + 1 == config.task_count);
+    task.out_size =
+        is_last ? 0.0
+                : static_cast<double>(
+                      rng.uniform_int(config.out_lo, config.out_hi));
+    tasks.push_back(task);
+  }
+  return TaskChain(std::move(tasks));
+}
+
+Platform random_het_platform(Rng& rng, const HetPlatformConfig& config) {
+  std::vector<Processor> processors;
+  processors.reserve(config.processor_count);
+  for (std::size_t u = 0; u < config.processor_count; ++u) {
+    Processor proc;
+    proc.speed =
+        static_cast<double>(rng.uniform_int(config.speed_lo, config.speed_hi));
+    proc.failure_rate = config.processor_failure_rate;
+    processors.push_back(proc);
+  }
+  return Platform(std::move(processors), config.bandwidth,
+                  config.link_failure_rate, config.max_replication);
+}
+
+TaskChain shaped_chain(Rng& rng, std::size_t task_count, ChainShape shape) {
+  std::vector<Task> tasks;
+  tasks.reserve(task_count);
+  const auto hotspot = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(task_count - 1)));
+  for (std::size_t i = 0; i < task_count; ++i) {
+    Task task;
+    const double position =
+        task_count > 1
+            ? static_cast<double>(i) / static_cast<double>(task_count - 1)
+            : 0.0;
+    switch (shape) {
+      case ChainShape::kUniform:
+        task.work = static_cast<double>(rng.uniform_int(1, 100));
+        task.out_size = static_cast<double>(rng.uniform_int(1, 10));
+        break;
+      case ChainShape::kIncreasing:
+        task.work = 10.0 + 90.0 * position + rng.uniform_real(0.0, 10.0);
+        task.out_size = static_cast<double>(rng.uniform_int(1, 10));
+        break;
+      case ChainShape::kDecreasing:
+        task.work =
+            10.0 + 90.0 * (1.0 - position) + rng.uniform_real(0.0, 10.0);
+        task.out_size = static_cast<double>(rng.uniform_int(1, 10));
+        break;
+      case ChainShape::kHotspot:
+        task.work = static_cast<double>(rng.uniform_int(5, 20));
+        if (i == hotspot) task.work *= 10.0;
+        task.out_size = static_cast<double>(rng.uniform_int(1, 10));
+        break;
+      case ChainShape::kCommHeavy:
+        task.work = static_cast<double>(rng.uniform_int(1, 20));
+        task.out_size = static_cast<double>(rng.uniform_int(10, 30));
+        break;
+    }
+    if (i + 1 == task_count) task.out_size = 0.0;
+    tasks.push_back(task);
+  }
+  return TaskChain(std::move(tasks));
+}
+
+namespace paper {
+
+TaskChain chain(Rng& rng) { return random_chain(rng, ChainConfig{}); }
+
+Platform hom_platform() {
+  return Platform::homogeneous(kProcessorCount, kHomSpeed,
+                               kProcessorFailureRate, kBandwidth,
+                               kLinkFailureRate, kMaxReplication);
+}
+
+Platform het_platform(Rng& rng) {
+  return random_het_platform(rng, HetPlatformConfig{});
+}
+
+Platform hom_comparison_platform() {
+  return Platform::homogeneous(kProcessorCount, kHetComparisonHomSpeed,
+                               kProcessorFailureRate, kBandwidth,
+                               kLinkFailureRate, kMaxReplication);
+}
+
+}  // namespace paper
+}  // namespace prts

@@ -1,0 +1,85 @@
+// Random instance generation, including the exact experimental setup of
+// Section 8 of the paper (the `paper` namespace).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// Parameters for random chains: uniform integer works in
+/// [work_lo, work_hi] and uniform integer output sizes in [out_lo, out_hi];
+/// the last task's output size is forced to 0 (paper convention o_n = 0).
+struct ChainConfig {
+  std::size_t task_count = 15;
+  int work_lo = 1;
+  int work_hi = 100;
+  int out_lo = 1;
+  int out_hi = 10;
+};
+
+/// Draws a random chain.
+TaskChain random_chain(Rng& rng, const ChainConfig& config);
+
+/// Parameters for random heterogeneous platforms: uniform integer speeds in
+/// [speed_lo, speed_hi], identical failure rates.
+struct HetPlatformConfig {
+  std::size_t processor_count = 10;
+  int speed_lo = 1;
+  int speed_hi = 100;
+  double processor_failure_rate = 1e-8;
+  double bandwidth = 1.0;
+  double link_failure_rate = 1e-5;
+  unsigned max_replication = 3;
+};
+
+/// Draws a random heterogeneous platform.
+Platform random_het_platform(Rng& rng, const HetPlatformConfig& config);
+
+/// Workload shapes beyond the paper's uniform distribution, for
+/// robustness studies of the heuristics (bench/workload_shapes).
+enum class ChainShape {
+  kUniform,     ///< the paper's distribution (w in [1,100], o in [1,10])
+  kIncreasing,  ///< work ramps up along the chain (sensor -> fusion)
+  kDecreasing,  ///< work ramps down (front-loaded processing)
+  kHotspot,     ///< one task ~10x heavier than the rest
+  kCommHeavy,   ///< small works, outputs comparable to works
+};
+
+/// Draws a chain of `task_count` tasks with the given shape; the last
+/// output size is always 0.
+TaskChain shaped_chain(Rng& rng, std::size_t task_count, ChainShape shape);
+
+/// Section 8 constants and factories: 15 tasks, 10 processors, K = 3,
+/// works in [1,100], output sizes in [1,10], b = 1, lambda_p = 1e-8,
+/// lambda_l = 1e-5; homogeneous speed 1; heterogeneous speeds in [1,100]
+/// compared against a homogeneous platform of speed 5.
+namespace paper {
+
+inline constexpr std::size_t kTaskCount = 15;
+inline constexpr std::size_t kProcessorCount = 10;
+inline constexpr unsigned kMaxReplication = 3;
+inline constexpr double kProcessorFailureRate = 1e-8;
+inline constexpr double kLinkFailureRate = 1e-5;
+inline constexpr double kBandwidth = 1.0;
+inline constexpr double kHomSpeed = 1.0;
+inline constexpr double kHetComparisonHomSpeed = 5.0;
+inline constexpr std::size_t kInstanceCount = 100;
+
+/// A random 15-task chain with the paper's cost distributions.
+TaskChain chain(Rng& rng);
+
+/// The homogeneous platform of Section 8.1 (speed 1).
+Platform hom_platform();
+
+/// A random heterogeneous platform of Section 8.2 (speeds in [1,100]).
+Platform het_platform(Rng& rng);
+
+/// The homogeneous comparison platform of Section 8.2 (speed 5).
+Platform hom_comparison_platform();
+
+}  // namespace paper
+}  // namespace prts

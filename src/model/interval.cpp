@@ -1,0 +1,68 @@
+#include "model/interval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prts {
+
+IntervalPartition::IntervalPartition(std::vector<Interval> intervals,
+                                     std::size_t task_count)
+    : intervals_(std::move(intervals)), task_count_(task_count) {
+  if (intervals_.empty()) {
+    throw std::invalid_argument("IntervalPartition: no intervals");
+  }
+  std::size_t expected_first = 0;
+  for (const Interval& ival : intervals_) {
+    if (ival.first != expected_first || ival.last < ival.first ||
+        ival.last >= task_count_) {
+      throw std::invalid_argument(
+          "IntervalPartition: intervals must tile 0..n-1 in order");
+    }
+    expected_first = ival.last + 1;
+  }
+  if (expected_first != task_count_) {
+    throw std::invalid_argument(
+        "IntervalPartition: intervals must cover the whole chain");
+  }
+}
+
+IntervalPartition IntervalPartition::from_boundaries(
+    std::span<const std::size_t> lasts, std::size_t task_count) {
+  std::vector<Interval> intervals;
+  intervals.reserve(lasts.size());
+  std::size_t first = 0;
+  for (std::size_t last : lasts) {
+    intervals.push_back(Interval{first, last});
+    first = last + 1;
+  }
+  return IntervalPartition(std::move(intervals), task_count);
+}
+
+IntervalPartition IntervalPartition::single(std::size_t task_count) {
+  return IntervalPartition({Interval{0, task_count - 1}}, task_count);
+}
+
+IntervalPartition IntervalPartition::singletons(std::size_t task_count) {
+  std::vector<Interval> intervals;
+  intervals.reserve(task_count);
+  for (std::size_t i = 0; i < task_count; ++i) {
+    intervals.push_back(Interval{i, i});
+  }
+  return IntervalPartition(std::move(intervals), task_count);
+}
+
+std::size_t IntervalPartition::interval_of(std::size_t task) const noexcept {
+  const auto it = std::partition_point(
+      intervals_.begin(), intervals_.end(),
+      [task](const Interval& ival) { return ival.last < task; });
+  return static_cast<std::size_t>(it - intervals_.begin());
+}
+
+std::vector<std::size_t> IntervalPartition::boundaries() const {
+  std::vector<std::size_t> lasts;
+  lasts.reserve(intervals_.size());
+  for (const Interval& ival : intervals_) lasts.push_back(ival.last);
+  return lasts;
+}
+
+}  // namespace prts

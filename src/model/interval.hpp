@@ -1,0 +1,84 @@
+// Interval mapping structure (Section 2.3): the chain is divided into m
+// intervals of consecutive tasks; interval j covers tasks f_j..l_j with
+// f_1 = 0, f_{j+1} = l_j + 1 and l_m = n-1 (0-based).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// A contiguous range of task indices, inclusive on both ends.
+struct Interval {
+  std::size_t first = 0;
+  std::size_t last = 0;
+
+  /// Number of tasks in the interval.
+  std::size_t size() const noexcept { return last - first + 1; }
+
+  bool contains(std::size_t task) const noexcept {
+    return first <= task && task <= last;
+  }
+
+  bool operator==(const Interval&) const noexcept = default;
+};
+
+/// An ordered division of the chain 0..n-1 into contiguous intervals.
+class IntervalPartition {
+ public:
+  /// Builds from explicit intervals; they must tile 0..n-1 in order
+  /// (throws std::invalid_argument otherwise).
+  IntervalPartition(std::vector<Interval> intervals, std::size_t task_count);
+
+  /// Builds from the sorted list of last-task indices of each interval;
+  /// the final entry must be n-1. E.g. {2, 5, 8} with n=9 gives intervals
+  /// [0,2] [3,5] [6,8].
+  static IntervalPartition from_boundaries(std::span<const std::size_t> lasts,
+                                           std::size_t task_count);
+
+  /// The whole chain as a single interval.
+  static IntervalPartition single(std::size_t task_count);
+
+  /// One interval per task.
+  static IntervalPartition singletons(std::size_t task_count);
+
+  /// Number of intervals m.
+  std::size_t interval_count() const noexcept { return intervals_.size(); }
+
+  /// Number of tasks n.
+  std::size_t task_count() const noexcept { return task_count_; }
+
+  /// Interval j (0 <= j < m).
+  const Interval& interval(std::size_t j) const noexcept {
+    return intervals_[j];
+  }
+
+  std::span<const Interval> intervals() const noexcept { return intervals_; }
+
+  /// Index of the interval containing the given task (binary search).
+  std::size_t interval_of(std::size_t task) const noexcept;
+
+  /// Weight W_j of interval j on the given chain.
+  double work(const TaskChain& chain, std::size_t j) const noexcept {
+    return chain.work_sum(intervals_[j].first, intervals_[j].last);
+  }
+
+  /// Output size of interval j: o_{l_j}, the output of its last task.
+  double out_size(const TaskChain& chain, std::size_t j) const noexcept {
+    return chain.out_size(intervals_[j].last);
+  }
+
+  /// The last-task index of every interval (inverse of from_boundaries).
+  std::vector<std::size_t> boundaries() const;
+
+  bool operator==(const IntervalPartition&) const noexcept = default;
+
+ private:
+  std::vector<Interval> intervals_;
+  std::size_t task_count_ = 0;
+};
+
+}  // namespace prts

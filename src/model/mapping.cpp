@@ -1,0 +1,63 @@
+#include "model/mapping.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prts {
+
+Mapping::Mapping(IntervalPartition partition,
+                 std::vector<std::vector<std::size_t>> processors_per_interval)
+    : partition_(std::move(partition)),
+      processors_(std::move(processors_per_interval)) {
+  if (processors_.size() != partition_.interval_count()) {
+    throw std::invalid_argument(
+        "Mapping: need exactly one processor set per interval");
+  }
+  for (auto& procs : processors_) {
+    if (procs.empty()) {
+      throw std::invalid_argument(
+          "Mapping: every interval needs at least one processor");
+    }
+    std::sort(procs.begin(), procs.end());
+    if (std::adjacent_find(procs.begin(), procs.end()) != procs.end()) {
+      throw std::invalid_argument(
+          "Mapping: duplicate processor within an interval");
+    }
+  }
+}
+
+std::size_t Mapping::processors_used() const noexcept {
+  std::size_t used = 0;
+  for (const auto& procs : processors_) used += procs.size();
+  return used;
+}
+
+double Mapping::replication_level() const noexcept {
+  return static_cast<double>(processors_used()) /
+         static_cast<double>(interval_count());
+}
+
+std::optional<std::string> Mapping::validate(const Platform& platform) const {
+  std::vector<bool> seen(platform.processor_count(), false);
+  for (std::size_t j = 0; j < processors_.size(); ++j) {
+    const auto& procs = processors_[j];
+    if (procs.size() > platform.max_replication()) {
+      return "interval " + std::to_string(j) + " uses " +
+             std::to_string(procs.size()) + " replicas, above K=" +
+             std::to_string(platform.max_replication());
+    }
+    for (std::size_t u : procs) {
+      if (u >= platform.processor_count()) {
+        return "processor id " + std::to_string(u) + " out of range";
+      }
+      if (seen[u]) {
+        return "processor " + std::to_string(u) +
+               " assigned to more than one interval";
+      }
+      seen[u] = true;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace prts

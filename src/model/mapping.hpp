@@ -1,0 +1,58 @@
+// A multiprocessor interval mapping with spatial replication
+// (Sections 2.3 and 2.5): every interval is assigned to between 1 and K
+// processors, and every processor executes at most one interval.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/interval.hpp"
+#include "model/platform.hpp"
+
+namespace prts {
+
+/// An interval partition plus, for each interval, the set of processors
+/// (0-based ids) that replicate it.
+class Mapping {
+ public:
+  /// Builds a mapping; requires one processor set per interval and every
+  /// set non-empty (throws std::invalid_argument otherwise). Deeper
+  /// platform-dependent checks live in validate().
+  Mapping(IntervalPartition partition,
+          std::vector<std::vector<std::size_t>> processors_per_interval);
+
+  const IntervalPartition& partition() const noexcept { return partition_; }
+
+  /// Number of intervals m.
+  std::size_t interval_count() const noexcept {
+    return partition_.interval_count();
+  }
+
+  /// Processors replicating interval j, sorted ascending.
+  std::span<const std::size_t> processors(std::size_t j) const noexcept {
+    return processors_[j];
+  }
+
+  /// Total number of processors used by the mapping.
+  std::size_t processors_used() const noexcept;
+
+  /// Average number of replicas per interval (the replication level of
+  /// Section 1).
+  double replication_level() const noexcept;
+
+  /// Checks the mapping against a platform: processor ids in range, each
+  /// processor used by at most one interval, and every interval replicated
+  /// at most K times. Returns an explanation on failure, nullopt on success.
+  std::optional<std::string> validate(const Platform& platform) const;
+
+  bool operator==(const Mapping&) const noexcept = default;
+
+ private:
+  IntervalPartition partition_;
+  std::vector<std::vector<std::size_t>> processors_;
+};
+
+}  // namespace prts

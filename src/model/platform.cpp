@@ -1,0 +1,51 @@
+#include "model/platform.hpp"
+
+#include <stdexcept>
+
+namespace prts {
+
+Platform::Platform(std::vector<Processor> processors, double bandwidth,
+                   double link_failure_rate, unsigned max_replication)
+    : processors_(std::move(processors)),
+      bandwidth_(bandwidth),
+      link_failure_rate_(link_failure_rate),
+      max_replication_(max_replication) {
+  if (processors_.empty()) {
+    throw std::invalid_argument("Platform: need at least one processor");
+  }
+  if (!(bandwidth_ > 0.0)) {
+    throw std::invalid_argument("Platform: bandwidth must be positive");
+  }
+  if (link_failure_rate_ < 0.0) {
+    throw std::invalid_argument(
+        "Platform: link failure rate must be non-negative");
+  }
+  if (max_replication_ < 1) {
+    throw std::invalid_argument("Platform: max replication must be >= 1");
+  }
+  homogeneous_ = true;
+  for (const Processor& proc : processors_) {
+    if (!(proc.speed > 0.0)) {
+      throw std::invalid_argument("Platform: processor speed must be positive");
+    }
+    if (proc.failure_rate < 0.0) {
+      throw std::invalid_argument(
+          "Platform: processor failure rate must be non-negative");
+    }
+    if (proc.speed != processors_.front().speed ||
+        proc.failure_rate != processors_.front().failure_rate) {
+      homogeneous_ = false;
+    }
+  }
+}
+
+Platform Platform::homogeneous(std::size_t processor_count, double speed,
+                               double failure_rate, double bandwidth,
+                               double link_failure_rate,
+                               unsigned max_replication) {
+  return Platform(
+      std::vector<Processor>(processor_count, Processor{speed, failure_rate}),
+      bandwidth, link_failure_rate, max_replication);
+}
+
+}  // namespace prts

@@ -1,0 +1,77 @@
+// Platform model (Section 2.2): p processors with individual speeds and
+// transient-failure rates, homogeneous point-to-point links of bandwidth b
+// and failure rate lambda_l, and a bounded multiport degree K which also
+// caps the replication factor of every interval (Section 2.5).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prts {
+
+/// One processor: speed (work units per time unit) and failure rate per
+/// time unit of its exponential transient-failure process.
+struct Processor {
+  double speed = 1.0;
+  double failure_rate = 0.0;
+};
+
+/// An immutable distributed platform.
+class Platform {
+ public:
+  /// Builds a platform; requires at least one processor, positive speeds
+  /// and bandwidth, non-negative failure rates and max_replication >= 1
+  /// (throws std::invalid_argument otherwise).
+  Platform(std::vector<Processor> processors, double bandwidth,
+           double link_failure_rate, unsigned max_replication);
+
+  /// Fully homogeneous platform: p identical processors.
+  static Platform homogeneous(std::size_t processor_count, double speed,
+                              double failure_rate, double bandwidth,
+                              double link_failure_rate,
+                              unsigned max_replication);
+
+  /// Number of processors p.
+  std::size_t processor_count() const noexcept { return processors_.size(); }
+
+  /// Processor u (0 <= u < p).
+  const Processor& processor(std::size_t u) const noexcept {
+    return processors_[u];
+  }
+
+  double speed(std::size_t u) const noexcept { return processors_[u].speed; }
+  double failure_rate(std::size_t u) const noexcept {
+    return processors_[u].failure_rate;
+  }
+
+  /// Link bandwidth b (identical for all links).
+  double bandwidth() const noexcept { return bandwidth_; }
+
+  /// Link failure rate per time unit lambda_l (identical for all links).
+  double link_failure_rate() const noexcept { return link_failure_rate_; }
+
+  /// Bounded multiport degree K: max simultaneous outgoing connections,
+  /// hence also the max number of replicas per interval.
+  unsigned max_replication() const noexcept { return max_replication_; }
+
+  /// Time to transmit `data` units over one link.
+  double comm_time(double data) const noexcept { return data / bandwidth_; }
+
+  /// True when all processors share one speed and one failure rate, in
+  /// which case the paper's homogeneous results (Section 5) apply.
+  bool is_homogeneous() const noexcept { return homogeneous_; }
+
+  std::span<const Processor> processors() const noexcept {
+    return processors_;
+  }
+
+ private:
+  std::vector<Processor> processors_;
+  double bandwidth_;
+  double link_failure_rate_;
+  unsigned max_replication_;
+  bool homogeneous_;
+};
+
+}  // namespace prts

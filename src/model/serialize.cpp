@@ -1,0 +1,151 @@
+#include "model/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace prts {
+namespace {
+
+/// Reads the next content line (skipping blanks and '#' comments);
+/// false at end of stream.
+bool next_line(std::istream& in, std::string& line, std::size_t& lineno) {
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+ParseResult fail(std::size_t lineno, const std::string& what) {
+  ParseResult result;
+  result.error = "line " + std::to_string(lineno) + ": " + what;
+  return result;
+}
+
+}  // namespace
+
+void write_instance(std::ostream& out, const Instance& instance) {
+  out << "prts-instance v1\n";
+  out << "tasks " << instance.chain.size() << "\n";
+  for (const Task& task : instance.chain.tasks()) {
+    out << task.work << " " << task.out_size << "\n";
+  }
+  const Platform& platform = instance.platform;
+  out << "platform " << platform.processor_count() << " "
+      << platform.bandwidth() << " " << platform.link_failure_rate() << " "
+      << platform.max_replication() << "\n";
+  for (const Processor& proc : platform.processors()) {
+    out << proc.speed << " " << proc.failure_rate << "\n";
+  }
+}
+
+std::string instance_to_text(const Instance& instance) {
+  std::ostringstream out;
+  write_instance(out, instance);
+  return out.str();
+}
+
+ParseResult read_instance(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!next_line(in, line, lineno)) return fail(lineno, "empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != "prts-instance" || version != "v1") {
+      return fail(lineno, "expected header 'prts-instance v1'");
+    }
+  }
+
+  if (!next_line(in, line, lineno)) return fail(lineno, "missing tasks line");
+  std::size_t n = 0;
+  {
+    std::istringstream tasks_line(line);
+    std::string keyword;
+    tasks_line >> keyword >> n;
+    if (keyword != "tasks" || tasks_line.fail() || n == 0) {
+      return fail(lineno, "expected 'tasks <n>' with n >= 1");
+    }
+  }
+
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!next_line(in, line, lineno)) {
+      return fail(lineno, "expected " + std::to_string(n) +
+                              " task lines, got " + std::to_string(i));
+    }
+    std::istringstream task_line(line);
+    Task task;
+    task_line >> task.work >> task.out_size;
+    if (task_line.fail()) {
+      return fail(lineno, "expected '<work> <out_size>'");
+    }
+    if (!(task.work > 0.0) || task.out_size < 0.0) {
+      return fail(lineno, "work must be > 0 and out_size >= 0");
+    }
+    tasks.push_back(task);
+  }
+
+  if (!next_line(in, line, lineno)) {
+    return fail(lineno, "missing platform line");
+  }
+  std::size_t p = 0;
+  double bandwidth = 0.0;
+  double link_failure_rate = 0.0;
+  unsigned max_replication = 0;
+  {
+    std::istringstream platform_line(line);
+    std::string keyword;
+    platform_line >> keyword >> p >> bandwidth >> link_failure_rate >>
+        max_replication;
+    if (keyword != "platform" || platform_line.fail() || p == 0) {
+      return fail(lineno,
+                  "expected 'platform <p> <bandwidth> <link_rate> <K>'");
+    }
+  }
+  if (!(bandwidth > 0.0) || link_failure_rate < 0.0 || max_replication < 1) {
+    return fail(lineno, "invalid platform parameters");
+  }
+
+  std::vector<Processor> processors;
+  processors.reserve(p);
+  for (std::size_t u = 0; u < p; ++u) {
+    if (!next_line(in, line, lineno)) {
+      return fail(lineno, "expected " + std::to_string(p) +
+                              " processor lines, got " + std::to_string(u));
+    }
+    std::istringstream proc_line(line);
+    Processor proc;
+    proc_line >> proc.speed >> proc.failure_rate;
+    if (proc_line.fail()) {
+      return fail(lineno, "expected '<speed> <failure_rate>'");
+    }
+    if (!(proc.speed > 0.0) || proc.failure_rate < 0.0) {
+      return fail(lineno, "speed must be > 0 and failure rate >= 0");
+    }
+    processors.push_back(proc);
+  }
+
+  ParseResult result;
+  result.instance = Instance{
+      TaskChain(std::move(tasks)),
+      Platform(std::move(processors), bandwidth, link_failure_rate,
+               max_replication)};
+  return result;
+}
+
+ParseResult instance_from_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_instance(in);
+}
+
+}  // namespace prts

@@ -1,0 +1,48 @@
+// Plain-text serialization of problem instances (chain + platform), so
+// experiments are shareable and the command-line tool can pipe them.
+//
+// Format (line oriented, '#' comments allowed):
+//   prts-instance v1
+//   tasks <n>
+//   <work> <out_size>          # n lines
+//   platform <p> <bandwidth> <link_failure_rate> <max_replication>
+//   <speed> <failure_rate>     # p lines
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts {
+
+/// A problem instance: the application and the platform.
+struct Instance {
+  TaskChain chain;
+  Platform platform;
+};
+
+/// Writes the instance in the v1 text format.
+void write_instance(std::ostream& out, const Instance& instance);
+
+/// Serializes to a string (convenience over write_instance).
+std::string instance_to_text(const Instance& instance);
+
+/// Result of parsing: either an instance or a human-readable error.
+struct ParseResult {
+  std::optional<Instance> instance;
+  std::string error;
+
+  explicit operator bool() const noexcept { return instance.has_value(); }
+};
+
+/// Parses the v1 text format; never throws — malformed input yields an
+/// error message naming the offending line.
+ParseResult read_instance(std::istream& in);
+
+/// Parses from a string (convenience over read_instance).
+ParseResult instance_from_text(const std::string& text);
+
+}  // namespace prts

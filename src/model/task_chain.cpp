@@ -1,0 +1,28 @@
+#include "model/task_chain.hpp"
+
+#include <stdexcept>
+
+namespace prts {
+
+TaskChain::TaskChain(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  if (tasks_.empty()) {
+    throw std::invalid_argument("TaskChain: chain must contain a task");
+  }
+  prefix_work_.resize(tasks_.size() + 1, 0.0);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!(tasks_[i].work > 0.0)) {
+      throw std::invalid_argument("TaskChain: task work must be positive");
+    }
+    if (tasks_[i].out_size < 0.0) {
+      throw std::invalid_argument(
+          "TaskChain: task output size must be non-negative");
+    }
+    prefix_work_[i + 1] = prefix_work_[i] + tasks_[i].work;
+  }
+}
+
+double TaskChain::work_sum(std::size_t first, std::size_t last) const noexcept {
+  return prefix_work_[last + 1] - prefix_work_[first];
+}
+
+}  // namespace prts

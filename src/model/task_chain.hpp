@@ -1,0 +1,57 @@
+// Application model: a linear chain of tasks (Section 2.1 of the paper).
+//
+// Task indices are 0-based here; the paper is 1-based. Task i is the pair
+// (w_i, o_i): w_i units of work and an output of o_i data units sent to
+// task i+1. By the paper's convention the last task's output size is 0
+// (results leave through actuator drivers); the model does not force this,
+// the generators produce it, and the evaluation handles any value.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prts {
+
+/// One task of the chain: work amount and output data size.
+struct Task {
+  double work = 0.0;      ///< w_i > 0, in abstract work units.
+  double out_size = 0.0;  ///< o_i >= 0, in abstract data units.
+};
+
+/// An immutable chain of tasks with O(1) interval work queries.
+class TaskChain {
+ public:
+  /// Builds a chain; requires at least one task, every work > 0 and every
+  /// out_size >= 0 (throws std::invalid_argument otherwise).
+  explicit TaskChain(std::vector<Task> tasks);
+
+  /// Number of tasks n.
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+  /// Task i (0 <= i < n).
+  const Task& task(std::size_t i) const noexcept { return tasks_[i]; }
+
+  /// Work w_i of task i.
+  double work(std::size_t i) const noexcept { return tasks_[i].work; }
+
+  /// Output size o_i of task i (data sent from task i to task i+1, or to
+  /// the environment for the last task).
+  double out_size(std::size_t i) const noexcept { return tasks_[i].out_size; }
+
+  /// Sum of works of tasks first..last inclusive (the interval weight W).
+  /// Requires first <= last < n.
+  double work_sum(std::size_t first, std::size_t last) const noexcept;
+
+  /// Total work of the whole chain.
+  double total_work() const noexcept { return work_sum(0, size() - 1); }
+
+  /// All tasks, in chain order.
+  std::span<const Task> tasks() const noexcept { return tasks_; }
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<double> prefix_work_;  // prefix_work_[i] = sum of w_0..w_{i-1}
+};
+
+}  // namespace prts

@@ -1,0 +1,134 @@
+#include "rbd/bdd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prts::rbd {
+namespace {
+
+std::size_t mix(std::size_t seed, std::size_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::size_t BddManager::UniqueKeyHash::operator()(
+    const UniqueKey& key) const noexcept {
+  std::size_t h = key.level;
+  h = mix(h, key.lo);
+  h = mix(h, key.hi);
+  return h;
+}
+
+std::size_t BddManager::ApplyKeyHash::operator()(
+    const ApplyKey& key) const noexcept {
+  std::size_t h = key.is_and ? 0x51ed270b : 0x2545f491;
+  h = mix(h, key.a);
+  h = mix(h, key.b);
+  return h;
+}
+
+BddManager::BddManager() {
+  nodes_.push_back(Node{kTerminalLevel, kFalse, kFalse});  // 0: false
+  nodes_.push_back(Node{kTerminalLevel, kTrue, kTrue});    // 1: true
+}
+
+BddManager::NodeId BddManager::make(unsigned level, NodeId lo, NodeId hi) {
+  if (lo == hi) return lo;  // reduction rule
+  const UniqueKey key{level, lo, hi};
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back(Node{level, lo, hi});
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddManager::NodeId BddManager::var(unsigned level) {
+  return make(level, kFalse, kTrue);
+}
+
+BddManager::NodeId BddManager::apply(bool is_and, NodeId a, NodeId b) {
+  if (is_and) {
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue) return b;
+    if (b == kTrue) return a;
+  } else {
+    if (a == kTrue || b == kTrue) return kTrue;
+    if (a == kFalse) return b;
+    if (b == kFalse) return a;
+  }
+  if (a == b) return a;
+  if (a > b) std::swap(a, b);  // both operations are commutative
+
+  const ApplyKey key{is_and, a, b};
+  const auto it = apply_cache_.find(key);
+  if (it != apply_cache_.end()) return it->second;
+
+  const Node node_a = nodes_[a];
+  const Node node_b = nodes_[b];
+  const unsigned level = std::min(node_a.level, node_b.level);
+  const NodeId a_lo = node_a.level == level ? node_a.lo : a;
+  const NodeId a_hi = node_a.level == level ? node_a.hi : a;
+  const NodeId b_lo = node_b.level == level ? node_b.lo : b;
+  const NodeId b_hi = node_b.level == level ? node_b.hi : b;
+
+  const NodeId result = make(level, apply(is_and, a_lo, b_lo),
+                             apply(is_and, a_hi, b_hi));
+  apply_cache_.emplace(key, result);
+  return result;
+}
+
+BddManager::NodeId BddManager::apply_and(NodeId a, NodeId b) {
+  return apply(true, a, b);
+}
+
+BddManager::NodeId BddManager::apply_or(NodeId a, NodeId b) {
+  return apply(false, a, b);
+}
+
+double BddManager::failure_probability(
+    NodeId root, std::span<const double> var_failure) const {
+  std::unordered_map<NodeId, double> memo;
+  // Q(node) = P(node evaluates to 0): small quantities only, so the
+  // mixed-sign cancellation of computing P(=1) near 1.0 never occurs.
+  auto q = [&](auto&& self, NodeId id) -> double {
+    if (id == kFalse) return 1.0;
+    if (id == kTrue) return 0.0;
+    const auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const Node& node = nodes_[id];
+    const double f = var_failure[node.level];
+    const double value = (1.0 - f) * self(self, node.hi) + f * self(self, node.lo);
+    memo.emplace(id, value);
+    return value;
+  };
+  return q(q, root);
+}
+
+LogReliability bdd_reliability(const Graph& graph, std::size_t path_limit) {
+  const auto paths = graph.minimal_paths(path_limit);
+  if (paths.empty()) {
+    if (graph.block_count() > 0 &&
+        graph.operational(std::vector<bool>(graph.block_count(), true))) {
+      throw std::invalid_argument(
+          "bdd_reliability: path enumeration overflowed the limit");
+    }
+    return LogReliability::from_failure(1.0);  // no S->D path at all
+  }
+  BddManager manager;
+  BddManager::NodeId structure = BddManager::kFalse;
+  for (const auto& path : paths) {
+    BddManager::NodeId conj = BddManager::kTrue;
+    for (std::size_t block : path) {
+      conj = manager.apply_and(conj,
+                               manager.var(static_cast<unsigned>(block)));
+    }
+    structure = manager.apply_or(structure, conj);
+  }
+  const std::vector<double> failures = graph.failure_probabilities();
+  return LogReliability::from_failure(
+      manager.failure_probability(structure, failures));
+}
+
+}  // namespace prts::rbd

@@ -1,0 +1,93 @@
+// A small reduced ordered binary decision diagram (ROBDD) package, used to
+// evaluate the reliability of *general* (non serial-parallel) RBDs exactly.
+//
+// The paper inserts routing operations precisely because evaluating a
+// general RBD is exponential in the worst case; its conclusion asks
+// whether the routing step could be removed. BDDs are the classic tool
+// for that question: the structure function of the RBD is built once and
+// the failure probability follows in time linear in the BDD size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prob.hpp"
+#include "rbd/graph.hpp"
+
+namespace prts::rbd {
+
+/// ROBDD manager with a unique table and memoized binary apply. Node ids
+/// 0 and 1 are the false/true terminals; variables are levels 0..V-1 and
+/// the variable order is the level order.
+class BddManager {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kFalse = 0;
+  static constexpr NodeId kTrue = 1;
+
+  BddManager();
+
+  /// The single-variable function x_level.
+  NodeId var(unsigned level);
+
+  /// Conjunction / disjunction with memoization.
+  NodeId apply_and(NodeId a, NodeId b);
+  NodeId apply_or(NodeId a, NodeId b);
+
+  /// P(f = 0) where variable `level` is 1 ("block works") with probability
+  /// 1 - var_failure[level]. Passing failure probabilities keeps precision
+  /// when they are tiny. Memoized over nodes, O(BDD size).
+  double failure_probability(NodeId root,
+                             std::span<const double> var_failure) const;
+
+  /// Number of allocated nodes (including the two terminals).
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    unsigned level;  // kTerminalLevel for the two terminals
+    NodeId lo;
+    NodeId hi;
+  };
+
+  struct UniqueKey {
+    unsigned level;
+    NodeId lo;
+    NodeId hi;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& key) const noexcept;
+  };
+
+  struct ApplyKey {
+    bool is_and;
+    NodeId a;
+    NodeId b;
+    bool operator==(const ApplyKey&) const = default;
+  };
+  struct ApplyKeyHash {
+    std::size_t operator()(const ApplyKey& key) const noexcept;
+  };
+
+  static constexpr unsigned kTerminalLevel = ~0u;
+
+  NodeId make(unsigned level, NodeId lo, NodeId hi);
+  NodeId apply(bool is_and, NodeId a, NodeId b);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<UniqueKey, NodeId, UniqueKeyHash> unique_;
+  std::unordered_map<ApplyKey, NodeId, ApplyKeyHash> apply_cache_;
+};
+
+/// Exact reliability of a general RBD via a BDD over its block variables:
+/// the structure function is the disjunction over all minimal S->D paths
+/// of the conjunction of their blocks. Throws std::invalid_argument when
+/// the graph has more than `path_limit` S->D paths.
+LogReliability bdd_reliability(const Graph& graph,
+                               std::size_t path_limit = 1u << 20);
+
+}  // namespace prts::rbd

@@ -1,0 +1,38 @@
+#include "rbd/brute_force.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace prts::rbd {
+
+LogReliability brute_force_reliability(const Graph& graph,
+                                       std::size_t max_blocks) {
+  const std::size_t blocks = graph.block_count();
+  if (blocks > max_blocks) {
+    throw std::invalid_argument(
+        "brute_force_reliability: too many blocks for exhaustive "
+        "enumeration");
+  }
+  const std::vector<double> failure = graph.failure_probabilities();
+
+  // Sum the probability of *failing* states: those are tiny when blocks
+  // are reliable, so the sum keeps full precision, whereas accumulating
+  // working-state probabilities would round to 1.0.
+  double system_failure = 0.0;
+  std::vector<bool> working(blocks, false);
+  const std::size_t states = std::size_t{1} << blocks;
+  for (std::size_t mask = 0; mask < states; ++mask) {
+    double state_probability = 1.0;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const bool up = (mask >> b) & 1u;
+      working[b] = up;
+      state_probability *= up ? (1.0 - failure[b]) : failure[b];
+      if (state_probability == 0.0) break;
+    }
+    if (state_probability == 0.0) continue;
+    if (!graph.operational(working)) system_failure += state_probability;
+  }
+  return LogReliability::from_failure(system_failure);
+}
+
+}  // namespace prts::rbd

@@ -1,0 +1,20 @@
+// Exact reliability of a general RBD by exhaustive enumeration of block
+// states: the textbook "exponential in the size of the RBD" computation
+// the paper's routing operations are designed to avoid (Section 4). Kept
+// as a test oracle for the fast evaluators.
+#pragma once
+
+#include <cstddef>
+
+#include "common/prob.hpp"
+#include "rbd/graph.hpp"
+
+namespace prts::rbd {
+
+/// Exact system reliability by summing the probability of every working
+/// state (2^blocks terms). Throws std::invalid_argument when the graph has
+/// more than `max_blocks` blocks (default 26, ~0.5s).
+LogReliability brute_force_reliability(const Graph& graph,
+                                       std::size_t max_blocks = 26);
+
+}  // namespace prts::rbd

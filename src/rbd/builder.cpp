@@ -1,0 +1,183 @@
+#include "rbd/builder.hpp"
+
+#include <string>
+#include <vector>
+
+namespace prts::rbd {
+namespace {
+
+std::string compute_label(std::size_t interval, std::size_t proc) {
+  std::string label = "I";
+  label += std::to_string(interval);
+  label += "/P";
+  label += std::to_string(proc);
+  return label;
+}
+
+std::string comm_label(const char* prefix, std::size_t index,
+                       const char* middle, std::size_t proc) {
+  std::string label = prefix;
+  label += std::to_string(index);
+  label += middle;
+  label += std::to_string(proc);
+  return label;
+}
+
+LogReliability compute_reliability(const TaskChain& chain,
+                                   const Platform& platform,
+                                   const IntervalPartition& part,
+                                   std::size_t j, std::size_t proc) {
+  return LogReliability::exp_failure(
+      platform.failure_rate(proc),
+      part.work(chain, j) / platform.speed(proc));
+}
+
+LogReliability link_reliability(const Platform& platform, double data) {
+  return LogReliability::exp_failure(platform.link_failure_rate(),
+                                     platform.comm_time(data));
+}
+
+}  // namespace
+
+SpExpr build_routing_sp(const TaskChain& chain, const Platform& platform,
+                        const Mapping& mapping) {
+  const IntervalPartition& part = mapping.partition();
+  std::vector<SpExpr> stages;
+  stages.reserve(part.interval_count());
+  for (std::size_t j = 0; j < part.interval_count(); ++j) {
+    const double in_size = j == 0 ? 0.0 : part.out_size(chain, j - 1);
+    const double out_size = part.out_size(chain, j);
+    std::vector<SpExpr> branches;
+    for (std::size_t u : mapping.processors(j)) {
+      std::vector<SpExpr> serial_blocks;
+      if (in_size > 0.0) {
+        serial_blocks.push_back(
+            SpExpr::block(comm_label("o", j - 1, "->P", u),
+                          link_reliability(platform, in_size)));
+      }
+      serial_blocks.push_back(SpExpr::block(
+          compute_label(j, u), compute_reliability(chain, platform, part,
+                                                   j, u)));
+      if (out_size > 0.0) {
+        serial_blocks.push_back(
+            SpExpr::block(comm_label("o", j, "<-P", u),
+                          link_reliability(platform, out_size)));
+      }
+      branches.push_back(SpExpr::series(std::move(serial_blocks)));
+    }
+    stages.push_back(SpExpr::parallel(std::move(branches)));
+  }
+  return SpExpr::series(std::move(stages));
+}
+
+Graph build_routing_graph(const TaskChain& chain, const Platform& platform,
+                          const Mapping& mapping) {
+  const IntervalPartition& part = mapping.partition();
+  Graph graph;
+  // Block chain per replica of each stage; routers join the stages.
+  std::size_t previous_router = 0;
+  bool has_previous_router = false;
+
+  for (std::size_t j = 0; j < part.interval_count(); ++j) {
+    const double in_size = j == 0 ? 0.0 : part.out_size(chain, j - 1);
+    const double out_size = part.out_size(chain, j);
+    std::vector<std::size_t> tails;
+    for (std::size_t u : mapping.processors(j)) {
+      std::size_t head;
+      std::size_t tail;
+      const std::size_t compute = graph.add_block(
+          compute_label(j, u),
+          compute_reliability(chain, platform, part, j, u));
+      head = compute;
+      tail = compute;
+      if (in_size > 0.0) {
+        const std::size_t comm_in =
+            graph.add_block(comm_label("o", j - 1, "->P", u),
+                            link_reliability(platform, in_size));
+        graph.add_arc(comm_in, compute);
+        head = comm_in;
+      }
+      if (out_size > 0.0 && j + 1 < part.interval_count()) {
+        const std::size_t comm_out =
+            graph.add_block(comm_label("o", j, "<-P", u),
+                            link_reliability(platform, out_size));
+        graph.add_arc(compute, comm_out);
+        tail = comm_out;
+      } else if (out_size > 0.0) {
+        // Last interval with a non-zero environment output: its link block
+        // terminates the branch.
+        const std::size_t comm_out = graph.add_block(
+            comm_label("o", j, "->env", u),
+            link_reliability(platform, out_size));
+        graph.add_arc(compute, comm_out);
+        tail = comm_out;
+      }
+      if (has_previous_router) {
+        graph.add_arc(previous_router, head);
+      } else {
+        graph.mark_entry(head);
+      }
+      tails.push_back(tail);
+    }
+    if (j + 1 < part.interval_count()) {
+      std::string router_label = "R";
+      router_label += std::to_string(j);
+      const std::size_t router = graph.add_block(std::move(router_label),
+                                                 LogReliability::certain());
+      for (std::size_t tail : tails) graph.add_arc(tail, router);
+      previous_router = router;
+      has_previous_router = true;
+    } else {
+      for (std::size_t tail : tails) graph.mark_exit(tail);
+    }
+  }
+  return graph;
+}
+
+Graph build_no_routing_graph(const TaskChain& chain, const Platform& platform,
+                             const Mapping& mapping) {
+  const IntervalPartition& part = mapping.partition();
+  Graph graph;
+  std::vector<std::size_t> previous_computes;
+
+  for (std::size_t j = 0; j < part.interval_count(); ++j) {
+    const double in_size = j == 0 ? 0.0 : part.out_size(chain, j - 1);
+    std::vector<std::size_t> computes;
+    for (std::size_t v : mapping.processors(j)) {
+      const std::size_t compute = graph.add_block(
+          compute_label(j, v),
+          compute_reliability(chain, platform, part, j, v));
+      if (j == 0) {
+        graph.mark_entry(compute);
+      } else {
+        for (std::size_t k = 0; k < previous_computes.size(); ++k) {
+          const std::size_t sender = previous_computes[k];
+          const std::size_t link = graph.add_block(
+              comm_label("o", j - 1, "/L", k) + "," + std::to_string(v),
+              link_reliability(platform, in_size));
+          graph.add_arc(sender, link);
+          graph.add_arc(link, compute);
+        }
+      }
+      computes.push_back(compute);
+    }
+    if (j + 1 == part.interval_count()) {
+      const double out_size = part.out_size(chain, j);
+      if (out_size > 0.0) {
+        for (std::size_t compute : computes) {
+          const std::size_t env_link = graph.add_block(
+              comm_label("o", j, "->env#", compute),
+              link_reliability(platform, out_size));
+          graph.add_arc(compute, env_link);
+          graph.mark_exit(env_link);
+        }
+      } else {
+        for (std::size_t compute : computes) graph.mark_exit(compute);
+      }
+    }
+    previous_computes = std::move(computes);
+  }
+  return graph;
+}
+
+}  // namespace prts::rbd

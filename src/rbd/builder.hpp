@@ -1,0 +1,37 @@
+// Builders turning a mapping into its reliability block diagrams:
+//  * the serial-parallel RBD obtained with routing operations (Figure 5 /
+//    Eq. (9)), as both an SpExpr and an expanded general Graph;
+//  * the general RBD obtained without routing operations (Figure 4).
+//
+// These make the three evaluation routes (Eq. (9) closed form, SP-tree
+// evaluation, exact general-graph evaluation) mutually checkable.
+#pragma once
+
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+#include "rbd/graph.hpp"
+#include "rbd/series_parallel.hpp"
+
+namespace prts::rbd {
+
+/// The serial-parallel RBD of the mapping with routing operations:
+/// series over intervals of parallel over replicas of
+/// series(comm-in, compute, comm-out). Routing blocks have reliability 1
+/// and are omitted (they never change the value, cf. Eq. (9)).
+SpExpr build_routing_sp(const TaskChain& chain, const Platform& platform,
+                        const Mapping& mapping);
+
+/// The same routing RBD expanded as a general graph, with explicit
+/// reliability-1 routing blocks between consecutive intervals (the exact
+/// shape of Figure 5).
+Graph build_routing_graph(const TaskChain& chain, const Platform& platform,
+                          const Mapping& mapping);
+
+/// The RBD of the mapping *without* routing operations (Figure 4): every
+/// replica of interval j feeds every replica of interval j+1 through a
+/// dedicated link block. Not serial-parallel in general.
+Graph build_no_routing_graph(const TaskChain& chain, const Platform& platform,
+                             const Mapping& mapping);
+
+}  // namespace prts::rbd

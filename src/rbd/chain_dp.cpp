@@ -1,0 +1,82 @@
+#include "rbd/chain_dp.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace prts::rbd {
+
+LogReliability no_routing_reliability(const TaskChain& chain,
+                                      const Platform& platform,
+                                      const Mapping& mapping) noexcept {
+  const IntervalPartition& part = mapping.partition();
+  const std::size_t m = part.interval_count();
+
+  // dist[s] = P(exactly s replicas of the current interval hold a correct
+  // result). Before interval 0 the environment acts as a single perfectly
+  // reliable sender over a perfect link (o_0 = 0): P(s = 1) = 1.
+  std::vector<double> dist{0.0, 1.0};
+
+  for (std::size_t j = 0; j < m; ++j) {
+    const auto procs = mapping.processors(j);
+    const double work = part.work(chain, j);
+
+    // Failure probability of one incoming transfer of the data feeding
+    // interval j (0 for the first interval: data comes from the sensor).
+    const double link_failure =
+        j == 0 ? 0.0
+               : failure_from_rate(
+                     platform.link_failure_rate(),
+                     platform.comm_time(part.out_size(chain, j - 1)));
+
+    // Environment output of the last interval is folded into its compute
+    // failure, mirroring Eq. (9)'s r_comm,m factor.
+    const double env_out_failure =
+        j + 1 == m ? failure_from_rate(
+                         platform.link_failure_rate(),
+                         platform.comm_time(part.out_size(chain, j)))
+                   : 0.0;
+
+    // Per-replica compute failure (with folded environment output):
+    // 1 - r = fc + (1 - fc) * fe, assembled without cancellation.
+    std::vector<double> compute_failure;
+    compute_failure.reserve(procs.size());
+    for (std::size_t u : procs) {
+      const double fc = failure_from_rate(platform.failure_rate(u),
+                                          work / platform.speed(u));
+      compute_failure.push_back(fc + (1.0 - fc) * env_out_failure);
+    }
+
+    // Transition: given s senders, replica v holds a correct result with
+    // failure branch_fail(v, s) = fcv + (1 - fcv) * link_failure^s
+    // (cancellation-free). Convolve the independent non-identical
+    // Bernoullis into the next count distribution (Poisson binomial).
+    std::vector<double> next(procs.size() + 1, 0.0);
+    for (std::size_t s = 0; s < dist.size(); ++s) {
+      if (dist[s] == 0.0) continue;
+      const double reach_failure =
+          s == 0 ? 1.0 : std::pow(link_failure, static_cast<double>(s));
+      std::vector<double> poisson{1.0};
+      poisson.reserve(procs.size() + 1);
+      for (std::size_t v = 0; v < procs.size(); ++v) {
+        const double fail =
+            compute_failure[v] + (1.0 - compute_failure[v]) * reach_failure;
+        const double ok = 1.0 - fail;
+        std::vector<double> grown(poisson.size() + 1, 0.0);
+        for (std::size_t t = 0; t < poisson.size(); ++t) {
+          grown[t] += poisson[t] * fail;
+          grown[t + 1] += poisson[t] * ok;
+        }
+        poisson = std::move(grown);
+      }
+      for (std::size_t t = 0; t < poisson.size(); ++t) {
+        next[t] += dist[s] * poisson[t];
+      }
+    }
+    dist = std::move(next);
+  }
+
+  // The pipeline fails iff no replica of the last interval delivered.
+  return LogReliability::from_failure(dist[0]);
+}
+
+}  // namespace prts::rbd

@@ -1,0 +1,31 @@
+// Exact reliability of a replicated chain mapping *without* routing
+// operations (the Figure 4 semantics whose general-RBD evaluation the
+// paper calls exponential).
+//
+// Key observation exploited here: links are homogeneous and every replica
+// of interval j sends to every replica of interval j+1, so the probability
+// that a given replica of interval j+1 receives the data depends only on
+// *how many* replicas of interval j hold a correct result, not on which
+// ones. The distribution of that count is a sufficient statistic, and the
+// reliability follows from a forward dynamic program over count
+// distributions in O(sum_j k_j * k_{j+1}) — polynomial, answering the
+// paper's future-work question for its own chain-shaped systems.
+#pragma once
+
+#include "common/prob.hpp"
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts::rbd {
+
+/// Exact end-to-end reliability of the mapping when replicas communicate
+/// directly (all-to-all between consecutive intervals) instead of through
+/// routing operations. Environment communications (o_0 and the last
+/// interval's output) are folded into the boundary compute blocks, like
+/// Eq. (9) does.
+LogReliability no_routing_reliability(const TaskChain& chain,
+                                      const Platform& platform,
+                                      const Mapping& mapping) noexcept;
+
+}  // namespace prts::rbd

@@ -1,0 +1,50 @@
+#include "rbd/dot.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace prts::rbd {
+namespace {
+
+/// Escapes the few characters DOT labels cannot contain verbatim.
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& graph) {
+  std::ostringstream out;
+  out << "digraph rbd {\n";
+  out << "  rankdir=LR;\n";
+  out << "  S [shape=circle];\n";
+  out << "  D [shape=circle];\n";
+  for (std::size_t b = 0; b < graph.block_count(); ++b) {
+    out << "  b" << b << " [shape=box, label=\""
+        << escape(graph.label(b)) << "\\nr=" << std::setprecision(6)
+        << graph.reliability(b).reliability() << "\"];\n";
+  }
+  for (std::size_t entry : graph.entries()) {
+    out << "  S -> b" << entry << ";\n";
+  }
+  for (std::size_t b = 0; b < graph.block_count(); ++b) {
+    for (std::size_t succ : graph.successors(b)) {
+      out << "  b" << b << " -> b" << succ << ";\n";
+    }
+  }
+  for (std::size_t exit : graph.exits()) {
+    out << "  b" << exit << " -> D;\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const SpExpr& expr) { return to_dot(expr.to_graph()); }
+
+}  // namespace prts::rbd

@@ -1,0 +1,20 @@
+// Graphviz (DOT) export of reliability block diagrams, reproducing the
+// paper's Figure 4/5 drawings: blocks as boxes between the S and D
+// connection points, labeled with their reliability.
+#pragma once
+
+#include <string>
+
+#include "rbd/graph.hpp"
+#include "rbd/series_parallel.hpp"
+
+namespace prts::rbd {
+
+/// DOT digraph of an RBD: S and D as circles, each block as a box
+/// labeled "<label>\n r=<reliability>".
+std::string to_dot(const Graph& graph);
+
+/// DOT digraph of a serial-parallel expression (expanded to its graph).
+std::string to_dot(const SpExpr& expr);
+
+}  // namespace prts::rbd

@@ -1,0 +1,124 @@
+#include "rbd/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace prts::rbd {
+
+std::size_t Graph::add_block(std::string label, LogReliability reliability) {
+  blocks_.push_back(BlockNode{std::move(label), reliability, {}});
+  exit_flag_.push_back(false);
+  return blocks_.size() - 1;
+}
+
+void Graph::add_arc(std::size_t from, std::size_t to) {
+  assert(from < blocks_.size() && to < blocks_.size());
+  blocks_[from].successors.push_back(to);
+}
+
+void Graph::mark_entry(std::size_t block) {
+  assert(block < blocks_.size());
+  entries_.push_back(block);
+}
+
+void Graph::mark_exit(std::size_t block) {
+  assert(block < blocks_.size());
+  exits_.push_back(block);
+  exit_flag_[block] = true;
+}
+
+std::vector<double> Graph::failure_probabilities() const {
+  std::vector<double> failures;
+  failures.reserve(blocks_.size());
+  for (const BlockNode& block : blocks_) {
+    failures.push_back(block.reliability.failure());
+  }
+  return failures;
+}
+
+bool Graph::operational(const std::vector<bool>& working) const {
+  assert(working.size() == blocks_.size());
+  std::vector<bool> visited(blocks_.size(), false);
+  std::vector<std::size_t> stack;
+  for (std::size_t entry : entries_) {
+    if (working[entry] && !visited[entry]) {
+      visited[entry] = true;
+      stack.push_back(entry);
+    }
+  }
+  while (!stack.empty()) {
+    const std::size_t block = stack.back();
+    stack.pop_back();
+    if (exit_flag_[block]) return true;
+    for (std::size_t next : blocks_[block].successors) {
+      if (working[next] && !visited[next]) {
+        visited[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+bool Graph::validate() const {
+  // Acyclicity by iterative three-color DFS over all blocks.
+  enum class Color : unsigned char { kWhite, kGray, kBlack };
+  std::vector<Color> color(blocks_.size(), Color::kWhite);
+  for (std::size_t root = 0; root < blocks_.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (block, next-successor-index).
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [block, next] = stack.back();
+      if (next < blocks_[block].successors.size()) {
+        const std::size_t succ = blocks_[block].successors[next++];
+        if (color[succ] == Color::kGray) return false;  // back-edge: cycle
+        if (color[succ] == Color::kWhite) {
+          color[succ] = Color::kGray;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        color[block] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return operational(std::vector<bool>(blocks_.size(), true));
+}
+
+std::vector<std::vector<std::size_t>> Graph::minimal_paths(
+    std::size_t limit) const {
+  std::vector<std::vector<std::size_t>> paths;
+  std::vector<std::size_t> current;
+  bool overflow = false;
+
+  // DFS from each entry; the graph is a DAG so no visited set is needed.
+  auto dfs = [&](auto&& self, std::size_t block) -> void {
+    if (overflow) return;
+    current.push_back(block);
+    if (exit_flag_[block]) {
+      if (paths.size() >= limit) {
+        overflow = true;
+      } else {
+        std::vector<std::size_t> path = current;
+        std::sort(path.begin(), path.end());
+        paths.push_back(std::move(path));
+      }
+    }
+    // A block that is an exit may still have successors in a general DAG;
+    // both the direct termination above and longer continuations are paths,
+    // but only minimal (non-superset) ones matter for reliability. In a DAG
+    // a longer continuation through an exit is a superset of the shorter
+    // path, so we stop at exits.
+    if (!exit_flag_[block]) {
+      for (std::size_t next : blocks_[block].successors) self(self, next);
+    }
+    current.pop_back();
+  };
+  for (std::size_t entry : entries_) dfs(dfs, entry);
+  if (overflow) return {};
+  return paths;
+}
+
+}  // namespace prts::rbd

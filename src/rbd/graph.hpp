@@ -1,0 +1,78 @@
+// General Reliability Block Diagrams (Section 4): an acyclic oriented
+// graph of blocks between a source S and a destination D. The system is
+// operational iff there exists an S->D path whose blocks are all
+// operational; the probability of that event is the system reliability.
+//
+// S and D are implicit connection points, not blocks: a block is an
+// "entry" when it is connected to S and an "exit" when connected to D.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/prob.hpp"
+
+namespace prts::rbd {
+
+/// A mutable RBD graph. Blocks are created with add_block and wired with
+/// add_arc / mark_entry / mark_exit.
+class Graph {
+ public:
+  /// Adds a block and returns its id (consecutive from 0).
+  std::size_t add_block(std::string label, LogReliability reliability);
+
+  /// Adds the causality arc from -> to (both must be existing blocks).
+  void add_arc(std::size_t from, std::size_t to);
+
+  /// Connects S to the block.
+  void mark_entry(std::size_t block);
+
+  /// Connects the block to D.
+  void mark_exit(std::size_t block);
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  const std::string& label(std::size_t block) const noexcept {
+    return blocks_[block].label;
+  }
+  LogReliability reliability(std::size_t block) const noexcept {
+    return blocks_[block].reliability;
+  }
+  /// Per-block failure probabilities (1 - r), indexed by block id.
+  std::vector<double> failure_probabilities() const;
+
+  std::span<const std::size_t> successors(std::size_t block) const noexcept {
+    return blocks_[block].successors;
+  }
+  std::span<const std::size_t> entries() const noexcept { return entries_; }
+  std::span<const std::size_t> exits() const noexcept { return exits_; }
+
+  /// True iff S reaches D through blocks b with working[b] == true.
+  /// `working` must have block_count() entries.
+  bool operational(const std::vector<bool>& working) const;
+
+  /// True when the graph is acyclic and, with all blocks working, S
+  /// reaches D. Every well-formed RBD must satisfy this.
+  bool validate() const;
+
+  /// All S->D paths as sorted block-id lists (in a DAG every path is
+  /// simple, hence minimal). Stops and returns an empty vector if more
+  /// than `limit` paths exist, since path counts can grow exponentially.
+  std::vector<std::vector<std::size_t>> minimal_paths(
+      std::size_t limit = 1u << 20) const;
+
+ private:
+  struct BlockNode {
+    std::string label;
+    LogReliability reliability;
+    std::vector<std::size_t> successors;
+  };
+
+  std::vector<BlockNode> blocks_;
+  std::vector<std::size_t> entries_;
+  std::vector<std::size_t> exits_;
+  std::vector<bool> exit_flag_;
+};
+
+}  // namespace prts::rbd

@@ -1,0 +1,114 @@
+#include "rbd/mincut.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace prts::rbd {
+namespace {
+
+bool hits(const std::vector<std::size_t>& sorted_cut,
+          const std::vector<std::size_t>& sorted_path) {
+  // Both inputs sorted: linear-merge intersection test.
+  auto c = sorted_cut.begin();
+  auto p = sorted_path.begin();
+  while (c != sorted_cut.end() && p != sorted_path.end()) {
+    if (*c == *p) return true;
+    if (*c < *p) {
+      ++c;
+    } else {
+      ++p;
+    }
+  }
+  return false;
+}
+
+/// True iff `cut` is a minimal transversal: every block hits some path no
+/// other chosen block hits.
+bool is_minimal(const std::vector<std::size_t>& cut,
+                const std::vector<std::vector<std::size_t>>& paths) {
+  for (std::size_t candidate : cut) {
+    bool necessary = false;
+    for (const auto& path : paths) {
+      bool hit_by_candidate = false;
+      bool hit_by_other = false;
+      for (std::size_t block : path) {
+        if (block == candidate) {
+          hit_by_candidate = true;
+        } else if (std::binary_search(cut.begin(), cut.end(), block)) {
+          hit_by_other = true;
+          break;
+        }
+      }
+      if (hit_by_candidate && !hit_by_other) {
+        necessary = true;
+        break;
+      }
+    }
+    if (!necessary) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> minimal_cut_sets(const Graph& graph,
+                                                       std::size_t limit) {
+  const auto paths = graph.minimal_paths(limit);
+  if (paths.empty()) {
+    if (graph.block_count() > 0 &&
+        graph.operational(std::vector<bool>(graph.block_count(), true))) {
+      throw std::invalid_argument(
+          "minimal_cut_sets: path enumeration overflowed the limit");
+    }
+    return {};  // system never works; no cut needed
+  }
+
+  std::set<std::vector<std::size_t>> found;
+  std::vector<std::size_t> chosen;  // kept sorted
+
+  auto recurse = [&](auto&& self) -> void {
+    // First path not hit by the chosen blocks.
+    const auto unhit =
+        std::find_if(paths.begin(), paths.end(),
+                     [&](const auto& path) { return !hits(chosen, path); });
+    if (unhit == paths.end()) {
+      if (is_minimal(chosen, paths)) {
+        if (found.size() >= limit) {
+          throw std::invalid_argument(
+              "minimal_cut_sets: more cuts than the limit");
+        }
+        found.insert(chosen);
+      }
+      return;
+    }
+    for (std::size_t block : *unhit) {
+      const auto pos = std::lower_bound(chosen.begin(), chosen.end(), block);
+      chosen.insert(pos, block);
+      self(self);
+      chosen.erase(std::lower_bound(chosen.begin(), chosen.end(), block));
+    }
+  };
+  recurse(recurse);
+  return {found.begin(), found.end()};
+}
+
+LogReliability mincut_reliability_approximation(
+    const Graph& graph, const std::vector<std::vector<std::size_t>>& cuts) {
+  const std::vector<double> failure = graph.failure_probabilities();
+  LogReliability out;
+  for (const auto& cut : cuts) {
+    double cut_failure = 1.0;
+    for (std::size_t block : cut) cut_failure *= failure[block];
+    out *= LogReliability::from_failure(cut_failure);
+  }
+  return out;
+}
+
+LogReliability mincut_reliability_approximation(const Graph& graph,
+                                                std::size_t limit) {
+  return mincut_reliability_approximation(graph,
+                                          minimal_cut_sets(graph, limit));
+}
+
+}  // namespace prts::rbd

@@ -1,0 +1,35 @@
+// Minimal cut sets of a general RBD and the serial-parallel approximation
+// built from them (Section 4, following Jensen & Bellmore [24]): the
+// reliability of the mapping is approximated by an RBD made of all the
+// minimal cut sets put in sequence, each cut set being its blocks in
+// parallel. For coherent systems with independent components this is the
+// Esary-Proschan lower bound on the true reliability.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/prob.hpp"
+#include "rbd/graph.hpp"
+
+namespace prts::rbd {
+
+/// All minimal cut sets of the RBD, as sorted block-id lists. A cut set is
+/// a block set whose joint failure disconnects S from D; it is minimal if
+/// no proper subset is a cut. Computed as the minimal transversals of the
+/// minimal path sets; worst-case exponential (the paper says as much), so
+/// both the path enumeration and the number of cuts are bounded by
+/// `limit`. Throws std::invalid_argument on overflow.
+std::vector<std::vector<std::size_t>> minimal_cut_sets(
+    const Graph& graph, std::size_t limit = 1u << 18);
+
+/// The serial-parallel minimal-cut approximation of the RBD's reliability:
+/// prod over cuts C of (1 - prod_{b in C} failure(b)).
+LogReliability mincut_reliability_approximation(
+    const Graph& graph, std::size_t limit = 1u << 18);
+
+/// Same approximation from precomputed cuts (avoids re-enumeration).
+LogReliability mincut_reliability_approximation(
+    const Graph& graph, const std::vector<std::vector<std::size_t>>& cuts);
+
+}  // namespace prts::rbd

@@ -1,0 +1,124 @@
+#include "rbd/series_parallel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prts::rbd {
+
+SpExpr SpExpr::block(std::string label, LogReliability reliability) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kBlock;
+  node->label = std::move(label);
+  node->reliability = reliability;
+  return SpExpr(std::move(node));
+}
+
+SpExpr SpExpr::series(std::vector<SpExpr> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("SpExpr::series: no children");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSeries;
+  node->children = std::move(children);
+  return SpExpr(std::move(node));
+}
+
+SpExpr SpExpr::parallel(std::vector<SpExpr> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("SpExpr::parallel: no children");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kParallel;
+  node->children = std::move(children);
+  return SpExpr(std::move(node));
+}
+
+LogReliability SpExpr::reliability() const {
+  switch (node_->kind) {
+    case Kind::kBlock:
+      return node_->reliability;
+    case Kind::kSeries: {
+      LogReliability out;
+      for (const SpExpr& child : node_->children) {
+        out *= child.reliability();
+      }
+      return out;
+    }
+    case Kind::kParallel: {
+      double group_failure = 1.0;
+      for (const SpExpr& child : node_->children) {
+        group_failure *= child.reliability().failure();
+      }
+      return LogReliability::from_failure(group_failure);
+    }
+  }
+  return {};
+}
+
+std::size_t SpExpr::block_count() const noexcept {
+  if (node_->kind == Kind::kBlock) return 1;
+  std::size_t count = 0;
+  for (const SpExpr& child : node_->children) count += child.block_count();
+  return count;
+}
+
+namespace {
+
+/// The frontier of a sub-expression inside the expanded graph: the blocks
+/// that receive its incoming arcs and the blocks that emit its outgoing
+/// arcs.
+struct Frontier {
+  std::vector<std::size_t> inputs;
+  std::vector<std::size_t> outputs;
+};
+
+}  // namespace
+
+Graph SpExpr::to_graph() const {
+  Graph graph;
+  auto build = [&graph](auto&& self, const Node& node) -> Frontier {
+    switch (node.kind) {
+      case Kind::kBlock: {
+        const std::size_t id = graph.add_block(node.label, node.reliability);
+        return Frontier{{id}, {id}};
+      }
+      case Kind::kSeries: {
+        Frontier whole;
+        Frontier previous;
+        bool first = true;
+        for (const SpExpr& child : node.children) {
+          Frontier part = self(self, *child.node_);
+          if (first) {
+            whole.inputs = part.inputs;
+            first = false;
+          } else {
+            for (std::size_t from : previous.outputs) {
+              for (std::size_t to : part.inputs) graph.add_arc(from, to);
+            }
+          }
+          previous = std::move(part);
+        }
+        whole.outputs = previous.outputs;
+        return whole;
+      }
+      case Kind::kParallel: {
+        Frontier whole;
+        for (const SpExpr& child : node.children) {
+          Frontier part = self(self, *child.node_);
+          whole.inputs.insert(whole.inputs.end(), part.inputs.begin(),
+                              part.inputs.end());
+          whole.outputs.insert(whole.outputs.end(), part.outputs.begin(),
+                               part.outputs.end());
+        }
+        return whole;
+      }
+    }
+    return {};
+  };
+  const Frontier top = build(build, *node_);
+  for (std::size_t block : top.inputs) graph.mark_entry(block);
+  for (std::size_t block : top.outputs) graph.mark_exit(block);
+  return graph;
+}
+
+}  // namespace prts::rbd

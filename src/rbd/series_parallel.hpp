@@ -1,0 +1,56 @@
+// Serial-parallel RBDs (Section 4): the routing operations inserted
+// between intervals guarantee the mapping's RBD is serial-parallel, so its
+// reliability is a product/complement expression computable in time linear
+// in the number of blocks. This module represents SP structures explicitly
+// as trees.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prob.hpp"
+#include "rbd/graph.hpp"
+
+namespace prts::rbd {
+
+/// An immutable serial-parallel reliability expression (value type; nodes
+/// are shared, the tree is never mutated after construction).
+class SpExpr {
+ public:
+  /// A single block leaf.
+  static SpExpr block(std::string label, LogReliability reliability);
+
+  /// Series composition: every child must function.
+  static SpExpr series(std::vector<SpExpr> children);
+
+  /// Parallel composition: at least one child must function.
+  static SpExpr parallel(std::vector<SpExpr> children);
+
+  /// System reliability, computed bottom-up in log space, O(blocks).
+  LogReliability reliability() const;
+
+  /// Number of block leaves in the expression.
+  std::size_t block_count() const noexcept;
+
+  /// Expands the expression into an equivalent general RBD graph (used to
+  /// cross-check the linear-time evaluation against the exact oracles).
+  Graph to_graph() const;
+
+ private:
+  enum class Kind : unsigned char { kBlock, kSeries, kParallel };
+
+  struct Node {
+    Kind kind;
+    std::string label;             // blocks only
+    LogReliability reliability;    // blocks only
+    std::vector<SpExpr> children;  // series/parallel only
+  };
+
+  explicit SpExpr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace prts::rbd

@@ -1,0 +1,26 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace prts::sim {
+
+void EventQueue::schedule(double time, std::function<void()> fire) {
+  heap_.push(Event{time, next_sequence_++, std::move(fire)});
+}
+
+double EventQueue::run_next() {
+  // Moving out of the top of a priority_queue requires a const_cast; the
+  // element is popped immediately afterwards, so the mutation is safe.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  event.fire();
+  return event.time;
+}
+
+double EventQueue::run_all() {
+  double last = 0.0;
+  while (!heap_.empty()) last = run_next();
+  return last;
+}
+
+}  // namespace prts::sim

@@ -1,0 +1,53 @@
+// A deterministic time-ordered event queue for the discrete-event
+// simulator: ties in time are broken by insertion sequence so simulation
+// runs are bit-reproducible for a fixed seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace prts::sim {
+
+/// One scheduled occurrence: an opaque payload fired at a point in time.
+struct Event {
+  double time = 0.0;
+  std::uint64_t sequence = 0;  ///< insertion order, breaks time ties
+  std::function<void()> fire;
+};
+
+/// Min-heap of events ordered by (time, sequence).
+class EventQueue {
+ public:
+  /// Schedules `fire` at `time` (must not precede the current time of a
+  /// running simulation; not checked here).
+  void schedule(double time, std::function<void()> fire);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the next event; only valid when not empty.
+  double next_time() const { return heap_.top().time; }
+
+  /// Pops and fires the next event, returning its time.
+  double run_next();
+
+  /// Runs events until the queue drains; returns the last event time
+  /// (0 when the queue was empty).
+  double run_all();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace prts::sim

@@ -1,0 +1,61 @@
+// Monte-Carlo estimation of mapping reliability by direct failure
+// sampling (no timing), used to validate the closed-form Eq. (9), the
+// no-routing exact evaluators, and the expected-time formula Eq. (3)
+// against the modeled semantics. Trials are independent (the hot transient
+// failure model makes every data set an independent Bernoulli trial), so
+// the work parallelizes embarrassingly across the thread pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts::sim {
+
+/// Outcome of a reliability estimation.
+struct MonteCarloResult {
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  double estimate = 0.0;    ///< successes / trials
+  ConfidenceInterval ci95;            ///< Wilson 95% interval for the reliability
+};
+
+/// One validity-only sample of a data set under the routing semantics
+/// (Eq. (9) / Figure 5): every stage needs one replica whose
+/// comm-in, compute, comm-out chain all succeed.
+bool sample_routing_success(Rng& rng, const TaskChain& chain,
+                            const Platform& platform, const Mapping& mapping);
+
+/// One validity-only sample under the direct all-to-all semantics
+/// (Figure 4, no routing operations); cross-checks
+/// rbd::no_routing_reliability.
+bool sample_no_routing_success(Rng& rng, const TaskChain& chain,
+                               const Platform& platform,
+                               const Mapping& mapping);
+
+/// Estimates the mapping reliability over `trials` independent data sets,
+/// split across `threads` workers (hardware concurrency when 0) with
+/// independent deterministic substreams of `seed`.
+MonteCarloResult estimate_reliability(const TaskChain& chain,
+                                      const Platform& platform,
+                                      const Mapping& mapping,
+                                      std::size_t trials, std::uint64_t seed,
+                                      bool use_routing = true,
+                                      std::size_t threads = 0);
+
+/// One sample of the completion time of an interval of weight `work`
+/// replicated on `procs`: the finish time of the fastest replica whose
+/// computation succeeds, or nullopt when every replica fails. Averaging
+/// the non-null samples converges to Eq. (3).
+std::optional<double> sample_interval_completion(
+    Rng& rng, const Platform& platform, double work,
+    std::span<const std::size_t> procs);
+
+}  // namespace prts::sim

@@ -1,0 +1,258 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/event_queue.hpp"
+
+namespace prts::sim {
+namespace {
+
+/// The K outgoing channels of one sender (processor or routing operation):
+/// a transfer grabs the earliest-free channel and occupies it for the
+/// transfer duration, serializing sends beyond the multiport bound.
+class PortPool {
+ public:
+  PortPool() = default;
+  explicit PortPool(unsigned channels) : free_at_(channels, 0.0) {}
+
+  /// Starts a transfer that becomes ready at `ready`; returns its start
+  /// time (>= ready) and occupies the chosen channel until start+duration.
+  double acquire(double ready, double duration) {
+    auto earliest = std::min_element(free_at_.begin(), free_at_.end());
+    const double start = std::max(ready, *earliest);
+    *earliest = start + duration;
+    return start;
+  }
+
+ private:
+  std::vector<double> free_at_;
+};
+
+/// Full simulation state; events are closures over this object.
+class Simulator {
+ public:
+  Simulator(const TaskChain& chain, const Platform& platform,
+            const Mapping& mapping, const SimulationConfig& config)
+      : chain_(chain),
+        platform_(platform),
+        mapping_(mapping),
+        config_(config),
+        rng_(config.seed),
+        stage_count_(mapping.interval_count()),
+        proc_free_(platform.processor_count(), 0.0),
+        proc_ports_(platform.processor_count(),
+                    PortPool(platform.max_replication())),
+        router_ports_(stage_count_ > 0 ? stage_count_ - 1 : 0,
+                      PortPool(platform.max_replication())) {
+    const IntervalPartition& part = mapping.partition();
+    stage_work_.reserve(stage_count_);
+    stage_out_comm_.reserve(stage_count_);
+    for (std::size_t j = 0; j < stage_count_; ++j) {
+      stage_work_.push_back(part.work(chain, j));
+      stage_out_comm_.push_back(
+          platform.comm_time(part.out_size(chain, j)));
+    }
+    const std::size_t d = config.dataset_count;
+    release_.resize(d);
+    completion_.assign(d, -1.0);
+    router_done_.assign(d * std::max<std::size_t>(stage_count_ - 1, 1),
+                        0);
+    std::size_t replica_slots = 0;
+    stage_offset_.reserve(stage_count_);
+    for (std::size_t j = 0; j < stage_count_; ++j) {
+      stage_offset_.push_back(replica_slots);
+      replica_slots += mapping.processors(j).size();
+    }
+    computed_.assign(d * replica_slots, 0);
+    replica_slots_ = replica_slots;
+  }
+
+  void emit(TraceEvent::Kind kind, double time, std::size_t dataset,
+            std::size_t stage, std::size_t processor, bool success) {
+    if (config_.observer == nullptr || !*config_.observer) return;
+    TraceEvent event;
+    event.kind = kind;
+    event.time = time;
+    event.dataset = dataset;
+    event.stage = stage;
+    event.processor = processor;
+    event.success = success;
+    (*config_.observer)(event);
+  }
+
+  SimulationResult run() {
+    for (std::size_t d = 0; d < config_.dataset_count; ++d) {
+      const double t = static_cast<double>(d) * config_.input_period;
+      release_[d] = t;
+      queue_.schedule(t, [this, d] { release_dataset(d); });
+    }
+    const double makespan = queue_.run_all();
+
+    SimulationResult result;
+    result.datasets = config_.dataset_count;
+    result.makespan = makespan;
+    std::vector<double> completions;
+    for (std::size_t d = 0; d < config_.dataset_count; ++d) {
+      if (completion_[d] < 0.0) continue;
+      ++result.successes;
+      result.latency.add(completion_[d] - release_[d]);
+      if (completion_[d] > release_[d] + config_.latency_deadline) {
+        ++result.deadline_misses;
+      }
+      completions.push_back(completion_[d]);
+    }
+    std::sort(completions.begin(), completions.end());
+    for (std::size_t i = 1; i < completions.size(); ++i) {
+      result.inter_completion.add(completions[i] - completions[i - 1]);
+    }
+    return result;
+  }
+
+ private:
+  bool attempt(double rate, double duration) {
+    if (!config_.inject_failures || rate <= 0.0) return true;
+    return rng_.bernoulli(std::exp(-rate * duration));
+  }
+
+  std::uint8_t& computed_flag(std::size_t d, std::size_t j, std::size_t v) {
+    return computed_[d * replica_slots_ + stage_offset_[j] + v];
+  }
+
+  void release_dataset(std::size_t d) {
+    const double t = release_[d];
+    emit(TraceEvent::Kind::kRelease, t, d, TraceEvent::kNone,
+         TraceEvent::kNone, true);
+    for (std::size_t v = 0; v < mapping_.processors(0).size(); ++v) {
+      input_arrival(d, 0, v, t);
+    }
+  }
+
+  /// A valid copy of the stage-j input reaches replica v at time t.
+  void input_arrival(std::size_t d, std::size_t j, std::size_t v, double t) {
+    std::uint8_t& done = computed_flag(d, j, v);
+    if (done) return;  // duplicate arrival (no-routing all-to-all)
+    done = 1;
+    const std::size_t proc = mapping_.processors(j)[v];
+    const double duration = stage_work_[j] / platform_.speed(proc);
+    const double start = std::max(t, proc_free_[proc]);
+    const double end = start + duration;
+    proc_free_[proc] = end;
+    const bool success = attempt(platform_.failure_rate(proc), duration);
+    emit(TraceEvent::Kind::kComputeStart, start, d, j, proc, true);
+    emit(TraceEvent::Kind::kComputeEnd, end, d, j, proc, success);
+    if (!success) return;  // fail-silent: nothing is produced
+    queue_.schedule(end, [this, d, j, v, end] { output_ready(d, j, v, end); });
+  }
+
+  /// Replica v of stage j finished computing dataset d successfully at t.
+  void output_ready(std::size_t d, std::size_t j, std::size_t v, double t) {
+    const std::size_t proc = mapping_.processors(j)[v];
+    if (j + 1 == stage_count_) {
+      if (stage_out_comm_[j] > 0.0) {
+        // Environment delivery through the replica's own port.
+        const double start = proc_ports_[proc].acquire(t, stage_out_comm_[j]);
+        const double end = start + stage_out_comm_[j];
+        const bool sent =
+            attempt(platform_.link_failure_rate(), stage_out_comm_[j]);
+        emit(TraceEvent::Kind::kTransferStart, start, d, j, proc, true);
+        emit(TraceEvent::Kind::kTransferEnd, end, d, j, proc, sent);
+        if (sent) {
+          queue_.schedule(end, [this, d, end] { complete(d, end); });
+        }
+      } else {
+        complete(d, t);
+      }
+      return;
+    }
+    const double comm = stage_out_comm_[j];
+    if (config_.use_routing) {
+      const double start = proc_ports_[proc].acquire(t, comm);
+      const double end = start + comm;
+      const bool sent = attempt(platform_.link_failure_rate(), comm);
+      emit(TraceEvent::Kind::kTransferStart, start, d, j, proc, true);
+      emit(TraceEvent::Kind::kTransferEnd, end, d, j, proc, sent);
+      if (sent) {
+        queue_.schedule(end, [this, d, j, end] { router_arrival(d, j, end); });
+      }
+    } else {
+      // Direct all-to-all: one transfer per receiving replica.
+      const std::size_t receivers = mapping_.processors(j + 1).size();
+      for (std::size_t w = 0; w < receivers; ++w) {
+        const double start = proc_ports_[proc].acquire(t, comm);
+        const double end = start + comm;
+        const bool sent = attempt(platform_.link_failure_rate(), comm);
+        emit(TraceEvent::Kind::kTransferStart, start, d, j, proc, true);
+        emit(TraceEvent::Kind::kTransferEnd, end, d, j, proc, sent);
+        if (sent) {
+          queue_.schedule(
+              end, [this, d, j, w, end] { input_arrival(d, j + 1, w, end); });
+        }
+      }
+    }
+  }
+
+  /// The routing operation after stage j received a valid copy at t.
+  void router_arrival(std::size_t d, std::size_t j, double t) {
+    std::uint8_t& done = router_done_[d * (stage_count_ - 1) + j];
+    if (done) return;  // the data is already being forwarded
+    done = 1;
+    const double comm = stage_out_comm_[j];
+    const std::size_t receivers = mapping_.processors(j + 1).size();
+    for (std::size_t w = 0; w < receivers; ++w) {
+      const double start = router_ports_[j].acquire(t, comm);
+      const double end = start + comm;
+      const bool sent = attempt(platform_.link_failure_rate(), comm);
+      emit(TraceEvent::Kind::kTransferStart, start, d, j, TraceEvent::kNone,
+           true);
+      emit(TraceEvent::Kind::kTransferEnd, end, d, j, TraceEvent::kNone,
+           sent);
+      if (sent) {
+        queue_.schedule(
+            end, [this, d, j, w, end] { input_arrival(d, j + 1, w, end); });
+      }
+    }
+  }
+
+  void complete(std::size_t d, double t) {
+    if (completion_[d] >= 0.0) return;
+    completion_[d] = t;
+    emit(TraceEvent::Kind::kComplete, t, d, TraceEvent::kNone,
+         TraceEvent::kNone, true);
+  }
+
+  const TaskChain& chain_;
+  const Platform& platform_;
+  const Mapping& mapping_;
+  const SimulationConfig& config_;
+  Rng rng_;
+  EventQueue queue_;
+
+  std::size_t stage_count_;
+  std::vector<double> stage_work_;
+  std::vector<double> stage_out_comm_;
+  std::vector<double> proc_free_;
+  std::vector<PortPool> proc_ports_;
+  std::vector<PortPool> router_ports_;
+
+  std::vector<double> release_;
+  std::vector<double> completion_;          // -1: not (yet) completed
+  std::vector<std::uint8_t> router_done_;   // [dataset][stage]
+  std::vector<std::uint8_t> computed_;      // [dataset][stage-replica slot]
+  std::vector<std::size_t> stage_offset_;
+  std::size_t replica_slots_ = 0;
+};
+
+}  // namespace
+
+SimulationResult simulate_pipeline(const TaskChain& chain,
+                                   const Platform& platform,
+                                   const Mapping& mapping,
+                                   const SimulationConfig& config) {
+  Simulator simulator(chain, platform, mapping, config);
+  return simulator.run();
+}
+
+}  // namespace prts::sim

@@ -1,0 +1,219 @@
+#include "core/alloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "eval/evaluation.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+/// Exhaustive optimum over replica-count vectors for fixed branch
+/// failures: max sum log(1 - f_j^q_j), 1 <= q_j <= K, sum q_j <= p.
+double exhaustive_counts_value(const std::vector<double>& failures,
+                               std::size_t p, unsigned max_k) {
+  double best = -1e300;
+  std::vector<unsigned> counts;
+  auto recurse = [&](auto&& self, std::size_t j, std::size_t used,
+                     double value) -> void {
+    if (j == failures.size()) {
+      best = std::max(best, value);
+      return;
+    }
+    for (unsigned q = 1; q <= max_k && used + q <= p; ++q) {
+      self(self, j + 1, used + q,
+           value + std::log1p(-std::pow(failures[j],
+                                        static_cast<double>(q))));
+    }
+  };
+  recurse(recurse, 0, 0, 0.0);
+  return best;
+}
+
+double counts_value(const std::vector<double>& failures,
+                    const std::vector<unsigned>& counts) {
+  double value = 0.0;
+  for (std::size_t j = 0; j < failures.size(); ++j) {
+    value +=
+        std::log1p(-std::pow(failures[j], static_cast<double>(counts[j])));
+  }
+  return value;
+}
+
+TEST(AlgoAllocCounts, MoreIntervalsThanProcessorsIsInfeasible) {
+  const std::vector<double> failures{0.1, 0.2, 0.3};
+  EXPECT_TRUE(algo_alloc_counts(failures, 2, 3).empty());
+}
+
+TEST(AlgoAllocCounts, EnoughForFullReplication) {
+  // Theorem 4 remark: with m*K <= p every interval gets K replicas.
+  const std::vector<double> failures{0.1, 0.2};
+  const auto counts = algo_alloc_counts(failures, 6, 3);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 3u);
+}
+
+TEST(AlgoAllocCounts, PrefersLessReliableInterval) {
+  // One spare processor: it must go to the weaker interval.
+  const std::vector<double> failures{0.01, 0.4};
+  const auto counts = algo_alloc_counts(failures, 3, 3);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+}
+
+class AlgoAllocOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlgoAllocOptimality, GreedyMatchesExhaustive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 900);
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  const auto p =
+      static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(m),
+                                               10));
+  const auto k = static_cast<unsigned>(rng.uniform_int(1, 4));
+  std::vector<double> failures;
+  for (std::size_t j = 0; j < m; ++j) {
+    failures.push_back(rng.uniform_real(1e-6, 0.9));
+  }
+  const auto counts = algo_alloc_counts(failures, p, k);
+  ASSERT_EQ(counts.size(), m);
+  const double greedy = counts_value(failures, counts);
+  const double oracle = exhaustive_counts_value(failures, p, k);
+  EXPECT_NEAR(greedy, oracle, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgoAllocOptimality,
+                         ::testing::Range(0, 40));
+
+TEST(AllocateProcessors, HomogeneousUsesEveryUsefulProcessor) {
+  Rng rng(1);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(8, 3);
+  const auto partition = testutil::random_partition(rng, 4, 3);
+  const auto mapping = allocate_processors(chain, platform, partition);
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_FALSE(mapping->validate(platform).has_value());
+  // 8 processors, 3 intervals, K = 3: at most 9 slots, so all 8 used.
+  EXPECT_EQ(mapping->processors_used(), 8u);
+}
+
+TEST(AllocateProcessors, MatchesGreedyCountsOnHomogeneous) {
+  Rng rng(2);
+  for (int trial = 0; trial < 15; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_hom_platform(7, 3);
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    const auto partition = testutil::random_partition(rng, 5, m);
+    const auto mapping = allocate_processors(chain, platform, partition);
+    ASSERT_TRUE(mapping.has_value());
+
+    std::vector<double> failures;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double in = j == 0 ? 0.0 : partition.out_size(chain, j - 1);
+      failures.push_back(branch_reliability(platform, 0,
+                                            partition.work(chain, j), in,
+                                            partition.out_size(chain, j))
+                             .failure());
+    }
+    const auto counts =
+        algo_alloc_counts(failures, platform.processor_count(),
+                          platform.max_replication());
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(mapping->processors(j).size(), counts[j]) << "interval " << j;
+    }
+  }
+}
+
+TEST(AllocateProcessors, InfeasibleWhenTooManyIntervals) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(3, 2);
+  const auto partition = testutil::random_partition(rng, 5, 5);
+  EXPECT_FALSE(allocate_processors(chain, platform, partition).has_value());
+}
+
+TEST(AllocateProcessors, RespectsPeriodBound) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_het_platform(rng, 6, 2);
+    const auto partition = testutil::random_partition(
+        rng, 5, static_cast<std::size_t>(rng.uniform_int(1, 4)));
+    AllocOptions options;
+    options.period_bound = rng.uniform_real(3.0, 30.0);
+    const auto mapping =
+        allocate_processors(chain, platform, partition, options);
+    if (!mapping) continue;
+    for (std::size_t j = 0; j < partition.interval_count(); ++j) {
+      for (std::size_t u : mapping->processors(j)) {
+        EXPECT_LE(partition.work(chain, j) / platform.speed(u),
+                  options.period_bound + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(AllocateProcessors, TightPeriodBoundInfeasible) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(6, 2);
+  AllocOptions options;
+  options.period_bound = 1e-6;  // nothing fits
+  EXPECT_FALSE(
+      allocate_processors(chain, platform,
+                          IntervalPartition::single(chain.size()), options)
+          .has_value());
+}
+
+TEST(AllocateProcessors, HonorsAllocationConstraints) {
+  Rng rng(6);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(4, 2);
+  const std::array<std::size_t, 2> lasts{1, 3};
+  const auto partition = IntervalPartition::from_boundaries(lasts, 4);
+  auto constraints = AllocationConstraints::all_allowed(4, 4);
+  // Task 0 (hence interval 0) may only run on processors 2 and 3.
+  constraints.forbid(0, 0);
+  constraints.forbid(0, 1);
+  AllocOptions options;
+  options.constraints = &constraints;
+  const auto mapping =
+      allocate_processors(chain, platform, partition, options);
+  ASSERT_TRUE(mapping.has_value());
+  for (std::size_t u : mapping->processors(0)) {
+    EXPECT_GE(u, 2u);
+  }
+}
+
+TEST(AllocateProcessors, UnsatisfiableConstraintsInfeasible) {
+  Rng rng(7);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(3, 2);
+  auto constraints = AllocationConstraints::all_allowed(3, 3);
+  for (std::size_t u = 0; u < 3; ++u) constraints.forbid(1, u);
+  AllocOptions options;
+  options.constraints = &constraints;
+  EXPECT_FALSE(
+      allocate_processors(chain, platform,
+                          IntervalPartition::single(chain.size()), options)
+          .has_value());
+}
+
+TEST(AllocateProcessors, HeterogeneousPrefersReliablePerWorkProcessors) {
+  // Two processors: one with a far better lambda/speed ratio; a single
+  // interval with K = 1 must take the better one.
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform({{1.0, 1e-3}, {1.0, 1e-6}}, 1.0, 0.0, 1);
+  const auto mapping = allocate_processors(
+      chain, platform, IntervalPartition::single(chain.size()));
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_EQ(mapping->processors(0).size(), 1u);
+  EXPECT_EQ(mapping->processors(0)[0], 1u);
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,81 @@
+#include "core/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/reliability_dp.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+TEST(OneToOne, InfeasibleWhenFewerProcessorsThanTasks) {
+  Rng rng(1);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(4, 2);
+  EXPECT_FALSE(one_to_one_mapping(chain, platform).has_value());
+}
+
+TEST(OneToOne, SingletonIntervals) {
+  Rng rng(2);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(8, 2);
+  const auto baseline = one_to_one_mapping(chain, platform);
+  ASSERT_TRUE(baseline.has_value());
+  EXPECT_EQ(baseline->mapping.interval_count(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(baseline->mapping.partition().interval(j).size(), 1u);
+  }
+  ASSERT_FALSE(baseline->mapping.validate(platform).has_value());
+}
+
+TEST(OneToOne, IntervalMappingNeverWorseInReliability) {
+  // Interval mappings generalize one-to-one mappings (Section 1), so the
+  // Algorithm 1 optimum is at least as reliable.
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_hom_platform(7, 2);
+    const auto baseline = one_to_one_mapping(chain, platform);
+    ASSERT_TRUE(baseline.has_value());
+    const auto optimal = optimize_reliability(chain, platform);
+    EXPECT_GE(optimal.reliability.log(),
+              baseline->metrics.reliability.log() - 1e-12);
+  }
+}
+
+TEST(OneToOne, PeriodNeverWorseThanIntervalOptimum) {
+  // The flip side: one-to-one gives the smallest possible computation
+  // period contributions (single tasks), so its period lower-bounds any
+  // coarser partition's computation period on homogeneous platforms.
+  Rng rng(4);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(7, 2);
+  const auto baseline = one_to_one_mapping(chain, platform);
+  ASSERT_TRUE(baseline.has_value());
+  const auto coarse = optimize_reliability(chain, platform);
+  const MappingMetrics coarse_metrics =
+      evaluate(chain, platform, coarse.mapping);
+  double max_task_time = 0.0;
+  double max_comm = 0.0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    max_task_time =
+        std::max(max_task_time, chain.work(i) / platform.speed(0));
+    max_comm = std::max(max_comm, platform.comm_time(chain.out_size(i)));
+  }
+  EXPECT_NEAR(baseline->metrics.worst_period,
+              std::max(max_task_time, max_comm), 1e-9);
+  EXPECT_LE(baseline->metrics.worst_period,
+            coarse_metrics.worst_period + 1e-9);
+}
+
+TEST(OneToOne, RespectsPeriodBoundOption) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(8, 2);
+  AllocOptions options;
+  options.period_bound = 1e-9;
+  EXPECT_FALSE(one_to_one_mapping(chain, platform, options).has_value());
+}
+
+}  // namespace
+}  // namespace prts

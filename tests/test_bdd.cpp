@@ -1,0 +1,132 @@
+#include "rbd/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rbd/brute_force.hpp"
+#include "rbd/series_parallel.hpp"
+
+namespace prts::rbd {
+namespace {
+
+TEST(BddManager, Terminals) {
+  BddManager manager;
+  EXPECT_EQ(manager.node_count(), 2u);
+  const std::array<double, 0> no_vars{};
+  EXPECT_DOUBLE_EQ(manager.failure_probability(BddManager::kTrue, no_vars),
+                   0.0);
+  EXPECT_DOUBLE_EQ(manager.failure_probability(BddManager::kFalse, no_vars),
+                   1.0);
+}
+
+TEST(BddManager, SingleVariable) {
+  BddManager manager;
+  const auto x = manager.var(0);
+  const std::array<double, 1> failure{0.25};
+  EXPECT_NEAR(manager.failure_probability(x, failure), 0.25, 1e-15);
+}
+
+TEST(BddManager, AndOrSemantics) {
+  BddManager manager;
+  const auto x = manager.var(0);
+  const auto y = manager.var(1);
+  const auto both = manager.apply_and(x, y);
+  const auto either = manager.apply_or(x, y);
+  const std::array<double, 2> failure{0.1, 0.2};
+  // P(x and y fail-free) = 0.9 * 0.8.
+  EXPECT_NEAR(manager.failure_probability(both, failure), 1.0 - 0.72, 1e-12);
+  EXPECT_NEAR(manager.failure_probability(either, failure), 0.02, 1e-12);
+}
+
+TEST(BddManager, HashConsingSharesNodes) {
+  BddManager manager;
+  const auto a = manager.apply_and(manager.var(0), manager.var(1));
+  const auto b = manager.apply_and(manager.var(0), manager.var(1));
+  EXPECT_EQ(a, b);
+}
+
+TEST(BddManager, IdempotentAndAbsorbing) {
+  BddManager manager;
+  const auto x = manager.var(0);
+  EXPECT_EQ(manager.apply_and(x, x), x);
+  EXPECT_EQ(manager.apply_or(x, x), x);
+  EXPECT_EQ(manager.apply_and(x, BddManager::kFalse), BddManager::kFalse);
+  EXPECT_EQ(manager.apply_or(x, BddManager::kTrue), BddManager::kTrue);
+  EXPECT_EQ(manager.apply_and(x, BddManager::kTrue), x);
+  EXPECT_EQ(manager.apply_or(x, BddManager::kFalse), x);
+}
+
+TEST(BddReliability, SeriesGraph) {
+  Graph graph;
+  const auto a = graph.add_block("a", LogReliability::from_reliability(0.9));
+  const auto b = graph.add_block("b", LogReliability::from_reliability(0.8));
+  graph.add_arc(a, b);
+  graph.mark_entry(a);
+  graph.mark_exit(b);
+  EXPECT_NEAR(bdd_reliability(graph).reliability(), 0.72, 1e-12);
+}
+
+TEST(BddReliability, TinyFailurePrecision) {
+  Graph graph;
+  const auto a =
+      graph.add_block("a", LogReliability::from_failure(1e-9));
+  const auto b =
+      graph.add_block("b", LogReliability::from_failure(2e-9));
+  graph.add_arc(a, b);
+  graph.mark_entry(a);
+  graph.mark_exit(b);
+  EXPECT_NEAR(bdd_reliability(graph).failure() / 3e-9, 1.0, 1e-6);
+}
+
+/// Random DAG between layered blocks; guaranteed S->D connected.
+Graph random_layered_graph(Rng& rng, std::size_t layers,
+                           std::size_t width) {
+  Graph graph;
+  std::vector<std::vector<std::size_t>> layer_blocks(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const auto count =
+        static_cast<std::size_t>(rng.uniform_int(1,
+                                                 static_cast<std::int64_t>(
+                                                     width)));
+    for (std::size_t i = 0; i < count; ++i) {
+      layer_blocks[l].push_back(graph.add_block(
+          "b", LogReliability::from_reliability(rng.uniform_real(0.3, 1.0))));
+    }
+  }
+  for (std::size_t b : layer_blocks[0]) graph.mark_entry(b);
+  for (std::size_t b : layer_blocks[layers - 1]) graph.mark_exit(b);
+  for (std::size_t l = 0; l + 1 < layers; ++l) {
+    for (std::size_t from : layer_blocks[l]) {
+      bool any = false;
+      for (std::size_t to : layer_blocks[l + 1]) {
+        if (rng.bernoulli(0.6)) {
+          graph.add_arc(from, to);
+          any = true;
+        }
+      }
+      if (!any) graph.add_arc(from, layer_blocks[l + 1][0]);
+    }
+  }
+  return graph;
+}
+
+class BddRandomCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomCrossCheck, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const Graph graph = random_layered_graph(rng, 4, 3);
+  ASSERT_TRUE(graph.validate());
+  ASSERT_LE(graph.block_count(), 12u);
+  const double exact = brute_force_reliability(graph).reliability();
+  const double via_bdd = bdd_reliability(graph).reliability();
+  EXPECT_NEAR(via_bdd, exact, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomCrossCheck,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace prts::rbd

@@ -1,0 +1,95 @@
+#include "model/dot.hpp"
+#include "rbd/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rbd/builder.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+struct Fixture {
+  Fixture() : rng(7), chain(testutil::small_chain(rng, 4)),
+              platform(testutil::small_hom_platform(6, 2)),
+              mapping(testutil::random_mapping(rng, chain, platform)) {}
+  Rng rng;
+  TaskChain chain;
+  Platform platform;
+  Mapping mapping;
+};
+
+TEST(RbdDot, ContainsEveryBlockAndEndpoints) {
+  const Fixture fx;
+  const auto graph =
+      rbd::build_routing_graph(fx.chain, fx.platform, fx.mapping);
+  const std::string dot = rbd::to_dot(graph);
+  EXPECT_NE(dot.find("digraph rbd"), std::string::npos);
+  EXPECT_NE(dot.find("S [shape=circle]"), std::string::npos);
+  EXPECT_NE(dot.find("D [shape=circle]"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "shape=box"), graph.block_count());
+  // One S-arc per entry, one D-arc per exit.
+  EXPECT_EQ(count_occurrences(dot, "S -> "), graph.entries().size());
+  EXPECT_EQ(count_occurrences(dot, " -> D"), graph.exits().size());
+}
+
+TEST(RbdDot, EscapesQuotes) {
+  rbd::Graph graph;
+  const auto block =
+      graph.add_block("say \"hi\"", LogReliability::certain());
+  graph.mark_entry(block);
+  graph.mark_exit(block);
+  const std::string dot = rbd::to_dot(graph);
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(RbdDot, SpExprExportMatchesItsGraph) {
+  const Fixture fx;
+  const auto sp = rbd::build_routing_sp(fx.chain, fx.platform, fx.mapping);
+  const std::string dot = rbd::to_dot(sp);
+  EXPECT_EQ(count_occurrences(dot, "shape=box"), sp.block_count());
+}
+
+TEST(MappingDot, OneRecordPerIntervalAndLabeledEdges) {
+  const Fixture fx;
+  const std::string dot =
+      mapping_to_dot(fx.chain, fx.platform, fx.mapping);
+  EXPECT_NE(dot.find("digraph mapping"), std::string::npos);
+  EXPECT_EQ(count_occurrences(dot, "[label=\"I"),
+            fx.mapping.interval_count());
+  // m-1 inter-interval edges, each labeled with its o.
+  EXPECT_EQ(count_occurrences(dot, "o="),
+            fx.mapping.interval_count() - 1 +
+                (fx.chain.out_size(fx.chain.size() - 1) > 0.0 ? 1 : 0));
+  // Every replica processor appears.
+  for (std::size_t j = 0; j < fx.mapping.interval_count(); ++j) {
+    for (std::size_t u : fx.mapping.processors(j)) {
+      std::string proc_label = "P";
+      proc_label += std::to_string(u);
+      EXPECT_NE(dot.find(proc_label), std::string::npos);
+    }
+  }
+}
+
+TEST(MappingDot, EnvironmentEndpointsPresent) {
+  const Fixture fx;
+  const std::string dot =
+      mapping_to_dot(fx.chain, fx.platform, fx.mapping);
+  EXPECT_NE(dot.find("env_in -> i0"), std::string::npos);
+  EXPECT_NE(dot.find("-> env_out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prts

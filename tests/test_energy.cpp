@@ -1,0 +1,81 @@
+#include "eval/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "eval/evaluation.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+TEST(Energy, HandComputedSingleInterval) {
+  // One interval, work 10, speed 2, no comms; alpha = 3, C = 1, static .1.
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(2, 2.0, 0.0, 1.0, 0.0, 2);
+  const Mapping mapping(IntervalPartition::single(1), {{0}});
+  const EnergyMetrics energy = mapping_energy(chain, platform, mapping);
+  // busy = 5; power = 0.1 + 1 * 2^3 = 8.1; energy = 40.5.
+  EXPECT_NEAR(energy.computation, 40.5, 1e-12);
+  EXPECT_DOUBLE_EQ(energy.communication, 0.0);
+}
+
+TEST(Energy, ReplicationMultipliesEnergy) {
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(3, 2.0, 0.0, 1.0, 0.0, 3);
+  const Mapping one(IntervalPartition::single(1), {{0}});
+  const Mapping three(IntervalPartition::single(1), {{0, 1, 2}});
+  EXPECT_NEAR(mapping_energy(chain, platform, three).total(),
+              3.0 * mapping_energy(chain, platform, one).total(), 1e-9);
+}
+
+TEST(Energy, CommunicationCountsInAndOut) {
+  // Two singleton intervals, o_0 = 4, bandwidth 2, link power 0.5:
+  // sender out 2 time units + receiver in 2 time units = 2.0 energy.
+  const TaskChain chain({{1.0, 4.0}, {1.0, 0.0}});
+  const Platform platform = Platform::homogeneous(2, 1.0, 0.0, 2.0, 0.0, 1);
+  const Mapping mapping(IntervalPartition::singletons(2), {{0}, {1}});
+  const EnergyMetrics energy = mapping_energy(chain, platform, mapping);
+  EXPECT_NEAR(energy.communication, 2.0 * 0.5 * 2.0, 1e-12);
+}
+
+TEST(Energy, FasterProcessorCostsMorePerWorkUnit) {
+  // With alpha = 3, energy/work = (static + C s^3)/s grows with s for
+  // s >= 1: running the same work on a faster processor costs more.
+  const TaskChain chain({{12.0, 0.0}});
+  const Platform platform({{1.0, 0.0}, {4.0, 0.0}}, 1.0, 0.0, 1);
+  const Mapping slow(IntervalPartition::single(1), {{0}});
+  const Mapping fast(IntervalPartition::single(1), {{1}});
+  EXPECT_GT(mapping_energy(chain, platform, fast).total(),
+            mapping_energy(chain, platform, slow).total());
+}
+
+TEST(Energy, LinearExponentMakesSpeedIrrelevantForDynamicPart) {
+  EnergyModel model;
+  model.exponent = 1.0;
+  model.static_power = 0.0;
+  const TaskChain chain({{12.0, 0.0}});
+  const Platform platform({{1.0, 0.0}, {4.0, 0.0}}, 1.0, 0.0, 1);
+  const Mapping slow(IntervalPartition::single(1), {{0}});
+  const Mapping fast(IntervalPartition::single(1), {{1}});
+  EXPECT_NEAR(mapping_energy(chain, platform, fast, model).total(),
+              mapping_energy(chain, platform, slow, model).total(), 1e-9);
+}
+
+TEST(Energy, ReliabilityEnergyTradeoff) {
+  // The paper's future-work tension, in one assertion: more replicas mean
+  // better reliability AND more energy.
+  Rng rng(4);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(6, 3, 1e-4, 1e-4);
+  const Mapping lean(IntervalPartition::single(4), {{0}});
+  const Mapping redundant(IntervalPartition::single(4), {{0, 1, 2}});
+  EXPECT_GT(mapping_reliability(chain, platform, redundant).log(),
+            mapping_reliability(chain, platform, lean).log());
+  EXPECT_GT(mapping_energy(chain, platform, redundant).total(),
+            mapping_energy(chain, platform, lean).total());
+}
+
+}  // namespace
+}  // namespace prts

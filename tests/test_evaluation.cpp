@@ -1,0 +1,192 @@
+#include "eval/evaluation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+// Hand-checkable fixture: 3 tasks, works 4/6/2, outputs 2/4/0.
+TaskChain fixture_chain() {
+  return TaskChain({{4.0, 2.0}, {6.0, 4.0}, {2.0, 0.0}});
+}
+
+TEST(ExpectedComputation, SingleProcessorIsDeterministic) {
+  const Platform platform = Platform::homogeneous(2, 2.0, 0.01, 1.0, 0.0, 2);
+  const std::array<std::size_t, 1> procs{0};
+  EXPECT_NEAR(expected_computation_time(platform, 10.0, procs), 5.0, 1e-12);
+  EXPECT_NEAR(worst_computation_time(platform, 10.0, procs), 5.0, 1e-12);
+}
+
+TEST(ExpectedComputation, MatchesClosedFormTwoReplicas) {
+  // Heterogeneous: fast processor speed 2 (lambda .1), slow speed 1
+  // (lambda .05), W = 10. Eq. (3) by hand.
+  const Platform platform({{2.0, 0.1}, {1.0, 0.05}}, 1.0, 0.0, 2);
+  const std::array<std::size_t, 2> procs{0, 1};
+  const double r1 = std::exp(-0.1 * 5.0);
+  const double r2 = std::exp(-0.05 * 10.0);
+  const double expected =
+      10.0 * ((1.0 / 2.0) * r1 + (1.0 / 1.0) * r2 * (1.0 - r1)) /
+      (1.0 - (1.0 - r1) * (1.0 - r2));
+  EXPECT_NEAR(expected_computation_time(platform, 10.0, procs), expected,
+              1e-12);
+  EXPECT_NEAR(worst_computation_time(platform, 10.0, procs), 10.0, 1e-12);
+}
+
+TEST(ExpectedComputation, BoundedByFastestAndSlowest) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Platform platform = testutil::small_het_platform(rng, 4, 3, 0.05);
+    const std::array<std::size_t, 3> procs{0, 1, 3};
+    const double work = rng.uniform_real(1.0, 50.0);
+    const double ec = expected_computation_time(platform, work, procs);
+    const double wc = worst_computation_time(platform, work, procs);
+    double fastest = 1e300;
+    for (std::size_t u : procs) {
+      fastest = std::min(fastest, work / platform.speed(u));
+    }
+    EXPECT_GE(ec, fastest - 1e-9);
+    EXPECT_LE(ec, wc + 1e-9);
+  }
+}
+
+TEST(ExpectedComputation, AllReplicasFailingGivesInfinity) {
+  const Platform platform({{1.0, 1e9}}, 1.0, 0.0, 1);
+  const std::array<std::size_t, 1> procs{0};
+  EXPECT_TRUE(
+      std::isinf(expected_computation_time(platform, 1000.0, procs)));
+}
+
+TEST(BranchReliability, CombinesThreeExponentials) {
+  const Platform platform = Platform::homogeneous(1, 2.0, 1e-3, 4.0, 1e-2, 1);
+  // work 8 -> duration 4; in 2 -> 0.5; out 4 -> 1.0.
+  const auto r = branch_reliability(platform, 0, 8.0, 2.0, 4.0);
+  EXPECT_NEAR(r.log(), -(1e-3 * 4.0 + 1e-2 * 0.5 + 1e-2 * 1.0), 1e-15);
+}
+
+TEST(BranchReliability, ZeroSizesSkipCommTerms) {
+  const Platform platform = Platform::homogeneous(1, 2.0, 1e-3, 4.0, 1e-2, 1);
+  const auto r = branch_reliability(platform, 0, 8.0, 0.0, 0.0);
+  EXPECT_NEAR(r.log(), -4e-3, 1e-15);
+}
+
+TEST(IntervalReliability, ReplicationMultipliesFailures) {
+  const Platform platform = Platform::homogeneous(3, 1.0, 0.1, 1.0, 0.0, 3);
+  const std::array<std::size_t, 1> one{0};
+  const std::array<std::size_t, 3> three{0, 1, 2};
+  const double f1 = interval_reliability(platform, one, 5.0, 0, 0).failure();
+  const double f3 =
+      interval_reliability(platform, three, 5.0, 0, 0).failure();
+  EXPECT_NEAR(f3, f1 * f1 * f1, 1e-12);
+}
+
+TEST(MappingReliability, HandComputedTwoIntervals) {
+  const TaskChain chain = fixture_chain();
+  const Platform platform = Platform::homogeneous(3, 1.0, 1e-3, 1.0, 1e-4, 2);
+  // Intervals [0,1] on {0,1}, [2,2] on {2}.
+  const std::array<std::size_t, 2> lasts{1, 2};
+  const Mapping mapping(IntervalPartition::from_boundaries(lasts, 3),
+                        {{0, 1}, {2}});
+  // Stage 1: branch = exp(-(1e-3*10 + 1e-4*4)); two replicas.
+  const double f_branch1 = 1.0 - std::exp(-(1e-3 * 10.0 + 1e-4 * 4.0));
+  const double stage1 = 1.0 - f_branch1 * f_branch1;
+  // Stage 2: in comm 4, work 2, no out comm.
+  const double stage2 = std::exp(-(1e-4 * 4.0 + 1e-3 * 2.0));
+  const double expected = stage1 * stage2;
+  EXPECT_NEAR(mapping_reliability(chain, platform, mapping).reliability(),
+              expected, 1e-12);
+}
+
+TEST(Evaluate, HandComputedMetrics) {
+  const TaskChain chain = fixture_chain();
+  const Platform platform = Platform::homogeneous(3, 2.0, 0.0, 2.0, 0.0, 2);
+  const std::array<std::size_t, 2> lasts{1, 2};
+  const Mapping mapping(IntervalPartition::from_boundaries(lasts, 3),
+                        {{0, 1}, {2}});
+  const MappingMetrics metrics = evaluate(chain, platform, mapping);
+  // Interval works 10 and 2 at speed 2 -> 5 and 1; comms 4/2 = 2 and 0.
+  EXPECT_NEAR(metrics.worst_latency, 5.0 + 2.0 + 1.0, 1e-12);
+  EXPECT_NEAR(metrics.worst_period, 5.0, 1e-12);
+  EXPECT_EQ(metrics.interval_count, 2u);
+  EXPECT_EQ(metrics.processors_used, 3u);
+  EXPECT_NEAR(metrics.replication_level, 1.5, 1e-12);
+}
+
+TEST(Evaluate, HomogeneousExpectedEqualsWorst) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_hom_platform(6, 3);
+    const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+    const MappingMetrics metrics = evaluate(chain, platform, mapping);
+    EXPECT_NEAR(metrics.expected_latency, metrics.worst_latency, 1e-9);
+    EXPECT_NEAR(metrics.expected_period, metrics.worst_period, 1e-9);
+  }
+}
+
+TEST(Evaluate, HeterogeneousExpectedAtMostWorst) {
+  Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_het_platform(rng, 6, 3);
+    const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+    const MappingMetrics metrics = evaluate(chain, platform, mapping);
+    EXPECT_LE(metrics.expected_latency, metrics.worst_latency + 1e-9);
+    EXPECT_LE(metrics.expected_period, metrics.worst_period + 1e-9);
+  }
+}
+
+TEST(Evaluate, AddingReplicaImprovesReliability) {
+  const TaskChain chain = fixture_chain();
+  const Platform platform = Platform::homogeneous(4, 1.0, 1e-3, 1.0, 1e-4, 3);
+  const std::array<std::size_t, 2> lasts{1, 2};
+  const Mapping one(IntervalPartition::from_boundaries(lasts, 3),
+                    {{0}, {2}});
+  const Mapping two(IntervalPartition::from_boundaries(lasts, 3),
+                    {{0, 1}, {2}});
+  EXPECT_GT(mapping_reliability(chain, platform, two),
+            mapping_reliability(chain, platform, one));
+}
+
+TEST(Evaluate, FailureMatchesLogReliability) {
+  Rng rng(41);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(6, 2, 1e-8, 1e-7);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const MappingMetrics metrics = evaluate(chain, platform, mapping);
+  EXPECT_DOUBLE_EQ(metrics.failure, metrics.reliability.failure());
+  EXPECT_GT(metrics.failure, 0.0);  // tiny but preserved
+  EXPECT_LT(metrics.failure, 1e-4);
+}
+
+TEST(PartitionShortcuts, MatchEvaluate) {
+  Rng rng(43);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(6, 2);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const MappingMetrics metrics = evaluate(chain, platform, mapping);
+  EXPECT_NEAR(
+      homogeneous_partition_latency(chain, platform, mapping.partition()),
+      metrics.worst_latency, 1e-9);
+  EXPECT_NEAR(
+      homogeneous_partition_period(chain, platform, mapping.partition()),
+      metrics.worst_period, 1e-9);
+}
+
+TEST(Evaluate, PeriodIncludesCommunications) {
+  // A huge communication must dominate the period (Eq. (6)).
+  const TaskChain chain({{1.0, 50.0}, {1.0, 0.0}});
+  const Platform platform = Platform::homogeneous(2, 1.0, 0.0, 1.0, 0.0, 1);
+  const std::array<std::size_t, 2> lasts{0, 1};
+  const Mapping mapping(IntervalPartition::from_boundaries(lasts, 2),
+                        {{0}, {1}});
+  const MappingMetrics metrics = evaluate(chain, platform, mapping);
+  EXPECT_NEAR(metrics.worst_period, 50.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace prts

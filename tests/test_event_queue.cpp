@@ -1,0 +1,68 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prts::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  queue.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunNextReturnsTime) {
+  EventQueue queue;
+  queue.schedule(4.25, [] {});
+  EXPECT_DOUBLE_EQ(queue.next_time(), 4.25);
+  EXPECT_DOUBLE_EQ(queue.run_next(), 4.25);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RunAllReturnsLastTime) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  queue.schedule(9.5, [] {});
+  EXPECT_DOUBLE_EQ(queue.run_all(), 9.5);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue queue;
+  std::vector<double> times;
+  queue.schedule(1.0, [&] {
+    times.push_back(1.0);
+    queue.schedule(2.0, [&] { times.push_back(2.0); });
+  });
+  queue.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, RunAllOnEmptyReturnsZero) {
+  EventQueue queue;
+  EXPECT_DOUBLE_EQ(queue.run_all(), 0.0);
+}
+
+}  // namespace
+}  // namespace prts::sim

@@ -1,0 +1,166 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/heuristics.hpp"
+#include "core/reliability_dp.hpp"
+#include "model/generator.hpp"
+#include "test_oracle.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ExactSolver, RejectsHeterogeneous) {
+  Rng rng(1);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_het_platform(rng, 4, 2);
+  EXPECT_THROW(HomogeneousExactSolver(chain, platform),
+               std::invalid_argument);
+}
+
+TEST(ExactSolver, EnumeratesAllPartitions) {
+  Rng rng(2);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(6, 2);
+  const HomogeneousExactSolver solver(chain, platform);
+  // All 2^(n-1) = 16 partitions fit within min(n,p) = 5 intervals... the
+  // 1 partition with 5 intervals included.
+  EXPECT_EQ(solver.records().size(), 16u);
+}
+
+TEST(ExactSolver, LimitsIntervalCountToProcessors) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(2, 2);
+  const HomogeneousExactSolver solver(chain, platform);
+  for (const auto& record : solver.records()) {
+    EXPECT_LE(record.lasts.size(), 2u);
+  }
+}
+
+TEST(ExactSolver, UnboundedMatchesAlgorithm1) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(5, 2);
+    const HomogeneousExactSolver solver(chain, platform);
+    const auto best = solver.best_log_reliability(kInf, kInf);
+    const auto dp = optimize_reliability(chain, platform);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_NEAR(*best, dp.reliability.log(), 1e-10);
+  }
+}
+
+class ExactSolverOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactSolverOptimality, MatchesBruteForceUnderBothBounds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 600);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const auto p = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const TaskChain chain = testutil::small_chain(rng, n);
+  const Platform platform = testutil::small_hom_platform(p, 2);
+  const double period_bound = rng.uniform_real(5.0, 40.0);
+  const double latency_bound = rng.uniform_real(15.0, 90.0);
+  const HomogeneousExactSolver solver(chain, platform);
+  const auto fast =
+      solver.best_log_reliability(period_bound, latency_bound);
+  const auto oracle = testutil::brute_force_best_log_reliability(
+      chain, platform, period_bound, latency_bound);
+  ASSERT_EQ(fast.has_value(), oracle.has_value())
+      << "P=" << period_bound << " L=" << latency_bound;
+  if (fast) {
+    EXPECT_NEAR(*fast, *oracle, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSolverOptimality,
+                         ::testing::Range(0, 40));
+
+TEST(ExactSolver, SolveReturnsConsistentMapping) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const HomogeneousExactSolver solver(chain, platform);
+  const auto solution = solver.solve(30.0, 80.0);
+  if (!solution) GTEST_SKIP() << "bounds infeasible for this seed";
+  ASSERT_FALSE(solution->mapping.validate(platform).has_value());
+  EXPECT_LE(solution->metrics.worst_period, 30.0 + 1e-9);
+  EXPECT_LE(solution->metrics.worst_latency, 80.0 + 1e-9);
+  const auto best = solver.best_log_reliability(30.0, 80.0);
+  EXPECT_NEAR(solution->metrics.reliability.log(), *best, 1e-10);
+}
+
+TEST(ExactSolver, NeverWorseThanHeuristics) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(6, 3);
+    const double period_bound = rng.uniform_real(10.0, 50.0);
+    const double latency_bound = rng.uniform_real(30.0, 100.0);
+    const HomogeneousExactSolver solver(chain, platform);
+    const auto exact =
+        solver.best_log_reliability(period_bound, latency_bound);
+    HeuristicOptions options;
+    options.period_bound = period_bound;
+    options.latency_bound = latency_bound;
+    for (HeuristicKind kind :
+         {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+      const auto heuristic = run_heuristic(chain, platform, kind, options);
+      if (heuristic) {
+        ASSERT_TRUE(exact.has_value());
+        EXPECT_GE(*exact, heuristic->metrics.reliability.log() - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ExactDp, AgreesWithEnumerationOnIntegerInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 15; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(5, 2);
+    const double period_bound = std::floor(rng.uniform_real(5.0, 40.0));
+    const double latency_bound = std::floor(rng.uniform_real(15.0, 90.0));
+    const HomogeneousExactSolver solver(chain, platform);
+    const auto via_enum =
+        solver.best_log_reliability(period_bound, latency_bound);
+    const auto via_dp = exact_dp_log_reliability(chain, platform,
+                                                 period_bound,
+                                                 latency_bound);
+    ASSERT_EQ(via_enum.has_value(), via_dp.has_value());
+    if (via_enum) {
+      EXPECT_NEAR(*via_enum, *via_dp, 1e-9);
+    }
+  }
+}
+
+TEST(ExactDp, RejectsNonIntegralDurations) {
+  const TaskChain chain({{1.5, 0.0}});
+  const Platform platform = Platform::homogeneous(1, 1.0, 0.01, 1.0, 0.0, 1);
+  EXPECT_THROW(exact_dp_log_reliability(chain, platform, kInf, kInf),
+               std::invalid_argument);
+}
+
+TEST(ExactSolver, PaperScaleCompletesQuickly) {
+  Rng rng(8);
+  const TaskChain chain = paper::chain(rng);
+  const Platform platform = paper::hom_platform();
+  const HomogeneousExactSolver solver(chain, platform);
+  // All partitions with <= 10 intervals out of 2^14.
+  EXPECT_GT(solver.records().size(), 14000u);
+  EXPECT_LE(solver.records().size(), 16384u);
+  const auto best = solver.best_log_reliability(250.0, 750.0);
+  // A mid-range bound pair from the paper's sweeps is usually feasible.
+  if (best) {
+    EXPECT_LT(*best, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,135 @@
+#include "exp/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "exp/report.hpp"
+
+namespace prts::exp {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.instances = 8;
+  config.seed = 7;
+  config.threads = 2;
+  return config;
+}
+
+TEST(ExpRunner, SweepRange) {
+  const auto values = sweep_range(10.0, 50.0, 10.0);
+  ASSERT_EQ(values.size(), 5u);
+  EXPECT_DOUBLE_EQ(values.front(), 10.0);
+  EXPECT_DOUBLE_EQ(values.back(), 50.0);
+}
+
+TEST(ExpRunner, HomExperimentShapes) {
+  const auto figure = run_fig_6_7(tiny_config(), 100.0);
+  ASSERT_EQ(figure.series.size(), 3u);
+  EXPECT_EQ(figure.series[0].name, "ILP");
+  EXPECT_EQ(figure.series[1].name, "Heur-L");
+  EXPECT_EQ(figure.series[2].name, "Heur-P");
+  for (const auto& series : figure.series) {
+    ASSERT_EQ(series.solutions.size(), figure.x.size());
+    ASSERT_EQ(series.avg_failure.size(), figure.x.size());
+    for (std::size_t solved : series.solutions) {
+      EXPECT_LE(solved, tiny_config().instances);
+    }
+  }
+}
+
+TEST(ExpRunner, IlpDominatesHeuristicCounts) {
+  // The exact solver finds a solution whenever any heuristic does.
+  const auto figure = run_fig_6_7(tiny_config(), 50.0);
+  for (std::size_t i = 0; i < figure.x.size(); ++i) {
+    EXPECT_GE(figure.series[0].solutions[i], figure.series[1].solutions[i]);
+    EXPECT_GE(figure.series[0].solutions[i], figure.series[2].solutions[i]);
+  }
+}
+
+TEST(ExpRunner, IlpSolutionsMonotoneInPeriodBound) {
+  // For a fixed latency bound, relaxing the period bound can only help
+  // the exact solver.
+  const auto figure = run_fig_6_7(tiny_config(), 50.0);
+  for (std::size_t i = 1; i < figure.x.size(); ++i) {
+    EXPECT_GE(figure.series[0].solutions[i],
+              figure.series[0].solutions[i - 1]);
+  }
+}
+
+TEST(ExpRunner, DeterministicAcrossRuns) {
+  const auto a = run_fig_6_7(tiny_config(), 100.0);
+  const auto b = run_fig_6_7(tiny_config(), 100.0);
+  for (std::size_t s = 0; s < a.series.size(); ++s) {
+    EXPECT_EQ(a.series[s].solutions, b.series[s].solutions);
+  }
+}
+
+TEST(ExpRunner, HetExperimentShapes) {
+  const auto figure = run_fig_12_13(tiny_config(), 50.0);
+  ASSERT_EQ(figure.series.size(), 4u);
+  EXPECT_EQ(figure.series[0].name, "Heur-L_HET");
+  EXPECT_EQ(figure.series[3].name, "Heur-P_HOM");
+  for (const auto& series : figure.series) {
+    ASSERT_EQ(series.solutions.size(), figure.x.size());
+  }
+}
+
+TEST(ExpRunner, HetFindsMoreThanHomOverall) {
+  // Paper Section 8.2: heterogeneous platforms admit far more solutions
+  // than the speed-5 homogeneous comparison (aggregate check).
+  const auto figure = run_fig_12_13(tiny_config(), 25.0);
+  std::size_t het_total = 0;
+  std::size_t hom_total = 0;
+  for (std::size_t i = 0; i < figure.x.size(); ++i) {
+    het_total += figure.series[0].solutions[i] + figure.series[1].solutions[i];
+    hom_total += figure.series[2].solutions[i] + figure.series[3].solutions[i];
+  }
+  EXPECT_GE(het_total, hom_total);
+}
+
+TEST(ExpRunner, FailureAveragesAreProbabilities) {
+  const auto figure = run_fig_8_9(tiny_config(), 200.0);
+  for (const auto& series : figure.series) {
+    for (double failure : series.avg_failure) {
+      if (std::isnan(failure)) continue;
+      EXPECT_GE(failure, 0.0);
+      EXPECT_LE(failure, 1.0);
+    }
+  }
+}
+
+TEST(Report, TableContainsSeriesNames) {
+  const auto figure = run_fig_6_7(tiny_config(), 250.0);
+  std::ostringstream table;
+  print_table(table, figure, Metric::kSolutions);
+  EXPECT_NE(table.str().find("ILP"), std::string::npos);
+  EXPECT_NE(table.str().find("Heur-P"), std::string::npos);
+  EXPECT_NE(table.str().find("period bound"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  const auto figure = run_fig_6_7(tiny_config(), 250.0);
+  std::ostringstream csv;
+  print_csv(csv, figure);
+  std::string line;
+  std::istringstream in(csv.str());
+  std::getline(in, line);
+  EXPECT_NE(line.find("ILP_solutions"), std::string::npos);
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, figure.x.size());
+}
+
+TEST(Report, SummarizeMentionsEverySeries) {
+  const auto figure = run_fig_6_7(tiny_config(), 250.0);
+  const std::string summary = summarize(figure);
+  EXPECT_NE(summary.find("ILP"), std::string::npos);
+  EXPECT_NE(summary.find("Heur-L"), std::string::npos);
+  EXPECT_NE(summary.find("Heur-P"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prts::exp

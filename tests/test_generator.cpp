@@ -1,0 +1,163 @@
+#include "model/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prts {
+namespace {
+
+TEST(Generator, ChainRespectsRanges) {
+  Rng rng(1);
+  ChainConfig config;
+  config.task_count = 200;
+  const TaskChain chain = random_chain(rng, config);
+  ASSERT_EQ(chain.size(), 200u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_GE(chain.work(i), 1.0);
+    EXPECT_LE(chain.work(i), 100.0);
+    EXPECT_DOUBLE_EQ(chain.work(i), std::floor(chain.work(i)));
+    if (i + 1 < chain.size()) {
+      EXPECT_GE(chain.out_size(i), 1.0);
+      EXPECT_LE(chain.out_size(i), 10.0);
+    }
+  }
+}
+
+TEST(Generator, LastTaskHasNoOutput) {
+  Rng rng(2);
+  const TaskChain chain = random_chain(rng, ChainConfig{});
+  EXPECT_DOUBLE_EQ(chain.out_size(chain.size() - 1), 0.0);
+}
+
+TEST(Generator, ChainIsDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  const TaskChain chain_a = random_chain(a, ChainConfig{});
+  const TaskChain chain_b = random_chain(b, ChainConfig{});
+  for (std::size_t i = 0; i < chain_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(chain_a.work(i), chain_b.work(i));
+    EXPECT_DOUBLE_EQ(chain_a.out_size(i), chain_b.out_size(i));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  const TaskChain chain_a = random_chain(a, ChainConfig{});
+  const TaskChain chain_b = random_chain(b, ChainConfig{});
+  bool different = false;
+  for (std::size_t i = 0; i < chain_a.size(); ++i) {
+    if (chain_a.work(i) != chain_b.work(i)) different = true;
+  }
+  EXPECT_TRUE(different);
+}
+
+TEST(Generator, HetPlatformRespectsRanges) {
+  Rng rng(3);
+  const Platform platform = random_het_platform(rng, HetPlatformConfig{});
+  EXPECT_EQ(platform.processor_count(), 10u);
+  for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+    EXPECT_GE(platform.speed(u), 1.0);
+    EXPECT_LE(platform.speed(u), 100.0);
+    EXPECT_DOUBLE_EQ(platform.failure_rate(u), 1e-8);
+  }
+  EXPECT_EQ(platform.max_replication(), 3u);
+}
+
+TEST(Generator, PaperHomPlatform) {
+  const Platform platform = paper::hom_platform();
+  EXPECT_EQ(platform.processor_count(), paper::kProcessorCount);
+  EXPECT_TRUE(platform.is_homogeneous());
+  EXPECT_DOUBLE_EQ(platform.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(platform.failure_rate(0), 1e-8);
+  EXPECT_DOUBLE_EQ(platform.link_failure_rate(), 1e-5);
+}
+
+TEST(Generator, PaperHomComparisonPlatform) {
+  const Platform platform = paper::hom_comparison_platform();
+  EXPECT_TRUE(platform.is_homogeneous());
+  EXPECT_DOUBLE_EQ(platform.speed(0), 5.0);
+}
+
+TEST(Generator, PaperChainShape) {
+  Rng rng(4);
+  const TaskChain chain = paper::chain(rng);
+  EXPECT_EQ(chain.size(), paper::kTaskCount);
+}
+
+TEST(Generator, PaperHetPlatformUsuallyHeterogeneous) {
+  // With 10 speeds uniform in [1,100], all-equal is vanishingly unlikely.
+  Rng rng(5);
+  int het = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!paper::het_platform(rng).is_homogeneous()) ++het;
+  }
+  EXPECT_GE(het, 9);
+}
+
+TEST(ShapedChains, AllShapesValidAndTerminated) {
+  Rng rng(10);
+  for (ChainShape shape :
+       {ChainShape::kUniform, ChainShape::kIncreasing,
+        ChainShape::kDecreasing, ChainShape::kHotspot,
+        ChainShape::kCommHeavy}) {
+    const TaskChain chain = shaped_chain(rng, 12, shape);
+    ASSERT_EQ(chain.size(), 12u);
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_GT(chain.work(i), 0.0);
+      EXPECT_GE(chain.out_size(i), 0.0);
+    }
+    EXPECT_DOUBLE_EQ(chain.out_size(11), 0.0);
+  }
+}
+
+TEST(ShapedChains, IncreasingRampsUp) {
+  Rng rng(11);
+  const TaskChain chain = shaped_chain(rng, 20, ChainShape::kIncreasing);
+  // The ramp dominates the noise: the last quarter outweighs the first.
+  double head = 0.0;
+  double tail = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) head += chain.work(i);
+  for (std::size_t i = 15; i < 20; ++i) tail += chain.work(i);
+  EXPECT_GT(tail, head);
+}
+
+TEST(ShapedChains, DecreasingRampsDown) {
+  Rng rng(12);
+  const TaskChain chain = shaped_chain(rng, 20, ChainShape::kDecreasing);
+  double head = 0.0;
+  double tail = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) head += chain.work(i);
+  for (std::size_t i = 15; i < 20; ++i) tail += chain.work(i);
+  EXPECT_GT(head, tail);
+}
+
+TEST(ShapedChains, HotspotHasOneDominantTask) {
+  Rng rng(13);
+  const TaskChain chain = shaped_chain(rng, 15, ChainShape::kHotspot);
+  double max_work = 0.0;
+  double second = 0.0;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (chain.work(i) > max_work) {
+      second = max_work;
+      max_work = chain.work(i);
+    } else if (chain.work(i) > second) {
+      second = chain.work(i);
+    }
+  }
+  EXPECT_GE(max_work, 2.0 * second);
+}
+
+TEST(ShapedChains, CommHeavyOutputsRivalWorks) {
+  Rng rng(14);
+  const TaskChain chain = shaped_chain(rng, 15, ChainShape::kCommHeavy);
+  double total_out = 0.0;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    total_out += chain.out_size(i);
+  }
+  EXPECT_GT(total_out, chain.total_work());
+}
+
+}  // namespace
+}  // namespace prts

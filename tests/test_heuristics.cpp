@@ -1,0 +1,215 @@
+#include "core/heuristics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+TEST(HeurL, SingleIntervalIsWholeChain) {
+  const TaskChain chain({{1, 3}, {1, 1}, {1, 2}, {1, 0}});
+  const auto part = heur_l_partition(chain, 1);
+  ASSERT_EQ(part.interval_count(), 1u);
+}
+
+TEST(HeurL, CutsAtSmallestCommunications) {
+  // Output sizes 3,1,2 -> for 2 intervals cut after task 1 (cost 1);
+  // for 3 intervals cut after tasks 1 and 2 (costs 1 and 2).
+  const TaskChain chain({{1, 3}, {1, 1}, {1, 2}, {1, 0}});
+  const auto two = heur_l_partition(chain, 2);
+  ASSERT_EQ(two.interval_count(), 2u);
+  EXPECT_EQ(two.interval(0).last, 1u);
+  const auto three = heur_l_partition(chain, 3);
+  ASSERT_EQ(three.interval_count(), 3u);
+  EXPECT_EQ(three.interval(0).last, 1u);
+  EXPECT_EQ(three.interval(1).last, 2u);
+}
+
+TEST(HeurL, FullSplitIsSingletons) {
+  const TaskChain chain({{1, 3}, {1, 1}, {1, 2}, {1, 0}});
+  const auto part = heur_l_partition(chain, 4);
+  ASSERT_EQ(part.interval_count(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(part.interval(j).size(), 1u);
+}
+
+TEST(HeurL, MinimizesCutCostAmongAllPartitions) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 7);
+    const auto i = static_cast<std::size_t>(rng.uniform_int(2, 6));
+    const auto part = heur_l_partition(chain, i);
+    double heur_cost = 0.0;
+    for (std::size_t j = 0; j + 1 < part.interval_count(); ++j) {
+      heur_cost += part.out_size(chain, j);
+    }
+    // Oracle: the i-1 smallest output sizes among tasks 0..n-2.
+    std::vector<double> outs;
+    for (std::size_t t = 0; t + 1 < chain.size(); ++t) {
+      outs.push_back(chain.out_size(t));
+    }
+    std::sort(outs.begin(), outs.end());
+    double oracle = 0.0;
+    for (std::size_t c = 0; c + 1 < i; ++c) oracle += outs[c];
+    EXPECT_NEAR(heur_cost, oracle, 1e-12);
+  }
+}
+
+TEST(HeurL, RejectsBadIntervalCount) {
+  const TaskChain chain({{1, 0}});
+  EXPECT_THROW(heur_l_partition(chain, 0), std::invalid_argument);
+  EXPECT_THROW(heur_l_partition(chain, 2), std::invalid_argument);
+}
+
+TEST(HeurP, SingleInterval) {
+  Rng rng(12);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const auto part = heur_p_partition(chain, 1);
+  EXPECT_EQ(part.interval_count(), 1u);
+}
+
+TEST(HeurP, BalancesLoads) {
+  // Works 4,4,4,4 with tiny comms: 2 intervals must split 2+2.
+  const TaskChain chain({{4, 1}, {4, 1}, {4, 1}, {4, 0}});
+  const auto part = heur_p_partition(chain, 2);
+  ASSERT_EQ(part.interval_count(), 2u);
+  EXPECT_EQ(part.interval(0).last, 1u);
+}
+
+TEST(HeurP, AchievesOptimalPeriodAmongPartitions) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 7);
+    const auto i = static_cast<std::size_t>(rng.uniform_int(1, 7));
+    const auto part = heur_p_partition(chain, i);
+    ASSERT_EQ(part.interval_count(), i);
+    auto period_of = [&](const IntervalPartition& p) {
+      double period = 0.0;
+      for (std::size_t j = 0; j < p.interval_count(); ++j) {
+        period = std::max({period, p.work(chain, j), p.out_size(chain, j)});
+      }
+      return period;
+    };
+    const double heur_period = period_of(part);
+    // Oracle: enumerate all partitions into exactly i intervals.
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> lasts;
+    auto recurse = [&](auto&& self, std::size_t first) -> void {
+      if (lasts.size() + 1 == i) {
+        lasts.push_back(chain.size() - 1);
+        if (lasts.size() == 1 || lasts[lasts.size() - 2] < chain.size() - 1) {
+          best = std::min(
+              best, period_of(IntervalPartition::from_boundaries(
+                        lasts, chain.size())));
+        }
+        lasts.pop_back();
+        return;
+      }
+      for (std::size_t last = first; last + 1 < chain.size(); ++last) {
+        lasts.push_back(last);
+        self(self, last + 1);
+        lasts.pop_back();
+      }
+    };
+    recurse(recurse, 0);
+    EXPECT_NEAR(heur_period, best, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(HeurP, ScalesWithSpeedAndBandwidth) {
+  // With a fast processor the computation term shrinks and the cut should
+  // move to balance communications instead.
+  const TaskChain chain({{100, 10}, {1, 1}, {1, 0}});
+  const auto slow = heur_p_partition(chain, 2, 1.0, 1.0);
+  // Slow processors: split the heavy first task away.
+  EXPECT_EQ(slow.interval(0).last, 0u);
+  const auto fast = heur_p_partition(chain, 2, 1000.0, 1.0);
+  // Fast processors: computation is negligible, avoid the cost-10 cut.
+  EXPECT_EQ(fast.interval(0).last, 1u);
+}
+
+TEST(Candidates, OnePerFeasibleIntervalCount) {
+  Rng rng(14);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(4, 2);
+  const auto candidates =
+      heuristic_candidates(chain, platform, HeuristicKind::kHeurP);
+  EXPECT_EQ(candidates.size(), 4u);  // i = 1..min(6,4)
+  for (const auto& candidate : candidates) {
+    EXPECT_FALSE(candidate.mapping.validate(platform).has_value());
+  }
+}
+
+TEST(RunHeuristic, RespectsBounds) {
+  Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_het_platform(rng, 5, 2);
+    HeuristicOptions options;
+    options.period_bound = rng.uniform_real(5.0, 40.0);
+    options.latency_bound = rng.uniform_real(20.0, 120.0);
+    for (HeuristicKind kind :
+         {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+      const auto solution = run_heuristic(chain, platform, kind, options);
+      if (!solution) continue;
+      EXPECT_LE(solution->metrics.worst_period,
+                options.period_bound + 1e-9);
+      EXPECT_LE(solution->metrics.worst_latency,
+                options.latency_bound + 1e-9);
+    }
+  }
+}
+
+TEST(RunHeuristic, UnboundedAlwaysSolvesWhenPlatformLargeEnough) {
+  Rng rng(16);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  for (HeuristicKind kind : {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+    EXPECT_TRUE(run_heuristic(chain, platform, kind).has_value());
+  }
+}
+
+TEST(RunHeuristic, PicksMostReliableCandidate) {
+  Rng rng(17);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(6, 2);
+  const auto solution =
+      run_heuristic(chain, platform, HeuristicKind::kHeurP);
+  const auto candidates =
+      heuristic_candidates(chain, platform, HeuristicKind::kHeurP);
+  ASSERT_TRUE(solution.has_value());
+  for (const auto& candidate : candidates) {
+    EXPECT_GE(solution->metrics.reliability.log(),
+              candidate.metrics.reliability.log() - 1e-12);
+  }
+}
+
+TEST(RunHeuristic, ExpectedMetricsFlagUsesExpectedValues) {
+  Rng rng(18);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_het_platform(rng, 6, 3);
+  // Find a bound separating expected from worst-case latency.
+  const auto unbounded =
+      run_heuristic(chain, platform, HeuristicKind::kHeurP);
+  ASSERT_TRUE(unbounded.has_value());
+  const double mid = 0.5 * (unbounded->metrics.expected_latency +
+                            unbounded->metrics.worst_latency);
+  HeuristicOptions expected_options;
+  expected_options.latency_bound = mid;
+  expected_options.use_expected_metrics = true;
+  const auto via_expected = run_heuristic(
+      chain, platform, HeuristicKind::kHeurP, expected_options);
+  // With expected metrics the same candidate may pass; with worst-case it
+  // must not (if expected < mid < worst strictly).
+  if (unbounded->metrics.expected_latency < mid &&
+      mid < unbounded->metrics.worst_latency) {
+    ASSERT_TRUE(via_expected.has_value());
+    EXPECT_LE(via_expected->metrics.expected_latency, mid + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,171 @@
+#include "core/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "eval/evaluation.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(IlpFormulation, VariableCount) {
+  Rng rng(1);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(5, 3);
+  const IlpFormulation ilp(chain, platform, kInf, kInf);
+  // n(n+1)/2 intervals x K replication choices = 10 * 3.
+  EXPECT_EQ(ilp.variables().size(), 30u);
+}
+
+TEST(IlpFormulation, RejectsHeterogeneous) {
+  Rng rng(2);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_het_platform(rng, 4, 2);
+  EXPECT_THROW(IlpFormulation(chain, platform, kInf, kInf),
+               std::invalid_argument);
+}
+
+TEST(IlpFormulation, DetectsUncoveredTask) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(4, 2);
+  const IlpFormulation ilp(chain, platform, kInf, kInf);
+  std::vector<std::uint8_t> nothing(ilp.variables().size(), 0);
+  const auto violation = ilp.violated_constraint(nothing);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("covered 0 times"), std::string::npos);
+}
+
+TEST(IlpFormulation, DetectsDoubleCover) {
+  Rng rng(4);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(4, 2);
+  const IlpFormulation ilp(chain, platform, kInf, kInf);
+  std::vector<std::uint8_t> assignment(ilp.variables().size(), 0);
+  // Choose the whole chain twice (k=1): indices of [0..2] with k=1 and
+  // k=2 variants cover the same tasks.
+  std::size_t count = 0;
+  for (std::size_t v = 0; v < ilp.variables().size() && count < 2; ++v) {
+    const auto& var = ilp.variables()[v];
+    if (var.first == 0 && var.last == 2) {
+      assignment[v] = 1;
+      ++count;
+    }
+  }
+  ASSERT_EQ(count, 2u);
+  const auto violation = ilp.violated_constraint(assignment);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("covered"), std::string::npos);
+}
+
+TEST(IlpFormulation, DetectsProcessorOveruse) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(2, 3);
+  const IlpFormulation ilp(chain, platform, kInf, kInf);
+  // Pick each singleton task with 2 replicas: 6 > p = 2, while every task
+  // stays covered exactly once, so the violation must mention processors.
+  std::vector<std::uint8_t> assignment(ilp.variables().size(), 0);
+  for (std::size_t v = 0; v < ilp.variables().size(); ++v) {
+    const auto& var = ilp.variables()[v];
+    if (var.first == var.last && var.replicas == 2) assignment[v] = 1;
+  }
+  const auto violation = ilp.violated_constraint(assignment);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("processors"), std::string::npos);
+}
+
+TEST(IlpFormulation, PeriodInfeasibleVariablesFlagged) {
+  const TaskChain chain({{10.0, 0.0}, {2.0, 0.0}});
+  const Platform platform = Platform::homogeneous(3, 1.0, 0.01, 1.0, 0.0, 2);
+  const IlpFormulation ilp(chain, platform, 5.0, kInf);
+  bool found_infeasible = false;
+  for (const auto& var : ilp.variables()) {
+    const double work = chain.work_sum(var.first, var.last);
+    if (work > 5.0) {
+      EXPECT_FALSE(var.period_feasible);
+      found_infeasible = true;
+    } else {
+      EXPECT_TRUE(var.period_feasible);
+    }
+  }
+  EXPECT_TRUE(found_infeasible);
+}
+
+TEST(SolveIlp, SolutionSatisfiesEveryConstraint) {
+  Rng rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_hom_platform(5, 2);
+    const double period_bound = rng.uniform_real(8.0, 40.0);
+    const double latency_bound = rng.uniform_real(20.0, 90.0);
+    const IlpFormulation ilp(chain, platform, period_bound, latency_bound);
+    const auto solution = solve_ilp(ilp);
+    if (!solution) continue;
+    std::vector<std::uint8_t> assignment(ilp.variables().size(), 0);
+    for (std::size_t v : solution->chosen) assignment[v] = 1;
+    EXPECT_FALSE(ilp.violated_constraint(assignment).has_value());
+    EXPECT_NEAR(ilp.objective_value(assignment), solution->objective,
+                1e-10);
+  }
+}
+
+class IlpMatchesEnumeration : public ::testing::TestWithParam<int> {};
+
+TEST_P(IlpMatchesEnumeration, BranchAndBoundIsExact) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 800);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 7));
+  const auto p = static_cast<std::size_t>(rng.uniform_int(2, 7));
+  const TaskChain chain = testutil::small_chain(rng, n);
+  const Platform platform = testutil::small_hom_platform(p, 3);
+  const double period_bound = rng.uniform_real(5.0, 40.0);
+  const double latency_bound = rng.uniform_real(15.0, 90.0);
+  const IlpFormulation ilp(chain, platform, period_bound, latency_bound);
+  const auto via_bb = solve_ilp(ilp);
+  const HomogeneousExactSolver solver(chain, platform);
+  const auto via_enum =
+      solver.best_log_reliability(period_bound, latency_bound);
+  ASSERT_EQ(via_bb.has_value(), via_enum.has_value());
+  if (via_bb) {
+    EXPECT_NEAR(via_bb->objective, *via_enum, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpMatchesEnumeration,
+                         ::testing::Range(0, 40));
+
+TEST(SolveIlp, ObjectiveMatchesMappingReliability) {
+  Rng rng(7);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const IlpFormulation ilp(chain, platform, kInf, kInf);
+  const auto solution = solve_ilp(ilp);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_NEAR(
+      solution->objective,
+      mapping_reliability(chain, platform, solution->mapping).log(), 1e-10);
+}
+
+TEST(SolveIlp, LiteralPaperObjectiveIgnoresComms) {
+  // With include_comm_reliability = false the coefficients only involve
+  // computation failures, so a mapping's objective differs from Eq. (9)
+  // whenever links are unreliable.
+  Rng rng(8);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(4, 2, 0.01, 0.05);
+  const IlpFormulation literal(chain, platform, kInf, kInf, false);
+  const auto solution = solve_ilp(literal);
+  ASSERT_TRUE(solution.has_value());
+  const double eq9 =
+      mapping_reliability(chain, platform, solution->mapping).log();
+  EXPECT_GT(solution->objective, eq9);  // comm failures are extra
+}
+
+}  // namespace
+}  // namespace prts

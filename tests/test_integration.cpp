@@ -1,0 +1,187 @@
+// End-to-end cross-checks on paper-scale instances: every optimizer, the
+// evaluator, the RBD library, and the simulator must tell one consistent
+// story about the same mapping.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "core/ilp.hpp"
+#include "core/period_dp.hpp"
+#include "core/reliability_dp.hpp"
+#include "eval/evaluation.hpp"
+#include "model/generator.hpp"
+#include "rbd/builder.hpp"
+#include "rbd/chain_dp.hpp"
+#include "sim/monte_carlo.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace prts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class PaperInstance : public ::testing::TestWithParam<int> {
+ protected:
+  PaperInstance()
+      : rng_(static_cast<std::uint64_t>(GetParam()) * 7919 + 13),
+        chain_(paper::chain(rng_)),
+        platform_(paper::hom_platform()) {}
+
+  Rng rng_;
+  TaskChain chain_;
+  Platform platform_;
+};
+
+TEST_P(PaperInstance, AllExactMethodsAgree) {
+  const double period_bound = 100.0 + 30.0 * GetParam();
+  const double latency_bound = 750.0;
+
+  const HomogeneousExactSolver solver(chain_, platform_);
+  const auto via_enum =
+      solver.best_log_reliability(period_bound, latency_bound);
+  const IlpFormulation ilp(chain_, platform_, period_bound, latency_bound);
+  const auto via_ilp = solve_ilp(ilp);
+  const auto via_dp = exact_dp_log_reliability(chain_, platform_,
+                                               period_bound, latency_bound);
+  ASSERT_EQ(via_enum.has_value(), via_ilp.has_value());
+  ASSERT_EQ(via_enum.has_value(), via_dp.has_value());
+  if (via_enum) {
+    EXPECT_NEAR(*via_enum, via_ilp->objective, 1e-9);
+    EXPECT_NEAR(*via_enum, *via_dp, 1e-9);
+  }
+}
+
+TEST_P(PaperInstance, Algorithm1MatchesUnboundedExact) {
+  const HomogeneousExactSolver solver(chain_, platform_);
+  const auto exact = solver.best_log_reliability(kInf, kInf);
+  const auto dp = optimize_reliability(chain_, platform_);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(dp.reliability.log(), *exact, 1e-9);
+}
+
+TEST_P(PaperInstance, Algorithm2MatchesBoundedExact) {
+  const double period_bound = 90.0 + 40.0 * GetParam();
+  const HomogeneousExactSolver solver(chain_, platform_);
+  const auto exact = solver.best_log_reliability(period_bound, kInf);
+  const auto dp =
+      optimize_reliability_period(chain_, platform_, period_bound);
+  ASSERT_EQ(exact.has_value(), dp.has_value());
+  if (exact) {
+    EXPECT_NEAR(dp->reliability.log(), *exact, 1e-9);
+  }
+}
+
+TEST_P(PaperInstance, HeuristicsNeverBeatExactAndRespectBounds) {
+  const double period_bound = 150.0 + 25.0 * GetParam();
+  const double latency_bound = 700.0 + 30.0 * GetParam();
+  const HomogeneousExactSolver solver(chain_, platform_);
+  const auto exact =
+      solver.best_log_reliability(period_bound, latency_bound);
+  HeuristicOptions options;
+  options.period_bound = period_bound;
+  options.latency_bound = latency_bound;
+  for (HeuristicKind kind : {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+    const auto heuristic = run_heuristic(chain_, platform_, kind, options);
+    if (!heuristic) continue;
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(heuristic->metrics.reliability.log(), *exact + 1e-9);
+    EXPECT_LE(heuristic->metrics.worst_period, period_bound + 1e-9);
+    EXPECT_LE(heuristic->metrics.worst_latency, latency_bound + 1e-9);
+    EXPECT_FALSE(heuristic->mapping.validate(platform_).has_value());
+  }
+}
+
+TEST_P(PaperInstance, RbdRoutesAgreeOnOptimalMapping) {
+  const auto dp = optimize_reliability(chain_, platform_);
+  const auto sp = rbd::build_routing_sp(chain_, platform_, dp.mapping);
+  EXPECT_NEAR(sp.reliability().log(), dp.reliability.log(), 1e-9);
+  // No-routing reliability exists and is a probability.
+  const auto no_routing =
+      rbd::no_routing_reliability(chain_, platform_, dp.mapping);
+  EXPECT_LE(no_routing.log(), 0.0);
+  EXPECT_GE(no_routing.failure(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PaperInstance, ::testing::Range(0, 6));
+
+TEST(IntegrationHet, HeuristicsSolveRealisticHetInstances) {
+  Rng rng(123);
+  std::size_t solved = 0;
+  for (int inst = 0; inst < 10; ++inst) {
+    const TaskChain chain = paper::chain(rng);
+    const Platform platform = paper::het_platform(rng);
+    HeuristicOptions options;
+    options.period_bound = 100.0;
+    options.latency_bound = 150.0;
+    for (HeuristicKind kind :
+         {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+      const auto solution = run_heuristic(chain, platform, kind, options);
+      if (solution) {
+        ++solved;
+        EXPECT_LE(solution->metrics.worst_period, 100.0 + 1e-9);
+        EXPECT_LE(solution->metrics.worst_latency, 150.0 + 1e-9);
+      }
+    }
+  }
+  // The paper's Figure 12 shows nearly all instances solved at P >= 60 on
+  // heterogeneous platforms; expect a clear majority here.
+  EXPECT_GE(solved, 10u);
+}
+
+TEST(IntegrationSim, SimulatorConfirmsAnalyticsOnScaledInstance) {
+  // Paper rates are too reliable to measure by sampling; scale the rates
+  // so failures are frequent, keeping the same structure.
+  Rng rng(5);
+  const TaskChain chain = paper::chain(rng);
+  const Platform platform =
+      Platform::homogeneous(paper::kProcessorCount, 1.0, 2e-4, 1.0, 2e-3,
+                            paper::kMaxReplication);
+  const auto dp = optimize_reliability(chain, platform);
+  const auto mc = sim::estimate_reliability(chain, platform, dp.mapping,
+                                            30000, 17, true, 2);
+  const auto ci =
+      wilson_interval(mc.successes, mc.trials, 4.4);
+  EXPECT_TRUE(ci.contains(dp.reliability.reliability()))
+      << dp.reliability.reliability() << " vs [" << ci.lo << "," << ci.hi
+      << "]";
+
+  // Fault-free DES latency (no routing) equals the analytic worst case.
+  sim::SimulationConfig config;
+  config.dataset_count = 1;
+  config.input_period = 1e6;
+  config.inject_failures = false;
+  config.use_routing = false;
+  const auto run =
+      sim::simulate_pipeline(chain, platform, dp.mapping, config);
+  const auto metrics = evaluate(chain, platform, dp.mapping);
+  EXPECT_NEAR(run.latency.mean(), metrics.worst_latency, 1e-6);
+}
+
+TEST(IntegrationPrecision, PaperScaleFailuresAreTiny) {
+  // With real paper rates the mapping failure probability lands in the
+  // 1e-9..1e-3 decade range seen in Figures 7-11, and the log-space
+  // pipeline must preserve it (a naive 1 - prod(r) would return 0).
+  Rng rng(9);
+  const TaskChain chain = paper::chain(rng);
+  const Platform platform = paper::hom_platform();
+  const auto dp = optimize_reliability(chain, platform);
+  // The triple-replicated optimum reaches ~3e-16: below the spacing of
+  // doubles around 1.0, so a naive 1 - prod(r) would quantize it away
+  // entirely. Log space keeps it meaningful.
+  EXPECT_GT(dp.reliability.failure(), 1e-17);
+  EXPECT_LT(dp.reliability.failure(), 1e-3);
+  // A constrained mapping (tight period forces small intervals, hence
+  // more communications and fewer replicas) lands in the visible decade
+  // range of Figures 7-11.
+  const auto constrained =
+      optimize_reliability_period(chain, platform, 80.0);
+  if (constrained) {
+    EXPECT_GT(constrained->reliability.failure(), 1e-16);
+  }
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,101 @@
+#include "model/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace prts {
+namespace {
+
+TEST(Interval, SizeAndContains) {
+  const Interval ival{2, 5};
+  EXPECT_EQ(ival.size(), 4u);
+  EXPECT_TRUE(ival.contains(2));
+  EXPECT_TRUE(ival.contains(5));
+  EXPECT_FALSE(ival.contains(1));
+  EXPECT_FALSE(ival.contains(6));
+}
+
+TEST(IntervalPartition, FromBoundaries) {
+  const std::array<std::size_t, 3> lasts{2, 5, 8};
+  const auto part = IntervalPartition::from_boundaries(lasts, 9);
+  ASSERT_EQ(part.interval_count(), 3u);
+  EXPECT_EQ(part.interval(0), (Interval{0, 2}));
+  EXPECT_EQ(part.interval(1), (Interval{3, 5}));
+  EXPECT_EQ(part.interval(2), (Interval{6, 8}));
+  EXPECT_EQ(part.task_count(), 9u);
+}
+
+TEST(IntervalPartition, BoundariesRoundTrip) {
+  const std::array<std::size_t, 3> lasts{0, 3, 6};
+  const auto part = IntervalPartition::from_boundaries(lasts, 7);
+  const auto back = part.boundaries();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], 0u);
+  EXPECT_EQ(back[1], 3u);
+  EXPECT_EQ(back[2], 6u);
+}
+
+TEST(IntervalPartition, Single) {
+  const auto part = IntervalPartition::single(5);
+  ASSERT_EQ(part.interval_count(), 1u);
+  EXPECT_EQ(part.interval(0), (Interval{0, 4}));
+}
+
+TEST(IntervalPartition, Singletons) {
+  const auto part = IntervalPartition::singletons(4);
+  ASSERT_EQ(part.interval_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(part.interval(i), (Interval{i, i}));
+  }
+}
+
+TEST(IntervalPartition, IntervalOf) {
+  const std::array<std::size_t, 3> lasts{2, 5, 8};
+  const auto part = IntervalPartition::from_boundaries(lasts, 9);
+  EXPECT_EQ(part.interval_of(0), 0u);
+  EXPECT_EQ(part.interval_of(2), 0u);
+  EXPECT_EQ(part.interval_of(3), 1u);
+  EXPECT_EQ(part.interval_of(5), 1u);
+  EXPECT_EQ(part.interval_of(8), 2u);
+}
+
+TEST(IntervalPartition, WorkAndOutSize) {
+  const TaskChain chain({{1.0, 5.0}, {2.0, 6.0}, {4.0, 7.0}, {8.0, 0.0}});
+  const std::array<std::size_t, 2> lasts{1, 3};
+  const auto part = IntervalPartition::from_boundaries(lasts, 4);
+  EXPECT_DOUBLE_EQ(part.work(chain, 0), 3.0);
+  EXPECT_DOUBLE_EQ(part.work(chain, 1), 12.0);
+  EXPECT_DOUBLE_EQ(part.out_size(chain, 0), 6.0);
+  EXPECT_DOUBLE_EQ(part.out_size(chain, 1), 0.0);
+}
+
+TEST(IntervalPartition, RejectsGap) {
+  EXPECT_THROW(IntervalPartition({{0, 1}, {3, 4}}, 5), std::invalid_argument);
+}
+
+TEST(IntervalPartition, RejectsOverlap) {
+  EXPECT_THROW(IntervalPartition({{0, 2}, {2, 4}}, 5), std::invalid_argument);
+}
+
+TEST(IntervalPartition, RejectsIncompleteCover) {
+  EXPECT_THROW(IntervalPartition({{0, 2}}, 5), std::invalid_argument);
+}
+
+TEST(IntervalPartition, RejectsOutOfRange) {
+  EXPECT_THROW(IntervalPartition({{0, 5}}, 5), std::invalid_argument);
+}
+
+TEST(IntervalPartition, RejectsEmpty) {
+  EXPECT_THROW(IntervalPartition({}, 5), std::invalid_argument);
+}
+
+TEST(IntervalPartition, RejectsBadBoundaries) {
+  const std::array<std::size_t, 2> not_ending_at_last{1, 2};
+  EXPECT_THROW(IntervalPartition::from_boundaries(not_ending_at_last, 5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prts

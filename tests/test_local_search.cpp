@@ -1,0 +1,183 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "core/reliability_dp.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LocalSearch, NeverWorsensTheStart) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_het_platform(rng, 6, 3);
+    const Mapping start = testutil::random_mapping(rng, chain, platform);
+    const auto improved = improve_mapping(chain, platform, start);
+    ASSERT_TRUE(improved.has_value());
+    EXPECT_GE(improved->metrics.reliability.log(),
+              mapping_reliability(chain, platform, start).log() - 1e-12);
+    EXPECT_FALSE(improved->mapping.validate(platform).has_value());
+  }
+}
+
+TEST(LocalSearch, RespectsBounds) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_het_platform(rng, 6, 2);
+    HeuristicOptions heuristic_options;
+    heuristic_options.period_bound = rng.uniform_real(8.0, 40.0);
+    heuristic_options.latency_bound = rng.uniform_real(25.0, 120.0);
+    const auto start = run_heuristic(chain, platform,
+                                     HeuristicKind::kHeurP,
+                                     heuristic_options);
+    if (!start) continue;
+    LocalSearchOptions options;
+    options.period_bound = heuristic_options.period_bound;
+    options.latency_bound = heuristic_options.latency_bound;
+    const auto improved =
+        improve_mapping(chain, platform, start->mapping, options);
+    ASSERT_TRUE(improved.has_value());
+    EXPECT_LE(improved->metrics.worst_period,
+              options.period_bound + 1e-9);
+    EXPECT_LE(improved->metrics.worst_latency,
+              options.latency_bound + 1e-9);
+    EXPECT_GE(improved->metrics.reliability.log(),
+              start->metrics.reliability.log() - 1e-12);
+  }
+}
+
+TEST(LocalSearch, InfeasibleStartRejected) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const Mapping start = testutil::random_mapping(rng, chain, platform);
+  LocalSearchOptions options;
+  options.period_bound = 1e-9;  // nothing satisfies this
+  EXPECT_FALSE(improve_mapping(chain, platform, start, options).has_value());
+}
+
+TEST(LocalSearch, ReachesOptimumFromPoorStartOnSmallInstances) {
+  // Hill climbing will not always reach the global optimum, but from a
+  // deliberately poor start (everything in one interval on one slow
+  // processor pair) it must close most of the gap; on many small
+  // homogeneous instances it lands exactly on the optimum.
+  Rng rng(4);
+  std::size_t exact_hits = 0;
+  const int trials = 20;
+  for (int trial = 0; trial < trials; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 5);
+    const Platform platform = testutil::small_hom_platform(6, 3);
+    const Mapping start(IntervalPartition::single(5), {{0}});
+    const auto improved = improve_mapping(chain, platform, start);
+    ASSERT_TRUE(improved.has_value());
+    const auto optimum = optimize_reliability(chain, platform);
+    EXPECT_LE(improved->metrics.reliability.log(),
+              optimum.reliability.log() + 1e-12);
+    if (improved->metrics.reliability.log() >=
+        optimum.reliability.log() - 1e-9) {
+      ++exact_hits;
+    }
+    // The start had one replica on one interval; any improvement implies
+    // the climb worked at all.
+    EXPECT_GT(improved->metrics.reliability.log(),
+              mapping_reliability(chain, platform, start).log());
+  }
+  EXPECT_GE(exact_hits, static_cast<std::size_t>(trials / 2));
+}
+
+TEST(LocalSearch, ImprovesHeuristicsOnHeterogeneousInstances) {
+  // Aggregate check: across instances, local search starting from the
+  // best heuristic result is never worse and sometimes strictly better.
+  Rng rng(5);
+  std::size_t strict_improvements = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 7);
+    const Platform platform = testutil::small_het_platform(rng, 7, 3);
+    HeuristicOptions heuristic_options;
+    heuristic_options.period_bound = 30.0;
+    heuristic_options.latency_bound = 150.0;
+    const auto start = run_heuristic(chain, platform,
+                                     HeuristicKind::kHeurP,
+                                     heuristic_options);
+    if (!start) continue;
+    LocalSearchOptions options;
+    options.period_bound = heuristic_options.period_bound;
+    options.latency_bound = heuristic_options.latency_bound;
+    const auto improved =
+        improve_mapping(chain, platform, start->mapping, options);
+    ASSERT_TRUE(improved.has_value());
+    if (improved->metrics.reliability.log() >
+        start->metrics.reliability.log() + 1e-9) {
+      ++strict_improvements;
+    }
+  }
+  EXPECT_GT(strict_improvements, 0u);
+}
+
+TEST(LocalSearch, HonorsAllocationConstraints) {
+  Rng rng(6);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(4, 2);
+  auto constraints = AllocationConstraints::all_allowed(4, 4);
+  // Task 0 may only run on processor 0.
+  for (std::size_t u : {1u, 2u, 3u}) constraints.forbid(0, u);
+  const Mapping start(IntervalPartition::single(4), {{0}});
+  LocalSearchOptions options;
+  options.constraints = &constraints;
+  const auto improved = improve_mapping(chain, platform, start, options);
+  ASSERT_TRUE(improved.has_value());
+  // Whatever the result, the interval containing task 0 only uses P0.
+  const std::size_t j =
+      improved->mapping.partition().interval_of(0);
+  for (std::size_t u : improved->mapping.processors(j)) {
+    EXPECT_EQ(u, 0u);
+  }
+}
+
+TEST(LocalSearch, TerminatesWithinRoundLimit) {
+  Rng rng(7);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_het_platform(rng, 6, 3);
+  const Mapping start = testutil::random_mapping(rng, chain, platform);
+  LocalSearchOptions options;
+  options.max_rounds = 2;
+  const auto improved = improve_mapping(chain, platform, start, options);
+  ASSERT_TRUE(improved.has_value());
+  EXPECT_LE(improved->rounds, 2u);
+}
+
+TEST(LocalSearch, UnboundedSearchOnHomInstancesMatchesAlgorithm1Often) {
+  Rng rng(8);
+  std::size_t matches = 0;
+  const int trials = 15;
+  for (int trial = 0; trial < trials; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(6, 2);
+    HeuristicOptions heuristic_options;
+    const auto start = run_heuristic(chain, platform,
+                                     HeuristicKind::kHeurL,
+                                     heuristic_options);
+    ASSERT_TRUE(start.has_value());
+    const auto improved =
+        improve_mapping(chain, platform, start->mapping);
+    ASSERT_TRUE(improved.has_value());
+    const auto optimum = optimize_reliability(chain, platform);
+    if (improved->metrics.reliability.log() >=
+        optimum.reliability.log() - 1e-9) {
+      ++matches;
+    }
+  }
+  EXPECT_GE(matches, static_cast<std::size_t>(trials * 2 / 3));
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,102 @@
+#include "model/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+#include "model/constraints.hpp"
+
+namespace prts {
+namespace {
+
+IntervalPartition two_intervals() {
+  const std::array<std::size_t, 2> lasts{1, 3};
+  return IntervalPartition::from_boundaries(lasts, 4);
+}
+
+TEST(Mapping, BasicAccessors) {
+  const Mapping mapping(two_intervals(), {{0, 1}, {2}});
+  EXPECT_EQ(mapping.interval_count(), 2u);
+  ASSERT_EQ(mapping.processors(0).size(), 2u);
+  EXPECT_EQ(mapping.processors(0)[0], 0u);
+  EXPECT_EQ(mapping.processors(1)[0], 2u);
+  EXPECT_EQ(mapping.processors_used(), 3u);
+  EXPECT_DOUBLE_EQ(mapping.replication_level(), 1.5);
+}
+
+TEST(Mapping, SortsProcessorIds) {
+  const Mapping mapping(two_intervals(), {{3, 1}, {0}});
+  EXPECT_EQ(mapping.processors(0)[0], 1u);
+  EXPECT_EQ(mapping.processors(0)[1], 3u);
+}
+
+TEST(Mapping, RejectsWrongSetCount) {
+  EXPECT_THROW(Mapping(two_intervals(), {{0}}), std::invalid_argument);
+}
+
+TEST(Mapping, RejectsEmptySet) {
+  EXPECT_THROW(Mapping(two_intervals(), {{0}, {}}), std::invalid_argument);
+}
+
+TEST(Mapping, RejectsDuplicateWithinInterval) {
+  EXPECT_THROW(Mapping(two_intervals(), {{0, 0}, {1}}),
+               std::invalid_argument);
+}
+
+TEST(Mapping, ValidateAcceptsGoodMapping) {
+  const Platform platform = Platform::homogeneous(4, 1.0, 0.0, 1.0, 0.0, 2);
+  const Mapping mapping(two_intervals(), {{0, 1}, {2, 3}});
+  EXPECT_FALSE(mapping.validate(platform).has_value());
+}
+
+TEST(Mapping, ValidateRejectsSharedProcessor) {
+  const Platform platform = Platform::homogeneous(4, 1.0, 0.0, 1.0, 0.0, 2);
+  const Mapping mapping(two_intervals(), {{0, 1}, {1}});
+  const auto error = mapping.validate(platform);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("more than one interval"), std::string::npos);
+}
+
+TEST(Mapping, ValidateRejectsOutOfRangeId) {
+  const Platform platform = Platform::homogeneous(2, 1.0, 0.0, 1.0, 0.0, 2);
+  const Mapping mapping(two_intervals(), {{0}, {5}});
+  ASSERT_TRUE(mapping.validate(platform).has_value());
+}
+
+TEST(Mapping, ValidateRejectsOverReplication) {
+  const Platform platform = Platform::homogeneous(4, 1.0, 0.0, 1.0, 0.0, 1);
+  const Mapping mapping(two_intervals(), {{0, 1}, {2}});
+  const auto error = mapping.validate(platform);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("above K"), std::string::npos);
+}
+
+TEST(AllocationConstraints, DefaultAllowsEverything) {
+  const auto constraints = AllocationConstraints::all_allowed(3, 2);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t u = 0; u < 2; ++u) {
+      EXPECT_TRUE(constraints.allowed(t, u));
+    }
+  }
+}
+
+TEST(AllocationConstraints, ForbidAndAllow) {
+  auto constraints = AllocationConstraints::all_allowed(3, 2);
+  constraints.forbid(1, 0);
+  EXPECT_FALSE(constraints.allowed(1, 0));
+  EXPECT_TRUE(constraints.allowed(1, 1));
+  constraints.allow(1, 0);
+  EXPECT_TRUE(constraints.allowed(1, 0));
+}
+
+TEST(AllocationConstraints, IntervalAllowedNeedsEveryTask) {
+  auto constraints = AllocationConstraints::all_allowed(4, 2);
+  constraints.forbid(2, 0);
+  EXPECT_FALSE(constraints.interval_allowed(Interval{1, 3}, 0));
+  EXPECT_TRUE(constraints.interval_allowed(Interval{1, 3}, 1));
+  EXPECT_TRUE(constraints.interval_allowed(Interval{0, 1}, 0));
+}
+
+}  // namespace
+}  // namespace prts

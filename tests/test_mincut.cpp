@@ -1,0 +1,116 @@
+#include "rbd/mincut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "rbd/brute_force.hpp"
+#include "rbd/builder.hpp"
+#include "test_util.hpp"
+
+namespace prts::rbd {
+namespace {
+
+LogReliability rel(double r) { return LogReliability::from_reliability(r); }
+
+Graph series_graph() {
+  Graph graph;
+  const auto a = graph.add_block("a", rel(0.9));
+  const auto b = graph.add_block("b", rel(0.8));
+  graph.add_arc(a, b);
+  graph.mark_entry(a);
+  graph.mark_exit(b);
+  return graph;
+}
+
+Graph parallel_graph() {
+  Graph graph;
+  const auto a = graph.add_block("a", rel(0.9));
+  const auto b = graph.add_block("b", rel(0.8));
+  graph.mark_entry(a);
+  graph.mark_entry(b);
+  graph.mark_exit(a);
+  graph.mark_exit(b);
+  return graph;
+}
+
+TEST(MinimalCuts, SeriesHasSingletonCuts) {
+  const auto cuts = minimal_cut_sets(series_graph());
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(cuts[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(MinimalCuts, ParallelHasOneFullCut) {
+  const auto cuts = minimal_cut_sets(parallel_graph());
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(MinimalCuts, EveryCutDisconnects) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const Graph graph = build_no_routing_graph(chain, platform, mapping);
+  for (const auto& cut : minimal_cut_sets(graph)) {
+    std::vector<bool> working(graph.block_count(), true);
+    for (std::size_t block : cut) working[block] = false;
+    EXPECT_FALSE(graph.operational(working));
+    // Minimality: restoring any single block reconnects.
+    for (std::size_t block : cut) {
+      working[block] = true;
+      EXPECT_TRUE(graph.operational(working));
+      working[block] = false;
+    }
+  }
+}
+
+TEST(MinCutApprox, ExactOnSeries) {
+  // With singleton cuts the approximation is exact.
+  EXPECT_NEAR(mincut_reliability_approximation(series_graph()).reliability(),
+              0.72, 1e-12);
+}
+
+TEST(MinCutApprox, ExactOnParallel) {
+  EXPECT_NEAR(
+      mincut_reliability_approximation(parallel_graph()).reliability(),
+      1.0 - 0.02, 1e-12);
+}
+
+class MinCutLowerBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinCutLowerBound, ApproximationNeverExceedsExact) {
+  // Esary-Proschan: the min-cut serial-parallel RBD is a lower bound on
+  // the true reliability of a coherent system with independent blocks.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(6, 2, 0.05, 0.08);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const Graph graph = build_no_routing_graph(chain, platform, mapping);
+  if (graph.block_count() > 24) GTEST_SKIP() << "oracle too slow";
+  const double exact = brute_force_reliability(graph).reliability();
+  const double approx =
+      mincut_reliability_approximation(graph).reliability();
+  EXPECT_LE(approx, exact + 1e-12);
+
+  // Tightness: the bound converges to the exact value as failure
+  // probabilities shrink (first-order cut terms dominate). Re-check the
+  // same structure with rates scaled down 100x.
+  const Platform reliable_platform =
+      testutil::small_hom_platform(6, 2, 0.0005, 0.0008);
+  const Graph reliable_graph =
+      build_no_routing_graph(chain, reliable_platform, mapping);
+  const double exact_f =
+      brute_force_reliability(reliable_graph).failure();
+  const double approx_f =
+      mincut_reliability_approximation(reliable_graph).failure();
+  EXPECT_GE(approx_f, exact_f - 1e-12);
+  EXPECT_LT(approx_f, exact_f * 1.05 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinCutLowerBound, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace prts::rbd

@@ -1,0 +1,143 @@
+#include "sim/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "eval/evaluation.hpp"
+#include "rbd/chain_dp.hpp"
+#include "test_util.hpp"
+
+namespace prts::sim {
+namespace {
+
+TEST(MonteCarlo, PerfectComponentsAlwaysSucceed) {
+  Rng rng(1);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(5, 2, 0.0, 0.0);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const auto result =
+      estimate_reliability(chain, platform, mapping, 2000, 3, true, 2);
+  EXPECT_EQ(result.successes, result.trials);
+  EXPECT_DOUBLE_EQ(result.estimate, 1.0);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  Rng rng(2);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(5, 2, 0.05, 0.05);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const auto a =
+      estimate_reliability(chain, platform, mapping, 5000, 42, true, 2);
+  const auto b =
+      estimate_reliability(chain, platform, mapping, 5000, 42, true, 2);
+  EXPECT_EQ(a.successes, b.successes);
+}
+
+class MonteCarloRouting : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonteCarloRouting, EstimateBracketsEquation9) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 40);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = rng.bernoulli(0.5)
+                                ? testutil::small_hom_platform(5, 2, 0.03,
+                                                               0.05)
+                                : testutil::small_het_platform(rng, 5, 2,
+                                                               0.03, 0.05);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const auto result = estimate_reliability(chain, platform, mapping, 20000,
+                                           99 + GetParam(), true, 2);
+  // Wide z so the suite is not flaky: ~4.4 sigma.
+  const auto ci = wilson_interval(result.successes, result.trials, 4.4);
+  const double analytic =
+      mapping_reliability(chain, platform, mapping).reliability();
+  EXPECT_TRUE(ci.contains(analytic))
+      << analytic << " not in [" << ci.lo << "," << ci.hi << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonteCarloRouting, ::testing::Range(0, 10));
+
+class MonteCarloNoRouting : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonteCarloNoRouting, EstimateBracketsSubsetDp) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 70);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_het_platform(rng, 5, 2, 0.04,
+                                                         0.06);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const auto result = estimate_reliability(chain, platform, mapping, 20000,
+                                           7 + GetParam(), false, 2);
+  const auto ci = wilson_interval(result.successes, result.trials, 4.4);
+  const double analytic =
+      rbd::no_routing_reliability(chain, platform, mapping).reliability();
+  EXPECT_TRUE(ci.contains(analytic))
+      << analytic << " not in [" << ci.lo << "," << ci.hi << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonteCarloNoRouting,
+                         ::testing::Range(0, 10));
+
+TEST(MonteCarlo, CiNarrowsWithTrials) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(5, 2, 0.05, 0.05);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const auto small =
+      estimate_reliability(chain, platform, mapping, 500, 5, true, 2);
+  const auto large =
+      estimate_reliability(chain, platform, mapping, 50000, 5, true, 2);
+  EXPECT_LT(large.ci95.width(), small.ci95.width());
+}
+
+TEST(SampleIntervalCompletion, DeterministicWithoutFailures) {
+  const Platform platform = Platform::homogeneous(3, 2.0, 0.0, 1.0, 0.0, 3);
+  Rng rng(4);
+  const std::array<std::size_t, 2> procs{0, 2};
+  const auto sample = sample_interval_completion(rng, platform, 10.0, procs);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_DOUBLE_EQ(*sample, 5.0);
+}
+
+TEST(SampleIntervalCompletion, AveragesToEquation3) {
+  // Heterogeneous replicas with visible failure probabilities.
+  const Platform platform({{2.0, 0.05}, {1.0, 0.02}}, 1.0, 0.0, 2);
+  const std::array<std::size_t, 2> procs{0, 1};
+  const double work = 10.0;
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const auto sample =
+        sample_interval_completion(rng, platform, work, procs);
+    if (sample) stats.add(*sample);
+  }
+  const double analytic = expected_computation_time(platform, work, procs);
+  const auto ci = mean_interval(stats, 4.0);
+  EXPECT_TRUE(ci.contains(analytic))
+      << analytic << " not in [" << ci.lo << "," << ci.hi << "]";
+}
+
+TEST(SampleIntervalCompletion, AllFailGivesNullopt) {
+  const Platform platform({{1.0, 1e6}}, 1.0, 0.0, 1);
+  Rng rng(6);
+  const std::array<std::size_t, 1> procs{0};
+  int successes = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (sample_interval_completion(rng, platform, 10.0, procs)) ++successes;
+  }
+  EXPECT_EQ(successes, 0);
+}
+
+TEST(MonteCarlo, ZeroTrials) {
+  Rng rng(7);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(3, 1);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const auto result =
+      estimate_reliability(chain, platform, mapping, 0, 1, true, 2);
+  EXPECT_EQ(result.trials, 0u);
+  EXPECT_DOUBLE_EQ(result.estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace prts::sim

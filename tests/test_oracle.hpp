@@ -1,0 +1,79 @@
+// Tiny exhaustive oracles for cross-validating the optimization
+// algorithms: enumerate every partition and every replica-count vector.
+// Exponential, so only usable at n <= ~8, p <= ~8.
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "eval/evaluation.hpp"
+#include "model/mapping.hpp"
+#include "model/platform.hpp"
+#include "model/task_chain.hpp"
+
+namespace prts::testutil {
+
+/// Best Eq. (9) log-reliability over every mapping (partition x replica
+/// counts; processor identities are irrelevant on homogeneous platforms)
+/// subject to worst-case period and latency bounds. nullopt if none fits.
+inline std::optional<double> brute_force_best_log_reliability(
+    const TaskChain& chain, const Platform& platform,
+    double period_bound = std::numeric_limits<double>::infinity(),
+    double latency_bound = std::numeric_limits<double>::infinity()) {
+  const std::size_t n = chain.size();
+  const std::size_t p = platform.processor_count();
+  std::optional<double> best;
+
+  std::vector<std::size_t> lasts;
+  // Enumerate partitions by choosing interval ends, then replica vectors.
+  auto try_counts = [&](auto&& self, const std::vector<std::size_t>& ends,
+                        std::vector<std::size_t>& counts,
+                        std::size_t used) -> void {
+    const std::size_t j = counts.size();
+    if (j == ends.size()) {
+      std::vector<std::vector<std::size_t>> procs;
+      std::size_t next = 0;
+      for (std::size_t q : counts) {
+        std::vector<std::size_t> set(q);
+        for (std::size_t r = 0; r < q; ++r) set[r] = next++;
+        procs.push_back(std::move(set));
+      }
+      const Mapping mapping(IntervalPartition::from_boundaries(ends, n),
+                            std::move(procs));
+      const MappingMetrics metrics = evaluate(chain, platform, mapping);
+      if (metrics.worst_period > period_bound ||
+          metrics.worst_latency > latency_bound) {
+        return;
+      }
+      const double value = metrics.reliability.log();
+      if (!best || value > *best) best = value;
+      return;
+    }
+    for (std::size_t q = 1;
+         q <= platform.max_replication() && used + q <= p; ++q) {
+      counts.push_back(q);
+      self(self, ends, counts, used + q);
+      counts.pop_back();
+    }
+  };
+
+  auto recurse = [&](auto&& self, std::size_t first) -> void {
+    for (std::size_t last = first; last < n; ++last) {
+      lasts.push_back(last);
+      if (last + 1 == n) {
+        if (lasts.size() <= p) {
+          std::vector<std::size_t> counts;
+          try_counts(try_counts, lasts, counts, 0);
+        }
+      } else if (lasts.size() < p) {
+        self(self, last + 1);
+      }
+      lasts.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+}  // namespace prts::testutil

@@ -1,0 +1,114 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+ParetoPoint make_point(Rng& rng, const TaskChain& chain,
+                       const Platform& platform) {
+  Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  MappingMetrics metrics = evaluate(chain, platform, mapping);
+  return ParetoPoint{std::move(mapping), metrics};
+}
+
+TEST(ParetoFilter, RemovesDominatedPoints) {
+  Rng rng(1);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  std::vector<ParetoPoint> candidates;
+  for (int i = 0; i < 30; ++i) {
+    candidates.push_back(make_point(rng, chain, platform));
+  }
+  const auto front = pareto_filter(candidates);
+  ASSERT_FALSE(front.empty());
+  // No front point dominates another front point.
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (&a == &b) continue;
+      const bool dominates = a.metrics.worst_period <= b.metrics.worst_period &&
+                             a.metrics.worst_latency <= b.metrics.worst_latency &&
+                             a.metrics.failure <= b.metrics.failure &&
+                             (a.metrics.worst_period < b.metrics.worst_period ||
+                              a.metrics.worst_latency < b.metrics.worst_latency ||
+                              a.metrics.failure < b.metrics.failure);
+      EXPECT_FALSE(dominates);
+    }
+  }
+  // Every dropped candidate is dominated by (or equal to) a front point.
+  for (const auto& candidate : candidates) {
+    bool covered = false;
+    for (const auto& keeper : front) {
+      if (keeper.metrics.worst_period <= candidate.metrics.worst_period &&
+          keeper.metrics.worst_latency <= candidate.metrics.worst_latency &&
+          keeper.metrics.failure <= candidate.metrics.failure) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(ParetoFilter, SortedByPeriodThenLatency) {
+  Rng rng(2);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(6, 3);
+  std::vector<ParetoPoint> candidates;
+  for (int i = 0; i < 40; ++i) {
+    candidates.push_back(make_point(rng, chain, platform));
+  }
+  const auto front = pareto_filter(candidates);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(front[i - 1].metrics.worst_period,
+              front[i].metrics.worst_period + 1e-12);
+  }
+}
+
+TEST(ExactParetoFront, CoversEveryBoundCombination) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const auto front = exact_pareto_front(chain, platform);
+  ASSERT_FALSE(front.empty());
+  // For any (P, L) the exact optimum reliability equals the best front
+  // point within the bounds: fronts are lossless summaries.
+  const HomogeneousExactSolver solver(chain, platform);
+  Rng bound_rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const double period_bound = bound_rng.uniform_real(5.0, 60.0);
+    const double latency_bound = bound_rng.uniform_real(15.0, 120.0);
+    const auto exact =
+        solver.best_log_reliability(period_bound, latency_bound);
+    double best_front = -1e300;
+    for (const auto& point : front) {
+      if (point.metrics.worst_period <= period_bound &&
+          point.metrics.worst_latency <= latency_bound) {
+        best_front =
+            std::max(best_front, point.metrics.reliability.log());
+      }
+    }
+    if (exact) {
+      EXPECT_NEAR(*exact, best_front, 1e-9);
+    } else {
+      EXPECT_EQ(best_front, -1e300);
+    }
+  }
+}
+
+TEST(HeuristicParetoFront, ProducesValidNonDominatedPoints) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_het_platform(rng, 6, 2);
+  const auto front = heuristic_pareto_front(chain, platform);
+  ASSERT_FALSE(front.empty());
+  for (const auto& point : front) {
+    EXPECT_FALSE(point.mapping.validate(platform).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,136 @@
+#include "core/period_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/reliability_dp.hpp"
+#include "eval/evaluation.hpp"
+#include "test_oracle.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(PeriodDp, UnboundedMatchesAlgorithm1) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(5, 2);
+    const auto bounded = optimize_reliability_period(chain, platform, kInf);
+    const auto free = optimize_reliability(chain, platform);
+    ASSERT_TRUE(bounded.has_value());
+    EXPECT_NEAR(bounded->reliability.log(), free.reliability.log(), 1e-10);
+  }
+}
+
+TEST(PeriodDp, InfeasibleBoundReturnsNullopt) {
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(2, 1.0, 0.01, 1.0, 0.0, 2);
+  EXPECT_FALSE(
+      optimize_reliability_period(chain, platform, 5.0).has_value());
+}
+
+TEST(PeriodDp, SolutionRespectsBound) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(6, 2);
+    const double bound = rng.uniform_real(5.0, 60.0);
+    const auto solution =
+        optimize_reliability_period(chain, platform, bound);
+    if (!solution) continue;
+    const MappingMetrics metrics =
+        evaluate(chain, platform, solution->mapping);
+    EXPECT_LE(metrics.worst_period, bound + 1e-9);
+    EXPECT_NEAR(solution->reliability.log(),
+                metrics.reliability.log(), 1e-10);
+  }
+}
+
+class PeriodDpOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeriodDpOptimality, MatchesExhaustiveSearchUnderBound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 300);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const auto p = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const TaskChain chain = testutil::small_chain(rng, n);
+  const Platform platform = testutil::small_hom_platform(p, 2);
+  const double bound = rng.uniform_real(5.0, 50.0);
+  const auto solution = optimize_reliability_period(chain, platform, bound);
+  const auto oracle =
+      testutil::brute_force_best_log_reliability(chain, platform, bound);
+  ASSERT_EQ(solution.has_value(), oracle.has_value());
+  if (solution) {
+    EXPECT_NEAR(solution->reliability.log(), *oracle, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeriodDpOptimality, ::testing::Range(0, 40));
+
+TEST(PeriodDp, TighterBoundNeverMoreReliable) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  double previous = -kInf;
+  for (double bound = 10.0; bound <= 80.0; bound += 5.0) {
+    const auto solution =
+        optimize_reliability_period(chain, platform, bound);
+    if (!solution) continue;
+    EXPECT_GE(solution->reliability.log(), previous - 1e-12);
+    previous = solution->reliability.log();
+  }
+}
+
+TEST(PeriodMinimization, AchievesTheBinarySearchOptimum) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(5, 2);
+    // Ask for a mildly degraded reliability target.
+    const auto unconstrained = optimize_reliability(chain, platform);
+    const auto target = LogReliability::from_log(
+        unconstrained.reliability.log() * 1.5);  // lower reliability
+    const auto solution =
+        optimize_period_reliability(chain, platform, target);
+    ASSERT_TRUE(solution.has_value());
+    EXPECT_GE(solution->reliability.log(), target.log() - 1e-12);
+    // Optimality: no feasible mapping with strictly smaller period; step
+    // just below the achieved period and verify infeasibility.
+    const auto tighter = optimize_reliability_period(
+        chain, platform, solution->period * (1.0 - 1e-9));
+    if (tighter) {
+      EXPECT_LT(tighter->reliability.log(), target.log());
+    }
+  }
+}
+
+TEST(PeriodMinimization, UnreachableReliabilityGivesNullopt) {
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(1, 1.0, 0.1, 1.0, 0.0, 1);
+  // Demand more reliability than the best possible mapping provides.
+  const auto best = optimize_reliability(chain, platform);
+  const auto impossible =
+      LogReliability::from_log(best.reliability.log() / 2.0);
+  EXPECT_FALSE(
+      optimize_period_reliability(chain, platform, impossible).has_value());
+}
+
+TEST(PeriodMinimization, PeriodMatchesMappingEvaluation) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const auto best = optimize_reliability(chain, platform);
+  const auto solution = optimize_period_reliability(
+      chain, platform,
+      LogReliability::from_log(best.reliability.log() * 2.0));
+  ASSERT_TRUE(solution.has_value());
+  const MappingMetrics metrics =
+      evaluate(chain, platform, solution->mapping);
+  EXPECT_NEAR(metrics.worst_period, solution->period, 1e-9);
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,178 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "eval/evaluation.hpp"
+#include "test_util.hpp"
+
+namespace prts::sim {
+namespace {
+
+/// 3 tasks, works 4/6/2, outputs 2/4/0, singleton intervals, unreplicated.
+struct Fixture {
+  TaskChain chain{std::vector<Task>{{4.0, 2.0}, {6.0, 4.0}, {2.0, 0.0}}};
+  Platform platform = Platform::homogeneous(3, 1.0, 0.0, 1.0, 0.0, 2);
+  Mapping mapping{IntervalPartition::singletons(3), {{0}, {1}, {2}}};
+};
+
+TEST(PipelineSim, FaultFreeSingleDatasetLatencyMatchesEq5NoRouting) {
+  const Fixture fx;
+  SimulationConfig config;
+  config.dataset_count = 1;
+  config.input_period = 1000.0;
+  config.inject_failures = false;
+  config.use_routing = false;  // Eq. (5) counts each transfer once
+  const SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.successes, 1u);
+  const MappingMetrics metrics = evaluate(fx.chain, fx.platform, fx.mapping);
+  EXPECT_NEAR(result.latency.mean(), metrics.worst_latency, 1e-9);
+}
+
+TEST(PipelineSim, RoutingDoublesTransferHops) {
+  const Fixture fx;
+  SimulationConfig config;
+  config.dataset_count = 1;
+  config.input_period = 1000.0;
+  config.inject_failures = false;
+  config.use_routing = true;
+  const SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  const MappingMetrics metrics = evaluate(fx.chain, fx.platform, fx.mapping);
+  // Each inter-interval transfer crosses two links: +o1/b +o2/b = +6.
+  EXPECT_NEAR(result.latency.mean(), metrics.worst_latency + 6.0, 1e-9);
+}
+
+TEST(PipelineSim, SteadyStateThroughputMatchesPeriodBound) {
+  const Fixture fx;
+  const MappingMetrics metrics = evaluate(fx.chain, fx.platform, fx.mapping);
+  SimulationConfig config;
+  config.dataset_count = 50;
+  config.input_period = metrics.worst_period;
+  config.inject_failures = false;
+  config.use_routing = false;
+  const SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.successes, 50u);
+  // Completions settle at the input period.
+  EXPECT_NEAR(result.inter_completion.max(), metrics.worst_period, 1e-9);
+  // And the last dataset's latency equals the first's: no queue build-up.
+  EXPECT_NEAR(result.latency.min(), result.latency.max(), 1e-9);
+}
+
+TEST(PipelineSim, OverdrivenInputSaturatesAtBottleneck) {
+  const Fixture fx;
+  SimulationConfig config;
+  config.dataset_count = 200;
+  config.input_period = 0.1;  // far faster than the bottleneck (6.0)
+  config.inject_failures = false;
+  config.use_routing = false;
+  const SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.successes, 200u);
+  // Inter-completion times converge to the bottleneck stage time.
+  EXPECT_NEAR(result.inter_completion.mean(), 6.0, 0.2);
+  // Latency grows with queueing: the last dataset waits far longer.
+  EXPECT_GT(result.latency.max(), 10.0 * result.latency.min());
+}
+
+TEST(PipelineSim, DeadlineAccounting) {
+  const Fixture fx;
+  const MappingMetrics metrics = evaluate(fx.chain, fx.platform, fx.mapping);
+  SimulationConfig config;
+  config.dataset_count = 20;
+  config.input_period = metrics.worst_period;
+  config.inject_failures = false;
+  config.use_routing = false;
+  config.latency_deadline = metrics.worst_latency + 1e-6;
+  SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.deadline_misses, 0u);
+  // A deadline below the achievable latency is missed by everyone.
+  config.latency_deadline = metrics.worst_latency * 0.5;
+  result = simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.deadline_misses, 20u);
+}
+
+TEST(PipelineSim, DeterministicForFixedSeed) {
+  Rng rng(5);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(5, 2, 0.02, 0.03);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  SimulationConfig config;
+  config.dataset_count = 300;
+  config.input_period = 30.0;
+  config.seed = 77;
+  const SimulationResult a =
+      simulate_pipeline(chain, platform, mapping, config);
+  const SimulationResult b =
+      simulate_pipeline(chain, platform, mapping, config);
+  EXPECT_EQ(a.successes, b.successes);
+  EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(PipelineSim, SuccessRateTracksAnalyticReliability) {
+  // Aggressive failure rates so the rate is measurably below 1.
+  Rng rng(6);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_hom_platform(6, 2, 0.02, 0.03);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  SimulationConfig config;
+  config.dataset_count = 4000;
+  config.input_period = 100.0;  // keep datasets timing-independent
+  config.seed = 11;
+  config.use_routing = true;
+  const SimulationResult result =
+      simulate_pipeline(chain, platform, mapping, config);
+  const double analytic =
+      mapping_reliability(chain, platform, mapping).reliability();
+  const auto ci = wilson_interval(result.successes, result.datasets, 3.3);
+  EXPECT_TRUE(ci.contains(analytic))
+      << "analytic " << analytic << " not in [" << ci.lo << ", " << ci.hi
+      << "]";
+}
+
+TEST(PipelineSim, ReplicationMasksFailures) {
+  Rng rng(7);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(6, 2, 0.05, 0.0);
+  const Mapping single(IntervalPartition::single(3), {{0}});
+  const Mapping replicated(IntervalPartition::single(3), {{0, 1}});
+  SimulationConfig config;
+  config.dataset_count = 3000;
+  config.input_period = 100.0;
+  config.seed = 13;
+  const auto lone = simulate_pipeline(chain, platform, single, config);
+  const auto dup = simulate_pipeline(chain, platform, replicated, config);
+  EXPECT_GT(dup.success_rate(), lone.success_rate());
+}
+
+TEST(PipelineSim, ZeroDatasets) {
+  const Fixture fx;
+  SimulationConfig config;
+  config.dataset_count = 0;
+  const SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.datasets, 0u);
+  EXPECT_EQ(result.successes, 0u);
+}
+
+TEST(PipelineSim, WholeChainOnOneProcessor) {
+  const Fixture fx;
+  const Mapping mapping(IntervalPartition::single(3), {{0}});
+  SimulationConfig config;
+  config.dataset_count = 5;
+  config.input_period = 12.0;  // = total work
+  config.inject_failures = false;
+  const SimulationResult result =
+      simulate_pipeline(fx.chain, fx.platform, mapping, config);
+  EXPECT_EQ(result.successes, 5u);
+  EXPECT_NEAR(result.latency.mean(), 12.0, 1e-9);  // no comm inside
+}
+
+}  // namespace
+}  // namespace prts::sim

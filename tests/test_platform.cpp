@@ -1,0 +1,72 @@
+#include "model/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prts {
+namespace {
+
+TEST(Platform, HomogeneousFactory) {
+  const Platform p = Platform::homogeneous(4, 2.0, 1e-8, 1.0, 1e-5, 3);
+  EXPECT_EQ(p.processor_count(), 4u);
+  EXPECT_TRUE(p.is_homogeneous());
+  EXPECT_DOUBLE_EQ(p.speed(3), 2.0);
+  EXPECT_DOUBLE_EQ(p.failure_rate(0), 1e-8);
+  EXPECT_DOUBLE_EQ(p.bandwidth(), 1.0);
+  EXPECT_DOUBLE_EQ(p.link_failure_rate(), 1e-5);
+  EXPECT_EQ(p.max_replication(), 3u);
+}
+
+TEST(Platform, HeterogeneousDetection) {
+  const Platform p({{1.0, 1e-8}, {2.0, 1e-8}}, 1.0, 0.0, 2);
+  EXPECT_FALSE(p.is_homogeneous());
+}
+
+TEST(Platform, HeterogeneousByFailureRateOnly) {
+  const Platform p({{1.0, 1e-8}, {1.0, 1e-7}}, 1.0, 0.0, 2);
+  EXPECT_FALSE(p.is_homogeneous());
+}
+
+TEST(Platform, SingleProcessorIsHomogeneous) {
+  const Platform p({{3.0, 1e-9}}, 2.0, 0.0, 1);
+  EXPECT_TRUE(p.is_homogeneous());
+}
+
+TEST(Platform, CommTimeScalesWithBandwidth) {
+  const Platform p = Platform::homogeneous(1, 1.0, 0.0, 4.0, 0.0, 1);
+  EXPECT_DOUBLE_EQ(p.comm_time(8.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(0.0), 0.0);
+}
+
+TEST(Platform, RejectsEmpty) {
+  EXPECT_THROW(Platform({}, 1.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Platform, RejectsBadBandwidth) {
+  EXPECT_THROW(Platform({{1.0, 0.0}}, 0.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(Platform({{1.0, 0.0}}, -1.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Platform, RejectsNegativeRates) {
+  EXPECT_THROW(Platform({{1.0, -1e-8}}, 1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(Platform({{1.0, 0.0}}, 1.0, -1e-5, 1), std::invalid_argument);
+}
+
+TEST(Platform, RejectsBadSpeed) {
+  EXPECT_THROW(Platform({{0.0, 0.0}}, 1.0, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Platform, RejectsZeroReplication) {
+  EXPECT_THROW(Platform({{1.0, 0.0}}, 1.0, 0.0, 0), std::invalid_argument);
+}
+
+TEST(Platform, ProcessorsSpan) {
+  const Platform p({{1.0, 1e-8}, {2.0, 2e-8}}, 1.0, 0.0, 2);
+  auto procs = p.processors();
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_DOUBLE_EQ(procs[1].speed, 2.0);
+}
+
+}  // namespace
+}  // namespace prts

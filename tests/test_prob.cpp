@@ -1,0 +1,129 @@
+#include "common/prob.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace prts {
+namespace {
+
+TEST(LogReliability, DefaultIsCertain) {
+  const LogReliability r;
+  EXPECT_DOUBLE_EQ(r.log(), 0.0);
+  EXPECT_DOUBLE_EQ(r.reliability(), 1.0);
+  EXPECT_DOUBLE_EQ(r.failure(), 0.0);
+}
+
+TEST(LogReliability, ExpFailureIsExactInLogSpace) {
+  const auto r = LogReliability::exp_failure(1e-8, 100.0);
+  EXPECT_DOUBLE_EQ(r.log(), -1e-6);
+  EXPECT_NEAR(r.failure(), 1e-6, 1e-12);
+}
+
+TEST(LogReliability, TinyFailuresSurvive) {
+  // 1 - e^(-1e-18) is far below double epsilon around 1.0, yet the failure
+  // probability must come back as ~1e-18, not 0.
+  const auto r = LogReliability::exp_failure(1e-9, 1e-9);
+  EXPECT_GT(r.failure(), 0.9e-18);
+  EXPECT_LT(r.failure(), 1.1e-18);
+}
+
+TEST(LogReliability, FromReliabilityRoundTrip) {
+  const auto r = LogReliability::from_reliability(0.25);
+  EXPECT_NEAR(r.reliability(), 0.25, 1e-15);
+  EXPECT_NEAR(r.failure(), 0.75, 1e-15);
+}
+
+TEST(LogReliability, FromFailureRoundTrip) {
+  const auto r = LogReliability::from_failure(1e-9);
+  EXPECT_NEAR(r.failure(), 1e-9, 1e-21);
+}
+
+TEST(LogReliability, ClampsOutOfRange) {
+  EXPECT_DOUBLE_EQ(LogReliability::from_reliability(1.5).reliability(), 1.0);
+  EXPECT_DOUBLE_EQ(LogReliability::from_failure(-0.5).failure(), 0.0);
+  EXPECT_DOUBLE_EQ(LogReliability::from_failure(2.0).reliability(), 0.0);
+  EXPECT_DOUBLE_EQ(LogReliability::from_log(0.5).log(), 0.0);
+}
+
+TEST(LogReliability, SeriesMultiplication) {
+  const auto a = LogReliability::exp_failure(1e-6, 50.0);
+  const auto b = LogReliability::exp_failure(2e-6, 25.0);
+  const auto c = a * b;
+  EXPECT_DOUBLE_EQ(c.log(), -(1e-6 * 50.0 + 2e-6 * 25.0));
+}
+
+TEST(LogReliability, OrderingByReliability) {
+  const auto high = LogReliability::from_failure(1e-9);
+  const auto low = LogReliability::from_failure(1e-3);
+  EXPECT_GT(high, low);
+  EXPECT_EQ(high, high);
+}
+
+TEST(LogReliability, ZeroReliability) {
+  const auto r = LogReliability::from_reliability(0.0);
+  EXPECT_DOUBLE_EQ(r.failure(), 1.0);
+  EXPECT_DOUBLE_EQ(r.reliability(), 0.0);
+}
+
+TEST(FailureFromRate, MatchesExpm1) {
+  EXPECT_DOUBLE_EQ(failure_from_rate(0.01, 3.0), -std::expm1(-0.03));
+  EXPECT_DOUBLE_EQ(failure_from_rate(0.0, 100.0), 0.0);
+}
+
+TEST(FailureFromRate, SmallRatePrecision) {
+  // Naive 1 - exp(-x) at x = 1e-12 loses ~4 digits; expm1 keeps them.
+  const double f = failure_from_rate(1e-12, 1.0);
+  EXPECT_NEAR(f / 1e-12, 1.0, 1e-9);
+}
+
+TEST(ParallelFromFailures, SingleBranch) {
+  const std::array<double, 1> fs{0.125};
+  EXPECT_NEAR(parallel_from_failures(fs).failure(), 0.125, 1e-15);
+}
+
+TEST(ParallelFromFailures, TwoBranches) {
+  const std::array<double, 2> fs{0.1, 0.2};
+  EXPECT_NEAR(parallel_from_failures(fs).failure(), 0.02, 1e-15);
+}
+
+TEST(ParallelFromFailures, EmptyAlwaysFails) {
+  EXPECT_DOUBLE_EQ(parallel_from_failures({}).failure(), 1.0);
+}
+
+TEST(ParallelFromFailures, TinyBranchesKeepPrecision) {
+  const std::array<double, 3> fs{1e-7, 1e-7, 1e-7};
+  EXPECT_NEAR(parallel_from_failures(fs).failure() / 1e-21, 1.0, 1e-9);
+}
+
+TEST(ParallelIdentical, MatchesPow) {
+  const auto r = parallel_identical(0.1, 3);
+  EXPECT_NEAR(r.failure(), 1e-3, 1e-15);
+}
+
+TEST(ParallelIdentical, ZeroReplicasAlwaysFails) {
+  EXPECT_DOUBLE_EQ(parallel_identical(0.5, 0).failure(), 1.0);
+}
+
+TEST(ParallelIdentical, MoreReplicasMoreReliable) {
+  for (unsigned k = 1; k < 6; ++k) {
+    EXPECT_GT(parallel_identical(0.3, k + 1), parallel_identical(0.3, k));
+  }
+}
+
+TEST(Series, ComposesParts) {
+  const std::array<LogReliability, 3> parts{
+      LogReliability::exp_failure(1e-3, 1.0),
+      LogReliability::exp_failure(1e-3, 2.0),
+      LogReliability::exp_failure(1e-3, 3.0)};
+  EXPECT_DOUBLE_EQ(series(parts).log(), -6e-3);
+}
+
+TEST(Series, EmptyIsCertain) {
+  EXPECT_DOUBLE_EQ(series({}).log(), 0.0);
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,216 @@
+// Cross-module property tests: randomized invariants that tie the
+// algorithms, the evaluator, the RBD library and the simulator together.
+// Each property runs over a seed range via TEST_P.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "core/period_dp.hpp"
+#include "core/reliability_dp.hpp"
+#include "eval/evaluation.hpp"
+#include "rbd/chain_dp.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+class PropertySeed : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17};
+};
+
+TEST_P(PropertySeed, Algorithm2MonotoneInPeriodBound) {
+  const TaskChain chain = testutil::small_chain(rng_, 6);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  double previous = -kInf;
+  for (double bound = 10.0; bound <= 100.0; bound += 7.0) {
+    const auto solution =
+        optimize_reliability_period(chain, platform, bound);
+    if (!solution) {
+      EXPECT_EQ(previous, -kInf);  // feasibility is monotone too
+      continue;
+    }
+    EXPECT_GE(solution->reliability.log(), previous - 1e-12);
+    previous = solution->reliability.log();
+  }
+}
+
+TEST_P(PropertySeed, ExactSolverMonotoneInBothBounds) {
+  const TaskChain chain = testutil::small_chain(rng_, 6);
+  const Platform platform = testutil::small_hom_platform(5, 2);
+  const HomogeneousExactSolver solver(chain, platform);
+  const double period = rng_.uniform_real(10.0, 60.0);
+  const double latency = rng_.uniform_real(20.0, 100.0);
+  const auto base = solver.best_log_reliability(period, latency);
+  const auto looser_p = solver.best_log_reliability(period * 1.5, latency);
+  const auto looser_l = solver.best_log_reliability(period, latency * 1.5);
+  if (base) {
+    ASSERT_TRUE(looser_p.has_value());
+    ASSERT_TRUE(looser_l.has_value());
+    EXPECT_GE(*looser_p, *base - 1e-12);
+    EXPECT_GE(*looser_l, *base - 1e-12);
+  }
+}
+
+TEST_P(PropertySeed, DirectLinksNeverLessReliableThanRouting) {
+  // Empirical but extensively verified invariant (also 500-seed checked
+  // against the exact evaluators during development): the no-routing
+  // scheme crosses each boundary over one link instead of two and has
+  // richer replica-to-replica connectivity, so its failure probability
+  // is at most the routing scheme's (Eq. (9)).
+  const TaskChain chain = testutil::small_chain(rng_, 5);
+  const Platform platform =
+      rng_.bernoulli(0.5)
+          ? testutil::small_het_platform(rng_, 6, 3, 0.02, 0.05)
+          : testutil::small_hom_platform(6, 3, 0.02, 0.05);
+  const Mapping mapping = testutil::random_mapping(rng_, chain, platform);
+  const double routing =
+      mapping_reliability(chain, platform, mapping).failure();
+  const double direct =
+      rbd::no_routing_reliability(chain, platform, mapping).failure();
+  EXPECT_LE(direct, routing + 1e-12);
+}
+
+TEST_P(PropertySeed, SchemesCoincideWithoutCommunications) {
+  // With a single interval there is no inter-replica traffic, so routing
+  // and direct evaluation agree exactly.
+  const TaskChain chain = testutil::small_chain(rng_, 4);
+  const Platform platform = testutil::small_het_platform(rng_, 5, 3, 0.03);
+  std::vector<std::size_t> procs;
+  const auto k = static_cast<std::size_t>(rng_.uniform_int(1, 3));
+  for (std::size_t u = 0; u < k; ++u) procs.push_back(u);
+  const Mapping mapping(IntervalPartition::single(4), {procs});
+  EXPECT_NEAR(mapping_reliability(chain, platform, mapping).log(),
+              rbd::no_routing_reliability(chain, platform, mapping).log(),
+              1e-12);
+}
+
+TEST_P(PropertySeed, ProcessorIdsIrrelevantOnHomogeneousPlatforms) {
+  const TaskChain chain = testutil::small_chain(rng_, 5);
+  const Platform platform = testutil::small_hom_platform(6, 3);
+  const Mapping mapping = testutil::random_mapping(rng_, chain, platform);
+  // Rebuild with a rotated processor assignment of identical shape.
+  std::vector<std::vector<std::size_t>> rotated;
+  for (std::size_t j = 0; j < mapping.interval_count(); ++j) {
+    std::vector<std::size_t> procs(mapping.processors(j).begin(),
+                                   mapping.processors(j).end());
+    for (std::size_t& u : procs) u = (u + 1) % platform.processor_count();
+    rotated.push_back(std::move(procs));
+  }
+  // The rotation may collide across intervals; skip those cases.
+  std::vector<bool> seen(platform.processor_count(), false);
+  for (const auto& procs : rotated) {
+    for (std::size_t u : procs) {
+      if (seen[u]) GTEST_SKIP() << "rotation collided";
+      seen[u] = true;
+    }
+  }
+  const Mapping relabeled(mapping.partition(), rotated);
+  const MappingMetrics a = evaluate(chain, platform, mapping);
+  const MappingMetrics b = evaluate(chain, platform, relabeled);
+  EXPECT_NEAR(a.reliability.log(), b.reliability.log(), 1e-12);
+  EXPECT_NEAR(a.worst_latency, b.worst_latency, 1e-12);
+  EXPECT_NEAR(a.worst_period, b.worst_period, 1e-12);
+}
+
+TEST_P(PropertySeed, AddingFastestReplicaReducesExpectedTime) {
+  // Eq. (3): joining a strictly fastest processor to the replica set can
+  // only lower the expected completion time.
+  Platform platform = testutil::small_het_platform(rng_, 5, 3, 0.05);
+  // Find the strictly fastest processor; skip ties for a clean property.
+  std::size_t fastest = 0;
+  for (std::size_t u = 1; u < 5; ++u) {
+    if (platform.speed(u) > platform.speed(fastest)) fastest = u;
+  }
+  std::vector<std::size_t> others;
+  for (std::size_t u = 0; u < 5; ++u) {
+    if (u == fastest) continue;
+    if (platform.speed(u) == platform.speed(fastest)) {
+      GTEST_SKIP() << "speed tie";
+    }
+    others.push_back(u);
+  }
+  const double work = rng_.uniform_real(5.0, 60.0);
+  std::vector<std::size_t> with_fastest = others;
+  with_fastest.push_back(fastest);
+  EXPECT_LE(expected_computation_time(platform, work, with_fastest),
+            expected_computation_time(platform, work, others) + 1e-9);
+}
+
+TEST_P(PropertySeed, HeuristicSolutionsAreValidMappings) {
+  const TaskChain chain = testutil::small_chain(rng_, 7);
+  const Platform platform = testutil::small_het_platform(rng_, 6, 2);
+  HeuristicOptions options;
+  options.period_bound = rng_.uniform_real(5.0, 50.0);
+  options.latency_bound = rng_.uniform_real(20.0, 150.0);
+  for (HeuristicKind kind : {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+    const auto solution = run_heuristic(chain, platform, kind, options);
+    if (!solution) continue;
+    EXPECT_FALSE(solution->mapping.validate(platform).has_value());
+    const MappingMetrics check =
+        evaluate(chain, platform, solution->mapping);
+    EXPECT_NEAR(check.reliability.log(),
+                solution->metrics.reliability.log(), 1e-12);
+  }
+}
+
+TEST_P(PropertySeed, RunHeuristicMonotoneOnHomogeneousPlatforms) {
+  // On homogeneous platforms the candidate set is bound-independent, so
+  // relaxing either bound can only improve the best feasible candidate.
+  const TaskChain chain = testutil::small_chain(rng_, 6);
+  const Platform platform = testutil::small_hom_platform(6, 2);
+  HeuristicOptions tight;
+  tight.period_bound = rng_.uniform_real(10.0, 40.0);
+  tight.latency_bound = rng_.uniform_real(30.0, 90.0);
+  HeuristicOptions loose = tight;
+  loose.period_bound *= 1.7;
+  loose.latency_bound *= 1.7;
+  for (HeuristicKind kind : {HeuristicKind::kHeurL, HeuristicKind::kHeurP}) {
+    const auto tight_solution = run_heuristic(chain, platform, kind, tight);
+    const auto loose_solution = run_heuristic(chain, platform, kind, loose);
+    if (tight_solution) {
+      ASSERT_TRUE(loose_solution.has_value());
+      EXPECT_GE(loose_solution->metrics.reliability.log(),
+                tight_solution->metrics.reliability.log() - 1e-12);
+    }
+  }
+}
+
+TEST_P(PropertySeed, MergingIntervalsTradesCommForReplicas) {
+  // Splitting one interval into two (same processors split among them)
+  // adds a communication; with zero link failure the finer mapping is at
+  // most as reliable when the replica sets shrink.
+  const TaskChain chain = testutil::small_chain(rng_, 4);
+  const Platform platform = testutil::small_hom_platform(4, 2, 0.01, 0.0);
+  const Mapping merged(IntervalPartition::single(4), {{0, 1}});
+  const std::array<std::size_t, 2> lasts{1, 3};
+  const Mapping split(IntervalPartition::from_boundaries(lasts, 4),
+                      {{0}, {1}});
+  // Each stage now has 1 replica instead of a duplicated whole: the
+  // merged mapping is strictly more reliable (same total work, more
+  // redundancy, no comm reliability at stake since lambda_l = 0).
+  EXPECT_GT(mapping_reliability(chain, platform, merged).log(),
+            mapping_reliability(chain, platform, split).log());
+}
+
+TEST_P(PropertySeed, ReliabilityDpBeatsEveryRandomMapping) {
+  const TaskChain chain = testutil::small_chain(rng_, 6);
+  const Platform platform = testutil::small_hom_platform(6, 2);
+  const auto optimal = optimize_reliability(chain, platform);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Mapping mapping = testutil::random_mapping(rng_, chain, platform);
+    EXPECT_GE(optimal.reliability.log(),
+              mapping_reliability(chain, platform, mapping).log() - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeed, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace prts

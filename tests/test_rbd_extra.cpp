@@ -1,0 +1,157 @@
+// Additional RBD coverage: multi-entry/multi-exit shapes, deep series
+// chains, degenerate reliabilities, and cross-evaluator agreement on the
+// exact Figure 4 example of the paper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rbd/bdd.hpp"
+#include "rbd/brute_force.hpp"
+#include "rbd/graph.hpp"
+#include "rbd/mincut.hpp"
+#include "rbd/series_parallel.hpp"
+
+namespace prts::rbd {
+namespace {
+
+LogReliability rel(double r) { return LogReliability::from_reliability(r); }
+
+TEST(RbdExtra, Figure4NumbersAllEvaluatorsAgree) {
+  // The paper's Figure 4: I1 on {P1,P2}, I2 on {P3,P4}, links L13 L14
+  // L23 L24. Assign distinct reliabilities and compare brute force, BDD
+  // and the inclusion-exclusion value computed by hand over the four
+  // minimal paths.
+  Graph graph;
+  const auto i1p1 = graph.add_block("I1/P1", rel(0.9));
+  const auto i1p2 = graph.add_block("I1/P2", rel(0.8));
+  const auto l13 = graph.add_block("L13", rel(0.95));
+  const auto l14 = graph.add_block("L14", rel(0.9));
+  const auto l23 = graph.add_block("L23", rel(0.85));
+  const auto l24 = graph.add_block("L24", rel(0.99));
+  const auto i2p3 = graph.add_block("I2/P3", rel(0.7));
+  const auto i2p4 = graph.add_block("I2/P4", rel(0.75));
+  graph.add_arc(i1p1, l13);
+  graph.add_arc(i1p1, l14);
+  graph.add_arc(i1p2, l23);
+  graph.add_arc(i1p2, l24);
+  graph.add_arc(l13, i2p3);
+  graph.add_arc(l23, i2p3);
+  graph.add_arc(l14, i2p4);
+  graph.add_arc(l24, i2p4);
+  graph.mark_entry(i1p1);
+  graph.mark_entry(i1p2);
+  graph.mark_exit(i2p3);
+  graph.mark_exit(i2p4);
+
+  const double exact = brute_force_reliability(graph).reliability();
+  const double via_bdd = bdd_reliability(graph).reliability();
+  EXPECT_NEAR(exact, via_bdd, 1e-12);
+
+  // Min-cut approximation bounds it from below.
+  const double approx =
+      mincut_reliability_approximation(graph).reliability();
+  EXPECT_LE(approx, exact + 1e-12);
+
+  // The four minimal paths are the (replica, link, replica) triples.
+  const auto paths = graph.minimal_paths();
+  EXPECT_EQ(paths.size(), 4u);
+
+  // Minimal cuts of this shape (11 in total): the replica cuts
+  // {I1P1,I1P2} and {I2P3,I2P4}; the full link cut {L13,L14,L23,L24};
+  // two "replica + other's links" cuts per side ({I1P1,L23,L24},
+  // {I1P2,L13,L14}, {I2P3,L14,L24}, {I2P4,L13,L23}); and four mixed
+  // replica/link/replica cuts such as {I1P1,L23,I2P4}.
+  const auto cuts = minimal_cut_sets(graph);
+  EXPECT_EQ(cuts.size(), 11u);
+  // Each is a genuine minimal cut (disconnects; restoring any block
+  // reconnects).
+  for (const auto& cut : cuts) {
+    std::vector<bool> working(graph.block_count(), true);
+    for (std::size_t block : cut) working[block] = false;
+    EXPECT_FALSE(graph.operational(working));
+    for (std::size_t block : cut) {
+      working[block] = true;
+      EXPECT_TRUE(graph.operational(working));
+      working[block] = false;
+    }
+  }
+}
+
+TEST(RbdExtra, DeepSeriesChainStaysLinearAndStable) {
+  // 10k blocks in series with tiny failures: evaluation must not lose
+  // the aggregate failure (naive products would).
+  std::vector<SpExpr> blocks;
+  for (int i = 0; i < 10000; ++i) {
+    blocks.push_back(
+        SpExpr::block("b", LogReliability::from_failure(1e-12)));
+  }
+  const auto expr = SpExpr::series(std::move(blocks));
+  EXPECT_NEAR(expr.reliability().failure() / 1e-8, 1.0, 1e-3);
+}
+
+TEST(RbdExtra, WideParallelGroup) {
+  std::vector<SpExpr> branches;
+  for (int i = 0; i < 20; ++i) {
+    branches.push_back(
+        SpExpr::block("b", LogReliability::from_failure(0.5)));
+  }
+  const auto expr = SpExpr::parallel(std::move(branches));
+  EXPECT_NEAR(expr.reliability().failure(), std::pow(0.5, 20), 1e-18);
+}
+
+TEST(RbdExtra, CertainBlockShortCircuitsParallel) {
+  const auto expr = SpExpr::parallel(
+      {SpExpr::block("flaky", rel(0.1)),
+       SpExpr::block("perfect", LogReliability::certain())});
+  EXPECT_DOUBLE_EQ(expr.reliability().failure(), 0.0);
+}
+
+TEST(RbdExtra, DeadBlockKillsSeries) {
+  const auto expr = SpExpr::series(
+      {SpExpr::block("fine", rel(0.99)),
+       SpExpr::block("dead", rel(0.0))});
+  EXPECT_DOUBLE_EQ(expr.reliability().reliability(), 0.0);
+}
+
+TEST(RbdExtra, EntryEqualsExitSingleBlock) {
+  Graph graph;
+  const auto only = graph.add_block("only", rel(0.6));
+  graph.mark_entry(only);
+  graph.mark_exit(only);
+  EXPECT_TRUE(graph.validate());
+  EXPECT_NEAR(brute_force_reliability(graph).reliability(), 0.6, 1e-12);
+  EXPECT_NEAR(bdd_reliability(graph).reliability(), 0.6, 1e-12);
+  const auto cuts = minimal_cut_sets(graph);
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], (std::vector<std::size_t>{0}));
+}
+
+TEST(RbdExtra, DisconnectedGraphHasZeroReliability) {
+  Graph graph;
+  graph.add_block("island", rel(0.9));
+  const auto entry = graph.add_block("entry", rel(0.9));
+  graph.mark_entry(entry);  // no exits anywhere
+  EXPECT_NEAR(bdd_reliability(graph).reliability(), 0.0, 1e-12);
+}
+
+TEST(RbdExtra, BddSharesAcrossPaths) {
+  // Two paths through a shared middle block: the BDD must not double
+  // count it (inclusion-exclusion check: r = rm*(1-(1-ra)(1-rb)) for
+  // S->{a|b}->m->D).
+  Graph graph;
+  const auto a = graph.add_block("a", rel(0.7));
+  const auto b = graph.add_block("b", rel(0.6));
+  const auto m = graph.add_block("m", rel(0.9));
+  graph.add_arc(a, m);
+  graph.add_arc(b, m);
+  graph.mark_entry(a);
+  graph.mark_entry(b);
+  graph.mark_exit(m);
+  const double expected = 0.9 * (1.0 - 0.3 * 0.4);
+  EXPECT_NEAR(bdd_reliability(graph).reliability(), expected, 1e-12);
+  EXPECT_NEAR(brute_force_reliability(graph).reliability(), expected,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace prts::rbd

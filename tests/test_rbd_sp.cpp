@@ -1,0 +1,113 @@
+#include "rbd/series_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rbd/brute_force.hpp"
+
+namespace prts::rbd {
+namespace {
+
+SpExpr leaf(double r) {
+  return SpExpr::block("b", LogReliability::from_reliability(r));
+}
+
+TEST(SpExpr, SingleBlock) {
+  EXPECT_NEAR(leaf(0.7).reliability().reliability(), 0.7, 1e-12);
+  EXPECT_EQ(leaf(0.7).block_count(), 1u);
+}
+
+TEST(SpExpr, SeriesMultiplies) {
+  const auto expr = SpExpr::series({leaf(0.9), leaf(0.8), leaf(0.5)});
+  EXPECT_NEAR(expr.reliability().reliability(), 0.36, 1e-12);
+  EXPECT_EQ(expr.block_count(), 3u);
+}
+
+TEST(SpExpr, ParallelComplements) {
+  const auto expr = SpExpr::parallel({leaf(0.9), leaf(0.8)});
+  EXPECT_NEAR(expr.reliability().failure(), 0.1 * 0.2, 1e-12);
+}
+
+TEST(SpExpr, NestedExpression) {
+  // series(parallel(a, series(b, c)), d)
+  const auto expr = SpExpr::series(
+      {SpExpr::parallel({leaf(0.9), SpExpr::series({leaf(0.8), leaf(0.7)})}),
+       leaf(0.95)});
+  const double inner = 1.0 - (1.0 - 0.9) * (1.0 - 0.8 * 0.7);
+  EXPECT_NEAR(expr.reliability().reliability(), inner * 0.95, 1e-12);
+  EXPECT_EQ(expr.block_count(), 4u);
+}
+
+TEST(SpExpr, RejectsEmptyComposition) {
+  EXPECT_THROW(SpExpr::series({}), std::invalid_argument);
+  EXPECT_THROW(SpExpr::parallel({}), std::invalid_argument);
+}
+
+TEST(SpExpr, TinyFailuresKeepPrecision) {
+  // Three replicated stages, each branch failure 1e-7: system failure
+  // must be ~3e-14, not 0.
+  const auto branch = LogReliability::from_failure(1e-7);
+  const auto stage = SpExpr::parallel({SpExpr::block("x", branch),
+                                       SpExpr::block("y", branch)});
+  const auto expr = SpExpr::series({stage, stage, stage});
+  EXPECT_NEAR(expr.reliability().failure() / 3e-14, 1.0, 1e-6);
+}
+
+TEST(SpExpr, ToGraphSeries) {
+  const auto expr = SpExpr::series({leaf(0.9), leaf(0.8)});
+  const Graph graph = expr.to_graph();
+  EXPECT_TRUE(graph.validate());
+  EXPECT_NEAR(brute_force_reliability(graph).reliability(),
+              expr.reliability().reliability(), 1e-12);
+}
+
+TEST(SpExpr, ToGraphParallelOfSeries) {
+  const auto expr = SpExpr::parallel(
+      {SpExpr::series({leaf(0.9), leaf(0.8)}),
+       SpExpr::series({leaf(0.7), leaf(0.6)})});
+  const Graph graph = expr.to_graph();
+  EXPECT_TRUE(graph.validate());
+  EXPECT_NEAR(brute_force_reliability(graph).reliability(),
+              expr.reliability().reliability(), 1e-12);
+}
+
+/// Random SP expression with at most `budget` leaves.
+SpExpr random_sp(Rng& rng, int depth, int& budget) {
+  if (depth == 0 || budget <= 1 || rng.bernoulli(0.4)) {
+    --budget;
+    return leaf(rng.uniform_real(0.3, 0.999));
+  }
+  const auto arity = static_cast<int>(rng.uniform_int(2, 3));
+  std::vector<SpExpr> children;
+  for (int c = 0; c < arity && budget > 0; ++c) {
+    children.push_back(random_sp(rng, depth - 1, budget));
+  }
+  if (children.empty()) {
+    --budget;
+    return leaf(rng.uniform_real(0.3, 0.999));
+  }
+  return rng.bernoulli(0.5) ? SpExpr::series(std::move(children))
+                            : SpExpr::parallel(std::move(children));
+}
+
+class SpRandomCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpRandomCrossCheck, LinearEvalMatchesBruteForceOnExpandedGraph) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  int budget = 14;  // keep 2^blocks enumeration fast
+  const SpExpr expr = random_sp(rng, 3, budget);
+  const Graph graph = expr.to_graph();
+  ASSERT_TRUE(graph.validate());
+  const double fast = expr.reliability().reliability();
+  const double exact = brute_force_reliability(graph).reliability();
+  EXPECT_NEAR(fast, exact, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpRandomCrossCheck,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace prts::rbd

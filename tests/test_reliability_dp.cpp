@@ -1,0 +1,94 @@
+#include "core/reliability_dp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluation.hpp"
+#include "model/generator.hpp"
+#include "test_oracle.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+TEST(ReliabilityDp, SingleTaskReplicatesFully) {
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(5, 1.0, 0.01, 1.0, 0.0, 3);
+  const DpSolution solution = optimize_reliability(chain, platform);
+  ASSERT_EQ(solution.mapping.interval_count(), 1u);
+  // K = 3 replicas is optimal (replication always helps).
+  EXPECT_EQ(solution.mapping.processors(0).size(), 3u);
+}
+
+TEST(ReliabilityDp, ReturnedValueMatchesMappingEvaluation) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskChain chain = testutil::small_chain(rng, 6);
+    const Platform platform = testutil::small_hom_platform(5, 2);
+    const DpSolution solution = optimize_reliability(chain, platform);
+    ASSERT_FALSE(solution.mapping.validate(platform).has_value());
+    EXPECT_NEAR(
+        solution.reliability.log(),
+        mapping_reliability(chain, platform, solution.mapping).log(),
+        1e-10);
+  }
+}
+
+TEST(ReliabilityDp, RejectsHeterogeneousPlatform) {
+  Rng rng(2);
+  const TaskChain chain = testutil::small_chain(rng, 4);
+  const Platform platform = testutil::small_het_platform(rng, 4, 2);
+  EXPECT_THROW(optimize_reliability(chain, platform), std::invalid_argument);
+}
+
+class ReliabilityDpOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReliabilityDpOptimality, MatchesExhaustiveSearch) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const auto p = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const auto k = static_cast<unsigned>(rng.uniform_int(1, 3));
+  const TaskChain chain = testutil::small_chain(rng, n);
+  const Platform platform = testutil::small_hom_platform(p, k);
+  const DpSolution solution = optimize_reliability(chain, platform);
+  const auto oracle =
+      testutil::brute_force_best_log_reliability(chain, platform);
+  ASSERT_TRUE(oracle.has_value());
+  EXPECT_NEAR(solution.reliability.log(), *oracle, 1e-9)
+      << "n=" << n << " p=" << p << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliabilityDpOptimality,
+                         ::testing::Range(0, 40));
+
+TEST(ReliabilityDp, MorePlatformNeverHurts) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 6);
+  double previous = -1e300;
+  for (std::size_t p = 1; p <= 8; ++p) {
+    const Platform platform = testutil::small_hom_platform(p, 3);
+    const DpSolution solution = optimize_reliability(chain, platform);
+    EXPECT_GE(solution.reliability.log(), previous - 1e-12);
+    previous = solution.reliability.log();
+  }
+}
+
+TEST(ReliabilityDp, UsesAtMostAllProcessors) {
+  Rng rng(4);
+  const TaskChain chain = testutil::small_chain(rng, 8);
+  const Platform platform = testutil::small_hom_platform(4, 3);
+  const DpSolution solution = optimize_reliability(chain, platform);
+  EXPECT_LE(solution.mapping.processors_used(), 4u);
+  ASSERT_FALSE(solution.mapping.validate(platform).has_value());
+}
+
+TEST(ReliabilityDp, PaperScaleRunsFast) {
+  Rng rng(5);
+  const TaskChain chain = paper::chain(rng);
+  const Platform platform = paper::hom_platform();
+  const DpSolution solution = optimize_reliability(chain, platform);
+  EXPECT_GT(solution.reliability.log(), -1.0);
+  EXPECT_LE(solution.mapping.interval_count(), 10u);
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,147 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace prts {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitMix64KnownValues) {
+  // Reference values from the public-domain splitmix64 with seed 0.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(splitmix64_next(state), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.uniform_int(-5, 17);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 17);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(1, 10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntRoughlyUniform) {
+  Rng rng(13);
+  std::array<int, 8> buckets{};
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) {
+    buckets[static_cast<std::size_t>(rng.uniform_int(0, 7))]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, draws / 8, draws / 8 / 5);  // within 20%
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(2.5, 7.25);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(29);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / draws, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, BernoulliProbabilityZeroAndOne) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatches) {
+  Rng rng(41);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(draws), 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.split();
+  // The child stream should not coincide with the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace prts

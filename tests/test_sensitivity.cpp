@@ -1,0 +1,131 @@
+#include "eval/sensitivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "eval/evaluation.hpp"
+#include "test_util.hpp"
+
+namespace prts {
+namespace {
+
+/// Finite-difference d log r / d lambda_u by rebuilding the platform.
+double fd_processor(const TaskChain& chain, const Platform& platform,
+                    const Mapping& mapping, std::size_t u, double eps) {
+  std::vector<Processor> procs(platform.processors().begin(),
+                               platform.processors().end());
+  procs[u].failure_rate += eps;
+  const Platform bumped(std::move(procs), platform.bandwidth(),
+                        platform.link_failure_rate(),
+                        platform.max_replication());
+  const double base = mapping_reliability(chain, platform, mapping).log();
+  const double after = mapping_reliability(chain, bumped, mapping).log();
+  return (after - base) / eps;
+}
+
+double fd_link(const TaskChain& chain, const Platform& platform,
+               const Mapping& mapping, double eps) {
+  std::vector<Processor> procs(platform.processors().begin(),
+                               platform.processors().end());
+  const Platform bumped(std::move(procs), platform.bandwidth(),
+                        platform.link_failure_rate() + eps,
+                        platform.max_replication());
+  const double base = mapping_reliability(chain, platform, mapping).log();
+  const double after = mapping_reliability(chain, bumped, mapping).log();
+  return (after - base) / eps;
+}
+
+class SensitivitySeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensitivitySeed, MatchesFiniteDifferences) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 11);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_het_platform(rng, 6, 3, 0.02,
+                                                         0.03);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const SensitivityReport report =
+      reliability_sensitivity(chain, platform, mapping);
+  const double eps = 1e-8;
+  for (std::size_t u = 0; u < platform.processor_count(); ++u) {
+    const double fd = fd_processor(chain, platform, mapping, u, eps);
+    EXPECT_NEAR(report.processor[u], fd,
+                1e-4 * (std::abs(fd) + 1e-6))
+        << "processor " << u;
+  }
+  const double fd = fd_link(chain, platform, mapping, eps);
+  EXPECT_NEAR(report.link, fd, 1e-4 * (std::abs(fd) + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SensitivitySeed, ::testing::Range(0, 20));
+
+TEST(Sensitivity, DerivativesAreNonPositive) {
+  Rng rng(3);
+  const TaskChain chain = testutil::small_chain(rng, 5);
+  const Platform platform = testutil::small_hom_platform(6, 2, 0.02, 0.03);
+  const Mapping mapping = testutil::random_mapping(rng, chain, platform);
+  const SensitivityReport report =
+      reliability_sensitivity(chain, platform, mapping);
+  for (double d : report.processor) EXPECT_LE(d, 0.0);
+  EXPECT_LE(report.link, 0.0);
+}
+
+TEST(Sensitivity, UnusedProcessorsHaveZeroDerivative) {
+  Rng rng(4);
+  const TaskChain chain = testutil::small_chain(rng, 3);
+  const Platform platform = testutil::small_hom_platform(6, 2, 0.02, 0.03);
+  const Mapping mapping(IntervalPartition::single(3), {{1, 4}});
+  const SensitivityReport report =
+      reliability_sensitivity(chain, platform, mapping);
+  for (std::size_t u : {0u, 2u, 3u, 5u}) {
+    EXPECT_DOUBLE_EQ(report.processor[u], 0.0);
+  }
+  EXPECT_LT(report.processor[1], 0.0);
+  EXPECT_LT(report.processor[4], 0.0);
+}
+
+TEST(Sensitivity, UnreplicatedIntervalDominates) {
+  // Interval 0 duplicated, interval 1 alone: the lone replica is the
+  // critical component (its branch has no backup, so the derivative
+  // magnitude is larger by ~1/f).
+  const TaskChain chain({{10.0, 1.0}, {10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(3, 1.0, 1e-4, 1.0, 0.0, 2);
+  const std::array<std::size_t, 2> lasts{0, 1};
+  const Mapping mapping(IntervalPartition::from_boundaries(lasts, 2),
+                        {{0, 1}, {2}});
+  const SensitivityReport report =
+      reliability_sensitivity(chain, platform, mapping);
+  EXPECT_EQ(report.most_critical_processor(), 2u);
+  EXPECT_LT(report.processor[2], 10.0 * report.processor[0]);
+}
+
+TEST(Sensitivity, MostCriticalOnEmptyMappingIsSentinel) {
+  // Mapping with perfect stage (reliability 1 branch, f=0): derivative 0.
+  const TaskChain chain({{10.0, 0.0}});
+  const Platform platform = Platform::homogeneous(1, 1.0, 0.0, 1.0, 0.0, 1);
+  const Mapping mapping(IntervalPartition::single(1), {{0}});
+  const SensitivityReport report =
+      reliability_sensitivity(chain, platform, mapping);
+  // lambda = 0: branch failure 0 -> derivative = -duration (the slope at
+  // zero rate is the exposure time itself).
+  EXPECT_NEAR(report.processor[0], -10.0, 1e-9);
+}
+
+TEST(Sensitivity, LinkDerivativeScalesWithCommVolume) {
+  // Two mappings on the same chain: many cuts vs one cut — more boundary
+  // traffic means a larger |d log r / d lambda_l|.
+  const TaskChain chain({{5.0, 8.0}, {5.0, 8.0}, {5.0, 0.0}});
+  const Platform platform = Platform::homogeneous(3, 1.0, 1e-4, 1.0, 1e-4, 1);
+  const Mapping coarse(IntervalPartition::single(3), {{0}});
+  const Mapping fine(IntervalPartition::singletons(3), {{0}, {1}, {2}});
+  const double coarse_link =
+      reliability_sensitivity(chain, platform, coarse).link;
+  const double fine_link =
+      reliability_sensitivity(chain, platform, fine).link;
+  EXPECT_DOUBLE_EQ(coarse_link, 0.0);  // no boundary at all
+  EXPECT_LT(fine_link, -1.0);          // 4 crossings of 8 units
+}
+
+}  // namespace
+}  // namespace prts

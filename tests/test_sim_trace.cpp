@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/pipeline_sim.hpp"
+#include "test_util.hpp"
+
+namespace prts::sim {
+namespace {
+
+struct Recorded {
+  std::vector<TraceEvent> events;
+  TraceObserver observer;
+
+  Recorded() {
+    observer = [this](const TraceEvent& event) { events.push_back(event); };
+  }
+};
+
+struct Fixture {
+  TaskChain chain{std::vector<Task>{{4.0, 2.0}, {6.0, 4.0}, {2.0, 0.0}}};
+  Platform platform = Platform::homogeneous(3, 1.0, 0.0, 1.0, 0.0, 2);
+  Mapping mapping{IntervalPartition::singletons(3), {{0}, {1}, {2}}};
+};
+
+SimulationResult run_traced(const Fixture& fx, Recorded& rec,
+                            std::size_t datasets, bool failures = false,
+                            bool routing = false) {
+  SimulationConfig config;
+  config.dataset_count = datasets;
+  config.input_period = 20.0;
+  config.inject_failures = failures;
+  config.use_routing = routing;
+  config.observer = &rec.observer;
+  config.seed = 9;
+  return simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+}
+
+TEST(SimTrace, ReleaseAndCompletePerDataset) {
+  const Fixture fx;
+  Recorded rec;
+  const auto result = run_traced(fx, rec, 5);
+  std::size_t releases = 0;
+  std::size_t completes = 0;
+  for (const auto& event : rec.events) {
+    if (event.kind == TraceEvent::Kind::kRelease) ++releases;
+    if (event.kind == TraceEvent::Kind::kComplete) ++completes;
+  }
+  EXPECT_EQ(releases, 5u);
+  EXPECT_EQ(completes, result.successes);
+}
+
+TEST(SimTrace, ComputeWindowsDoNotOverlapPerProcessor) {
+  const Fixture fx;
+  Recorded rec;
+  run_traced(fx, rec, 10);
+  // Pair starts and ends per processor; windows must be disjoint.
+  std::map<std::size_t, std::vector<std::pair<double, double>>> windows;
+  std::map<std::size_t, double> open;
+  for (const auto& event : rec.events) {
+    if (event.kind == TraceEvent::Kind::kComputeStart) {
+      open[event.processor] = event.time;
+    } else if (event.kind == TraceEvent::Kind::kComputeEnd) {
+      windows[event.processor].emplace_back(open[event.processor],
+                                            event.time);
+    }
+  }
+  for (auto& [proc, intervals] : windows) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-9)
+          << "processor " << proc;
+    }
+  }
+}
+
+TEST(SimTrace, EventTimesAreCausalPerDataset) {
+  const Fixture fx;
+  Recorded rec;
+  run_traced(fx, rec, 3);
+  // For each dataset: release <= first compute start; every compute end
+  // >= its start; completion is the max observed time.
+  std::map<std::size_t, double> release_time;
+  std::map<std::size_t, double> complete_time;
+  for (const auto& event : rec.events) {
+    if (event.kind == TraceEvent::Kind::kRelease) {
+      release_time[event.dataset] = event.time;
+    }
+    if (event.kind == TraceEvent::Kind::kComplete) {
+      complete_time[event.dataset] = event.time;
+    }
+  }
+  for (const auto& event : rec.events) {
+    EXPECT_GE(event.time, release_time[event.dataset] - 1e-9);
+    if (complete_time.count(event.dataset)) {
+      EXPECT_LE(event.time, complete_time[event.dataset] + 1e-9);
+    }
+  }
+}
+
+TEST(SimTrace, FailedComputesAreVisible) {
+  const Fixture fx;
+  Recorded rec;
+  // Huge rates: most computes fail, and the trace must say so.
+  const Platform flaky = Platform::homogeneous(3, 1.0, 0.5, 1.0, 0.0, 2);
+  SimulationConfig config;
+  config.dataset_count = 50;
+  config.input_period = 20.0;
+  config.observer = &rec.observer;
+  config.seed = 4;
+  const auto result =
+      simulate_pipeline(fx.chain, flaky, fx.mapping, config);
+  std::size_t failed_computes = 0;
+  for (const auto& event : rec.events) {
+    if (event.kind == TraceEvent::Kind::kComputeEnd && !event.success) {
+      ++failed_computes;
+    }
+  }
+  EXPECT_GT(failed_computes, 0u);
+  EXPECT_LT(result.successes, result.datasets);
+}
+
+TEST(SimTrace, RouterTransfersHaveNoProcessor) {
+  const Fixture fx;
+  Recorded rec;
+  run_traced(fx, rec, 2, false, true);
+  bool saw_router_transfer = false;
+  for (const auto& event : rec.events) {
+    if (event.kind == TraceEvent::Kind::kTransferStart &&
+        event.processor == TraceEvent::kNone) {
+      saw_router_transfer = true;
+    }
+  }
+  EXPECT_TRUE(saw_router_transfer);
+}
+
+TEST(SimTrace, NullObserverIsSilent) {
+  const Fixture fx;
+  SimulationConfig config;
+  config.dataset_count = 3;
+  config.input_period = 20.0;
+  config.observer = nullptr;
+  const auto result =
+      simulate_pipeline(fx.chain, fx.platform, fx.mapping, config);
+  EXPECT_EQ(result.successes, 3u);
+}
+
+TEST(SimTrace, TraceMatchesResultLatency) {
+  const Fixture fx;
+  Recorded rec;
+  const auto result = run_traced(fx, rec, 1);
+  double release = -1.0;
+  double complete = -1.0;
+  for (const auto& event : rec.events) {
+    if (event.kind == TraceEvent::Kind::kRelease) release = event.time;
+    if (event.kind == TraceEvent::Kind::kComplete) complete = event.time;
+  }
+  ASSERT_GE(release, 0.0);
+  ASSERT_GE(complete, 0.0);
+  EXPECT_NEAR(result.latency.mean(), complete - release, 1e-9);
+}
+
+}  // namespace
+}  // namespace prts::sim

@@ -1,0 +1,162 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace prts {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleObservation) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  const double mean = (1 + 2 + 4 + 8 + 16) / 5.0;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  EXPECT_DOUBLE_EQ(stats.mean(), mean);
+  EXPECT_NEAR(stats.variance(), ss / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(5);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-10, 10);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffset) {
+  RunningStats stats;
+  for (int i = 0; i < 1000; ++i) {
+    stats.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_NEAR(stats.variance(), 1.0 + 1.0 / 999.0, 1e-6);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  const ConfidenceInterval ci = wilson_interval(73, 100);
+  EXPECT_LT(ci.lo, 0.73);
+  EXPECT_GT(ci.hi, 0.73);
+}
+
+TEST(WilsonInterval, DegenerateAllSuccesses) {
+  const ConfidenceInterval ci = wilson_interval(50, 50);
+  EXPECT_GT(ci.lo, 0.9);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(WilsonInterval, DegenerateNoSuccess) {
+  const ConfidenceInterval ci = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+  EXPECT_LT(ci.hi, 0.1);
+}
+
+TEST(WilsonInterval, ShrinksWithMoreTrials) {
+  const ConfidenceInterval small = wilson_interval(30, 100);
+  const ConfidenceInterval large = wilson_interval(3000, 10000);
+  EXPECT_LT(large.width(), small.width());
+}
+
+TEST(WilsonInterval, CoversTrueProportionUsually) {
+  // Frequentist sanity: ~95% of intervals should contain p = 0.2.
+  Rng rng(99);
+  int covered = 0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    std::size_t hits = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (rng.bernoulli(0.2)) ++hits;
+    }
+    if (wilson_interval(hits, 200).contains(0.2)) ++covered;
+  }
+  EXPECT_GT(covered, reps * 85 / 100);
+}
+
+TEST(MeanInterval, DegenerateWhenTooFew) {
+  RunningStats stats;
+  stats.add(4.0);
+  const ConfidenceInterval ci = mean_interval(stats);
+  EXPECT_DOUBLE_EQ(ci.lo, 4.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 4.0);
+}
+
+TEST(MeanInterval, CoversSampleMean) {
+  RunningStats stats;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) stats.add(rng.uniform_real(0, 1));
+  const ConfidenceInterval ci = mean_interval(stats);
+  EXPECT_TRUE(ci.contains(stats.mean()));
+  EXPECT_TRUE(ci.contains(0.5));
+}
+
+TEST(Aggregates, MeanOf) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(Aggregates, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometric_mean_of({}), 0.0);
+  EXPECT_NEAR(geometric_mean_of({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geometric_mean_of({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Aggregates, GeometricMeanNoOverflow) {
+  // Products would overflow double; log-space must not.
+  std::vector<double> xs(100, 1e300);
+  EXPECT_NEAR(geometric_mean_of(xs) / 1e300, 1.0, 1e-9);
+}
+
+TEST(Aggregates, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of({7.0}), 7.0);
+}
+
+}  // namespace
+}  // namespace prts

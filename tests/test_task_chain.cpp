@@ -1,0 +1,74 @@
+#include "model/task_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace prts {
+namespace {
+
+TaskChain make_chain() {
+  return TaskChain({{10.0, 2.0}, {20.0, 3.0}, {30.0, 4.0}, {40.0, 0.0}});
+}
+
+TEST(TaskChain, SizeAndAccessors) {
+  const TaskChain chain = make_chain();
+  EXPECT_EQ(chain.size(), 4u);
+  EXPECT_DOUBLE_EQ(chain.work(0), 10.0);
+  EXPECT_DOUBLE_EQ(chain.work(3), 40.0);
+  EXPECT_DOUBLE_EQ(chain.out_size(1), 3.0);
+  EXPECT_DOUBLE_EQ(chain.out_size(3), 0.0);
+  EXPECT_DOUBLE_EQ(chain.task(2).work, 30.0);
+}
+
+TEST(TaskChain, WorkSumSingleTask) {
+  const TaskChain chain = make_chain();
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(chain.work_sum(i, i), chain.work(i));
+  }
+}
+
+TEST(TaskChain, WorkSumRanges) {
+  const TaskChain chain = make_chain();
+  EXPECT_DOUBLE_EQ(chain.work_sum(0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(chain.work_sum(1, 3), 90.0);
+  EXPECT_DOUBLE_EQ(chain.work_sum(0, 3), 100.0);
+}
+
+TEST(TaskChain, TotalWork) {
+  EXPECT_DOUBLE_EQ(make_chain().total_work(), 100.0);
+}
+
+TEST(TaskChain, TasksSpanMatches) {
+  const TaskChain chain = make_chain();
+  auto tasks = chain.tasks();
+  ASSERT_EQ(tasks.size(), 4u);
+  EXPECT_DOUBLE_EQ(tasks[1].out_size, 3.0);
+}
+
+TEST(TaskChain, RejectsEmpty) {
+  EXPECT_THROW(TaskChain({}), std::invalid_argument);
+}
+
+TEST(TaskChain, RejectsNonPositiveWork) {
+  EXPECT_THROW(TaskChain({{0.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(TaskChain({{-1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(TaskChain, RejectsNegativeOutput) {
+  EXPECT_THROW(TaskChain({{1.0, -0.5}}), std::invalid_argument);
+}
+
+TEST(TaskChain, AcceptsZeroOutput) {
+  const TaskChain chain({{1.0, 0.0}, {2.0, 0.0}});
+  EXPECT_DOUBLE_EQ(chain.out_size(0), 0.0);
+}
+
+TEST(TaskChain, SingleTaskChain) {
+  const TaskChain chain({{5.0, 0.0}});
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_DOUBLE_EQ(chain.total_work(), 5.0);
+}
+
+}  // namespace
+}  // namespace prts

@@ -1,0 +1,355 @@
+// prts_cli — command-line front end over the library.
+//
+//   prts_cli generate [--seed S] [--het] [--tasks N] [--procs P]
+//       emit a random instance (paper distributions) on stdout
+//   prts_cli solve --algo dp|dp-period|exact|ilp|heur-l|heur-p
+//       [--period P] [--latency L] < instance.txt
+//       solve and print the mapping + objectives
+//   prts_cli evaluate --mapping "2:0,1;8:2;14:3,4,5" < instance.txt
+//       evaluate a given mapping (boundaries: last task of each interval,
+//       then the processor ids of its replicas)
+//   prts_cli simulate [--datasets N] [--period P] [--latency L]
+//       [--seed S] [--no-routing] [--no-failures] < instance.txt
+//       run the discrete-event simulator
+//   prts_cli dot --what mapping|rbd|rbd-noroute --algo ... < instance.txt
+//       emit a Graphviz drawing of the solved mapping or its RBD
+//   prts_cli trace [--datasets N] [--period P] [--seed S] [--no-routing]
+//       [--no-failures] --algo ... < instance.txt
+//       emit the discrete-event trace as TSV, sorted by time
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "core/ilp.hpp"
+#include "core/period_dp.hpp"
+#include "core/reliability_dp.hpp"
+#include "eval/energy.hpp"
+#include "eval/evaluation.hpp"
+#include "model/dot.hpp"
+#include "model/generator.hpp"
+#include "model/serialize.hpp"
+#include "rbd/builder.hpp"
+#include "rbd/dot.hpp"
+#include "sim/pipeline_sim.hpp"
+
+namespace {
+
+using namespace prts;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Minimal flag parser: --name value or boolean --name.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::cerr << "unexpected argument: " << arg << "\n";
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "";
+      }
+    }
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double number(const std::string& name, double fallback) const {
+    const auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+Instance read_instance_or_die() {
+  ParseResult parsed = read_instance(std::cin);
+  if (!parsed) {
+    std::cerr << "failed to parse instance: " << parsed.error << "\n";
+    std::exit(1);
+  }
+  return std::move(*parsed.instance);
+}
+
+void print_mapping(const TaskChain& chain, const Platform& platform,
+                   const Mapping& mapping) {
+  const MappingMetrics metrics = evaluate(chain, platform, mapping);
+  for (std::size_t j = 0; j < mapping.interval_count(); ++j) {
+    const Interval& ival = mapping.partition().interval(j);
+    std::cout << "interval " << j << ": tasks " << ival.first << ".."
+              << ival.last << " on";
+    for (std::size_t u : mapping.processors(j)) std::cout << " P" << u;
+    std::cout << "\n";
+  }
+  const EnergyMetrics energy = mapping_energy(chain, platform, mapping);
+  std::cout << "failure            " << metrics.failure << "\n";
+  std::cout << "expected latency   " << metrics.expected_latency << "\n";
+  std::cout << "worst latency      " << metrics.worst_latency << "\n";
+  std::cout << "expected period    " << metrics.expected_period << "\n";
+  std::cout << "worst period       " << metrics.worst_period << "\n";
+  std::cout << "replication level  " << metrics.replication_level << "\n";
+  std::cout << "energy per dataset " << energy.total() << "\n";
+}
+
+std::optional<Mapping> solve(const Instance& instance, const Flags& flags) {
+  const std::string algo = flags.get("algo", "exact");
+  const double period = flags.number("period", kInf);
+  const double latency = flags.number("latency", kInf);
+  if (algo == "dp") {
+    return optimize_reliability(instance.chain, instance.platform).mapping;
+  }
+  if (algo == "dp-period") {
+    auto solution = optimize_reliability_period(instance.chain,
+                                                instance.platform, period);
+    if (!solution) return std::nullopt;
+    return std::move(solution->mapping);
+  }
+  if (algo == "exact") {
+    const HomogeneousExactSolver solver(instance.chain, instance.platform);
+    auto solution = solver.solve(period, latency);
+    if (!solution) return std::nullopt;
+    return std::move(solution->mapping);
+  }
+  if (algo == "ilp") {
+    const IlpFormulation formulation(instance.chain, instance.platform,
+                                     period, latency);
+    auto solution = solve_ilp(formulation);
+    if (!solution) return std::nullopt;
+    return std::move(solution->mapping);
+  }
+  if (algo == "heur-l" || algo == "heur-p") {
+    HeuristicOptions options;
+    options.period_bound = period;
+    options.latency_bound = latency;
+    auto solution = run_heuristic(instance.chain, instance.platform,
+                                  algo == "heur-l" ? HeuristicKind::kHeurL
+                                                   : HeuristicKind::kHeurP,
+                                  options);
+    if (!solution) return std::nullopt;
+    return std::move(solution->mapping);
+  }
+  std::cerr << "unknown --algo " << algo
+            << " (dp|dp-period|exact|ilp|heur-l|heur-p)\n";
+  std::exit(2);
+}
+
+/// Parses "2:0,1;8:2" into a mapping: per interval, the last task index
+/// and the replica processor ids.
+std::optional<Mapping> parse_mapping(const std::string& text,
+                                     std::size_t task_count) {
+  std::vector<std::size_t> lasts;
+  std::vector<std::vector<std::size_t>> procs;
+  std::istringstream in(text);
+  std::string part;
+  while (std::getline(in, part, ';')) {
+    const std::size_t colon = part.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    lasts.push_back(std::stoul(part.substr(0, colon)));
+    std::vector<std::size_t> replicas;
+    std::istringstream proc_in(part.substr(colon + 1));
+    std::string id;
+    while (std::getline(proc_in, id, ',')) {
+      replicas.push_back(std::stoul(id));
+    }
+    if (replicas.empty()) return std::nullopt;
+    procs.push_back(std::move(replicas));
+  }
+  if (lasts.empty() || lasts.back() != task_count - 1) return std::nullopt;
+  return Mapping(IntervalPartition::from_boundaries(lasts, task_count),
+                 std::move(procs));
+}
+
+int cmd_generate(const Flags& flags) {
+  Rng rng(static_cast<std::uint64_t>(flags.number("seed", 1)));
+  ChainConfig chain_config;
+  chain_config.task_count =
+      static_cast<std::size_t>(flags.number("tasks", 15));
+  const TaskChain chain = random_chain(rng, chain_config);
+  Instance instance{chain, flags.has("het")
+                               ? [&] {
+                                   HetPlatformConfig config;
+                                   config.processor_count =
+                                       static_cast<std::size_t>(
+                                           flags.number("procs", 10));
+                                   return random_het_platform(rng, config);
+                                 }()
+                               : Platform::homogeneous(
+                                     static_cast<std::size_t>(
+                                         flags.number("procs", 10)),
+                                     1.0, paper::kProcessorFailureRate, 1.0,
+                                     paper::kLinkFailureRate,
+                                     paper::kMaxReplication)};
+  write_instance(std::cout, instance);
+  return 0;
+}
+
+int cmd_solve(const Flags& flags) {
+  const Instance instance = read_instance_or_die();
+  const auto mapping = solve(instance, flags);
+  if (!mapping) {
+    std::cout << "no feasible mapping under the given bounds\n";
+    return 1;
+  }
+  print_mapping(instance.chain, instance.platform, *mapping);
+  return 0;
+}
+
+int cmd_evaluate(const Flags& flags) {
+  const Instance instance = read_instance_or_die();
+  const auto mapping =
+      parse_mapping(flags.get("mapping"), instance.chain.size());
+  if (!mapping) {
+    std::cerr << "bad --mapping (want 'last:proc,proc;...' ending at n-1)\n";
+    return 2;
+  }
+  if (const auto why = mapping->validate(instance.platform)) {
+    std::cerr << "invalid mapping: " << *why << "\n";
+    return 1;
+  }
+  print_mapping(instance.chain, instance.platform, *mapping);
+  return 0;
+}
+
+int cmd_simulate(const Flags& flags) {
+  const Instance instance = read_instance_or_die();
+  const auto mapping = solve(instance, flags);
+  if (!mapping) {
+    std::cout << "no feasible mapping under the given bounds\n";
+    return 1;
+  }
+  const MappingMetrics metrics =
+      evaluate(instance.chain, instance.platform, *mapping);
+  sim::SimulationConfig config;
+  config.dataset_count =
+      static_cast<std::size_t>(flags.number("datasets", 1000));
+  config.input_period = flags.number("period", metrics.worst_period);
+  config.latency_deadline = flags.number("latency", kInf);
+  config.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
+  config.use_routing = !flags.has("no-routing");
+  config.inject_failures = !flags.has("no-failures");
+  const auto result = sim::simulate_pipeline(
+      instance.chain, instance.platform, *mapping, config);
+  std::cout << "datasets          " << result.datasets << "\n";
+  std::cout << "delivered         " << result.successes << "\n";
+  std::cout << "deadline misses   " << result.deadline_misses << "\n";
+  std::cout << "mean latency      " << result.latency.mean() << "\n";
+  std::cout << "max latency       " << result.latency.max() << "\n";
+  std::cout << "mean output gap   " << result.inter_completion.mean()
+            << "\n";
+  std::cout << "makespan          " << result.makespan << "\n";
+  return 0;
+}
+
+int cmd_dot(const Flags& flags) {
+  const Instance instance = read_instance_or_die();
+  const auto mapping = solve(instance, flags);
+  if (!mapping) {
+    std::cout << "no feasible mapping under the given bounds\n";
+    return 1;
+  }
+  const std::string what = flags.get("what", "mapping");
+  if (what == "mapping") {
+    std::cout << mapping_to_dot(instance.chain, instance.platform, *mapping);
+  } else if (what == "rbd") {
+    std::cout << rbd::to_dot(rbd::build_routing_graph(
+        instance.chain, instance.platform, *mapping));
+  } else if (what == "rbd-noroute") {
+    std::cout << rbd::to_dot(rbd::build_no_routing_graph(
+        instance.chain, instance.platform, *mapping));
+  } else {
+    std::cerr << "unknown --what " << what << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_trace(const Flags& flags) {
+  const Instance instance = read_instance_or_die();
+  const auto mapping = solve(instance, flags);
+  if (!mapping) {
+    std::cout << "no feasible mapping under the given bounds\n";
+    return 1;
+  }
+  const MappingMetrics metrics =
+      evaluate(instance.chain, instance.platform, *mapping);
+  std::vector<sim::TraceEvent> events;
+  const sim::TraceObserver observer = [&](const sim::TraceEvent& event) {
+    events.push_back(event);
+  };
+  sim::SimulationConfig config;
+  config.dataset_count =
+      static_cast<std::size_t>(flags.number("datasets", 5));
+  config.input_period = flags.number("period", metrics.worst_period);
+  config.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
+  config.use_routing = !flags.has("no-routing");
+  config.inject_failures = !flags.has("no-failures");
+  config.observer = &observer;
+  sim::simulate_pipeline(instance.chain, instance.platform, *mapping,
+                         config);
+  std::stable_sort(events.begin(), events.end(),
+                   [](const sim::TraceEvent& a, const sim::TraceEvent& b) {
+                     return a.time < b.time;
+                   });
+  static const char* kKindNames[] = {"release",        "compute-start",
+                                     "compute-end",    "transfer-start",
+                                     "transfer-end",   "complete"};
+  std::cout << "time\tkind\tdataset\tstage\tprocessor\tsuccess\n";
+  for (const sim::TraceEvent& event : events) {
+    std::cout << event.time << "\t"
+              << kKindNames[static_cast<int>(event.kind)] << "\t"
+              << event.dataset << "\t";
+    if (event.stage == sim::TraceEvent::kNone) {
+      std::cout << "-";
+    } else {
+      std::cout << event.stage;
+    }
+    std::cout << "\t";
+    if (event.processor == sim::TraceEvent::kNone) {
+      std::cout << "-";
+    } else {
+      std::cout << "P" << event.processor;
+    }
+    std::cout << "\t" << (event.success ? 1 : 0) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr
+        << "usage: prts_cli generate|solve|evaluate|simulate|dot|trace ...\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return cmd_generate(flags);
+  if (command == "solve") return cmd_solve(flags);
+  if (command == "evaluate") return cmd_evaluate(flags);
+  if (command == "simulate") return cmd_simulate(flags);
+  if (command == "dot") return cmd_dot(flags);
+  if (command == "trace") return cmd_trace(flags);
+  std::cerr << "unknown command " << command << "\n";
+  return 2;
+}
