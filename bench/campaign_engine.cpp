@@ -1,0 +1,97 @@
+// Microbenchmarks of the scenario campaign engine: spec parsing,
+// per-job instance materialization, and whole-campaign throughput at 1
+// and N worker threads (the scaling headroom of the parallel batch
+// path).
+#include <benchmark/benchmark.h>
+
+#include "scenario/campaign.hpp"
+#include "scenario/emit.hpp"
+#include "scenario/spec.hpp"
+
+namespace {
+
+using namespace prts;
+
+scenario::CampaignSpec bench_spec(std::size_t instances) {
+  scenario::CampaignSpec spec;
+  spec.name = "bench";
+  spec.instances = instances;
+  spec.seed = 42;
+  spec.sweep.kind = scenario::SweepKind::kPeriod;
+  spec.sweep.lo = 50.0;
+  spec.sweep.hi = 500.0;
+  spec.sweep.step = 50.0;
+  spec.sweep.fixed = 750.0;
+  spec.solvers = {"exact", "heur-l", "heur-p"};
+  return spec;
+}
+
+void BM_CampaignSpecRoundTrip(benchmark::State& state) {
+  const std::string text = scenario::campaign_to_text(bench_spec(100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::campaign_from_text(text));
+  }
+}
+BENCHMARK(BM_CampaignSpecRoundTrip);
+
+void BM_MaterializeInstance(benchmark::State& state) {
+  const scenario::CampaignSpec spec = bench_spec(1);
+  std::size_t job = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::materialize_instance(spec, job++));
+  }
+}
+BENCHMARK(BM_MaterializeInstance);
+
+void BM_CampaignHom(benchmark::State& state) {
+  const scenario::CampaignSpec spec =
+      bench_spec(static_cast<std::size_t>(state.range(0)));
+  scenario::CampaignConfig config;
+  config.threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::run_campaign(spec, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CampaignHom)
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({32, 1})
+    ->Args({32, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CampaignHet(benchmark::State& state) {
+  scenario::CampaignSpec spec =
+      bench_spec(static_cast<std::size_t>(state.range(0)));
+  spec.platform.kind = scenario::PlatformKind::kHet;
+  spec.sweep.lo = 20.0;
+  spec.sweep.hi = 150.0;
+  spec.sweep.step = 10.0;
+  spec.sweep.fixed = 150.0;
+  spec.solvers = {"heur-l", "heur-p"};
+  scenario::CampaignConfig config;
+  config.threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::run_campaign(spec, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CampaignHet)
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EmitTsv(benchmark::State& state) {
+  const scenario::CampaignResult result =
+      scenario::run_campaign(bench_spec(8), scenario::CampaignConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scenario::to_tsv(result.figure));
+  }
+}
+BENCHMARK(BM_EmitTsv);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -6,6 +6,7 @@
 //   --seed S        RNG seed (default: 42)
 //   --threads T     worker threads (default: hardware)
 //   --csv           emit CSV instead of the aligned table
+//   --json          emit the campaign-engine JSON payload instead
 //   --quick         8 instances, coarse step: smoke-test mode
 #pragma once
 
@@ -17,6 +18,7 @@
 
 #include "exp/figures.hpp"
 #include "exp/report.hpp"
+#include "scenario/emit.hpp"
 
 namespace prts::bench {
 
@@ -24,6 +26,7 @@ struct FigureCli {
   exp::ExperimentConfig config;
   double step = 0.0;  // 0: figure default
   bool csv = false;
+  bool json = false;
 };
 
 inline FigureCli parse_figure_cli(int argc, char** argv,
@@ -49,6 +52,8 @@ inline FigureCli parse_figure_cli(int argc, char** argv,
       cli.config.threads = static_cast<std::size_t>(next_value());
     } else if (arg == "--csv") {
       cli.csv = true;
+    } else if (arg == "--json") {
+      cli.json = true;
     } else if (arg == "--quick") {
       cli.config.instances = 8;
       cli.step = default_step * 5.0;
@@ -67,7 +72,9 @@ inline int run_figure_main(
                                         double)>& runner) {
   const FigureCli cli = parse_figure_cli(argc, argv, default_step);
   const exp::FigureData figure = runner(cli.config, cli.step);
-  if (cli.csv) {
+  if (cli.json) {
+    scenario::write_json(std::cout, figure);
+  } else if (cli.csv) {
     exp::print_csv(std::cout, figure);
   } else {
     exp::print_table(std::cout, figure, metric);

@@ -106,28 +106,37 @@ std::vector<HeuristicSolution> heuristic_candidates(
   return candidates;
 }
 
+const HeuristicSolution* best_heuristic_candidate(
+    std::span<const HeuristicSolution> candidates, double period_bound,
+    double latency_bound, bool use_expected_metrics) {
+  const HeuristicSolution* best = nullptr;
+  for (const HeuristicSolution& candidate : candidates) {
+    const double period = use_expected_metrics
+                              ? candidate.metrics.expected_period
+                              : candidate.metrics.worst_period;
+    const double latency = use_expected_metrics
+                               ? candidate.metrics.expected_latency
+                               : candidate.metrics.worst_latency;
+    if (period > period_bound || latency > latency_bound) continue;
+    if (best == nullptr ||
+        candidate.metrics.reliability > best->metrics.reliability) {
+      best = &candidate;
+    }
+  }
+  return best;
+}
+
 std::optional<HeuristicSolution> run_heuristic(const TaskChain& chain,
                                                const Platform& platform,
                                                HeuristicKind kind,
                                                const HeuristicOptions& options) {
-  std::optional<HeuristicSolution> best;
-  for (HeuristicSolution& candidate :
-       heuristic_candidates(chain, platform, kind, options)) {
-    const double period = options.use_expected_metrics
-                              ? candidate.metrics.expected_period
-                              : candidate.metrics.worst_period;
-    const double latency = options.use_expected_metrics
-                               ? candidate.metrics.expected_latency
-                               : candidate.metrics.worst_latency;
-    if (period > options.period_bound || latency > options.latency_bound) {
-      continue;
-    }
-    if (!best ||
-        candidate.metrics.reliability > best->metrics.reliability) {
-      best = std::move(candidate);
-    }
-  }
-  return best;
+  const auto candidates =
+      heuristic_candidates(chain, platform, kind, options);
+  const HeuristicSolution* best = best_heuristic_candidate(
+      candidates, options.period_bound, options.latency_bound,
+      options.use_expected_metrics);
+  if (best == nullptr) return std::nullopt;
+  return *best;
 }
 
 }  // namespace prts

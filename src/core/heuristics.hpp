@@ -10,6 +10,7 @@
 
 #include <limits>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/alloc.hpp"
@@ -68,6 +69,14 @@ struct HeuristicSolution {
 std::vector<HeuristicSolution> heuristic_candidates(
     const TaskChain& chain, const Platform& platform, HeuristicKind kind,
     const HeuristicOptions& options = {});
+
+/// The Section 8 selection rule shared by run_heuristic and the cached
+/// solver sessions (src/solver/adapters.cpp): the most reliable
+/// candidate meeting both bounds, first winner kept on ties; nullptr
+/// when none qualifies.
+const HeuristicSolution* best_heuristic_candidate(
+    std::span<const HeuristicSolution> candidates, double period_bound,
+    double latency_bound, bool use_expected_metrics = false);
 
 /// The most reliable candidate meeting both bounds, or nullopt. This is
 /// the selection rule used in the experiments of Section 8.

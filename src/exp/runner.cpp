@@ -1,77 +1,37 @@
+// Rewired onto the scenario campaign engine: each experiment is a
+// programmatic CampaignSpec over registry solvers; the hand-rolled
+// per-method caching the old runner carried now lives behind
+// Solver::prepare (see src/solver/adapters.cpp). Seeding is unchanged
+// (scenario::job_seed reproduces the historical per-instance stream), so
+// the reproduced figures are identical to the seed repo's.
 #include "exp/runner.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <mutex>
+#include <utility>
 
-#include "common/thread_pool.hpp"
-#include "core/alloc.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/spec.hpp"
 
 namespace prts::exp {
 namespace {
 
-constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
-
-/// Accumulates per-point counts and failure sums for one method.
-struct SeriesAccumulator {
-  explicit SeriesAccumulator(std::size_t points)
-      : solutions(points, 0), failure_sum(points, 0.0) {}
-
-  std::vector<std::size_t> solutions;
-  std::vector<double> failure_sum;
-
-  void record(std::size_t point, double failure) {
-    ++solutions[point];
-    failure_sum[point] += failure;
-  }
-
-  MethodSeries finish(std::string name) const {
-    MethodSeries series;
-    series.name = std::move(name);
-    series.solutions = solutions;
-    series.avg_failure.resize(solutions.size(), kNan);
-    for (std::size_t i = 0; i < solutions.size(); ++i) {
-      if (solutions[i] > 0) {
-        series.avg_failure[i] =
-            failure_sum[i] / static_cast<double>(solutions[i]);
-      }
-    }
-    return series;
-  }
-
-  void merge(const SeriesAccumulator& other) {
-    for (std::size_t i = 0; i < solutions.size(); ++i) {
-      solutions[i] += other.solutions[i];
-      failure_sum[i] += other.failure_sum[i];
-    }
-  }
-};
-
-std::uint64_t instance_seed(std::uint64_t base, std::size_t index) {
-  std::uint64_t state = base + 0x632be59bd9b4e019ULL * (index + 1);
-  return splitmix64_next(state);
+/// The Section 8 random-instance base spec shared by every figure:
+/// 15-task paper chains, explicit sweep grid, one series per solver.
+scenario::CampaignSpec paper_spec(const ExperimentConfig& config,
+                                  std::vector<std::string> solvers) {
+  scenario::CampaignSpec spec;
+  spec.instances = config.instances;
+  spec.seed = config.seed;
+  spec.solvers = std::move(solvers);
+  return spec;
 }
 
-/// Best feasible candidate among precomputed heuristic candidates
-/// (homogeneous platforms: the allocation does not depend on the bounds,
-/// so candidates can be computed once and filtered per sweep point).
-std::optional<double> best_failure_from_candidates(
-    const std::vector<HeuristicSolution>& candidates, double period_bound,
-    double latency_bound) {
-  const HeuristicSolution* best = nullptr;
-  for (const auto& candidate : candidates) {
-    if (candidate.metrics.worst_period > period_bound ||
-        candidate.metrics.worst_latency > latency_bound) {
-      continue;
-    }
-    if (best == nullptr ||
-        candidate.metrics.reliability > best->metrics.reliability) {
-      best = &candidate;
-    }
-  }
-  if (best == nullptr) return std::nullopt;
-  return best->metrics.failure;
+FigureData run_points(const scenario::CampaignSpec& spec,
+                      const std::vector<SweepPoint>& points,
+                      const std::vector<double>& x,
+                      const ExperimentConfig& config) {
+  scenario::CampaignConfig run_config;
+  run_config.threads = config.threads;
+  return scenario::run_campaign_points(spec, points, x, run_config).figure;
 }
 
 }  // namespace
@@ -87,55 +47,16 @@ FigureData run_hom_experiment(const std::string& title,
                               const std::vector<double>& x,
                               const std::vector<SweepPoint>& points,
                               const ExperimentConfig& config) {
-  const std::size_t n_points = points.size();
-  SeriesAccumulator ilp(n_points);
-  SeriesAccumulator heur_l(n_points);
-  SeriesAccumulator heur_p(n_points);
-  std::mutex merge_mutex;
-
-  const Platform platform = paper::hom_platform();
-  ThreadPool pool(config.threads);
-  pool.parallel_for(config.instances, [&](std::size_t inst) {
-    Rng rng(instance_seed(config.seed, inst));
-    const TaskChain chain = paper::chain(rng);
-
-    const HomogeneousExactSolver solver(chain, platform);
-    const auto candidates_l =
-        heuristic_candidates(chain, platform, HeuristicKind::kHeurL);
-    const auto candidates_p =
-        heuristic_candidates(chain, platform, HeuristicKind::kHeurP);
-
-    SeriesAccumulator local_ilp(n_points);
-    SeriesAccumulator local_l(n_points);
-    SeriesAccumulator local_p(n_points);
-    for (std::size_t pt = 0; pt < n_points; ++pt) {
-      const auto exact = solver.best_log_reliability(
-          points[pt].period_bound, points[pt].latency_bound);
-      if (exact) local_ilp.record(pt, -std::expm1(*exact));
-      if (const auto f = best_failure_from_candidates(
-              candidates_l, points[pt].period_bound,
-              points[pt].latency_bound)) {
-        local_l.record(pt, *f);
-      }
-      if (const auto f = best_failure_from_candidates(
-              candidates_p, points[pt].period_bound,
-              points[pt].latency_bound)) {
-        local_p.record(pt, *f);
-      }
-    }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    ilp.merge(local_ilp);
-    heur_l.merge(local_l);
-    heur_p.merge(local_p);
-  });
-
-  FigureData figure;
+  // The "ILP" series keeps the paper's label; the engine behind it is
+  // the exact partition enumeration (see DESIGN.md substitution note).
+  scenario::CampaignSpec spec =
+      paper_spec(config, {"exact", "heur-l", "heur-p"});
+  FigureData figure = run_points(spec, points, x, config);
   figure.title = title;
   figure.x_label = x_label;
-  figure.x = x;
-  figure.series.push_back(ilp.finish("ILP"));
-  figure.series.push_back(heur_l.finish("Heur-L"));
-  figure.series.push_back(heur_p.finish("Heur-P"));
+  figure.series[0].name = "ILP";
+  figure.series[1].name = "Heur-L";
+  figure.series[2].name = "Heur-P";
   return figure;
 }
 
@@ -144,99 +65,31 @@ FigureData run_het_experiment(const std::string& title,
                               const std::vector<double>& x,
                               const std::vector<SweepPoint>& points,
                               const ExperimentConfig& config) {
-  const std::size_t n_points = points.size();
-  // Four curves: each heuristic on the heterogeneous platform and on the
-  // speed-5 homogeneous comparison platform (paper Figures 12-15).
-  SeriesAccumulator l_het(n_points);
-  SeriesAccumulator p_het(n_points);
-  SeriesAccumulator l_hom(n_points);
-  SeriesAccumulator p_hom(n_points);
-  std::mutex merge_mutex;
+  // Two campaigns over the same chain stream (the chain is drawn before
+  // the platform from the per-job generator, so both campaigns see
+  // identical chains): the random heterogeneous platform and the speed-5
+  // homogeneous comparison platform of Figures 12-15.
+  scenario::CampaignSpec het_spec = paper_spec(config, {"heur-l", "heur-p"});
+  het_spec.platform.kind = scenario::PlatformKind::kHet;
 
-  const Platform hom_platform = paper::hom_comparison_platform();
-  ThreadPool pool(config.threads);
-  pool.parallel_for(config.instances, [&](std::size_t inst) {
-    Rng rng(instance_seed(config.seed, inst));
-    const TaskChain chain = paper::chain(rng);
-    const Platform het_platform = paper::het_platform(rng);
+  scenario::CampaignSpec hom_spec = paper_spec(config, {"heur-l", "heur-p"});
+  hom_spec.platform.speed = paper::kHetComparisonHomSpeed;
 
-    // The partitions depend only on the interval count; compute them once
-    // per (kind, platform) and re-allocate per sweep point (on a
-    // heterogeneous platform the allocation depends on the period bound).
-    const std::size_t max_intervals =
-        std::min(chain.size(), het_platform.processor_count());
-    std::vector<IntervalPartition> parts_l;
-    std::vector<IntervalPartition> parts_p_het;
-    std::vector<IntervalPartition> parts_p_hom;
-    for (std::size_t i = 1; i <= max_intervals; ++i) {
-      parts_l.push_back(heur_l_partition(chain, i));
-      parts_p_het.push_back(
-          heur_p_partition(chain, i, 1.0, het_platform.bandwidth()));
-      parts_p_hom.push_back(heur_p_partition(chain, i,
-                                             hom_platform.speed(0),
-                                             hom_platform.bandwidth()));
-    }
-
-    auto best_failure = [&](const Platform& platform,
-                            const std::vector<IntervalPartition>& parts,
-                            const SweepPoint& bounds)
-        -> std::optional<double> {
-      std::optional<double> best_log;
-      std::optional<double> best_fail;
-      for (const IntervalPartition& part : parts) {
-        AllocOptions options;
-        options.period_bound = bounds.period_bound;
-        const auto mapping =
-            allocate_processors(chain, platform, part, options);
-        if (!mapping) continue;
-        const MappingMetrics metrics = evaluate(chain, platform, *mapping);
-        if (metrics.worst_period > bounds.period_bound ||
-            metrics.worst_latency > bounds.latency_bound) {
-          continue;
-        }
-        if (!best_log || metrics.reliability.log() > *best_log) {
-          best_log = metrics.reliability.log();
-          best_fail = metrics.failure;
-        }
-      }
-      return best_fail;
-    };
-
-    SeriesAccumulator local_l_het(n_points);
-    SeriesAccumulator local_p_het(n_points);
-    SeriesAccumulator local_l_hom(n_points);
-    SeriesAccumulator local_p_hom(n_points);
-    for (std::size_t pt = 0; pt < n_points; ++pt) {
-      if (const auto f = best_failure(het_platform, parts_l, points[pt])) {
-        local_l_het.record(pt, *f);
-      }
-      if (const auto f =
-              best_failure(het_platform, parts_p_het, points[pt])) {
-        local_p_het.record(pt, *f);
-      }
-      if (const auto f = best_failure(hom_platform, parts_l, points[pt])) {
-        local_l_hom.record(pt, *f);
-      }
-      if (const auto f =
-              best_failure(hom_platform, parts_p_hom, points[pt])) {
-        local_p_hom.record(pt, *f);
-      }
-    }
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    l_het.merge(local_l_het);
-    p_het.merge(local_p_het);
-    l_hom.merge(local_l_hom);
-    p_hom.merge(local_p_hom);
-  });
+  FigureData het = run_points(het_spec, points, x, config);
+  const FigureData hom = run_points(hom_spec, points, x, config);
 
   FigureData figure;
   figure.title = title;
   figure.x_label = x_label;
   figure.x = x;
-  figure.series.push_back(l_het.finish("Heur-L_HET"));
-  figure.series.push_back(p_het.finish("Heur-P_HET"));
-  figure.series.push_back(l_hom.finish("Heur-L_HOM"));
-  figure.series.push_back(p_hom.finish("Heur-P_HOM"));
+  figure.series.push_back(std::move(het.series[0]));
+  figure.series.push_back(std::move(het.series[1]));
+  figure.series[0].name = "Heur-L_HET";
+  figure.series[1].name = "Heur-P_HET";
+  figure.series.push_back(hom.series[0]);
+  figure.series.push_back(hom.series[1]);
+  figure.series[2].name = "Heur-L_HOM";
+  figure.series[3].name = "Heur-P_HOM";
   return figure;
 }
 

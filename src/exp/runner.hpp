@@ -4,6 +4,11 @@
 // failure probability of the returned schedules over exactly those
 // instances (hence, as the paper notes for Figures 13/15, different
 // methods average over different instance sets).
+//
+// Execution is delegated to the scenario campaign engine
+// (src/scenario/campaign.hpp) over registry solvers (src/solver/); this
+// header only keeps the figure-shaped result types and the paper's
+// experiment presets.
 #pragma once
 
 #include <cstddef>

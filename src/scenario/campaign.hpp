@@ -1,0 +1,59 @@
+// The campaign engine: expands a CampaignSpec into (instance x solver x
+// sweep point) jobs, runs them in parallel over prts::ThreadPool with
+// deterministic per-job RNG seeding, and aggregates the results into the
+// exp::MethodSeries shapes the reporting layer consumes.
+//
+// Determinism contract: every job derives its generator from
+// job_seed(spec.seed, job) alone, per-job results land in preassigned
+// slots, and the final reduction runs sequentially in job order —
+// so an N-thread run produces byte-identical aggregates to a 1-thread
+// run of the same spec.
+#pragma once
+
+#include <cstdint>
+
+#include "exp/runner.hpp"
+#include "model/serialize.hpp"
+#include "scenario/spec.hpp"
+#include "solver/registry.hpp"
+
+namespace prts::scenario {
+
+/// Execution knobs (the spec describes *what* to run, this *how*).
+struct CampaignConfig {
+  std::size_t threads = 0;  ///< worker threads, hardware when 0
+
+  /// Solver lookup table; the built-in registry when null.
+  const solver::SolverRegistry* registry = nullptr;
+};
+
+/// Aggregated campaign output: one MethodSeries per spec solver.
+struct CampaignResult {
+  exp::FigureData figure;
+  std::size_t jobs = 0;    ///< instances * repetitions
+  std::size_t points = 0;  ///< sweep grid size
+};
+
+/// The per-job seed stream: splitmix-mixed from the campaign seed, so
+/// jobs are decorrelated and job j is reproducible in isolation. Job
+/// indices enumerate repetitions x instances.
+std::uint64_t job_seed(std::uint64_t base, std::size_t job) noexcept;
+
+/// Materializes the random instance of one job (chain first, then the
+/// platform, from one per-job generator).
+Instance materialize_instance(const CampaignSpec& spec, std::size_t job);
+
+/// Runs the campaign described by the spec. Throws std::invalid_argument
+/// on an empty solver list or a name missing from the registry.
+CampaignResult run_campaign(const CampaignSpec& spec,
+                            const CampaignConfig& config = {});
+
+/// Like run_campaign but over an explicit sweep grid (`x` labels the
+/// points in reports). Lets programmatic callers (src/exp/) drive sweeps
+/// a SweepSpec cannot express.
+CampaignResult run_campaign_points(const CampaignSpec& spec,
+                                   const std::vector<exp::SweepPoint>& points,
+                                   const std::vector<double>& x,
+                                   const CampaignConfig& config = {});
+
+}  // namespace prts::scenario

@@ -1,0 +1,149 @@
+#include "scenario/emit.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace prts::scenario {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream hex;
+          hex << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          escaped += hex.str();
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+/// One double as a JSON value: NaN has no JSON spelling, emit null.
+void json_number(std::ostream& out, double value) {
+  if (std::isnan(value)) {
+    out << "null";
+  } else {
+    out << value;
+  }
+}
+
+void json_series(std::ostream& out, const exp::MethodSeries& series,
+                 const char* indent) {
+  out << indent << "{\"name\": \"" << json_escape(series.name)
+      << "\", \"solutions\": [";
+  for (std::size_t i = 0; i < series.solutions.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << series.solutions[i];
+  }
+  out << "], \"avg_failure\": [";
+  for (std::size_t i = 0; i < series.avg_failure.size(); ++i) {
+    if (i > 0) out << ", ";
+    json_number(out, series.avg_failure[i]);
+  }
+  out << "]}";
+}
+
+void json_figure_fields(std::ostream& out, const exp::FigureData& figure,
+                        const char* indent) {
+  out << indent << "\"title\": \"" << json_escape(figure.title) << "\",\n";
+  out << indent << "\"x_label\": \"" << json_escape(figure.x_label)
+      << "\",\n";
+  out << indent << "\"x\": [";
+  for (std::size_t i = 0; i < figure.x.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << figure.x[i];
+  }
+  out << "],\n";
+  out << indent << "\"series\": [\n";
+  const std::string series_indent = std::string(indent) + "  ";
+  for (std::size_t s = 0; s < figure.series.size(); ++s) {
+    json_series(out, figure.series[s], series_indent.c_str());
+    out << (s + 1 < figure.series.size() ? ",\n" : "\n");
+  }
+  out << indent << "]";
+}
+
+}  // namespace
+
+void write_tsv(std::ostream& out, const exp::FigureData& figure) {
+  const auto restore = out.precision(17);
+  out << "x";
+  for (const exp::MethodSeries& series : figure.series) {
+    out << "\t" << series.name << "_solutions\t" << series.name
+        << "_avg_failure";
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < figure.x.size(); ++i) {
+    out << figure.x[i];
+    for (const exp::MethodSeries& series : figure.series) {
+      out << "\t" << series.solutions[i] << "\t" << series.avg_failure[i];
+    }
+    out << "\n";
+  }
+  out.precision(restore);
+}
+
+void write_json(std::ostream& out, const exp::FigureData& figure) {
+  const auto restore = out.precision(17);
+  out << "{\n";
+  json_figure_fields(out, figure, "  ");
+  out << "\n}\n";
+  out.precision(restore);
+}
+
+void write_json(std::ostream& out, const CampaignSpec& spec,
+                const CampaignResult& result) {
+  const auto restore = out.precision(17);
+  out << "{\n";
+  out << "  \"campaign\": \"" << json_escape(spec.name) << "\",\n";
+  out << "  \"instances\": " << spec.instances << ",\n";
+  out << "  \"repetitions\": " << spec.repetitions << ",\n";
+  out << "  \"seed\": " << spec.seed << ",\n";
+  out << "  \"jobs\": " << result.jobs << ",\n";
+  out << "  \"points\": " << result.points << ",\n";
+  out << "  \"solvers\": [";
+  for (std::size_t i = 0; i < spec.solvers.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "\"" << json_escape(spec.solvers[i]) << "\"";
+  }
+  out << "],\n";
+  json_figure_fields(out, result.figure, "  ");
+  out << "\n}\n";
+  out.precision(restore);
+}
+
+std::string to_tsv(const exp::FigureData& figure) {
+  std::ostringstream out;
+  write_tsv(out, figure);
+  return out.str();
+}
+
+std::string to_json(const exp::FigureData& figure) {
+  std::ostringstream out;
+  write_json(out, figure);
+  return out.str();
+}
+
+}  // namespace prts::scenario

@@ -1,0 +1,32 @@
+// Machine-readable campaign result emission: TSV for spreadsheets and
+// plotting scripts, JSON for trajectory tracking and dashboards. Both
+// formats print doubles at full precision, so identical aggregates emit
+// identical bytes (the determinism tests compare these strings).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "scenario/campaign.hpp"
+
+namespace prts::scenario {
+
+/// Tab-separated values: header `x <name>_solutions <name>_avg_failure
+/// ...`, one row per sweep point, NaN spelled `nan`.
+void write_tsv(std::ostream& out, const exp::FigureData& figure);
+
+/// JSON object {title, x_label, x, series: [{name, solutions,
+/// avg_failure}]}; NaN emits as null.
+void write_json(std::ostream& out, const exp::FigureData& figure);
+
+/// JSON with campaign metadata (spec echo + job counts) wrapped around
+/// the figure payload.
+void write_json(std::ostream& out, const CampaignSpec& spec,
+                const CampaignResult& result);
+
+/// Convenience string forms (used by tests to compare runs byte-wise).
+std::string to_tsv(const exp::FigureData& figure);
+std::string to_json(const exp::FigureData& figure);
+
+}  // namespace prts::scenario

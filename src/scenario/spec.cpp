@@ -1,0 +1,326 @@
+#include "scenario/spec.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace prts::scenario {
+namespace {
+
+/// Reads the next content line (skipping blanks and '#' comments);
+/// false at end of stream. Mirrors model/serialize.cpp.
+bool next_line(std::istream& in, std::string& line, std::size_t& lineno) {
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+CampaignParseResult fail(std::size_t lineno, const std::string& what) {
+  CampaignParseResult result;
+  result.error = "line " + std::to_string(lineno) + ": " + what;
+  return result;
+}
+
+/// Extracts one unsigned integer token strictly: digits only and no
+/// overflow of the destination type. istream's own num_get silently
+/// wraps "-5" to 2^64-5, which would turn a typo into an astronomically
+/// sized campaign instead of a parse error.
+template <typename T>
+bool read_unsigned(std::istream& in, T& value) {
+  std::string token;
+  if (!(in >> token)) return false;
+  if (token.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) return false;
+  if (parsed > std::numeric_limits<T>::max()) return false;
+  value = static_cast<T>(parsed);
+  return true;
+}
+
+/// Extracts one double token; unlike istream's num_get this accepts
+/// "inf"/"-inf"/"nan" (strtod semantics), which write_campaign emits for
+/// relaxed bounds.
+bool read_double(std::istream& in, double& value) {
+  std::string token;
+  if (!(in >> token)) return false;
+  char* end = nullptr;
+  value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+std::string trim(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+std::optional<std::string> check_spec(const CampaignSpec& spec) {
+  if (spec.instances == 0) return "instances must be >= 1";
+  if (spec.repetitions == 0) return "repetitions must be >= 1";
+  // A job materializes per-solver result rows up front; cap the grid so
+  // an absurd (but syntactically valid) spec fails here instead of in
+  // the allocator.
+  constexpr std::size_t kMaxJobs = 100'000'000;
+  if (spec.instances > kMaxJobs / spec.repetitions) {
+    return "instances x repetitions exceeds " + std::to_string(kMaxJobs) +
+           " jobs";
+  }
+  if (spec.chain.task_count == 0) return "chain needs >= 1 task";
+  if (spec.chain.work_lo < 1 || spec.chain.work_lo > spec.chain.work_hi) {
+    return "chain work range needs 1 <= lo <= hi";
+  }
+  if (spec.chain.out_lo < 0 || spec.chain.out_lo > spec.chain.out_hi) {
+    return "chain out range needs 0 <= lo <= hi";
+  }
+  const PlatformSpec& platform = spec.platform;
+  if (platform.processors == 0) return "platform needs >= 1 processor";
+  if (platform.kind == PlatformKind::kHom && !(platform.speed > 0.0)) {
+    return "platform speed must be > 0";
+  }
+  if (platform.kind == PlatformKind::kHet &&
+      (platform.speed_lo < 1 || platform.speed_lo > platform.speed_hi)) {
+    return "platform speed range needs 1 <= lo <= hi";
+  }
+  if (platform.processor_failure_rate < 0.0 ||
+      platform.link_failure_rate < 0.0) {
+    return "failure rates must be >= 0";
+  }
+  if (!(platform.bandwidth > 0.0)) return "bandwidth must be > 0";
+  if (platform.max_replication < 1) return "max replication must be >= 1";
+  if (!(spec.sweep.step > 0.0)) return "sweep step must be > 0";
+  if (spec.sweep.lo > spec.sweep.hi) return "sweep needs lo <= hi";
+  if (spec.sweep.kind == SweepKind::kCoupled && !(spec.sweep.factor > 0.0)) {
+    return "sweep factor must be > 0";
+  }
+  if (spec.solvers.empty()) return "at least one 'solver <name>' line";
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<double> sweep_x(const SweepSpec& sweep) {
+  return exp::sweep_range(sweep.lo, sweep.hi, sweep.step);
+}
+
+std::vector<exp::SweepPoint> sweep_points(const SweepSpec& sweep) {
+  std::vector<exp::SweepPoint> points;
+  for (double x : sweep_x(sweep)) {
+    switch (sweep.kind) {
+      case SweepKind::kPeriod:
+        points.push_back(exp::SweepPoint{x, sweep.fixed});
+        break;
+      case SweepKind::kLatency:
+        points.push_back(exp::SweepPoint{sweep.fixed, x});
+        break;
+      case SweepKind::kCoupled:
+        points.push_back(exp::SweepPoint{x, sweep.factor * x});
+        break;
+    }
+  }
+  return points;
+}
+
+std::string sweep_x_label(const SweepSpec& sweep) {
+  switch (sweep.kind) {
+    case SweepKind::kLatency:
+      return "latency bound";
+    case SweepKind::kCoupled:
+    case SweepKind::kPeriod:
+      return "period bound";
+  }
+  return "x";
+}
+
+void write_campaign(std::ostream& out, const CampaignSpec& spec) {
+  // precision 17 round-trips every double through text exactly.
+  std::ostringstream body;
+  body << std::setprecision(17);
+  body << "prts-campaign v1\n";
+  body << "name " << spec.name << "\n";
+  body << "instances " << spec.instances << "\n";
+  body << "repetitions " << spec.repetitions << "\n";
+  body << "seed " << spec.seed << "\n";
+  body << "chain " << spec.chain.task_count << " " << spec.chain.work_lo
+       << " " << spec.chain.work_hi << " " << spec.chain.out_lo << " "
+       << spec.chain.out_hi << "\n";
+  const PlatformSpec& platform = spec.platform;
+  body << "platform ";
+  if (platform.kind == PlatformKind::kHom) {
+    body << "hom " << platform.processors << " " << platform.speed;
+  } else {
+    body << "het " << platform.processors << " " << platform.speed_lo << " "
+         << platform.speed_hi;
+  }
+  body << " " << platform.processor_failure_rate << " "
+       << platform.link_failure_rate << " " << platform.bandwidth << " "
+       << platform.max_replication << "\n";
+  const SweepSpec& sweep = spec.sweep;
+  body << "sweep ";
+  switch (sweep.kind) {
+    case SweepKind::kPeriod:
+      body << "period " << sweep.lo << " " << sweep.hi << " " << sweep.step
+           << " latency " << sweep.fixed;
+      break;
+    case SweepKind::kLatency:
+      body << "latency " << sweep.lo << " " << sweep.hi << " " << sweep.step
+           << " period " << sweep.fixed;
+      break;
+    case SweepKind::kCoupled:
+      body << "coupled " << sweep.lo << " " << sweep.hi << " " << sweep.step
+           << " factor " << sweep.factor;
+      break;
+  }
+  body << "\n";
+  for (const std::string& solver : spec.solvers) {
+    body << "solver " << solver << "\n";
+  }
+  out << body.str();
+}
+
+std::string campaign_to_text(const CampaignSpec& spec) {
+  std::ostringstream out;
+  write_campaign(out, spec);
+  return out.str();
+}
+
+CampaignParseResult read_campaign(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  if (!next_line(in, line, lineno)) return fail(lineno, "empty input");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != "prts-campaign" || version != "v1") {
+      return fail(lineno, "expected header 'prts-campaign v1'");
+    }
+  }
+
+  CampaignSpec spec;
+  spec.solvers.clear();
+  bool saw_sweep = false;
+  while (next_line(in, line, lineno)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "name") {
+      std::string rest;
+      std::getline(fields, rest);
+      spec.name = trim(rest);
+      if (spec.name.empty()) return fail(lineno, "empty campaign name");
+    } else if (key == "instances") {
+      if (!read_unsigned(fields, spec.instances)) {
+        return fail(lineno, "expected 'instances <N>' with N >= 0");
+      }
+    } else if (key == "repetitions") {
+      if (!read_unsigned(fields, spec.repetitions)) {
+        return fail(lineno, "expected 'repetitions <R>' with R >= 0");
+      }
+    } else if (key == "seed") {
+      if (!read_unsigned(fields, spec.seed)) {
+        return fail(lineno, "expected 'seed <S>' with unsigned S");
+      }
+    } else if (key == "chain") {
+      if (!read_unsigned(fields, spec.chain.task_count)) {
+        return fail(lineno, "expected 'chain <tasks> ...' with tasks >= 0");
+      }
+      fields >> spec.chain.work_lo >> spec.chain.work_hi >>
+          spec.chain.out_lo >> spec.chain.out_hi;
+      if (fields.fail()) {
+        return fail(lineno,
+                    "expected 'chain <tasks> <work_lo> <work_hi> <out_lo> "
+                    "<out_hi>'");
+      }
+    } else if (key == "platform") {
+      std::string kind;
+      fields >> kind;
+      if (kind != "hom" && kind != "het") {
+        return fail(lineno, "expected 'platform hom|het ...'");
+      }
+      if (!read_unsigned(fields, spec.platform.processors)) {
+        return fail(lineno, "expected 'platform " + kind +
+                                " <p> ...' with p >= 0");
+      }
+      if (kind == "hom") {
+        spec.platform.kind = PlatformKind::kHom;
+        fields >> spec.platform.speed;
+      } else {
+        spec.platform.kind = PlatformKind::kHet;
+        fields >> spec.platform.speed_lo >> spec.platform.speed_hi;
+      }
+      fields >> spec.platform.processor_failure_rate >>
+          spec.platform.link_failure_rate >> spec.platform.bandwidth;
+      if (fields.fail() ||
+          !read_unsigned(fields, spec.platform.max_replication)) {
+        return fail(lineno,
+                    "expected 'platform " + kind +
+                        " <p> <speed...> <proc_rate> <link_rate> "
+                        "<bandwidth> <K>'");
+      }
+    } else if (key == "sweep") {
+      std::string kind;
+      std::string other;
+      fields >> kind >> spec.sweep.lo >> spec.sweep.hi >> spec.sweep.step >>
+          other;
+      if (fields.fail()) {
+        return fail(lineno,
+                    "expected 'sweep period|latency|coupled <lo> <hi> "
+                    "<step> ...'");
+      }
+      bool bound_ok = true;
+      if (kind == "period" && other == "latency") {
+        spec.sweep.kind = SweepKind::kPeriod;
+        bound_ok = read_double(fields, spec.sweep.fixed);
+      } else if (kind == "latency" && other == "period") {
+        spec.sweep.kind = SweepKind::kLatency;
+        bound_ok = read_double(fields, spec.sweep.fixed);
+      } else if (kind == "coupled" && other == "factor") {
+        spec.sweep.kind = SweepKind::kCoupled;
+        bound_ok = read_double(fields, spec.sweep.factor);
+      } else {
+        return fail(lineno, "unknown sweep form '" + kind + " ... " +
+                                other + "'");
+      }
+      if (!bound_ok) return fail(lineno, "missing sweep bound value");
+      saw_sweep = true;
+    } else if (key == "solver") {
+      std::string name;
+      fields >> name;
+      if (fields.fail() || name.empty()) {
+        return fail(lineno, "expected 'solver <name>'");
+      }
+      spec.solvers.push_back(name);
+    } else {
+      return fail(lineno, "unknown key '" + key + "'");
+    }
+  }
+
+  if (!saw_sweep) return fail(lineno, "missing 'sweep' line");
+  if (const auto why = check_spec(spec)) return fail(lineno, *why);
+  CampaignParseResult result;
+  result.spec = std::move(spec);
+  return result;
+}
+
+CampaignParseResult campaign_from_text(const std::string& text) {
+  std::istringstream in(text);
+  return read_campaign(in);
+}
+
+}  // namespace prts::scenario

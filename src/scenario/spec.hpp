@@ -1,0 +1,115 @@
+// Declarative campaign specifications: one text file describes a whole
+// Section-8-style batch — random-instance generator parameters, the
+// platform family, the sweep grid over (period, latency) bounds, the
+// solver list and the seeding — so `prts_cli campaign spec.txt`
+// reproduces an entire figure in one invocation.
+//
+// Format (line oriented, '#' comments allowed, keys in any order after
+// the header; `write_campaign` prints the canonical order shown here):
+//   prts-campaign v1
+//   name <free text>
+//   instances <N>
+//   repetitions <R>
+//   seed <S>
+//   chain <tasks> <work_lo> <work_hi> <out_lo> <out_hi>
+//   platform hom <p> <speed> <proc_rate> <link_rate> <bandwidth> <K>
+//   platform het <p> <speed_lo> <speed_hi> <proc_rate> <link_rate>
+//                <bandwidth> <K>
+//   sweep period <lo> <hi> <step> latency <L>
+//   sweep latency <lo> <hi> <step> period <P>
+//   sweep coupled <lo> <hi> <step> factor <f>       # P = x, L = f * x
+//   solver <registry name>                          # one per line, >= 1
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "model/generator.hpp"
+
+namespace prts::scenario {
+
+/// Which bound the sweep varies.
+enum class SweepKind {
+  kPeriod,   ///< x = period bound, latency fixed
+  kLatency,  ///< x = latency bound, period fixed
+  kCoupled,  ///< x = period bound, latency = factor * x (Figures 10-11)
+};
+
+/// The sweep grid: x in {lo, lo+step, ..., <= hi} plus the fixed/coupled
+/// other bound.
+struct SweepSpec {
+  SweepKind kind = SweepKind::kPeriod;
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 1.0;
+  double fixed = std::numeric_limits<double>::infinity();  ///< other bound
+  double factor = 3.0;  ///< kCoupled: latency = factor * period
+};
+
+/// The platform family instances are drawn from.
+enum class PlatformKind {
+  kHom,  ///< identical processors, no randomness
+  kHet,  ///< uniform integer speeds in [speed_lo, speed_hi], per instance
+};
+
+/// Platform parameters (paper Section 8 defaults).
+struct PlatformSpec {
+  PlatformKind kind = PlatformKind::kHom;
+  std::size_t processors = paper::kProcessorCount;
+  double speed = paper::kHomSpeed;  ///< kHom
+  int speed_lo = 1;                 ///< kHet
+  int speed_hi = 100;               ///< kHet
+  double processor_failure_rate = paper::kProcessorFailureRate;
+  double link_failure_rate = paper::kLinkFailureRate;
+  double bandwidth = paper::kBandwidth;
+  unsigned max_replication = paper::kMaxReplication;
+};
+
+/// A full campaign: generator x sweep x solvers x seeding.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::size_t instances = paper::kInstanceCount;
+  std::size_t repetitions = 1;
+  std::uint64_t seed = 42;
+  ChainConfig chain;  ///< paper defaults: 15 tasks, w in [1,100], o in [1,10]
+  PlatformSpec platform;
+  SweepSpec sweep;
+  std::vector<std::string> solvers;  ///< registry names, series order
+};
+
+/// The sweep's x values: lo, lo+step, ..., <= hi.
+std::vector<double> sweep_x(const SweepSpec& sweep);
+
+/// The expanded (period, latency) grid, one point per x value.
+std::vector<exp::SweepPoint> sweep_points(const SweepSpec& sweep);
+
+/// Axis label for reports ("period bound", "latency bound", ...).
+std::string sweep_x_label(const SweepSpec& sweep);
+
+/// Writes the canonical text form (round-trips through read_campaign).
+void write_campaign(std::ostream& out, const CampaignSpec& spec);
+
+/// Serializes to a string (convenience over write_campaign).
+std::string campaign_to_text(const CampaignSpec& spec);
+
+/// Result of parsing: either a spec or a human-readable error.
+struct CampaignParseResult {
+  std::optional<CampaignSpec> spec;
+  std::string error;
+
+  explicit operator bool() const noexcept { return spec.has_value(); }
+};
+
+/// Parses the v1 text format; never throws — malformed input yields an
+/// error message naming the offending line.
+CampaignParseResult read_campaign(std::istream& in);
+
+/// Parses from a string (convenience over read_campaign).
+CampaignParseResult campaign_from_text(const std::string& text);
+
+}  // namespace prts::scenario

@@ -1,0 +1,173 @@
+#include "scenario/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scenario/emit.hpp"
+#include "scenario/spec.hpp"
+
+namespace prts::scenario {
+namespace {
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.name = "tiny";
+  spec.instances = 10;
+  spec.seed = 42;
+  spec.sweep.kind = SweepKind::kPeriod;
+  spec.sweep.lo = 100.0;
+  spec.sweep.hi = 300.0;
+  spec.sweep.step = 100.0;
+  spec.sweep.fixed = 750.0;
+  spec.solvers = {"exact", "heur-l", "heur-p"};
+  return spec;
+}
+
+CampaignConfig threads(std::size_t count) {
+  CampaignConfig config;
+  config.threads = count;
+  return config;
+}
+
+TEST(Campaign, ProducesOneSeriesPerSolverInSpecOrder) {
+  const CampaignResult result = run_campaign(tiny_spec(), threads(2));
+  ASSERT_EQ(result.figure.series.size(), 3u);
+  EXPECT_EQ(result.figure.series[0].name, "exact");
+  EXPECT_EQ(result.figure.series[1].name, "heur-l");
+  EXPECT_EQ(result.figure.series[2].name, "heur-p");
+  EXPECT_EQ(result.jobs, 10u);
+  EXPECT_EQ(result.points, 3u);
+  for (const auto& series : result.figure.series) {
+    ASSERT_EQ(series.solutions.size(), 3u);
+    ASSERT_EQ(series.avg_failure.size(), 3u);
+    for (std::size_t solved : series.solutions) EXPECT_LE(solved, 10u);
+  }
+}
+
+TEST(Campaign, ThreadCountDoesNotChangeAggregates) {
+  // The acceptance determinism contract: same spec + seed, 1-thread and
+  // N-thread runs emit byte-identical TSV and JSON.
+  const CampaignSpec spec = tiny_spec();
+  const CampaignResult serial = run_campaign(spec, threads(1));
+  const CampaignResult parallel = run_campaign(spec, threads(8));
+  EXPECT_EQ(to_tsv(serial.figure), to_tsv(parallel.figure));
+  EXPECT_EQ(to_json(serial.figure), to_json(parallel.figure));
+}
+
+TEST(Campaign, HetCampaignIsDeterministicToo) {
+  CampaignSpec spec = tiny_spec();
+  spec.platform.kind = PlatformKind::kHet;
+  spec.sweep.lo = 20.0;
+  spec.sweep.hi = 100.0;
+  spec.sweep.step = 40.0;
+  spec.sweep.fixed = 150.0;
+  spec.solvers = {"heur-l", "heur-p"};
+  const CampaignResult serial = run_campaign(spec, threads(1));
+  const CampaignResult parallel = run_campaign(spec, threads(8));
+  EXPECT_EQ(to_tsv(serial.figure), to_tsv(parallel.figure));
+}
+
+TEST(Campaign, ExactDominatesHeuristicCounts) {
+  const CampaignResult result = run_campaign(tiny_spec(), threads(4));
+  for (std::size_t pt = 0; pt < result.points; ++pt) {
+    EXPECT_GE(result.figure.series[0].solutions[pt],
+              result.figure.series[1].solutions[pt]);
+    EXPECT_GE(result.figure.series[0].solutions[pt],
+              result.figure.series[2].solutions[pt]);
+  }
+}
+
+TEST(Campaign, RepetitionsMultiplyTheJobCount) {
+  CampaignSpec spec = tiny_spec();
+  spec.solvers = {"heur-l"};
+  const CampaignResult once = run_campaign(spec, threads(4));
+  spec.repetitions = 3;
+  const CampaignResult thrice = run_campaign(spec, threads(4));
+  EXPECT_EQ(once.jobs, 10u);
+  EXPECT_EQ(thrice.jobs, 30u);
+  for (std::size_t pt = 0; pt < once.points; ++pt) {
+    EXPECT_GE(thrice.figure.series[0].solutions[pt],
+              once.figure.series[0].solutions[pt]);
+    EXPECT_LE(thrice.figure.series[0].solutions[pt], 30u);
+  }
+}
+
+TEST(Campaign, JobSeedsAreDecorrelatedAndStable) {
+  // The stream is pinned (historical src/exp/runner.cpp values): charm
+  // of bit-reproducing the seed repo's figures.
+  EXPECT_NE(job_seed(42, 0), job_seed(42, 1));
+  EXPECT_NE(job_seed(42, 0), job_seed(43, 0));
+  EXPECT_EQ(job_seed(42, 0), job_seed(42, 0));
+}
+
+TEST(Campaign, MaterializedInstancesMatchTheSpec) {
+  CampaignSpec spec = tiny_spec();
+  spec.chain.task_count = 9;
+  spec.platform.processors = 7;
+  const Instance hom = materialize_instance(spec, 0);
+  EXPECT_EQ(hom.chain.size(), 9u);
+  EXPECT_EQ(hom.platform.processor_count(), 7u);
+  EXPECT_TRUE(hom.platform.is_homogeneous());
+
+  spec.platform.kind = PlatformKind::kHet;
+  const Instance het = materialize_instance(spec, 0);
+  EXPECT_EQ(het.platform.processor_count(), 7u);
+  // Same job, same seed: the chain is identical whatever the platform
+  // family, because the chain is drawn before the platform.
+  ASSERT_EQ(het.chain.size(), hom.chain.size());
+  for (std::size_t i = 0; i < hom.chain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(het.chain.work(i), hom.chain.work(i));
+  }
+}
+
+TEST(Campaign, UnknownSolverThrows) {
+  CampaignSpec spec = tiny_spec();
+  spec.solvers = {"no-such-solver"};
+  EXPECT_THROW(run_campaign(spec, threads(1)), std::invalid_argument);
+  spec.solvers.clear();
+  EXPECT_THROW(run_campaign(spec, threads(1)), std::invalid_argument);
+}
+
+TEST(Campaign, SpecTextRunsEndToEnd) {
+  // The full path a `prts_cli campaign` invocation takes: text -> spec
+  // -> run -> emission.
+  const CampaignParseResult parsed = campaign_from_text(
+      "prts-campaign v1\n"
+      "name end-to-end\n"
+      "instances 10\n"
+      "seed 7\n"
+      "sweep period 100 300 100 latency 750\n"
+      "solver exact\n"
+      "solver heur-p\n");
+  ASSERT_TRUE(parsed) << parsed.error;
+  const CampaignResult result = run_campaign(*parsed.spec, threads(4));
+  const std::string tsv = to_tsv(result.figure);
+  EXPECT_NE(tsv.find("exact_solutions"), std::string::npos);
+  EXPECT_NE(tsv.find("heur-p_avg_failure"), std::string::npos);
+  const std::string json = to_json(result.figure);
+  EXPECT_NE(json.find("\"title\": \"end-to-end\""), std::string::npos);
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+}
+
+TEST(CampaignEmit, TsvShapesAndNanSpelling) {
+  exp::FigureData figure;
+  figure.title = "t";
+  figure.x_label = "period bound";
+  figure.x = {1.0, 2.0};
+  exp::MethodSeries series;
+  series.name = "m";
+  series.solutions = {3, 0};
+  series.avg_failure = {0.5, std::numeric_limits<double>::quiet_NaN()};
+  figure.series.push_back(series);
+  const std::string tsv = to_tsv(figure);
+  EXPECT_EQ(tsv,
+            "x\tm_solutions\tm_avg_failure\n"
+            "1\t3\t0.5\n"
+            "2\t0\tnan\n");
+  const std::string json = to_json(figure);
+  EXPECT_NE(json.find("\"avg_failure\": [0.5, null]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prts::scenario

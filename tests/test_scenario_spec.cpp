@@ -1,0 +1,183 @@
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace prts::scenario {
+namespace {
+
+CampaignSpec sample_spec() {
+  CampaignSpec spec;
+  spec.name = "figure 6 reproduction";
+  spec.instances = 100;
+  spec.repetitions = 2;
+  spec.seed = 42;
+  spec.chain.task_count = 15;
+  spec.chain.work_lo = 1;
+  spec.chain.work_hi = 100;
+  spec.chain.out_lo = 1;
+  spec.chain.out_hi = 10;
+  spec.platform.kind = PlatformKind::kHom;
+  spec.platform.processors = 10;
+  spec.platform.speed = 1.0;
+  spec.sweep.kind = SweepKind::kPeriod;
+  spec.sweep.lo = 10.0;
+  spec.sweep.hi = 500.0;
+  spec.sweep.step = 10.0;
+  spec.sweep.fixed = 750.0;
+  spec.solvers = {"exact", "heur-l", "heur-p"};
+  return spec;
+}
+
+TEST(CampaignSpec, RoundTripsThroughText) {
+  const CampaignSpec spec = sample_spec();
+  const std::string text = campaign_to_text(spec);
+  const CampaignParseResult parsed = campaign_from_text(text);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(campaign_to_text(*parsed.spec), text);
+}
+
+TEST(CampaignSpec, RoundTripsHetPlatformAndCoupledSweep) {
+  CampaignSpec spec = sample_spec();
+  spec.platform.kind = PlatformKind::kHet;
+  spec.platform.speed_lo = 1;
+  spec.platform.speed_hi = 100;
+  spec.sweep.kind = SweepKind::kCoupled;
+  spec.sweep.factor = 3.0;
+  spec.solvers = {"heur-l", "portfolio"};
+  const std::string text = campaign_to_text(spec);
+  const CampaignParseResult parsed = campaign_from_text(text);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(campaign_to_text(*parsed.spec), text);
+  EXPECT_EQ(parsed.spec->platform.kind, PlatformKind::kHet);
+  EXPECT_EQ(parsed.spec->sweep.kind, SweepKind::kCoupled);
+  EXPECT_EQ(parsed.spec->solvers.size(), 2u);
+}
+
+TEST(CampaignSpec, RoundTripsInfinityAndFullPrecisionDoubles) {
+  CampaignSpec spec = sample_spec();
+  spec.sweep.kind = SweepKind::kLatency;
+  spec.sweep.fixed = std::numeric_limits<double>::infinity();
+  spec.sweep.step = 0.1;  // not exactly representable; needs 17 digits
+  const CampaignParseResult parsed =
+      campaign_from_text(campaign_to_text(spec));
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_TRUE(std::isinf(parsed.spec->sweep.fixed));
+  EXPECT_EQ(parsed.spec->sweep.step, 0.1);
+}
+
+TEST(CampaignSpec, ParsesCommentsBlanksAndAnyKeyOrder) {
+  const std::string text =
+      "# a campaign\n"
+      "prts-campaign v1\n"
+      "\n"
+      "solver heur-l\n"
+      "sweep latency 50 250 2 period 50\n"
+      "seed 7\n"
+      "name out-of-order\n"
+      "instances 5\n";
+  const CampaignParseResult parsed = campaign_from_text(text);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->name, "out-of-order");
+  EXPECT_EQ(parsed.spec->instances, 5u);
+  EXPECT_EQ(parsed.spec->seed, 7u);
+  EXPECT_EQ(parsed.spec->sweep.kind, SweepKind::kLatency);
+  // Unset keys keep the paper defaults.
+  EXPECT_EQ(parsed.spec->chain.task_count, paper::kTaskCount);
+  EXPECT_EQ(parsed.spec->platform.processors, paper::kProcessorCount);
+}
+
+TEST(CampaignSpec, RejectsMalformedInput) {
+  const char* bad_cases[] = {
+      "",                                                 // empty
+      "prts-instance v1\n",                               // wrong magic
+      "prts-campaign v2\nsweep period 1 2 1 latency 5\n"  // wrong version
+      "solver x\n",
+      "prts-campaign v1\nsolver heur-l\n",                // no sweep
+      "prts-campaign v1\nsweep period 1 2 1 latency 5\n", // no solver
+      "prts-campaign v1\nfrobnicate 3\n",                 // unknown key
+      "prts-campaign v1\nsweep period 5 2 1 latency 5\nsolver x\n",  // lo>hi
+      "prts-campaign v1\nsweep period 1 2 0 latency 5\nsolver x\n",  // step 0
+      "prts-campaign v1\nsweep period 1 2 1 factor 5\nsolver x\n",   // form
+      "prts-campaign v1\ninstances 0\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // zero instances
+      "prts-campaign v1\nchain 0 1 2 0 5\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // empty chain
+      "prts-campaign v1\nplatform tri 4 1 0 0 1 3\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // bad platform
+      "prts-campaign v1\ninstances -5\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // negative count
+      "prts-campaign v1\nrepetitions -1\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // negative count
+      "prts-campaign v1\nplatform hom 10 1 0 0 1 -3\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // negative K
+      "prts-campaign v1\ninstances 99999999999999999999\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // overflow
+      "prts-campaign v1\ninstances 1000000\nrepetitions 1000000\n"
+      "sweep period 1 2 1 latency 5\nsolver x\n",         // job-grid cap
+  };
+  for (const char* text : bad_cases) {
+    const CampaignParseResult parsed = campaign_from_text(text);
+    EXPECT_FALSE(parsed) << "accepted: " << text;
+    EXPECT_FALSE(parsed.error.empty());
+  }
+}
+
+TEST(CampaignSpec, ErrorsNameTheOffendingLine) {
+  const CampaignParseResult parsed = campaign_from_text(
+      "prts-campaign v1\nname x\nfrobnicate 3\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("line 3"), std::string::npos);
+  EXPECT_NE(parsed.error.find("frobnicate"), std::string::npos);
+}
+
+TEST(CampaignSweep, PeriodSweepExpandsGridWithFixedLatency) {
+  SweepSpec sweep;
+  sweep.kind = SweepKind::kPeriod;
+  sweep.lo = 10.0;
+  sweep.hi = 50.0;
+  sweep.step = 10.0;
+  sweep.fixed = 750.0;
+  const auto points = sweep_points(sweep);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points.front().period_bound, 10.0);
+  EXPECT_DOUBLE_EQ(points.back().period_bound, 50.0);
+  for (const auto& point : points) {
+    EXPECT_DOUBLE_EQ(point.latency_bound, 750.0);
+  }
+  EXPECT_EQ(sweep_x_label(sweep), "period bound");
+}
+
+TEST(CampaignSweep, LatencySweepFixesPeriod) {
+  SweepSpec sweep;
+  sweep.kind = SweepKind::kLatency;
+  sweep.lo = 400.0;
+  sweep.hi = 500.0;
+  sweep.step = 50.0;
+  sweep.fixed = 250.0;
+  const auto points = sweep_points(sweep);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& point : points) {
+    EXPECT_DOUBLE_EQ(point.period_bound, 250.0);
+  }
+  EXPECT_DOUBLE_EQ(points.back().latency_bound, 500.0);
+  EXPECT_EQ(sweep_x_label(sweep), "latency bound");
+}
+
+TEST(CampaignSweep, CoupledSweepScalesLatency) {
+  SweepSpec sweep;
+  sweep.kind = SweepKind::kCoupled;
+  sweep.lo = 150.0;
+  sweep.hi = 250.0;
+  sweep.step = 50.0;
+  sweep.factor = 3.0;
+  const auto points = sweep_points(sweep);
+  ASSERT_EQ(points.size(), 3u);
+  for (const auto& point : points) {
+    EXPECT_DOUBLE_EQ(point.latency_bound, 3.0 * point.period_bound);
+  }
+}
+
+}  // namespace
+}  // namespace prts::scenario

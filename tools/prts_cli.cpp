@@ -16,8 +16,14 @@
 //   prts_cli trace [--datasets N] [--period P] [--seed S] [--no-routing]
 //       [--no-failures] --algo ... < instance.txt
 //       emit the discrete-event trace as TSV, sorted by time
+//   prts_cli solvers
+//       list every registered solver with a one-line description
+//   prts_cli campaign <spec.txt|-> [--threads T] [--format table|tsv|json]
+//       run a whole scenario campaign (see src/scenario/spec.hpp for the
+//       spec format) and emit the aggregated series
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -33,12 +39,18 @@
 #include "core/reliability_dp.hpp"
 #include "eval/energy.hpp"
 #include "eval/evaluation.hpp"
+#include "exp/report.hpp"
 #include "model/dot.hpp"
 #include "model/generator.hpp"
 #include "model/serialize.hpp"
 #include "rbd/builder.hpp"
 #include "rbd/dot.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/emit.hpp"
+#include "scenario/spec.hpp"
 #include "sim/pipeline_sim.hpp"
+#include "solver/registry.hpp"
+#include "solver/solver.hpp"
 
 namespace {
 
@@ -111,46 +123,27 @@ void print_mapping(const TaskChain& chain, const Platform& platform,
   std::cout << "energy per dataset " << energy.total() << "\n";
 }
 
+/// Every --algo value is a solver-registry name: the hand-rolled
+/// per-engine dispatch this tool used to carry now lives behind the
+/// uniform Solver interface.
 std::optional<Mapping> solve(const Instance& instance, const Flags& flags) {
   const std::string algo = flags.get("algo", "exact");
-  const double period = flags.number("period", kInf);
-  const double latency = flags.number("latency", kInf);
-  if (algo == "dp") {
-    return optimize_reliability(instance.chain, instance.platform).mapping;
+  const auto& registry = solver::SolverRegistry::builtin();
+  const auto engine = registry.find(algo);
+  if (!engine) {
+    std::cerr << "unknown --algo " << algo << " (one of:";
+    for (const std::string& name : registry.names()) {
+      std::cerr << " " << name;
+    }
+    std::cerr << ")\n";
+    std::exit(2);
   }
-  if (algo == "dp-period") {
-    auto solution = optimize_reliability_period(instance.chain,
-                                                instance.platform, period);
-    if (!solution) return std::nullopt;
-    return std::move(solution->mapping);
-  }
-  if (algo == "exact") {
-    const HomogeneousExactSolver solver(instance.chain, instance.platform);
-    auto solution = solver.solve(period, latency);
-    if (!solution) return std::nullopt;
-    return std::move(solution->mapping);
-  }
-  if (algo == "ilp") {
-    const IlpFormulation formulation(instance.chain, instance.platform,
-                                     period, latency);
-    auto solution = solve_ilp(formulation);
-    if (!solution) return std::nullopt;
-    return std::move(solution->mapping);
-  }
-  if (algo == "heur-l" || algo == "heur-p") {
-    HeuristicOptions options;
-    options.period_bound = period;
-    options.latency_bound = latency;
-    auto solution = run_heuristic(instance.chain, instance.platform,
-                                  algo == "heur-l" ? HeuristicKind::kHeurL
-                                                   : HeuristicKind::kHeurP,
-                                  options);
-    if (!solution) return std::nullopt;
-    return std::move(solution->mapping);
-  }
-  std::cerr << "unknown --algo " << algo
-            << " (dp|dp-period|exact|ilp|heur-l|heur-p)\n";
-  std::exit(2);
+  solver::Bounds bounds;
+  bounds.period_bound = flags.number("period", kInf);
+  bounds.latency_bound = flags.number("latency", kInf);
+  auto solution = engine->solve(instance, bounds);
+  if (!solution) return std::nullopt;
+  return std::move(solution->mapping);
 }
 
 /// Parses "2:0,1;8:2" into a mapping: per interval, the last task index
@@ -334,15 +327,81 @@ int cmd_trace(const Flags& flags) {
   return 0;
 }
 
+int cmd_solvers() {
+  const auto& registry = solver::SolverRegistry::builtin();
+  for (const std::string& name : registry.names()) {
+    const auto engine = registry.find(name);
+    std::cout << name;
+    const std::string description = engine->description();
+    if (!description.empty()) {
+      for (std::size_t pad = name.size(); pad < 12; ++pad) std::cout << ' ';
+      std::cout << " " << description;
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_campaign(const std::string& spec_path, const Flags& flags) {
+  scenario::CampaignParseResult parsed = [&] {
+    if (spec_path == "-") return scenario::read_campaign(std::cin);
+    std::ifstream file(spec_path);
+    if (!file) {
+      scenario::CampaignParseResult result;
+      result.error = "cannot open '" + spec_path + "'";
+      return result;
+    }
+    return scenario::read_campaign(file);
+  }();
+  if (!parsed) {
+    std::cerr << "failed to parse campaign spec: " << parsed.error << "\n";
+    return 1;
+  }
+
+  const std::string format = flags.get("format", "table");
+  if (format != "table" && format != "tsv" && format != "json") {
+    std::cerr << "unknown --format " << format << " (table|tsv|json)\n";
+    return 2;
+  }
+
+  scenario::CampaignConfig config;
+  config.threads = static_cast<std::size_t>(flags.number("threads", 0));
+  scenario::CampaignResult result;
+  try {
+    result = scenario::run_campaign(*parsed.spec, config);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+  if (format == "json") {
+    scenario::write_json(std::cout, *parsed.spec, result);
+  } else if (format == "tsv") {
+    scenario::write_tsv(std::cout, result.figure);
+  } else {
+    exp::print_table(std::cout, result.figure, exp::Metric::kSolutions);
+    std::cout << "\n";
+    exp::print_table(std::cout, result.figure, exp::Metric::kAvgFailure);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr
-        << "usage: prts_cli generate|solve|evaluate|simulate|dot|trace ...\n";
+    std::cerr << "usage: prts_cli generate|solve|evaluate|simulate|dot|"
+                 "trace|solvers|campaign ...\n";
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "solvers") return cmd_solvers();
+  if (command == "campaign") {
+    // The spec path is positional ('-' reads stdin); flags follow it.
+    const bool has_path =
+        argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
+    const Flags flags(argc, argv, has_path ? 3 : 2);
+    return cmd_campaign(has_path ? argv[2] : "-", flags);
+  }
   const Flags flags(argc, argv, 2);
   if (command == "generate") return cmd_generate(flags);
   if (command == "solve") return cmd_solve(flags);

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, run every registered test. This is
+# the exact line ROADMAP.md pins; CI and local smoke runs should call
+# this script so the command can evolve in one place.
+set -eu
+
+cd "$(dirname "$0")/.."
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure -j
