@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <stdexcept>
 
 namespace prts {
 
@@ -16,13 +17,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // idempotent (second call, or after dtor race)
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -30,6 +35,15 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::future<void> result = packaged.get_future();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Submit-after-shutdown used to be undefined behavior (a task
+      // pushed on a drained queue with no workers); report it through
+      // the future instead.
+      std::promise<void> broken;
+      broken.set_exception(std::make_exception_ptr(
+          std::runtime_error("ThreadPool: submit after shutdown")));
+      return broken.get_future();
+    }
     queue_.push(std::move(packaged));
   }
   cv_.notify_one();
@@ -53,7 +67,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
-  const std::size_t chunks = std::min(count, 4 * thread_count());
+  // At least one chunk even with zero workers (shut-down pool), so the
+  // submit-after-shutdown error surfaces instead of a silent no-op.
+  const std::size_t chunks =
+      std::min(count, std::max<std::size_t>(1, 4 * thread_count()));
   std::atomic<std::size_t> next_index{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;

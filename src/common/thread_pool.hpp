@@ -22,7 +22,7 @@ class ThreadPool {
   /// Starts `threads` workers (hardware concurrency when 0).
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Drains outstanding tasks and joins the workers.
+  /// Drains outstanding tasks and joins the workers (shutdown()).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -30,7 +30,14 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
-  /// Enqueues a task; the returned future resolves when it has run.
+  /// Stops accepting work, drains the queued tasks and joins the
+  /// workers. Idempotent; after it returns, submit() yields exceptional
+  /// futures instead of undefined behavior.
+  void shutdown();
+
+  /// Enqueues a task; the returned future resolves when it has run. On
+  /// a pool that has been shut down the task is NOT run — the future
+  /// holds a std::runtime_error instead.
   std::future<void> submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, count) across the pool, in contiguous chunks,

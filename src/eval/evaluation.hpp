@@ -61,6 +61,10 @@ struct MappingMetrics {
   std::size_t interval_count = 0;  ///< m
   std::size_t processors_used = 0;
   double replication_level = 0.0;  ///< processors_used / m
+
+  /// Exact (bitwise on the doubles) equality — what the service cache's
+  /// bit-identical-replay guarantee is stated in terms of.
+  bool operator==(const MappingMetrics&) const noexcept = default;
 };
 
 /// Evaluates every objective for a mapping. The mapping is assumed valid

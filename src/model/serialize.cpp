@@ -1,5 +1,8 @@
 #include "model/serialize.hpp"
 
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -50,6 +53,33 @@ std::string instance_to_text(const Instance& instance) {
   return out.str();
 }
 
+std::string canonical_number(double value) {
+  if (value == 0.0) value = 0.0;  // collapse -0.0
+  char buffer[64];
+  const auto [end, ec] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  (void)ec;  // shortest form always fits in 64 chars
+  return std::string(buffer, end);
+}
+
+void write_instance_canonical(std::ostream& out, const Instance& instance) {
+  out << "prts-instance v1\n";
+  out << "tasks " << instance.chain.size() << "\n";
+  for (const Task& task : instance.chain.tasks()) {
+    out << canonical_number(task.work) << " "
+        << canonical_number(task.out_size) << "\n";
+  }
+  const Platform& platform = instance.platform;
+  out << "platform " << platform.processor_count() << " "
+      << canonical_number(platform.bandwidth()) << " "
+      << canonical_number(platform.link_failure_rate()) << " "
+      << platform.max_replication() << "\n";
+  for (const Processor& proc : platform.processors()) {
+    out << canonical_number(proc.speed) << " "
+        << canonical_number(proc.failure_rate) << "\n";
+  }
+}
+
 ParseResult read_instance(std::istream& in) {
   std::string line;
   std::size_t lineno = 0;
@@ -78,6 +108,9 @@ ParseResult read_instance(std::istream& in) {
 
   std::vector<Task> tasks;
   tasks.reserve(n);
+  // Labeled form: 'task <id> <work> <out_size>' lines in any order; the
+  // ascending id order defines the chain order (ids are labels only).
+  std::vector<std::pair<std::int64_t, Task>> labeled;
   for (std::size_t i = 0; i < n; ++i) {
     if (!next_line(in, line, lineno)) {
       return fail(lineno, "expected " + std::to_string(n) +
@@ -85,14 +118,49 @@ ParseResult read_instance(std::istream& in) {
     }
     std::istringstream task_line(line);
     Task task;
-    task_line >> task.work >> task.out_size;
-    if (task_line.fail()) {
-      return fail(lineno, "expected '<work> <out_size>'");
+    std::string first_token;
+    {
+      std::istringstream probe(line);
+      probe >> first_token;
     }
-    if (!(task.work > 0.0) || task.out_size < 0.0) {
+    if (first_token == "task") {
+      std::string keyword;
+      std::int64_t id = 0;
+      task_line >> keyword >> id >> task.work >> task.out_size;
+      if (task_line.fail()) {
+        return fail(lineno, "expected 'task <id> <work> <out_size>'");
+      }
+      if (!tasks.empty()) {
+        return fail(lineno, "cannot mix labeled and plain task lines");
+      }
+      labeled.emplace_back(id, task);
+    } else {
+      if (!labeled.empty()) {
+        return fail(lineno, "cannot mix labeled and plain task lines");
+      }
+      task_line >> task.work >> task.out_size;
+      if (task_line.fail()) {
+        return fail(lineno, "expected '<work> <out_size>'");
+      }
+      tasks.push_back(task);
+    }
+    const Task& parsed_task = labeled.empty() ? tasks.back() : labeled.back().second;
+    if (!(parsed_task.work > 0.0) || parsed_task.out_size < 0.0) {
       return fail(lineno, "work must be > 0 and out_size >= 0");
     }
-    tasks.push_back(task);
+  }
+  if (!labeled.empty()) {
+    std::stable_sort(labeled.begin(), labeled.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (std::size_t i = 0; i + 1 < labeled.size(); ++i) {
+      if (labeled[i].first == labeled[i + 1].first) {
+        return fail(lineno, "duplicate task id " +
+                                std::to_string(labeled[i].first));
+      }
+    }
+    for (const auto& [id, task] : labeled) tasks.push_back(task);
   }
 
   if (!next_line(in, line, lineno)) {

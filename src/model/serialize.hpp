@@ -7,6 +7,13 @@
 //   <work> <out_size>          # n lines
 //   platform <p> <bandwidth> <link_failure_rate> <max_replication>
 //   <speed> <failure_rate>     # p lines
+//
+// Task lines may alternatively be written as 'task <id> <work>
+// <out_size>' with arbitrary distinct integer ids; the chain order is
+// the ascending id order, so stage labels carry no meaning beyond their
+// relative order (all-labeled or all-plain, never mixed). The service
+// layer's canonicalization (src/service/canonical.hpp) relies on this:
+// relabeling stages produces a different text but the same instance.
 #pragma once
 
 #include <iosfwd>
@@ -29,6 +36,20 @@ void write_instance(std::ostream& out, const Instance& instance);
 
 /// Serializes to a string (convenience over write_instance).
 std::string instance_to_text(const Instance& instance);
+
+/// Shortest decimal string that round-trips the double exactly
+/// ("1", "0.25", "1e-08", "inf"); -0 is normalized to 0. Unlike stream
+/// output this is locale- and precision-independent, so two values
+/// produce the same bytes iff they are the same double — the property
+/// the service layer's content hashing needs.
+std::string canonical_number(double value);
+
+/// Writes the v1 text format with canonical_number formatting and no
+/// information loss: the byte-level canonical form of an instance
+/// (read_instance parses it back bit-exactly). Processor *order* is
+/// preserved; isomorphism-safe normalization is layered on top by
+/// src/service/canonical.hpp.
+void write_instance_canonical(std::ostream& out, const Instance& instance);
 
 /// Result of parsing: either an instance or a human-readable error.
 struct ParseResult {

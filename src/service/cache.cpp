@@ -1,0 +1,260 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "model/interval.hpp"
+
+namespace prts::service {
+namespace {
+
+/// Parses a canonical_number back into a double; false on trailing
+/// garbage or malformed input. from_chars round-trips to_chars exactly.
+bool parse_number(std::string_view text, double& value) {
+  if (text == "inf") {
+    value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-inf") {
+    value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+bool parse_size(std::string_view text, std::size_t& value) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// Splits on one delimiter, no empty fields allowed.
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(text);
+  while (std::getline(in, part, delim)) parts.push_back(part);
+  return parts;
+}
+
+}  // namespace
+
+std::size_t cached_solution_bytes(const CachedSolution& value) noexcept {
+  // Fixed per-entry overhead: key, list/map nodes, metrics struct.
+  std::size_t bytes = 160;
+  if (value.solution) {
+    const Mapping& mapping = value.solution->mapping;
+    bytes += mapping.interval_count() * (sizeof(Interval) + sizeof(void*) * 3);
+    bytes += mapping.processors_used() * sizeof(std::size_t);
+  }
+  return bytes;
+}
+
+ShardedSolutionCache::ShardedSolutionCache(Config config)
+    : shards_(std::max<std::size_t>(1, config.shards)),
+      per_shard_capacity_(
+          std::max<std::size_t>(1, config.capacity_bytes / shards_.size())) {}
+
+std::optional<CachedSolution> ShardedSolutionCache::lookup(
+    const CanonicalHash& key) {
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ShardedSolutionCache::insert(const CanonicalHash& key,
+                                  CachedSolution value) {
+  const std::size_t bytes = cached_solution_bytes(value);
+  Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  while (shard.bytes > per_shard_capacity_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void ShardedSolutionCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+CacheStats ShardedSolutionCache::stats() const {
+  CacheStats stats;
+  stats.shards = shards_.size();
+  stats.capacity_bytes = per_shard_capacity_ * shards_.size();
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+void ShardedSolutionCache::save_tsv(std::ostream& out) const {
+  out << "# prts-solution-cache v1\n";
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.lru) {
+      out << to_hex(entry.key) << "\t";
+      if (!entry.value.solution) {
+        out << "0\t-\t-";
+      } else {
+        const solver::Solution& solution = *entry.value.solution;
+        out << "1\t";
+        const auto boundaries = solution.mapping.partition().boundaries();
+        for (std::size_t j = 0; j < boundaries.size(); ++j) {
+          out << (j ? "," : "") << boundaries[j];
+        }
+        out << "\t";
+        for (std::size_t j = 0; j < solution.mapping.interval_count(); ++j) {
+          if (j) out << ";";
+          const auto procs = solution.mapping.processors(j);
+          for (std::size_t r = 0; r < procs.size(); ++r) {
+            out << (r ? "," : "") << procs[r];
+          }
+        }
+      }
+      const MappingMetrics* metrics =
+          entry.value.solution ? &entry.value.solution->metrics : nullptr;
+      if (metrics) {
+        out << "\t" << canonical_number(metrics->reliability.log()) << "\t"
+            << canonical_number(metrics->failure) << "\t"
+            << canonical_number(metrics->expected_latency) << "\t"
+            << canonical_number(metrics->worst_latency) << "\t"
+            << canonical_number(metrics->expected_period) << "\t"
+            << canonical_number(metrics->worst_period) << "\t"
+            << metrics->interval_count << "\t" << metrics->processors_used
+            << "\t" << canonical_number(metrics->replication_level);
+      }
+      out << "\n";
+    }
+  }
+}
+
+ShardedSolutionCache::LoadResult ShardedSolutionCache::load_tsv(
+    std::istream& in) {
+  LoadResult result;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const auto bad = [&](const std::string& what) {
+      result.error = "line " + std::to_string(lineno) + ": " + what;
+      return result;
+    };
+
+    const std::vector<std::string> fields = split(line, '\t');
+    if (fields.size() != 4 && fields.size() != 13) {
+      return bad("expected 4 or 13 tab-separated fields");
+    }
+    const auto key = hash_from_hex(fields[0]);
+    if (!key) return bad("malformed hash '" + fields[0] + "'");
+
+    if (fields[1] == "0") {
+      insert(*key, CachedSolution{});
+      ++result.loaded;
+      continue;
+    }
+    if (fields[1] != "1" || fields.size() != 13) {
+      return bad("feasible entries need 13 fields");
+    }
+
+    std::vector<std::size_t> boundaries;
+    for (const std::string& part : split(fields[2], ',')) {
+      std::size_t value = 0;
+      if (!parse_size(part, value)) return bad("malformed boundary list");
+      boundaries.push_back(value);
+    }
+    std::vector<std::vector<std::size_t>> procs;
+    for (const std::string& group : split(fields[3], ';')) {
+      std::vector<std::size_t> replicas;
+      for (const std::string& part : split(group, ',')) {
+        std::size_t value = 0;
+        if (!parse_size(part, value)) return bad("malformed processor list");
+        replicas.push_back(value);
+      }
+      procs.push_back(std::move(replicas));
+    }
+    if (boundaries.empty() || procs.size() != boundaries.size()) {
+      return bad("boundary/processor list size mismatch");
+    }
+
+    double log_r = 0.0;
+    MappingMetrics metrics;
+    if (!parse_number(fields[4], log_r) ||
+        !parse_number(fields[5], metrics.failure) ||
+        !parse_number(fields[6], metrics.expected_latency) ||
+        !parse_number(fields[7], metrics.worst_latency) ||
+        !parse_number(fields[8], metrics.expected_period) ||
+        !parse_number(fields[9], metrics.worst_period) ||
+        !parse_size(fields[10], metrics.interval_count) ||
+        !parse_size(fields[11], metrics.processors_used) ||
+        !parse_number(fields[12], metrics.replication_level)) {
+      return bad("malformed metric fields");
+    }
+    metrics.reliability = LogReliability::from_log(log_r);
+
+    try {
+      Mapping mapping(
+          IntervalPartition::from_boundaries(boundaries,
+                                             boundaries.back() + 1),
+          std::move(procs));
+      insert(*key,
+             CachedSolution{solver::Solution{std::move(mapping), metrics}});
+    } catch (const std::exception& error) {
+      return bad(std::string("invalid mapping: ") + error.what());
+    }
+    ++result.loaded;
+  }
+  return result;
+}
+
+void ShardedSolutionCache::write_stats_json(std::ostream& out,
+                                            const CacheStats& stats) {
+  out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+      << ",\"hit_rate\":" << canonical_number(stats.hit_rate())
+      << ",\"insertions\":" << stats.insertions
+      << ",\"evictions\":" << stats.evictions
+      << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+      << ",\"capacity_bytes\":" << stats.capacity_bytes
+      << ",\"shards\":" << stats.shards << "}";
+}
+
+}  // namespace prts::service

@@ -1,0 +1,141 @@
+// The solve service's solution cache (second layer of src/service/): an
+// N-shard LRU keyed by 128-bit canonical request hashes.
+//
+// Sharding: a key lives in shard hi % shards, each shard owning its own
+// mutex, map and LRU list, so concurrent lookups from the request
+// engine's workers contend only when they land in one shard. Capacity
+// is byte-bounded (estimated entry footprint), split evenly across
+// shards; eviction is per-shard LRU.
+//
+// Entries store solutions in *canonical* processor space (see
+// service/canonical.hpp) — the engine translates to request labels on
+// the way out — and negative results ("these bounds are infeasible for
+// this solver") are cached too, so repeated infeasible probes of a
+// design-space exploration stay cheap.
+//
+// Persistence: save_tsv/load_tsv write and read a warm-start file, one
+// entry per line, every double in canonical_number shortest round-trip
+// form, so a reloaded cache replays bit-identical solutions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "service/canonical.hpp"
+#include "solver/solver.hpp"
+
+namespace prts::service {
+
+/// A cached answer: the canonical-space solution, or nullopt for a
+/// cached "no feasible mapping under these bounds".
+struct CachedSolution {
+  std::optional<solver::Solution> solution;
+};
+
+/// Aggregated counters (summed over shards; a snapshot, not a fence).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_bytes = 0;
+  std::size_t shards = 0;
+
+  double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Estimated in-memory footprint of one entry (key + metrics + mapping
+/// vectors); the unit the byte bound is accounted in.
+std::size_t cached_solution_bytes(const CachedSolution& value) noexcept;
+
+class ShardedSolutionCache {
+ public:
+  struct Config {
+    std::size_t shards = 16;                        ///< clamped to >= 1
+    std::size_t capacity_bytes = 64 * 1024 * 1024;  ///< across all shards
+  };
+
+  ShardedSolutionCache() : ShardedSolutionCache(Config()) {}
+  explicit ShardedSolutionCache(Config config);
+
+  /// The entry under `key` (refreshing its LRU position), or nullopt.
+  std::optional<CachedSolution> lookup(const CanonicalHash& key);
+
+  /// Inserts or refreshes `key`; evicts least-recently-used entries of
+  /// the shard while it is over its byte budget (never the entry just
+  /// inserted — a single oversized entry is kept and evicted by the
+  /// next insertion).
+  void insert(const CanonicalHash& key, CachedSolution value);
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  CacheStats stats() const;
+
+  /// Writes every entry as one TSV line:
+  ///   <hash-hex> <feasible> <boundaries,> <procs;,> <9 metric fields>
+  /// Shard iteration order; not sorted (the reload order is irrelevant).
+  void save_tsv(std::ostream& out) const;
+
+  struct LoadResult {
+    std::size_t loaded = 0;  ///< entries inserted
+    std::string error;       ///< first malformed line, empty when clean
+  };
+
+  /// Inserts every well-formed line of a save_tsv stream; stops at the
+  /// first malformed line and reports it (entries before it are kept).
+  LoadResult load_tsv(std::istream& in);
+
+  /// Writes the stats snapshot as one JSON object.
+  static void write_stats_json(std::ostream& out, const CacheStats& stats);
+
+ private:
+  struct Entry {
+    CanonicalHash key;
+    CachedSolution value;
+    std::size_t bytes = 0;
+  };
+
+  /// Shard-local hash: lo is already avalanched by fingerprint(), so it
+  /// is the bucket index; the map compares full 128-bit keys.
+  struct KeyHasher {
+    std::size_t operator()(const CanonicalHash& key) const noexcept {
+      return static_cast<std::size_t>(key.lo);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recent
+    std::unordered_map<CanonicalHash, std::list<Entry>::iterator, KeyHasher>
+        index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& shard_of(const CanonicalHash& key) noexcept {
+    return shards_[key.hi % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;  // sized once in the ctor, never resized
+  std::size_t per_shard_capacity_;
+};
+
+}  // namespace prts::service

@@ -1,0 +1,154 @@
+#include "service/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+namespace prts::service {
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche 64-bit mix.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+CanonicalHash fingerprint(std::string_view bytes) noexcept {
+  // Two independent multiply-xor chains (FNV-1a and an offset variant
+  // with a different odd multiplier), each finalized by splitmix64.
+  std::uint64_t lo = 0xcbf29ce484222325ULL;   // FNV-1a offset basis
+  std::uint64_t hi = 0x9e3779b97f4a7c15ULL;   // golden-ratio basis
+  for (const char c : bytes) {
+    const auto byte = static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    lo = (lo ^ byte) * 0x100000001b3ULL;      // FNV-1a prime
+    hi = (hi ^ byte) * 0xc2b2ae3d27d4eb4fULL; // xxhash64 prime 2
+  }
+  // Fold the length in so prefixes of each other cannot collide on both
+  // halves, then avalanche.
+  const auto length = static_cast<std::uint64_t>(bytes.size());
+  return CanonicalHash{mix64(hi ^ (length * 0xff51afd7ed558ccdULL)),
+                       mix64(lo ^ length)};
+}
+
+std::string to_hex(const CanonicalHash& hash) {
+  static const char* digits = "0123456789abcdef";
+  std::string text(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    text[15 - i] = digits[(hash.hi >> (4 * i)) & 0xF];
+    text[31 - i] = digits[(hash.lo >> (4 * i)) & 0xF];
+  }
+  return text;
+}
+
+std::optional<CanonicalHash> hash_from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  CanonicalHash hash;
+  for (int i = 0; i < 32; ++i) {
+    const char c = hex[static_cast<std::size_t>(i)];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+    if (i < 16) {
+      hash.hi = (hash.hi << 4) | digit;
+    } else {
+      hash.lo = (hash.lo << 4) | digit;
+    }
+  }
+  return hash;
+}
+
+CanonicalInstance canonicalize(const Instance& instance) {
+  const Platform& platform = instance.platform;
+  const std::size_t p = platform.processor_count();
+
+  // Stable sort on the physical characteristics only: processors with
+  // equal (speed, failure rate) are interchangeable, and stability makes
+  // the permutation deterministic for a given request.
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const Processor& pa = platform.processor(a);
+                     const Processor& pb = platform.processor(b);
+                     if (pa.speed != pb.speed) return pa.speed < pb.speed;
+                     return pa.failure_rate < pb.failure_rate;
+                   });
+
+  std::vector<Processor> sorted;
+  sorted.reserve(p);
+  std::vector<std::size_t> to_canonical(p);
+  for (std::size_t c = 0; c < p; ++c) {
+    sorted.push_back(platform.processor(order[c]));
+    to_canonical[order[c]] = c;
+  }
+
+  CanonicalInstance canonical{
+      Instance{instance.chain,
+               Platform(std::move(sorted), platform.bandwidth(),
+                        platform.link_failure_rate(),
+                        platform.max_replication())},
+      std::move(order),
+      std::move(to_canonical),
+      {},
+      {}};
+
+  std::ostringstream text;
+  write_instance_canonical(text, canonical.instance);
+  canonical.text = text.str();
+  canonical.instance_hash = fingerprint(canonical.text);
+  return canonical;
+}
+
+CanonicalHash request_key(const CanonicalInstance& canonical,
+                          const std::string& solver_name,
+                          const solver::Bounds& bounds) {
+  std::string bytes = canonical.text;
+  bytes += "solver ";
+  bytes += solver_name;
+  bytes += "\nbounds ";
+  bytes += canonical_number(bounds.period_bound);
+  bytes += " ";
+  bytes += canonical_number(bounds.latency_bound);
+  bytes += "\n";
+  return fingerprint(bytes);
+}
+
+CanonicalHash batch_key(const CanonicalInstance& canonical,
+                        const std::string& solver_name) {
+  std::string bytes = canonical.text;
+  bytes += "solver ";
+  bytes += solver_name;
+  bytes += "\n";
+  return fingerprint(bytes);
+}
+
+solver::Solution to_original_labels(
+    const solver::Solution& canonical_solution,
+    const CanonicalInstance& canonical) {
+  const Mapping& mapping = canonical_solution.mapping;
+  std::vector<std::vector<std::size_t>> procs;
+  procs.reserve(mapping.interval_count());
+  for (std::size_t j = 0; j < mapping.interval_count(); ++j) {
+    std::vector<std::size_t> replicas;
+    for (const std::size_t c : mapping.processors(j)) {
+      replicas.push_back(canonical.to_original[c]);
+    }
+    procs.push_back(std::move(replicas));  // Mapping's ctor re-sorts
+  }
+  return solver::Solution{Mapping(mapping.partition(), std::move(procs)),
+                          canonical_solution.metrics};
+}
+
+}  // namespace prts::service

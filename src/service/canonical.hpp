@@ -1,0 +1,102 @@
+// Canonical instance forms and content hashing for the solve service
+// (the first layer of src/service/): two requests that describe the
+// same tri-criteria problem must collide on one cache key even when
+// their representations differ.
+//
+// Normalizations applied:
+//   - value level: every number is rendered by canonical_number()
+//     (shortest round-trip decimal), so "1", "1.0" and "1.000" are one
+//     byte sequence;
+//   - stage labels: the chain is kept in pipeline order with labels
+//     erased (the serializer's 'task <id> ...' form already reduces
+//     labels to an ordering, see model/serialize.hpp);
+//   - processor labels: processors are sorted by (speed, failure rate)
+//     with a stable sort, and the permutation is recorded both ways, so
+//     processor-permuted isomorphic instances share one canonical form
+//     and cached solutions can be translated back into each request's
+//     own labels.
+//
+// The service *solves the canonical instance*, never the original: two
+// isomorphic requests therefore receive bit-identical metrics and
+// label-translated copies of one mapping, whether they were served cold
+// or from the cache.
+//
+// The 128-bit content hash is computed by a fixed, self-contained
+// function (two independent 64-bit mix chains + splitmix finalizers),
+// never std::hash, so keys are stable across runs, platforms and
+// standard libraries — a requirement for warm-start cache files.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/serialize.hpp"
+#include "solver/solver.hpp"
+
+namespace prts::service {
+
+/// A 128-bit content hash. Collisions are treated as impossible at
+/// service scale (~2^-64 per pair); equality of keys is equality of
+/// canonical requests.
+struct CanonicalHash {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  auto operator<=>(const CanonicalHash&) const noexcept = default;
+};
+
+/// Hashes a byte string with the fixed 128-bit function described above.
+CanonicalHash fingerprint(std::string_view bytes) noexcept;
+
+/// 32 lowercase hex digits (hi then lo).
+std::string to_hex(const CanonicalHash& hash);
+
+/// Parses to_hex output; nullopt on malformed input.
+std::optional<CanonicalHash> hash_from_hex(std::string_view hex);
+
+/// An instance in canonical form plus the label translation back to the
+/// request it came from.
+struct CanonicalInstance {
+  /// The canonical instance: same chain, processors in canonical order.
+  Instance instance;
+
+  /// to_original[c] = index in the *request's* platform of the
+  /// processor that became canonical index c.
+  std::vector<std::size_t> to_original;
+
+  /// Inverse: to_canonical[o] = canonical index of request processor o.
+  std::vector<std::size_t> to_canonical;
+
+  /// The canonical byte form (write_instance_canonical of `instance`).
+  std::string text;
+
+  /// fingerprint(text).
+  CanonicalHash instance_hash;
+};
+
+/// Canonicalizes an instance. Deterministic: equal instances (after
+/// label erasure) produce byte-identical `text` and equal hashes.
+CanonicalInstance canonicalize(const Instance& instance);
+
+/// Cache key of a full request: canonical instance + solver name +
+/// canonically formatted bounds.
+CanonicalHash request_key(const CanonicalInstance& canonical,
+                          const std::string& solver_name,
+                          const solver::Bounds& bounds);
+
+/// Batching key: canonical instance + solver name, bounds excluded —
+/// requests sharing it can be answered by one prepared solver session.
+CanonicalHash batch_key(const CanonicalInstance& canonical,
+                        const std::string& solver_name);
+
+/// Translates a solution expressed in canonical processor indices into
+/// the request's own labels (replica sets re-sorted ascending; metrics
+/// are label-invariant and pass through unchanged).
+solver::Solution to_original_labels(const solver::Solution& canonical_solution,
+                                    const CanonicalInstance& canonical);
+
+}  // namespace prts::service

@@ -1,0 +1,285 @@
+#include "service/engine.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace prts::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// True when a deadline measured from `submitted` has elapsed at `now`.
+bool deadline_expired(double deadline_seconds, Clock::time_point submitted,
+                      Clock::time_point now) noexcept {
+  if (deadline_seconds <= 0.0) return true;
+  if (!std::isfinite(deadline_seconds)) return false;
+  const double elapsed =
+      std::chrono::duration<double>(now - submitted).count();
+  return elapsed >= deadline_seconds;
+}
+
+/// A future already holding `reply`.
+std::future<SolveReply> ready_future(SolveReply reply) {
+  std::promise<SolveReply> promise;
+  std::future<SolveReply> future = promise.get_future();
+  promise.set_value(std::move(reply));
+  return future;
+}
+
+}  // namespace
+
+const char* reply_status_name(ReplyStatus status) noexcept {
+  switch (status) {
+    case ReplyStatus::kSolved:
+      return "solved";
+    case ReplyStatus::kInfeasible:
+      return "infeasible";
+    case ReplyStatus::kRejectedQueue:
+      return "rejected-queue";
+    case ReplyStatus::kRejectedDeadline:
+      return "rejected-deadline";
+    case ReplyStatus::kError:
+      return "error";
+  }
+  return "error";
+}
+
+SolveService::SolveService(ServiceConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache),
+      pool_(config_.threads) {}
+
+SolveService::~SolveService() { wait_idle(); }
+
+std::future<SolveReply> SolveService::submit(SolveRequest request) {
+  auto canonical = std::make_shared<const CanonicalInstance>(
+      canonicalize(request.instance));
+  const CanonicalHash key =
+      request_key(*canonical, request.solver, request.bounds);
+
+  if (config_.cache_enabled) {
+    if (auto cached = cache_.lookup(key)) {
+      SolveReply reply;
+      reply.key = key;
+      reply.cache_hit = true;
+      reply.solver_used = request.solver;
+      if (cached->solution) {
+        reply.status = ReplyStatus::kSolved;
+        reply.solution = to_original_labels(*cached->solution, *canonical);
+      } else {
+        reply.status = ReplyStatus::kInfeasible;
+      }
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.submitted;
+      ++stats_.cache_hits;
+      ++stats_.completed;
+      return ready_future(std::move(reply));
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+
+  // Deduplication: attach to an identical in-flight request. The waiter
+  // carries its own canonical form and deadline options — the shared
+  // solve must not leak the first submitter's labels or policy.
+  if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+    ++stats_.deduplicated;
+    it->second->waiters.push_back(
+        Waiter{{}, canonical, request.deadline_seconds,
+               request.deadline_policy, Clock::now(), true});
+    return it->second->waiters.back().promise.get_future();
+  }
+
+  // Admission control: bounded backlog.
+  if (outstanding_ >= config_.max_queue_depth) {
+    ++stats_.rejected_queue;
+    ++stats_.completed;
+    lock.unlock();
+    SolveReply reply;
+    reply.status = ReplyStatus::kRejectedQueue;
+    reply.key = key;
+    return ready_future(std::move(reply));
+  }
+  ++outstanding_;
+
+  auto query = std::make_unique<PendingQuery>();
+  query->canonical = canonical;
+  query->bounds = request.bounds;
+  query->key = key;
+  query->waiters.push_back(Waiter{{}, canonical, request.deadline_seconds,
+                                  request.deadline_policy, Clock::now(),
+                                  false});
+  std::future<SolveReply> future =
+      query->waiters.back().promise.get_future();
+  in_flight_.emplace(key, query.get());
+
+  // Batching: requests sharing (canonical instance, solver) ride one
+  // prepared session; the batch stays open until a worker picks it up.
+  const CanonicalHash bkey = batch_key(*canonical, request.solver);
+  if (const auto it = open_batches_.find(bkey); it != open_batches_.end()) {
+    ++stats_.batched_requests;
+    it->second->queries.push_back(std::move(query));
+    return future;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->canonical = std::move(canonical);
+  batch->solver_name = request.solver;
+  batch->key = bkey;
+  batch->queries.push_back(std::move(query));
+  open_batches_.emplace(bkey, batch);
+  lock.unlock();
+
+  pool_.submit([this, batch = std::move(batch)] { run_batch(batch); });
+  return future;
+}
+
+void SolveService::run_batch(std::shared_ptr<Batch> batch) {
+  std::vector<std::unique_ptr<PendingQuery>> queries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    open_batches_.erase(batch->key);
+    queries = std::move(batch->queries);
+    ++stats_.batches;
+  }
+
+  const solver::SolverRegistry& registry =
+      config_.registry ? *config_.registry : solver::SolverRegistry::builtin();
+  const auto engine = registry.find(batch->solver_name);
+  std::unique_ptr<solver::PreparedSolver> session;
+
+  for (auto& query : queries) {
+    QueryOutcome outcome;
+    try {
+      // A query runs for real as long as ANY of its waiters is still
+      // within deadline (waiters joined later than the first submitter
+      // and may be more patient); expired waiters then simply receive
+      // the answer that was computed anyway. Only when every waiter
+      // expired does the query degrade: fallback if someone allows it,
+      // rejection otherwise.
+      const auto now = Clock::now();
+      bool any_live = false;
+      bool any_downgrade = false;
+      {
+        // submit() may still be appending waiters to this query.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const Waiter& waiter : query->waiters) {
+          if (!deadline_expired(waiter.deadline_seconds, waiter.submitted,
+                                now)) {
+            any_live = true;
+          } else if (waiter.deadline_policy == DeadlinePolicy::kDowngrade) {
+            any_downgrade = true;
+          }
+        }
+      }
+      if (!engine) {
+        outcome.kind = QueryOutcome::Kind::kError;
+        outcome.error = "unknown solver '" + batch->solver_name + "'";
+      } else if (any_live) {
+        if (!session) session = engine->prepare(batch->canonical->instance);
+        outcome.canonical_solution = session->solve(query->bounds);
+        if (config_.cache_enabled) {
+          cache_.insert(query->key,
+                        CachedSolution{outcome.canonical_solution});
+        }
+        outcome.kind = QueryOutcome::Kind::kAnswered;
+        outcome.solver_used = batch->solver_name;
+      } else if (any_downgrade) {
+        const auto fallback = registry.find(config_.fallback_solver);
+        if (!fallback) {
+          outcome.kind = QueryOutcome::Kind::kError;
+          outcome.error =
+              "unknown fallback solver '" + config_.fallback_solver + "'";
+        } else {
+          // Late: answer fast with the fallback engine. Not cached —
+          // the key names the solver the caller asked for.
+          outcome.canonical_solution =
+              fallback->solve(query->canonical->instance, query->bounds);
+          outcome.kind = QueryOutcome::Kind::kFallback;
+          outcome.solver_used = config_.fallback_solver;
+        }
+      } else {
+        outcome.kind = QueryOutcome::Kind::kRejected;
+      }
+    } catch (const std::exception& error) {
+      outcome = QueryOutcome{};
+      outcome.error = error.what();
+    } catch (...) {
+      outcome = QueryOutcome{};
+      outcome.error = "unknown solver exception";
+    }
+    finish_query(*query, outcome);
+  }
+}
+
+void SolveService::finish_query(PendingQuery& query,
+                                const QueryOutcome& outcome) {
+  std::vector<Waiter> waiters;
+  bool any_rejected = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(query.key);
+    waiters = std::move(query.waiters);
+    for (const Waiter& waiter : waiters) {
+      if (outcome.kind == QueryOutcome::Kind::kRejected ||
+          (outcome.kind == QueryOutcome::Kind::kFallback &&
+           waiter.deadline_policy == DeadlinePolicy::kReject)) {
+        any_rejected = true;
+      }
+    }
+    stats_.completed += waiters.size();
+    if (outcome.kind == QueryOutcome::Kind::kError) ++stats_.errors;
+    if (outcome.kind == QueryOutcome::Kind::kFallback) ++stats_.downgraded;
+    if (any_rejected) ++stats_.rejected_deadline;
+    --outstanding_;
+    if (outstanding_ == 0) idle_cv_.notify_all();
+  }
+  for (Waiter& waiter : waiters) {
+    SolveReply reply;
+    reply.key = query.key;
+    reply.deduplicated = waiter.deduplicated;
+    switch (outcome.kind) {
+      case QueryOutcome::Kind::kError:
+        reply.status = ReplyStatus::kError;
+        reply.error = outcome.error;
+        break;
+      case QueryOutcome::Kind::kRejected:
+        reply.status = ReplyStatus::kRejectedDeadline;
+        break;
+      case QueryOutcome::Kind::kFallback:
+        if (waiter.deadline_policy == DeadlinePolicy::kReject) {
+          reply.status = ReplyStatus::kRejectedDeadline;
+          break;
+        }
+        reply.downgraded = true;
+        [[fallthrough]];
+      case QueryOutcome::Kind::kAnswered:
+        reply.solver_used = outcome.solver_used;
+        if (outcome.canonical_solution) {
+          reply.status = ReplyStatus::kSolved;
+          // Each waiter's own permutation: isomorphic twins get the
+          // shared solve expressed in their own processor labels.
+          reply.solution = to_original_labels(*outcome.canonical_solution,
+                                              *waiter.canonical);
+        } else {
+          reply.status = ReplyStatus::kInfeasible;
+        }
+        break;
+    }
+    waiter.promise.set_value(std::move(reply));
+  }
+}
+
+void SolveService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+EngineStats SolveService::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+CacheStats SolveService::cache_stats() const { return cache_.stats(); }
+
+}  // namespace prts::service

@@ -1,0 +1,211 @@
+// The request engine (third layer of src/service/): an async, batched
+// front end that turns the solver library into a long-running solve
+// service.
+//
+// A submit() call canonicalizes the request, then takes the cheapest
+// path that answers it:
+//   1. cache hit  -> the reply future is ready immediately;
+//   2. an identical request is already in flight -> the new caller is
+//      attached to it (deduplication: one solve, many futures);
+//   3. otherwise the request joins the open *batch* of its
+//      (canonical instance, solver) pair — requests differing only in
+//      bounds share one prepared solver session (Solver::prepare), the
+//      access pattern of design-space sweeps — and the batch is fanned
+//      out across the shared ThreadPool.
+//
+// Admission control: a queue-depth limit rejects new work outright
+// (kRejectedQueue) when the backlog is full, and a per-request deadline
+// measured from submission either rejects late requests or downgrades
+// them to a fast heuristic solver (config.fallback_solver) when the
+// batch worker finally reaches them. Downgraded answers are *not*
+// cached — they would poison the key of the solver actually requested.
+//
+// Every solve runs on the canonical instance, so isomorphic requests
+// receive bit-identical metrics and label-translated copies of one
+// mapping whether served cold, deduplicated, or from the cache.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "service/cache.hpp"
+#include "service/canonical.hpp"
+#include "solver/registry.hpp"
+#include "solver/solver.hpp"
+
+namespace prts::service {
+
+/// What to do with a request whose deadline elapsed while it queued.
+enum class DeadlinePolicy {
+  kReject,     ///< fail with kRejectedDeadline
+  kDowngrade,  ///< answer with config.fallback_solver instead
+};
+
+struct SolveRequest {
+  Instance instance;
+  std::string solver = "portfolio";  ///< registry name
+  solver::Bounds bounds;
+
+  /// Seconds from submission the caller is willing to wait before the
+  /// solve *starts*; <= 0 expires immediately, +inf never.
+  double deadline_seconds = std::numeric_limits<double>::infinity();
+  DeadlinePolicy deadline_policy = DeadlinePolicy::kDowngrade;
+};
+
+enum class ReplyStatus {
+  kSolved,            ///< solution present
+  kInfeasible,        ///< solver found no mapping under the bounds
+  kRejectedQueue,     ///< admission control: backlog full
+  kRejectedDeadline,  ///< deadline elapsed, policy kReject
+  kError,             ///< unknown solver or solver exception (see error)
+};
+
+/// "solved", "infeasible", ... (the line protocol's status column).
+const char* reply_status_name(ReplyStatus status) noexcept;
+
+struct SolveReply {
+  ReplyStatus status = ReplyStatus::kError;
+  std::optional<solver::Solution> solution;  ///< request's own labels
+  bool cache_hit = false;
+  bool deduplicated = false;  ///< attached to an in-flight twin
+  bool downgraded = false;    ///< answered by the fallback solver
+  std::string solver_used;    ///< empty when nothing was solved
+  CanonicalHash key;          ///< the request's cache key
+  std::string error;          ///< set iff status == kError
+};
+
+/// Engine counters (monotonic; snapshot via SolveService::stats).
+struct EngineStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t deduplicated = 0;
+  std::uint64_t batches = 0;           ///< batch tasks executed
+  std::uint64_t batched_requests = 0;  ///< requests that shared a batch
+  std::uint64_t downgraded = 0;
+  std::uint64_t rejected_queue = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t errors = 0;
+};
+
+struct ServiceConfig {
+  /// Solver lookup table; the built-in registry when null.
+  const solver::SolverRegistry* registry = nullptr;
+
+  std::size_t threads = 0;  ///< worker pool size, hardware when 0
+
+  bool cache_enabled = true;
+  ShardedSolutionCache::Config cache;
+
+  /// Maximum number of accepted-but-unfinished requests (dedup waiters
+  /// and cache hits do not count); 0 rejects everything.
+  std::size_t max_queue_depth = 4096;
+
+  /// Deadline downgrade target; must answer on any platform.
+  std::string fallback_solver = "heur-p";
+};
+
+class SolveService {
+ public:
+  explicit SolveService(ServiceConfig config = {});
+
+  /// Drains every accepted request, then stops the pool.
+  ~SolveService();
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Submits a request; the future is ready immediately on a cache hit
+  /// or rejection, and resolves from a worker thread otherwise. Never
+  /// throws on solver-level failures — they arrive as reply statuses.
+  std::future<SolveReply> submit(SolveRequest request);
+
+  /// Blocks until every accepted request has been answered.
+  void wait_idle();
+
+  EngineStats stats() const;
+  CacheStats cache_stats() const;
+  ShardedSolutionCache& cache() noexcept { return cache_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+
+ private:
+  /// One caller attached to a pending query. Each waiter keeps its own
+  /// canonical form (isomorphic twins need their own label translation)
+  /// and its own deadline/policy (a duplicate must not be rejected or
+  /// downgraded on a stranger's options).
+  struct Waiter {
+    std::promise<SolveReply> promise;
+    std::shared_ptr<const CanonicalInstance> canonical;
+    double deadline_seconds;
+    DeadlinePolicy deadline_policy;
+    std::chrono::steady_clock::time_point submitted;
+    bool deduplicated;
+  };
+
+  struct PendingQuery {
+    std::shared_ptr<const CanonicalInstance> canonical;
+    solver::Bounds bounds;
+    CanonicalHash key;
+    std::vector<Waiter> waiters;  ///< [0] = first submitter
+  };
+
+  struct Batch {
+    std::shared_ptr<const CanonicalInstance> canonical;
+    std::string solver_name;
+    CanonicalHash key;  ///< batch key
+    std::vector<std::unique_ptr<PendingQuery>> queries;
+  };
+
+  struct KeyHasher {
+    std::size_t operator()(const CanonicalHash& key) const noexcept {
+      return static_cast<std::size_t>(key.lo);
+    }
+  };
+
+  /// What run_batch concluded for one query; finish_query renders it
+  /// into per-waiter replies (statuses can differ per waiter when every
+  /// waiter's deadline expired under mixed policies).
+  struct QueryOutcome {
+    enum class Kind {
+      kError,     ///< unknown solver / solver exception
+      kAnswered,  ///< solved with the requested solver
+      kFallback,  ///< all deadlines expired; fallback answer available
+      kRejected,  ///< all deadlines expired, every policy was kReject
+    };
+    Kind kind = Kind::kError;
+    std::optional<solver::Solution> canonical_solution;
+    std::string solver_used;
+    std::string error;
+  };
+
+  void run_batch(std::shared_ptr<Batch> batch);
+  void finish_query(PendingQuery& query, const QueryOutcome& outcome);
+
+  ServiceConfig config_;
+  ShardedSolutionCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t outstanding_ = 0;  ///< accepted, not yet answered
+  std::unordered_map<CanonicalHash, PendingQuery*, KeyHasher> in_flight_;
+  std::unordered_map<CanonicalHash, std::shared_ptr<Batch>, KeyHasher>
+      open_batches_;
+  EngineStats stats_;
+
+  /// Declared last: destroyed first, so draining batch tasks still see
+  /// a live mutex, cache and maps during ~SolveService.
+  ThreadPool pool_;
+};
+
+}  // namespace prts::service

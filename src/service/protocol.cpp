@@ -1,0 +1,200 @@
+#include "service/protocol.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prts::service {
+namespace {
+
+bool parse_double(const std::string& text, double& value) {
+  if (text == "inf") {
+    value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+/// "last:proc,proc;..." — the same shape `prts_cli evaluate --mapping`
+/// accepts, so replies can be piped back into the evaluator.
+std::string mapping_to_string(const Mapping& mapping) {
+  std::ostringstream out;
+  for (std::size_t j = 0; j < mapping.interval_count(); ++j) {
+    if (j) out << ";";
+    out << mapping.partition().interval(j).last << ":";
+    const auto procs = mapping.processors(j);
+    for (std::size_t r = 0; r < procs.size(); ++r) {
+      out << (r ? "," : "") << procs[r];
+    }
+  }
+  return out.str();
+}
+
+void print_reply(std::ostream& out, std::size_t id, const SolveReply& reply) {
+  out << id << "\t" << reply_status_name(reply.status) << "\t"
+      << (reply.cache_hit ? 1 : 0) << "\t" << (reply.deduplicated ? 1 : 0)
+      << "\t" << (reply.downgraded ? 1 : 0) << "\t"
+      << (reply.solver_used.empty() ? "-" : reply.solver_used);
+  if (reply.solution) {
+    const MappingMetrics& metrics = reply.solution->metrics;
+    out << "\t" << canonical_number(metrics.failure) << "\t"
+        << canonical_number(metrics.worst_period) << "\t"
+        << canonical_number(metrics.worst_latency) << "\t"
+        << mapping_to_string(reply.solution->mapping);
+  } else {
+    out << "\t-\t-\t-\t-";
+  }
+  if (reply.status == ReplyStatus::kError) out << "\t# " << reply.error;
+  out << "\n";
+}
+
+}  // namespace
+
+ServeResult run_serve(std::istream& in, std::ostream& out,
+                      SolveService& service, const ServeOptions& options) {
+  ServeResult result;
+  std::map<std::string, Instance> instances;
+  std::vector<std::pair<std::size_t, std::future<SolveReply>>> pending;
+  std::size_t next_id = 0;
+
+  const auto flush = [&] {
+    for (auto& [id, future] : pending) print_reply(out, id, future.get());
+    pending.clear();
+  };
+  const auto error = [&](const std::string& what) {
+    out << "# error: " << what << "\n";
+    ++result.protocol_errors;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string command;
+    tokens >> command;
+    if (command.empty() || command[0] == '#') continue;
+
+    if (command == "instance") {
+      std::string name;
+      tokens >> name;
+      if (name.empty()) {
+        error("instance needs a name");
+        continue;
+      }
+      std::string body;
+      bool terminated = false;
+      while (std::getline(in, line)) {
+        std::istringstream probe(line);
+        std::string first;
+        probe >> first;
+        if (first == "end") {
+          terminated = true;
+          break;
+        }
+        body += line;
+        body += "\n";
+      }
+      if (!terminated) {
+        error("instance '" + name + "' missing 'end'");
+        continue;
+      }
+      ParseResult parsed = instance_from_text(body);
+      if (!parsed) {
+        error("instance '" + name + "': " + parsed.error);
+        continue;
+      }
+      instances.insert_or_assign(name, std::move(*parsed.instance));
+    } else if (command == "load") {
+      std::string name;
+      std::string path;
+      tokens >> name >> path;
+      if (name.empty() || path.empty()) {
+        error("load needs '<name> <path>'");
+        continue;
+      }
+      std::ifstream file(path);
+      if (!file) {
+        error("load: cannot open '" + path + "'");
+        continue;
+      }
+      ParseResult parsed = read_instance(file);
+      if (!parsed) {
+        error("load '" + path + "': " + parsed.error);
+        continue;
+      }
+      instances.insert_or_assign(name, std::move(*parsed.instance));
+    } else if (command == "solve") {
+      std::string name;
+      std::string solver_name;
+      std::string period_text;
+      std::string latency_text;
+      tokens >> name >> solver_name >> period_text >> latency_text;
+      const auto it = instances.find(name);
+      if (it == instances.end()) {
+        error("solve: unknown instance '" + name + "'");
+        continue;
+      }
+      SolveRequest request{it->second, solver_name, {},
+                           options.default_deadline_seconds,
+                           options.default_policy};
+      if (!parse_double(period_text, request.bounds.period_bound) ||
+          !parse_double(latency_text, request.bounds.latency_bound)) {
+        error("solve: malformed bounds '" + period_text + " " +
+              latency_text + "'");
+        continue;
+      }
+      bool bad_option = false;
+      std::string option;
+      while (tokens >> option) {
+        if (option.rfind("deadline=", 0) == 0) {
+          if (!parse_double(option.substr(9), request.deadline_seconds)) {
+            bad_option = true;
+          }
+        } else if (option == "policy=reject") {
+          request.deadline_policy = DeadlinePolicy::kReject;
+        } else if (option == "policy=downgrade") {
+          request.deadline_policy = DeadlinePolicy::kDowngrade;
+        } else {
+          bad_option = true;
+        }
+        if (bad_option) break;
+      }
+      if (bad_option) {
+        error("solve: bad option '" + option + "'");
+        continue;
+      }
+      pending.emplace_back(next_id++, service.submit(std::move(request)));
+      ++result.requests;
+    } else if (command == "stats") {
+      const EngineStats engine = service.stats();
+      out << "# engine {\"submitted\":" << engine.submitted
+          << ",\"completed\":" << engine.completed
+          << ",\"cache_hits\":" << engine.cache_hits
+          << ",\"deduplicated\":" << engine.deduplicated
+          << ",\"batches\":" << engine.batches
+          << ",\"batched_requests\":" << engine.batched_requests
+          << ",\"downgraded\":" << engine.downgraded
+          << ",\"rejected_queue\":" << engine.rejected_queue
+          << ",\"rejected_deadline\":" << engine.rejected_deadline
+          << ",\"errors\":" << engine.errors << "}\n";
+      out << "# cache ";
+      ShardedSolutionCache::write_stats_json(out, service.cache_stats());
+      out << "\n";
+    } else if (command == "sync") {
+      flush();
+    } else {
+      error("unknown command '" + command + "'");
+    }
+  }
+  flush();
+  return result;
+}
+
+}  // namespace prts::service

@@ -1,0 +1,47 @@
+// The solve service's line protocol: a text request stream driving
+// SolveService, used by `prts_cli serve` (file or stdin) and testable
+// against string streams.
+//
+// Request stream (line oriented, '#' comments and blank lines skipped):
+//   instance <name>          begin an inline instance definition; the
+//     <instance text>        following lines up to a lone 'end' are
+//   end                      parsed with model/serialize.hpp
+//   load <name> <path>       define an instance from a file
+//   solve <name> <solver> <period|inf> <latency|inf>
+//         [deadline=<seconds>] [policy=reject|downgrade]
+//                            submit a request (ids count from 0)
+//   stats                    emit '# engine ...' / '# cache ...' JSON
+//   sync                     flush: print every pending reply in
+//                            submission order (EOF implies a sync)
+//
+// Reply lines are TSV, one per request, in submission order:
+//   <id> <status> <hit> <dedup> <down> <solver> <failure>
+//   <worst_period> <worst_latency> <mapping>
+// where <mapping> uses the CLI's "last:proc,proc;..." form and '-'
+// stands for not-applicable fields. Protocol errors are reported as
+// '# error ...' lines and counted; the stream keeps going.
+#pragma once
+
+#include <iosfwd>
+#include <limits>
+
+#include "service/engine.hpp"
+
+namespace prts::service {
+
+struct ServeOptions {
+  /// Deadline applied to requests that do not carry deadline=...
+  double default_deadline_seconds = std::numeric_limits<double>::infinity();
+  DeadlinePolicy default_policy = DeadlinePolicy::kDowngrade;
+};
+
+struct ServeResult {
+  std::size_t requests = 0;
+  std::size_t protocol_errors = 0;
+};
+
+/// Runs one request stream to EOF against the service.
+ServeResult run_serve(std::istream& in, std::ostream& out,
+                      SolveService& service, const ServeOptions& options = {});
+
+}  // namespace prts::service

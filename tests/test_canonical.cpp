@@ -1,0 +1,188 @@
+// Canonicalization invariants the solve service's cache keys rest on:
+// serialize -> canonicalize round trips, hash stability, and hash
+// equality for stage-relabeled / processor-permuted isomorphic
+// instances.
+#include "service/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "eval/evaluation.hpp"
+#include "model/serialize.hpp"
+
+namespace prts::service {
+namespace {
+
+Instance small_het_instance() {
+  std::vector<Task> tasks{{10.0, 2.0}, {4.0, 1.0}, {20.0, 0.0}};
+  std::vector<Processor> procs{{3.0, 1e-8}, {1.0, 2e-8}, {2.0, 1e-8}};
+  return Instance{TaskChain(std::move(tasks)),
+                  Platform(std::move(procs), 1.0, 1e-5, 2)};
+}
+
+TEST(CanonicalNumber, ShortestRoundTripForms) {
+  EXPECT_EQ(canonical_number(1.0), "1");
+  EXPECT_EQ(canonical_number(0.25), "0.25");
+  EXPECT_EQ(canonical_number(-0.0), "0");
+  EXPECT_EQ(canonical_number(1e-8), "1e-08");
+  EXPECT_EQ(canonical_number(std::numeric_limits<double>::infinity()),
+            "inf");
+}
+
+TEST(CanonicalHashing, HexRoundTrip) {
+  const CanonicalHash hash = fingerprint("hello");
+  const auto parsed = hash_from_hex(to_hex(hash));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, hash);
+  EXPECT_FALSE(hash_from_hex("xyz").has_value());
+  EXPECT_FALSE(hash_from_hex(std::string(32, 'g')).has_value());
+}
+
+TEST(CanonicalHashing, DistinguishesContentAndLength) {
+  EXPECT_NE(fingerprint("a"), fingerprint("b"));
+  EXPECT_NE(fingerprint("ab"), fingerprint("a"));
+  EXPECT_EQ(fingerprint("ab"), fingerprint("ab"));
+}
+
+TEST(Canonicalize, SortsProcessorsAndRecordsInversePermutations) {
+  const Instance instance = small_het_instance();
+  const CanonicalInstance canonical = canonicalize(instance);
+
+  const Platform& sorted = canonical.instance.platform;
+  ASSERT_EQ(sorted.processor_count(), 3u);
+  // Sorted by (speed, failure rate): speeds 1, 2, 3.
+  EXPECT_EQ(sorted.speed(0), 1.0);
+  EXPECT_EQ(sorted.speed(1), 2.0);
+  EXPECT_EQ(sorted.speed(2), 3.0);
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(canonical.to_canonical[canonical.to_original[c]], c);
+    const Processor& original =
+        instance.platform.processor(canonical.to_original[c]);
+    EXPECT_EQ(original.speed, sorted.speed(c));
+    EXPECT_EQ(original.failure_rate, sorted.failure_rate(c));
+  }
+}
+
+TEST(Canonicalize, TextRoundTripsAndIsAFixedPoint) {
+  const CanonicalInstance canonical = canonicalize(small_het_instance());
+  // The canonical text parses back to an instance whose canonical form
+  // is byte-identical (canonicalization is idempotent).
+  ParseResult parsed = instance_from_text(canonical.text);
+  ASSERT_TRUE(parsed) << parsed.error;
+  const CanonicalInstance again = canonicalize(*parsed.instance);
+  EXPECT_EQ(again.text, canonical.text);
+  EXPECT_EQ(again.instance_hash, canonical.instance_hash);
+}
+
+TEST(Canonicalize, HashIsDeterministicWithinARun) {
+  const Instance instance = small_het_instance();
+  EXPECT_EQ(canonicalize(instance).instance_hash,
+            canonicalize(instance).instance_hash);
+}
+
+TEST(Canonicalize, GoldenHashPinsCrossRunStability) {
+  // Pinned output of the fixed 128-bit fingerprint for one concrete
+  // instance: fails if the hash function or the canonical text format
+  // changes, which would silently invalidate warm-start cache files.
+  const CanonicalInstance canonical = canonicalize(small_het_instance());
+  EXPECT_EQ(to_hex(canonical.instance_hash),
+            "8ac2c71a6aae4058b362b3703a32503d");
+}
+
+TEST(Canonicalize, ProcessorPermutedInstancesCollide) {
+  const Instance instance = small_het_instance();
+  // Every permutation of the processor list canonicalizes identically.
+  std::vector<std::size_t> perm{0, 1, 2};
+  const CanonicalHash reference = canonicalize(instance).instance_hash;
+  do {
+    std::vector<Processor> procs;
+    for (const std::size_t u : perm) {
+      procs.push_back(instance.platform.processor(u));
+    }
+    const Instance permuted{
+        instance.chain,
+        Platform(std::move(procs), instance.platform.bandwidth(),
+                 instance.platform.link_failure_rate(),
+                 instance.platform.max_replication())};
+    const CanonicalInstance canonical = canonicalize(permuted);
+    EXPECT_EQ(canonical.instance_hash, reference);
+    EXPECT_EQ(canonical.text, canonicalize(instance).text);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(Canonicalize, StageRelabeledInstancesCollide) {
+  // The same chain written plain, labeled 0..n-1, and labeled with
+  // arbitrary scrambled ids: one canonical hash.
+  const std::string plain =
+      "prts-instance v1\ntasks 3\n10 2\n4 1\n20 0\n"
+      "platform 2 1 1e-05 2\n1 1e-08\n1 1e-08\n";
+  const std::string relabeled =
+      "prts-instance v1\ntasks 3\n"
+      "task 700 20 0\ntask 13 4 1\ntask 5 10 2\n"
+      "platform 2 1 1e-05 2\n1 1e-08\n1 1e-08\n";
+  ParseResult a = instance_from_text(plain);
+  ParseResult b = instance_from_text(relabeled);
+  ASSERT_TRUE(a) << a.error;
+  ASSERT_TRUE(b) << b.error;
+  EXPECT_EQ(canonicalize(*a.instance).instance_hash,
+            canonicalize(*b.instance).instance_hash);
+}
+
+TEST(Canonicalize, DifferentInstancesDoNotCollide) {
+  const Instance instance = small_het_instance();
+  Instance changed = instance;
+  std::vector<Task> tasks(instance.chain.tasks().begin(),
+                          instance.chain.tasks().end());
+  tasks[1].work += 1.0;
+  changed.chain = TaskChain(std::move(tasks));
+  EXPECT_NE(canonicalize(changed).instance_hash,
+            canonicalize(instance).instance_hash);
+}
+
+TEST(RequestKeys, SolverAndBoundsSeparateRequests) {
+  const CanonicalInstance canonical = canonicalize(small_het_instance());
+  const solver::Bounds loose;
+  solver::Bounds tight;
+  tight.period_bound = 10.0;
+
+  EXPECT_EQ(request_key(canonical, "exact", loose),
+            request_key(canonical, "exact", loose));
+  EXPECT_NE(request_key(canonical, "exact", loose),
+            request_key(canonical, "heur-p", loose));
+  EXPECT_NE(request_key(canonical, "exact", loose),
+            request_key(canonical, "exact", tight));
+
+  // The batch key folds bounds away but keeps the solver.
+  EXPECT_EQ(batch_key(canonical, "exact"), batch_key(canonical, "exact"));
+  EXPECT_NE(batch_key(canonical, "exact"), batch_key(canonical, "heur-p"));
+}
+
+TEST(LabelTranslation, MapsCanonicalSolutionsBackToRequestLabels) {
+  const Instance instance = small_het_instance();
+  const CanonicalInstance canonical = canonicalize(instance);
+
+  // A mapping in canonical indices: interval 0 -> fastest two procs.
+  Mapping canonical_mapping(IntervalPartition::single(3),
+                            {{1, 2}});
+  const MappingMetrics metrics =
+      evaluate(canonical.instance.chain, canonical.instance.platform,
+               canonical_mapping);
+  const solver::Solution translated = to_original_labels(
+      solver::Solution{canonical_mapping, metrics}, canonical);
+
+  EXPECT_EQ(translated.mapping.validate(instance.platform), std::nullopt);
+  EXPECT_EQ(translated.metrics, metrics);
+  // The translated replicas are the original indices of canonical 1, 2.
+  std::vector<std::size_t> expected{canonical.to_original[1],
+                                    canonical.to_original[2]};
+  std::sort(expected.begin(), expected.end());
+  const auto procs = translated.mapping.processors(0);
+  ASSERT_EQ(procs.size(), 2u);
+  EXPECT_EQ(procs[0], expected[0]);
+  EXPECT_EQ(procs[1], expected[1]);
+}
+
+}  // namespace
+}  // namespace prts::service

@@ -119,5 +119,64 @@ TEST(Serialize, ErrorNamesLineNumber) {
   EXPECT_NE(parsed.error.find("line 4"), std::string::npos);
 }
 
+TEST(Serialize, LabeledTaskLinesOrderByIdNotPosition) {
+  // 'task <id> <work> <out>' lines: ids are labels, ascending id order
+  // is the chain order regardless of where the lines appear.
+  const ParseResult parsed = instance_from_text(
+      "prts-instance v1\ntasks 3\n"
+      "task 30 7 0\ntask 5 1 2\ntask 12 3 1\n"
+      "platform 1 1 0 1\n1 0\n");
+  ASSERT_TRUE(parsed) << parsed.error;
+  const TaskChain& chain = parsed.instance->chain;
+  EXPECT_EQ(chain.work(0), 1.0);  // id 5
+  EXPECT_EQ(chain.work(1), 3.0);  // id 12
+  EXPECT_EQ(chain.work(2), 7.0);  // id 30
+}
+
+TEST(Serialize, LabeledAndPlainTaskFormsParseIdentically) {
+  const ParseResult plain = instance_from_text(
+      "prts-instance v1\ntasks 2\n5 1\n8 0\nplatform 1 1 0 1\n1 0\n");
+  const ParseResult labeled = instance_from_text(
+      "prts-instance v1\ntasks 2\ntask 1 8 0\ntask 0 5 1\n"
+      "platform 1 1 0 1\n1 0\n");
+  ASSERT_TRUE(plain) << plain.error;
+  ASSERT_TRUE(labeled) << labeled.error;
+  EXPECT_EQ(instance_to_text(*plain.instance),
+            instance_to_text(*labeled.instance));
+}
+
+TEST(Serialize, RejectsMixedTaskLineForms) {
+  const ParseResult parsed = instance_from_text(
+      "prts-instance v1\ntasks 2\ntask 0 5 1\n8 0\nplatform 1 1 0 1\n1 0\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("mix"), std::string::npos);
+}
+
+TEST(Serialize, RejectsDuplicateTaskIds) {
+  const ParseResult parsed = instance_from_text(
+      "prts-instance v1\ntasks 2\ntask 3 5 1\ntask 3 8 0\n"
+      "platform 1 1 0 1\n1 0\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("duplicate task id"), std::string::npos);
+}
+
+TEST(Serialize, CanonicalWriterIsLossless) {
+  // write_instance_canonical keeps full double precision, so values the
+  // default writer would truncate survive the round trip bit-exactly.
+  std::vector<Task> tasks{{1.0 / 3.0, 0.123456789012345}, {2.0, 0.0}};
+  std::vector<Processor> procs{{1.0000000001, 1.23456789e-9}};
+  const Instance original{TaskChain(std::move(tasks)),
+                          Platform(std::move(procs), 1.0, 1e-5, 1)};
+  std::ostringstream out;
+  write_instance_canonical(out, original);
+  const ParseResult parsed = instance_from_text(out.str());
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.instance->chain.work(0), original.chain.work(0));
+  EXPECT_EQ(parsed.instance->chain.out_size(0), original.chain.out_size(0));
+  EXPECT_EQ(parsed.instance->platform.speed(0), original.platform.speed(0));
+  EXPECT_EQ(parsed.instance->platform.failure_rate(0),
+            original.platform.failure_rate(0));
+}
+
 }  // namespace
 }  // namespace prts

@@ -1,0 +1,418 @@
+// The request engine: cache hits replay bit-identical solutions,
+// isomorphic requests share entries, in-flight twins deduplicate,
+// compatible requests batch onto one prepared session, and admission
+// control rejects or downgrades.
+#include "service/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <sstream>
+
+#include "eval/evaluation.hpp"
+#include "service/protocol.hpp"
+#include "solver/adapters.hpp"
+
+namespace prts::service {
+namespace {
+
+Instance hom_instance() {
+  std::vector<Task> tasks{{10.0, 2.0}, {4.0, 1.0}, {20.0, 1.0}, {6.0, 0.0}};
+  return Instance{TaskChain(std::move(tasks)),
+                  Platform::homogeneous(5, 1.0, 1e-8, 1.0, 1e-5, 2)};
+}
+
+Instance het_instance() {
+  std::vector<Task> tasks{{10.0, 2.0}, {4.0, 1.0}, {20.0, 0.0}};
+  std::vector<Processor> procs{{3.0, 1e-8}, {1.0, 2e-8}, {2.0, 1e-8},
+                               {5.0, 4e-8}};
+  return Instance{TaskChain(std::move(tasks)),
+                  Platform(std::move(procs), 1.0, 1e-5, 2)};
+}
+
+/// het_instance with its processor list rotated: isomorphic, different
+/// labels.
+Instance het_instance_permuted() {
+  const Instance base = het_instance();
+  std::vector<Processor> procs;
+  const std::size_t p = base.platform.processor_count();
+  for (std::size_t u = 0; u < p; ++u) {
+    procs.push_back(base.platform.processor((u + 1) % p));
+  }
+  return Instance{base.chain, Platform(std::move(procs), 1.0, 1e-5, 2)};
+}
+
+/// A solver that blocks until the test opens its gate — the lever for
+/// deterministic dedup/batching tests. Delegates the actual answer to
+/// heur-p so solutions are real.
+class GatedSolver final : public solver::Solver {
+ public:
+  explicit GatedSolver(std::shared_future<void> gate)
+      : gate_(std::move(gate)),
+        inner_(solver::make_heuristic_solver(HeuristicKind::kHeurP, false)) {}
+
+  std::string name() const override { return "gated"; }
+
+  std::optional<solver::Solution> solve(
+      const Instance& instance, const solver::Bounds& bounds) const override {
+    gate_.wait();
+    return inner_->solve(instance, bounds);
+  }
+
+ private:
+  std::shared_future<void> gate_;
+  std::shared_ptr<const solver::Solver> inner_;
+};
+
+ServiceConfig small_config() {
+  ServiceConfig config;
+  config.threads = 2;
+  return config;
+}
+
+TEST(SolveService, ColdSolveThenBitIdenticalCacheHit) {
+  SolveService service(small_config());
+  SolveRequest request{hom_instance(), "exact", {}, 1e9,
+                       DeadlinePolicy::kReject};
+
+  const SolveReply cold = service.submit(request).get();
+  ASSERT_EQ(cold.status, ReplyStatus::kSolved);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.solver_used, "exact");
+  ASSERT_TRUE(cold.solution.has_value());
+
+  const SolveReply warm = service.submit(request).get();
+  ASSERT_EQ(warm.status, ReplyStatus::kSolved);
+  EXPECT_TRUE(warm.cache_hit);
+  // The acceptance guarantee: a cache hit replays the cold solve
+  // bit-for-bit — same mapping, exactly equal metric doubles.
+  EXPECT_EQ(warm.solution->mapping, cold.solution->mapping);
+  EXPECT_EQ(warm.solution->metrics, cold.solution->metrics);
+  EXPECT_EQ(warm.key, cold.key);
+
+  const EngineStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(SolveService, IsomorphicRequestsShareOneCacheEntry) {
+  SolveService service(small_config());
+  const SolveReply cold =
+      service.submit(SolveRequest{het_instance(), "heur-p", {}}).get();
+  ASSERT_EQ(cold.status, ReplyStatus::kSolved);
+
+  const Instance permuted = het_instance_permuted();
+  const SolveReply warm =
+      service.submit(SolveRequest{permuted, "heur-p", {}}).get();
+  ASSERT_EQ(warm.status, ReplyStatus::kSolved);
+  EXPECT_TRUE(warm.cache_hit);
+  // Same canonical solve, translated into each request's own labels:
+  // metrics identical, mapping valid for the permuted platform.
+  EXPECT_EQ(warm.solution->metrics, cold.solution->metrics);
+  EXPECT_EQ(warm.solution->mapping.validate(permuted.platform),
+            std::nullopt);
+}
+
+TEST(SolveService, InfeasibleAnswersAreCachedToo) {
+  SolveService service(small_config());
+  SolveRequest request{hom_instance(), "exact", {}};
+  request.bounds.period_bound = 1e-3;  // unreachable
+
+  const SolveReply cold = service.submit(request).get();
+  EXPECT_EQ(cold.status, ReplyStatus::kInfeasible);
+  const SolveReply warm = service.submit(request).get();
+  EXPECT_EQ(warm.status, ReplyStatus::kInfeasible);
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(SolveService, UnknownSolverIsAnErrorReply) {
+  SolveService service(small_config());
+  const SolveReply reply =
+      service.submit(SolveRequest{hom_instance(), "no-such-solver", {}})
+          .get();
+  EXPECT_EQ(reply.status, ReplyStatus::kError);
+  EXPECT_NE(reply.error.find("no-such-solver"), std::string::npos);
+  EXPECT_EQ(service.stats().errors, 1u);
+}
+
+TEST(SolveService, QueueDepthZeroRejectsEverything) {
+  ServiceConfig config = small_config();
+  config.max_queue_depth = 0;
+  SolveService service(config);
+  const SolveReply reply =
+      service.submit(SolveRequest{hom_instance(), "exact", {}}).get();
+  EXPECT_EQ(reply.status, ReplyStatus::kRejectedQueue);
+  EXPECT_EQ(service.stats().rejected_queue, 1u);
+}
+
+TEST(SolveService, ExpiredDeadlineRejectsUnderRejectPolicy) {
+  SolveService service(small_config());
+  SolveRequest request{hom_instance(), "exact", {}, 0.0,
+                       DeadlinePolicy::kReject};
+  const SolveReply reply = service.submit(request).get();
+  EXPECT_EQ(reply.status, ReplyStatus::kRejectedDeadline);
+  EXPECT_EQ(service.stats().rejected_deadline, 1u);
+}
+
+TEST(SolveService, ExpiredDeadlineDowngradesToFallbackAndSkipsCache) {
+  SolveService service(small_config());
+  SolveRequest request{hom_instance(), "exact", {}, 0.0,
+                       DeadlinePolicy::kDowngrade};
+  const SolveReply reply = service.submit(request).get();
+  ASSERT_EQ(reply.status, ReplyStatus::kSolved);
+  EXPECT_TRUE(reply.downgraded);
+  EXPECT_EQ(reply.solver_used, "heur-p");
+  EXPECT_EQ(service.stats().downgraded, 1u);
+  // Downgraded answers must not poison the 'exact' cache key.
+  EXPECT_EQ(service.cache_stats().insertions, 0u);
+  const SolveReply again = service.submit(request).get();
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_TRUE(again.downgraded);
+}
+
+TEST(SolveService, IdenticalInFlightRequestsDeduplicate) {
+  std::promise<void> gate;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<GatedSolver>(gate.get_future().share()));
+
+  ServiceConfig config;
+  config.registry = &registry;
+  config.threads = 1;
+  SolveService service(config);
+
+  SolveRequest request{hom_instance(), "gated", {}};
+  std::future<SolveReply> first = service.submit(request);
+  std::future<SolveReply> second = service.submit(request);
+  EXPECT_EQ(service.stats().deduplicated, 1u);
+
+  gate.set_value();
+  const SolveReply a = first.get();
+  const SolveReply b = second.get();
+  ASSERT_EQ(a.status, ReplyStatus::kSolved);
+  ASSERT_EQ(b.status, ReplyStatus::kSolved);
+  EXPECT_FALSE(a.deduplicated);
+  EXPECT_TRUE(b.deduplicated);
+  EXPECT_EQ(a.solution->mapping, b.solution->mapping);
+  EXPECT_EQ(a.solution->metrics, b.solution->metrics);
+  // One solve, one cache entry.
+  EXPECT_EQ(service.cache_stats().insertions, 1u);
+}
+
+TEST(SolveService, DeduplicatedIsomorphicTwinsGetTheirOwnLabels) {
+  std::promise<void> gate;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<GatedSolver>(gate.get_future().share()));
+
+  ServiceConfig config;
+  config.registry = &registry;
+  config.threads = 1;
+  SolveService service(config);
+
+  const Instance original = het_instance();
+  const Instance permuted = het_instance_permuted();
+  std::future<SolveReply> first =
+      service.submit(SolveRequest{original, "gated", {}});
+  std::future<SolveReply> second =
+      service.submit(SolveRequest{permuted, "gated", {}});
+  EXPECT_EQ(service.stats().deduplicated, 1u);
+
+  gate.set_value();
+  const SolveReply a = first.get();
+  const SolveReply b = second.get();
+  ASSERT_EQ(a.status, ReplyStatus::kSolved);
+  ASSERT_EQ(b.status, ReplyStatus::kSolved);
+  EXPECT_EQ(a.solution->metrics, b.solution->metrics);
+  // One shared solve, but each reply speaks its own platform's labels:
+  // interval replicas must name processors with the same physical
+  // (speed, rate) characteristics in both label spaces.
+  const Mapping& ma = a.solution->mapping;
+  const Mapping& mb = b.solution->mapping;
+  ASSERT_EQ(ma.interval_count(), mb.interval_count());
+  for (std::size_t j = 0; j < ma.interval_count(); ++j) {
+    std::vector<double> speeds_a;
+    std::vector<double> speeds_b;
+    for (const std::size_t u : ma.processors(j)) {
+      speeds_a.push_back(original.platform.speed(u));
+    }
+    for (const std::size_t u : mb.processors(j)) {
+      speeds_b.push_back(permuted.platform.speed(u));
+    }
+    std::sort(speeds_a.begin(), speeds_a.end());
+    std::sort(speeds_b.begin(), speeds_b.end());
+    EXPECT_EQ(speeds_a, speeds_b) << "interval " << j;
+  }
+}
+
+TEST(SolveService, PatientDedupWaiterKeepsAnExpiredTwinAlive) {
+  std::promise<void> gate;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<GatedSolver>(gate.get_future().share()));
+
+  ServiceConfig config;
+  config.registry = &registry;
+  config.threads = 1;
+  SolveService service(config);
+
+  // Occupy the single worker so both requests below are pending when
+  // their batch finally runs.
+  std::future<SolveReply> blocker =
+      service.submit(SolveRequest{het_instance(), "gated", {}});
+
+  // First submitter: already-expired deadline, reject policy. Its twin
+  // has no deadline — the query must be solved for real, not rejected
+  // on the first submitter's options.
+  SolveRequest impatient{hom_instance(), "gated", {}, 0.0,
+                         DeadlinePolicy::kReject};
+  SolveRequest patient{hom_instance(), "gated", {}};
+  std::future<SolveReply> first = service.submit(impatient);
+  std::future<SolveReply> second = service.submit(patient);
+  EXPECT_EQ(service.stats().deduplicated, 1u);
+
+  gate.set_value();
+  EXPECT_EQ(blocker.get().status, ReplyStatus::kSolved);
+  const SolveReply a = first.get();
+  const SolveReply b = second.get();
+  // The live waiter forced a real solve; the expired twin shares it.
+  EXPECT_EQ(a.status, ReplyStatus::kSolved);
+  EXPECT_EQ(b.status, ReplyStatus::kSolved);
+  EXPECT_FALSE(a.downgraded);
+  EXPECT_FALSE(b.downgraded);
+  EXPECT_EQ(service.stats().rejected_deadline, 0u);
+}
+
+TEST(SolveService, AllExpiredMixedPoliciesSplitPerWaiter) {
+  std::promise<void> gate;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<GatedSolver>(gate.get_future().share()));
+  // The downgrade target must exist in the service's registry.
+  registry.add(solver::make_heuristic_solver(HeuristicKind::kHeurP, false));
+
+  ServiceConfig config;
+  config.registry = &registry;
+  config.threads = 1;
+  SolveService service(config);
+
+  std::future<SolveReply> blocker =
+      service.submit(SolveRequest{het_instance(), "gated", {}});
+
+  // Both waiters expired: the downgrade waiter gets the fallback
+  // answer, the reject waiter a rejection — per-waiter statuses.
+  SolveRequest wants_fallback{hom_instance(), "gated", {}, 0.0,
+                              DeadlinePolicy::kDowngrade};
+  SolveRequest wants_reject = wants_fallback;
+  wants_reject.deadline_policy = DeadlinePolicy::kReject;
+  std::future<SolveReply> first = service.submit(wants_fallback);
+  std::future<SolveReply> second = service.submit(wants_reject);
+
+  gate.set_value();
+  EXPECT_EQ(blocker.get().status, ReplyStatus::kSolved);
+  const SolveReply a = first.get();
+  const SolveReply b = second.get();
+  ASSERT_EQ(a.status, ReplyStatus::kSolved);
+  EXPECT_TRUE(a.downgraded);
+  EXPECT_EQ(a.solver_used, "heur-p");
+  EXPECT_EQ(b.status, ReplyStatus::kRejectedDeadline);
+  EXPECT_EQ(service.stats().downgraded, 1u);
+  EXPECT_EQ(service.stats().rejected_deadline, 1u);
+  // The fallback answer must not be cached under the 'gated' key.
+  EXPECT_EQ(service.cache_stats().insertions, 1u);  // blocker only
+}
+
+TEST(SolveService, CompatibleRequestsShareOneBatch) {
+  std::promise<void> gate;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<GatedSolver>(gate.get_future().share()));
+
+  ServiceConfig config;
+  config.registry = &registry;
+  config.threads = 1;  // FIFO: the blocker below owns the only worker
+  SolveService service(config);
+
+  // Occupy the worker so the next two submits stay queued in one open
+  // batch (same instance + solver, different bounds).
+  std::future<SolveReply> blocker =
+      service.submit(SolveRequest{het_instance(), "gated", {}});
+
+  SolveRequest loose{hom_instance(), "gated", {}};
+  SolveRequest tight = loose;
+  tight.bounds.period_bound = 1e-3;
+  std::future<SolveReply> first = service.submit(loose);
+  std::future<SolveReply> second = service.submit(tight);
+
+  gate.set_value();
+  EXPECT_EQ(blocker.get().status, ReplyStatus::kSolved);
+  EXPECT_EQ(first.get().status, ReplyStatus::kSolved);
+  EXPECT_EQ(second.get().status, ReplyStatus::kInfeasible);
+
+  const EngineStats stats = service.stats();
+  EXPECT_EQ(stats.batches, 2u);           // blocker + the shared batch
+  EXPECT_EQ(stats.batched_requests, 1u);  // `tight` joined `loose`
+}
+
+TEST(ServeProtocol, ScriptedSessionWithRepeatsAndErrors) {
+  ServiceConfig config = small_config();
+  SolveService service(config);
+
+  std::istringstream in(
+      "# a scripted session\n"
+      "instance a\n"
+      "prts-instance v1\n"
+      "tasks 2\n"
+      "10 1\n"
+      "5 0\n"
+      "platform 3 1 1e-05 2\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "end\n"
+      "solve a exact inf inf\n"
+      "sync\n"
+      "solve a exact inf inf\n"
+      "solve nope exact inf inf\n"
+      "bogus-command\n"
+      "sync\n"
+      "stats\n");
+  std::ostringstream out;
+  const ServeResult result = run_serve(in, out, service);
+
+  EXPECT_EQ(result.requests, 2u);
+  EXPECT_EQ(result.protocol_errors, 2u);  // unknown instance + command
+
+  const std::string text = out.str();
+  // Request 0 solved cold, request 1 is a cache hit after the sync.
+  EXPECT_NE(text.find("0\tsolved\t0"), std::string::npos);
+  EXPECT_NE(text.find("1\tsolved\t1"), std::string::npos);
+  EXPECT_NE(text.find("# error: solve: unknown instance 'nope'"),
+            std::string::npos);
+  EXPECT_NE(text.find("# engine {\"submitted\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"cache_hits\":1"), std::string::npos);
+}
+
+TEST(ServeProtocol, RepliesComeBackInSubmissionOrder) {
+  SolveService service(small_config());
+  std::istringstream in(
+      "instance a\n"
+      "prts-instance v1\n"
+      "tasks 2\n"
+      "10 1\n"
+      "5 0\n"
+      "platform 2 1 1e-05 2\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "end\n"
+      "solve a heur-p inf inf\n"
+      "solve a heur-l inf inf\n"
+      "solve a baseline inf inf\n");
+  std::ostringstream out;
+  run_serve(in, out, service);
+  const std::string text = out.str();
+  ASSERT_EQ(text.rfind("0\t", 0), 0u);  // reply 0 leads the output
+  const std::size_t p1 = text.find("\n1\t");
+  const std::size_t p2 = text.find("\n2\t");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  EXPECT_LT(p1, p2);
+}
+
+}  // namespace
+}  // namespace prts::service

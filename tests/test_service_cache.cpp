@@ -1,0 +1,158 @@
+// The sharded LRU solution cache: hit/miss/eviction behavior, byte
+// bounds, stats, and TSV persistence replaying bit-identical solutions.
+#include "service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "eval/evaluation.hpp"
+
+namespace prts::service {
+namespace {
+
+CanonicalHash key_of(int i) {
+  return fingerprint("key-" + std::to_string(i));
+}
+
+Instance tiny_instance() {
+  std::vector<Task> tasks{{5.0, 1.0}, {7.0, 0.0}};
+  std::vector<Processor> procs{{1.0, 1e-8}, {1.0, 1e-8}, {1.0, 1e-8}};
+  return Instance{TaskChain(std::move(tasks)),
+                  Platform(std::move(procs), 1.0, 1e-5, 2)};
+}
+
+/// A real evaluated solution so persisted metrics have realistic values.
+CachedSolution feasible_entry(const Instance& instance) {
+  Mapping mapping(IntervalPartition::single(2), {{0, 2}});
+  const MappingMetrics metrics =
+      evaluate(instance.chain, instance.platform, mapping);
+  return CachedSolution{solver::Solution{std::move(mapping), metrics}};
+}
+
+TEST(SolutionCache, MissThenHit) {
+  ShardedSolutionCache cache;
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  cache.insert(key_of(1), CachedSolution{});
+  const auto hit = cache.lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->solution.has_value());  // cached infeasible
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(SolutionCache, StoresAndReturnsSolutions) {
+  const Instance instance = tiny_instance();
+  ShardedSolutionCache cache;
+  const CachedSolution entry = feasible_entry(instance);
+  cache.insert(key_of(7), entry);
+  const auto hit = cache.lookup(key_of(7));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->solution.has_value());
+  EXPECT_EQ(hit->solution->mapping, entry.solution->mapping);
+  EXPECT_EQ(hit->solution->metrics, entry.solution->metrics);
+}
+
+TEST(SolutionCache, EvictsLeastRecentlyUsedUnderByteBound) {
+  ShardedSolutionCache::Config config;
+  config.shards = 1;  // single shard: LRU order is global
+  // Room for two infeasible entries (~160 bytes each), not three.
+  config.capacity_bytes = 2 * cached_solution_bytes(CachedSolution{});
+  ShardedSolutionCache cache(config);
+
+  cache.insert(key_of(1), CachedSolution{});
+  cache.insert(key_of(2), CachedSolution{});
+  ASSERT_TRUE(cache.lookup(key_of(1)).has_value());  // 1 now most recent
+  cache.insert(key_of(3), CachedSolution{});         // evicts 2
+
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(3)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SolutionCache, KeepsASingleOversizedEntry) {
+  ShardedSolutionCache::Config config;
+  config.shards = 1;
+  config.capacity_bytes = 1;  // below any entry's footprint
+  ShardedSolutionCache cache(config);
+  cache.insert(key_of(1), CachedSolution{});
+  EXPECT_TRUE(cache.lookup(key_of(1)).has_value());
+  cache.insert(key_of(2), CachedSolution{});  // displaces the first
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(2)).has_value());
+}
+
+TEST(SolutionCache, ReinsertRefreshesInsteadOfDuplicating) {
+  ShardedSolutionCache cache;
+  cache.insert(key_of(1), CachedSolution{});
+  cache.insert(key_of(1), CachedSolution{});
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST(SolutionCache, ClearDropsEntriesKeepsCounters) {
+  ShardedSolutionCache cache;
+  cache.insert(key_of(1), CachedSolution{});
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+}
+
+TEST(SolutionCachePersistence, TsvRoundTripIsBitIdentical) {
+  const Instance instance = tiny_instance();
+  ShardedSolutionCache cache;
+  const CachedSolution entry = feasible_entry(instance);
+  cache.insert(key_of(1), entry);
+  cache.insert(key_of(2), CachedSolution{});  // negative entry
+
+  std::stringstream file;
+  cache.save_tsv(file);
+
+  ShardedSolutionCache reloaded;
+  const auto result = reloaded.load_tsv(file);
+  EXPECT_EQ(result.error, "");
+  EXPECT_EQ(result.loaded, 2u);
+
+  const auto hit = reloaded.lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->solution.has_value());
+  EXPECT_EQ(hit->solution->mapping, entry.solution->mapping);
+  // Exact double equality: canonical_number round-trips every field.
+  EXPECT_EQ(hit->solution->metrics, entry.solution->metrics);
+
+  const auto negative = reloaded.lookup(key_of(2));
+  ASSERT_TRUE(negative.has_value());
+  EXPECT_FALSE(negative->solution.has_value());
+}
+
+TEST(SolutionCachePersistence, MalformedLineIsReported) {
+  ShardedSolutionCache cache;
+  std::stringstream file("not-a-hash\t1\t0\t0\n");
+  const auto result = cache.load_tsv(file);
+  EXPECT_EQ(result.loaded, 0u);
+  EXPECT_NE(result.error.find("line 1"), std::string::npos);
+}
+
+TEST(SolutionCacheStats, JsonSnapshotNamesEveryCounter) {
+  ShardedSolutionCache cache;
+  cache.insert(key_of(1), CachedSolution{});
+  cache.lookup(key_of(1));
+  std::ostringstream out;
+  ShardedSolutionCache::write_stats_json(out, cache.stats());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"insertions\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":16"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prts::service

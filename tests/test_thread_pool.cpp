@@ -91,6 +91,33 @@ TEST(ThreadPool, ManySmallBatches) {
   }
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::future<void> future = pool.submit([&] { ran.fetch_add(1); });
+  pool.shutdown();
+  future.get();  // ran before the workers joined
+  EXPECT_EQ(ran.load(), 1);
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.thread_count(), 0u);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownReturnsExceptionalFuture) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  bool task_ran = false;
+  std::future<void> future = pool.submit([&] { task_ran = true; });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  EXPECT_FALSE(task_ran);
+}
+
+TEST(ThreadPool, ParallelForAfterShutdownThrows) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.parallel_for(4, [](std::size_t) {}),
+               std::runtime_error);
+}
+
 TEST(ParallelForEachIndex, Works) {
   std::vector<std::atomic<int>> hits(100);
   parallel_for_each_index(100, [&](std::size_t i) { hits[i].fetch_add(1); });

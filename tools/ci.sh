@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build (with the project's always-on
+# -Wall -Wextra), and run the tier-1 ctest suite.
+#
+#   tools/ci.sh                 # Release build into ./build
+#   BUILD_TYPE=Debug tools/ci.sh
+#   BUILD_DIR=/tmp/ci tools/ci.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}"
+cmake --build "$BUILD" -j "$JOBS"
+# (cd form rather than ctest --test-dir: that flag needs CTest >= 3.20,
+# the project supports CMake 3.16.)
+cd "$BUILD" && ctest --output-on-failure -j "$JOBS"

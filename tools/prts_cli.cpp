@@ -18,9 +18,17 @@
 //       emit the discrete-event trace as TSV, sorted by time
 //   prts_cli solvers
 //       list every registered solver with a one-line description
-//   prts_cli campaign <spec.txt|-> [--threads T] [--format table|tsv|json]
+//   prts_cli campaign <spec.txt|-> [--threads T] [--seed S]
+//       [--format table|tsv|json]
 //       run a whole scenario campaign (see src/scenario/spec.hpp for the
-//       spec format) and emit the aggregated series
+//       spec format) and emit the aggregated series; --threads/--seed
+//       override the spec without editing it
+//   prts_cli serve [requests.txt|-] [--threads N] [--cache-mb M]
+//       [--shards S] [--no-cache] [--queue-limit Q] [--deadline D]
+//       [--policy reject|downgrade] [--fallback SOLVER]
+//       [--warm-start cache.tsv] [--save-cache cache.tsv] [--stats]
+//       run the batched solve service over a line-protocol request
+//       stream (see src/service/protocol.hpp for the format)
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -48,6 +56,9 @@
 #include "scenario/campaign.hpp"
 #include "scenario/emit.hpp"
 #include "scenario/spec.hpp"
+#include "service/cache.hpp"
+#include "service/engine.hpp"
+#include "service/protocol.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "solver/registry.hpp"
 #include "solver/solver.hpp"
@@ -364,6 +375,11 @@ int cmd_campaign(const std::string& spec_path, const Flags& flags) {
     return 2;
   }
 
+  // Execution overrides: rerun a spec with another seed or thread count
+  // without editing the file.
+  if (flags.has("seed")) {
+    parsed.spec->seed = static_cast<std::uint64_t>(flags.number("seed", 0));
+  }
   scenario::CampaignConfig config;
   config.threads = static_cast<std::size_t>(flags.number("threads", 0));
   scenario::CampaignResult result;
@@ -385,12 +401,87 @@ int cmd_campaign(const std::string& spec_path, const Flags& flags) {
   return 0;
 }
 
+int cmd_serve(const std::string& request_path, const Flags& flags) {
+  service::ServiceConfig config;
+  config.threads = static_cast<std::size_t>(flags.number("threads", 0));
+  config.cache_enabled = !flags.has("no-cache");
+  config.cache.shards = static_cast<std::size_t>(flags.number("shards", 16));
+  config.cache.capacity_bytes =
+      static_cast<std::size_t>(flags.number("cache-mb", 64) * 1024 * 1024);
+  config.max_queue_depth =
+      static_cast<std::size_t>(flags.number("queue-limit", 4096));
+  config.fallback_solver = flags.get("fallback", "heur-p");
+
+  service::ServeOptions options;
+  options.default_deadline_seconds = flags.number("deadline", kInf);
+  const std::string policy = flags.get("policy", "downgrade");
+  if (policy == "reject") {
+    options.default_policy = service::DeadlinePolicy::kReject;
+  } else if (policy == "downgrade") {
+    options.default_policy = service::DeadlinePolicy::kDowngrade;
+  } else {
+    std::cerr << "unknown --policy " << policy << " (reject|downgrade)\n";
+    return 2;
+  }
+
+  // Open the request stream before constructing the service, so an
+  // error exit never abandons live worker threads.
+  std::ifstream request_file;
+  if (request_path != "-") {
+    request_file.open(request_path);
+    if (!request_file) {
+      std::cerr << "cannot open request file '" << request_path << "'\n";
+      return 1;
+    }
+  }
+  std::istream& requests =
+      request_path == "-" ? std::cin : request_file;
+
+  service::SolveService engine(config);
+
+  if (flags.has("warm-start")) {
+    const std::string path = flags.get("warm-start");
+    std::ifstream file(path);
+    if (!file) {
+      std::cerr << "cannot open warm-start file '" << path << "'\n";
+      return 1;
+    }
+    const auto loaded = engine.cache().load_tsv(file);
+    if (!loaded.error.empty()) {
+      std::cerr << "warm-start '" << path << "': " << loaded.error << "\n";
+      return 1;
+    }
+    std::cerr << "# warm-start: " << loaded.loaded << " entries from "
+              << path << "\n";
+  }
+
+  const service::ServeResult result =
+      service::run_serve(requests, std::cout, engine, options);
+
+  if (flags.has("save-cache")) {
+    const std::string path = flags.get("save-cache");
+    std::ofstream file(path);
+    if (!file) {
+      std::cerr << "cannot write cache file '" << path << "'\n";
+      return 1;
+    }
+    engine.cache().save_tsv(file);
+  }
+  if (flags.has("stats")) {
+    std::cerr << "# cache ";
+    service::ShardedSolutionCache::write_stats_json(std::cerr,
+                                                    engine.cache_stats());
+    std::cerr << "\n";
+  }
+  return result.protocol_errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: prts_cli generate|solve|evaluate|simulate|dot|"
-                 "trace|solvers|campaign ...\n";
+                 "trace|solvers|campaign|serve ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -401,6 +492,13 @@ int main(int argc, char** argv) {
         argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
     const Flags flags(argc, argv, has_path ? 3 : 2);
     return cmd_campaign(has_path ? argv[2] : "-", flags);
+  }
+  if (command == "serve") {
+    // The request path is positional ('-' reads stdin); flags follow it.
+    const bool has_path =
+        argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
+    const Flags flags(argc, argv, has_path ? 3 : 2);
+    return cmd_serve(has_path ? argv[2] : "-", flags);
   }
   const Flags flags(argc, argv, 2);
   if (command == "generate") return cmd_generate(flags);
