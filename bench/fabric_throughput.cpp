@@ -1,0 +1,156 @@
+// Distributed fabric throughput on a loopback world of two: the same
+// repeated-probe workload as service_throughput, but driven through a
+// ShardRouter whose remote shard lives behind a real FrameServer on
+// 127.0.0.1 — so the numbers include canonicalization, wire encoding,
+// TCP round trips and the owner's cache. Emits BENCH_fabric.json so
+// the perf trajectory records what a forwarded miss and a forwarded
+// hit cost relative to purely local serving.
+//
+//   fabric_throughput [--requests N] [--unique U] [--solver NAME]
+//                     [--threads T] [--quick] [--out PATH]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "model/generator.hpp"
+#include "net/frame_server.hpp"
+#include "service/router.hpp"
+
+namespace {
+
+using namespace prts;
+
+/// One timed pass of the workload through the router; returns seconds.
+double run_pass(service::ShardRouter& router,
+                const std::vector<Instance>& instances,
+                std::size_t requests, const std::string& solver,
+                std::size_t& solved) {
+  // Sequential client, like service_throughput: each repeat arrives
+  // after its twin completed, so the second pass measures *cache*
+  // forwarding, not in-flight dedup.
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < requests; ++r) {
+    service::SolveRequest request{instances[r % instances.size()], solver,
+                                  {}};
+    if (router.submit(std::move(request)).get().status ==
+        service::ReplyStatus::kSolved) {
+      ++solved;
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 200;
+  std::size_t unique = 8;
+  std::size_t threads = 0;
+  std::string solver = "exact";
+  std::string out_path = "BENCH_fabric.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--requests") {
+      requests = std::stoul(next());
+    } else if (arg == "--unique") {
+      unique = std::stoul(next());
+    } else if (arg == "--threads") {
+      threads = std::stoul(next());
+    } else if (arg == "--solver") {
+      solver = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--quick") {
+      requests = 60;
+      unique = 4;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (unique == 0 || requests == 0) {
+    std::cerr << "--requests and --unique must be positive\n";
+    return 2;
+  }
+
+  std::vector<Instance> instances;
+  for (std::size_t u = 0; u < unique; ++u) {
+    Rng rng(1000 + u);
+    instances.push_back(Instance{
+        paper::chain(rng),
+        Platform::homogeneous(paper::kProcessorCount, paper::kHomSpeed,
+                              paper::kProcessorFailureRate, paper::kBandwidth,
+                              paper::kLinkFailureRate,
+                              paper::kMaxReplication)});
+  }
+
+  // Rank 0 (the driver's side) and rank 1 (the remote owner) of a
+  // loopback world of two.
+  service::ServiceConfig config;
+  config.threads = threads;
+  config.max_queue_depth = requests + 1;
+  service::SolveService local(config);
+  service::SolveService remote(config);
+  ThreadPool server_pool(2);
+  auto server = prts::net::FrameServer::start(
+      0, service::make_fabric_handler(remote), server_pool);
+  if (!server) {
+    std::cerr << "cannot open a loopback listener\n";
+    return 1;
+  }
+  service::RouterConfig router_config;
+  router_config.world_size = 2;
+  router_config.rank = 0;
+  router_config.peers = {{"127.0.0.1", 1},
+                         {"127.0.0.1", server->port()}};
+  service::ShardRouter router(local, router_config);
+
+  std::size_t solved = 0;
+  const double cold_seconds =
+      run_pass(router, instances, requests, solver, solved);
+  const double warm_seconds =
+      run_pass(router, instances, requests, solver, solved);
+  if (solved != 2 * requests) {
+    std::cerr << "warning: " << (2 * requests - solved) << "/"
+              << 2 * requests << " requests not solved\n";
+  }
+
+  const double cold_rps = static_cast<double>(requests) / cold_seconds;
+  const double warm_rps = static_cast<double>(requests) / warm_seconds;
+  const service::RouterStats stats = router.stats();
+  const double forward_share =
+      static_cast<double>(stats.forwarded) /
+      static_cast<double>(stats.forwarded + stats.local);
+
+  std::cout << "fabric throughput (world 2, loopback): " << requests
+            << " requests over " << unique << " unique instances, solver "
+            << solver << "\n"
+            << "  cold pass  " << cold_rps << " req/s\n"
+            << "  warm pass  " << warm_rps << " req/s\n"
+            << "  forwarded  " << stats.forwarded << " (hits "
+            << stats.forward_hits << "), local " << stats.local << "\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\"benchmark\":\"fabric_throughput\",\"world\":2,\"solver\":\""
+      << solver << "\",\"requests\":" << requests
+      << ",\"unique_instances\":" << unique << ",\"threads\":" << threads
+      << ",\"cold_seconds\":" << cold_seconds << ",\"cold_rps\":" << cold_rps
+      << ",\"warm_seconds\":" << warm_seconds << ",\"warm_rps\":" << warm_rps
+      << ",\"forwarded\":" << stats.forwarded
+      << ",\"forward_hits\":" << stats.forward_hits
+      << ",\"local\":" << stats.local
+      << ",\"forward_share\":" << forward_share << "}\n";
+  return 0;
+}

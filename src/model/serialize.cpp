@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdint>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -60,6 +61,23 @@ std::string canonical_number(double value) {
       std::to_chars(buffer, buffer + sizeof(buffer), value);
   (void)ec;  // shortest form always fits in 64 chars
   return std::string(buffer, end);
+}
+
+bool parse_canonical_number(std::string_view text, double& value) {
+  if (text == "inf") {
+    value = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (text == "-inf") {
+    value = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return false;
+  value = parsed;
+  return true;
 }
 
 void write_instance_canonical(std::ostream& out, const Instance& instance) {

@@ -19,6 +19,7 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "model/platform.hpp"
 #include "model/task_chain.hpp"
@@ -43,6 +44,11 @@ std::string instance_to_text(const Instance& instance);
 /// produce the same bytes iff they are the same double — the property
 /// the service layer's content hashing needs.
 std::string canonical_number(double value);
+
+/// Inverse of canonical_number (from_chars round-trips to_chars
+/// exactly; "inf"/"-inf" accepted). False on trailing garbage or
+/// malformed input; `value` is untouched on failure.
+bool parse_canonical_number(std::string_view text, double& value);
 
 /// Writes the v1 text format with canonical_number formatting and no
 /// information loss: the byte-level canonical form of an instance

@@ -1,0 +1,115 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "net/socket.hpp"
+
+namespace prts::net {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'R', 'T', 'F'};
+
+void put_u32_be(char* out, std::uint32_t value) noexcept {
+  out[0] = static_cast<char>((value >> 24) & 0xff);
+  out[1] = static_cast<char>((value >> 16) & 0xff);
+  out[2] = static_cast<char>((value >> 8) & 0xff);
+  out[3] = static_cast<char>(value & 0xff);
+}
+
+std::uint32_t get_u32_be(const unsigned char* in) noexcept {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+/// Validates a 12-byte header; kFrame here means "header well-formed".
+DecodeStatus check_header(const unsigned char* header,
+                          std::size_t max_payload,
+                          std::uint32_t& length) noexcept {
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+    return DecodeStatus::kBadMagic;
+  }
+  if (header[4] != kProtocolVersion) return DecodeStatus::kBadVersion;
+  length = get_u32_be(header + 8);
+  if (length > max_payload) return DecodeStatus::kOversized;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  std::string bytes;
+  bytes.resize(kFrameHeaderBytes + frame.payload.size());
+  std::memcpy(bytes.data(), kMagic, sizeof(kMagic));
+  bytes[4] = static_cast<char>(frame.version);
+  bytes[5] = static_cast<char>(frame.type);
+  bytes[6] = 0;
+  bytes[7] = 0;
+  put_u32_be(bytes.data() + 8,
+             static_cast<std::uint32_t>(frame.payload.size()));
+  std::memcpy(bytes.data() + kFrameHeaderBytes, frame.payload.data(),
+              frame.payload.size());
+  return bytes;
+}
+
+DecodeResult decode_frame(std::string_view buffer, std::size_t max_payload) {
+  DecodeResult result;
+  if (buffer.size() < kFrameHeaderBytes) return result;  // kNeedMore
+
+  const auto* header =
+      reinterpret_cast<const unsigned char*>(buffer.data());
+  std::uint32_t length = 0;
+  const DecodeStatus verdict = check_header(header, max_payload, length);
+  if (verdict != DecodeStatus::kFrame) {
+    result.status = verdict;
+    return result;
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) return result;
+
+  result.status = DecodeStatus::kFrame;
+  result.frame.version = header[4];
+  result.frame.type = static_cast<FrameType>(header[5]);
+  result.frame.payload.assign(buffer.data() + kFrameHeaderBytes, length);
+  result.consumed = kFrameHeaderBytes + length;
+  return result;
+}
+
+FrameReadStatus read_frame(Socket& socket, Frame& frame,
+                           std::size_t max_payload) {
+  unsigned char header[kFrameHeaderBytes];
+  // The first byte separates "clean EOF between frames" from "peer died
+  // mid-frame" — the robustness tests distinguish the two.
+  std::size_t got = 0;
+  if (!socket.recv_some(header, 1, got)) return FrameReadStatus::kClosed;
+  if (!socket.recv_all(header + 1, sizeof(header) - 1)) {
+    return FrameReadStatus::kTruncated;
+  }
+
+  std::uint32_t length = 0;
+  switch (check_header(header, max_payload, length)) {
+    case DecodeStatus::kBadMagic:
+      return FrameReadStatus::kBadMagic;
+    case DecodeStatus::kBadVersion:
+      return FrameReadStatus::kBadVersion;
+    case DecodeStatus::kOversized:
+      return FrameReadStatus::kOversized;
+    default:
+      break;
+  }
+
+  frame.version = header[4];
+  frame.type = static_cast<FrameType>(header[5]);
+  frame.payload.resize(length);
+  if (length > 0 && !socket.recv_all(frame.payload.data(), length)) {
+    return FrameReadStatus::kTruncated;
+  }
+  return FrameReadStatus::kOk;
+}
+
+bool write_frame(Socket& socket, const Frame& frame) {
+  const std::string bytes = encode_frame(frame);
+  return socket.send_all(bytes.data(), bytes.size());
+}
+
+}  // namespace prts::net

@@ -1,0 +1,89 @@
+// The fabric's wire unit: length-prefixed frames with a fixed 12-byte
+// header, carried over the raw sockets of net/socket.hpp.
+//
+// Header layout (network byte order for the length):
+//   bytes 0..3   magic "PRTF"
+//   byte  4      protocol version (kProtocolVersion)
+//   byte  5      frame type (FrameType)
+//   bytes 6..7   reserved, zero
+//   bytes 8..11  payload length, big-endian
+//
+// The decoder is incremental (feed it a growing buffer, it reports
+// kNeedMore until a full frame is present) and defensive: bad magic,
+// unsupported version and oversized length are distinct, recoverable
+// verdicts — a server answers them with a kError frame and closes the
+// connection instead of trusting a corrupted length field.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace prts::net {
+
+class Socket;
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Refuse to allocate for absurd length fields (a corrupted or hostile
+/// header must not become a multi-gigabyte allocation).
+inline constexpr std::size_t kDefaultMaxPayload = 64 * 1024 * 1024;
+
+enum class FrameType : std::uint8_t {
+  kError = 0,         ///< payload: human-readable reason
+  kSolveRequest = 1,  ///< payload: service::encode wire request
+  kSolveReply = 2,    ///< payload: service::encode wire reply
+  kPing = 3,          ///< payload ignored
+  kPong = 4,          ///< answer to kPing, payload echoed
+  kStatsRequest = 5,  ///< payload ignored
+  kStatsReply = 6,    ///< payload: one JSON object
+};
+
+struct Frame {
+  std::uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Header + payload as one byte string.
+std::string encode_frame(const Frame& frame);
+
+enum class DecodeStatus {
+  kFrame,       ///< a complete frame was decoded
+  kNeedMore,    ///< buffer holds a prefix of a valid frame
+  kBadMagic,    ///< first four bytes are not "PRTF"
+  kBadVersion,  ///< header version != kProtocolVersion
+  kOversized,   ///< length field exceeds max_payload
+};
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  Frame frame;              ///< valid iff status == kFrame
+  std::size_t consumed = 0; ///< bytes to drop from the buffer front
+};
+
+/// Decodes the first frame of `buffer`. On kFrame, `consumed` covers
+/// header + payload; on the error verdicts the connection is
+/// unrecoverable (framing is lost) and the caller should close.
+DecodeResult decode_frame(std::string_view buffer,
+                          std::size_t max_payload = kDefaultMaxPayload);
+
+enum class FrameReadStatus {
+  kOk,
+  kClosed,      ///< clean EOF between frames, or IO error/timeout
+  kTruncated,   ///< EOF in the middle of a frame
+  kBadMagic,
+  kBadVersion,
+  kOversized,
+};
+
+/// Blocking read of exactly one frame from the socket.
+FrameReadStatus read_frame(Socket& socket, Frame& frame,
+                           std::size_t max_payload = kDefaultMaxPayload);
+
+/// Blocking write of one frame; false on any IO error.
+bool write_frame(Socket& socket, const Frame& frame);
+
+}  // namespace prts::net

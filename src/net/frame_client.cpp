@@ -1,0 +1,76 @@
+#include "net/frame_client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace prts::net {
+
+FrameClient::FrameClient(std::string host, std::uint16_t port,
+                         FrameClientConfig config)
+    : host_(std::move(host)), port_(port), config_(config) {}
+
+bool FrameClient::ensure_connected_locked() {
+  if (socket_.valid()) return true;
+  if (backoff_seconds_ > 0.0 && Clock::now() < next_attempt_) {
+    ++stats_.fast_failures;
+    return false;
+  }
+  auto connected =
+      tcp_connect(host_, port_, config_.connect_timeout_seconds);
+  if (!connected) {
+    mark_failed_locked();
+    return false;
+  }
+  socket_ = std::move(*connected);
+  socket_.set_receive_timeout(config_.reply_timeout_seconds);
+  ++stats_.connects;
+  return true;
+}
+
+void FrameClient::mark_failed_locked() {
+  socket_.close();
+  backoff_seconds_ =
+      backoff_seconds_ == 0.0
+          ? config_.backoff_initial_seconds
+          : std::min(backoff_seconds_ * 2.0, config_.backoff_max_seconds);
+  next_attempt_ =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(backoff_seconds_));
+}
+
+std::optional<Frame> FrameClient::call(const Frame& request) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.calls;
+  if (!ensure_connected_locked()) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  Frame reply;
+  if (!write_frame(socket_, request) ||
+      read_frame(socket_, reply, config_.max_payload) !=
+          FrameReadStatus::kOk) {
+    mark_failed_locked();
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  backoff_seconds_ = 0.0;  // healthy again
+  return reply;
+}
+
+bool FrameClient::suspect() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return backoff_seconds_ > 0.0 && Clock::now() < next_attempt_;
+}
+
+FrameClientStats FrameClient::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void FrameClient::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  socket_.close();
+  backoff_seconds_ = 0.0;
+}
+
+}  // namespace prts::net

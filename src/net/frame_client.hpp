@@ -1,0 +1,86 @@
+// A blocking request/reply client over one framed TCP connection, with
+// lazy connect, automatic reconnect and exponential backoff.
+//
+// Failure model: any IO or protocol error closes the connection and
+// arms a backoff window during which call() fails fast (the peer is
+// *suspect*) instead of paying a connect timeout per request — exactly
+// the degradation the shard router needs so a dead peer costs the
+// fabric one timeout, not one per forwarded miss. A successful
+// exchange resets the backoff.
+//
+// Thread safety: call() serializes callers on an internal mutex (one
+// in-flight exchange per connection; replies are matched to requests by
+// ordering).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace prts::net {
+
+struct FrameClientConfig {
+  double connect_timeout_seconds = 2.0;
+  /// Receive timeout per reply; covers the peer's solve time.
+  double reply_timeout_seconds = 120.0;
+  double backoff_initial_seconds = 0.2;
+  double backoff_max_seconds = 5.0;
+  std::size_t max_payload = kDefaultMaxPayload;
+};
+
+/// Monotonic counters, snapshot under the client mutex.
+struct FrameClientStats {
+  std::uint64_t calls = 0;
+  std::uint64_t failures = 0;  ///< calls answered nullopt
+  std::uint64_t connects = 0;  ///< successful (re)connects
+  std::uint64_t fast_failures = 0;  ///< rejected inside the backoff window
+};
+
+class FrameClient {
+ public:
+  FrameClient(std::string host, std::uint16_t port,
+              FrameClientConfig config = {});
+
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  const std::string& host() const noexcept { return host_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// One blocking exchange: send `request`, read one reply frame.
+  /// nullopt on connect failure, IO error, protocol garbage, or while
+  /// the backoff window is open.
+  std::optional<Frame> call(const Frame& request);
+
+  /// True while call() would fail fast (inside the backoff window).
+  bool suspect() const;
+
+  FrameClientStats stats() const;
+
+  /// Drops the connection (next call reconnects immediately).
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Locked helpers.
+  bool ensure_connected_locked();
+  void mark_failed_locked();
+
+  const std::string host_;
+  const std::uint16_t port_;
+  const FrameClientConfig config_;
+
+  mutable std::mutex mutex_;
+  Socket socket_;
+  double backoff_seconds_ = 0.0;      ///< 0 = healthy
+  Clock::time_point next_attempt_{};  ///< meaningful when backoff > 0
+  FrameClientStats stats_;
+};
+
+}  // namespace prts::net

@@ -1,0 +1,140 @@
+#include "net/frame_server.hpp"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace prts::net {
+
+std::unique_ptr<FrameServer> FrameServer::start(std::uint16_t port,
+                                                FrameHandler handler,
+                                                ThreadPool& pool,
+                                                std::size_t max_payload) {
+  auto listener = Listener::open(port);
+  if (!listener) return nullptr;
+  return std::unique_ptr<FrameServer>(new FrameServer(
+      std::move(*listener), std::move(handler), pool, max_payload));
+}
+
+FrameServer::FrameServer(Listener listener, FrameHandler handler,
+                         ThreadPool& pool, std::size_t max_payload)
+    : listener_(std::move(listener)),
+      handler_(std::move(handler)),
+      pool_(pool),
+      max_payload_(max_payload),
+      accept_thread_([this] { accept_loop(); }) {}
+
+FrameServer::~FrameServer() { stop(); }
+
+void FrameServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto accepted = listener_.accept();
+    if (!accepted) break;  // listener closed
+    auto socket = std::make_shared<Socket>(std::move(*accepted));
+    const int fd = socket->fd();
+    {
+      // Register before the pool task exists: stop() must be able to
+      // wake this connection even if the task has not started yet.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_.load()) break;
+      ++stats_.connections;
+      open_fds_.insert(fd);
+    }
+    auto future =
+        pool_.submit([this, socket] { serve_connection(socket); });
+    // A shut-down pool destroys the task unrun (exceptional future);
+    // deregister here or stop() would wait for this connection forever.
+    // The local `socket` copy keeps the fd alive past the erase.
+    if (future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      try {
+        future.get();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        open_fds_.erase(fd);
+        drained_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void FrameServer::serve_connection(
+    const std::shared_ptr<Socket>& socket_ptr) {
+  Socket& socket = *socket_ptr;
+  const int fd = socket.fd();
+  while (!stopping_.load()) {
+    Frame request;
+    const FrameReadStatus status =
+        read_frame(socket, request, max_payload_);
+    if (status == FrameReadStatus::kOk) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.frames;
+      }
+      std::optional<Frame> reply;
+      try {
+        reply = handler_(request);
+      } catch (const std::exception& error) {
+        // A throwing handler must not kill the connection loop's
+        // bookkeeping — answer with an error frame and close.
+        Frame failure;
+        failure.type = FrameType::kError;
+        failure.payload = std::string("handler error: ") + error.what();
+        write_frame(socket, failure);
+        break;
+      } catch (...) {
+        break;
+      }
+      if (!reply || !write_frame(socket, *reply)) break;
+      continue;
+    }
+    if (status == FrameReadStatus::kBadMagic ||
+        status == FrameReadStatus::kBadVersion ||
+        status == FrameReadStatus::kOversized ||
+        status == FrameReadStatus::kTruncated) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.protocol_errors;
+      }
+      if (status != FrameReadStatus::kTruncated) {
+        Frame error;
+        error.type = FrameType::kError;
+        error.payload = status == FrameReadStatus::kBadMagic ? "bad magic"
+                        : status == FrameReadStatus::kBadVersion
+                            ? "unsupported protocol version"
+                            : "payload too large";
+        write_frame(socket, error);
+      }
+    }
+    break;  // framing lost or peer gone: close
+  }
+  {
+    // Deregister while the socket is still open, so stop() can never
+    // shut down a descriptor that has already been recycled.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    open_fds_.erase(fd);
+    drained_cv_.notify_all();
+  }
+}
+
+void FrameServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.close();
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
+  drained_cv_.wait(lock, [this] { return open_fds_.empty(); });
+  lock.unlock();
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+FrameServerStats FrameServer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace prts::net

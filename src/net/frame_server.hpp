@@ -1,0 +1,87 @@
+// The fabric's listening side: one accept thread hands each connection
+// to a task on a caller-supplied ThreadPool, where a read/handle/write
+// loop serves framed requests until the peer disconnects.
+//
+// Robustness contract (exercised by tests/test_net.cpp): malformed
+// magic, version mismatch and oversized length fields are answered with
+// one kError frame and a close — never a crash, never a hang, and the
+// server keeps accepting new connections. Truncated frames and
+// mid-stream disconnects just close the connection.
+//
+// Connections occupy a pool thread for their lifetime, so the pool must
+// be dedicated to the server (or sized for the expected number of
+// long-lived peer links) — do NOT share the solve engine's pool, or
+// idle peer connections will starve solves.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+
+#include "common/thread_pool.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace prts::net {
+
+/// Answers one request frame; nullopt closes the connection without a
+/// reply. Runs on a pool thread; must be thread-safe across
+/// connections.
+using FrameHandler = std::function<std::optional<Frame>(const Frame&)>;
+
+/// Monotonic counters (snapshot; the server keeps running).
+struct FrameServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t frames = 0;           ///< well-formed frames handled
+  std::uint64_t protocol_errors = 0;  ///< bad magic/version/length
+};
+
+class FrameServer {
+ public:
+  /// Binds `port` (0 = ephemeral) and starts the accept thread.
+  /// nullptr when the port cannot be bound.
+  static std::unique_ptr<FrameServer> start(
+      std::uint16_t port, FrameHandler handler, ThreadPool& pool,
+      std::size_t max_payload = kDefaultMaxPayload);
+
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// The bound port (resolves an ephemeral bind).
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Stops accepting, wakes every connection's blocked read, and waits
+  /// for connection loops to drain. Idempotent.
+  void stop();
+
+  FrameServerStats stats() const;
+
+ private:
+  FrameServer(Listener listener, FrameHandler handler, ThreadPool& pool,
+              std::size_t max_payload);
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<Socket>& socket_ptr);
+
+  Listener listener_;
+  FrameHandler handler_;
+  ThreadPool& pool_;
+  const std::size_t max_payload_;
+
+  std::atomic<bool> stopping_{false};
+  mutable std::mutex mutex_;
+  std::condition_variable drained_cv_;
+  std::unordered_set<int> open_fds_;  ///< live connection descriptors
+  FrameServerStats stats_;
+  std::thread accept_thread_;
+};
+
+}  // namespace prts::net

@@ -12,13 +12,6 @@ namespace {
 
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 
-/// Per-job outcome: for each solver and sweep point, the failure
-/// probability of the returned schedule, or NaN when the solver found
-/// none. Flat [solver][point] layout.
-struct JobOutcome {
-  std::vector<double> failures;
-};
-
 std::vector<std::shared_ptr<const solver::Solver>> resolve_solvers(
     const CampaignSpec& spec, const CampaignConfig& config) {
   const solver::SolverRegistry& registry =
@@ -88,12 +81,12 @@ CampaignResult run_campaign_points(const CampaignSpec& spec,
 
   // Phase 1 (parallel): every job writes its own preassigned slot, so no
   // synchronization and no ordering effects.
-  std::vector<JobOutcome> outcomes(jobs);
+  std::vector<std::vector<double>> failures(jobs);
   ThreadPool pool(config.threads);
   pool.parallel_for(jobs, [&](std::size_t job) {
     const Instance instance = materialize_instance(spec, job);
-    JobOutcome& outcome = outcomes[job];
-    outcome.failures.assign(n_solvers * n_points, kNan);
+    std::vector<double>& outcome = failures[job];
+    outcome.assign(n_solvers * n_points, kNan);
     for (std::size_t s = 0; s < n_solvers; ++s) {
       const auto prepared = solvers[s]->prepare(instance);
       for (std::size_t pt = 0; pt < n_points; ++pt) {
@@ -101,14 +94,22 @@ CampaignResult run_campaign_points(const CampaignSpec& spec,
         bounds.period_bound = points[pt].period_bound;
         bounds.latency_bound = points[pt].latency_bound;
         if (const auto solution = prepared->solve(bounds)) {
-          outcome.failures[s * n_points + pt] = solution->metrics.failure;
+          outcome[s * n_points + pt] = solution->metrics.failure;
         }
       }
     }
   });
 
-  // Phase 2 (sequential, job order): the reduction order is fixed, so
-  // the floating-point sums are identical for any thread count.
+  return reduce_job_failures(spec, x, failures, n_solvers, n_points);
+}
+
+CampaignResult reduce_job_failures(
+    const CampaignSpec& spec, const std::vector<double>& x,
+    const std::vector<std::vector<double>>& failures,
+    std::size_t n_solvers, std::size_t n_points) {
+  // Sequential, job order: the reduction order is fixed, so the
+  // floating-point sums are identical for any thread count.
+  const std::size_t jobs = failures.size();
   CampaignResult result;
   result.jobs = jobs;
   result.points = n_points;
@@ -122,7 +123,7 @@ CampaignResult run_campaign_points(const CampaignSpec& spec,
     std::vector<double> failure_sum(n_points, 0.0);
     for (std::size_t job = 0; job < jobs; ++job) {
       for (std::size_t pt = 0; pt < n_points; ++pt) {
-        const double failure = outcomes[job].failures[s * n_points + pt];
+        const double failure = failures[job][s * n_points + pt];
         if (std::isnan(failure)) continue;
         ++series.solutions[pt];
         failure_sum[pt] += failure;

@@ -56,4 +56,15 @@ CampaignResult run_campaign_points(const CampaignSpec& spec,
                                    const std::vector<double>& x,
                                    const CampaignConfig& config = {});
 
+/// The sequential job-order reduction behind run_campaign_points,
+/// shared with the solve-service fusion (src/service/fusion.*):
+/// `failures[job]` is a flat [solver][point] array of failure
+/// probabilities, NaN where the solver found nothing. Because the
+/// reduction order is fixed, any execution producing the same per-job
+/// values yields byte-identical aggregates.
+CampaignResult reduce_job_failures(
+    const CampaignSpec& spec, const std::vector<double>& x,
+    const std::vector<std::vector<double>>& failures,
+    std::size_t n_solvers, std::size_t n_points);
+
 }  // namespace prts::scenario

@@ -2,30 +2,16 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "model/interval.hpp"
 
 namespace prts::service {
 namespace {
-
-/// Parses a canonical_number back into a double; false on trailing
-/// garbage or malformed input. from_chars round-trips to_chars exactly.
-bool parse_number(std::string_view text, double& value) {
-  if (text == "inf") {
-    value = std::numeric_limits<double>::infinity();
-    return true;
-  }
-  if (text == "-inf") {
-    value = -std::numeric_limits<double>::infinity();
-    return true;
-  }
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), value);
-  return ec == std::errc{} && ptr == text.data() + text.size();
-}
 
 bool parse_size(std::string_view text, std::size_t& value) {
   const auto [ptr, ec] =
@@ -42,6 +28,39 @@ std::vector<std::string> split(const std::string& text, char delim) {
   return parts;
 }
 
+// ---- binary snapshot primitives (explicit little-endian) ----
+
+void put_u64_le(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u32_le(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64_le(const unsigned char* in) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) value = (value << 8) | in[i];
+  return value;
+}
+
+std::uint32_t get_u32_le(const unsigned char* in) noexcept {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) value = (value << 8) | in[i];
+  return value;
+}
+
+constexpr char kBinaryMagic[6] = {'P', 'R', 'T', 'S', '1', '\n'};
+constexpr std::uint8_t kBinaryVersion = 1;
+constexpr std::size_t kBinaryHeaderBytes = sizeof(kBinaryMagic) + 2 + 8;
+constexpr std::size_t kBinaryIndexEntryBytes = 8 + 8 + 8 + 4;
+/// A corrupted blob length must not turn into a huge allocation.
+constexpr std::uint32_t kBinaryMaxBlobBytes = 16 * 1024 * 1024;
+
 }  // namespace
 
 std::size_t cached_solution_bytes(const CachedSolution& value) noexcept {
@@ -55,10 +74,127 @@ std::size_t cached_solution_bytes(const CachedSolution& value) noexcept {
   return bytes;
 }
 
+std::string encode_cache_entry(const CanonicalHash& key,
+                               const CachedSolution& value) {
+  std::ostringstream out;
+  out << to_hex(key) << "\t";
+  if (!value.solution) {
+    out << "0\t-\t-";
+  } else {
+    const solver::Solution& solution = *value.solution;
+    out << "1\t";
+    const auto boundaries = solution.mapping.partition().boundaries();
+    for (std::size_t j = 0; j < boundaries.size(); ++j) {
+      out << (j ? "," : "") << boundaries[j];
+    }
+    out << "\t";
+    for (std::size_t j = 0; j < solution.mapping.interval_count(); ++j) {
+      if (j) out << ";";
+      const auto procs = solution.mapping.processors(j);
+      for (std::size_t r = 0; r < procs.size(); ++r) {
+        out << (r ? "," : "") << procs[r];
+      }
+    }
+    const MappingMetrics& metrics = solution.metrics;
+    out << "\t" << canonical_number(metrics.reliability.log()) << "\t"
+        << canonical_number(metrics.failure) << "\t"
+        << canonical_number(metrics.expected_latency) << "\t"
+        << canonical_number(metrics.worst_latency) << "\t"
+        << canonical_number(metrics.expected_period) << "\t"
+        << canonical_number(metrics.worst_period) << "\t"
+        << metrics.interval_count << "\t" << metrics.processors_used << "\t"
+        << canonical_number(metrics.replication_level);
+  }
+  out << "\t" << canonical_number(value.cost_seconds);
+  return out.str();
+}
+
+bool parse_cache_entry(std::string_view line, CanonicalHash& key,
+                       CachedSolution& value, std::string& error) {
+  const auto bad = [&](const std::string& what) {
+    error = what;
+    return false;
+  };
+
+  const std::vector<std::string> fields = split(std::string(line), '\t');
+  // Infeasible entries carry 4 fields (legacy, no cost) or 5; feasible
+  // ones 13 (legacy) or 14.
+  if (fields.size() < 4) return bad("expected >= 4 tab-separated fields");
+  const auto parsed_key = hash_from_hex(fields[0]);
+  if (!parsed_key) return bad("malformed hash '" + fields[0] + "'");
+
+  if (fields[1] == "0") {
+    if (fields.size() > 5) return bad("infeasible entries need 4/5 fields");
+    CachedSolution parsed;
+    if (fields.size() == 5 &&
+        !parse_canonical_number(fields[4], parsed.cost_seconds)) {
+      return bad("malformed cost field");
+    }
+    key = *parsed_key;
+    value = std::move(parsed);
+    return true;
+  }
+  if (fields[1] != "1" || (fields.size() != 13 && fields.size() != 14)) {
+    return bad("feasible entries need 13/14 fields");
+  }
+
+  std::vector<std::size_t> boundaries;
+  for (const std::string& part : split(fields[2], ',')) {
+    std::size_t parsed = 0;
+    if (!parse_size(part, parsed)) return bad("malformed boundary list");
+    boundaries.push_back(parsed);
+  }
+  std::vector<std::vector<std::size_t>> procs;
+  for (const std::string& group : split(fields[3], ';')) {
+    std::vector<std::size_t> replicas;
+    for (const std::string& part : split(group, ',')) {
+      std::size_t parsed = 0;
+      if (!parse_size(part, parsed)) return bad("malformed processor list");
+      replicas.push_back(parsed);
+    }
+    procs.push_back(std::move(replicas));
+  }
+  if (boundaries.empty() || procs.size() != boundaries.size()) {
+    return bad("boundary/processor list size mismatch");
+  }
+
+  double log_r = 0.0;
+  MappingMetrics metrics;
+  double cost_seconds = 0.0;
+  if (!parse_canonical_number(fields[4], log_r) ||
+      !parse_canonical_number(fields[5], metrics.failure) ||
+      !parse_canonical_number(fields[6], metrics.expected_latency) ||
+      !parse_canonical_number(fields[7], metrics.worst_latency) ||
+      !parse_canonical_number(fields[8], metrics.expected_period) ||
+      !parse_canonical_number(fields[9], metrics.worst_period) ||
+      !parse_size(fields[10], metrics.interval_count) ||
+      !parse_size(fields[11], metrics.processors_used) ||
+      !parse_canonical_number(fields[12], metrics.replication_level) ||
+      (fields.size() == 14 &&
+       !parse_canonical_number(fields[13], cost_seconds))) {
+    return bad("malformed metric fields");
+  }
+  metrics.reliability = LogReliability::from_log(log_r);
+
+  try {
+    Mapping mapping(
+        IntervalPartition::from_boundaries(boundaries, boundaries.back() + 1),
+        std::move(procs));
+    key = *parsed_key;
+    value = CachedSolution{solver::Solution{std::move(mapping), metrics},
+                           cost_seconds};
+  } catch (const std::exception& why) {
+    return bad(std::string("invalid mapping: ") + why.what());
+  }
+  return true;
+}
+
 ShardedSolutionCache::ShardedSolutionCache(Config config)
     : shards_(std::max<std::size_t>(1, config.shards)),
       per_shard_capacity_(
-          std::max<std::size_t>(1, config.capacity_bytes / shards_.size())) {}
+          std::max<std::size_t>(1, config.capacity_bytes / shards_.size())),
+      retention_(config.retention),
+      cost_window_(std::max<std::size_t>(1, config.cost_window)) {}
 
 std::optional<CachedSolution> ShardedSolutionCache::lookup(
     const CanonicalHash& key) {
@@ -72,6 +208,29 @@ std::optional<CachedSolution> ShardedSolutionCache::lookup(
   ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->value;
+}
+
+void ShardedSolutionCache::evict_one(Shard& shard) {
+  auto victim = std::prev(shard.lru.end());
+  if (retention_ == Retention::kCost) {
+    // Scan a bounded tail window for the cheapest solve; ties keep the
+    // least recent. The window never reaches the front entry (the one
+    // just inserted or refreshed).
+    auto candidate = victim;
+    for (std::size_t examined = 1;
+         examined < cost_window_ && candidate != shard.lru.begin();
+         ++examined) {
+      --candidate;
+      if (candidate == shard.lru.begin()) break;
+      if (candidate->value.cost_seconds < victim->value.cost_seconds) {
+        victim = candidate;
+      }
+    }
+  }
+  shard.bytes -= victim->bytes;
+  shard.index.erase(victim->key);
+  shard.lru.erase(victim);
+  ++shard.evictions;
 }
 
 void ShardedSolutionCache::insert(const CanonicalHash& key,
@@ -93,11 +252,7 @@ void ShardedSolutionCache::insert(const CanonicalHash& key,
     ++shard.insertions;
   }
   while (shard.bytes > per_shard_capacity_ && shard.lru.size() > 1) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.bytes;
-    shard.index.erase(victim.key);
-    shard.lru.pop_back();
-    ++shard.evictions;
+    evict_one(shard);
   }
 }
 
@@ -131,38 +286,7 @@ void ShardedSolutionCache::save_tsv(std::ostream& out) const {
   for (const Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     for (const Entry& entry : shard.lru) {
-      out << to_hex(entry.key) << "\t";
-      if (!entry.value.solution) {
-        out << "0\t-\t-";
-      } else {
-        const solver::Solution& solution = *entry.value.solution;
-        out << "1\t";
-        const auto boundaries = solution.mapping.partition().boundaries();
-        for (std::size_t j = 0; j < boundaries.size(); ++j) {
-          out << (j ? "," : "") << boundaries[j];
-        }
-        out << "\t";
-        for (std::size_t j = 0; j < solution.mapping.interval_count(); ++j) {
-          if (j) out << ";";
-          const auto procs = solution.mapping.processors(j);
-          for (std::size_t r = 0; r < procs.size(); ++r) {
-            out << (r ? "," : "") << procs[r];
-          }
-        }
-      }
-      const MappingMetrics* metrics =
-          entry.value.solution ? &entry.value.solution->metrics : nullptr;
-      if (metrics) {
-        out << "\t" << canonical_number(metrics->reliability.log()) << "\t"
-            << canonical_number(metrics->failure) << "\t"
-            << canonical_number(metrics->expected_latency) << "\t"
-            << canonical_number(metrics->worst_latency) << "\t"
-            << canonical_number(metrics->expected_period) << "\t"
-            << canonical_number(metrics->worst_period) << "\t"
-            << metrics->interval_count << "\t" << metrics->processors_used
-            << "\t" << canonical_number(metrics->replication_level);
-      }
-      out << "\n";
+      out << encode_cache_entry(entry.key, entry.value) << "\n";
     }
   }
 }
@@ -175,72 +299,124 @@ ShardedSolutionCache::LoadResult ShardedSolutionCache::load_tsv(
   while (std::getline(in, line)) {
     ++lineno;
     if (line.empty() || line[0] == '#') continue;
-    const auto bad = [&](const std::string& what) {
-      result.error = "line " + std::to_string(lineno) + ": " + what;
+    CanonicalHash key;
+    CachedSolution value;
+    std::string why;
+    if (!parse_cache_entry(line, key, value, why)) {
+      result.error = "line " + std::to_string(lineno) + ": " + why;
       return result;
-    };
-
-    const std::vector<std::string> fields = split(line, '\t');
-    if (fields.size() != 4 && fields.size() != 13) {
-      return bad("expected 4 or 13 tab-separated fields");
     }
-    const auto key = hash_from_hex(fields[0]);
-    if (!key) return bad("malformed hash '" + fields[0] + "'");
+    insert(key, std::move(value));
+    ++result.loaded;
+  }
+  return result;
+}
 
-    if (fields[1] == "0") {
-      insert(*key, CachedSolution{});
-      ++result.loaded;
+void ShardedSolutionCache::save_binary(std::ostream& out) const {
+  // Snapshot entries first (per-shard locks are not held across the
+  // whole write) and encode each blob once.
+  std::vector<std::pair<CanonicalHash, std::string>> blobs;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.lru) {
+      std::string blob = encode_cache_entry(entry.key, entry.value);
+      // The loader rejects blobs over kBinaryMaxBlobBytes as corrupt;
+      // never write one (a pathological entry is dropped from the
+      // snapshot, not allowed to brick it).
+      if (blob.size() > kBinaryMaxBlobBytes) continue;
+      blobs.emplace_back(entry.key, std::move(blob));
+    }
+  }
+
+  std::string header;
+  header.append(kBinaryMagic, sizeof(kBinaryMagic));
+  header.push_back(static_cast<char>(kBinaryVersion));
+  header.push_back(0);  // reserved
+  put_u64_le(header, blobs.size());
+
+  std::uint64_t offset =
+      kBinaryHeaderBytes + blobs.size() * kBinaryIndexEntryBytes;
+  for (const auto& [key, blob] : blobs) {
+    put_u64_le(header, key.hi);
+    put_u64_le(header, key.lo);
+    put_u64_le(header, offset);
+    put_u32_le(header, static_cast<std::uint32_t>(blob.size()));
+    offset += blob.size();
+  }
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const auto& [key, blob] : blobs) {
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  }
+}
+
+ShardedSolutionCache::LoadResult ShardedSolutionCache::load_binary(
+    std::istream& in,
+    const std::function<bool(const CanonicalHash&)>& filter) {
+  LoadResult result;
+  const auto bad = [&](const std::string& what) {
+    result.error = what;
+    return result;
+  };
+
+  char header[kBinaryHeaderBytes];
+  if (!in.read(header, sizeof(header))) return bad("truncated header");
+  if (std::memcmp(header, kBinaryMagic, sizeof(kBinaryMagic)) != 0) {
+    return bad("bad magic (not a PRTS1 snapshot)");
+  }
+  if (static_cast<std::uint8_t>(header[sizeof(kBinaryMagic)]) !=
+      kBinaryVersion) {
+    return bad("unsupported snapshot version");
+  }
+  const std::uint64_t count = get_u64_le(
+      reinterpret_cast<const unsigned char*>(header) + sizeof(kBinaryMagic) +
+      2);
+
+  struct IndexEntry {
+    CanonicalHash key;
+    std::uint64_t offset;
+    std::uint32_t length;
+  };
+  std::vector<IndexEntry> wanted;
+  char raw[kBinaryIndexEntryBytes];
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!in.read(raw, sizeof(raw))) return bad("truncated index");
+    const auto* bytes = reinterpret_cast<const unsigned char*>(raw);
+    IndexEntry entry;
+    entry.key.hi = get_u64_le(bytes);
+    entry.key.lo = get_u64_le(bytes + 8);
+    entry.offset = get_u64_le(bytes + 16);
+    entry.length = get_u32_le(bytes + 24);
+    if (entry.length > kBinaryMaxBlobBytes) {
+      return bad("oversized entry in index");
+    }
+    if (filter && !filter(entry.key)) {
+      ++result.skipped;
       continue;
     }
-    if (fields[1] != "1" || fields.size() != 13) {
-      return bad("feasible entries need 13 fields");
-    }
+    wanted.push_back(entry);
+  }
 
-    std::vector<std::size_t> boundaries;
-    for (const std::string& part : split(fields[2], ',')) {
-      std::size_t value = 0;
-      if (!parse_size(part, value)) return bad("malformed boundary list");
-      boundaries.push_back(value);
+  std::string blob;
+  for (const IndexEntry& entry : wanted) {
+    in.clear();
+    if (!in.seekg(static_cast<std::streamoff>(entry.offset))) {
+      return bad("seek failed (stream not seekable?)");
     }
-    std::vector<std::vector<std::size_t>> procs;
-    for (const std::string& group : split(fields[3], ';')) {
-      std::vector<std::size_t> replicas;
-      for (const std::string& part : split(group, ',')) {
-        std::size_t value = 0;
-        if (!parse_size(part, value)) return bad("malformed processor list");
-        replicas.push_back(value);
-      }
-      procs.push_back(std::move(replicas));
+    blob.resize(entry.length);
+    if (!in.read(blob.data(), static_cast<std::streamsize>(entry.length))) {
+      return bad("truncated entry blob");
     }
-    if (boundaries.empty() || procs.size() != boundaries.size()) {
-      return bad("boundary/processor list size mismatch");
+    CanonicalHash key;
+    CachedSolution value;
+    std::string why;
+    if (!parse_cache_entry(blob, key, value, why)) {
+      result.error = "entry " + to_hex(entry.key) + ": " + why;
+      return result;
     }
-
-    double log_r = 0.0;
-    MappingMetrics metrics;
-    if (!parse_number(fields[4], log_r) ||
-        !parse_number(fields[5], metrics.failure) ||
-        !parse_number(fields[6], metrics.expected_latency) ||
-        !parse_number(fields[7], metrics.worst_latency) ||
-        !parse_number(fields[8], metrics.expected_period) ||
-        !parse_number(fields[9], metrics.worst_period) ||
-        !parse_size(fields[10], metrics.interval_count) ||
-        !parse_size(fields[11], metrics.processors_used) ||
-        !parse_number(fields[12], metrics.replication_level)) {
-      return bad("malformed metric fields");
+    if (key != entry.key) {
+      return bad("index/blob key mismatch for " + to_hex(entry.key));
     }
-    metrics.reliability = LogReliability::from_log(log_r);
-
-    try {
-      Mapping mapping(
-          IntervalPartition::from_boundaries(boundaries,
-                                             boundaries.back() + 1),
-          std::move(procs));
-      insert(*key,
-             CachedSolution{solver::Solution{std::move(mapping), metrics}});
-    } catch (const std::exception& error) {
-      return bad(std::string("invalid mapping: ") + error.what());
-    }
+    insert(key, std::move(value));
     ++result.loaded;
   }
   return result;

@@ -5,7 +5,10 @@
 // mutex, map and LRU list, so concurrent lookups from the request
 // engine's workers contend only when they land in one shard. Capacity
 // is byte-bounded (estimated entry footprint), split evenly across
-// shards; eviction is per-shard LRU.
+// shards; eviction is per-shard LRU, or cost-aware (Retention::kCost):
+// among the least-recently-used tail the entry with the cheapest
+// recorded solve time goes first, so expensive exact solves outlive
+// cheap heuristic answers under pressure.
 //
 // Entries store solutions in *canonical* processor space (see
 // service/canonical.hpp) — the engine translates to request labels on
@@ -13,19 +16,27 @@
 // this solver") are cached too, so repeated infeasible probes of a
 // design-space exploration stay cheap.
 //
-// Persistence: save_tsv/load_tsv write and read a warm-start file, one
-// entry per line, every double in canonical_number shortest round-trip
-// form, so a reloaded cache replays bit-identical solutions.
+// Persistence, two formats sharing one entry line codec:
+//   - save_tsv/load_tsv: one entry per line, every double in
+//     canonical_number shortest round-trip form, so a reloaded cache
+//     replays bit-identical solutions;
+//   - save_binary/load_binary: the compact "PRTS1" snapshot — an index
+//     header mapping hash -> (offset, length) followed by the entry
+//     lines as blobs, so a fabric node can selectively load just the
+//     keys of its own shard (seek per index entry, O(1) per key,
+//     nothing else is read or parsed).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -35,9 +46,12 @@
 namespace prts::service {
 
 /// A cached answer: the canonical-space solution, or nullopt for a
-/// cached "no feasible mapping under these bounds".
+/// cached "no feasible mapping under these bounds", plus the wall-clock
+/// cost of the solve that produced it (the cost-aware retention
+/// weight; 0 when unknown, e.g. legacy warm-start files).
 struct CachedSolution {
   std::optional<solver::Solution> solution;
+  double cost_seconds = 0.0;
 };
 
 /// Aggregated counters (summed over shards; a snapshot, not a fence).
@@ -62,11 +76,34 @@ struct CacheStats {
 /// vectors); the unit the byte bound is accounted in.
 std::size_t cached_solution_bytes(const CachedSolution& value) noexcept;
 
+/// One entry as a TSV line (no trailing newline):
+///   <hash-hex> <feasible> <boundaries,> <procs;,> [<9 metric fields>]
+///   <cost>
+/// The codec shared by the TSV file, the PRTS1 blobs, and the wire
+/// replies of service/wire.hpp.
+std::string encode_cache_entry(const CanonicalHash& key,
+                               const CachedSolution& value);
+
+/// Parses encode_cache_entry output (legacy lines without the cost
+/// field load with cost 0). False with a reason on malformed input.
+bool parse_cache_entry(std::string_view line, CanonicalHash& key,
+                       CachedSolution& value, std::string& error);
+
 class ShardedSolutionCache {
  public:
+  /// Eviction order within a shard once the byte budget is exceeded.
+  enum class Retention {
+    kLru,   ///< strict least-recently-used
+    kCost,  ///< cheapest solve among the LRU tail window goes first
+  };
+
   struct Config {
     std::size_t shards = 16;                        ///< clamped to >= 1
     std::size_t capacity_bytes = 64 * 1024 * 1024;  ///< across all shards
+    Retention retention = Retention::kLru;
+    /// kCost examines this many tail entries per eviction (bounded so
+    /// eviction stays O(1)-ish rather than a full shard scan).
+    std::size_t cost_window = 8;
   };
 
   ShardedSolutionCache() : ShardedSolutionCache(Config()) {}
@@ -75,10 +112,9 @@ class ShardedSolutionCache {
   /// The entry under `key` (refreshing its LRU position), or nullopt.
   std::optional<CachedSolution> lookup(const CanonicalHash& key);
 
-  /// Inserts or refreshes `key`; evicts least-recently-used entries of
-  /// the shard while it is over its byte budget (never the entry just
-  /// inserted — a single oversized entry is kept and evicted by the
-  /// next insertion).
+  /// Inserts or refreshes `key`; evicts entries of the shard while it
+  /// is over its byte budget (never the entry just inserted — a single
+  /// oversized entry is kept and evicted by the next insertion).
   void insert(const CanonicalHash& key, CachedSolution value);
 
   /// Drops every entry (counters are kept).
@@ -86,19 +122,33 @@ class ShardedSolutionCache {
 
   CacheStats stats() const;
 
-  /// Writes every entry as one TSV line:
-  ///   <hash-hex> <feasible> <boundaries,> <procs;,> <9 metric fields>
-  /// Shard iteration order; not sorted (the reload order is irrelevant).
+  /// Writes every entry as one encode_cache_entry line. Shard iteration
+  /// order; not sorted (the reload order is irrelevant).
   void save_tsv(std::ostream& out) const;
 
   struct LoadResult {
-    std::size_t loaded = 0;  ///< entries inserted
-    std::string error;       ///< first malformed line, empty when clean
+    std::size_t loaded = 0;   ///< entries inserted
+    std::size_t skipped = 0;  ///< entries rejected by the filter
+    std::string error;        ///< first malformed input, empty when clean
   };
 
   /// Inserts every well-formed line of a save_tsv stream; stops at the
   /// first malformed line and reports it (entries before it are kept).
   LoadResult load_tsv(std::istream& in);
+
+  /// Writes the compact binary snapshot:
+  ///   "PRTS1\n" u8 version u8 reserved u64le count
+  ///   count * { u64le hi, u64le lo, u64le offset, u32le length }
+  ///   blobs (encode_cache_entry lines, no newline)
+  void save_binary(std::ostream& out) const;
+
+  /// Loads a save_binary snapshot. When `filter` is set only keys it
+  /// accepts are read — the index is scanned, everything else is
+  /// skipped without touching its bytes (selective shard load). The
+  /// stream must be seekable.
+  LoadResult load_binary(
+      std::istream& in,
+      const std::function<bool(const CanonicalHash&)>& filter = {});
 
   /// Writes the stats snapshot as one JSON object.
   static void write_stats_json(std::ostream& out, const CacheStats& stats);
@@ -134,8 +184,14 @@ class ShardedSolutionCache {
     return shards_[key.hi % shards_.size()];
   }
 
+  /// Drops one entry chosen by the retention policy (shard lock held;
+  /// the shard has >= 2 entries).
+  void evict_one(Shard& shard);
+
   std::vector<Shard> shards_;  // sized once in the ctor, never resized
   std::size_t per_shard_capacity_;
+  Retention retention_;
+  std::size_t cost_window_;
 };
 
 }  // namespace prts::service

@@ -1,6 +1,7 @@
 #include "service/engine.hpp"
 
 #include <cmath>
+#include <ostream>
 #include <utility>
 
 namespace prts::service {
@@ -44,6 +45,19 @@ const char* reply_status_name(ReplyStatus status) noexcept {
   return "error";
 }
 
+void write_engine_stats_json(std::ostream& out, const EngineStats& stats) {
+  out << "{\"submitted\":" << stats.submitted
+      << ",\"completed\":" << stats.completed
+      << ",\"cache_hits\":" << stats.cache_hits
+      << ",\"deduplicated\":" << stats.deduplicated
+      << ",\"batches\":" << stats.batches
+      << ",\"batched_requests\":" << stats.batched_requests
+      << ",\"downgraded\":" << stats.downgraded
+      << ",\"rejected_queue\":" << stats.rejected_queue
+      << ",\"rejected_deadline\":" << stats.rejected_deadline
+      << ",\"errors\":" << stats.errors << "}";
+}
+
 SolveService::SolveService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache),
@@ -56,7 +70,12 @@ std::future<SolveReply> SolveService::submit(SolveRequest request) {
       canonicalize(request.instance));
   const CanonicalHash key =
       request_key(*canonical, request.solver, request.bounds);
+  return submit_canonicalized(std::move(request), std::move(canonical), key);
+}
 
+std::future<SolveReply> SolveService::submit_canonicalized(
+    SolveRequest request, std::shared_ptr<const CanonicalInstance> canonical,
+    const CanonicalHash& key) {
   if (config_.cache_enabled) {
     if (auto cached = cache_.lookup(key)) {
       SolveReply reply;
@@ -177,10 +196,16 @@ void SolveService::run_batch(std::shared_ptr<Batch> batch) {
         outcome.error = "unknown solver '" + batch->solver_name + "'";
       } else if (any_live) {
         if (!session) session = engine->prepare(batch->canonical->instance);
+        const auto solve_start = Clock::now();
         outcome.canonical_solution = session->solve(query->bounds);
+        // Recorded per entry so Retention::kCost can keep expensive
+        // exact solves alive longer than cheap heuristic answers.
+        const double cost_seconds =
+            std::chrono::duration<double>(Clock::now() - solve_start)
+                .count();
         if (config_.cache_enabled) {
-          cache_.insert(query->key,
-                        CachedSolution{outcome.canonical_solution});
+          cache_.insert(query->key, CachedSolution{outcome.canonical_solution,
+                                                   cost_seconds});
         }
         outcome.kind = QueryOutcome::Kind::kAnswered;
         outcome.solver_used = batch->solver_name;

@@ -74,6 +74,12 @@ enum class ReplyStatus {
 /// "solved", "infeasible", ... (the line protocol's status column).
 const char* reply_status_name(ReplyStatus status) noexcept;
 
+struct EngineStats;
+
+/// Writes an EngineStats snapshot as one JSON object (the line
+/// protocol's '# engine' payload and the fabric's stats frames).
+void write_engine_stats_json(std::ostream& out, const EngineStats& stats);
+
 struct SolveReply {
   ReplyStatus status = ReplyStatus::kError;
   std::optional<solver::Solution> solution;  ///< request's own labels
@@ -130,6 +136,15 @@ class SolveService {
   /// or rejection, and resolves from a worker thread otherwise. Never
   /// throws on solver-level failures — they arrive as reply statuses.
   std::future<SolveReply> submit(SolveRequest request);
+
+  /// submit() for callers that already canonicalized the request (the
+  /// shard router does, to pick the owner shard) — skips the second
+  /// canonicalization on the hot path. `canonical` MUST be
+  /// canonicalize(request.instance) and `key` its request_key.
+  std::future<SolveReply> submit_canonicalized(
+      SolveRequest request,
+      std::shared_ptr<const CanonicalInstance> canonical,
+      const CanonicalHash& key);
 
   /// Blocks until every accepted request has been answered.
   void wait_idle();

@@ -1,0 +1,104 @@
+#include "service/fusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <future>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace prts::service {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Extracts the campaign datum from a reply: failure of the solution,
+/// NaN for "no feasible mapping". Everything else is a hard error —
+/// the campaign's numbers must never silently depend on backlog luck.
+double failure_of(const SolveReply& reply) {
+  switch (reply.status) {
+    case ReplyStatus::kSolved:
+      return reply.solution->metrics.failure;
+    case ReplyStatus::kInfeasible:
+      return kNan;
+    case ReplyStatus::kError:
+      throw std::runtime_error("campaign via service: " + reply.error);
+    default:
+      throw std::runtime_error(
+          "campaign via service: request rejected (queue depth too small "
+          "for the campaign?)");
+  }
+}
+
+}  // namespace
+
+scenario::CampaignResult run_campaign_via_service(
+    const scenario::CampaignSpec& spec, SolveService& service) {
+  const solver::SolverRegistry& registry =
+      service.config().registry ? *service.config().registry
+                                : solver::SolverRegistry::builtin();
+  if (spec.solvers.empty()) {
+    throw std::invalid_argument("run_campaign_via_service: empty solver list");
+  }
+  for (const std::string& name : spec.solvers) {
+    if (!registry.find(name)) {
+      throw std::invalid_argument(
+          "run_campaign_via_service: unknown solver '" + name + "'");
+    }
+  }
+
+  const std::vector<exp::SweepPoint> points =
+      scenario::sweep_points(spec.sweep);
+  const std::vector<double> x = scenario::sweep_x(spec.sweep);
+  const std::size_t n_solvers = spec.solvers.size();
+  const std::size_t n_points = points.size();
+  const std::size_t jobs = spec.instances * spec.repetitions;
+  const std::size_t per_job = n_solvers * n_points;
+
+  // A sliding window bounded by the service's admission control: at
+  // most queue_budget requests are outstanding at any moment — counted
+  // per *request*, so even one job larger than the queue depth never
+  // gets rejected outright. Submission order and the FIFO drain order
+  // are pure functions of the spec, so determinism is unaffected by
+  // completion order.
+  const std::size_t queue_budget =
+      std::max<std::size_t>(1, service.config().max_queue_depth / 2);
+
+  std::vector<std::vector<double>> failures(jobs);
+  for (std::vector<double>& outcome : failures) {
+    outcome.assign(per_job, kNan);
+  }
+
+  struct Pending {
+    std::size_t job;
+    std::size_t slot;
+    std::future<SolveReply> reply;
+  };
+  std::deque<Pending> window;
+  const auto drain_one = [&] {
+    Pending oldest = std::move(window.front());
+    window.pop_front();
+    failures[oldest.job][oldest.slot] = failure_of(oldest.reply.get());
+  };
+
+  for (std::size_t job = 0; job < jobs; ++job) {
+    const Instance instance = scenario::materialize_instance(spec, job);
+    for (std::size_t s = 0; s < n_solvers; ++s) {
+      for (std::size_t pt = 0; pt < n_points; ++pt) {
+        if (window.size() >= queue_budget) drain_one();
+        SolveRequest request{instance, spec.solvers[s], {}};
+        request.bounds.period_bound = points[pt].period_bound;
+        request.bounds.latency_bound = points[pt].latency_bound;
+        window.push_back(Pending{job, s * n_points + pt,
+                                 service.submit(std::move(request))});
+      }
+    }
+  }
+  while (!window.empty()) drain_one();
+
+  return scenario::reduce_job_failures(spec, x, failures, n_solvers,
+                                       n_points);
+}
+
+}  // namespace prts::service

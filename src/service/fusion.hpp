@@ -1,0 +1,33 @@
+// Campaign x service fusion: drives a scenario campaign's (instance x
+// solver x sweep point) jobs through SolveService::submit instead of
+// bare solver sessions, so sweep campaigns share the cross-run
+// solution cache and in-flight dedup with interactive traffic — a
+// sweep re-run after a warm start (or against a long-lived service)
+// skips every solve it has already seen.
+//
+// Determinism contract (same as scenario::run_campaign): requests are
+// submitted and drained in fixed job order and reduced sequentially
+// with scenario::reduce_job_failures, so output is byte-identical for
+// any thread count, any completion order, and any cache state.
+// Caveat: the service solves *canonical* instances (processors sorted
+// by (speed, failure rate)); on heterogeneous platforms a solver may
+// legitimately pick a different tie-breaking mapping for the reordered
+// platform than for the original, so fused results are deterministic
+// and bound-equivalent but not guaranteed bit-equal to the unfused
+// engine's — on homogeneous platforms (canonicalization is the
+// identity) they are bit-equal.
+#pragma once
+
+#include "scenario/campaign.hpp"
+#include "service/engine.hpp"
+
+namespace prts::service {
+
+/// Runs the campaign through `service`. Throws std::invalid_argument
+/// on an empty or unknown solver list (mirroring run_campaign) and
+/// std::runtime_error when the service rejects or errors a request
+/// (backlog exhausted after retries, solver exception).
+scenario::CampaignResult run_campaign_via_service(
+    const scenario::CampaignSpec& spec, SolveService& service);
+
+}  // namespace prts::service

@@ -1,5 +1,7 @@
 #include "service/protocol.hpp"
 
+#include "service/router.hpp"
+
 #include <charconv>
 #include <fstream>
 #include <istream>
@@ -68,6 +70,9 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
   const auto flush = [&] {
     for (auto& [id, future] : pending) print_reply(out, id, future.get());
     pending.clear();
+    // A long-lived serve process may sit idle after a sync; replies
+    // must reach the pipe/file now, not at exit.
+    out.flush();
   };
   const auto error = [&](const std::string& what) {
     out << "# error: " << what << "\n";
@@ -170,23 +175,24 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
         error("solve: bad option '" + option + "'");
         continue;
       }
-      pending.emplace_back(next_id++, service.submit(std::move(request)));
+      pending.emplace_back(next_id++,
+                           options.router
+                               ? options.router->submit(std::move(request))
+                               : service.submit(std::move(request)));
       ++result.requests;
     } else if (command == "stats") {
-      const EngineStats engine = service.stats();
-      out << "# engine {\"submitted\":" << engine.submitted
-          << ",\"completed\":" << engine.completed
-          << ",\"cache_hits\":" << engine.cache_hits
-          << ",\"deduplicated\":" << engine.deduplicated
-          << ",\"batches\":" << engine.batches
-          << ",\"batched_requests\":" << engine.batched_requests
-          << ",\"downgraded\":" << engine.downgraded
-          << ",\"rejected_queue\":" << engine.rejected_queue
-          << ",\"rejected_deadline\":" << engine.rejected_deadline
-          << ",\"errors\":" << engine.errors << "}\n";
+      out << "# engine ";
+      write_engine_stats_json(out, service.stats());
+      out << "\n";
       out << "# cache ";
       ShardedSolutionCache::write_stats_json(out, service.cache_stats());
       out << "\n";
+      if (options.router) {
+        out << "# router ";
+        ShardRouter::write_stats_json(out, options.router->stats());
+        out << "\n";
+      }
+      out.flush();
     } else if (command == "sync") {
       flush();
     } else {

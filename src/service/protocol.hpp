@@ -29,10 +29,17 @@
 
 namespace prts::service {
 
+class ShardRouter;
+
 struct ServeOptions {
   /// Deadline applied to requests that do not carry deadline=...
   double default_deadline_seconds = std::numeric_limits<double>::infinity();
   DeadlinePolicy default_policy = DeadlinePolicy::kDowngrade;
+
+  /// When set, solve requests are routed through the distributed
+  /// fabric (local shard -> `service`, remote shards -> peers) and
+  /// 'stats' additionally emits a '# router ...' JSON line.
+  ShardRouter* router = nullptr;
 };
 
 struct ServeResult {

@@ -1,0 +1,272 @@
+#include "service/router.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "net/frame.hpp"
+#include "service/wire.hpp"
+
+namespace prts::service {
+
+net::FrameHandler make_fabric_handler(SolveService& service) {
+  return [&service](const net::Frame& request) -> std::optional<net::Frame> {
+    net::Frame reply;
+    switch (request.type) {
+      case net::FrameType::kPing:
+        reply.type = net::FrameType::kPong;
+        reply.payload = request.payload;
+        return reply;
+      case net::FrameType::kStatsRequest: {
+        std::ostringstream out;
+        out << "{\"engine\":";
+        write_engine_stats_json(out, service.stats());
+        out << ",\"cache\":";
+        ShardedSolutionCache::write_stats_json(out, service.cache_stats());
+        out << "}";
+        reply.type = net::FrameType::kStatsReply;
+        reply.payload = out.str();
+        return reply;
+      }
+      case net::FrameType::kSolveRequest: {
+        std::string error;
+        auto decoded = decode_wire_request(request.payload, error);
+        if (!decoded) {
+          reply.type = net::FrameType::kError;
+          reply.payload = "bad solve request: " + error;
+          return reply;
+        }
+        // Blocking wait: one frame in flight per connection, and the
+        // FrameServer runs this on its own pool.
+        const SolveReply answer =
+            service.submit(std::move(*decoded)).get();
+        reply.type = net::FrameType::kSolveReply;
+        reply.payload = encode_wire_reply(answer);
+        return reply;
+      }
+      default:
+        reply.type = net::FrameType::kError;
+        reply.payload = "unexpected frame type";
+        return reply;
+    }
+  };
+}
+
+std::optional<std::vector<PeerAddress>> parse_peer_list(
+    const std::string& text) {
+  std::vector<PeerAddress> peers;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string entry = text.substr(start, comma - start);
+    const std::size_t colon = entry.rfind(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 >= entry.size()) {
+      return std::nullopt;
+    }
+    PeerAddress peer;
+    peer.host = entry.substr(0, colon);
+    const std::string port_text = entry.substr(colon + 1);
+    unsigned long port = 0;
+    const auto [ptr, ec] = std::from_chars(
+        port_text.data(), port_text.data() + port_text.size(), port);
+    // Full consumption: "76o1" must be rejected, not parsed as 76.
+    if (ec != std::errc{} || ptr != port_text.data() + port_text.size() ||
+        port == 0 || port > 65535) {
+      return std::nullopt;
+    }
+    peer.port = static_cast<std::uint16_t>(port);
+    peers.push_back(std::move(peer));
+    start = comma + 1;
+  }
+  return peers;
+}
+
+ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      forward_pool_(std::max<std::size_t>(1, config_.forward_threads)) {
+  if (config_.world_size == 0) config_.world_size = 1;
+  clients_.resize(config_.world_size);
+  for (std::size_t r = 0; r < config_.world_size; ++r) {
+    if (r == config_.rank || r >= config_.peers.size()) continue;
+    clients_[r] = std::make_unique<net::FrameClient>(
+        config_.peers[r].host, config_.peers[r].port, config_.client);
+  }
+}
+
+ShardRouter::~ShardRouter() = default;  // forward_pool_ drains first
+
+std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
+  if (config_.world_size <= 1) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.local;
+    }
+    return service_.submit(std::move(request));
+  }
+
+  auto canonical = std::make_shared<const CanonicalInstance>(
+      canonicalize(request.instance));
+  const CanonicalHash key =
+      request_key(*canonical, request.solver, request.bounds);
+  const std::size_t owner = shard_of(key);
+
+  if (owner == config_.rank || !clients_[owner]) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.local;
+    }
+    // The canonical form was already computed to pick the shard; the
+    // engine must not pay for it twice.
+    return service_.submit_canonicalized(std::move(request),
+                                         std::move(canonical), key);
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+
+  // Router-level dedup: identical remote-shard requests already being
+  // forwarded get a waiter on the same exchange.
+  if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
+    ++stats_.deduplicated;
+    it->second->waiters.push_back(ForwardWaiter{{}, canonical, true});
+    return it->second->waiters.back().promise.get_future();
+  }
+
+  auto forward = std::make_shared<Forward>();
+  forward->canonical = canonical;
+  forward->bounds = request.bounds;
+  forward->solver = request.solver;
+  forward->deadline_seconds = request.deadline_seconds;
+  forward->deadline_policy = request.deadline_policy;
+  forward->key = key;
+  forward->owner_rank = owner;
+  forward->waiters.push_back(ForwardWaiter{{}, canonical, false});
+  std::future<SolveReply> future =
+      forward->waiters.back().promise.get_future();
+  in_flight_.emplace(key, forward.get());
+  lock.unlock();
+
+  auto task = forward_pool_.submit(
+      [this, forward]() mutable { run_forward(std::move(forward)); });
+  // A shut-down pool never runs the task; answer the waiters here
+  // rather than leaving broken promises behind.
+  if (task.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    try {
+      task.get();
+    } catch (...) {
+      run_forward(std::move(forward));
+    }
+  }
+  return future;
+}
+
+void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
+  net::FrameClient& client = *clients_[forward->owner_rank];
+
+  // The forwarded request carries the *canonical* instance, so the
+  // owner's reply is already in canonical labels — each waiter then
+  // translates into its own processor labels, exactly like the local
+  // engine does for deduplicated twins.
+  SolveRequest remote_request{forward->canonical->instance, forward->solver,
+                              forward->bounds, forward->deadline_seconds,
+                              forward->deadline_policy};
+  net::Frame frame;
+  frame.type = net::FrameType::kSolveRequest;
+  frame.payload = encode_wire_request(remote_request);
+
+  std::optional<SolveReply> remote;
+  if (const auto reply_frame = client.call(frame)) {
+    if (reply_frame->type == net::FrameType::kSolveReply) {
+      std::string error;
+      remote = decode_wire_reply(reply_frame->payload, error);
+    }
+  }
+
+  // A remote answer is only authoritative when the owner actually
+  // answered the question; rejections and errors degrade to a local
+  // solve just like an unreachable peer.
+  const bool answered =
+      remote && (remote->status == ReplyStatus::kSolved ||
+                 remote->status == ReplyStatus::kInfeasible);
+
+  if (answered) {
+    std::vector<ForwardWaiter> waiters;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_.erase(forward->key);
+      waiters = std::move(forward->waiters);
+      ++stats_.forwarded;
+      if (remote->cache_hit) ++stats_.forward_hits;
+    }
+    for (ForwardWaiter& waiter : waiters) {
+      SolveReply reply;
+      reply.status = remote->status;
+      reply.cache_hit = remote->cache_hit;
+      reply.downgraded = remote->downgraded;
+      reply.deduplicated = waiter.deduplicated;
+      reply.solver_used = remote->solver_used;
+      reply.key = forward->key;
+      if (remote->solution) {
+        reply.solution =
+            to_original_labels(*remote->solution, *waiter.canonical);
+      }
+      waiter.promise.set_value(std::move(reply));
+    }
+    return;
+  }
+
+  // Degrade: solve locally (the local engine dedups and caches under
+  // the same key, so a later recovered owner still benefits from the
+  // canonical form).
+  std::vector<ForwardWaiter> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    in_flight_.erase(forward->key);
+    waiters = std::move(forward->waiters);
+    ++stats_.forward_failures;
+    ++stats_.local_fallbacks;
+  }
+  SolveRequest local_request{forward->canonical->instance, forward->solver,
+                             forward->bounds, forward->deadline_seconds,
+                             forward->deadline_policy};
+  const SolveReply local = service_.submit(std::move(local_request)).get();
+  for (ForwardWaiter& waiter : waiters) {
+    SolveReply reply = local;
+    reply.deduplicated = waiter.deduplicated;
+    if (local.solution) {
+      // The degraded request *is* the canonical instance
+      // (canonicalization is idempotent), so `local` already speaks
+      // canonical labels; translate per waiter.
+      reply.solution =
+          to_original_labels(*local.solution, *waiter.canonical);
+    }
+    waiter.promise.set_value(std::move(reply));
+  }
+}
+
+bool ShardRouter::peer_suspect(std::size_t rank) const {
+  return rank < clients_.size() && clients_[rank] &&
+         clients_[rank]->suspect();
+}
+
+RouterStats ShardRouter::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ShardRouter::write_stats_json(std::ostream& out,
+                                   const RouterStats& stats) {
+  out << "{\"local\":" << stats.local
+      << ",\"forwarded\":" << stats.forwarded
+      << ",\"forward_hits\":" << stats.forward_hits
+      << ",\"forward_failures\":" << stats.forward_failures
+      << ",\"local_fallbacks\":" << stats.local_fallbacks
+      << ",\"deduplicated\":" << stats.deduplicated << "}";
+}
+
+}  // namespace prts::service

@@ -1,0 +1,150 @@
+// The shard router (top of the distributed solve fabric): N cooperating
+// `prts_cli serve` processes present one logical cache whose capacity
+// scales with N, by partitioning the canonical-hash keyspace
+//
+//   shard(key) = key.hi mod world_size
+//
+// A submitted request is canonicalized once; keys this rank owns go
+// straight to the local SolveService, keys owned by a peer are
+// forwarded over a FrameClient as the *canonical* instance (so the
+// remote answer comes back in canonical labels and each waiter
+// translates into its own). Identical remote-shard requests submitted
+// while a forward is in flight attach to it — the router-level
+// counterpart of the engine's in-flight dedup, so a thundering herd of
+// isomorphic misses costs one network exchange.
+//
+// Degradation: a peer that cannot be reached (or answers garbage)
+// makes the request fall back to the local engine — correctness never
+// depends on the fabric, only capacity does. The FrameClient marks the
+// peer suspect and fails fast during its backoff window, so a dead
+// peer costs one connect timeout, not one per request.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "net/frame_client.hpp"
+#include "net/frame_server.hpp"
+#include "service/engine.hpp"
+
+namespace prts::service {
+
+struct PeerAddress {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// The server-side half of a fabric node: a net::FrameHandler that
+/// answers kSolveRequest frames against the local service (blocking on
+/// the reply — run it on a pool dedicated to the FrameServer), kPing
+/// with kPong, and kStatsRequest with one JSON object carrying the
+/// engine and cache counters. Undecodable payloads get kError frames.
+net::FrameHandler make_fabric_handler(SolveService& service);
+
+/// Parses "host:port,host:port,..." (one entry per rank, in rank
+/// order); nullopt on malformed input.
+std::optional<std::vector<PeerAddress>> parse_peer_list(
+    const std::string& text);
+
+struct RouterConfig {
+  std::size_t world_size = 1;
+  std::size_t rank = 0;
+  /// One address per rank; the entry at `rank` is ignored (self).
+  std::vector<PeerAddress> peers;
+  net::FrameClientConfig client;
+  /// Threads running blocking forward exchanges. Note exchanges to one
+  /// peer additionally serialize on that peer's single connection
+  /// (FrameClient matches replies to requests by ordering), so this
+  /// caps concurrency *across* peers; per-peer pipelining is a
+  /// follow-up (see ROADMAP "Fabric hardening").
+  std::size_t forward_threads = 4;
+};
+
+/// Monotonic router counters (snapshot via ShardRouter::stats).
+struct RouterStats {
+  std::uint64_t local = 0;      ///< keys this rank owns
+  std::uint64_t forwarded = 0;  ///< remote keys answered by their owner
+  std::uint64_t forward_hits = 0;      ///< ... that were remote cache hits
+  std::uint64_t forward_failures = 0;  ///< peer down or bad reply
+  std::uint64_t local_fallbacks = 0;   ///< remote keys solved locally
+  std::uint64_t deduplicated = 0;      ///< attached to an in-flight forward
+};
+
+class ShardRouter {
+ public:
+  /// The service answers local-shard requests and degraded remote ones;
+  /// it must outlive the router.
+  ShardRouter(SolveService& service, RouterConfig config);
+
+  /// Drains every in-flight forward.
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t rank() const noexcept { return config_.rank; }
+  std::size_t world_size() const noexcept { return config_.world_size; }
+
+  std::size_t shard_of(const CanonicalHash& key) const noexcept {
+    return static_cast<std::size_t>(key.hi % config_.world_size);
+  }
+
+  /// Routes one request; the future resolves exactly like
+  /// SolveService::submit's (statuses, never exceptions).
+  std::future<SolveReply> submit(SolveRequest request);
+
+  /// True while the peer owning `rank` is inside its backoff window.
+  bool peer_suspect(std::size_t rank) const;
+
+  RouterStats stats() const;
+  static void write_stats_json(std::ostream& out, const RouterStats& stats);
+
+ private:
+  /// One forward in flight: the canonical request plus every waiter
+  /// attached to it (each with its own label translation).
+  struct ForwardWaiter {
+    std::promise<SolveReply> promise;
+    std::shared_ptr<const CanonicalInstance> canonical;
+    bool deduplicated = false;
+  };
+  struct Forward {
+    std::shared_ptr<const CanonicalInstance> canonical;
+    solver::Bounds bounds;
+    std::string solver;
+    double deadline_seconds;
+    DeadlinePolicy deadline_policy;
+    CanonicalHash key;
+    std::size_t owner_rank;
+    std::vector<ForwardWaiter> waiters;
+  };
+
+  struct KeyHasher {
+    std::size_t operator()(const CanonicalHash& key) const noexcept {
+      return static_cast<std::size_t>(key.lo);
+    }
+  };
+
+  void run_forward(std::shared_ptr<Forward> forward);
+
+  SolveService& service_;
+  RouterConfig config_;
+  std::vector<std::unique_ptr<net::FrameClient>> clients_;  ///< [rank]
+
+  mutable std::mutex mutex_;
+  std::unordered_map<CanonicalHash, Forward*, KeyHasher> in_flight_;
+  RouterStats stats_;
+
+  /// Declared last: destroyed first, so draining forward tasks still
+  /// see live clients, maps and the service.
+  ThreadPool forward_pool_;
+};
+
+}  // namespace prts::service

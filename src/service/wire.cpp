@@ -1,0 +1,200 @@
+#include "service/wire.hpp"
+
+#include <sstream>
+
+#include "service/cache.hpp"
+
+namespace prts::service {
+namespace {
+
+const char* policy_name(DeadlinePolicy policy) noexcept {
+  return policy == DeadlinePolicy::kReject ? "reject" : "downgrade";
+}
+
+/// "status <x>" -> x; false when the line does not start with the key.
+bool take_field(const std::string& line, std::string_view key,
+                std::string& value) {
+  if (line.size() < key.size() + 1 || line.compare(0, key.size(), key) != 0 ||
+      line[key.size()] != ' ') {
+    return false;
+  }
+  value = line.substr(key.size() + 1);
+  return true;
+}
+
+std::optional<ReplyStatus> status_from_name(std::string_view name) {
+  for (const ReplyStatus status :
+       {ReplyStatus::kSolved, ReplyStatus::kInfeasible,
+        ReplyStatus::kRejectedQueue, ReplyStatus::kRejectedDeadline,
+        ReplyStatus::kError}) {
+    if (name == reply_status_name(status)) return status;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string encode_wire_request(const SolveRequest& request) {
+  std::ostringstream out;
+  out << "prts-solve-request v1\n";
+  out << "solver " << request.solver << "\n";
+  out << "period " << canonical_number(request.bounds.period_bound) << "\n";
+  out << "latency " << canonical_number(request.bounds.latency_bound)
+      << "\n";
+  out << "deadline " << canonical_number(request.deadline_seconds) << "\n";
+  out << "policy " << policy_name(request.deadline_policy) << "\n";
+  out << "instance\n";
+  write_instance_canonical(out, request.instance);
+  return out.str();
+}
+
+std::optional<SolveRequest> decode_wire_request(std::string_view payload,
+                                                std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+
+  const auto bad = [&](const std::string& what) {
+    error = what;
+    return std::nullopt;
+  };
+
+  if (!std::getline(in, line) || line != "prts-solve-request v1") {
+    error = "expected header 'prts-solve-request v1'";
+    return std::nullopt;
+  }
+
+  std::string solver;
+  solver::Bounds bounds;
+  double deadline_seconds = 0.0;
+  DeadlinePolicy policy = DeadlinePolicy::kDowngrade;
+
+  std::string value;
+  if (!std::getline(in, line) || !take_field(line, "solver", value) ||
+      value.empty()) {
+    return bad("expected 'solver <name>'");
+  }
+  solver = value;
+  if (!std::getline(in, line) || !take_field(line, "period", value) ||
+      !parse_canonical_number(value, bounds.period_bound)) {
+    return bad("expected 'period <number>'");
+  }
+  if (!std::getline(in, line) || !take_field(line, "latency", value) ||
+      !parse_canonical_number(value, bounds.latency_bound)) {
+    return bad("expected 'latency <number>'");
+  }
+  if (!std::getline(in, line) || !take_field(line, "deadline", value) ||
+      !parse_canonical_number(value, deadline_seconds)) {
+    return bad("expected 'deadline <number>'");
+  }
+  if (!std::getline(in, line) || !take_field(line, "policy", value)) {
+    return bad("expected 'policy reject|downgrade'");
+  }
+  if (value == "reject") {
+    policy = DeadlinePolicy::kReject;
+  } else if (value == "downgrade") {
+    policy = DeadlinePolicy::kDowngrade;
+  } else {
+    return bad("unknown policy '" + value + "'");
+  }
+  if (!std::getline(in, line) || line != "instance") {
+    return bad("expected 'instance'");
+  }
+
+  std::string body;
+  while (std::getline(in, line)) {
+    body += line;
+    body += "\n";
+  }
+  ParseResult parsed = instance_from_text(body);
+  if (!parsed) return bad("instance: " + parsed.error);
+  return SolveRequest{std::move(*parsed.instance), std::move(solver), bounds,
+                      deadline_seconds, policy};
+}
+
+std::string encode_wire_reply(const SolveReply& reply) {
+  std::ostringstream out;
+  out << "prts-solve-reply v1\n";
+  out << "status " << reply_status_name(reply.status) << "\n";
+  out << "hit " << (reply.cache_hit ? 1 : 0) << "\n";
+  out << "down " << (reply.downgraded ? 1 : 0) << "\n";
+  out << "solver " << (reply.solver_used.empty() ? "-" : reply.solver_used)
+      << "\n";
+  if (reply.status == ReplyStatus::kError) {
+    out << "error " << reply.error << "\n";
+  }
+  if (reply.status == ReplyStatus::kSolved ||
+      reply.status == ReplyStatus::kInfeasible) {
+    out << "entry " << encode_cache_entry(reply.key,
+                                          CachedSolution{reply.solution})
+        << "\n";
+  } else {
+    out << "key " << to_hex(reply.key) << "\n";
+  }
+  return out.str();
+}
+
+std::optional<SolveReply> decode_wire_reply(std::string_view payload,
+                                            std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+
+  const auto bad = [&](const std::string& what) {
+    error = what;
+    return std::nullopt;
+  };
+
+  if (!std::getline(in, line) || line != "prts-solve-reply v1") {
+    error = "expected header 'prts-solve-reply v1'";
+    return std::nullopt;
+  }
+
+  SolveReply reply;
+  std::string value;
+  if (!std::getline(in, line) || !take_field(line, "status", value)) {
+    return bad("expected 'status <name>'");
+  }
+  const auto status = status_from_name(value);
+  if (!status) return bad("unknown status '" + value + "'");
+  reply.status = *status;
+
+  if (!std::getline(in, line) || !take_field(line, "hit", value) ||
+      (value != "0" && value != "1")) {
+    return bad("expected 'hit 0|1'");
+  }
+  reply.cache_hit = value == "1";
+  if (!std::getline(in, line) || !take_field(line, "down", value) ||
+      (value != "0" && value != "1")) {
+    return bad("expected 'down 0|1'");
+  }
+  reply.downgraded = value == "1";
+  if (!std::getline(in, line) || !take_field(line, "solver", value)) {
+    return bad("expected 'solver <name>'");
+  }
+  reply.solver_used = value == "-" ? "" : value;
+
+  while (std::getline(in, line)) {
+    if (take_field(line, "error", value)) {
+      reply.error = value;
+    } else if (take_field(line, "entry", value)) {
+      CachedSolution entry;
+      std::string why;
+      if (!parse_cache_entry(value, reply.key, entry, why)) {
+        return bad("entry: " + why);
+      }
+      reply.solution = std::move(entry.solution);
+    } else if (take_field(line, "key", value)) {
+      const auto key = hash_from_hex(value);
+      if (!key) return bad("malformed key '" + value + "'");
+      reply.key = *key;
+    } else if (!line.empty()) {
+      return bad("unexpected line '" + line + "'");
+    }
+  }
+
+  if (reply.status == ReplyStatus::kSolved && !reply.solution) {
+    return bad("status solved but no solution entry");
+  }
+  return reply;
+}
+
+}  // namespace prts::service

@@ -1,0 +1,49 @@
+// Wire serialization of solve requests and replies for the fabric's
+// framed transport (src/net/): line-oriented text payloads reusing the
+// canonical instance form of model/serialize.hpp and the cache entry
+// codec of service/cache.hpp, so every double survives the network
+// bit-exactly and a forwarded solve replays byte-identical metrics.
+//
+// Request payload:
+//   prts-solve-request v1
+//   solver <name>
+//   period <canonical_number|inf>
+//   latency <canonical_number|inf>
+//   deadline <canonical_number|inf>
+//   policy reject|downgrade
+//   instance
+//   <write_instance_canonical text>
+//
+// Reply payload:
+//   prts-solve-reply v1
+//   status <reply_status_name>
+//   hit 0|1
+//   down 0|1
+//   solver <name|->
+//   error <message>            (only when status == error)
+//   entry <encode_cache_entry> (only when a solution/infeasible answer
+//                               is present; carries key + solution)
+//   key <hash-hex>             (only when no entry line is present)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "service/engine.hpp"
+
+namespace prts::service {
+
+std::string encode_wire_request(const SolveRequest& request);
+
+/// nullopt on malformed payloads (wrong header, bad numbers, bad
+/// instance text); `error` names the first offending line.
+std::optional<SolveRequest> decode_wire_request(std::string_view payload,
+                                                std::string& error);
+
+std::string encode_wire_reply(const SolveReply& reply);
+
+std::optional<SolveReply> decode_wire_reply(std::string_view payload,
+                                            std::string& error);
+
+}  // namespace prts::service

@@ -1,16 +1,25 @@
 // The request engine: cache hits replay bit-identical solutions,
 // isomorphic requests share entries, in-flight twins deduplicate,
 // compatible requests batch onto one prepared session, and admission
-// control rejects or downgrades.
+// control rejects or downgrades. Plus the distributed fabric above it:
+// wire codec round trips, shard routing, forward dedup, peer-death
+// degradation, and the campaign x service fusion.
 #include "service/engine.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <future>
+#include <memory>
 #include <sstream>
 
 #include "eval/evaluation.hpp"
+#include "net/frame_server.hpp"
+#include "scenario/emit.hpp"
+#include "service/fusion.hpp"
 #include "service/protocol.hpp"
+#include "service/router.hpp"
+#include "service/wire.hpp"
 #include "solver/adapters.hpp"
 
 namespace prts::service {
@@ -412,6 +421,370 @@ TEST(ServeProtocol, RepliesComeBackInSubmissionOrder) {
   ASSERT_NE(p1, std::string::npos);
   ASSERT_NE(p2, std::string::npos);
   EXPECT_LT(p1, p2);
+}
+
+// ------------------------------------------------------------ wire codec
+
+TEST(WireCodec, RequestRoundTrip) {
+  SolveRequest request{het_instance(), "exact", {}, 7.5,
+                       DeadlinePolicy::kReject};
+  request.bounds.period_bound = 12.25;
+
+  std::string error;
+  const auto decoded =
+      decode_wire_request(encode_wire_request(request), error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->solver, "exact");
+  EXPECT_EQ(decoded->bounds.period_bound, 12.25);
+  EXPECT_TRUE(std::isinf(decoded->bounds.latency_bound));
+  EXPECT_EQ(decoded->deadline_seconds, 7.5);
+  EXPECT_EQ(decoded->deadline_policy, DeadlinePolicy::kReject);
+  // The instance survives bit-exactly (canonical number formatting).
+  EXPECT_EQ(instance_to_text(decoded->instance),
+            instance_to_text(request.instance));
+}
+
+TEST(WireCodec, SolvedReplyRoundTripIsBitIdentical) {
+  SolveService service(small_config());
+  const SolveReply original =
+      service.submit(SolveRequest{hom_instance(), "exact", {}}).get();
+  ASSERT_EQ(original.status, ReplyStatus::kSolved);
+
+  std::string error;
+  const auto decoded =
+      decode_wire_reply(encode_wire_reply(original), error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, ReplyStatus::kSolved);
+  EXPECT_EQ(decoded->solver_used, "exact");
+  EXPECT_EQ(decoded->key, original.key);
+  ASSERT_TRUE(decoded->solution.has_value());
+  EXPECT_EQ(decoded->solution->mapping, original.solution->mapping);
+  EXPECT_EQ(decoded->solution->metrics, original.solution->metrics);
+}
+
+TEST(WireCodec, InfeasibleAndErrorRepliesRoundTrip) {
+  SolveReply infeasible;
+  infeasible.status = ReplyStatus::kInfeasible;
+  infeasible.solver_used = "dp";
+  infeasible.cache_hit = true;
+  infeasible.key = fingerprint("some-key");
+  std::string error;
+  auto decoded = decode_wire_reply(encode_wire_reply(infeasible), error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, ReplyStatus::kInfeasible);
+  EXPECT_TRUE(decoded->cache_hit);
+  EXPECT_EQ(decoded->key, infeasible.key);
+  EXPECT_FALSE(decoded->solution.has_value());
+
+  SolveReply failure;
+  failure.status = ReplyStatus::kError;
+  failure.error = "unknown solver 'nope'";
+  failure.key = fingerprint("err-key");
+  decoded = decode_wire_reply(encode_wire_reply(failure), error);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(decoded->status, ReplyStatus::kError);
+  EXPECT_EQ(decoded->error, "unknown solver 'nope'");
+  EXPECT_EQ(decoded->key, failure.key);
+}
+
+TEST(WireCodec, GarbageIsRejectedWithReason) {
+  std::string error;
+  EXPECT_FALSE(decode_wire_request("not a request", error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(decode_wire_reply("junk\n", error).has_value());
+  EXPECT_FALSE(
+      decode_wire_request("prts-solve-request v1\nsolver\n", error)
+          .has_value());
+}
+
+TEST(WireCodec, PeerListParses) {
+  const auto peers =
+      parse_peer_list("127.0.0.1:7000,node-b:7001,10.0.0.3:7002");
+  ASSERT_TRUE(peers.has_value());
+  ASSERT_EQ(peers->size(), 3u);
+  EXPECT_EQ((*peers)[0].host, "127.0.0.1");
+  EXPECT_EQ((*peers)[0].port, 7000);
+  EXPECT_EQ((*peers)[1].host, "node-b");
+  EXPECT_EQ((*peers)[2].port, 7002);
+
+  EXPECT_FALSE(parse_peer_list("").has_value());
+  EXPECT_FALSE(parse_peer_list("no-port,127.0.0.1:1").has_value());
+  EXPECT_FALSE(parse_peer_list("host:0").has_value());
+  EXPECT_FALSE(parse_peer_list("host:99999").has_value());
+  EXPECT_FALSE(parse_peer_list("host:76o1").has_value());  // trailing junk
+}
+
+// ------------------------------------------------------------ shard router
+
+/// Latency bounds >= 1000 are effectively unconstrained for the tiny
+/// test instances, so varying them mints distinct *solvable* cache keys;
+/// this scans for one whose key lands on the wanted world-of-2 shard.
+solver::Bounds bounds_on_shard(const Instance& instance,
+                               const std::string& solver_name,
+                               std::size_t shard, double salt = 0.0) {
+  const CanonicalInstance canonical = canonicalize(instance);
+  for (double latency = 1000.0 + salt; latency < 2000.0 + salt;
+       latency += 1.0) {
+    solver::Bounds bounds;
+    bounds.latency_bound = latency;
+    if (request_key(canonical, solver_name, bounds).hi % 2 == shard) {
+      return bounds;
+    }
+  }
+  ADD_FAILURE() << "no bounds found for shard " << shard;
+  return {};
+}
+
+TEST(ShardRouterTest, WorldOfOneNeverTouchesTheNetwork) {
+  SolveService service(small_config());
+  RouterConfig config;
+  config.world_size = 1;
+  ShardRouter router(service, config);
+  const SolveReply reply =
+      router.submit(SolveRequest{hom_instance(), "heur-p", {}}).get();
+  EXPECT_EQ(reply.status, ReplyStatus::kSolved);
+  EXPECT_EQ(router.stats().local, 1u);
+  EXPECT_EQ(router.stats().forwarded, 0u);
+}
+
+TEST(ShardRouterTest, RemoteShardForwardedSolvedOnceCachedOnOwner) {
+  SolveService local(small_config());
+  SolveService remote(small_config());
+  ThreadPool server_pool(2);
+  auto server =
+      net::FrameServer::start(0, make_fabric_handler(remote), server_pool);
+  ASSERT_NE(server, nullptr);
+
+  RouterConfig config;
+  config.world_size = 2;
+  config.rank = 0;
+  config.peers = {{"127.0.0.1", 1}, {"127.0.0.1", server->port()}};
+  ShardRouter router(local, config);
+
+  const Instance instance = hom_instance();
+  SolveRequest request{instance, "heur-p",
+                       bounds_on_shard(instance, "heur-p", 1)};
+
+  // Cold: forwarded, solved by the owner, not a hit anywhere.
+  const SolveReply cold = router.submit(request).get();
+  ASSERT_EQ(cold.status, ReplyStatus::kSolved);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(router.stats().forwarded, 1u);
+  EXPECT_EQ(router.stats().local, 0u);
+  EXPECT_EQ(remote.stats().submitted, 1u);
+  EXPECT_EQ(local.stats().submitted, 0u);
+
+  // Repeat: forwarded again and answered from the owner's cache.
+  const SolveReply warm = router.submit(request).get();
+  ASSERT_EQ(warm.status, ReplyStatus::kSolved);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(router.stats().forwarded, 2u);
+  EXPECT_EQ(router.stats().forward_hits, 1u);
+  EXPECT_EQ(remote.stats().cache_hits, 1u);
+  // Bit-identical replay through the wire.
+  EXPECT_EQ(warm.solution->mapping, cold.solution->mapping);
+  EXPECT_EQ(warm.solution->metrics, cold.solution->metrics);
+
+  // A local-shard request never leaves the process.
+  SolveRequest local_request{instance, "heur-p",
+                             bounds_on_shard(instance, "heur-p", 0)};
+  const SolveReply local_reply = router.submit(local_request).get();
+  ASSERT_EQ(local_reply.status, ReplyStatus::kSolved);
+  EXPECT_EQ(router.stats().local, 1u);
+  EXPECT_EQ(local.stats().submitted, 1u);
+}
+
+TEST(ShardRouterTest, InFlightForwardsDeduplicate) {
+  std::promise<void> gate;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<GatedSolver>(gate.get_future().share()));
+
+  ServiceConfig remote_config;
+  remote_config.threads = 2;
+  remote_config.registry = &registry;
+  SolveService local(small_config());
+  SolveService remote(remote_config);
+  ThreadPool server_pool(2);
+  auto server =
+      net::FrameServer::start(0, make_fabric_handler(remote), server_pool);
+  ASSERT_NE(server, nullptr);
+
+  RouterConfig config;
+  config.world_size = 2;
+  config.rank = 0;
+  config.peers = {{"127.0.0.1", 1}, {"127.0.0.1", server->port()}};
+  ShardRouter router(local, config);
+
+  const Instance instance = hom_instance();
+  SolveRequest request{instance, "gated",
+                       bounds_on_shard(instance, "gated", 1)};
+
+  // First submit opens the forward; the owner blocks on the gate, so
+  // the identical second submit must attach, not forward again.
+  std::future<SolveReply> first = router.submit(request);
+  std::future<SolveReply> second = router.submit(request);
+  EXPECT_EQ(router.stats().deduplicated, 1u);
+  gate.set_value();
+
+  const SolveReply a = first.get();
+  const SolveReply b = second.get();
+  ASSERT_EQ(a.status, ReplyStatus::kSolved);
+  ASSERT_EQ(b.status, ReplyStatus::kSolved);
+  EXPECT_FALSE(a.deduplicated);
+  EXPECT_TRUE(b.deduplicated);
+  EXPECT_EQ(a.solution->metrics, b.solution->metrics);
+  EXPECT_EQ(router.stats().forwarded, 1u);
+  EXPECT_EQ(remote.stats().submitted, 1u);  // one network solve total
+}
+
+TEST(ShardRouterTest, IsomorphicTwinsGetOwnLabelsThroughForward) {
+  SolveService local(small_config());
+  SolveService remote(small_config());
+  ThreadPool server_pool(2);
+  auto server =
+      net::FrameServer::start(0, make_fabric_handler(remote), server_pool);
+  ASSERT_NE(server, nullptr);
+
+  RouterConfig config;
+  config.world_size = 2;
+  config.rank = 0;
+  config.peers = {{"127.0.0.1", 1}, {"127.0.0.1", server->port()}};
+  ShardRouter router(local, config);
+
+  // Isomorphic instances share one canonical key, hence one shard.
+  const Instance original = het_instance();
+  const Instance permuted = het_instance_permuted();
+  const solver::Bounds bounds = bounds_on_shard(original, "heur-p", 1);
+
+  const SolveReply first =
+      router.submit(SolveRequest{original, "heur-p", bounds}).get();
+  const SolveReply second =
+      router.submit(SolveRequest{permuted, "heur-p", bounds}).get();
+  ASSERT_EQ(first.status, ReplyStatus::kSolved);
+  ASSERT_EQ(second.status, ReplyStatus::kSolved);
+  EXPECT_EQ(first.key, second.key);
+  EXPECT_TRUE(second.cache_hit);  // owner answered the twin from cache
+  // Metrics are label-invariant and bit-identical; each mapping is
+  // valid on its *own* platform.
+  EXPECT_EQ(first.solution->metrics, second.solution->metrics);
+  EXPECT_FALSE(
+      first.solution->mapping.validate(original.platform).has_value());
+  EXPECT_FALSE(
+      second.solution->mapping.validate(permuted.platform).has_value());
+}
+
+TEST(ShardRouterTest, PeerDeathDegradesToLocalSolveWithoutErrors) {
+  SolveService local(small_config());
+  SolveService remote(small_config());
+  ThreadPool server_pool(2);
+  auto server =
+      net::FrameServer::start(0, make_fabric_handler(remote), server_pool);
+  ASSERT_NE(server, nullptr);
+
+  RouterConfig config;
+  config.world_size = 2;
+  config.rank = 0;
+  config.peers = {{"127.0.0.1", 1}, {"127.0.0.1", server->port()}};
+  config.client.connect_timeout_seconds = 0.5;
+  config.client.backoff_initial_seconds = 0.05;
+  ShardRouter router(local, config);
+
+  const Instance instance = hom_instance();
+  const SolveReply before =
+      router
+          .submit(SolveRequest{instance, "heur-p",
+                               bounds_on_shard(instance, "heur-p", 1)})
+          .get();
+  ASSERT_EQ(before.status, ReplyStatus::kSolved);
+  EXPECT_EQ(router.stats().forwarded, 1u);
+
+  // Kill the peer mid-run: remote-shard keys must degrade to local
+  // solves, statuses stay clean.
+  server->stop();
+  const SolveReply after =
+      router
+          .submit(SolveRequest{instance, "heur-p",
+                               bounds_on_shard(instance, "heur-p", 1,
+                                               /*salt=*/5000.0)})
+          .get();
+  ASSERT_EQ(after.status, ReplyStatus::kSolved);
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.forward_failures, 1u);
+  EXPECT_EQ(stats.local_fallbacks, 1u);
+  EXPECT_GE(local.stats().submitted, 1u);
+  EXPECT_TRUE(router.peer_suspect(1));
+}
+
+// ------------------------------------------------- campaign x service
+
+scenario::CampaignSpec small_campaign(bool het) {
+  scenario::CampaignSpec spec;
+  spec.name = "fusion-test";
+  spec.instances = 2;
+  spec.repetitions = 1;
+  spec.seed = 7;
+  spec.chain.task_count = 6;
+  spec.platform.kind =
+      het ? scenario::PlatformKind::kHet : scenario::PlatformKind::kHom;
+  spec.platform.processors = 4;
+  spec.sweep.kind = scenario::SweepKind::kPeriod;
+  spec.sweep.lo = 40.0;
+  spec.sweep.hi = 120.0;
+  spec.sweep.step = 40.0;
+  spec.solvers = {"heur-p", "heur-l"};
+  return spec;
+}
+
+std::string figure_tsv(const scenario::CampaignResult& result) {
+  std::ostringstream out;
+  scenario::write_tsv(out, result.figure);
+  return out.str();
+}
+
+TEST(CampaignFusion, MatchesPlainCampaignOnHomogeneousPlatform) {
+  const scenario::CampaignSpec spec = small_campaign(/*het=*/false);
+  scenario::CampaignConfig config;
+  config.threads = 2;
+  const scenario::CampaignResult plain =
+      scenario::run_campaign(spec, config);
+
+  ServiceConfig service_config;
+  service_config.threads = 2;
+  SolveService service(service_config);
+  const scenario::CampaignResult fused =
+      run_campaign_via_service(spec, service);
+
+  // Homogeneous canonicalization is the identity, so the fused sweep is
+  // byte-identical to the classic engine's.
+  EXPECT_EQ(figure_tsv(fused), figure_tsv(plain));
+  EXPECT_EQ(fused.jobs, plain.jobs);
+  EXPECT_GT(service.stats().submitted, 0u);
+}
+
+TEST(CampaignFusion, WarmServiceReplaysByteIdentical) {
+  const scenario::CampaignSpec spec = small_campaign(/*het=*/true);
+  ServiceConfig service_config;
+  service_config.threads = 2;
+  SolveService service(service_config);
+
+  const std::string cold = figure_tsv(run_campaign_via_service(spec, service));
+  const auto cold_hits = service.stats().cache_hits;
+  const std::string warm = figure_tsv(run_campaign_via_service(spec, service));
+
+  // The second sweep is served from the cross-run cache and still
+  // reproduces the exact bytes (cache replay is bit-identical).
+  EXPECT_EQ(warm, cold);
+  EXPECT_GT(service.stats().cache_hits, cold_hits);
+}
+
+TEST(CampaignFusion, UnknownSolverThrowsLikeTheClassicEngine) {
+  scenario::CampaignSpec spec = small_campaign(false);
+  spec.solvers = {"definitely-not-a-solver"};
+  ServiceConfig config;
+  config.threads = 1;
+  SolveService service(config);
+  EXPECT_THROW(run_campaign_via_service(spec, service),
+               std::invalid_argument);
 }
 
 }  // namespace

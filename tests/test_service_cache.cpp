@@ -141,6 +141,139 @@ TEST(SolutionCachePersistence, MalformedLineIsReported) {
   EXPECT_NE(result.error.find("line 1"), std::string::npos);
 }
 
+TEST(SolutionCachePersistence, TsvRoundTripPreservesSolveCost) {
+  ShardedSolutionCache cache;
+  CachedSolution entry = feasible_entry(tiny_instance());
+  entry.cost_seconds = 0.0625;  // exactly representable
+  cache.insert(key_of(1), entry);
+  CachedSolution negative;
+  negative.cost_seconds = 1.5;
+  cache.insert(key_of(2), negative);
+
+  std::stringstream file;
+  cache.save_tsv(file);
+  ShardedSolutionCache reloaded;
+  ASSERT_EQ(reloaded.load_tsv(file).error, "");
+  EXPECT_EQ(reloaded.lookup(key_of(1))->cost_seconds, 0.0625);
+  EXPECT_EQ(reloaded.lookup(key_of(2))->cost_seconds, 1.5);
+}
+
+TEST(SolutionCachePersistence, LegacyTsvLinesWithoutCostStillLoad) {
+  ShardedSolutionCache cache;
+  // A pre-cost-field negative entry (4 fields).
+  std::stringstream file(to_hex(key_of(3)) + "\t0\t-\t-\n");
+  const auto result = cache.load_tsv(file);
+  EXPECT_EQ(result.error, "");
+  EXPECT_EQ(result.loaded, 1u);
+  EXPECT_EQ(cache.lookup(key_of(3))->cost_seconds, 0.0);
+}
+
+TEST(SolutionCachePersistence, BinaryRoundTripIsBitIdentical) {
+  const Instance instance = tiny_instance();
+  ShardedSolutionCache cache;
+  CachedSolution entry = feasible_entry(instance);
+  entry.cost_seconds = 0.25;
+  cache.insert(key_of(1), entry);
+  cache.insert(key_of(2), CachedSolution{});  // negative entry
+
+  std::stringstream file(std::ios::in | std::ios::out | std::ios::binary);
+  cache.save_binary(file);
+
+  ShardedSolutionCache reloaded;
+  const auto result = reloaded.load_binary(file);
+  EXPECT_EQ(result.error, "");
+  EXPECT_EQ(result.loaded, 2u);
+  EXPECT_EQ(result.skipped, 0u);
+
+  const auto hit = reloaded.lookup(key_of(1));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->solution.has_value());
+  EXPECT_EQ(hit->solution->mapping, entry.solution->mapping);
+  EXPECT_EQ(hit->solution->metrics, entry.solution->metrics);
+  EXPECT_EQ(hit->cost_seconds, 0.25);
+  const auto negative = reloaded.lookup(key_of(2));
+  ASSERT_TRUE(negative.has_value());
+  EXPECT_FALSE(negative->solution.has_value());
+}
+
+TEST(SolutionCachePersistence, BinarySelectiveLoadReadsOnlyOwnShard) {
+  ShardedSolutionCache cache;
+  std::size_t mine = 0;
+  for (int i = 0; i < 32; ++i) {
+    cache.insert(key_of(i), CachedSolution{});
+    if (key_of(i).hi % 2 == 0) ++mine;
+  }
+  std::stringstream file(std::ios::in | std::ios::out | std::ios::binary);
+  cache.save_binary(file);
+
+  // A rank-0-of-2 fabric node loads only the keys it owns.
+  ShardedSolutionCache shard0;
+  const auto result = shard0.load_binary(
+      file, [](const CanonicalHash& key) { return key.hi % 2 == 0; });
+  EXPECT_EQ(result.error, "");
+  EXPECT_EQ(result.loaded, mine);
+  EXPECT_EQ(result.skipped, 32u - mine);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(shard0.lookup(key_of(i)).has_value(), key_of(i).hi % 2 == 0);
+  }
+}
+
+TEST(SolutionCachePersistence, BinaryRejectsGarbage) {
+  ShardedSolutionCache cache;
+  std::stringstream wrong("definitely not a PRTS1 snapshot, long enough");
+  EXPECT_NE(cache.load_binary(wrong).error.find("bad magic"),
+            std::string::npos);
+
+  std::stringstream truncated(std::string("PRTS1\n"));
+  EXPECT_NE(cache.load_binary(truncated).error.find("truncated"),
+            std::string::npos);
+
+  // A valid header whose index promises more entries than exist.
+  std::stringstream cut(std::ios::in | std::ios::out | std::ios::binary);
+  cache.insert(key_of(1), CachedSolution{});
+  cache.save_binary(cut);
+  std::string bytes = cut.str();
+  bytes.resize(bytes.size() - 4);  // chop the blob
+  std::stringstream chopped(bytes);
+  ShardedSolutionCache fresh;
+  EXPECT_FALSE(fresh.load_binary(chopped).error.empty());
+}
+
+TEST(SolutionCacheRetention, CostAwareEvictionKeepsExpensiveSolves) {
+  const Instance instance = tiny_instance();
+  // Entry footprint is ~160 bytes (negative) / ~250 (feasible); a tight
+  // single-shard budget forces evictions from the third insert on.
+  ShardedSolutionCache::Config config;
+  config.shards = 1;
+  config.capacity_bytes = 1000;
+  config.retention = ShardedSolutionCache::Retention::kCost;
+  ShardedSolutionCache cache(config);
+
+  CachedSolution expensive = feasible_entry(instance);
+  expensive.cost_seconds = 30.0;  // an exact solve worth keeping
+  cache.insert(key_of(0), expensive);
+  for (int i = 1; i <= 12; ++i) {
+    CachedSolution cheap = feasible_entry(instance);
+    cheap.cost_seconds = 1e-4;  // heuristic answers
+    cache.insert(key_of(i), cheap);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Under strict LRU key 0 would be the first victim; cost-aware
+  // retention keeps it and sheds cheap entries instead.
+  EXPECT_TRUE(cache.lookup(key_of(0)).has_value());
+
+  ShardedSolutionCache::Config lru_config = config;
+  lru_config.retention = ShardedSolutionCache::Retention::kLru;
+  ShardedSolutionCache lru(lru_config);
+  lru.insert(key_of(0), expensive);
+  for (int i = 1; i <= 12; ++i) {
+    CachedSolution cheap = feasible_entry(instance);
+    cheap.cost_seconds = 1e-4;
+    lru.insert(key_of(i), cheap);
+  }
+  EXPECT_FALSE(lru.lookup(key_of(0)).has_value());
+}
+
 TEST(SolutionCacheStats, JsonSnapshotNamesEveryCounter) {
   ShardedSolutionCache cache;
   cache.insert(key_of(1), CachedSolution{});

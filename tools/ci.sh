@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build (with the project's always-on
-# -Wall -Wextra), and run the tier-1 ctest suite.
+# -Wall -Wextra), run the tier-1 ctest suite, then smoke-test the
+# distributed solve fabric with two real prts_cli processes on
+# loopback.
 #
 #   tools/ci.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug tools/ci.sh
 #   BUILD_DIR=/tmp/ci tools/ci.sh
+#   SKIP_FABRIC_SMOKE=1 tools/ci.sh   # ctest only
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -15,4 +18,126 @@ cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}"
 cmake --build "$BUILD" -j "$JOBS"
 # (cd form rather than ctest --test-dir: that flag needs CTest >= 3.20,
 # the project supports CMake 3.16.)
-cd "$BUILD" && ctest --output-on-failure -j "$JOBS"
+(cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+
+# ---------------------------------------------------------------------------
+# Fabric smoke test: rank 0 + rank 1 on localhost present one logical
+# cache. Asserts (via the line protocol's stats JSON) that cross-shard
+# keys are forwarded, solved once, cached on their owner, answered as
+# remote cache hits on repeat — and that killing the peer mid-run
+# degrades to local solving without a single error status.
+# ---------------------------------------------------------------------------
+[ "${SKIP_FABRIC_SMOKE:-0}" = "1" ] && exit 0
+
+CLI="$BUILD/prts_cli"
+FAB="$BUILD/fabric_smoke"
+rm -rf "$FAB" && mkdir -p "$FAB"
+
+# counter <file> <key>: last value of "key":N in the file (or 0).
+counter() {
+  local v
+  v=$(grep -o "\"$2\":[0-9]*" "$1" 2>/dev/null | tail -1 | cut -d: -f2)
+  echo "${v:-0}"
+}
+# wait_reply_lines <file> <n>: poll until the file has n reply lines.
+wait_reply_lines() {
+  for _ in $(seq 1 200); do
+    [ "$(grep -c $'^[0-9]*\t' "$1" 2>/dev/null || true)" -ge "$2" ] && return 0
+    sleep 0.05
+  done
+  echo "fabric smoke: timed out waiting for $2 replies in $1" >&2
+  return 1
+}
+
+"$CLI" generate --seed 42 --tasks 8 --procs 4 > "$FAB/inst.txt"
+
+# Ephemeral-ish ports; retry a few bases in case of a collision.
+fabric_up=0
+for attempt in 1 2 3 4 5; do
+  P0=$((21000 + (RANDOM % 20000) * 2))
+  P1=$((P0 + 1))
+  PEERS="127.0.0.1:$P0,127.0.0.1:$P1"
+  mkfifo "$FAB/in0" "$FAB/in1"
+  "$CLI" serve "$FAB/in1" --listen "$P1" --world 2 --rank 1 \
+      --peers "$PEERS" > "$FAB/out1" 2> "$FAB/err1" &
+  PID1=$!
+  "$CLI" serve "$FAB/in0" --listen "$P0" --world 2 --rank 0 \
+      --peers "$PEERS" > "$FAB/out0" 2> "$FAB/err0" &
+  PID0=$!
+  exec 8> "$FAB/in0" 9> "$FAB/in1"
+  for _ in $(seq 1 40); do
+    if grep -q "listening" "$FAB/err0" 2>/dev/null &&
+       grep -q "listening" "$FAB/err1" 2>/dev/null; then
+      fabric_up=1
+      break
+    fi
+    kill -0 "$PID0" 2>/dev/null && kill -0 "$PID1" 2>/dev/null || break
+    sleep 0.05
+  done
+  [ "$fabric_up" = "1" ] && break
+  echo "fabric smoke: port base $P0 unavailable, retrying" >&2
+  exec 8>&- 9>&-
+  kill "$PID0" "$PID1" 2>/dev/null || true
+  wait "$PID0" "$PID1" 2>/dev/null || true
+  rm -f "$FAB/in0" "$FAB/in1"
+done
+[ "$fabric_up" = "1" ] || { echo "fabric smoke: could not bind ports" >&2; exit 1; }
+
+# Phase 1: 16 distinct keys from rank 0 (some remote-shard with
+# probability 1 - 2^-16), then the same 16 again (repeats must be cache
+# hits — local or on the owner), then stats.
+{
+  echo "load inst $FAB/inst.txt"
+  for pass in 1 2; do
+    for i in $(seq 1 16); do echo "solve inst heur-p inf $((1000 + i))"; done
+    echo "sync"
+  done
+  echo "stats"
+} >&8
+wait_reply_lines "$FAB/out0" 32
+# The '# router' stats line lands just after the replies; wait for it
+# too before reading counters.
+for _ in $(seq 1 100); do
+  grep -q '# router' "$FAB/out0" && break
+  sleep 0.05
+done
+
+forwarded=$(counter "$FAB/out0" forwarded)
+fwd_hits=$(counter "$FAB/out0" forward_hits)
+[ "$forwarded" -ge 1 ] || { echo "FAIL: nothing was forwarded" >&2; exit 1; }
+[ "$fwd_hits" -ge 1 ] || { echo "FAIL: no remote cache hit on repeat" >&2; exit 1; }
+
+# The owner actually served the forwards from its engine + cache.
+echo "stats" >&9
+for _ in $(seq 1 100); do
+  grep -q '"submitted"' "$FAB/out1" && break
+  sleep 0.05
+done
+[ "$(counter "$FAB/out1" submitted)" -ge 1 ] ||
+  { echo "FAIL: rank 1 never saw a forwarded solve" >&2; exit 1; }
+[ "$(counter "$FAB/out1" cache_hits)" -ge 1 ] ||
+  { echo "FAIL: owner cache never hit on repeat" >&2; exit 1; }
+
+# Phase 2: kill the peer mid-run; 16 fresh keys must all be answered
+# locally, cleanly.
+kill "$PID1" && wait "$PID1" 2>/dev/null || true
+{
+  for i in $(seq 1 16); do echo "solve inst heur-p inf $((5000 + i))"; done
+  echo "sync"
+  echo "stats"
+} >&8
+wait_reply_lines "$FAB/out0" 48
+exec 8>&- 9>&-
+wait "$PID0" || { echo "FAIL: rank 0 exited non-zero" >&2; exit 1; }
+
+[ "$(counter "$FAB/out0" local_fallbacks)" -ge 1 ] ||
+  { echo "FAIL: peer death did not degrade to local solving" >&2; exit 1; }
+if grep -q $'\terror\t' "$FAB/out0"; then
+  echo "FAIL: error statuses in rank 0 replies" >&2
+  exit 1
+fi
+replies=$(grep -c $'^[0-9]*\t' "$FAB/out0" || true)
+[ "$replies" -eq 48 ] || { echo "FAIL: expected 48 replies, got $replies" >&2; exit 1; }
+
+echo "fabric smoke test OK: forwarded=$forwarded forward_hits=$fwd_hits" \
+     "local_fallbacks=$(counter "$FAB/out0" local_fallbacks)"

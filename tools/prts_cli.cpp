@@ -19,25 +19,40 @@
 //   prts_cli solvers
 //       list every registered solver with a one-line description
 //   prts_cli campaign <spec.txt|-> [--threads T] [--seed S]
-//       [--format table|tsv|json]
+//       [--format table|tsv|json] [--via-service] [--cache-mb M]
 //       run a whole scenario campaign (see src/scenario/spec.hpp for the
 //       spec format) and emit the aggregated series; --threads/--seed
-//       override the spec without editing it
+//       override the spec without editing it; --via-service routes every
+//       job through the solve service so repeats hit the cross-run cache
 //   prts_cli serve [requests.txt|-] [--threads N] [--cache-mb M]
 //       [--shards S] [--no-cache] [--queue-limit Q] [--deadline D]
 //       [--policy reject|downgrade] [--fallback SOLVER]
-//       [--warm-start cache.tsv] [--save-cache cache.tsv] [--stats]
+//       [--retention lru|cost]
+//       [--warm-start cache.{tsv,bin}] [--save-cache cache.{tsv,bin}]
+//       [--stats]
+//       [--listen PORT] [--world N] [--rank R] [--peers h:p,h:p,...]
+//       [--no-input]
 //       run the batched solve service over a line-protocol request
-//       stream (see src/service/protocol.hpp for the format)
+//       stream (see src/service/protocol.hpp for the format); with
+//       --listen/--world/--rank/--peers the process joins the
+//       distributed solve fabric (shard = hash.hi mod world), forwarding
+//       remote-shard misses to their owner and answering peers' frames;
+//       --no-input serves network traffic only until SIGINT/SIGTERM
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <iostream>
 #include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/exact.hpp"
@@ -56,9 +71,12 @@
 #include "scenario/campaign.hpp"
 #include "scenario/emit.hpp"
 #include "scenario/spec.hpp"
+#include "net/frame_server.hpp"
 #include "service/cache.hpp"
 #include "service/engine.hpp"
+#include "service/fusion.hpp"
 #include "service/protocol.hpp"
+#include "service/router.hpp"
 #include "sim/pipeline_sim.hpp"
 #include "solver/registry.hpp"
 #include "solver/solver.hpp"
@@ -384,7 +402,24 @@ int cmd_campaign(const std::string& spec_path, const Flags& flags) {
   config.threads = static_cast<std::size_t>(flags.number("threads", 0));
   scenario::CampaignResult result;
   try {
-    result = scenario::run_campaign(*parsed.spec, config);
+    if (flags.has("via-service")) {
+      // Fusion path: every job goes through SolveService::submit, so
+      // repeated sweeps share the cross-run cache and in-flight dedup.
+      service::ServiceConfig service_config;
+      service_config.threads = config.threads;
+      service_config.cache.capacity_bytes = static_cast<std::size_t>(
+          flags.number("cache-mb", 64) * 1024 * 1024);
+      service::SolveService service(service_config);
+      result = service::run_campaign_via_service(*parsed.spec, service);
+      if (flags.has("stats")) {
+        std::cerr << "# cache ";
+        service::ShardedSolutionCache::write_stats_json(
+            std::cerr, service.cache_stats());
+        std::cerr << "\n";
+      }
+    } else {
+      result = scenario::run_campaign(*parsed.spec, config);
+    }
   } catch (const std::exception& error) {
     std::cerr << error.what() << "\n";
     return 1;
@@ -401,6 +436,14 @@ int cmd_campaign(const std::string& spec_path, const Flags& flags) {
   return 0;
 }
 
+/// True when the path names the compact PRTS1 snapshot (by extension).
+bool is_binary_cache_path(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_stop_handler(int) { g_serve_stop = 1; }
+
 int cmd_serve(const std::string& request_path, const Flags& flags) {
   service::ServiceConfig config;
   config.threads = static_cast<std::size_t>(flags.number("threads", 0));
@@ -411,6 +454,13 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   config.max_queue_depth =
       static_cast<std::size_t>(flags.number("queue-limit", 4096));
   config.fallback_solver = flags.get("fallback", "heur-p");
+  const std::string retention = flags.get("retention", "lru");
+  if (retention == "cost") {
+    config.cache.retention = service::ShardedSolutionCache::Retention::kCost;
+  } else if (retention != "lru") {
+    std::cerr << "unknown --retention " << retention << " (lru|cost)\n";
+    return 2;
+  }
 
   service::ServeOptions options;
   options.default_deadline_seconds = flags.number("deadline", kInf);
@@ -424,10 +474,39 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     return 2;
   }
 
+  // Fabric topology: every flag validated before any thread starts.
+  const std::size_t world =
+      static_cast<std::size_t>(flags.number("world", 1));
+  const std::size_t rank = static_cast<std::size_t>(flags.number("rank", 0));
+  if (world == 0 || rank >= world) {
+    std::cerr << "--rank must be < --world (got rank " << rank << ", world "
+              << world << ")\n";
+    return 2;
+  }
+  std::vector<service::PeerAddress> peers;
+  if (world > 1) {
+    const auto parsed = service::parse_peer_list(flags.get("peers"));
+    if (!parsed || parsed->size() != world) {
+      std::cerr << "--world " << world
+                << " needs --peers with one host:port per rank\n";
+      return 2;
+    }
+    peers = *parsed;
+    if (!flags.has("listen")) {
+      // A rank that cannot be reached silently breaks the one-logical-
+      // cache property (peers' forwards to it all time out).
+      std::cerr << "--world > 1 requires --listen (peers must be able to "
+                   "reach this rank)\n";
+      return 2;
+    }
+  }
+
+  const bool no_input = flags.has("no-input");
+
   // Open the request stream before constructing the service, so an
   // error exit never abandons live worker threads.
   std::ifstream request_file;
-  if (request_path != "-") {
+  if (!no_input && request_path != "-") {
     request_file.open(request_path);
     if (!request_file) {
       std::cerr << "cannot open request file '" << request_path << "'\n";
@@ -441,37 +520,108 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
 
   if (flags.has("warm-start")) {
     const std::string path = flags.get("warm-start");
-    std::ifstream file(path);
+    std::ifstream file(path, std::ios::binary);
     if (!file) {
       std::cerr << "cannot open warm-start file '" << path << "'\n";
       return 1;
     }
-    const auto loaded = engine.cache().load_tsv(file);
+    service::ShardedSolutionCache::LoadResult loaded;
+    if (is_binary_cache_path(path)) {
+      // Fabric nodes selectively load just the keys they own — the
+      // PRTS1 index makes that O(1) per key.
+      std::function<bool(const service::CanonicalHash&)> filter;
+      if (world > 1) {
+        filter = [world, rank](const service::CanonicalHash& key) {
+          return key.hi % world == rank;
+        };
+      }
+      loaded = engine.cache().load_binary(file, filter);
+    } else {
+      loaded = engine.cache().load_tsv(file);
+    }
     if (!loaded.error.empty()) {
       std::cerr << "warm-start '" << path << "': " << loaded.error << "\n";
       return 1;
     }
     std::cerr << "# warm-start: " << loaded.loaded << " entries from "
-              << path << "\n";
+              << path;
+    if (loaded.skipped > 0) {
+      std::cerr << " (" << loaded.skipped << " foreign-shard keys skipped)";
+    }
+    std::cerr << "\n";
   }
 
-  const service::ServeResult result =
-      service::run_serve(requests, std::cout, engine, options);
+  // Fabric wiring: the FrameServer answers peers' frames on its own
+  // small pool (connections are long-lived; sharing the solve pool
+  // would starve it), the router forwards remote-shard misses.
+  std::unique_ptr<ThreadPool> server_pool;
+  std::unique_ptr<net::FrameServer> server;
+  if (flags.has("listen")) {
+    const double listen_value = flags.number("listen", 0);
+    if (listen_value < 1 || listen_value > 65535 ||
+        listen_value != static_cast<std::uint16_t>(listen_value)) {
+      std::cerr << "--listen needs a port in 1..65535\n";
+      return 2;
+    }
+    const auto port = static_cast<std::uint16_t>(listen_value);
+    server_pool = std::make_unique<ThreadPool>(
+        std::max<std::size_t>(2, 2 * world));
+    server = net::FrameServer::start(
+        port, service::make_fabric_handler(engine), *server_pool);
+    if (!server) {
+      std::cerr << "cannot listen on port " << port << "\n";
+      return 1;
+    }
+    std::cerr << "# listening on port " << server->port() << " (rank "
+              << rank << "/" << world << ")\n";
+  }
+  std::unique_ptr<service::ShardRouter> router;
+  if (world > 1) {
+    service::RouterConfig router_config;
+    router_config.world_size = world;
+    router_config.rank = rank;
+    router_config.peers = std::move(peers);
+    router = std::make_unique<service::ShardRouter>(engine, router_config);
+    options.router = router.get();
+  }
+
+  service::ServeResult result;
+  if (no_input) {
+    // Pure fabric node: serve network traffic until SIGINT/SIGTERM.
+    std::signal(SIGINT, serve_stop_handler);
+    std::signal(SIGTERM, serve_stop_handler);
+    while (!g_serve_stop) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  } else {
+    result = service::run_serve(requests, std::cout, engine, options);
+  }
+
+  if (server) server->stop();
 
   if (flags.has("save-cache")) {
     const std::string path = flags.get("save-cache");
-    std::ofstream file(path);
+    std::ofstream file(path, std::ios::binary);
     if (!file) {
       std::cerr << "cannot write cache file '" << path << "'\n";
       return 1;
     }
-    engine.cache().save_tsv(file);
+    if (is_binary_cache_path(path)) {
+      engine.cache().save_binary(file);
+    } else {
+      engine.cache().save_tsv(file);
+    }
   }
   if (flags.has("stats")) {
     std::cerr << "# cache ";
     service::ShardedSolutionCache::write_stats_json(std::cerr,
                                                     engine.cache_stats());
     std::cerr << "\n";
+    if (router) {
+      std::cerr << "# router ";
+      service::ShardRouter::write_stats_json(std::cerr, router->stats());
+      std::cerr << "\n";
+    }
   }
   return result.protocol_errors == 0 ? 0 : 1;
 }
