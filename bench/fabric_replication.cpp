@@ -1,0 +1,209 @@
+// Replication ablation on the in-process fabric harness (two real
+// ranks over loopback TCP): the same repeated-probe workload, remote
+// shard keys only, with the replica tier off vs. on — the headline
+// number is *remote round trips per repeat hit*, which replication
+// takes from ~1 to ~0. A third phase measures gossip prefetch: after
+// one digest round, a peer's first-ever request for a hot key is
+// already local. Emits BENCH_replication.json for the perf trajectory.
+//
+//   fabric_replication [--requests N] [--unique U] [--solver NAME]
+//                      [--quick] [--out PATH]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fabric_harness.hpp"
+#include "model/generator.hpp"
+
+namespace {
+
+using namespace prts;
+using service::testing::FabricHarness;
+
+FabricHarness::Options harness_options() {
+  FabricHarness::Options options;
+  options.world = 2;
+  options.service.threads = 2;
+  options.router.client.connect_timeout_seconds = 2.0;
+  return options;
+}
+
+/// One timed pass driving every request through rank 0's router;
+/// returns seconds.
+double run_pass(FabricHarness& harness,
+                const std::vector<service::SolveRequest>& requests,
+                std::size_t count, std::size_t& solved) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < count; ++r) {
+    service::SolveRequest request = requests[r % requests.size()];
+    if (harness.router(0).submit(std::move(request)).get().status ==
+        service::ReplyStatus::kSolved) {
+      ++solved;
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 200;
+  std::size_t unique = 8;
+  std::string solver = "heur-p";
+  std::string out_path = "BENCH_replication.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--requests") {
+      requests = std::stoul(next());
+    } else if (arg == "--unique") {
+      unique = std::stoul(next());
+    } else if (arg == "--solver") {
+      solver = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--quick") {
+      requests = 40;
+      unique = 4;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (unique == 0 || requests == 0) {
+    std::cerr << "--requests and --unique must be positive\n";
+    return 2;
+  }
+
+  std::vector<Instance> instances;
+  for (std::size_t u = 0; u < unique; ++u) {
+    Rng rng(1000 + u);
+    instances.push_back(Instance{
+        paper::chain(rng),
+        Platform::homogeneous(paper::kProcessorCount, paper::kHomSpeed,
+                              paper::kProcessorFailureRate, paper::kBandwidth,
+                              paper::kLinkFailureRate,
+                              paper::kMaxReplication)});
+  }
+
+  // Every key deliberately lands on the *remote* rank: this bench
+  // isolates the remote-shard repeat path that replication targets.
+  const auto make_requests = [&](FabricHarness& harness) {
+    std::vector<service::SolveRequest> made;
+    for (std::size_t u = 0; u < unique; ++u) {
+      made.push_back(service::SolveRequest{
+          instances[u], solver,
+          harness.bounds_on_rank(instances[u], solver, /*owner=*/1,
+                                 /*salt=*/static_cast<double>(u) * 5000.0)});
+    }
+    return made;
+  };
+
+  // ---- Phase A: replica tier disabled (PR-3 behavior) ----
+  double repeat_seconds_off = 0.0;
+  std::uint64_t repeat_forwards_off = 0;
+  {
+    FabricHarness::Options options = harness_options();
+    options.router.replica.capacity_bytes = 0;
+    FabricHarness harness(options);
+    const auto reqs = make_requests(harness);
+    std::size_t solved = 0;
+    run_pass(harness, reqs, unique, solved);  // cold: solve + cache on owner
+    const std::uint64_t before = harness.router(0).stats().forwarded;
+    repeat_seconds_off = run_pass(harness, reqs, requests, solved);
+    repeat_forwards_off = harness.router(0).stats().forwarded - before;
+    if (solved != unique + requests) {
+      std::cerr << "warning: phase A solved " << solved << "/"
+                << (unique + requests) << "\n";
+    }
+  }
+
+  // ---- Phase B: replica tier enabled ----
+  double repeat_seconds_on = 0.0;
+  std::uint64_t repeat_forwards_on = 0;
+  std::uint64_t replica_hits = 0;
+  {
+    FabricHarness harness(harness_options());
+    const auto reqs = make_requests(harness);
+    std::size_t solved = 0;
+    run_pass(harness, reqs, unique, solved);  // cold: forwards + replicates
+    const std::uint64_t before = harness.router(0).stats().forwarded;
+    repeat_seconds_on = run_pass(harness, reqs, requests, solved);
+    const service::RouterStats stats = harness.router(0).stats();
+    repeat_forwards_on = stats.forwarded - before;
+    replica_hits = stats.replica_hits;
+    if (solved != unique + requests) {
+      std::cerr << "warning: phase B solved " << solved << "/"
+                << (unique + requests) << "\n";
+    }
+  }
+
+  // ---- Phase C: gossip prefetch (no request ever crossed the wire) ----
+  std::uint64_t prefetched = 0;
+  std::uint64_t prefetch_forwards = 0;
+  std::uint64_t prefetch_replica_hits = 0;
+  {
+    FabricHarness harness(harness_options());
+    const auto reqs = make_requests(harness);
+    // The owner's keys run hot locally on rank 1...
+    for (const service::SolveRequest& request : reqs) {
+      for (int repeat = 0; repeat < 2; ++repeat) {
+        harness.router(1).submit(service::SolveRequest{request}).get();
+      }
+    }
+    // ...one digest round later rank 0 holds replicas it never asked
+    // for, and its first requests are already local.
+    harness.router(1).gossip_now();
+    harness.router(0).wait_prefetches_idle();
+    std::size_t solved = 0;
+    run_pass(harness, reqs, unique, solved);
+    const service::RouterStats stats = harness.router(0).stats();
+    prefetched = stats.prefetched;
+    prefetch_forwards = stats.forwarded;
+    prefetch_replica_hits = stats.replica_hits;
+  }
+
+  const double rtts_off = static_cast<double>(repeat_forwards_off) /
+                          static_cast<double>(requests);
+  const double rtts_on = static_cast<double>(repeat_forwards_on) /
+                         static_cast<double>(requests);
+  const double rps_off = static_cast<double>(requests) / repeat_seconds_off;
+  const double rps_on = static_cast<double>(requests) / repeat_seconds_on;
+
+  std::cout << "fabric replication (world 2, loopback): " << requests
+            << " repeat requests over " << unique
+            << " remote-shard keys, solver " << solver << "\n"
+            << "  replica off  " << rps_off << " req/s, "
+            << rtts_off << " remote round trips per repeat hit\n"
+            << "  replica on   " << rps_on << " req/s, "
+            << rtts_on << " remote round trips per repeat hit ("
+            << replica_hits << " replica hits)\n"
+            << "  gossip       " << prefetched << " keys prefetched, first "
+            << unique << " requests cost " << prefetch_forwards
+            << " forwards (" << prefetch_replica_hits << " replica hits)\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\"benchmark\":\"fabric_replication\",\"world\":2,\"solver\":\""
+      << solver << "\",\"requests\":" << requests
+      << ",\"unique_instances\":" << unique
+      << ",\"repeat_rtts_per_hit_no_replica\":" << rtts_off
+      << ",\"repeat_rtts_per_hit_with_replica\":" << rtts_on
+      << ",\"repeat_rps_no_replica\":" << rps_off
+      << ",\"repeat_rps_with_replica\":" << rps_on
+      << ",\"replica_hits\":" << replica_hits
+      << ",\"gossip_prefetched\":" << prefetched
+      << ",\"post_prefetch_forwards\":" << prefetch_forwards
+      << ",\"post_prefetch_replica_hits\":" << prefetch_replica_hits
+      << "}\n";
+  return 0;
+}

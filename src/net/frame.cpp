@@ -75,6 +75,26 @@ DecodeResult decode_frame(std::string_view buffer, std::size_t max_payload) {
   return result;
 }
 
+void FrameDecoder::feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+DecodeResult FrameDecoder::next() {
+  if (poisoned_) {
+    DecodeResult result;
+    result.status = *poisoned_;
+    return result;
+  }
+  DecodeResult result = decode_frame(buffer_, max_payload_);
+  if (result.status == DecodeStatus::kFrame) {
+    buffer_.erase(0, result.consumed);
+    result.consumed = 0;  // already dropped; nothing left for the caller
+  } else if (result.status != DecodeStatus::kNeedMore) {
+    poisoned_ = result.status;
+  }
+  return result;
+}
+
 FrameReadStatus read_frame(Socket& socket, Frame& frame,
                            std::size_t max_payload) {
   unsigned char header[kFrameHeaderBytes];

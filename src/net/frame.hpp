@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -39,6 +40,11 @@ enum class FrameType : std::uint8_t {
   kPong = 4,          ///< answer to kPing, payload echoed
   kStatsRequest = 5,  ///< payload ignored
   kStatsReply = 6,    ///< payload: one JSON object
+  kGossipDigest = 7,  ///< payload: service::encode_gossip_digest (hot
+                      ///< owned keys + hit counts); answered with kPong
+  kReplicaFetch = 8,  ///< payload: service::encode_replica_fetch (keys
+                      ///< a peer wants replicated)
+  kReplicaFetchReply = 9,  ///< payload: service::encode_replica_entries
 };
 
 struct Frame {
@@ -69,6 +75,34 @@ struct DecodeResult {
 /// unrecoverable (framing is lost) and the caller should close.
 DecodeResult decode_frame(std::string_view buffer,
                           std::size_t max_payload = kDefaultMaxPayload);
+
+/// Incremental frame decoder over an arbitrarily-chunked byte stream:
+/// feed() whatever the transport delivered (single bytes, coalesced
+/// frames, anything in between), next() yields complete frames in
+/// order. Decoding is invariant under re-chunking — the property the
+/// frame soak tests pin. Error verdicts (bad magic/version/oversized)
+/// are sticky: framing is lost for good and every later next() repeats
+/// the verdict.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes to the internal buffer.
+  void feed(std::string_view bytes);
+
+  /// Decodes (and consumes) the earliest complete frame in the buffer;
+  /// kNeedMore while only a prefix is present.
+  DecodeResult next();
+
+  /// Bytes fed but not yet consumed by next().
+  std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::size_t max_payload_;
+  std::optional<DecodeStatus> poisoned_;  ///< sticky error verdict
+};
 
 enum class FrameReadStatus {
   kOk,

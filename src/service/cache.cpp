@@ -210,6 +210,21 @@ std::optional<CachedSolution> ShardedSolutionCache::lookup(
   return it->second->value;
 }
 
+std::optional<CachedSolution> ShardedSolutionCache::peek(
+    const CanonicalHash& key) const {
+  const Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  return it->second->value;
+}
+
+bool ShardedSolutionCache::contains(const CanonicalHash& key) const {
+  const Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.index.count(key) > 0;
+}
+
 void ShardedSolutionCache::evict_one(Shard& shard) {
   auto victim = std::prev(shard.lru.end());
   if (retention_ == Retention::kCost) {
@@ -431,6 +446,105 @@ void ShardedSolutionCache::write_stats_json(std::ostream& out,
       << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
       << ",\"capacity_bytes\":" << stats.capacity_bytes
       << ",\"shards\":" << stats.shards << "}";
+}
+
+// ----------------------------------------------------------- replica tier
+
+ReplicaCache::ReplicaCache(Config config)
+    : capacity_bytes_(config.capacity_bytes),
+      ttl_seconds_(config.ttl_seconds) {}
+
+ReplicaCache::Clock::time_point ReplicaCache::expiry_for(
+    Clock::time_point now) const noexcept {
+  if (ttl_seconds_ <= 0.0) return Clock::time_point::max();
+  // Clamp huge TTLs instead of overflowing the time_point arithmetic.
+  const std::chrono::duration<double> ttl(ttl_seconds_);
+  if (ttl > Clock::time_point::max() - now) return Clock::time_point::max();
+  return now + std::chrono::duration_cast<Clock::duration>(ttl);
+}
+
+std::optional<CachedSolution> ReplicaCache::lookup(const CanonicalHash& key,
+                                                   Clock::time_point now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (now >= it->second->expires_at) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+bool ReplicaCache::contains(const CanonicalHash& key,
+                            Clock::time_point now) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  return it != index_.end() && now < it->second->expires_at;
+}
+
+void ReplicaCache::insert(const CanonicalHash& key, CachedSolution value,
+                          Clock::time_point now) {
+  if (capacity_bytes_ == 0) return;
+  const std::size_t bytes = cached_solution_bytes(value);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = bytes;
+    it->second->expires_at = expiry_for(now);
+    bytes_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(value), bytes, expiry_for(now)});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    ++stats_.insertions;
+  }
+  // Never evict the entry just inserted; one oversized entry is kept
+  // (and displaced by the next insertion), mirroring the engine cache.
+  while (bytes_ > capacity_bytes_ && lru_.size() > 1) {
+    const auto victim = std::prev(lru_.end());
+    bytes_ -= victim->bytes;
+    index_.erase(victim->key);
+    lru_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void ReplicaCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ReplicaStats ReplicaCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ReplicaStats stats = stats_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+void ReplicaCache::write_stats_json(std::ostream& out,
+                                    const ReplicaStats& stats) {
+  out << "{\"hits\":" << stats.hits << ",\"misses\":" << stats.misses
+      << ",\"insertions\":" << stats.insertions
+      << ",\"evictions\":" << stats.evictions
+      << ",\"expirations\":" << stats.expirations
+      << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+      << ",\"capacity_bytes\":" << stats.capacity_bytes << "}";
 }
 
 }  // namespace prts::service

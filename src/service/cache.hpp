@@ -27,6 +27,7 @@
 //     nothing else is read or parsed).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -112,6 +113,15 @@ class ShardedSolutionCache {
   /// The entry under `key` (refreshing its LRU position), or nullopt.
   std::optional<CachedSolution> lookup(const CanonicalHash& key);
 
+  /// lookup() without side effects: no LRU refresh, no hit/miss
+  /// counting. Serves the fabric's replica-fetch frames, which must not
+  /// distort the owner's recency order or hit-rate statistics.
+  std::optional<CachedSolution> peek(const CanonicalHash& key) const;
+
+  /// peek() without the entry copy — the gossip digest's "is this key
+  /// still fetchable?" filter.
+  bool contains(const CanonicalHash& key) const;
+
   /// Inserts or refreshes `key`; evicts entries of the shard while it
   /// is over its byte budget (never the entry just inserted — a single
   /// oversized entry is kept and evicted by the next insertion).
@@ -160,18 +170,10 @@ class ShardedSolutionCache {
     std::size_t bytes = 0;
   };
 
-  /// Shard-local hash: lo is already avalanched by fingerprint(), so it
-  /// is the bucket index; the map compares full 128-bit keys.
-  struct KeyHasher {
-    std::size_t operator()(const CanonicalHash& key) const noexcept {
-      return static_cast<std::size_t>(key.lo);
-    }
-  };
-
   struct Shard {
     mutable std::mutex mutex;
     std::list<Entry> lru;  ///< front = most recent
-    std::unordered_map<CanonicalHash, std::list<Entry>::iterator, KeyHasher>
+    std::unordered_map<CanonicalHash, std::list<Entry>::iterator, CanonicalKeyHasher>
         index;
     std::size_t bytes = 0;
     std::uint64_t hits = 0;
@@ -183,6 +185,9 @@ class ShardedSolutionCache {
   Shard& shard_of(const CanonicalHash& key) noexcept {
     return shards_[key.hi % shards_.size()];
   }
+  const Shard& shard_of(const CanonicalHash& key) const noexcept {
+    return shards_[key.hi % shards_.size()];
+  }
 
   /// Drops one entry chosen by the retention policy (shard lock held;
   /// the shard has >= 2 entries).
@@ -192,6 +197,86 @@ class ShardedSolutionCache {
   std::size_t per_shard_capacity_;
   Retention retention_;
   std::size_t cost_window_;
+};
+
+/// Replica-tier counters (monotonic except entries/bytes snapshots).
+struct ReplicaStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;    ///< dropped for the byte budget
+  std::uint64_t expirations = 0;  ///< dropped because the TTL lapsed
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t capacity_bytes = 0;
+};
+
+/// The fabric's replica tier: a bounded, TTL'd LRU of *remote-shard*
+/// answers kept on the requesting rank, so repeat hits on a peer's keys
+/// stop paying the network round trip. Entries are immutable (a
+/// canonical key fully determines its solution), so there is no
+/// invalidation protocol — only the TTL, which bounds how long a rank
+/// serves a key after its owner forgot it (capacity-evicted it), keeping
+/// the fabric's effective working set fresh.
+///
+/// Expiry is lazy (checked on lookup) against caller-supplied
+/// timestamps, defaulting to steady_clock::now() — tests inject times
+/// instead of sleeping. A zero byte capacity disables the tier; a
+/// non-positive TTL means entries never expire.
+class ReplicaCache {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    std::size_t capacity_bytes = 16 * 1024 * 1024;  ///< 0 disables
+    double ttl_seconds = 300.0;                     ///< <= 0: no expiry
+  };
+
+  ReplicaCache() : ReplicaCache(Config()) {}
+  explicit ReplicaCache(Config config);
+
+  bool enabled() const noexcept { return capacity_bytes_ > 0; }
+
+  /// The live entry under `key` (refreshing its LRU position), or
+  /// nullopt; an expired entry is dropped and reported as a miss.
+  std::optional<CachedSolution> lookup(const CanonicalHash& key,
+                                       Clock::time_point now = Clock::now());
+
+  /// True when a live entry exists; no LRU refresh, no hit/miss
+  /// counting (the prefetcher's "do I already hold this?" probe).
+  bool contains(const CanonicalHash& key,
+                Clock::time_point now = Clock::now()) const;
+
+  /// Inserts or refreshes `key` (the TTL restarts), then evicts LRU
+  /// entries while over the byte budget. No-op when disabled.
+  void insert(const CanonicalHash& key, CachedSolution value,
+              Clock::time_point now = Clock::now());
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  ReplicaStats stats() const;
+  static void write_stats_json(std::ostream& out, const ReplicaStats& stats);
+
+ private:
+  struct Entry {
+    CanonicalHash key;
+    CachedSolution value;
+    std::size_t bytes = 0;
+    Clock::time_point expires_at;  ///< max() when the TTL is disabled
+  };
+
+  Clock::time_point expiry_for(Clock::time_point now) const noexcept;
+
+  const std::size_t capacity_bytes_;
+  const double ttl_seconds_;
+
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recent
+  std::unordered_map<CanonicalHash, std::list<Entry>::iterator, CanonicalKeyHasher>
+      index_;
+  std::size_t bytes_ = 0;
+  ReplicaStats stats_;
 };
 
 }  // namespace prts::service

@@ -58,6 +58,15 @@ std::string to_hex(const CanonicalHash& hash);
 /// Parses to_hex output; nullopt on malformed input.
 std::optional<CanonicalHash> hash_from_hex(std::string_view hex);
 
+/// Hasher for CanonicalHash-keyed maps: lo is already avalanched by
+/// fingerprint(), so it is the bucket index; maps compare full 128-bit
+/// keys.
+struct CanonicalKeyHasher {
+  std::size_t operator()(const CanonicalHash& key) const noexcept {
+    return static_cast<std::size_t>(key.lo);
+  }
+};
+
 /// An instance in canonical form plus the label translation back to the
 /// request it came from.
 struct CanonicalInstance {

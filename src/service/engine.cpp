@@ -1,5 +1,6 @@
 #include "service/engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <utility>
@@ -19,15 +20,28 @@ bool deadline_expired(double deadline_seconds, Clock::time_point submitted,
   return elapsed >= deadline_seconds;
 }
 
-/// A future already holding `reply`.
-std::future<SolveReply> ready_future(SolveReply reply) {
+/// The absolute time a waiter's deadline elapses; max() when it never
+/// does (infinite or clock-range-exceeding deadlines must not overflow
+/// the time_point arithmetic).
+Clock::time_point waiter_deadline(double deadline_seconds,
+                                  Clock::time_point submitted) noexcept {
+  if (!std::isfinite(deadline_seconds)) return Clock::time_point::max();
+  if (deadline_seconds <= 0.0) return submitted;
+  const std::chrono::duration<double> wait(deadline_seconds);
+  if (wait > Clock::time_point::max() - submitted) {
+    return Clock::time_point::max();
+  }
+  return submitted + std::chrono::duration_cast<Clock::duration>(wait);
+}
+
+}  // namespace
+
+std::future<SolveReply> ready_reply_future(SolveReply reply) {
   std::promise<SolveReply> promise;
   std::future<SolveReply> future = promise.get_future();
   promise.set_value(std::move(reply));
   return future;
 }
-
-}  // namespace
 
 const char* reply_status_name(ReplyStatus status) noexcept {
   switch (status) {
@@ -92,7 +106,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
       ++stats_.submitted;
       ++stats_.cache_hits;
       ++stats_.completed;
-      return ready_future(std::move(reply));
+      return ready_reply_future(std::move(reply));
     }
   }
 
@@ -118,7 +132,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     SolveReply reply;
     reply.status = ReplyStatus::kRejectedQueue;
     reply.key = key;
-    return ready_future(std::move(reply));
+    return ready_reply_future(std::move(reply));
   }
   ++outstanding_;
 
@@ -136,9 +150,13 @@ std::future<SolveReply> SolveService::submit_canonicalized(
   // Batching: requests sharing (canonical instance, solver) ride one
   // prepared session; the batch stays open until a worker picks it up.
   const CanonicalHash bkey = batch_key(*canonical, request.solver);
+  const Clock::time_point query_deadline = waiter_deadline(
+      request.deadline_seconds, query->waiters.back().submitted);
   if (const auto it = open_batches_.find(bkey); it != open_batches_.end()) {
     ++stats_.batched_requests;
     it->second->queries.push_back(std::move(query));
+    it->second->earliest_deadline =
+        std::min(it->second->earliest_deadline, query_deadline);
     return future;
   }
   auto batch = std::make_shared<Batch>();
@@ -146,18 +164,37 @@ std::future<SolveReply> SolveService::submit_canonicalized(
   batch->solver_name = request.solver;
   batch->key = bkey;
   batch->queries.push_back(std::move(query));
+  batch->earliest_deadline = query_deadline;
+  batch->sequence = next_batch_sequence_++;
   open_batches_.emplace(bkey, batch);
   lock.unlock();
 
-  pool_.submit([this, batch = std::move(batch)] { run_batch(batch); });
+  // One task per batch created; each task picks the currently most
+  // urgent open batch, so pickup order is deadline-driven, not FIFO.
+  pool_.submit([this] { run_next_batch(); });
   return future;
 }
 
-void SolveService::run_batch(std::shared_ptr<Batch> batch) {
+void SolveService::run_next_batch() {
+  std::shared_ptr<Batch> batch;
   std::vector<std::unique_ptr<PendingQuery>> queries;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    open_batches_.erase(batch->key);
+    if (open_batches_.empty()) return;  // defensive; see run_next_batch doc
+    auto best = open_batches_.begin();
+    for (auto it = std::next(best); it != open_batches_.end(); ++it) {
+      const Batch& candidate = *it->second;
+      const Batch& leader = *best->second;
+      // Earliest deadline wins; creation order breaks ties, so the
+      // all-infinite-deadline workload keeps its FIFO fairness.
+      if (candidate.earliest_deadline < leader.earliest_deadline ||
+          (candidate.earliest_deadline == leader.earliest_deadline &&
+           candidate.sequence < leader.sequence)) {
+        best = it;
+      }
+    }
+    batch = best->second;
+    open_batches_.erase(best);
     queries = std::move(batch->queries);
     ++stats_.batches;
   }

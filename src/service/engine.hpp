@@ -11,7 +11,10 @@
 //      (canonical instance, solver) pair — requests differing only in
 //      bounds share one prepared solver session (Solver::prepare), the
 //      access pattern of design-space sweeps — and the batch is fanned
-//      out across the shared ThreadPool.
+//      out across the shared ThreadPool. Workers pick up open batches
+//      in *earliest-waiter-deadline* order, not FIFO: under backlog a
+//      tight-deadline request is served before patient ones that were
+//      submitted earlier, instead of expiring in the queue behind them.
 //
 // Admission control: a queue-depth limit rejects new work outright
 // (kRejectedQueue) when the backlog is full, and a per-request deadline
@@ -90,6 +93,10 @@ struct SolveReply {
   CanonicalHash key;          ///< the request's cache key
   std::string error;          ///< set iff status == kError
 };
+
+/// A future already holding `reply` — for paths (cache hits,
+/// rejections, replica hits) that answer without touching a worker.
+std::future<SolveReply> ready_reply_future(SolveReply reply);
 
 /// Engine counters (monotonic; snapshot via SolveService::stats).
 struct EngineStats {
@@ -180,12 +187,16 @@ class SolveService {
     std::string solver_name;
     CanonicalHash key;  ///< batch key
     std::vector<std::unique_ptr<PendingQuery>> queries;
-  };
-
-  struct KeyHasher {
-    std::size_t operator()(const CanonicalHash& key) const noexcept {
-      return static_cast<std::size_t>(key.lo);
-    }
+    /// Earliest absolute deadline over the queries' first submitters,
+    /// maintained on insertion so pickup never rescans waiters. (A
+    /// dedup waiter attaching to an in-flight query does not raise an
+    /// open batch's urgency — pickup order is a scheduling heuristic;
+    /// per-waiter deadline *semantics* are enforced in run_next_batch.)
+    std::chrono::steady_clock::time_point earliest_deadline =
+        std::chrono::steady_clock::time_point::max();
+    /// Creation order, the tie-break: equal deadlines (the common
+    /// all-infinite case) are served FIFO, not in map-iteration order.
+    std::uint64_t sequence = 0;
   };
 
   /// What run_batch concluded for one query; finish_query renders it
@@ -204,7 +215,12 @@ class SolveService {
     std::string error;
   };
 
-  void run_batch(std::shared_ptr<Batch> batch);
+  /// One pool task: picks the open batch whose most urgent waiter has
+  /// the earliest absolute deadline (deadline-aware pickup — FIFO would
+  /// let a tight-deadline request expire behind patient backlog) and
+  /// runs it to completion. Exactly one task is enqueued per batch
+  /// created, so every task finds a batch to run.
+  void run_next_batch();
   void finish_query(PendingQuery& query, const QueryOutcome& outcome);
 
   ServiceConfig config_;
@@ -213,9 +229,10 @@ class SolveService {
   mutable std::mutex mutex_;
   std::condition_variable idle_cv_;
   std::size_t outstanding_ = 0;  ///< accepted, not yet answered
-  std::unordered_map<CanonicalHash, PendingQuery*, KeyHasher> in_flight_;
-  std::unordered_map<CanonicalHash, std::shared_ptr<Batch>, KeyHasher>
+  std::unordered_map<CanonicalHash, PendingQuery*, CanonicalKeyHasher> in_flight_;
+  std::unordered_map<CanonicalHash, std::shared_ptr<Batch>, CanonicalKeyHasher>
       open_batches_;
+  std::uint64_t next_batch_sequence_ = 0;
   EngineStats stats_;
 
   /// Declared last: destroyed first, so draining batch tasks still see

@@ -191,6 +191,9 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
         out << "# router ";
         ShardRouter::write_stats_json(out, options.router->stats());
         out << "\n";
+        out << "# replica ";
+        ReplicaCache::write_stats_json(out, options.router->replica_stats());
+        out << "\n";
       }
       out.flush();
     } else if (command == "sync") {

@@ -8,12 +8,25 @@
 #include <utility>
 
 #include "net/frame.hpp"
-#include "service/wire.hpp"
 
 namespace prts::service {
+namespace {
 
-net::FrameHandler make_fabric_handler(SolveService& service) {
-  return [&service](const net::Frame& request) -> std::optional<net::Frame> {
+/// The owner serves at most this many keys per kReplicaFetch frame — a
+/// hostile or buggy peer must not turn one fetch into a whole-cache
+/// dump.
+constexpr std::size_t kMaxFetchKeys = 1024;
+
+/// Hot-key hit counts tracked between gossip rounds are capped so the
+/// map stays bounded even when gossip never runs to clear it.
+constexpr std::size_t kMaxTrackedHotKeys = 4096;
+
+}  // namespace
+
+net::FrameHandler make_fabric_handler(SolveService& service,
+                                      std::function<ShardRouter*()> router) {
+  return [&service, router = std::move(router)](
+             const net::Frame& request) -> std::optional<net::Frame> {
     net::Frame reply;
     switch (request.type) {
       case net::FrameType::kPing:
@@ -43,8 +56,51 @@ net::FrameHandler make_fabric_handler(SolveService& service) {
         // FrameServer runs this on its own pool.
         const SolveReply answer =
             service.submit(std::move(*decoded)).get();
+        // Peer traffic is what makes an owned key hot — feed the
+        // gossip digest.
+        if (ShardRouter* owner = router ? router() : nullptr) {
+          owner->note_owned_hit(answer.key);
+        }
         reply.type = net::FrameType::kSolveReply;
         reply.payload = encode_wire_reply(answer);
+        return reply;
+      }
+      case net::FrameType::kGossipDigest: {
+        std::string error;
+        auto digest = decode_gossip_digest(request.payload, error);
+        if (!digest) {
+          reply.type = net::FrameType::kError;
+          reply.payload = "bad gossip digest: " + error;
+          return reply;
+        }
+        if (ShardRouter* receiver = router ? router() : nullptr) {
+          receiver->handle_gossip_digest(std::move(*digest));
+        }
+        // Ack even without a router: gossip is advisory, and the
+        // sender only wants to know the frame arrived.
+        reply.type = net::FrameType::kPong;
+        return reply;
+      }
+      case net::FrameType::kReplicaFetch: {
+        std::string error;
+        const auto keys = decode_replica_fetch(request.payload, error);
+        if (!keys) {
+          reply.type = net::FrameType::kError;
+          reply.payload = "bad replica fetch: " + error;
+          return reply;
+        }
+        std::vector<std::pair<CanonicalHash, CachedSolution>> entries;
+        const std::size_t served = std::min(keys->size(), kMaxFetchKeys);
+        for (std::size_t i = 0; i < served; ++i) {
+          // peek: a prefetch must not distort the owner's LRU order or
+          // hit-rate counters. Missing keys are silently skipped (the
+          // fetch is best-effort).
+          if (auto value = service.cache().peek((*keys)[i])) {
+            entries.emplace_back((*keys)[i], std::move(*value));
+          }
+        }
+        reply.type = net::FrameType::kReplicaFetchReply;
+        reply.payload = encode_replica_entries(entries);
         return reply;
       }
       default:
@@ -89,6 +145,7 @@ std::optional<std::vector<PeerAddress>> parse_peer_list(
 ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
     : service_(service),
       config_(std::move(config)),
+      replicas_(config_.replica),
       forward_pool_(std::max<std::size_t>(1, config_.forward_threads)) {
   if (config_.world_size == 0) config_.world_size = 1;
   clients_.resize(config_.world_size);
@@ -97,9 +154,32 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
     clients_[r] = std::make_unique<net::FrameClient>(
         config_.peers[r].host, config_.peers[r].port, config_.client);
   }
+  if (config_.gossip_interval_seconds > 0.0 && config_.world_size > 1) {
+    gossip_thread_ = std::thread([this] {
+      const std::chrono::duration<double> interval(
+          config_.gossip_interval_seconds);
+      std::unique_lock<std::mutex> lock(gossip_mutex_);
+      while (!gossip_stop_) {
+        if (gossip_cv_.wait_for(lock, interval,
+                                [this] { return gossip_stop_; })) {
+          break;
+        }
+        lock.unlock();
+        gossip_now();
+        lock.lock();
+      }
+    });
+  }
 }
 
-ShardRouter::~ShardRouter() = default;  // forward_pool_ drains first
+ShardRouter::~ShardRouter() {
+  {
+    const std::lock_guard<std::mutex> lock(gossip_mutex_);
+    gossip_stop_ = true;
+  }
+  gossip_cv_.notify_all();
+  if (gossip_thread_.joinable()) gossip_thread_.join();
+}  // forward_pool_ then drains forwards and prefetches
 
 std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   if (config_.world_size <= 1) {
@@ -117,6 +197,7 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   const std::size_t owner = shard_of(key);
 
   if (owner == config_.rank || !clients_[owner]) {
+    note_owned_hit(key);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.local;
@@ -127,13 +208,38 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
                                          std::move(canonical), key);
   }
 
+  // Replica tier: a repeat hit on a peer's key that was forwarded (or
+  // prefetched) before is answered here, with the same per-waiter label
+  // translation a cache hit gets — no network round trip.
+  if (replicas_.enabled()) {
+    if (auto cached = replicas_.lookup(key)) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.replica_hits;
+      }
+      SolveReply reply;
+      reply.key = key;
+      reply.cache_hit = true;
+      reply.solver_used = request.solver;
+      if (cached->solution) {
+        reply.status = ReplyStatus::kSolved;
+        reply.solution = to_original_labels(*cached->solution, *canonical);
+      } else {
+        reply.status = ReplyStatus::kInfeasible;
+      }
+      return ready_reply_future(std::move(reply));
+    }
+  }
+
   std::unique_lock<std::mutex> lock(mutex_);
 
   // Router-level dedup: identical remote-shard requests already being
   // forwarded get a waiter on the same exchange.
   if (const auto it = in_flight_.find(key); it != in_flight_.end()) {
     ++stats_.deduplicated;
-    it->second->waiters.push_back(ForwardWaiter{{}, canonical, true});
+    it->second->waiters.push_back(
+        ForwardWaiter{{}, canonical, request.deadline_seconds,
+                      request.deadline_policy, true});
     return it->second->waiters.back().promise.get_future();
   }
 
@@ -145,7 +251,9 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   forward->deadline_policy = request.deadline_policy;
   forward->key = key;
   forward->owner_rank = owner;
-  forward->waiters.push_back(ForwardWaiter{{}, canonical, false});
+  forward->waiters.push_back(ForwardWaiter{{}, canonical,
+                                           request.deadline_seconds,
+                                           request.deadline_policy, false});
   std::future<SolveReply> future =
       forward->waiters.back().promise.get_future();
   in_flight_.emplace(key, forward.get());
@@ -195,6 +303,12 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
                  remote->status == ReplyStatus::kInfeasible);
 
   if (answered) {
+    // Replicate: the next repeat hit on this key is served locally
+    // until the TTL lapses (the entry is immutable, so the copy can
+    // never go stale — only old).
+    if (replicas_.enabled()) {
+      replicas_.insert(forward->key, CachedSolution{remote->solution});
+    }
     std::vector<ForwardWaiter> waiters;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -220,9 +334,14 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     return;
   }
 
-  // Degrade: solve locally (the local engine dedups and caches under
-  // the same key, so a later recovered owner still benefits from the
-  // canonical form).
+  // Failover: solve locally, exactly once. Every waiter is re-submitted
+  // with its *own* deadline options (a patient twin must not be
+  // rejected on an impatient stranger's policy — the engine handles
+  // mixed policies per waiter); the engine's in-flight dedup and cache
+  // collapse the N submissions into a single solve. The degraded
+  // request *is* the canonical instance (canonicalization is
+  // idempotent), so every engine reply speaks canonical labels and the
+  // local cache fills under the same key a recovered owner would use.
   std::vector<ForwardWaiter> waiters;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -231,22 +350,173 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     ++stats_.forward_failures;
     ++stats_.local_fallbacks;
   }
-  SolveRequest local_request{forward->canonical->instance, forward->solver,
-                             forward->bounds, forward->deadline_seconds,
-                             forward->deadline_policy};
-  const SolveReply local = service_.submit(std::move(local_request)).get();
-  for (ForwardWaiter& waiter : waiters) {
-    SolveReply reply = local;
-    reply.deduplicated = waiter.deduplicated;
-    if (local.solution) {
-      // The degraded request *is* the canonical instance
-      // (canonicalization is idempotent), so `local` already speaks
-      // canonical labels; translate per waiter.
-      reply.solution =
-          to_original_labels(*local.solution, *waiter.canonical);
-    }
-    waiter.promise.set_value(std::move(reply));
+  // One canonicalization for all waiters: the canonical instance is a
+  // fixed point, so its own canonical form is the identity translation
+  // under the same key, and replies come back in canonical labels.
+  auto identity = std::make_shared<const CanonicalInstance>(
+      canonicalize(forward->canonical->instance));
+  std::vector<std::future<SolveReply>> futures;
+  futures.reserve(waiters.size());
+  for (const ForwardWaiter& waiter : waiters) {
+    SolveRequest local_request{forward->canonical->instance, forward->solver,
+                               forward->bounds, waiter.deadline_seconds,
+                               waiter.deadline_policy};
+    futures.push_back(service_.submit_canonicalized(std::move(local_request),
+                                                    identity, forward->key));
   }
+  for (std::size_t i = 0; i < waiters.size(); ++i) {
+    SolveReply reply = futures[i].get();
+    reply.deduplicated = waiters[i].deduplicated;
+    if (reply.solution) {
+      reply.solution =
+          to_original_labels(*reply.solution, *waiters[i].canonical);
+    }
+    waiters[i].promise.set_value(std::move(reply));
+  }
+}
+
+void ShardRouter::note_owned_hit(const CanonicalHash& key) {
+  if (config_.world_size <= 1 || shard_of(key) != config_.rank) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = owned_hits_.find(key); it != owned_hits_.end()) {
+    ++it->second;
+    return;
+  }
+  // Bounded tracking window: only gossip_now() clears the map, which a
+  // node with gossip disabled never runs — a long uptime over millions
+  // of distinct keys must not grow it without limit. Hot keys recur, so
+  // dropping first-seen keys past the cap loses nothing a digest (top-K
+  // of it) would have kept.
+  if (owned_hits_.size() >= kMaxTrackedHotKeys) return;
+  owned_hits_.emplace(key, 1);
+}
+
+void ShardRouter::gossip_now() {
+  if (config_.world_size <= 1) return;
+  std::vector<GossipDigest::Entry> hot;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    hot.reserve(owned_hits_.size());
+    for (const auto& [key, count] : owned_hits_) {
+      if (count >= config_.gossip_min_hits) {
+        hot.push_back(GossipDigest::Entry{key, count});
+      }
+    }
+    owned_hits_.clear();
+  }
+  // Only announce keys a peer could actually fetch right now.
+  hot.erase(std::remove_if(hot.begin(), hot.end(),
+                           [this](const GossipDigest::Entry& entry) {
+                             return !service_.cache().contains(entry.key);
+                           }),
+            hot.end());
+  std::sort(hot.begin(), hot.end(),
+            [](const GossipDigest::Entry& a, const GossipDigest::Entry& b) {
+              return a.hits > b.hits;
+            });
+  if (hot.size() > config_.gossip_top_k) hot.resize(config_.gossip_top_k);
+  if (hot.empty()) return;
+
+  GossipDigest digest;
+  digest.rank = config_.rank;
+  digest.entries = std::move(hot);
+  net::Frame frame;
+  frame.type = net::FrameType::kGossipDigest;
+  frame.payload = encode_gossip_digest(digest);
+  for (std::size_t r = 0; r < clients_.size(); ++r) {
+    if (!clients_[r]) continue;
+    const auto ack = clients_[r]->call(frame);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ack && ack->type == net::FrameType::kPong) {
+      ++stats_.gossip_sent;
+    } else {
+      ++stats_.gossip_failures;
+    }
+  }
+}
+
+void ShardRouter::handle_gossip_digest(GossipDigest digest) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.gossip_received;
+  }
+  // Only the sender's own keys are prefetchable from the sender; a
+  // digest naming another rank (or this one) is ignored key-by-key.
+  if (digest.rank >= config_.world_size || digest.rank == config_.rank ||
+      !clients_[digest.rank] || !replicas_.enabled()) {
+    return;
+  }
+  std::sort(digest.entries.begin(), digest.entries.end(),
+            [](const GossipDigest::Entry& a, const GossipDigest::Entry& b) {
+              return a.hits > b.hits;
+            });
+  std::vector<CanonicalHash> wanted;
+  for (const GossipDigest::Entry& entry : digest.entries) {
+    if (wanted.size() >= config_.gossip_top_k) break;
+    if (shard_of(entry.key) != digest.rank) continue;
+    if (replicas_.contains(entry.key)) continue;
+    wanted.push_back(entry.key);
+  }
+  if (wanted.empty()) return;
+
+  // Prefetch in the background: this runs on the FrameServer's
+  // connection thread, and a nested blocking fetch here could deadlock
+  // two ranks gossiping at each other over their shared per-peer
+  // connections.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++outstanding_prefetches_;
+  }
+  auto task = forward_pool_.submit(
+      [this, owner = digest.rank, wanted = std::move(wanted)]() mutable {
+        run_prefetch(owner, std::move(wanted));
+      });
+  // A shut-down pool never runs the task; release the bookkeeping.
+  if (task.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    try {
+      task.get();
+    } catch (...) {
+      finish_prefetch(0);
+    }
+  }
+}
+
+void ShardRouter::run_prefetch(std::size_t owner,
+                               std::vector<CanonicalHash> keys) {
+  net::Frame frame;
+  frame.type = net::FrameType::kReplicaFetch;
+  frame.payload = encode_replica_fetch(keys);
+  std::size_t fetched = 0;
+  if (const auto reply = clients_[owner]->call(frame)) {
+    if (reply->type == net::FrameType::kReplicaFetchReply) {
+      std::string error;
+      if (auto entries = decode_replica_entries(reply->payload, error)) {
+        for (auto& [key, value] : *entries) {
+          // Accept only keys this fetch asked for (and hence validated
+          // as owned by `owner`) — a confused peer must not plant
+          // foreign entries in the replica tier.
+          if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+            continue;
+          }
+          replicas_.insert(key, std::move(value));
+          ++fetched;
+        }
+      }
+    }
+  }
+  finish_prefetch(fetched);
+}
+
+void ShardRouter::finish_prefetch(std::size_t fetched) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.prefetched += fetched;
+  --outstanding_prefetches_;
+  prefetch_cv_.notify_all();
+}
+
+void ShardRouter::wait_prefetches_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  prefetch_cv_.wait(lock, [this] { return outstanding_prefetches_ == 0; });
 }
 
 bool ShardRouter::peer_suspect(std::size_t rank) const {
@@ -266,7 +536,12 @@ void ShardRouter::write_stats_json(std::ostream& out,
       << ",\"forward_hits\":" << stats.forward_hits
       << ",\"forward_failures\":" << stats.forward_failures
       << ",\"local_fallbacks\":" << stats.local_fallbacks
-      << ",\"deduplicated\":" << stats.deduplicated << "}";
+      << ",\"deduplicated\":" << stats.deduplicated
+      << ",\"replica_hits\":" << stats.replica_hits
+      << ",\"prefetched\":" << stats.prefetched
+      << ",\"gossip_sent\":" << stats.gossip_sent
+      << ",\"gossip_failures\":" << stats.gossip_failures
+      << ",\"gossip_received\":" << stats.gossip_received << "}";
 }
 
 }  // namespace prts::service

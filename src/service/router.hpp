@@ -13,20 +13,36 @@
 // counterpart of the engine's in-flight dedup, so a thundering herd of
 // isomorphic misses costs one network exchange.
 //
+// Hot-entry replication: every authoritative remote answer is also
+// copied into a bounded, TTL'd *replica cache* on this rank (entries
+// are immutable, so there is no invalidation protocol), and repeat hits
+// on a peer's keys are absorbed locally — steady-state repeat traffic
+// stops crossing the network. On top of that, ranks gossip per-key
+// hit-count digests of their hot owned keys on a timer; a peer
+// receiving a digest prefetches the top-K keys it lacks (one
+// kReplicaFetch exchange), so a key that is hot *anywhere* becomes
+// cheap *everywhere* before the first local request even arrives.
+//
 // Degradation: a peer that cannot be reached (or answers garbage)
 // makes the request fall back to the local engine — correctness never
 // depends on the fabric, only capacity does. The FrameClient marks the
 // peer suspect and fails fast during its backoff window, so a dead
-// peer costs one connect timeout, not one per request.
+// peer costs one connect timeout, not one per request. Failover of an
+// in-flight forward re-submits every attached waiter locally with its
+// own deadline/policy; the engine's dedup collapses them to exactly
+// one solve.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +50,7 @@
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
 #include "service/engine.hpp"
+#include "service/wire.hpp"
 
 namespace prts::service {
 
@@ -42,12 +59,24 @@ struct PeerAddress {
   std::uint16_t port = 0;
 };
 
+class ShardRouter;
+
 /// The server-side half of a fabric node: a net::FrameHandler that
 /// answers kSolveRequest frames against the local service (blocking on
 /// the reply — run it on a pool dedicated to the FrameServer), kPing
-/// with kPong, and kStatsRequest with one JSON object carrying the
-/// engine and cache counters. Undecodable payloads get kError frames.
-net::FrameHandler make_fabric_handler(SolveService& service);
+/// with kPong, kStatsRequest with one JSON object carrying the engine
+/// and cache counters, and kReplicaFetch with the requested cache
+/// entries (peek only — a fetch never disturbs the owner's LRU order).
+/// Undecodable payloads get kError frames.
+///
+/// `router` resolves this node's ShardRouter at call time (it is
+/// usually constructed *after* the server, since peers need the bound
+/// port): when it yields one, kGossipDigest frames are handed to it for
+/// prefetching and solved keys are counted toward the gossip digest;
+/// when it yields nullptr, gossip frames are acknowledged and dropped.
+net::FrameHandler make_fabric_handler(
+    SolveService& service,
+    std::function<ShardRouter*()> router = {});
 
 /// Parses "host:port,host:port,..." (one entry per rank, in rank
 /// order); nullopt on malformed input.
@@ -60,12 +89,25 @@ struct RouterConfig {
   /// One address per rank; the entry at `rank` is ignored (self).
   std::vector<PeerAddress> peers;
   net::FrameClientConfig client;
-  /// Threads running blocking forward exchanges. Note exchanges to one
-  /// peer additionally serialize on that peer's single connection
-  /// (FrameClient matches replies to requests by ordering), so this
-  /// caps concurrency *across* peers; per-peer pipelining is a
-  /// follow-up (see ROADMAP "Fabric hardening").
+  /// Threads running blocking forward exchanges (and replica
+  /// prefetches). Note exchanges to one peer additionally serialize on
+  /// that peer's single connection (FrameClient matches replies to
+  /// requests by ordering), so this caps concurrency *across* peers;
+  /// per-peer pipelining is a follow-up (see ROADMAP "Fabric
+  /// hardening").
   std::size_t forward_threads = 4;
+
+  /// The replica tier (capacity_bytes 0 disables replication).
+  ReplicaCache::Config replica;
+  /// Seconds between gossip rounds; <= 0 disables the timer (tests and
+  /// benches drive rounds explicitly via gossip_now()).
+  double gossip_interval_seconds = 0.0;
+  /// At most this many keys per digest, and at most this many
+  /// prefetched per received digest.
+  std::size_t gossip_top_k = 16;
+  /// Keys with fewer hits since the last round are not worth
+  /// announcing (a single hit is not "hot").
+  std::uint64_t gossip_min_hits = 2;
 };
 
 /// Monotonic router counters (snapshot via ShardRouter::stats).
@@ -76,6 +118,12 @@ struct RouterStats {
   std::uint64_t forward_failures = 0;  ///< peer down or bad reply
   std::uint64_t local_fallbacks = 0;   ///< remote keys solved locally
   std::uint64_t deduplicated = 0;      ///< attached to an in-flight forward
+  std::uint64_t replica_hits = 0;   ///< remote keys served from the replica
+                                    ///< tier (no network round trip)
+  std::uint64_t prefetched = 0;     ///< replica entries pulled via gossip
+  std::uint64_t gossip_sent = 0;      ///< digests acknowledged by a peer
+  std::uint64_t gossip_failures = 0;  ///< digests a peer never acked
+  std::uint64_t gossip_received = 0;  ///< digests received from peers
 };
 
 class ShardRouter {
@@ -84,7 +132,8 @@ class ShardRouter {
   /// it must outlive the router.
   ShardRouter(SolveService& service, RouterConfig config);
 
-  /// Drains every in-flight forward.
+  /// Stops the gossip timer, then drains every in-flight forward and
+  /// prefetch.
   ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
@@ -104,21 +153,51 @@ class ShardRouter {
   /// True while the peer owning `rank` is inside its backoff window.
   bool peer_suspect(std::size_t rank) const;
 
+  /// Runs one gossip round synchronously: snapshot + reset the hit
+  /// counts of this rank's hot owned keys, send one kGossipDigest to
+  /// every reachable peer. Peers prefetch asynchronously — their
+  /// replica caches fill shortly after their ack, not upon it. Also
+  /// called by the interval timer when gossip_interval_seconds > 0.
+  void gossip_now();
+
+  /// Handles a digest received from a peer: schedules one background
+  /// kReplicaFetch for the hottest announced keys missing from the
+  /// replica tier. Never blocks on the network (two ranks gossiping at
+  /// each other must not deadlock on their shared per-peer
+  /// connections).
+  void handle_gossip_digest(GossipDigest digest);
+
+  /// Counts one served request against `key` for the next digest
+  /// (no-op unless this rank owns the key). The fabric handler calls
+  /// this for peer traffic; submit() for local traffic.
+  void note_owned_hit(const CanonicalHash& key);
+
+  /// Blocks until every scheduled prefetch has completed (test and
+  /// bench determinism).
+  void wait_prefetches_idle();
+
   RouterStats stats() const;
+  ReplicaStats replica_stats() const { return replicas_.stats(); }
   static void write_stats_json(std::ostream& out, const RouterStats& stats);
 
  private:
   /// One forward in flight: the canonical request plus every waiter
-  /// attached to it (each with its own label translation).
+  /// attached to it. Each waiter keeps its own label translation and
+  /// its own deadline options — failover must not reject a patient
+  /// waiter on an impatient stranger's policy.
   struct ForwardWaiter {
     std::promise<SolveReply> promise;
     std::shared_ptr<const CanonicalInstance> canonical;
+    double deadline_seconds;
+    DeadlinePolicy deadline_policy;
     bool deduplicated = false;
   };
   struct Forward {
     std::shared_ptr<const CanonicalInstance> canonical;
     solver::Bounds bounds;
     std::string solver;
+    /// The first submitter's deadline options, carried on the wire (a
+    /// later waiter's options only matter on the failover path).
     double deadline_seconds;
     DeadlinePolicy deadline_policy;
     CanonicalHash key;
@@ -126,24 +205,31 @@ class ShardRouter {
     std::vector<ForwardWaiter> waiters;
   };
 
-  struct KeyHasher {
-    std::size_t operator()(const CanonicalHash& key) const noexcept {
-      return static_cast<std::size_t>(key.lo);
-    }
-  };
-
   void run_forward(std::shared_ptr<Forward> forward);
+  void run_prefetch(std::size_t owner, std::vector<CanonicalHash> keys);
+  void finish_prefetch(std::size_t fetched);
 
   SolveService& service_;
   RouterConfig config_;
   std::vector<std::unique_ptr<net::FrameClient>> clients_;  ///< [rank]
+  ReplicaCache replicas_;
 
   mutable std::mutex mutex_;
-  std::unordered_map<CanonicalHash, Forward*, KeyHasher> in_flight_;
+  std::unordered_map<CanonicalHash, Forward*, CanonicalKeyHasher> in_flight_;
+  /// Hits on owned keys since the last gossip round (windowed counts:
+  /// gossip_now snapshots and clears, so "hot" means *recently* hot).
+  std::unordered_map<CanonicalHash, std::uint64_t, CanonicalKeyHasher> owned_hits_;
+  std::size_t outstanding_prefetches_ = 0;
+  std::condition_variable prefetch_cv_;
   RouterStats stats_;
 
-  /// Declared last: destroyed first, so draining forward tasks still
-  /// see live clients, maps and the service.
+  std::mutex gossip_mutex_;
+  std::condition_variable gossip_cv_;
+  bool gossip_stop_ = false;
+  std::thread gossip_thread_;
+
+  /// Declared last: destroyed first, so draining forward and prefetch
+  /// tasks still see live clients, caches, maps and the service.
   ThreadPool forward_pool_;
 };
 

@@ -1,5 +1,7 @@
 #include "service/wire.hpp"
 
+#include <charconv>
+#include <functional>
 #include <sstream>
 
 #include "service/cache.hpp"
@@ -195,6 +197,171 @@ std::optional<SolveReply> decode_wire_reply(std::string_view payload,
     return bad("status solved but no solution entry");
   }
   return reply;
+}
+
+// ------------------------------------------------- gossip / replica fetch
+
+namespace {
+
+/// Parses "<header> <count>" then hands each of the following `count`
+/// lines to `parse_line`; nullopt-style false with a reason otherwise.
+bool read_counted_lines(std::istream& in, std::string_view count_key,
+                        std::string& error,
+                        const std::function<bool(const std::string&)>&
+                            parse_line) {
+  std::string line;
+  std::string value;
+  if (!std::getline(in, line) || !take_field(line, count_key, value)) {
+    error = "expected '" + std::string(count_key) + " <n>'";
+    return false;
+  }
+  std::size_t count = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), count);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    error = "malformed count '" + value + "'";
+    return false;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      error = "truncated list (expected " + std::to_string(count) +
+              " lines)";
+      return false;
+    }
+    if (!parse_line(line)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_gossip_digest(const GossipDigest& digest) {
+  std::ostringstream out;
+  out << "prts-gossip v1\n";
+  out << "rank " << digest.rank << "\n";
+  out << "keys " << digest.entries.size() << "\n";
+  for (const GossipDigest::Entry& entry : digest.entries) {
+    out << to_hex(entry.key) << " " << entry.hits << "\n";
+  }
+  return out.str();
+}
+
+std::optional<GossipDigest> decode_gossip_digest(std::string_view payload,
+                                                 std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != "prts-gossip v1") {
+    error = "expected header 'prts-gossip v1'";
+    return std::nullopt;
+  }
+  GossipDigest digest;
+  std::string value;
+  if (!std::getline(in, line) || !take_field(line, "rank", value)) {
+    error = "expected 'rank <r>'";
+    return std::nullopt;
+  }
+  {
+    const auto [ptr, ec] = std::from_chars(
+        value.data(), value.data() + value.size(), digest.rank);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      error = "malformed rank '" + value + "'";
+      return std::nullopt;
+    }
+  }
+  const bool ok = read_counted_lines(
+      in, "keys", error, [&](const std::string& entry_line) {
+        const std::size_t space = entry_line.find(' ');
+        if (space == std::string::npos) {
+          error = "expected '<hash-hex> <hits>'";
+          return false;
+        }
+        const auto key =
+            hash_from_hex(std::string_view(entry_line).substr(0, space));
+        if (!key) {
+          error = "malformed hash '" + entry_line.substr(0, space) + "'";
+          return false;
+        }
+        GossipDigest::Entry entry;
+        entry.key = *key;
+        const char* first = entry_line.data() + space + 1;
+        const char* last = entry_line.data() + entry_line.size();
+        const auto [ptr, ec] = std::from_chars(first, last, entry.hits);
+        if (ec != std::errc{} || ptr != last) {
+          error = "malformed hit count in '" + entry_line + "'";
+          return false;
+        }
+        digest.entries.push_back(entry);
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return digest;
+}
+
+std::string encode_replica_fetch(const std::vector<CanonicalHash>& keys) {
+  std::ostringstream out;
+  out << "prts-replica-fetch v1\n";
+  out << "keys " << keys.size() << "\n";
+  for (const CanonicalHash& key : keys) out << to_hex(key) << "\n";
+  return out.str();
+}
+
+std::optional<std::vector<CanonicalHash>> decode_replica_fetch(
+    std::string_view payload, std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != "prts-replica-fetch v1") {
+    error = "expected header 'prts-replica-fetch v1'";
+    return std::nullopt;
+  }
+  std::vector<CanonicalHash> keys;
+  const bool ok =
+      read_counted_lines(in, "keys", error, [&](const std::string& key_line) {
+        const auto key = hash_from_hex(key_line);
+        if (!key) {
+          error = "malformed hash '" + key_line + "'";
+          return false;
+        }
+        keys.push_back(*key);
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return keys;
+}
+
+std::string encode_replica_entries(
+    const std::vector<std::pair<CanonicalHash, CachedSolution>>& entries) {
+  std::ostringstream out;
+  out << "prts-replica-entries v1\n";
+  out << "entries " << entries.size() << "\n";
+  for (const auto& [key, value] : entries) {
+    out << encode_cache_entry(key, value) << "\n";
+  }
+  return out.str();
+}
+
+std::optional<std::vector<std::pair<CanonicalHash, CachedSolution>>>
+decode_replica_entries(std::string_view payload, std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != "prts-replica-entries v1") {
+    error = "expected header 'prts-replica-entries v1'";
+    return std::nullopt;
+  }
+  std::vector<std::pair<CanonicalHash, CachedSolution>> entries;
+  const bool ok = read_counted_lines(
+      in, "entries", error, [&](const std::string& entry_line) {
+        CanonicalHash key;
+        CachedSolution value;
+        std::string why;
+        if (!parse_cache_entry(entry_line, key, value, why)) {
+          error = "entry: " + why;
+          return false;
+        }
+        entries.emplace_back(key, std::move(value));
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return entries;
 }
 
 }  // namespace prts::service

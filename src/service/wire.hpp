@@ -24,11 +24,32 @@
 //   entry <encode_cache_entry> (only when a solution/infeasible answer
 //                               is present; carries key + solution)
 //   key <hash-hex>             (only when no entry line is present)
+//
+// Gossip digest payload (kGossipDigest; the sender announces its hot
+// *owned* keys so peers can prefetch them):
+//   prts-gossip v1
+//   rank <sender rank>
+//   keys <n>
+//   <hash-hex> <hit count>     x n
+//
+// Replica fetch payload (kReplicaFetch):
+//   prts-replica-fetch v1
+//   keys <n>
+//   <hash-hex>                 x n
+//
+// Replica fetch reply payload (kReplicaFetchReply; only the keys the
+// owner still holds — a fetch is best-effort):
+//   prts-replica-entries v1
+//   entries <n>
+//   <encode_cache_entry>       x n
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "service/engine.hpp"
 
@@ -45,5 +66,31 @@ std::string encode_wire_reply(const SolveReply& reply);
 
 std::optional<SolveReply> decode_wire_reply(std::string_view payload,
                                             std::string& error);
+
+/// One rank's view of its hot owned keys since the last gossip round.
+struct GossipDigest {
+  std::size_t rank = 0;  ///< the sender (owner of every key below)
+  struct Entry {
+    CanonicalHash key;
+    std::uint64_t hits = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+std::string encode_gossip_digest(const GossipDigest& digest);
+
+std::optional<GossipDigest> decode_gossip_digest(std::string_view payload,
+                                                 std::string& error);
+
+std::string encode_replica_fetch(const std::vector<CanonicalHash>& keys);
+
+std::optional<std::vector<CanonicalHash>> decode_replica_fetch(
+    std::string_view payload, std::string& error);
+
+std::string encode_replica_entries(
+    const std::vector<std::pair<CanonicalHash, CachedSolution>>& entries);
+
+std::optional<std::vector<std::pair<CanonicalHash, CachedSolution>>>
+decode_replica_entries(std::string_view payload, std::string& error);
 
 }  // namespace prts::service

@@ -1,0 +1,245 @@
+// In-process multi-rank fabric simulation harness: spins N *real*
+// fabric nodes (SolveService + FrameServer + ShardRouter, each with its
+// own pools) over loopback sockets inside one process, with
+// deterministic fault injection. This is what makes the replication /
+// gossip layer testable at all — every network exchange is real TCP,
+// but ranks can be killed, revived, paused mid-frame or made to drop
+// frames on cue, and every rank's counters and caches are directly
+// inspectable.
+//
+// Deliberately gtest-free: reused verbatim by bench/fabric_replication
+// (failures throw std::runtime_error instead of asserting).
+//
+// Fault injection levers (per rank, applied to *inbound* frames before
+// the fabric handler sees them):
+//   - pause()/resume(): hold every arriving frame at the gate —
+//     freezes a rank so forwards to it stay in flight while the test
+//     arranges dedup waiters or kills the rank;
+//   - drop_next(n): swallow the next n admitted frames without a reply
+//     (the connection closes, exactly like a peer dying mid-exchange);
+//   - kill()/revive(): stop the rank's FrameServer / restart it on the
+//     same port (SO_REUSEADDR makes the rebind reliable).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "net/frame_server.hpp"
+#include "service/engine.hpp"
+#include "service/router.hpp"
+
+namespace prts::service::testing {
+
+/// Per-rank switchboard the harness's handler wrapper consults for
+/// every inbound frame. Thread-safe; levers can be flipped while frames
+/// are in flight.
+class FaultInjector {
+ public:
+  /// Holds subsequent frames at the gate until resume().
+  void pause() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+  }
+
+  /// Releases held frames (they then honor the drop counter).
+  void resume() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      paused_ = false;
+    }
+    cv_.notify_all();
+  }
+
+  /// The next `count` admitted frames are dropped: no reply, the
+  /// connection closes — indistinguishable from a peer dying
+  /// mid-exchange.
+  void drop_next(std::size_t count) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    drop_remaining_ += count;
+  }
+
+  std::uint64_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+  /// Called by the handler wrapper: waits out a pause, then reports
+  /// whether the frame may proceed (false = drop it).
+  bool admit() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !paused_; });
+    if (drop_remaining_ > 0) {
+      --drop_remaining_;
+      ++dropped_;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool paused_ = false;
+  std::size_t drop_remaining_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class FabricHarness {
+ public:
+  struct Options {
+    std::size_t world = 3;
+    /// Applied to every rank's SolveService.
+    ServiceConfig service;
+    /// Template for every rank's router: world_size/rank/peers are
+    /// overwritten, everything else (replica geometry, gossip knobs,
+    /// client timeouts) is taken as configured.
+    RouterConfig router;
+    /// Per-rank FrameServer pool size; must exceed the number of
+    /// long-lived inbound peer connections (each occupies a thread).
+    std::size_t server_threads = 0;  ///< 0: world + 2
+  };
+
+  FabricHarness() : FabricHarness(Options()) {}
+
+  explicit FabricHarness(Options options) : options_(options) {
+    if (options_.world == 0) throw std::runtime_error("world must be >= 1");
+    const std::size_t server_threads =
+        options_.server_threads ? options_.server_threads
+                                : options_.world + 2;
+    // Phase 1: services + servers on ephemeral ports (the handler
+    // resolves its rank's router lazily — it does not exist yet).
+    for (std::size_t r = 0; r < options_.world; ++r) {
+      auto rank = std::make_unique<Rank>();
+      rank->service = std::make_unique<SolveService>(options_.service);
+      rank->server_pool = std::make_unique<ThreadPool>(server_threads);
+      start_server(*rank, /*port=*/0);
+      rank->port = rank->server->port();
+      ranks_.push_back(std::move(rank));
+    }
+    // Phase 2: now every port is known, wire the routers.
+    std::vector<PeerAddress> peers;
+    for (const auto& rank : ranks_) {
+      peers.push_back(PeerAddress{"127.0.0.1", rank->port});
+    }
+    for (std::size_t r = 0; r < options_.world; ++r) {
+      RouterConfig config = options_.router;
+      config.world_size = options_.world;
+      config.rank = r;
+      config.peers = peers;
+      ranks_[r]->router =
+          std::make_unique<ShardRouter>(*ranks_[r]->service, config);
+      ranks_[r]->router_ptr.store(ranks_[r]->router.get());
+    }
+  }
+
+  ~FabricHarness() {
+    // Servers first: stop() drains every in-flight handler, so no
+    // server-pool thread can still be inside a router (a cleared
+    // router_ptr alone would be a check-then-use race against a
+    // handler that already loaded it). Routers after that — their
+    // draining forwards/prefetches now fail fast against the dead
+    // servers and fail over to the still-live local services.
+    for (auto& rank : ranks_) rank->router_ptr.store(nullptr);
+    for (auto& rank : ranks_) {
+      if (rank->server) rank->server->stop();
+    }
+    for (auto& rank : ranks_) rank->router.reset();
+  }
+
+  FabricHarness(const FabricHarness&) = delete;
+  FabricHarness& operator=(const FabricHarness&) = delete;
+
+  std::size_t world() const noexcept { return ranks_.size(); }
+  SolveService& service(std::size_t rank) { return *ranks_.at(rank)->service; }
+  ShardRouter& router(std::size_t rank) { return *ranks_.at(rank)->router; }
+  FaultInjector& faults(std::size_t rank) { return ranks_.at(rank)->faults; }
+  std::uint16_t port(std::size_t rank) const { return ranks_.at(rank)->port; }
+
+  /// Stops the rank's FrameServer: peers' exchanges with it fail from
+  /// now on (their clients mark it suspect). The rank's own router and
+  /// service stay alive — a dead rank's *clients* are not the scenario
+  /// under test, its unreachable *server* is. Frames must not be held
+  /// at the pause gate when killing (stop() waits for handlers).
+  void kill(std::size_t rank) {
+    auto& node = *ranks_.at(rank);
+    if (node.server) {
+      node.server->stop();
+      node.server.reset();
+    }
+  }
+
+  /// Restarts a killed rank's server on its original port. Throws when
+  /// the port was meanwhile taken by another process.
+  void revive(std::size_t rank) {
+    auto& node = *ranks_.at(rank);
+    if (node.server) return;
+    start_server(node, node.port);
+  }
+
+  /// Scans latency bounds >= 1000 (unconstraining for the tiny test
+  /// instances, so every minted key is *solvable*) for one whose
+  /// request key lands on `owner`; `salt` de-overlaps scans so repeated
+  /// calls mint distinct keys. Other bounds are taken from `base` (set
+  /// base.period_bound *before* calling — bounds are part of the key).
+  solver::Bounds bounds_on_rank(const Instance& instance,
+                                const std::string& solver_name,
+                                std::size_t owner, double salt = 0.0,
+                                solver::Bounds base = {}) const {
+    const CanonicalInstance canonical = canonicalize(instance);
+    for (double latency = 1000.0 + salt; latency < 4000.0 + salt;
+         latency += 1.0) {
+      solver::Bounds bounds = base;
+      bounds.latency_bound = latency;
+      if (request_key(canonical, solver_name, bounds).hi % ranks_.size() ==
+          owner) {
+        return bounds;
+      }
+    }
+    throw std::runtime_error("no bounds found landing on rank " +
+                             std::to_string(owner));
+  }
+
+ private:
+  struct Rank {
+    std::unique_ptr<SolveService> service;
+    std::unique_ptr<ThreadPool> server_pool;
+    std::unique_ptr<net::FrameServer> server;
+    std::unique_ptr<ShardRouter> router;
+    std::atomic<ShardRouter*> router_ptr{nullptr};
+    FaultInjector faults;
+    std::uint16_t port = 0;
+  };
+
+  void start_server(Rank& rank, std::uint16_t port) {
+    // The wrapper applies the rank's fault levers before the real
+    // fabric handler sees the frame. Raw pointers are safe: the Rank
+    // outlives its server, and router_ptr is cleared before teardown.
+    Rank* node = &rank;
+    net::FrameHandler fabric = make_fabric_handler(
+        *rank.service, [node] { return node->router_ptr.load(); });
+    net::FrameHandler wrapped =
+        [node, fabric = std::move(fabric)](
+            const net::Frame& frame) -> std::optional<net::Frame> {
+      if (!node->faults.admit()) return std::nullopt;  // dropped
+      return fabric(frame);
+    };
+    rank.server = net::FrameServer::start(port, std::move(wrapped),
+                                          *rank.server_pool);
+    if (!rank.server) {
+      throw std::runtime_error("fabric harness: cannot bind port " +
+                               std::to_string(port));
+    }
+  }
+
+  Options options_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+};
+
+}  // namespace prts::service::testing

@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <thread>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
@@ -83,6 +86,134 @@ TEST(FrameCodec, OversizedLengthIsRejectedNotAllocated) {
   // A small cap applies to honest frames too.
   EXPECT_EQ(decode_frame(encode_frame(frame), 3).status,
             DecodeStatus::kOversized);
+}
+
+// -------------------------------------------- incremental decoder soak
+
+/// Runs `stream` through a FrameDecoder in the given chunking,
+/// collecting every decoded frame; fails the test on any error verdict.
+void decode_chunked(const std::string& stream,
+                    const std::vector<std::size_t>& cuts,
+                    std::vector<Frame>& frames) {
+  FrameDecoder decoder;
+  const auto drain = [&] {
+    for (;;) {
+      const DecodeResult result = decoder.next();
+      if (result.status == DecodeStatus::kNeedMore) return true;
+      if (result.status != DecodeStatus::kFrame) return false;
+      frames.push_back(result.frame);
+    }
+  };
+  std::size_t start = 0;
+  for (const std::size_t cut : cuts) {
+    decoder.feed(std::string_view(stream).substr(start, cut - start));
+    ASSERT_TRUE(drain()) << "error verdict after feeding [0, " << cut << ")";
+    start = cut;
+  }
+  decoder.feed(std::string_view(stream).substr(start));
+  ASSERT_TRUE(drain()) << "error verdict after the final chunk";
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+void expect_same_frames(const std::vector<Frame>& decoded,
+                        const std::vector<Frame>& sent) {
+  ASSERT_EQ(decoded.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(decoded[i].version, sent[i].version) << "frame " << i;
+    EXPECT_EQ(decoded[i].type, sent[i].type) << "frame " << i;
+    EXPECT_EQ(decoded[i].payload, sent[i].payload) << "frame " << i;
+  }
+}
+
+TEST(FrameDecoderProperty, EverySplitPointOfATwoFrameStreamDecodesTheSame) {
+  const std::vector<Frame> sent{
+      make_frame(FrameType::kSolveRequest, "first payload"),
+      make_frame(FrameType::kPong, ""),
+  };
+  std::string stream;
+  for (const Frame& frame : sent) stream += encode_frame(frame);
+
+  // Exhaustive: deliver the stream as [0, cut) + [cut, end) for every
+  // cut — header split mid-magic, mid-length, payload split, frame
+  // boundary, everything.
+  for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+    std::vector<Frame> decoded;
+    decode_chunked(stream, {cut}, decoded);
+    if (::testing::Test::HasFatalFailure()) FAIL() << "cut=" << cut;
+    expect_same_frames(decoded, sent);
+  }
+}
+
+TEST(FrameDecoderProperty, RandomChunkingsOfARandomStreamAreInvariant) {
+  // Seeded generator: the soak is randomized but reproducible.
+  prts::Rng rng(20260726);
+  for (int round = 0; round < 50; ++round) {
+    // A random valid stream: 1..8 frames, payloads 0..300 bytes of
+    // arbitrary octets (framing must not care about payload content).
+    std::vector<Frame> sent;
+    const std::size_t frame_count =
+        static_cast<std::size_t>(rng.uniform_int(1, 8));
+    for (std::size_t f = 0; f < frame_count; ++f) {
+      Frame frame;
+      frame.type = static_cast<FrameType>(rng.uniform_int(0, 9));
+      std::string payload(
+          static_cast<std::size_t>(rng.uniform_int(0, 300)), '\0');
+      for (char& byte : payload) {
+        byte = static_cast<char>(rng.uniform_int(0, 255));
+      }
+      frame.payload = std::move(payload);
+      sent.push_back(std::move(frame));
+    }
+    std::string stream;
+    for (const Frame& frame : sent) stream += encode_frame(frame);
+
+    // Random cut set: from byte-at-a-time dribble to one coalesced
+    // delivery.
+    std::vector<std::size_t> cuts;
+    const std::size_t cut_count =
+        static_cast<std::size_t>(rng.uniform_int(0, 12));
+    for (std::size_t c = 0; c < cut_count; ++c) {
+      cuts.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(stream.size()))));
+    }
+    std::sort(cuts.begin(), cuts.end());
+
+    std::vector<Frame> decoded;
+    decode_chunked(stream, cuts, decoded);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "round=" << round;
+    }
+    expect_same_frames(decoded, sent);
+  }
+}
+
+TEST(FrameDecoderProperty, ByteAtATimeDribbleDecodesEverything) {
+  std::vector<Frame> sent;
+  for (int i = 0; i < 5; ++i) {
+    sent.push_back(make_frame(FrameType::kGossipDigest,
+                              std::string(static_cast<std::size_t>(i) * 7,
+                                          static_cast<char>('a' + i))));
+  }
+  std::string stream;
+  for (const Frame& frame : sent) stream += encode_frame(frame);
+
+  std::vector<std::size_t> cuts(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) cuts[i] = i;
+  std::vector<Frame> decoded;
+  decode_chunked(stream, cuts, decoded);
+  expect_same_frames(decoded, sent);
+}
+
+TEST(FrameDecoder, ErrorVerdictsAreSticky) {
+  FrameDecoder decoder;
+  std::string bytes = encode_frame(make_frame(FrameType::kPing, "x"));
+  bytes[0] = 'X';  // bad magic
+  decoder.feed(bytes);
+  EXPECT_EQ(decoder.next().status, DecodeStatus::kBadMagic);
+  // Framing is lost for good: feeding a perfectly valid frame after the
+  // poison changes nothing.
+  decoder.feed(encode_frame(make_frame(FrameType::kPing, "y")));
+  EXPECT_EQ(decoder.next().status, DecodeStatus::kBadMagic);
 }
 
 // ------------------------------------------------------- socket framing

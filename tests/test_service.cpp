@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "eval/evaluation.hpp"
 #include "net/frame_server.hpp"
@@ -358,6 +361,87 @@ TEST(SolveService, CompatibleRequestsShareOneBatch) {
   EXPECT_EQ(stats.batched_requests, 1u);  // `tight` joined `loose`
 }
 
+/// Delegates to heur-p but records the order in which instances reach
+/// the solver — the observable for batch-pickup-order tests.
+class RecordingSolver final : public solver::Solver {
+ public:
+  RecordingSolver(std::shared_future<void> gate,
+                  std::vector<std::size_t>* order, std::mutex* order_mutex)
+      : gate_(std::move(gate)),
+        order_(order),
+        order_mutex_(order_mutex),
+        inner_(solver::make_heuristic_solver(HeuristicKind::kHeurP, false)) {}
+
+  std::string name() const override { return "recording"; }
+
+  std::optional<solver::Solution> solve(
+      const Instance& instance, const solver::Bounds& bounds) const override {
+    {
+      // Recorded at *pickup* (before the gate), so the test can both
+      // observe pickup order and wait until a batch is committed to.
+      const std::lock_guard<std::mutex> lock(*order_mutex_);
+      order_->push_back(instance.chain.size());
+    }
+    gate_.wait();
+    return inner_->solve(instance, bounds);
+  }
+
+ private:
+  std::shared_future<void> gate_;
+  std::vector<std::size_t>* order_;
+  std::mutex* order_mutex_;
+  std::shared_ptr<const solver::Solver> inner_;
+};
+
+TEST(SolveService, TightDeadlineBatchIsPickedBeforePatientBacklog) {
+  std::promise<void> gate;
+  std::vector<std::size_t> order;
+  std::mutex order_mutex;
+  solver::SolverRegistry registry;
+  registry.add(std::make_shared<RecordingSolver>(gate.get_future().share(),
+                                                 &order, &order_mutex));
+
+  ServiceConfig config;
+  config.registry = &registry;
+  config.threads = 1;  // one worker: pickup order is fully observable
+  SolveService service(config);
+
+  // Occupy the worker so the next two batches queue up behind it; wait
+  // until it has actually committed to the blocker's batch.
+  std::future<SolveReply> blocker =
+      service.submit(SolveRequest{het_instance(), "recording", {}});
+  for (int spin = 0; spin < 2000; ++spin) {
+    {
+      const std::lock_guard<std::mutex> lock(order_mutex);
+      if (!order.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // FIFO would run `patient` (4 tasks, submitted first, no deadline)
+  // before `urgent` (2 tasks, submitted second, 30s deadline) — and
+  // under real backlog the urgent request would expire in the queue.
+  // Deadline-aware pickup must flip the order.
+  std::vector<Task> two_tasks{{10.0, 1.0}, {5.0, 0.0}};
+  const Instance small{TaskChain(std::move(two_tasks)),
+                       Platform::homogeneous(3, 1.0, 1e-8, 1.0, 1e-5, 2)};
+  std::future<SolveReply> patient =
+      service.submit(SolveRequest{hom_instance(), "recording", {}});
+  std::future<SolveReply> urgent = service.submit(
+      SolveRequest{small, "recording", {}, 30.0, DeadlinePolicy::kReject});
+
+  gate.set_value();
+  EXPECT_EQ(blocker.get().status, ReplyStatus::kSolved);
+  EXPECT_EQ(patient.get().status, ReplyStatus::kSolved);
+  EXPECT_EQ(urgent.get().status, ReplyStatus::kSolved);
+
+  // Solve order: blocker (3 tasks), then urgent (2), then patient (4).
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 3u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 4u);
+}
+
 TEST(ServeProtocol, ScriptedSessionWithRepeatsAndErrors) {
   ServiceConfig config = small_config();
   SolveService service(config);
@@ -559,6 +643,10 @@ TEST(ShardRouterTest, RemoteShardForwardedSolvedOnceCachedOnOwner) {
   config.world_size = 2;
   config.rank = 0;
   config.peers = {{"127.0.0.1", 1}, {"127.0.0.1", server->port()}};
+  // Replica tier off: this test pins the *owner-cache* forwarding path
+  // a repeat takes when replication cannot absorb it
+  // (tests/test_fabric_replication.cpp covers the replica tier).
+  config.replica.capacity_bytes = 0;
   ShardRouter router(local, config);
 
   const Instance instance = hom_instance();

@@ -1,10 +1,13 @@
 // The sharded LRU solution cache: hit/miss/eviction behavior, byte
 // bounds, stats, and TSV persistence replaying bit-identical solutions.
+// Plus the fabric's replica tier: TTL expiry against injected clocks,
+// byte-bounded LRU eviction, and side-effect-free peeks.
 #include "service/cache.hpp"
 
-#include <gtest/gtest.h>
-
+#include <chrono>
 #include <sstream>
+
+#include <gtest/gtest.h>
 
 #include "eval/evaluation.hpp"
 
@@ -285,6 +288,120 @@ TEST(SolutionCacheStats, JsonSnapshotNamesEveryCounter) {
   EXPECT_NE(json.find("\"insertions\":1"), std::string::npos);
   EXPECT_NE(json.find("\"shards\":16"), std::string::npos);
   EXPECT_NE(json.find("\"hit_rate\":1"), std::string::npos);
+}
+
+// ----------------------------------------------------- replica tier
+
+using ReplicaClock = ReplicaCache::Clock;
+
+TEST(ReplicaTier, PeekDoesNotDisturbLruOrStats) {
+  ShardedSolutionCache cache;
+  cache.insert(key_of(1), CachedSolution{});
+  const auto before = cache.stats();
+  ASSERT_TRUE(cache.peek(key_of(1)).has_value());
+  EXPECT_FALSE(cache.peek(key_of(2)).has_value());
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(ReplicaTier, TtlExpiresAgainstInjectedClock) {
+  ReplicaCache::Config config;
+  config.ttl_seconds = 10.0;
+  ReplicaCache cache(config);
+  const auto t0 = ReplicaClock::now();
+
+  cache.insert(key_of(1), CachedSolution{}, t0);
+  EXPECT_TRUE(cache.lookup(key_of(1), t0 + std::chrono::seconds(9))
+                  .has_value());
+  // At exactly the TTL the entry is stale: dropped and counted.
+  EXPECT_FALSE(cache.lookup(key_of(1), t0 + std::chrono::seconds(10))
+                   .has_value());
+  const ReplicaStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(ReplicaTier, ReinsertRestartsTheTtl) {
+  ReplicaCache::Config config;
+  config.ttl_seconds = 10.0;
+  ReplicaCache cache(config);
+  const auto t0 = ReplicaClock::now();
+
+  cache.insert(key_of(1), CachedSolution{}, t0);
+  cache.insert(key_of(1), CachedSolution{}, t0 + std::chrono::seconds(8));
+  EXPECT_TRUE(cache.lookup(key_of(1), t0 + std::chrono::seconds(15))
+                  .has_value());
+  EXPECT_EQ(cache.stats().insertions, 1u);  // refresh, not a new entry
+}
+
+TEST(ReplicaTier, NonPositiveTtlNeverExpires) {
+  ReplicaCache::Config config;
+  config.ttl_seconds = 0.0;
+  ReplicaCache cache(config);
+  const auto t0 = ReplicaClock::now();
+  cache.insert(key_of(1), CachedSolution{}, t0);
+  EXPECT_TRUE(cache.lookup(key_of(1), t0 + std::chrono::hours(24 * 365))
+                  .has_value());
+}
+
+TEST(ReplicaTier, EvictsLeastRecentlyUsedUnderByteBound) {
+  const Instance instance = tiny_instance();
+  ReplicaCache::Config config;
+  config.capacity_bytes = 3 * cached_solution_bytes(feasible_entry(instance));
+  ReplicaCache cache(config);
+
+  for (int i = 0; i < 3; ++i) cache.insert(key_of(i), feasible_entry(instance));
+  ASSERT_TRUE(cache.lookup(key_of(0)).has_value());  // 0 now most recent
+  cache.insert(key_of(3), feasible_entry(instance));
+
+  // Key 1 was the least recently used; 0 survived its refresh.
+  EXPECT_FALSE(cache.contains(key_of(1)));
+  EXPECT_TRUE(cache.contains(key_of(0)));
+  EXPECT_TRUE(cache.contains(key_of(3)));
+  const ReplicaStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, stats.capacity_bytes);
+}
+
+TEST(ReplicaTier, ZeroCapacityDisablesTheTier) {
+  ReplicaCache::Config config;
+  config.capacity_bytes = 0;
+  ReplicaCache cache(config);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(key_of(1), CachedSolution{});
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ReplicaTier, SolutionsRoundTripThroughTheTier) {
+  const Instance instance = tiny_instance();
+  ReplicaCache cache;
+  const CachedSolution entry = feasible_entry(instance);
+  cache.insert(key_of(5), entry);
+  const auto hit = cache.lookup(key_of(5));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->solution.has_value());
+  EXPECT_EQ(hit->solution->mapping, entry.solution->mapping);
+  EXPECT_EQ(hit->solution->metrics, entry.solution->metrics);
+}
+
+TEST(ReplicaTier, JsonSnapshotNamesEveryCounter) {
+  ReplicaCache cache;
+  cache.insert(key_of(1), CachedSolution{});
+  cache.lookup(key_of(1));
+  cache.lookup(key_of(2));
+  std::ostringstream out;
+  ReplicaCache::write_stats_json(out, cache.stats());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"insertions\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"expirations\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"entries\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build (with the project's always-on
 # -Wall -Wextra), run the tier-1 ctest suite, then smoke-test the
-# distributed solve fabric with two real prts_cli processes on
-# loopback.
+# distributed solve fabric with three real prts_cli processes on
+# loopback — including hot-entry replication and killing a rank mid-run.
 #
 #   tools/ci.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug tools/ci.sh
@@ -21,11 +21,13 @@ cmake --build "$BUILD" -j "$JOBS"
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
 
 # ---------------------------------------------------------------------------
-# Fabric smoke test: rank 0 + rank 1 on localhost present one logical
-# cache. Asserts (via the line protocol's stats JSON) that cross-shard
-# keys are forwarded, solved once, cached on their owner, answered as
-# remote cache hits on repeat — and that killing the peer mid-run
-# degrades to local solving without a single error status.
+# Fabric smoke test: ranks 0..2 on localhost present one logical cache.
+# Asserts (via the line protocol's stats JSON) that cross-shard keys are
+# forwarded and solved once on their owner, that *repeat* hits are
+# absorbed by rank 0's replica tier (replica_hits rises, no second round
+# trip), and that after killing rank 1 mid-run its replicated keys are
+# still served cleanly while fresh keys degrade to local solving —
+# never a single error status.
 # ---------------------------------------------------------------------------
 [ "${SKIP_FABRIC_SMOKE:-0}" = "1" ] && exit 0
 
@@ -54,38 +56,49 @@ wait_reply_lines() {
 # Ephemeral-ish ports; retry a few bases in case of a collision.
 fabric_up=0
 for attempt in 1 2 3 4 5; do
-  P0=$((21000 + (RANDOM % 20000) * 2))
+  P0=$((21000 + (RANDOM % 13000) * 3))
   P1=$((P0 + 1))
-  PEERS="127.0.0.1:$P0,127.0.0.1:$P1"
+  P2=$((P0 + 2))
+  PEERS="127.0.0.1:$P0,127.0.0.1:$P1,127.0.0.1:$P2"
   mkfifo "$FAB/in0" "$FAB/in1"
-  "$CLI" serve "$FAB/in1" --listen "$P1" --world 2 --rank 1 \
-      --peers "$PEERS" > "$FAB/out1" 2> "$FAB/err1" &
+  # Gossip enabled on every rank: the smoke run exercises digest and
+  # prefetch frames for real (assertions stay on the replica counters,
+  # which do not depend on gossip timing).
+  "$CLI" serve --listen "$P2" --world 3 --rank 2 --peers "$PEERS" \
+      --gossip-interval 0.25 --no-input > "$FAB/out2" 2> "$FAB/err2" &
+  PID2=$!
+  "$CLI" serve "$FAB/in1" --listen "$P1" --world 3 --rank 1 \
+      --peers "$PEERS" --gossip-interval 0.25 \
+      > "$FAB/out1" 2> "$FAB/err1" &
   PID1=$!
-  "$CLI" serve "$FAB/in0" --listen "$P0" --world 2 --rank 0 \
-      --peers "$PEERS" > "$FAB/out0" 2> "$FAB/err0" &
+  "$CLI" serve "$FAB/in0" --listen "$P0" --world 3 --rank 0 \
+      --peers "$PEERS" --gossip-interval 0.25 --stats \
+      > "$FAB/out0" 2> "$FAB/err0" &
   PID0=$!
   exec 8> "$FAB/in0" 9> "$FAB/in1"
   for _ in $(seq 1 40); do
     if grep -q "listening" "$FAB/err0" 2>/dev/null &&
-       grep -q "listening" "$FAB/err1" 2>/dev/null; then
+       grep -q "listening" "$FAB/err1" 2>/dev/null &&
+       grep -q "listening" "$FAB/err2" 2>/dev/null; then
       fabric_up=1
       break
     fi
-    kill -0 "$PID0" 2>/dev/null && kill -0 "$PID1" 2>/dev/null || break
+    kill -0 "$PID0" 2>/dev/null && kill -0 "$PID1" 2>/dev/null &&
+      kill -0 "$PID2" 2>/dev/null || break
     sleep 0.05
   done
   [ "$fabric_up" = "1" ] && break
   echo "fabric smoke: port base $P0 unavailable, retrying" >&2
   exec 8>&- 9>&-
-  kill "$PID0" "$PID1" 2>/dev/null || true
-  wait "$PID0" "$PID1" 2>/dev/null || true
+  kill "$PID0" "$PID1" "$PID2" 2>/dev/null || true
+  wait "$PID0" "$PID1" "$PID2" 2>/dev/null || true
   rm -f "$FAB/in0" "$FAB/in1"
 done
 [ "$fabric_up" = "1" ] || { echo "fabric smoke: could not bind ports" >&2; exit 1; }
 
-# Phase 1: 16 distinct keys from rank 0 (some remote-shard with
-# probability 1 - 2^-16), then the same 16 again (repeats must be cache
-# hits — local or on the owner), then stats.
+# Phase 1: 16 distinct keys from rank 0 (~2/3 remote-shard), then the
+# same 16 again — repeats of remote keys must now be *replica* hits
+# (absorbed on rank 0, no second round trip), then stats.
 {
   echo "load inst $FAB/inst.txt"
   for pass in 1 2; do
@@ -95,41 +108,49 @@ done
   echo "stats"
 } >&8
 wait_reply_lines "$FAB/out0" 32
-# The '# router' stats line lands just after the replies; wait for it
-# too before reading counters.
+# The '# router' / '# replica' stats lines land just after the replies;
+# wait for them too before reading counters.
 for _ in $(seq 1 100); do
-  grep -q '# router' "$FAB/out0" && break
+  grep -q '# replica' "$FAB/out0" && break
   sleep 0.05
 done
 
 forwarded=$(counter "$FAB/out0" forwarded)
-fwd_hits=$(counter "$FAB/out0" forward_hits)
+replica_hits=$(counter "$FAB/out0" replica_hits)
 [ "$forwarded" -ge 1 ] || { echo "FAIL: nothing was forwarded" >&2; exit 1; }
-[ "$fwd_hits" -ge 1 ] || { echo "FAIL: no remote cache hit on repeat" >&2; exit 1; }
+[ "$replica_hits" -ge 1 ] ||
+  { echo "FAIL: repeats were not absorbed by the replica tier" >&2; exit 1; }
 
-# The owner actually served the forwards from its engine + cache.
+# The owners actually served the first pass from their engines.
 echo "stats" >&9
 for _ in $(seq 1 100); do
   grep -q '"submitted"' "$FAB/out1" && break
   sleep 0.05
 done
-[ "$(counter "$FAB/out1" submitted)" -ge 1 ] ||
+owner_submitted=$(( $(counter "$FAB/out1" submitted) ))
+[ "$owner_submitted" -ge 1 ] ||
   { echo "FAIL: rank 1 never saw a forwarded solve" >&2; exit 1; }
-[ "$(counter "$FAB/out1" cache_hits)" -ge 1 ] ||
-  { echo "FAIL: owner cache never hit on repeat" >&2; exit 1; }
 
-# Phase 2: kill the peer mid-run; 16 fresh keys must all be answered
-# locally, cleanly.
+# Phase 2: kill rank 1 mid-run. Its already-replicated keys must still
+# be served (replica hits rise, zero errors), and 24 fresh keys must be
+# answered cleanly — the ones rank 1 owns via local fallback.
 kill "$PID1" && wait "$PID1" 2>/dev/null || true
 {
-  for i in $(seq 1 16); do echo "solve inst heur-p inf $((5000 + i))"; done
+  for i in $(seq 1 16); do echo "solve inst heur-p inf $((1000 + i))"; done
+  echo "sync"
+  for i in $(seq 1 24); do echo "solve inst heur-p inf $((5000 + i))"; done
   echo "sync"
   echo "stats"
 } >&8
-wait_reply_lines "$FAB/out0" 48
+wait_reply_lines "$FAB/out0" 72
 exec 8>&- 9>&-
 wait "$PID0" || { echo "FAIL: rank 0 exited non-zero" >&2; exit 1; }
+kill "$PID2" 2>/dev/null || true
+wait "$PID2" 2>/dev/null || true
 
+replica_hits_after=$(counter "$FAB/out0" replica_hits)
+[ "$replica_hits_after" -gt "$replica_hits" ] ||
+  { echo "FAIL: killed rank's replicated keys were not served" >&2; exit 1; }
 [ "$(counter "$FAB/out0" local_fallbacks)" -ge 1 ] ||
   { echo "FAIL: peer death did not degrade to local solving" >&2; exit 1; }
 if grep -q $'\terror\t' "$FAB/out0"; then
@@ -137,7 +158,9 @@ if grep -q $'\terror\t' "$FAB/out0"; then
   exit 1
 fi
 replies=$(grep -c $'^[0-9]*\t' "$FAB/out0" || true)
-[ "$replies" -eq 48 ] || { echo "FAIL: expected 48 replies, got $replies" >&2; exit 1; }
+[ "$replies" -eq 72 ] || { echo "FAIL: expected 72 replies, got $replies" >&2; exit 1; }
 
-echo "fabric smoke test OK: forwarded=$forwarded forward_hits=$fwd_hits" \
-     "local_fallbacks=$(counter "$FAB/out0" local_fallbacks)"
+echo "fabric smoke test OK: forwarded=$forwarded" \
+     "replica_hits=$replica_hits_after" \
+     "local_fallbacks=$(counter "$FAB/out0" local_fallbacks)" \
+     "prefetched=$(counter "$FAB/out0" prefetched)"

@@ -31,12 +31,17 @@
 //       [--warm-start cache.{tsv,bin}] [--save-cache cache.{tsv,bin}]
 //       [--stats]
 //       [--listen PORT] [--world N] [--rank R] [--peers h:p,h:p,...]
+//       [--replica-mb M] [--replica-ttl SECONDS] [--gossip-interval S]
 //       [--no-input]
 //       run the batched solve service over a line-protocol request
 //       stream (see src/service/protocol.hpp for the format); with
 //       --listen/--world/--rank/--peers the process joins the
 //       distributed solve fabric (shard = hash.hi mod world), forwarding
 //       remote-shard misses to their owner and answering peers' frames;
+//       --replica-mb/--replica-ttl size the hot-entry replica tier
+//       absorbing repeat remote-shard hits (0 MB disables it) and
+//       --gossip-interval enables periodic hot-key digests so peers
+//       prefetch each other's hot entries (0 disables gossip);
 //       --no-input serves network traffic only until SIGINT/SIGTERM
 #include <algorithm>
 #include <atomic>
@@ -483,6 +488,14 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
               << world << ")\n";
     return 2;
   }
+  const double replica_mb = flags.number("replica-mb", 16);
+  const double replica_ttl = flags.number("replica-ttl", 300);
+  const double gossip_interval = flags.number("gossip-interval", 0);
+  if (replica_mb < 0 || gossip_interval < 0) {
+    std::cerr << "--replica-mb and --gossip-interval must be >= 0\n";
+    return 2;
+  }
+
   std::vector<service::PeerAddress> peers;
   if (world > 1) {
     const auto parsed = service::parse_peer_list(flags.get("peers"));
@@ -553,9 +566,16 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
 
   // Fabric wiring: the FrameServer answers peers' frames on its own
   // small pool (connections are long-lived; sharing the solve pool
-  // would starve it), the router forwards remote-shard misses.
+  // would starve it), the router forwards remote-shard misses. The
+  // router is constructed after the server (peers need the bound port),
+  // so the handler resolves it lazily.
   std::unique_ptr<ThreadPool> server_pool;
+  // Written once the router exists, read by server pool threads — a
+  // peer's frame can arrive the instant the port is bound, so the
+  // hand-off must be atomic.
+  std::atomic<service::ShardRouter*> router_ptr{nullptr};
   std::unique_ptr<net::FrameServer> server;
+  std::unique_ptr<service::ShardRouter> router;
   if (flags.has("listen")) {
     const double listen_value = flags.number("listen", 0);
     if (listen_value < 1 || listen_value > 65535 ||
@@ -567,7 +587,10 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     server_pool = std::make_unique<ThreadPool>(
         std::max<std::size_t>(2, 2 * world));
     server = net::FrameServer::start(
-        port, service::make_fabric_handler(engine), *server_pool);
+        port,
+        service::make_fabric_handler(
+            engine, [&router_ptr] { return router_ptr.load(); }),
+        *server_pool);
     if (!server) {
       std::cerr << "cannot listen on port " << port << "\n";
       return 1;
@@ -575,13 +598,17 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     std::cerr << "# listening on port " << server->port() << " (rank "
               << rank << "/" << world << ")\n";
   }
-  std::unique_ptr<service::ShardRouter> router;
   if (world > 1) {
     service::RouterConfig router_config;
     router_config.world_size = world;
     router_config.rank = rank;
     router_config.peers = std::move(peers);
+    router_config.replica.capacity_bytes =
+        static_cast<std::size_t>(replica_mb * 1024 * 1024);
+    router_config.replica.ttl_seconds = replica_ttl;
+    router_config.gossip_interval_seconds = gossip_interval;
     router = std::make_unique<service::ShardRouter>(engine, router_config);
+    router_ptr.store(router.get());
     options.router = router.get();
   }
 
@@ -620,6 +647,10 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     if (router) {
       std::cerr << "# router ";
       service::ShardRouter::write_stats_json(std::cerr, router->stats());
+      std::cerr << "\n";
+      std::cerr << "# replica ";
+      service::ReplicaCache::write_stats_json(std::cerr,
+                                              router->replica_stats());
       std::cerr << "\n";
     }
   }
