@@ -71,6 +71,8 @@ std::size_t cached_solution_bytes(const CachedSolution& value) noexcept {
     bytes += mapping.interval_count() * (sizeof(Interval) + sizeof(void*) * 3);
     bytes += mapping.processors_used() * sizeof(std::size_t);
   }
+  // Near-miss metadata plus its bounds-index slot.
+  if (value.indexable()) bytes += 64;
   return bytes;
 }
 
@@ -106,8 +108,35 @@ std::string encode_cache_entry(const CanonicalHash& key,
         << canonical_number(metrics.replication_level);
   }
   out << "\t" << canonical_number(value.cost_seconds);
+  if (value.indexable()) {
+    out << "\t" << to_hex(*value.instance_key) << "\t"
+        << canonical_number(value.bounds->period_bound) << "\t"
+        << canonical_number(value.bounds->latency_bound);
+  }
   return out.str();
 }
+
+namespace {
+
+/// Parses the optional trailing near-miss metadata triple (fields
+/// `first..first+2`) into `value`; false on malformed fields.
+bool parse_near_metadata(const std::vector<std::string>& fields,
+                         std::size_t first, CachedSolution& value,
+                         std::string& error) {
+  const auto instance_key = hash_from_hex(fields[first]);
+  solver::Bounds bounds;
+  if (!instance_key ||
+      !parse_canonical_number(fields[first + 1], bounds.period_bound) ||
+      !parse_canonical_number(fields[first + 2], bounds.latency_bound)) {
+    error = "malformed near-miss metadata";
+    return false;
+  }
+  value.instance_key = *instance_key;
+  value.bounds = bounds;
+  return true;
+}
+
+}  // namespace
 
 bool parse_cache_entry(std::string_view line, CanonicalHash& key,
                        CachedSolution& value, std::string& error) {
@@ -117,25 +146,31 @@ bool parse_cache_entry(std::string_view line, CanonicalHash& key,
   };
 
   const std::vector<std::string> fields = split(std::string(line), '\t');
-  // Infeasible entries carry 4 fields (legacy, no cost) or 5; feasible
-  // ones 13 (legacy) or 14.
+  // Infeasible entries carry 4 fields (legacy, no cost), 5, or 8 (with
+  // near-miss metadata); feasible ones 13 (legacy), 14, or 17.
   if (fields.size() < 4) return bad("expected >= 4 tab-separated fields");
   const auto parsed_key = hash_from_hex(fields[0]);
   if (!parsed_key) return bad("malformed hash '" + fields[0] + "'");
 
   if (fields[1] == "0") {
-    if (fields.size() > 5) return bad("infeasible entries need 4/5 fields");
+    if (fields.size() != 4 && fields.size() != 5 && fields.size() != 8) {
+      return bad("infeasible entries need 4/5/8 fields");
+    }
     CachedSolution parsed;
-    if (fields.size() == 5 &&
+    if (fields.size() >= 5 &&
         !parse_canonical_number(fields[4], parsed.cost_seconds)) {
       return bad("malformed cost field");
+    }
+    if (fields.size() == 8 && !parse_near_metadata(fields, 5, parsed, error)) {
+      return false;
     }
     key = *parsed_key;
     value = std::move(parsed);
     return true;
   }
-  if (fields[1] != "1" || (fields.size() != 13 && fields.size() != 14)) {
-    return bad("feasible entries need 13/14 fields");
+  if (fields[1] != "1" ||
+      (fields.size() != 13 && fields.size() != 14 && fields.size() != 17)) {
+    return bad("feasible entries need 13/14/17 fields");
   }
 
   std::vector<std::size_t> boundaries;
@@ -170,19 +205,24 @@ bool parse_cache_entry(std::string_view line, CanonicalHash& key,
       !parse_size(fields[10], metrics.interval_count) ||
       !parse_size(fields[11], metrics.processors_used) ||
       !parse_canonical_number(fields[12], metrics.replication_level) ||
-      (fields.size() == 14 &&
+      (fields.size() >= 14 &&
        !parse_canonical_number(fields[13], cost_seconds))) {
     return bad("malformed metric fields");
   }
   metrics.reliability = LogReliability::from_log(log_r);
 
+  CachedSolution parsed;
+  parsed.cost_seconds = cost_seconds;
+  if (fields.size() == 17 && !parse_near_metadata(fields, 14, parsed, error)) {
+    return false;
+  }
   try {
     Mapping mapping(
         IntervalPartition::from_boundaries(boundaries, boundaries.back() + 1),
         std::move(procs));
+    parsed.solution = solver::Solution{std::move(mapping), metrics};
     key = *parsed_key;
-    value = CachedSolution{solver::Solution{std::move(mapping), metrics},
-                           cost_seconds};
+    value = std::move(parsed);
   } catch (const std::exception& why) {
     return bad(std::string("invalid mapping: ") + why.what());
   }
@@ -191,10 +231,13 @@ bool parse_cache_entry(std::string_view line, CanonicalHash& key,
 
 ShardedSolutionCache::ShardedSolutionCache(Config config)
     : shards_(std::max<std::size_t>(1, config.shards)),
+      near_shards_(shards_.size()),
       per_shard_capacity_(
           std::max<std::size_t>(1, config.capacity_bytes / shards_.size())),
       retention_(config.retention),
-      cost_window_(std::max<std::size_t>(1, config.cost_window)) {}
+      cost_window_(std::max<std::size_t>(1, config.cost_window)),
+      near_index_per_instance_(
+          std::max<std::size_t>(1, config.near_index_per_instance)) {}
 
 std::optional<CachedSolution> ShardedSolutionCache::lookup(
     const CanonicalHash& key) {
@@ -217,6 +260,21 @@ std::optional<CachedSolution> ShardedSolutionCache::peek(
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return std::nullopt;
   return it->second->value;
+}
+
+std::optional<ShardedSolutionCache::EntrySummary>
+ShardedSolutionCache::peek_summary(const CanonicalHash& key) const {
+  const Shard& shard = shard_of(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  EntrySummary summary;
+  summary.cost_seconds = it->second->value.cost_seconds;
+  if (it->second->value.solution) {
+    summary.feasible = true;
+    summary.metrics = it->second->value.solution->metrics;
+  }
+  return summary;
 }
 
 bool ShardedSolutionCache::contains(const CanonicalHash& key) const {
@@ -251,24 +309,127 @@ void ShardedSolutionCache::evict_one(Shard& shard) {
 void ShardedSolutionCache::insert(const CanonicalHash& key,
                                   CachedSolution value) {
   const std::size_t bytes = cached_solution_bytes(value);
-  Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.index.find(key);
-  if (it != shard.index.end()) {
-    shard.bytes -= it->second->bytes;
-    it->second->value = std::move(value);
-    it->second->bytes = bytes;
-    shard.bytes += bytes;
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  } else {
-    shard.lru.push_front(Entry{key, std::move(value), bytes});
-    shard.index.emplace(key, shard.lru.begin());
-    shard.bytes += bytes;
-    ++shard.insertions;
+  // Remembered before `value` is moved into the shard; the index update
+  // runs after the shard lock is released (shard locks are leaves: the
+  // near-miss lookups hold an index mutex *while* peeking a shard).
+  const bool indexable = value.indexable();
+  const CanonicalHash instance_key =
+      indexable ? *value.instance_key : CanonicalHash{};
+  const solver::Bounds bounds = indexable ? *value.bounds : solver::Bounds{};
+  {
+    Shard& shard = shard_of(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->bytes;
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      shard.bytes += bytes;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(value), bytes});
+      shard.index.emplace(key, shard.lru.begin());
+      shard.bytes += bytes;
+      ++shard.insertions;
+    }
+    while (shard.bytes > per_shard_capacity_ && shard.lru.size() > 1) {
+      evict_one(shard);
+    }
   }
-  while (shard.bytes > per_shard_capacity_ && shard.lru.size() > 1) {
-    evict_one(shard);
+  if (!indexable) return;
+
+  NearShard& near = near_shard_of(instance_key);
+  const std::lock_guard<std::mutex> lock(near.mutex);
+  std::vector<NearEntry>& entries = near.map[instance_key];
+  for (const NearEntry& entry : entries) {
+    // A request key is a function of (instance, solver, bounds): the
+    // same key always records the same bounds, so refreshes are no-ops.
+    if (entry.request_key == key) return;
   }
+  // Bounded sweep history per instance: oldest recorded bounds go
+  // first (a ladder revisits recent neighborhoods, not its start).
+  if (entries.size() >= near_index_per_instance_) {
+    entries.erase(entries.begin());
+  }
+  entries.push_back(NearEntry{bounds, key});
+}
+
+std::optional<CachedSolution> ShardedSolutionCache::find_dominating(
+    const CanonicalHash& instance_key, const solver::Bounds& bounds) {
+  NearShard& near = near_shard_of(instance_key);
+  const std::lock_guard<std::mutex> lock(near.mutex);
+  const auto it = near.map.find(instance_key);
+  if (it == near.map.end()) return std::nullopt;
+  std::vector<NearEntry>& entries = it->second;
+  for (std::size_t i = 0; i < entries.size();) {
+    const NearEntry& entry = entries[i];
+    const bool dominates =
+        entry.bounds.period_bound >= bounds.period_bound &&
+        entry.bounds.latency_bound >= bounds.latency_bound;
+    if (!dominates) {
+      ++i;
+      continue;
+    }
+    // Summary peek, not lookup: a dead candidate must not count a
+    // main-cache miss, and rejected candidates must not pay a mapping
+    // copy; near hits keep their own counter.
+    const auto summary = peek_summary(entry.request_key);
+    if (!summary) {
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;  // evicted under us; forget the reference
+    }
+    // Infeasible at looser bounds => infeasible here. A feasible
+    // solution transfers only when it already satisfies the tighter
+    // request (then, for a bounds-monotone engine, it *is* the
+    // optimum here too — any qualifying entry gives the same answer).
+    if (!summary->feasible ||
+        solver::within_bounds(summary->metrics, bounds)) {
+      auto value = peek(entry.request_key);
+      if (!value) {  // lost a race with eviction between the peeks
+        entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      ++near.near_hits;
+      return value;
+    }
+    ++i;
+  }
+  return std::nullopt;
+}
+
+std::optional<CachedSolution> ShardedSolutionCache::find_feasible(
+    const CanonicalHash& instance_key, const solver::Bounds& bounds) {
+  NearShard& near = near_shard_of(instance_key);
+  const std::lock_guard<std::mutex> lock(near.mutex);
+  const auto it = near.map.find(instance_key);
+  if (it == near.map.end()) return std::nullopt;
+  std::vector<NearEntry>& entries = it->second;
+  std::optional<CanonicalHash> best_key;
+  double best_log = 0.0;
+  for (std::size_t i = 0; i < entries.size();) {
+    // Metrics-only walk; the single winner is copied out at the end.
+    const auto summary = peek_summary(entries[i].request_key);
+    if (!summary) {
+      entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    // Any cached solution satisfying the request bounds is a feasible
+    // incumbent for it, wherever on the bounds lattice it came from;
+    // the most reliable one makes the strongest floor.
+    if (summary->feasible &&
+        solver::within_bounds(summary->metrics, bounds) &&
+        (!best_key || summary->metrics.reliability.log() > best_log)) {
+      best_key = entries[i].request_key;
+      best_log = summary->metrics.reliability.log();
+    }
+    ++i;
+  }
+  if (!best_key) return std::nullopt;
+  auto best = peek(*best_key);
+  // The winner may have been evicted between the walks; a lost hint is
+  // only a lost acceleration.
+  if (!best || !best->solution) return std::nullopt;
+  return best;
 }
 
 void ShardedSolutionCache::clear() {
@@ -277,6 +438,10 @@ void ShardedSolutionCache::clear() {
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
+  }
+  for (NearShard& near : near_shards_) {
+    const std::lock_guard<std::mutex> lock(near.mutex);
+    near.map.clear();
   }
 }
 
@@ -292,6 +457,13 @@ CacheStats ShardedSolutionCache::stats() const {
     stats.evictions += shard.evictions;
     stats.entries += shard.lru.size();
     stats.bytes += shard.bytes;
+  }
+  for (const NearShard& near : near_shards_) {
+    const std::lock_guard<std::mutex> lock(near.mutex);
+    stats.near_hits += near.near_hits;
+    for (const auto& [key, entries] : near.map) {
+      stats.near_entries += entries.size();
+    }
   }
   return stats;
 }
@@ -443,7 +615,10 @@ void ShardedSolutionCache::write_stats_json(std::ostream& out,
       << ",\"hit_rate\":" << canonical_number(stats.hit_rate())
       << ",\"insertions\":" << stats.insertions
       << ",\"evictions\":" << stats.evictions
-      << ",\"entries\":" << stats.entries << ",\"bytes\":" << stats.bytes
+      << ",\"near_hits\":" << stats.near_hits
+      << ",\"entries\":" << stats.entries
+      << ",\"near_entries\":" << stats.near_entries
+      << ",\"bytes\":" << stats.bytes
       << ",\"capacity_bytes\":" << stats.capacity_bytes
       << ",\"shards\":" << stats.shards << "}";
 }
@@ -452,13 +627,29 @@ void ShardedSolutionCache::write_stats_json(std::ostream& out,
 
 ReplicaCache::ReplicaCache(Config config)
     : capacity_bytes_(config.capacity_bytes),
-      ttl_seconds_(config.ttl_seconds) {}
+      ttl_seconds_(config.ttl_seconds),
+      ttl_cost_factor_(std::max(0.0, config.ttl_cost_factor)),
+      ttl_max_seconds_(config.ttl_max_seconds) {}
 
 ReplicaCache::Clock::time_point ReplicaCache::expiry_for(
-    Clock::time_point now) const noexcept {
+    Clock::time_point now, double cost_seconds) const noexcept {
   if (ttl_seconds_ <= 0.0) return Clock::time_point::max();
+  // Adaptive TTL: entries that were expensive to produce stay
+  // replicated longer (re-deriving them after expiry costs a full
+  // remote solve, not just a fetch), capped so a pathological recorded
+  // cost cannot pin an entry effectively forever.
+  double seconds = ttl_seconds_;
+  if (ttl_cost_factor_ > 0.0 && cost_seconds > 0.0) {
+    // The cap bounds the *extension*, never the base TTL — a cap below
+    // ttl_seconds must not make expensive entries expire sooner than
+    // free ones.
+    const double cap = std::max(
+        ttl_seconds_,
+        ttl_max_seconds_ > 0.0 ? ttl_max_seconds_ : 16.0 * ttl_seconds_);
+    seconds = std::min(cap, seconds + cost_seconds * ttl_cost_factor_);
+  }
   // Clamp huge TTLs instead of overflowing the time_point arithmetic.
-  const std::chrono::duration<double> ttl(ttl_seconds_);
+  const std::chrono::duration<double> ttl(seconds);
   if (ttl > Clock::time_point::max() - now) return Clock::time_point::max();
   return now + std::chrono::duration_cast<Clock::duration>(ttl);
 }
@@ -496,16 +687,17 @@ void ReplicaCache::insert(const CanonicalHash& key, CachedSolution value,
   if (capacity_bytes_ == 0) return;
   const std::size_t bytes = cached_solution_bytes(value);
   const std::lock_guard<std::mutex> lock(mutex_);
+  const auto expires_at = expiry_for(now, value.cost_seconds);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     bytes_ -= it->second->bytes;
     it->second->value = std::move(value);
     it->second->bytes = bytes;
-    it->second->expires_at = expiry_for(now);
+    it->second->expires_at = expires_at;
     bytes_ += bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
   } else {
-    lru_.push_front(Entry{key, std::move(value), bytes, expiry_for(now)});
+    lru_.push_front(Entry{key, std::move(value), bytes, expires_at});
     index_.emplace(key, lru_.begin());
     bytes_ += bytes;
     ++stats_.insertions;

@@ -50,9 +50,34 @@ namespace prts::service {
 /// cached "no feasible mapping under these bounds", plus the wall-clock
 /// cost of the solve that produced it (the cost-aware retention
 /// weight; 0 when unknown, e.g. legacy warm-start files).
+///
+/// `instance_key` + `bounds` are the near-miss index metadata: the
+/// bounds-erased (canonical instance, solver) batch key this entry's
+/// request hashed under, and the bounds it was solved for. Entries
+/// carrying both feed the bounds-monotone secondary index (see
+/// find_dominating below); entries without them — legacy warm-start
+/// files, wire replies — stay plain exact-key entries.
 struct CachedSolution {
+  CachedSolution() = default;
+  // Not an aggregate: the trailing members default without tripping
+  // -Wmissing-field-initializers at the many shorter call sites.
+  explicit CachedSolution(std::optional<solver::Solution> solution,
+                          double cost_seconds = 0.0,
+                          std::optional<CanonicalHash> instance_key = {},
+                          std::optional<solver::Bounds> bounds = {})
+      : solution(std::move(solution)),
+        cost_seconds(cost_seconds),
+        instance_key(instance_key),
+        bounds(bounds) {}
+
   std::optional<solver::Solution> solution;
   double cost_seconds = 0.0;
+  std::optional<CanonicalHash> instance_key;
+  std::optional<solver::Bounds> bounds;
+
+  bool indexable() const noexcept {
+    return instance_key.has_value() && bounds.has_value();
+  }
 };
 
 /// Aggregated counters (summed over shards; a snapshot, not a fence).
@@ -61,7 +86,9 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t insertions = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t near_hits = 0;  ///< answers served via find_dominating
   std::size_t entries = 0;
+  std::size_t near_entries = 0;  ///< live bounds-index entries
   std::size_t bytes = 0;
   std::size_t capacity_bytes = 0;
   std::size_t shards = 0;
@@ -79,14 +106,16 @@ std::size_t cached_solution_bytes(const CachedSolution& value) noexcept;
 
 /// One entry as a TSV line (no trailing newline):
 ///   <hash-hex> <feasible> <boundaries,> <procs;,> [<9 metric fields>]
-///   <cost>
-/// The codec shared by the TSV file, the PRTS1 blobs, and the wire
-/// replies of service/wire.hpp.
+///   <cost> [<instance-hash-hex> <period-bound> <latency-bound>]
+/// The trailing near-miss metadata triple is emitted only when the
+/// entry carries it. The codec shared by the TSV file, the PRTS1 blobs,
+/// and the wire replies of service/wire.hpp.
 std::string encode_cache_entry(const CanonicalHash& key,
                                const CachedSolution& value);
 
-/// Parses encode_cache_entry output (legacy lines without the cost
-/// field load with cost 0). False with a reason on malformed input.
+/// Parses encode_cache_entry output, version-tolerantly: legacy lines
+/// without the cost field load with cost 0, lines without the near-miss
+/// metadata load unindexed. False with a reason on malformed input.
 bool parse_cache_entry(std::string_view line, CanonicalHash& key,
                        CachedSolution& value, std::string& error);
 
@@ -105,6 +134,10 @@ class ShardedSolutionCache {
     /// kCost examines this many tail entries per eviction (bounded so
     /// eviction stays O(1)-ish rather than a full shard scan).
     std::size_t cost_window = 8;
+    /// Bounds-index entries kept per (instance, solver) batch key; a
+    /// long bound sweep over one instance must not grow the index
+    /// without limit (oldest recorded bounds are dropped first).
+    std::size_t near_index_per_instance = 256;
   };
 
   ShardedSolutionCache() : ShardedSolutionCache(Config()) {}
@@ -118,6 +151,16 @@ class ShardedSolutionCache {
   /// distort the owner's recency order or hit-rate statistics.
   std::optional<CachedSolution> peek(const CanonicalHash& key) const;
 
+  /// Feasibility + metrics + cost of an entry without copying its
+  /// mapping — the near-miss index walks filter on metrics alone and
+  /// must not pay a full solution copy per rejected candidate.
+  struct EntrySummary {
+    bool feasible = false;
+    MappingMetrics metrics;  ///< meaningful only when feasible
+    double cost_seconds = 0.0;
+  };
+  std::optional<EntrySummary> peek_summary(const CanonicalHash& key) const;
+
   /// peek() without the entry copy — the gossip digest's "is this key
   /// still fetchable?" filter.
   bool contains(const CanonicalHash& key) const;
@@ -125,7 +168,29 @@ class ShardedSolutionCache {
   /// Inserts or refreshes `key`; evicts entries of the shard while it
   /// is over its byte budget (never the entry just inserted — a single
   /// oversized entry is kept and evicted by the next insertion).
+  /// Entries carrying near-miss metadata (see CachedSolution) are also
+  /// recorded in the bounds-monotone secondary index.
   void insert(const CanonicalHash& key, CachedSolution value);
+
+  /// The bounds-monotone near-miss lookup: an entry of `instance_key`
+  /// (= batch_key: canonical instance + solver, bounds erased) cached
+  /// for bounds at least as loose as `bounds` in both dimensions, whose
+  /// answer transfers to `bounds` — a feasible solution that already
+  /// satisfies the tighter request (for a bounds-monotone engine it IS
+  /// the tighter request's answer, bit-identically), or a cached
+  /// infeasibility (looser-infeasible implies tighter-infeasible).
+  /// Callers must gate this on Solver::bounds_monotone. Entries whose
+  /// main-cache record was evicted are dropped from the index lazily.
+  std::optional<CachedSolution> find_dominating(
+      const CanonicalHash& instance_key, const solver::Bounds& bounds);
+
+  /// The warm-start lookup: among every cached entry of `instance_key`
+  /// (any bounds) whose solution satisfies `bounds`, the most reliable
+  /// one — a feasible incumbent plus reliability-floor certificate for
+  /// the request, valid for *any* engine because a warm start never
+  /// changes an answer. nullopt when no cached solution fits.
+  std::optional<CachedSolution> find_feasible(
+      const CanonicalHash& instance_key, const solver::Bounds& bounds);
 
   /// Drops every entry (counters are kept).
   void clear();
@@ -182,11 +247,35 @@ class ShardedSolutionCache {
     std::uint64_t evictions = 0;
   };
 
+  /// One recorded (bounds, request key) pair of an instance's sweep
+  /// history. The solution itself stays in the main cache — the index
+  /// only remembers where to peek, so eviction needs no cross-shard
+  /// coordination (dead references are dropped lazily on lookup).
+  struct NearEntry {
+    solver::Bounds bounds;
+    CanonicalHash request_key;
+  };
+
+  /// Secondary index sharded by *instance* key (request keys of one
+  /// instance scatter across the main shards, so the index cannot ride
+  /// them). Lock order: an index mutex may be held while peeking a main
+  /// shard, never the reverse.
+  struct NearShard {
+    mutable std::mutex mutex;
+    std::unordered_map<CanonicalHash, std::vector<NearEntry>,
+                       CanonicalKeyHasher>
+        map;
+    std::uint64_t near_hits = 0;
+  };
+
   Shard& shard_of(const CanonicalHash& key) noexcept {
     return shards_[key.hi % shards_.size()];
   }
   const Shard& shard_of(const CanonicalHash& key) const noexcept {
     return shards_[key.hi % shards_.size()];
+  }
+  NearShard& near_shard_of(const CanonicalHash& instance_key) noexcept {
+    return near_shards_[instance_key.hi % near_shards_.size()];
   }
 
   /// Drops one entry chosen by the retention policy (shard lock held;
@@ -194,9 +283,11 @@ class ShardedSolutionCache {
   void evict_one(Shard& shard);
 
   std::vector<Shard> shards_;  // sized once in the ctor, never resized
+  std::vector<NearShard> near_shards_;  // ditto
   std::size_t per_shard_capacity_;
   Retention retention_;
   std::size_t cost_window_;
+  std::size_t near_index_per_instance_;
 };
 
 /// Replica-tier counters (monotonic except entries/bytes snapshots).
@@ -230,6 +321,14 @@ class ReplicaCache {
   struct Config {
     std::size_t capacity_bytes = 16 * 1024 * 1024;  ///< 0 disables
     double ttl_seconds = 300.0;                     ///< <= 0: no expiry
+    /// Adaptive TTL: extra lifetime granted per second of the entry's
+    /// recorded solve cost (ttl = ttl_seconds + cost * factor), so an
+    /// expensive exact solve replicates longer than a cheap heuristic
+    /// answer. 0 keeps the flat TTL.
+    double ttl_cost_factor = 0.0;
+    /// Cap on the adaptive TTL; <= 0 means 16x the base TTL (one
+    /// pathological cost must not pin an entry forever).
+    double ttl_max_seconds = 0.0;
   };
 
   ReplicaCache() : ReplicaCache(Config()) {}
@@ -266,10 +365,13 @@ class ReplicaCache {
     Clock::time_point expires_at;  ///< max() when the TTL is disabled
   };
 
-  Clock::time_point expiry_for(Clock::time_point now) const noexcept;
+  Clock::time_point expiry_for(Clock::time_point now,
+                               double cost_seconds) const noexcept;
 
   const std::size_t capacity_bytes_;
   const double ttl_seconds_;
+  const double ttl_cost_factor_;
+  const double ttl_max_seconds_;
 
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recent

@@ -63,6 +63,9 @@ void write_engine_stats_json(std::ostream& out, const EngineStats& stats) {
   out << "{\"submitted\":" << stats.submitted
       << ",\"completed\":" << stats.completed
       << ",\"cache_hits\":" << stats.cache_hits
+      << ",\"dominating_hits\":" << stats.dominating_hits
+      << ",\"warm_started\":" << stats.warm_started
+      << ",\"solver_invocations\":" << stats.solver_invocations
       << ",\"deduplicated\":" << stats.deduplicated
       << ",\"batches\":" << stats.batches
       << ",\"batched_requests\":" << stats.batched_requests
@@ -70,6 +73,17 @@ void write_engine_stats_json(std::ostream& out, const EngineStats& stats) {
       << ",\"rejected_queue\":" << stats.rejected_queue
       << ",\"rejected_deadline\":" << stats.rejected_deadline
       << ",\"errors\":" << stats.errors << "}";
+}
+
+void write_hit_tiers_json(std::ostream& out, const EngineStats& stats) {
+  const std::uint64_t miss =
+      stats.solver_invocations > stats.warm_started
+          ? stats.solver_invocations - stats.warm_started
+          : 0;
+  out << "{\"exact\":" << stats.cache_hits
+      << ",\"dominating\":" << stats.dominating_hits
+      << ",\"warm_start\":" << stats.warm_started << ",\"miss\":" << miss
+      << "}";
 }
 
 SolveService::SolveService(ServiceConfig config)
@@ -90,24 +104,59 @@ std::future<SolveReply> SolveService::submit(SolveRequest request) {
 std::future<SolveReply> SolveService::submit_canonicalized(
     SolveRequest request, std::shared_ptr<const CanonicalInstance> canonical,
     const CanonicalHash& key) {
+  // One construction for both served-from-cache tiers (exact and
+  // dominating) — they differ only in the near_miss flag and which
+  // counter they bump.
+  const auto serve_cached = [&](const CachedSolution& cached,
+                                bool near_miss) {
+    SolveReply reply;
+    reply.key = key;
+    reply.cache_hit = true;
+    reply.near_miss = near_miss;
+    reply.solver_used = request.solver;
+    reply.cost_seconds = cached.cost_seconds;
+    if (cached.solution) {
+      reply.status = ReplyStatus::kSolved;
+      reply.solution = to_original_labels(*cached.solution, *canonical);
+    } else {
+      reply.status = ReplyStatus::kInfeasible;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    ++(near_miss ? stats_.dominating_hits : stats_.cache_hits);
+    ++stats_.completed;
+    return ready_reply_future(std::move(reply));
+  };
+
   if (config_.cache_enabled) {
     if (auto cached = cache_.lookup(key)) {
-      SolveReply reply;
-      reply.key = key;
-      reply.cache_hit = true;
-      reply.solver_used = request.solver;
-      if (cached->solution) {
-        reply.status = ReplyStatus::kSolved;
-        reply.solution = to_original_labels(*cached->solution, *canonical);
-      } else {
-        reply.status = ReplyStatus::kInfeasible;
-      }
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.submitted;
-      ++stats_.cache_hits;
-      ++stats_.completed;
-      return ready_reply_future(std::move(reply));
+      return serve_cached(*cached, /*near_miss=*/false);
     }
+  }
+
+  // Near-miss path: the exact key missed, but the bounds-monotone index
+  // may hold an answer for this (instance, solver) at other bounds.
+  const solver::SolverRegistry& registry =
+      config_.registry ? *config_.registry : solver::SolverRegistry::builtin();
+  const auto engine = registry.find(request.solver);
+  const CanonicalHash bkey = batch_key(*canonical, request.solver);
+  std::optional<solver::WarmStart> warm = std::move(request.warm_start);
+  // A caller-supplied hint is only a hint when its incumbent is
+  // actually feasible under *these* bounds — otherwise its floor is
+  // unproven and the downgrade path could leak a bound-violating
+  // answer. Drop it rather than trust it.
+  if (warm && (!warm->incumbent ||
+               !solver::within_bounds(warm->incumbent->metrics,
+                                      request.bounds))) {
+    warm.reset();
+  }
+  if (near_miss_enabled() && engine) {
+    if (engine->bounds_monotone(canonical->instance)) {
+      if (auto near = dominating_answer(bkey, key, request.bounds)) {
+        return serve_cached(*near, /*near_miss=*/true);
+      }
+    }
+    merge_warm_hint(bkey, request.bounds, warm);
   }
 
   std::unique_lock<std::mutex> lock(mutex_);
@@ -140,6 +189,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
   query->canonical = canonical;
   query->bounds = request.bounds;
   query->key = key;
+  query->warm = std::move(warm);
   query->waiters.push_back(Waiter{{}, canonical, request.deadline_seconds,
                                   request.deadline_policy, Clock::now(),
                                   false});
@@ -149,7 +199,6 @@ std::future<SolveReply> SolveService::submit_canonicalized(
 
   // Batching: requests sharing (canonical instance, solver) ride one
   // prepared session; the batch stays open until a worker picks it up.
-  const CanonicalHash bkey = batch_key(*canonical, request.solver);
   const Clock::time_point query_deadline = waiter_deadline(
       request.deadline_seconds, query->waiters.back().submitted);
   if (const auto it = open_batches_.find(bkey); it != open_batches_.end()) {
@@ -173,6 +222,38 @@ std::future<SolveReply> SolveService::submit_canonicalized(
   // urgent open batch, so pickup order is deadline-driven, not FIFO.
   pool_.submit([this] { run_next_batch(); });
   return future;
+}
+
+std::optional<CachedSolution> SolveService::dominating_answer(
+    const CanonicalHash& bkey, const CanonicalHash& key,
+    const solver::Bounds& bounds) {
+  if (!near_miss_enabled()) return std::nullopt;
+  auto near = cache_.find_dominating(bkey, bounds);
+  if (!near) return std::nullopt;
+  // Promote under the request's own key: the next identical request is
+  // an exact hit, and the entry (indexed under this request's bounds)
+  // extends the instance's sweep history toward the tighter end. The
+  // recorded cost is inherited — the answer is worth what its solve
+  // cost, not the near-free lookup.
+  CachedSolution promoted = *near;
+  promoted.instance_key = bkey;
+  promoted.bounds = bounds;
+  cache_.insert(key, promoted);
+  return near;
+}
+
+void SolveService::merge_warm_hint(const CanonicalHash& bkey,
+                                   const solver::Bounds& bounds,
+                                   std::optional<solver::WarmStart>& warm) {
+  if (!near_miss_enabled()) return;
+  auto feasible = cache_.find_feasible(bkey, bounds);
+  if (!feasible || !feasible->solution) return;
+  const double floor = feasible->solution->metrics.reliability.log();
+  if (warm && warm->reliability_floor_log >= floor) return;
+  solver::WarmStart hint;
+  hint.incumbent = std::move(feasible->solution);
+  hint.reliability_floor_log = floor;
+  warm = std::move(hint);
 }
 
 void SolveService::run_next_batch() {
@@ -202,6 +283,8 @@ void SolveService::run_next_batch() {
   const solver::SolverRegistry& registry =
       config_.registry ? *config_.registry : solver::SolverRegistry::builtin();
   const auto engine = registry.find(batch->solver_name);
+  const bool monotone =
+      engine && engine->bounds_monotone(batch->canonical->instance);
   std::unique_ptr<solver::PreparedSolver> session;
 
   for (auto& query : queries) {
@@ -232,20 +315,64 @@ void SolveService::run_next_batch() {
         outcome.kind = QueryOutcome::Kind::kError;
         outcome.error = "unknown solver '" + batch->solver_name + "'";
       } else if (any_live) {
-        if (!session) session = engine->prepare(batch->canonical->instance);
-        const auto solve_start = Clock::now();
-        outcome.canonical_solution = session->solve(query->bounds);
-        // Recorded per entry so Retention::kCost can keep expensive
-        // exact solves alive longer than cheap heuristic answers.
-        const double cost_seconds =
-            std::chrono::duration<double>(Clock::now() - solve_start)
-                .count();
+        // Solve-time re-probe: earlier queries of this very batch (or a
+        // concurrent batch elsewhere) may have answered this key — or a
+        // dominating neighbor of it — since submission. A 20-step bound
+        // ladder submitted in one burst collapses to a handful of real
+        // solves this way, exactly like a paced sweep does.
+        bool answered_from_cache = false;
         if (config_.cache_enabled) {
-          cache_.insert(query->key, CachedSolution{outcome.canonical_solution,
-                                                   cost_seconds});
+          // peek: the submit-path lookup already counted this key's
+          // miss; the re-probe must not count a second one.
+          std::optional<CachedSolution> cached = cache_.peek(query->key);
+          if (cached) {
+            outcome.cache_hit = true;
+          } else if (monotone) {
+            cached = dominating_answer(batch->key, query->key, query->bounds);
+            if (cached) {
+              outcome.cache_hit = true;
+              outcome.near_miss = true;
+            }
+          }
+          if (cached) {
+            outcome.canonical_solution = std::move(cached->solution);
+            outcome.cost_seconds = cached->cost_seconds;
+            outcome.kind = QueryOutcome::Kind::kAnswered;
+            outcome.solver_used = batch->solver_name;
+            answered_from_cache = true;
+          }
         }
-        outcome.kind = QueryOutcome::Kind::kAnswered;
-        outcome.solver_used = batch->solver_name;
+        if (!answered_from_cache) {
+          // Freshen the hint: neighbors solved since submission may
+          // carry a stronger floor than what submit harvested.
+          merge_warm_hint(batch->key, query->bounds, query->warm);
+          if (!session) session = engine->prepare(batch->canonical->instance);
+          const auto solve_start = Clock::now();
+          if (query->warm && !query->warm->empty()) {
+            outcome.canonical_solution =
+                session->solve(query->bounds, *query->warm);
+            outcome.warm_started = true;
+          } else {
+            outcome.canonical_solution = session->solve(query->bounds);
+          }
+          outcome.invoked = true;
+          // Recorded per entry so Retention::kCost can keep expensive
+          // exact solves alive longer than cheap heuristic answers.
+          const double cost_seconds =
+              std::chrono::duration<double>(Clock::now() - solve_start)
+                  .count();
+          outcome.cost_seconds = cost_seconds;
+          if (config_.cache_enabled) {
+            // The near-miss metadata makes this solve a reusable point
+            // of the instance's sweep history.
+            cache_.insert(query->key,
+                          CachedSolution{outcome.canonical_solution,
+                                         cost_seconds, batch->key,
+                                         query->bounds});
+          }
+          outcome.kind = QueryOutcome::Kind::kAnswered;
+          outcome.solver_used = batch->solver_name;
+        }
       } else if (any_downgrade) {
         const auto fallback = registry.find(config_.fallback_solver);
         if (!fallback) {
@@ -259,6 +386,18 @@ void SolveService::run_next_batch() {
               fallback->solve(query->canonical->instance, query->bounds);
           outcome.kind = QueryOutcome::Kind::kFallback;
           outcome.solver_used = config_.fallback_solver;
+          // A warm incumbent (cached from the *requested* solver at
+          // other bounds, feasible here by construction) may beat the
+          // fallback's answer; a degraded reply should still be the
+          // best answer available cheaply.
+          if (query->warm && query->warm->incumbent &&
+              (!outcome.canonical_solution ||
+               solver::tri_criteria_better(
+                   query->warm->incumbent->metrics,
+                   outcome.canonical_solution->metrics))) {
+            outcome.canonical_solution = query->warm->incumbent;
+            outcome.solver_used = batch->solver_name;
+          }
         }
       } else {
         outcome.kind = QueryOutcome::Kind::kRejected;
@@ -293,6 +432,10 @@ void SolveService::finish_query(PendingQuery& query,
     if (outcome.kind == QueryOutcome::Kind::kError) ++stats_.errors;
     if (outcome.kind == QueryOutcome::Kind::kFallback) ++stats_.downgraded;
     if (any_rejected) ++stats_.rejected_deadline;
+    if (outcome.near_miss) ++stats_.dominating_hits;
+    if (outcome.cache_hit && !outcome.near_miss) ++stats_.cache_hits;
+    if (outcome.warm_started) ++stats_.warm_started;
+    if (outcome.invoked) ++stats_.solver_invocations;
     --outstanding_;
     if (outstanding_ == 0) idle_cv_.notify_all();
   }
@@ -300,6 +443,9 @@ void SolveService::finish_query(PendingQuery& query,
     SolveReply reply;
     reply.key = query.key;
     reply.deduplicated = waiter.deduplicated;
+    reply.cache_hit = outcome.cache_hit;
+    reply.near_miss = outcome.near_miss;
+    reply.cost_seconds = outcome.cost_seconds;
     switch (outcome.kind) {
       case QueryOutcome::Kind::kError:
         reply.status = ReplyStatus::kError;

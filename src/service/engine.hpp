@@ -5,6 +5,17 @@
 // A submit() call canonicalizes the request, then takes the cheapest
 // path that answers it:
 //   1. cache hit  -> the reply future is ready immediately;
+//   1b. near-miss hit: no entry under the exact key, but the
+//      bounds-monotone index (service/cache.hpp) holds an answer for
+//      *looser* bounds of the same (instance, solver) that transfers —
+//      a feasible solution already satisfying the tighter request, or a
+//      looser-bounds infeasibility. For engines declaring
+//      Solver::bounds_monotone this is bit-identical to a cold solve,
+//      so it is served like a cache hit (and promoted under the exact
+//      key). Otherwise a cached solution for *tighter* bounds that fits
+//      the request becomes a solver::WarmStart (feasible incumbent +
+//      reliability floor) attached to the query — engines prune with
+//      it, answers stay byte-identical by the WarmStart contract;
 //   2. an identical request is already in flight -> the new caller is
 //      attached to it (deduplication: one solve, many futures);
 //   3. otherwise the request joins the open *batch* of its
@@ -56,6 +67,22 @@ enum class DeadlinePolicy {
 };
 
 struct SolveRequest {
+  SolveRequest() = default;
+  // Not an aggregate: the trailing members default without tripping
+  // -Wmissing-field-initializers at the many shorter call sites.
+  explicit SolveRequest(
+      Instance instance, std::string solver = "portfolio",
+      solver::Bounds bounds = {},
+      double deadline_seconds = std::numeric_limits<double>::infinity(),
+      DeadlinePolicy deadline_policy = DeadlinePolicy::kDowngrade,
+      std::optional<solver::WarmStart> warm_start = {})
+      : instance(std::move(instance)),
+        solver(std::move(solver)),
+        bounds(bounds),
+        deadline_seconds(deadline_seconds),
+        deadline_policy(deadline_policy),
+        warm_start(std::move(warm_start)) {}
+
   Instance instance;
   std::string solver = "portfolio";  ///< registry name
   solver::Bounds bounds;
@@ -64,6 +91,12 @@ struct SolveRequest {
   /// solve *starts*; <= 0 expires immediately, +inf never.
   double deadline_seconds = std::numeric_limits<double>::infinity();
   DeadlinePolicy deadline_policy = DeadlinePolicy::kDowngrade;
+
+  /// Optional caller-supplied warm start in *canonical* processor
+  /// labels (the shard router forwards its best local near-miss this
+  /// way). Merged with — and superseded by — anything stronger the
+  /// local near-miss index turns up; never changes the answer.
+  std::optional<solver::WarmStart> warm_start;
 };
 
 enum class ReplyStatus {
@@ -87,10 +120,14 @@ struct SolveReply {
   ReplyStatus status = ReplyStatus::kError;
   std::optional<solver::Solution> solution;  ///< request's own labels
   bool cache_hit = false;
+  bool near_miss = false;     ///< served via the bounds-monotone index
   bool deduplicated = false;  ///< attached to an in-flight twin
   bool downgraded = false;    ///< answered by the fallback solver
   std::string solver_used;    ///< empty when nothing was solved
   CanonicalHash key;          ///< the request's cache key
+  /// Recorded solve cost of the answer (0 when unknown): rides the wire
+  /// so a requesting rank's replica tier can scale its TTL with it.
+  double cost_seconds = 0.0;
   std::string error;          ///< set iff status == kError
 };
 
@@ -102,7 +139,10 @@ std::future<SolveReply> ready_reply_future(SolveReply reply);
 struct EngineStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_hits = 0;        ///< exact-key hits
+  std::uint64_t dominating_hits = 0;   ///< near-miss answers (no solve)
+  std::uint64_t warm_started = 0;      ///< solves run with a warm hint
+  std::uint64_t solver_invocations = 0;  ///< session solves executed
   std::uint64_t deduplicated = 0;
   std::uint64_t batches = 0;           ///< batch tasks executed
   std::uint64_t batched_requests = 0;  ///< requests that shared a batch
@@ -112,6 +152,13 @@ struct EngineStats {
   std::uint64_t errors = 0;
 };
 
+/// Writes the per-tier hit breakdown as one JSON object:
+///   {"exact":..,"dominating":..,"warm_start":..,"miss":..}
+/// exact = exact-key cache hits, dominating = near-miss answers served
+/// without a solve, warm_start = solves accelerated by a hint, miss =
+/// cold solves (solver_invocations - warm_started).
+void write_hit_tiers_json(std::ostream& out, const EngineStats& stats);
+
 struct ServiceConfig {
   /// Solver lookup table; the built-in registry when null.
   const solver::SolverRegistry* registry = nullptr;
@@ -120,6 +167,12 @@ struct ServiceConfig {
 
   bool cache_enabled = true;
   ShardedSolutionCache::Config cache;
+
+  /// Near-miss reuse (requires the cache): bounds-monotone dominating
+  /// hits answer without a solve, other near misses warm-start the
+  /// solver. Both are answer-preserving, so this defaults on; turning
+  /// it off (`--near-miss off`) is for A/B measurement.
+  bool near_miss = true;
 
   /// Maximum number of accepted-but-unfinished requests (dedup waiters
   /// and cache hits do not count); 0 rejects everything.
@@ -179,6 +232,10 @@ class SolveService {
     std::shared_ptr<const CanonicalInstance> canonical;
     solver::Bounds bounds;
     CanonicalHash key;
+    /// Warm hint harvested at submission (canonical labels); refreshed
+    /// against the index again at solve time — earlier queries of the
+    /// same batch may have produced stronger floors by then.
+    std::optional<solver::WarmStart> warm;
     std::vector<Waiter> waiters;  ///< [0] = first submitter
   };
 
@@ -213,6 +270,11 @@ class SolveService {
     std::optional<solver::Solution> canonical_solution;
     std::string solver_used;
     std::string error;
+    bool cache_hit = false;    ///< answered from cache at solve time
+    bool near_miss = false;    ///< ... via the bounds-monotone index
+    bool warm_started = false; ///< solve ran with a warm hint
+    bool invoked = false;      ///< a session solve actually executed
+    double cost_seconds = 0.0; ///< recorded cost of the answer
   };
 
   /// One pool task: picks the open batch whose most urgent waiter has
@@ -222,6 +284,23 @@ class SolveService {
   /// created, so every task finds a batch to run.
   void run_next_batch();
   void finish_query(PendingQuery& query, const QueryOutcome& outcome);
+
+  bool near_miss_enabled() const noexcept {
+    return config_.cache_enabled && config_.near_miss;
+  }
+
+  /// find_dominating + promotion under the request's own key, so the
+  /// next identical request is an exact hit. nullopt when the index
+  /// holds nothing transferable (or near-miss reuse is off).
+  std::optional<CachedSolution> dominating_answer(
+      const CanonicalHash& bkey, const CanonicalHash& key,
+      const solver::Bounds& bounds);
+
+  /// Strengthens `warm` with the index's best feasible incumbent for
+  /// (bkey, bounds), keeping whichever floor is higher.
+  void merge_warm_hint(const CanonicalHash& bkey,
+                       const solver::Bounds& bounds,
+                       std::optional<solver::WarmStart>& warm);
 
   ServiceConfig config_;
   ShardedSolutionCache cache_;

@@ -181,9 +181,18 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
                                : service.submit(std::move(request)));
       ++result.requests;
     } else if (command == "stats") {
+      const EngineStats engine_stats = service.stats();
       out << "# engine ";
-      write_engine_stats_json(out, service.stats());
+      write_engine_stats_json(out, engine_stats);
       out << "\n";
+      // Per-tier hit breakdown in one JSON block: how each answered
+      // request was served, cheapest tier first.
+      out << "# hits ";
+      write_hit_tiers_json(out, engine_stats);
+      out << "\n";
+      out << "# near_miss "
+          << (engine_stats.dominating_hits + engine_stats.warm_started)
+          << "\n";
       out << "# cache ";
       ShardedSolutionCache::write_stats_json(out, service.cache_stats());
       out << "\n";

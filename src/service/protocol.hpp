@@ -10,7 +10,9 @@
 //   solve <name> <solver> <period|inf> <latency|inf>
 //         [deadline=<seconds>] [policy=reject|downgrade]
 //                            submit a request (ids count from 0)
-//   stats                    emit '# engine ...' / '# cache ...' JSON
+//   stats                    emit '# engine ...' / '# hits ...' (per-tier
+//                            breakdown: exact / dominating / warm_start /
+//                            miss) / '# near_miss N' / '# cache ...' JSON
 //   sync                     flush: print every pending reply in
 //                            submission order (EOF implies a sync)
 //

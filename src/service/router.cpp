@@ -247,6 +247,23 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   forward->canonical = canonical;
   forward->bounds = request.bounds;
   forward->solver = request.solver;
+  // Best local near-miss for the forwarded key: replicated, prefetched
+  // and fallback-solved entries of this instance live in the local
+  // cache's bounds index even though the key's owner is remote. The
+  // owner prunes with the hint; the answer bytes cannot change.
+  if (service_.config().cache_enabled && service_.config().near_miss) {
+    const CanonicalHash bkey = batch_key(*canonical, request.solver);
+    if (auto feasible =
+            service_.cache().find_feasible(bkey, request.bounds)) {
+      if (feasible->solution) {
+        solver::WarmStart hint;
+        hint.reliability_floor_log =
+            feasible->solution->metrics.reliability.log();
+        hint.incumbent = std::move(feasible->solution);
+        forward->warm = std::move(hint);
+      }
+    }
+  }
   forward->deadline_seconds = request.deadline_seconds;
   forward->deadline_policy = request.deadline_policy;
   forward->key = key;
@@ -282,7 +299,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
   // engine does for deduplicated twins.
   SolveRequest remote_request{forward->canonical->instance, forward->solver,
                               forward->bounds, forward->deadline_seconds,
-                              forward->deadline_policy};
+                              forward->deadline_policy, forward->warm};
   net::Frame frame;
   frame.type = net::FrameType::kSolveRequest;
   frame.payload = encode_wire_request(remote_request);
@@ -305,9 +322,11 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
   if (answered) {
     // Replicate: the next repeat hit on this key is served locally
     // until the TTL lapses (the entry is immutable, so the copy can
-    // never go stale — only old).
+    // never go stale — only old). The recorded solve cost rides along
+    // so the adaptive TTL can keep expensive answers longer.
     if (replicas_.enabled()) {
-      replicas_.insert(forward->key, CachedSolution{remote->solution});
+      replicas_.insert(forward->key, CachedSolution{remote->solution,
+                                                    remote->cost_seconds});
     }
     std::vector<ForwardWaiter> waiters;
     {
@@ -321,9 +340,11 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
       SolveReply reply;
       reply.status = remote->status;
       reply.cache_hit = remote->cache_hit;
+      reply.near_miss = remote->near_miss;
       reply.downgraded = remote->downgraded;
       reply.deduplicated = waiter.deduplicated;
       reply.solver_used = remote->solver_used;
+      reply.cost_seconds = remote->cost_seconds;
       reply.key = forward->key;
       if (remote->solution) {
         reply.solution =
@@ -360,7 +381,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
   for (const ForwardWaiter& waiter : waiters) {
     SolveRequest local_request{forward->canonical->instance, forward->solver,
                                forward->bounds, waiter.deadline_seconds,
-                               waiter.deadline_policy};
+                               waiter.deadline_policy, forward->warm};
     futures.push_back(service_.submit_canonicalized(std::move(local_request),
                                                     identity, forward->key));
   }

@@ -45,6 +45,14 @@ std::string encode_wire_request(const SolveRequest& request) {
       << "\n";
   out << "deadline " << canonical_number(request.deadline_seconds) << "\n";
   out << "policy " << policy_name(request.deadline_policy) << "\n";
+  if (request.warm_start && request.warm_start->incumbent) {
+    // The incumbent rides as a key-less cache entry line; the floor is
+    // recomputed from its metrics on the far side.
+    out << "warm "
+        << encode_cache_entry(CanonicalHash{},
+                              CachedSolution{request.warm_start->incumbent})
+        << "\n";
+  }
   out << "instance\n";
   write_instance_canonical(out, request.instance);
   return out.str();
@@ -98,9 +106,20 @@ std::optional<SolveRequest> decode_wire_request(std::string_view payload,
   } else {
     return bad("unknown policy '" + value + "'");
   }
-  if (!std::getline(in, line) || line != "instance") {
-    return bad("expected 'instance'");
+  if (!std::getline(in, line)) return bad("expected 'instance'");
+  std::optional<Mapping> warm_mapping;
+  if (take_field(line, "warm", value)) {
+    CanonicalHash ignored_key;
+    CachedSolution entry;
+    std::string why;
+    if (!parse_cache_entry(value, ignored_key, entry, why) ||
+        !entry.solution) {
+      return bad("warm: " + why);
+    }
+    warm_mapping = std::move(entry.solution->mapping);
+    if (!std::getline(in, line)) return bad("expected 'instance'");
   }
+  if (line != "instance") return bad("expected 'instance'");
 
   std::string body;
   while (std::getline(in, line)) {
@@ -109,8 +128,26 @@ std::optional<SolveRequest> decode_wire_request(std::string_view payload,
   }
   ParseResult parsed = instance_from_text(body);
   if (!parsed) return bad("instance: " + parsed.error);
+
+  // The hint is advisory and the peer is untrusted: carried metrics are
+  // discarded and re-evaluated against the decoded instance, so a
+  // fabricated reliability floor can never prune a real optimum (the
+  // WarmStart contract holds against lying peers, not just honest
+  // ones). A mapping that does not fit the instance drops the hint
+  // rather than the request.
+  std::optional<solver::WarmStart> warm;
+  if (warm_mapping && !warm_mapping->validate(parsed.instance->platform) &&
+      warm_mapping->partition().task_count() ==
+          parsed.instance->chain.size()) {
+    solver::WarmStart hint;
+    const MappingMetrics metrics = evaluate(
+        parsed.instance->chain, parsed.instance->platform, *warm_mapping);
+    hint.reliability_floor_log = metrics.reliability.log();
+    hint.incumbent = solver::Solution{std::move(*warm_mapping), metrics};
+    warm = std::move(hint);
+  }
   return SolveRequest{std::move(*parsed.instance), std::move(solver), bounds,
-                      deadline_seconds, policy};
+                      deadline_seconds, policy, std::move(warm)};
 }
 
 std::string encode_wire_reply(const SolveReply& reply) {
@@ -118,16 +155,19 @@ std::string encode_wire_reply(const SolveReply& reply) {
   out << "prts-solve-reply v1\n";
   out << "status " << reply_status_name(reply.status) << "\n";
   out << "hit " << (reply.cache_hit ? 1 : 0) << "\n";
+  out << "near " << (reply.near_miss ? 1 : 0) << "\n";
   out << "down " << (reply.downgraded ? 1 : 0) << "\n";
   out << "solver " << (reply.solver_used.empty() ? "-" : reply.solver_used)
       << "\n";
+  out << "cost " << canonical_number(reply.cost_seconds) << "\n";
   if (reply.status == ReplyStatus::kError) {
     out << "error " << reply.error << "\n";
   }
   if (reply.status == ReplyStatus::kSolved ||
       reply.status == ReplyStatus::kInfeasible) {
-    out << "entry " << encode_cache_entry(reply.key,
-                                          CachedSolution{reply.solution})
+    out << "entry "
+        << encode_cache_entry(
+               reply.key, CachedSolution{reply.solution, reply.cost_seconds})
         << "\n";
   } else {
     out << "key " << to_hex(reply.key) << "\n";
@@ -164,8 +204,16 @@ std::optional<SolveReply> decode_wire_reply(std::string_view payload,
     return bad("expected 'hit 0|1'");
   }
   reply.cache_hit = value == "1";
-  if (!std::getline(in, line) || !take_field(line, "down", value) ||
-      (value != "0" && value != "1")) {
+  // 'near' and 'cost' joined the v1 format later; replies from a rank
+  // without them must keep decoding (rolling fabric upgrades), so both
+  // are optional in their slots.
+  if (!std::getline(in, line)) return bad("expected 'down 0|1'");
+  if (take_field(line, "near", value)) {
+    if (value != "0" && value != "1") return bad("expected 'near 0|1'");
+    reply.near_miss = value == "1";
+    if (!std::getline(in, line)) return bad("expected 'down 0|1'");
+  }
+  if (!take_field(line, "down", value) || (value != "0" && value != "1")) {
     return bad("expected 'down 0|1'");
   }
   reply.downgraded = value == "1";
@@ -173,6 +221,12 @@ std::optional<SolveReply> decode_wire_reply(std::string_view payload,
     return bad("expected 'solver <name>'");
   }
   reply.solver_used = value == "-" ? "" : value;
+  if (in.peek() == 'c') {
+    if (!std::getline(in, line) || !take_field(line, "cost", value) ||
+        !parse_canonical_number(value, reply.cost_seconds)) {
+      return bad("expected 'cost <number>'");
+    }
+  }
 
   while (std::getline(in, line)) {
     if (take_field(line, "error", value)) {

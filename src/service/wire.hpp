@@ -11,6 +11,9 @@
 //   latency <canonical_number|inf>
 //   deadline <canonical_number|inf>
 //   policy reject|downgrade
+//   warm <encode_cache_entry>  (optional: the requester's best local
+//                               near-miss incumbent, canonical labels;
+//                               its key field is ignored)
 //   instance
 //   <write_instance_canonical text>
 //
@@ -18,8 +21,11 @@
 //   prts-solve-reply v1
 //   status <reply_status_name>
 //   hit 0|1
+//   near 0|1
 //   down 0|1
 //   solver <name|->
+//   cost <canonical_number>    (recorded solve cost; feeds the
+//                               requester's adaptive replica TTL)
 //   error <message>            (only when status == error)
 //   entry <encode_cache_entry> (only when a solution/infeasible answer
 //                               is present; carries key + solution)

@@ -35,6 +35,20 @@ class ExactSession final : public PreparedSolver {
     return Solution{std::move(solution->mapping), solution->metrics};
   }
 
+  std::optional<Solution> solve(const Bounds& bounds,
+                                const WarmStart& warm) const override {
+    auto solution =
+        solver_.solve(bounds.period_bound, bounds.latency_bound,
+                      warm_floor_cut(warm.reliability_floor_log));
+    // A feasible incumbent proves the cut scan cannot come up empty; if
+    // it somehow did (a floor above every record, i.e. a caller bug or
+    // rounding drift beyond the cut margin), fall back to the unpruned
+    // scan rather than change the answer.
+    if (!solution && warm.incumbent) return solve(bounds);
+    if (!solution) return std::nullopt;
+    return Solution{std::move(solution->mapping), solution->metrics};
+  }
+
  private:
   HomogeneousExactSolver solver_;
 };
@@ -48,10 +62,20 @@ class ExactAdapter final : public Solver {
   bool supports(const Instance& instance) const override {
     return instance.platform.is_homogeneous();
   }
+  bool bounds_monotone(const Instance& instance) const override {
+    // First-max over the fixed partition-record list.
+    return supports(instance);
+  }
   std::optional<Solution> solve(const Instance& instance,
                                 const Bounds& bounds) const override {
     if (!supports(instance)) return std::nullopt;
     return ExactSession(instance).solve(bounds);
+  }
+  std::optional<Solution> solve(const Instance& instance,
+                                const Bounds& bounds,
+                                const WarmStart& warm) const override {
+    if (!supports(instance)) return std::nullopt;
+    return ExactSession(instance).solve(bounds, warm);
   }
   std::unique_ptr<PreparedSolver> prepare(
       const Instance& instance) const override {
@@ -83,6 +107,25 @@ class IlpAdapter final : public Solver {
         evaluate(instance.chain, instance.platform, solution->mapping);
     return Solution{std::move(solution->mapping), metrics};
   }
+  std::optional<Solution> solve(const Instance& instance,
+                                const Bounds& bounds,
+                                const WarmStart& warm) const override {
+    if (!supports(instance)) return std::nullopt;
+    const IlpFormulation formulation(instance.chain, instance.platform,
+                                     bounds.period_bound,
+                                     bounds.latency_bound);
+    // The B&B objective is the Eq. (9) log reliability — the same scale
+    // the floor certificate is expressed in.
+    auto solution =
+        solve_ilp(formulation, warm_floor_cut(warm.reliability_floor_log));
+    // A feasible incumbent proves the cut search cannot come up empty;
+    // fall back to the uncut search rather than change the answer.
+    if (!solution && warm.incumbent) return solve(instance, bounds);
+    if (!solution) return std::nullopt;
+    const MappingMetrics metrics =
+        evaluate(instance.chain, instance.platform, solution->mapping);
+    return Solution{std::move(solution->mapping), metrics};
+  }
 };
 
 // --------------------------------------------------------------------- dp
@@ -96,6 +139,11 @@ class DpAdapter final : public Solver {
   }
   bool supports(const Instance& instance) const override {
     return instance.platform.is_homogeneous();
+  }
+  bool bounds_monotone(const Instance& instance) const override {
+    // The optimum is computed bounds-free and only *checked* against
+    // the bounds — a one-candidate fixed set.
+    return supports(instance);
   }
   std::optional<Solution> solve(const Instance& instance,
                                 const Bounds& bounds) const override {
@@ -148,6 +196,19 @@ class HomHeuristicSession final : public PreparedSolver {
     return Solution{best->mapping, best->metrics};
   }
 
+  std::optional<Solution> solve(const Bounds& bounds,
+                                const WarmStart& warm) const override {
+    const HeuristicSolution* best = best_heuristic_candidate(
+        candidates_, bounds.period_bound, bounds.latency_bound,
+        /*use_expected_metrics=*/false,
+        warm_floor_cut(warm.reliability_floor_log));
+    // A feasible incumbent proves the cut scan cannot come up empty;
+    // fall back to the unpruned scan rather than change the answer.
+    if (best == nullptr && warm.incumbent) return solve(bounds);
+    if (best == nullptr) return std::nullopt;
+    return Solution{best->mapping, best->metrics};
+  }
+
  private:
   std::vector<HeuristicSolution> candidates_;
 };
@@ -167,6 +228,16 @@ class HeuristicAdapter final : public Solver {
                            : "Heur-P: balance interval loads (min-period "
                              "DP)";
     return local_search_ ? base + ", polished by local search" : base;
+  }
+
+  bool bounds_monotone(const Instance& instance) const override {
+    // The cached-session path (the one whose answers the service
+    // caches) is a first-max filter over the bounds-free candidate
+    // list — monotone. With local-search polish the hill-climb
+    // trajectory depends on which moves the bounds permit, and on
+    // heterogeneous platforms the allocator itself is bounds-driven:
+    // neither answer transfers across bounds.
+    return !local_search_ && instance.platform.is_homogeneous();
   }
 
   std::optional<Solution> solve(const Instance& instance,

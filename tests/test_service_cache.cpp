@@ -290,6 +290,131 @@ TEST(SolutionCacheStats, JsonSnapshotNamesEveryCounter) {
   EXPECT_NE(json.find("\"hit_rate\":1"), std::string::npos);
 }
 
+// ----------------------------------------------- bounds-monotone index
+
+CachedSolution indexed_entry(const Instance& instance,
+                             const CanonicalHash& instance_key,
+                             double period_bound, double latency_bound) {
+  CachedSolution entry = feasible_entry(instance);
+  entry.instance_key = instance_key;
+  entry.bounds = solver::Bounds{period_bound, latency_bound};
+  return entry;
+}
+
+TEST(NearMissIndex, DominatingEntryServesTighterBounds) {
+  const Instance instance = tiny_instance();
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache cache;
+  // Solved at (period 50, latency 100); the solution's own metrics
+  // satisfy much tighter bounds.
+  CachedSolution entry = indexed_entry(instance, ikey, 50.0, 100.0);
+  cache.insert(key_of(1), entry);
+
+  const MappingMetrics& metrics = entry.solution->metrics;
+  solver::Bounds tighter{metrics.worst_period + 1.0,
+                         metrics.worst_latency + 1.0};
+  const auto hit = cache.find_dominating(ikey, tighter);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->solution->mapping, entry.solution->mapping);
+  EXPECT_EQ(hit->solution->metrics, entry.solution->metrics);
+  EXPECT_EQ(cache.stats().near_hits, 1u);
+  EXPECT_EQ(cache.stats().near_entries, 1u);
+
+  // Bounds looser than the recorded ones never match (the entry does
+  // not dominate them), and neither does a foreign instance key.
+  EXPECT_FALSE(cache.find_dominating(ikey, {60.0, 100.0}).has_value());
+  EXPECT_FALSE(
+      cache.find_dominating(fingerprint("instance-b"), tighter).has_value());
+}
+
+TEST(NearMissIndex, DominatingEntryWhoseSolutionDoesNotFitIsSkipped) {
+  const Instance instance = tiny_instance();
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache cache;
+  CachedSolution entry = indexed_entry(instance, ikey, 50.0, 100.0);
+  cache.insert(key_of(1), entry);
+  // Tighter than the solution's own period: the cached answer does not
+  // transfer, so this must MISS (a fresh solve could do better).
+  solver::Bounds tighter{entry.solution->metrics.worst_period * 0.5, 100.0};
+  EXPECT_FALSE(cache.find_dominating(ikey, tighter).has_value());
+}
+
+TEST(NearMissIndex, LooserInfeasibilityDominates) {
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache cache;
+  CachedSolution infeasible;
+  infeasible.instance_key = ikey;
+  infeasible.bounds = solver::Bounds{10.0, 100.0};
+  cache.insert(key_of(1), infeasible);
+
+  const auto hit = cache.find_dominating(ikey, {5.0, 50.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->solution.has_value());
+  // The infeasibility does not transfer to *looser* bounds.
+  EXPECT_FALSE(cache.find_dominating(ikey, {20.0, 100.0}).has_value());
+}
+
+TEST(NearMissIndex, FindFeasibleReturnsTheMostReliableFit) {
+  const Instance instance = tiny_instance();
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache cache;
+  CachedSolution weak = indexed_entry(instance, ikey, 5.0, 100.0);
+  weak.solution->metrics.reliability = LogReliability::from_log(-1.0);
+  CachedSolution strong = indexed_entry(instance, ikey, 8.0, 100.0);
+  strong.solution->metrics.reliability = LogReliability::from_log(-0.5);
+  cache.insert(key_of(1), weak);
+  cache.insert(key_of(2), strong);
+
+  // Both solutions fit loose request bounds; the stronger floor wins.
+  const auto best = cache.find_feasible(ikey, {1e9, 1e9});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->solution->metrics.reliability.log(), -0.5);
+
+  // Bounds no cached solution satisfies yield nothing.
+  EXPECT_FALSE(cache.find_feasible(ikey, {1e-6, 1e-6}).has_value());
+}
+
+TEST(NearMissIndex, EvictedEntriesAreDroppedLazily) {
+  const Instance instance = tiny_instance();
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache::Config config;
+  config.shards = 1;
+  config.capacity_bytes = 2 * cached_solution_bytes(
+                                  indexed_entry(instance, ikey, 50.0, 100.0));
+  ShardedSolutionCache cache(config);
+  for (int i = 0; i < 8; ++i) {
+    cache.insert(key_of(i), indexed_entry(instance, ikey, 50.0 + i, 100.0));
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Stale index references are pruned as the lookup walks them; the
+  // survivors still answer.
+  const auto hit = cache.find_dominating(ikey, {1.0, 1.0});
+  (void)hit;  // feasibility depends on the entry metrics; the walk ran
+  EXPECT_LE(cache.stats().near_entries, cache.stats().entries);
+}
+
+TEST(NearMissIndex, PerInstanceHistoryIsBounded) {
+  const Instance instance = tiny_instance();
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache::Config config;
+  config.near_index_per_instance = 4;
+  ShardedSolutionCache cache(config);
+  for (int i = 0; i < 32; ++i) {
+    cache.insert(key_of(i), indexed_entry(instance, ikey, 50.0 + i, 100.0));
+  }
+  EXPECT_LE(cache.stats().near_entries, 4u);
+}
+
+TEST(NearMissIndex, ClearDropsTheIndexToo) {
+  const Instance instance = tiny_instance();
+  const CanonicalHash ikey = fingerprint("instance-a");
+  ShardedSolutionCache cache;
+  cache.insert(key_of(1), indexed_entry(instance, ikey, 50.0, 100.0));
+  cache.clear();
+  EXPECT_EQ(cache.stats().near_entries, 0u);
+  EXPECT_FALSE(cache.find_dominating(ikey, {1.0, 1.0}).has_value());
+}
+
 // ----------------------------------------------------- replica tier
 
 using ReplicaClock = ReplicaCache::Clock;
@@ -335,6 +460,56 @@ TEST(ReplicaTier, ReinsertRestartsTheTtl) {
   EXPECT_TRUE(cache.lookup(key_of(1), t0 + std::chrono::seconds(15))
                   .has_value());
   EXPECT_EQ(cache.stats().insertions, 1u);  // refresh, not a new entry
+}
+
+TEST(ReplicaTier, AdaptiveTtlScalesWithRecordedSolveCost) {
+  ReplicaCache::Config config;
+  config.ttl_seconds = 10.0;
+  config.ttl_cost_factor = 5.0;  // +5s of lifetime per solve second
+  ReplicaCache cache(config);
+  const auto t0 = ReplicaClock::now();
+
+  CachedSolution cheap;  // cost 0: flat TTL
+  cache.insert(key_of(1), cheap, t0);
+  CachedSolution expensive;
+  expensive.cost_seconds = 4.0;  // 10 + 4*5 = 30s lifetime
+  cache.insert(key_of(2), expensive, t0);
+
+  EXPECT_FALSE(cache.contains(key_of(1), t0 + std::chrono::seconds(15)));
+  EXPECT_TRUE(cache.contains(key_of(2), t0 + std::chrono::seconds(15)));
+  EXPECT_TRUE(cache.contains(key_of(2), t0 + std::chrono::seconds(29)));
+  EXPECT_FALSE(cache.contains(key_of(2), t0 + std::chrono::seconds(30)));
+}
+
+TEST(ReplicaTier, AdaptiveTtlIsCapped) {
+  ReplicaCache::Config config;
+  config.ttl_seconds = 10.0;
+  config.ttl_cost_factor = 1.0;
+  config.ttl_max_seconds = 60.0;
+  ReplicaCache cache(config);
+  const auto t0 = ReplicaClock::now();
+  CachedSolution pathological;
+  pathological.cost_seconds = 1e9;
+  cache.insert(key_of(1), pathological, t0);
+  EXPECT_TRUE(cache.contains(key_of(1), t0 + std::chrono::seconds(59)));
+  EXPECT_FALSE(cache.contains(key_of(1), t0 + std::chrono::seconds(60)));
+
+  // Without an explicit cap, 16x the base TTL bounds the extension.
+  ReplicaCache::Config uncapped = config;
+  uncapped.ttl_max_seconds = 0.0;
+  ReplicaCache fallback(uncapped);
+  fallback.insert(key_of(2), pathological, t0);
+  EXPECT_TRUE(fallback.contains(key_of(2), t0 + std::chrono::seconds(159)));
+  EXPECT_FALSE(fallback.contains(key_of(2), t0 + std::chrono::seconds(161)));
+
+  // A cap below the base TTL bounds only the extension: an expensive
+  // entry must never expire before a free one would.
+  ReplicaCache::Config inverted = config;
+  inverted.ttl_max_seconds = 2.0;  // below ttl_seconds = 10
+  ReplicaCache clamped(inverted);
+  clamped.insert(key_of(3), pathological, t0);
+  EXPECT_TRUE(clamped.contains(key_of(3), t0 + std::chrono::seconds(9)));
+  EXPECT_FALSE(clamped.contains(key_of(3), t0 + std::chrono::seconds(10)));
 }
 
 TEST(ReplicaTier, NonPositiveTtlNeverExpires) {

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build (with the project's always-on
-# -Wall -Wextra), run the tier-1 ctest suite, then smoke-test the
-# distributed solve fabric with three real prts_cli processes on
-# loopback — including hot-entry replication and killing a rank mid-run.
+# -Wall -Wextra), run the tier-1 ctest suite, smoke-test near-miss
+# reuse on a bound sweep, then smoke-test the distributed solve fabric
+# with three real prts_cli processes on loopback — including hot-entry
+# replication and killing a rank mid-run.
 #
 #   tools/ci.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug tools/ci.sh
@@ -20,6 +21,38 @@ cmake --build "$BUILD" -j "$JOBS"
 # the project supports CMake 3.16.)
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
 
+CLI="$BUILD/prts_cli"
+
+# ---------------------------------------------------------------------------
+# Near-miss smoke test: a paced descending period sweep over one
+# instance. Steps whose optimum is unchanged must be served from the
+# bounds-monotone index — the '# near_miss' stats counter rises and the
+# exact-solver invocations stay sublinear in the sweep length.
+# ---------------------------------------------------------------------------
+NM="$BUILD/nearmiss_smoke"
+rm -rf "$NM" && mkdir -p "$NM"
+"$CLI" generate --seed 7 --tasks 10 --procs 6 > "$NM/inst.txt"
+{
+  echo "load inst $NM/inst.txt"
+  p=1000000
+  for _ in $(seq 1 12); do
+    echo "solve inst exact $p inf"
+    echo "sync"
+    p=$((p / 3))
+  done
+  echo "stats"
+} | "$CLI" serve - > "$NM/out.txt"
+near_miss=$(grep '^# near_miss' "$NM/out.txt" | awk '{print $3}')
+[ "${near_miss:-0}" -ge 1 ] ||
+  { echo "FAIL: near-miss counter did not rise on a bound sweep" >&2; exit 1; }
+grep -q '"dominating":' "$NM/out.txt" ||
+  { echo "FAIL: stats output lost the per-tier hit breakdown" >&2; exit 1; }
+if grep -q $'\terror\t' "$NM/out.txt"; then
+  echo "FAIL: error statuses in near-miss smoke replies" >&2
+  exit 1
+fi
+echo "near-miss smoke test OK: near_miss=$near_miss"
+
 # ---------------------------------------------------------------------------
 # Fabric smoke test: ranks 0..2 on localhost present one logical cache.
 # Asserts (via the line protocol's stats JSON) that cross-shard keys are
@@ -30,8 +63,6 @@ cmake --build "$BUILD" -j "$JOBS"
 # never a single error status.
 # ---------------------------------------------------------------------------
 [ "${SKIP_FABRIC_SMOKE:-0}" = "1" ] && exit 0
-
-CLI="$BUILD/prts_cli"
 FAB="$BUILD/fabric_smoke"
 rm -rf "$FAB" && mkdir -p "$FAB"
 

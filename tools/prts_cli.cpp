@@ -24,14 +24,16 @@
 //       spec format) and emit the aggregated series; --threads/--seed
 //       override the spec without editing it; --via-service routes every
 //       job through the solve service so repeats hit the cross-run cache
+//       (with --near-miss on|off gating bounds-monotone near-miss reuse)
 //   prts_cli serve [requests.txt|-] [--threads N] [--cache-mb M]
 //       [--shards S] [--no-cache] [--queue-limit Q] [--deadline D]
 //       [--policy reject|downgrade] [--fallback SOLVER]
-//       [--retention lru|cost]
+//       [--retention lru|cost] [--near-miss on|off]
 //       [--warm-start cache.{tsv,bin}] [--save-cache cache.{tsv,bin}]
 //       [--stats]
 //       [--listen PORT] [--world N] [--rank R] [--peers h:p,h:p,...]
-//       [--replica-mb M] [--replica-ttl SECONDS] [--gossip-interval S]
+//       [--replica-mb M] [--replica-ttl SECONDS]
+//       [--replica-ttl-cost FACTOR] [--gossip-interval S]
 //       [--no-input]
 //       run the batched solve service over a line-protocol request
 //       stream (see src/service/protocol.hpp for the format); with
@@ -39,10 +41,15 @@
 //       distributed solve fabric (shard = hash.hi mod world), forwarding
 //       remote-shard misses to their owner and answering peers' frames;
 //       --replica-mb/--replica-ttl size the hot-entry replica tier
-//       absorbing repeat remote-shard hits (0 MB disables it) and
+//       absorbing repeat remote-shard hits (0 MB disables it),
+//       --replica-ttl-cost grants extra replica lifetime per second of
+//       an entry's recorded solve cost (adaptive TTL, 0 = flat), and
 //       --gossip-interval enables periodic hot-key digests so peers
 //       prefetch each other's hot entries (0 disables gossip);
-//       --no-input serves network traffic only until SIGINT/SIGTERM
+//       --near-miss off disables bounds-monotone near-miss reuse
+//       (dominating hits + warm starts; on by default, answer bytes
+//       are identical either way); --no-input serves network traffic
+//       only until SIGINT/SIGTERM
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -414,9 +421,13 @@ int cmd_campaign(const std::string& spec_path, const Flags& flags) {
       service_config.threads = config.threads;
       service_config.cache.capacity_bytes = static_cast<std::size_t>(
           flags.number("cache-mb", 64) * 1024 * 1024);
+      service_config.near_miss = flags.get("near-miss", "on") != "off";
       service::SolveService service(service_config);
       result = service::run_campaign_via_service(*parsed.spec, service);
       if (flags.has("stats")) {
+        std::cerr << "# hits ";
+        service::write_hit_tiers_json(std::cerr, service.stats());
+        std::cerr << "\n";
         std::cerr << "# cache ";
         service::ShardedSolutionCache::write_stats_json(
             std::cerr, service.cache_stats());
@@ -466,6 +477,13 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     std::cerr << "unknown --retention " << retention << " (lru|cost)\n";
     return 2;
   }
+  const std::string near_miss = flags.get("near-miss", "on");
+  if (near_miss == "off") {
+    config.near_miss = false;
+  } else if (near_miss != "on") {
+    std::cerr << "unknown --near-miss " << near_miss << " (on|off)\n";
+    return 2;
+  }
 
   service::ServeOptions options;
   options.default_deadline_seconds = flags.number("deadline", kInf);
@@ -490,9 +508,11 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   }
   const double replica_mb = flags.number("replica-mb", 16);
   const double replica_ttl = flags.number("replica-ttl", 300);
+  const double replica_ttl_cost = flags.number("replica-ttl-cost", 0);
   const double gossip_interval = flags.number("gossip-interval", 0);
-  if (replica_mb < 0 || gossip_interval < 0) {
-    std::cerr << "--replica-mb and --gossip-interval must be >= 0\n";
+  if (replica_mb < 0 || replica_ttl_cost < 0 || gossip_interval < 0) {
+    std::cerr << "--replica-mb, --replica-ttl-cost and --gossip-interval "
+                 "must be >= 0\n";
     return 2;
   }
 
@@ -606,6 +626,7 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     router_config.replica.capacity_bytes =
         static_cast<std::size_t>(replica_mb * 1024 * 1024);
     router_config.replica.ttl_seconds = replica_ttl;
+    router_config.replica.ttl_cost_factor = replica_ttl_cost;
     router_config.gossip_interval_seconds = gossip_interval;
     router = std::make_unique<service::ShardRouter>(engine, router_config);
     router_ptr.store(router.get());
