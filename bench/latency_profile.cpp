@@ -1,0 +1,157 @@
+// Telemetry overhead and latency profile on the warm path: the same
+// repeated-instance workload service_throughput uses, run once with
+// telemetry off and once with it on (registry + tracer live, every
+// request traced). Emits BENCH_observability.json with both throughputs,
+// the overhead percentage, and the p50/p90/p99/p999 of the instrumented
+// run's engine_request_latency_seconds histogram — the acceptance bar
+// is overhead < 5% on this path, and the quantiles are the numbers the
+// ROADMAP's tail-latency framing asks for.
+//
+//   latency_profile [--requests N] [--unique U] [--solver NAME]
+//                   [--threads T] [--quick] [--out PATH]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "model/generator.hpp"
+#include "obs/trace.hpp"
+#include "service/engine.hpp"
+
+namespace {
+
+using namespace prts;
+
+/// Warm-path run: cache enabled, U unique probes cycled sequentially,
+/// so after the first lap every request is a cache hit — the path where
+/// instrumentation overhead would show, because the work per request is
+/// small. Returns wall seconds; `telemetry` may be null (the A side).
+double run_workload(const std::vector<Instance>& instances,
+                    std::size_t requests, const std::string& solver,
+                    std::size_t threads, obs::Telemetry* telemetry) {
+  service::ServiceConfig config;
+  config.threads = threads;
+  config.max_queue_depth = requests + 1;
+  config.telemetry = telemetry;
+  service::SolveService engine(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t answered = 0;
+  for (std::size_t r = 0; r < requests; ++r) {
+    service::SolveRequest request{instances[r % instances.size()], solver,
+                                  {}};
+    const service::SolveReply reply = engine.submit(std::move(request)).get();
+    if (reply.status == service::ReplyStatus::kSolved ||
+        reply.status == service::ReplyStatus::kInfeasible) {
+      ++answered;
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (answered != requests) {
+    std::cerr << "warning: " << (requests - answered) << "/" << requests
+              << " requests unanswered\n";
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 5000;
+  std::size_t unique = 4;
+  std::size_t threads = 0;
+  std::string solver = "heur-p";
+  std::string out_path = "BENCH_observability.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--requests") {
+      requests = std::stoul(next());
+    } else if (arg == "--unique") {
+      unique = std::stoul(next());
+    } else if (arg == "--threads") {
+      threads = std::stoul(next());
+    } else if (arg == "--solver") {
+      solver = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--quick") {
+      requests = 500;
+      unique = 3;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (unique == 0 || requests == 0) {
+    std::cerr << "--requests and --unique must be positive\n";
+    return 2;
+  }
+
+  std::vector<Instance> instances;
+  for (std::size_t u = 0; u < unique; ++u) {
+    Rng rng(1000 + u);
+    instances.push_back(Instance{
+        paper::chain(rng),
+        Platform::homogeneous(paper::kProcessorCount, paper::kHomSpeed,
+                              paper::kProcessorFailureRate, paper::kBandwidth,
+                              paper::kLinkFailureRate,
+                              paper::kMaxReplication)});
+  }
+
+  // A: telemetry off. A short untimed lap first would only hide cache
+  // warm-up in both runs equally; instead both runs include their own
+  // warm-up lap, keeping the comparison symmetric.
+  const double off_seconds =
+      run_workload(instances, requests, solver, threads, nullptr);
+
+  // B: telemetry on — every request counted, latency-recorded and
+  // traced (the tracer ring cycling through all N requests).
+  obs::Telemetry telemetry;
+  const double on_seconds =
+      run_workload(instances, requests, solver, threads, &telemetry);
+
+  const double off_rps = static_cast<double>(requests) / off_seconds;
+  const double on_rps = static_cast<double>(requests) / on_seconds;
+  const double overhead_pct = (off_rps - on_rps) / off_rps * 100.0;
+
+  const obs::Histogram::Snapshot latency =
+      telemetry.metrics.histogram("engine_request_latency_seconds")
+          .snapshot();
+  if (latency.count != requests) {
+    std::cerr << "warning: latency histogram holds " << latency.count
+              << " samples, expected " << requests << "\n";
+  }
+
+  std::cout << "latency profile: " << requests << " warm-path requests over "
+            << unique << " unique instances, solver " << solver << "\n"
+            << "  telemetry off  " << off_rps << " req/s\n"
+            << "  telemetry on   " << on_rps << " req/s (overhead "
+            << overhead_pct << "%)\n"
+            << "  latency p50 " << latency.quantile(0.50) * 1e6 << " us, p90 "
+            << latency.quantile(0.90) * 1e6 << " us, p99 "
+            << latency.quantile(0.99) * 1e6 << " us, p999 "
+            << latency.quantile(0.999) * 1e6 << " us\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << "{\"benchmark\":\"latency_profile\",\"solver\":\"" << solver
+      << "\",\"requests\":" << requests << ",\"unique_instances\":" << unique
+      << ",\"threads\":" << threads << ",\"off_seconds\":" << off_seconds
+      << ",\"off_rps\":" << off_rps << ",\"on_seconds\":" << on_seconds
+      << ",\"on_rps\":" << on_rps << ",\"overhead_pct\":" << overhead_pct
+      << ",\"latency_seconds\":{\"count\":" << latency.count
+      << ",\"mean\":" << latency.mean() << ",\"p50\":" << latency.quantile(0.5)
+      << ",\"p90\":" << latency.quantile(0.9)
+      << ",\"p99\":" << latency.quantile(0.99)
+      << ",\"p999\":" << latency.quantile(0.999) << "}}\n";
+  return 0;
+}

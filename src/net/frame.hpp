@@ -45,6 +45,8 @@ enum class FrameType : std::uint8_t {
   kReplicaFetch = 8,  ///< payload: service::encode_replica_fetch (keys
                       ///< a peer wants replicated)
   kReplicaFetchReply = 9,  ///< payload: service::encode_replica_entries
+  kMetricsRequest = 10,    ///< payload ignored; scrape this rank
+  kMetricsReply = 11,      ///< payload: prometheus-style text exposition
 };
 
 struct Frame {

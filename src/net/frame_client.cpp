@@ -7,12 +7,25 @@ namespace prts::net {
 
 FrameClient::FrameClient(std::string host, std::uint16_t port,
                          FrameClientConfig config)
-    : host_(std::move(host)), port_(port), config_(config) {}
+    : host_(std::move(host)), port_(port), config_(std::move(config)) {
+  // Resolve the registry counters once (registration locks); every
+  // bump afterward is a lock-free relaxed add.
+  if (config_.metrics != nullptr) {
+    const std::string& prefix = config_.metrics_prefix;
+    calls_counter_ = &config_.metrics->counter(prefix + "calls_total");
+    failures_counter_ = &config_.metrics->counter(prefix + "failures_total");
+    connects_counter_ = &config_.metrics->counter(prefix + "connects_total");
+    fast_failures_counter_ =
+        &config_.metrics->counter(prefix + "fast_failures_total");
+    suspects_counter_ = &config_.metrics->counter(prefix + "suspects_total");
+  }
+}
 
 bool FrameClient::ensure_connected_locked() {
   if (socket_.valid()) return true;
   if (backoff_seconds_ > 0.0 && Clock::now() < next_attempt_) {
     ++stats_.fast_failures;
+    if (fast_failures_counter_) fast_failures_counter_->add();
     return false;
   }
   auto connected =
@@ -24,11 +37,17 @@ bool FrameClient::ensure_connected_locked() {
   socket_ = std::move(*connected);
   socket_.set_receive_timeout(config_.reply_timeout_seconds);
   ++stats_.connects;
+  if (connects_counter_) connects_counter_->add();
   return true;
 }
 
 void FrameClient::mark_failed_locked() {
   socket_.close();
+  if (backoff_seconds_ == 0.0) {
+    // Healthy -> suspect edge, not every failure inside the window.
+    ++stats_.suspects;
+    if (suspects_counter_) suspects_counter_->add();
+  }
   backoff_seconds_ =
       backoff_seconds_ == 0.0
           ? config_.backoff_initial_seconds
@@ -41,8 +60,10 @@ void FrameClient::mark_failed_locked() {
 std::optional<Frame> FrameClient::call(const Frame& request) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.calls;
+  if (calls_counter_) calls_counter_->add();
   if (!ensure_connected_locked()) {
     ++stats_.failures;
+    if (failures_counter_) failures_counter_->add();
     return std::nullopt;
   }
   Frame reply;
@@ -51,6 +72,7 @@ std::optional<Frame> FrameClient::call(const Frame& request) {
           FrameReadStatus::kOk) {
     mark_failed_locked();
     ++stats_.failures;
+    if (failures_counter_) failures_counter_->add();
     return std::nullopt;
   }
   backoff_seconds_ = 0.0;  // healthy again

@@ -21,6 +21,7 @@
 
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace prts::net {
 
@@ -31,6 +32,13 @@ struct FrameClientConfig {
   double backoff_initial_seconds = 0.2;
   double backoff_max_seconds = 5.0;
   std::size_t max_payload = kDefaultMaxPayload;
+
+  /// When set, the client mirrors its counters into this registry under
+  /// `metrics_prefix` + {calls,failures,connects,fast_failures,suspects}
+  /// + "_total" — reconnect churn and suspect transitions become
+  /// scrapeable instead of silent. Must outlive the client.
+  obs::Registry* metrics = nullptr;
+  std::string metrics_prefix = "net_client_";
 };
 
 /// Monotonic counters, snapshot under the client mutex.
@@ -39,6 +47,7 @@ struct FrameClientStats {
   std::uint64_t failures = 0;  ///< calls answered nullopt
   std::uint64_t connects = 0;  ///< successful (re)connects
   std::uint64_t fast_failures = 0;  ///< rejected inside the backoff window
+  std::uint64_t suspects = 0;  ///< healthy -> suspect transitions
 };
 
 class FrameClient {
@@ -81,6 +90,14 @@ class FrameClient {
   double backoff_seconds_ = 0.0;      ///< 0 = healthy
   Clock::time_point next_attempt_{};  ///< meaningful when backoff > 0
   FrameClientStats stats_;
+
+  /// Registry counters resolved once at construction (see
+  /// FrameClientConfig::metrics); null when mirroring is off.
+  obs::Counter* calls_counter_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
+  obs::Counter* connects_counter_ = nullptr;
+  obs::Counter* fast_failures_counter_ = nullptr;
+  obs::Counter* suspects_counter_ = nullptr;
 };
 
 }  // namespace prts::net

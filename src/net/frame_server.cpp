@@ -11,19 +11,29 @@ namespace prts::net {
 std::unique_ptr<FrameServer> FrameServer::start(std::uint16_t port,
                                                 FrameHandler handler,
                                                 ThreadPool& pool,
-                                                std::size_t max_payload) {
+                                                std::size_t max_payload,
+                                                obs::Registry* metrics) {
   auto listener = Listener::open(port);
   if (!listener) return nullptr;
   return std::unique_ptr<FrameServer>(new FrameServer(
-      std::move(*listener), std::move(handler), pool, max_payload));
+      std::move(*listener), std::move(handler), pool, max_payload, metrics));
 }
 
 FrameServer::FrameServer(Listener listener, FrameHandler handler,
-                         ThreadPool& pool, std::size_t max_payload)
+                         ThreadPool& pool, std::size_t max_payload,
+                         obs::Registry* metrics)
     : listener_(std::move(listener)),
       handler_(std::move(handler)),
       pool_(pool),
       max_payload_(max_payload),
+      connections_counter_(
+          metrics ? &metrics->counter("net_server_connections_total")
+                  : nullptr),
+      frames_counter_(
+          metrics ? &metrics->counter("net_server_frames_total") : nullptr),
+      protocol_errors_counter_(
+          metrics ? &metrics->counter("net_server_protocol_errors_total")
+                  : nullptr),
       accept_thread_([this] { accept_loop(); }) {}
 
 FrameServer::~FrameServer() { stop(); }
@@ -40,6 +50,7 @@ void FrameServer::accept_loop() {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_.load()) break;
       ++stats_.connections;
+      if (connections_counter_) connections_counter_->add();
       open_fds_.insert(fd);
     }
     auto future =
@@ -73,6 +84,7 @@ void FrameServer::serve_connection(
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.frames;
       }
+      if (frames_counter_) frames_counter_->add();
       std::optional<Frame> reply;
       try {
         reply = handler_(request);
@@ -98,6 +110,7 @@ void FrameServer::serve_connection(
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.protocol_errors;
       }
+      if (protocol_errors_counter_) protocol_errors_counter_->add();
       if (status != FrameReadStatus::kTruncated) {
         Frame error;
         error.type = FrameType::kError;

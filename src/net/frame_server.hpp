@@ -27,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace prts::net {
 
@@ -45,10 +46,14 @@ struct FrameServerStats {
 class FrameServer {
  public:
   /// Binds `port` (0 = ephemeral) and starts the accept thread.
-  /// nullptr when the port cannot be bound.
+  /// nullptr when the port cannot be bound. When `metrics` is set the
+  /// server mirrors its counters into it as net_server_connections_total
+  /// / net_server_frames_total / net_server_protocol_errors_total (the
+  /// registry must outlive the server).
   static std::unique_ptr<FrameServer> start(
       std::uint16_t port, FrameHandler handler, ThreadPool& pool,
-      std::size_t max_payload = kDefaultMaxPayload);
+      std::size_t max_payload = kDefaultMaxPayload,
+      obs::Registry* metrics = nullptr);
 
   ~FrameServer();
 
@@ -66,7 +71,7 @@ class FrameServer {
 
  private:
   FrameServer(Listener listener, FrameHandler handler, ThreadPool& pool,
-              std::size_t max_payload);
+              std::size_t max_payload, obs::Registry* metrics);
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<Socket>& socket_ptr);
@@ -81,6 +86,11 @@ class FrameServer {
   std::condition_variable drained_cv_;
   std::unordered_set<int> open_fds_;  ///< live connection descriptors
   FrameServerStats stats_;
+  /// Registry counters resolved once at construction; null when
+  /// mirroring is off.
+  obs::Counter* connections_counter_ = nullptr;
+  obs::Counter* frames_counter_ = nullptr;
+  obs::Counter* protocol_errors_counter_ = nullptr;
   std::thread accept_thread_;
 };
 

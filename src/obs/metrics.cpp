@@ -1,0 +1,239 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace prts::obs {
+namespace {
+
+/// The finite bucket bounds, computed once. A table + binary search
+/// keeps bucket placement exact and deterministic at the boundaries
+/// (a log() at record time would disagree with the table by an ulp on
+/// exact bound values).
+const std::array<double, Histogram::kFiniteBuckets>& bucket_bounds() {
+  static const auto bounds = [] {
+    std::array<double, Histogram::kFiniteBuckets> table{};
+    for (std::size_t i = 0; i < table.size(); ++i) {
+      table[i] = Histogram::kFirstBound *
+                 std::pow(10.0, static_cast<double>(i) /
+                                    static_cast<double>(
+                                        Histogram::kBucketsPerDecade));
+    }
+    return table;
+  }();
+  return bounds;
+}
+
+/// Prometheus-safe metric name: offending characters become '_'.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out = "_" + out;
+  return out;
+}
+
+/// Shortest-ish float text that standard parsers accept ("%.9g" keeps
+/// quantiles readable; exposition values are estimates, not the
+/// bit-exact wire numbers).
+void write_number(std::ostream& out, double value) {
+  if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out << buffer;
+}
+
+void write_histogram_json(std::ostream& out,
+                          const Histogram::Snapshot& snap) {
+  out << "{\"count\":" << snap.count << ",\"sum\":";
+  write_number(out, snap.sum);
+  out << ",\"mean\":";
+  write_number(out, snap.mean());
+  static constexpr struct {
+    const char* name;
+    double q;
+  } kQuantiles[] = {{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99},
+                    {"p999", 0.999}};
+  for (const auto& [name, q] : kQuantiles) {
+    out << ",\"" << name << "\":";
+    write_number(out, snap.quantile(q));
+  }
+  out << "}";
+}
+
+}  // namespace
+
+double Histogram::upper_bound(std::size_t index) noexcept {
+  if (index >= kFiniteBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return bucket_bounds()[index];
+}
+
+std::size_t Histogram::bucket_index(double seconds) noexcept {
+  const auto& bounds = bucket_bounds();
+  // Bucket i covers (bounds[i-1], bounds[i]]: first bound >= value.
+  const auto it =
+      std::lower_bound(bounds.begin(), bounds.end(), seconds);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+void Histogram::record(double seconds) noexcept {
+  if (std::isnan(seconds)) return;
+  counts_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(seconds < 0.0 ? 0.0 : seconds, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Histogram::Snapshot Histogram::snapshot_and_reset() noexcept {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    // Per-bucket exchange: each record lands in exactly one snapshot.
+    snap.counts[i] = counts_[i].exchange(0, std::memory_order_relaxed);
+    snap.count += snap.counts[i];
+  }
+  snap.sum = sum_.exchange(0.0, std::memory_order_relaxed);
+  return snap;
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank with interpolation: the target is the ceil(q*count)-th
+  // recorded value (1-based).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      if (i >= kFiniteBuckets) {
+        // Overflow: the best statement possible is "above the largest
+        // finite bound".
+        return upper_bound(kFiniteBuckets - 1);
+      }
+      const double hi = upper_bound(i);
+      const double lo = i == 0 ? 0.0 : upper_bound(i - 1);
+      const double within = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(counts[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative += counts[i];
+  }
+  return upper_bound(kFiniteBuckets - 1);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << sanitize(name) << "\":" << counter->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << sanitize(name) << "\":";
+    write_number(out, gauge->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << sanitize(name) << "\":";
+    write_histogram_json(out, histogram->snapshot());
+  }
+  out << "}}";
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string safe = sanitize(name);
+    out << "# TYPE " << safe << " counter\n";
+    out << safe << " " << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string safe = sanitize(name);
+    out << "# TYPE " << safe << " gauge\n";
+    out << safe << " ";
+    write_number(out, gauge->value());
+    out << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string safe = sanitize(name);
+    const Histogram::Snapshot snap = histogram->snapshot();
+    out << "# TYPE " << safe << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      // Empty buckets are skipped (80 zero lines per histogram would
+      // dwarf the signal), except the mandatory +Inf terminator.
+      cumulative += snap.counts[i];
+      const bool last = i + 1 == Histogram::kBucketCount;
+      if (snap.counts[i] == 0 && !last) continue;
+      out << safe << "_bucket{le=\"";
+      write_number(out, Histogram::upper_bound(i));
+      out << "\"} " << cumulative << "\n";
+    }
+    out << safe << "_sum ";
+    write_number(out, snap.sum);
+    out << "\n";
+    out << safe << "_count " << snap.count << "\n";
+    static constexpr struct {
+      const char* suffix;
+      double q;
+    } kQuantiles[] = {{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99},
+                      {"_p999", 0.999}};
+    for (const auto& [suffix, q] : kQuantiles) {
+      out << "# TYPE " << safe << suffix << " gauge\n";
+      out << safe << suffix << " ";
+      write_number(out, snap.quantile(q));
+      out << "\n";
+    }
+  }
+}
+
+}  // namespace prts::obs

@@ -1,0 +1,133 @@
+// Cross-rank request tracing (top of src/obs/): a solve gets a 64-bit
+// trace id at submission, every hop it takes (enqueue, batch wait,
+// solver run, cache/near-miss/replica lookup, wire round trip) records
+// a named span under that id, and the id rides the frame protocol so a
+// solve forwarded to a remote shard yields ONE trace whose spans name
+// both ranks. Traces live in a bounded in-memory ring (newest win);
+// traces slower than a threshold are copied to a separate slow ring
+// and optionally logged the moment they finish.
+//
+// Span times are seconds relative to the trace's submission on the
+// recording rank — wall-clock offsets, not synchronized clocks. When
+// the origin rank merges spans shipped back from a remote rank it
+// shifts them by the wire span's start, which places them correctly
+// modulo one-way network delay; that is exactly the fidelity a latency
+// investigation needs and all an unsynchronized cluster can offer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace prts::obs {
+
+/// One named hop of a trace. `rank` is the fabric rank that recorded
+/// it; `start_seconds` is the offset from the trace's submit time on
+/// that rank.
+struct Span {
+  std::string name;
+  int rank = 0;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+/// A completed or in-flight request trace.
+struct Trace {
+  std::uint64_t id = 0;
+  std::string label;  ///< e.g. the canonical instance key
+  std::vector<Span> spans;
+  double total_seconds = 0.0;
+  bool finished = false;
+  bool slow_logged = false;  ///< slow handling already triggered once
+};
+
+struct TracerConfig {
+  std::size_t capacity = 256;       ///< recent-trace ring size
+  std::size_t slow_capacity = 64;   ///< slow-trace ring size
+  /// Traces with total >= threshold go to the slow ring (and the slow
+  /// log, if set). Default: nothing is slow.
+  double slow_threshold_seconds = std::numeric_limits<double>::infinity();
+  std::ostream* slow_log = nullptr;  ///< one line per slow trace
+};
+
+/// Bounded ring of recent traces with an id index. All methods are
+/// thread-safe; tracing is the cold path (one lock per span, not per
+/// cache probe), the metrics registry is the hot one.
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {});
+
+  /// Mint a process-unique, cross-rank-unlikely-to-collide trace id
+  /// and open a trace for it.
+  std::uint64_t start(const std::string& label);
+
+  /// Open (or re-open) a trace under an externally minted id — the
+  /// remote side of a forwarded solve uses the id carried on the wire.
+  void start_with_id(std::uint64_t id, const std::string& label);
+
+  /// Append a span to the trace. Unknown ids are ignored (the trace
+  /// may have been evicted from the ring).
+  void record(std::uint64_t id, Span span);
+  void record(std::uint64_t id, const std::string& name, int rank,
+              double start_seconds, double duration_seconds);
+
+  /// Mark the trace finished with the given total. Upsert-merge:
+  /// finishing an already-finished trace updates the total (the router
+  /// amends an engine-finished trace after failover). Crossing the
+  /// slow threshold copies the trace to the slow ring and writes one
+  /// line to the slow log — at most once per trace.
+  void finish(std::uint64_t id, double total_seconds);
+
+  /// Copy out a trace by id. Returns false if unknown/evicted.
+  bool find(std::uint64_t id, Trace& out) const;
+
+  /// Newest-first copies of up to `limit` recent traces.
+  std::vector<Trace> recent(std::size_t limit = 32) const;
+
+  /// Newest-first copies of up to `limit` slow traces.
+  std::vector<Trace> slow(std::size_t limit = 32) const;
+
+  std::uint64_t slow_count() const;
+
+  double slow_threshold_seconds() const { return config_.slow_threshold_seconds; }
+
+ private:
+  void evict_locked();
+  void mark_slow_locked(Trace& trace);
+
+  TracerConfig config_;
+  mutable std::mutex mutex_;
+  // Ring as list + index: O(1) eviction, stable iterators for the map.
+  std::list<Trace> ring_;  ///< oldest at front
+  std::unordered_map<std::uint64_t, std::list<Trace>::iterator> index_;
+  std::list<Trace> slow_ring_;  ///< oldest at front
+  std::uint64_t slow_count_ = 0;
+  std::uint64_t salt_ = 0;
+  std::uint64_t sequence_ = 0;
+};
+
+/// Trace ids travel and display as fixed-width lowercase hex.
+std::string id_to_hex(std::uint64_t id);
+/// Returns 0 on malformed input (0 is never a minted id).
+std::uint64_t id_from_hex(const std::string& text);
+
+/// Everything a fabric layer needs to observe itself. One per rank;
+/// plumbed through configs as a raw pointer where nullptr means
+/// telemetry is off and instrumentation must cost nothing.
+struct Telemetry {
+  int rank = 0;
+  Registry metrics;
+  Tracer tracer;
+
+  Telemetry() = default;
+  explicit Telemetry(TracerConfig tracer_config) : tracer(tracer_config) {}
+};
+
+}  // namespace prts::obs

@@ -86,10 +86,29 @@ void write_hit_tiers_json(std::ostream& out, const EngineStats& stats) {
       << "}";
 }
 
+/// Seconds between two steady-clock points, floored at zero (span
+/// offsets are measured from a waiter's submit time, and a span that
+/// began before the waiter attached must not go negative).
+static double seconds_since(Clock::time_point from,
+                            Clock::time_point to) noexcept {
+  const double elapsed = std::chrono::duration<double>(to - from).count();
+  return elapsed < 0.0 ? 0.0 : elapsed;
+}
+
 SolveService::SolveService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache),
-      pool_(config_.threads) {}
+      pool_(config_.threads) {
+  if (obs::Telemetry* telemetry = config_.telemetry) {
+    requests_counter_ = &telemetry->metrics.counter("engine_requests_total");
+    request_latency_hist_ =
+        &telemetry->metrics.histogram("engine_request_latency_seconds");
+    batch_wait_hist_ =
+        &telemetry->metrics.histogram("engine_batch_wait_seconds");
+    solver_run_hist_ =
+        &telemetry->metrics.histogram("engine_solver_run_seconds");
+  }
+}
 
 SolveService::~SolveService() { wait_idle(); }
 
@@ -104,6 +123,22 @@ std::future<SolveReply> SolveService::submit(SolveRequest request) {
 std::future<SolveReply> SolveService::submit_canonicalized(
     SolveRequest request, std::shared_ptr<const CanonicalInstance> canonical,
     const CanonicalHash& key) {
+  // Trace opening: a carried id (forwarded solve) is adopted so the
+  // origin's trace id resolves on this rank too; otherwise one is
+  // minted. All span offsets are measured from this arrival point.
+  obs::Telemetry* const telemetry = config_.telemetry;
+  const Clock::time_point arrival = Clock::now();
+  std::uint64_t trace_id = request.trace_id;
+  if (telemetry) {
+    requests_counter_->add();
+    const std::string label = request.solver + ":" + to_hex(key);
+    if (trace_id == 0) {
+      trace_id = telemetry->tracer.start(label);
+    } else {
+      telemetry->tracer.start_with_id(trace_id, label);
+    }
+  }
+
   // One construction for both served-from-cache tiers (exact and
   // dominating) — they differ only in the near_miss flag and which
   // counter they bump.
@@ -115,11 +150,20 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     reply.near_miss = near_miss;
     reply.solver_used = request.solver;
     reply.cost_seconds = cached.cost_seconds;
+    reply.trace_id = trace_id;
     if (cached.solution) {
       reply.status = ReplyStatus::kSolved;
       reply.solution = to_original_labels(*cached.solution, *canonical);
     } else {
       reply.status = ReplyStatus::kInfeasible;
+    }
+    if (telemetry) {
+      const double elapsed = seconds_since(arrival, Clock::now());
+      telemetry->tracer.record(
+          trace_id, near_miss ? "near_miss_lookup" : "cache_lookup",
+          telemetry->rank, 0.0, elapsed);
+      telemetry->tracer.finish(trace_id, elapsed);
+      request_latency_hist_->record(elapsed);
     }
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
@@ -169,7 +213,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     ++stats_.deduplicated;
     it->second->waiters.push_back(
         Waiter{{}, canonical, request.deadline_seconds,
-               request.deadline_policy, Clock::now(), true});
+               request.deadline_policy, Clock::now(), true, trace_id});
     return it->second->waiters.back().promise.get_future();
   }
 
@@ -181,6 +225,13 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     SolveReply reply;
     reply.status = ReplyStatus::kRejectedQueue;
     reply.key = key;
+    reply.trace_id = trace_id;
+    if (telemetry) {
+      const double elapsed = seconds_since(arrival, Clock::now());
+      telemetry->tracer.record(trace_id, "rejected_queue", telemetry->rank,
+                               0.0, elapsed);
+      telemetry->tracer.finish(trace_id, elapsed);
+    }
     return ready_reply_future(std::move(reply));
   }
   ++outstanding_;
@@ -192,7 +243,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
   query->warm = std::move(warm);
   query->waiters.push_back(Waiter{{}, canonical, request.deadline_seconds,
                                   request.deadline_policy, Clock::now(),
-                                  false});
+                                  false, trace_id});
   std::future<SolveReply> future =
       query->waiters.back().promise.get_future();
   in_flight_.emplace(key, query.get());
@@ -297,6 +348,7 @@ void SolveService::run_next_batch() {
       // expired does the query degrade: fallback if someone allows it,
       // rejection otherwise.
       const auto now = Clock::now();
+      outcome.processing_started = now;
       bool any_live = false;
       bool any_downgrade = false;
       {
@@ -322,6 +374,7 @@ void SolveService::run_next_batch() {
         // solves this way, exactly like a paced sweep does.
         bool answered_from_cache = false;
         if (config_.cache_enabled) {
+          const auto probe_start = Clock::now();
           // peek: the submit-path lookup already counted this key's
           // miss; the re-probe must not count a second one.
           std::optional<CachedSolution> cached = cache_.peek(query->key);
@@ -340,6 +393,9 @@ void SolveService::run_next_batch() {
             outcome.kind = QueryOutcome::Kind::kAnswered;
             outcome.solver_used = batch->solver_name;
             answered_from_cache = true;
+            outcome.spans.push_back(QueryOutcome::TimedSpan{
+                outcome.near_miss ? "near_miss_lookup" : "cache_lookup",
+                probe_start, seconds_since(probe_start, Clock::now())});
           }
         }
         if (!answered_from_cache) {
@@ -348,20 +404,19 @@ void SolveService::run_next_batch() {
           merge_warm_hint(batch->key, query->bounds, query->warm);
           if (!session) session = engine->prepare(batch->canonical->instance);
           const auto solve_start = Clock::now();
-          if (query->warm && !query->warm->empty()) {
-            outcome.canonical_solution =
-                session->solve(query->bounds, *query->warm);
-            outcome.warm_started = true;
-          } else {
-            outcome.canonical_solution = session->solve(query->bounds);
-          }
-          outcome.invoked = true;
+          const solver::WarmStart* hint =
+              query->warm && !query->warm->empty() ? &*query->warm : nullptr;
           // Recorded per entry so Retention::kCost can keep expensive
           // exact solves alive longer than cheap heuristic answers.
-          const double cost_seconds =
-              std::chrono::duration<double>(Clock::now() - solve_start)
-                  .count();
+          double cost_seconds = 0.0;
+          outcome.canonical_solution = solver::timed_solve(
+              *session, query->bounds, hint, cost_seconds);
+          outcome.warm_started = hint != nullptr;
+          outcome.invoked = true;
           outcome.cost_seconds = cost_seconds;
+          outcome.spans.push_back(QueryOutcome::TimedSpan{
+              "solver_run", solve_start, cost_seconds});
+          if (solver_run_hist_) solver_run_hist_->record(cost_seconds);
           if (config_.cache_enabled) {
             // The near-miss metadata makes this solve a reusable point
             // of the instance's sweep history.
@@ -382,8 +437,12 @@ void SolveService::run_next_batch() {
         } else {
           // Late: answer fast with the fallback engine. Not cached —
           // the key names the solver the caller asked for.
+          const auto fallback_start = Clock::now();
           outcome.canonical_solution =
               fallback->solve(query->canonical->instance, query->bounds);
+          outcome.spans.push_back(QueryOutcome::TimedSpan{
+              "fallback_solve", fallback_start,
+              seconds_since(fallback_start, Clock::now())});
           outcome.kind = QueryOutcome::Kind::kFallback;
           outcome.solver_used = config_.fallback_solver;
           // A warm incumbent (cached from the *requested* solver at
@@ -439,13 +498,35 @@ void SolveService::finish_query(PendingQuery& query,
     --outstanding_;
     if (outstanding_ == 0) idle_cv_.notify_all();
   }
+  obs::Telemetry* const telemetry = config_.telemetry;
+  const Clock::time_point finished_at = Clock::now();
   for (Waiter& waiter : waiters) {
+    // Per-waiter trace rendering: every attached caller (including
+    // dedup twins) gets the shared work phases expressed as offsets
+    // from its *own* submit time, under its *own* trace id.
+    if (telemetry && waiter.trace_id != 0) {
+      const double total = seconds_since(waiter.submitted, finished_at);
+      const double wait =
+          seconds_since(waiter.submitted, outcome.processing_started);
+      telemetry->tracer.record(waiter.trace_id, "batch_wait",
+                               telemetry->rank, 0.0, wait);
+      for (const QueryOutcome::TimedSpan& span : outcome.spans) {
+        telemetry->tracer.record(
+            waiter.trace_id, span.name, telemetry->rank,
+            seconds_since(waiter.submitted, span.start),
+            span.duration_seconds);
+      }
+      telemetry->tracer.finish(waiter.trace_id, total);
+      request_latency_hist_->record(total);
+      batch_wait_hist_->record(wait);
+    }
     SolveReply reply;
     reply.key = query.key;
     reply.deduplicated = waiter.deduplicated;
     reply.cache_hit = outcome.cache_hit;
     reply.near_miss = outcome.near_miss;
     reply.cost_seconds = outcome.cost_seconds;
+    reply.trace_id = waiter.trace_id;
     switch (outcome.kind) {
       case QueryOutcome::Kind::kError:
         reply.status = ReplyStatus::kError;

@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/canonical.hpp"
 #include "solver/registry.hpp"
@@ -97,6 +98,11 @@ struct SolveRequest {
   /// way). Merged with — and superseded by — anything stronger the
   /// local near-miss index turns up; never changes the answer.
   std::optional<solver::WarmStart> warm_start;
+
+  /// Externally minted trace id (the remote half of a forwarded solve
+  /// records its spans under the id carried on the wire). 0 = mint one
+  /// locally when telemetry is on.
+  std::uint64_t trace_id = 0;
 };
 
 enum class ReplyStatus {
@@ -129,6 +135,12 @@ struct SolveReply {
   /// so a requesting rank's replica tier can scale its TTL with it.
   double cost_seconds = 0.0;
   std::string error;          ///< set iff status == kError
+  /// The trace this reply was recorded under (0 when telemetry is off).
+  std::uint64_t trace_id = 0;
+  /// Spans the *answering* rank recorded for a forwarded solve, decoded
+  /// off the wire reply; the origin shifts them by the wire span's
+  /// start and merges them into its own trace.
+  std::vector<obs::Span> remote_spans;
 };
 
 /// A future already holding `reply` — for paths (cache hits,
@@ -180,6 +192,11 @@ struct ServiceConfig {
 
   /// Deadline downgrade target; must answer on any platform.
   std::string fallback_solver = "heur-p";
+
+  /// Per-rank telemetry (metrics + tracer). nullptr = observability off:
+  /// the hot path pays one null check and nothing else. Must outlive
+  /// the service.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class SolveService {
@@ -213,6 +230,7 @@ class SolveService {
   CacheStats cache_stats() const;
   ShardedSolutionCache& cache() noexcept { return cache_; }
   const ServiceConfig& config() const noexcept { return config_; }
+  obs::Telemetry* telemetry() const noexcept { return config_.telemetry; }
 
  private:
   /// One caller attached to a pending query. Each waiter keeps its own
@@ -226,6 +244,7 @@ class SolveService {
     DeadlinePolicy deadline_policy;
     std::chrono::steady_clock::time_point submitted;
     bool deduplicated;
+    std::uint64_t trace_id = 0;  ///< this waiter's own trace
   };
 
   struct PendingQuery {
@@ -275,6 +294,17 @@ class SolveService {
     bool warm_started = false; ///< solve ran with a warm hint
     bool invoked = false;      ///< a session solve actually executed
     double cost_seconds = 0.0; ///< recorded cost of the answer
+
+    /// Work phases recorded while the batch worker ran this query, in
+    /// absolute time: finish_query converts them into per-waiter span
+    /// offsets (each waiter has its own submit time and trace).
+    struct TimedSpan {
+      const char* name;
+      std::chrono::steady_clock::time_point start;
+      double duration_seconds;
+    };
+    std::vector<TimedSpan> spans;
+    std::chrono::steady_clock::time_point processing_started{};
   };
 
   /// One pool task: picks the open batch whose most urgent waiter has
@@ -313,6 +343,14 @@ class SolveService {
       open_batches_;
   std::uint64_t next_batch_sequence_ = 0;
   EngineStats stats_;
+
+  /// Telemetry handles resolved once at construction (registration
+  /// locks the registry); non-null iff config_.telemetry is set, and
+  /// every record afterward is a lock-free relaxed add.
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Histogram* request_latency_hist_ = nullptr;
+  obs::Histogram* batch_wait_hist_ = nullptr;
+  obs::Histogram* solver_run_hist_ = nullptr;
 
   /// Declared last: destroyed first, so draining batch tasks still see
   /// a live mutex, cache and maps during ~SolveService.

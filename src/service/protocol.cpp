@@ -7,6 +7,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -58,7 +59,124 @@ void print_reply(std::ostream& out, std::size_t id, const SolveReply& reply) {
   out << "\n";
 }
 
+/// Sorted unique ranks that recorded a span — '0,1' here is the proof a
+/// forwarded solve produced ONE trace spanning two ranks.
+void print_span_ranks(std::ostream& out, const obs::Trace& trace) {
+  std::set<int> ranks;
+  for (const obs::Span& span : trace.spans) ranks.insert(span.rank);
+  if (ranks.empty()) {
+    out << "-";
+    return;
+  }
+  bool first = true;
+  for (const int rank : ranks) {
+    if (!first) out << ",";
+    first = false;
+    out << rank;
+  }
+}
+
+void print_trace_header(std::ostream& out, const char* tag,
+                        const obs::Trace& trace) {
+  out << "# " << tag << " id=" << obs::id_to_hex(trace.id)
+      << " label=" << (trace.label.empty() ? "-" : trace.label)
+      << " total_ms=" << trace.total_seconds * 1e3
+      << " finished=" << (trace.finished ? 1 : 0)
+      << " spans=" << trace.spans.size() << " ranks=";
+  print_span_ranks(out, trace);
+  out << "\n";
+}
+
+void print_trace(std::ostream& out, const obs::Trace& trace) {
+  print_trace_header(out, "trace", trace);
+  for (const obs::Span& span : trace.spans) {
+    out << "# span rank=" << span.rank << " name=" << span.name
+        << " start_ms=" << span.start_seconds * 1e3
+        << " dur_ms=" << span.duration_seconds * 1e3 << "\n";
+  }
+}
+
 }  // namespace
+
+void write_merged_stats_json(std::ostream& out, SolveService& service,
+                             ShardRouter* router) {
+  const EngineStats engine_stats = service.stats();
+  out << "{\"engine\":";
+  write_engine_stats_json(out, engine_stats);
+  out << ",\"hits\":";
+  write_hit_tiers_json(out, engine_stats);
+  out << ",\"cache\":";
+  ShardedSolutionCache::write_stats_json(out, service.cache_stats());
+  if (router != nullptr) {
+    out << ",\"router\":";
+    ShardRouter::write_stats_json(out, router->stats());
+    out << ",\"replica\":";
+    ReplicaCache::write_stats_json(out, router->replica_stats());
+    out << ",\"net_clients\":{";
+    bool first = true;
+    for (const auto& [rank, stats] : router->client_stats()) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"rank" << rank << "\":{\"calls\":" << stats.calls
+          << ",\"failures\":" << stats.failures
+          << ",\"connects\":" << stats.connects
+          << ",\"fast_failures\":" << stats.fast_failures
+          << ",\"suspects\":" << stats.suspects << "}";
+    }
+    out << "}";
+  }
+  if (obs::Telemetry* telemetry = service.telemetry()) {
+    out << ",\"telemetry\":";
+    telemetry->metrics.write_json(out);
+  }
+  out << "}";
+}
+
+void write_metrics_text(std::ostream& out, SolveService& service,
+                        ShardRouter* router) {
+  if (obs::Telemetry* telemetry = service.telemetry()) {
+    telemetry->metrics.write_prometheus(out);
+  }
+  const EngineStats engine = service.stats();
+  const std::pair<const char*, std::uint64_t> engine_counters[] = {
+      {"submitted", engine.submitted},
+      {"completed", engine.completed},
+      {"cache_hits", engine.cache_hits},
+      {"dominating_hits", engine.dominating_hits},
+      {"warm_started", engine.warm_started},
+      {"solver_invocations", engine.solver_invocations},
+      {"deduplicated", engine.deduplicated},
+      {"batches", engine.batches},
+      {"batched_requests", engine.batched_requests},
+      {"downgraded", engine.downgraded},
+      {"rejected_queue", engine.rejected_queue},
+      {"rejected_deadline", engine.rejected_deadline},
+      {"errors", engine.errors},
+  };
+  for (const auto& [name, value] : engine_counters) {
+    out << "# TYPE prts_engine_" << name << "_total counter\n"
+        << "prts_engine_" << name << "_total " << value << "\n";
+  }
+  if (router == nullptr) return;
+  const RouterStats rs = router->stats();
+  const std::pair<const char*, std::uint64_t> router_counters[] = {
+      {"local", rs.local},
+      {"forwarded", rs.forwarded},
+      {"forward_hits", rs.forward_hits},
+      {"forward_failures", rs.forward_failures},
+      {"local_fallbacks", rs.local_fallbacks},
+      {"deduplicated", rs.deduplicated},
+      {"replica_hits", rs.replica_hits},
+      {"prefetched", rs.prefetched},
+      {"gossip_sent", rs.gossip_sent},
+      {"gossip_failures", rs.gossip_failures},
+      {"gossip_received", rs.gossip_received},
+  };
+  for (const auto& [name, value] : router_counters) {
+    out << "# TYPE prts_router_" << name << "_total counter\n"
+        << "prts_router_" << name << "_total " << value << "\n";
+  }
+}
 
 ServeResult run_serve(std::istream& in, std::ostream& out,
                       SolveService& service, const ServeOptions& options) {
@@ -181,6 +299,19 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
                                : service.submit(std::move(request)));
       ++result.requests;
     } else if (command == "stats") {
+      std::string mode;
+      tokens >> mode;
+      if (mode == "--json") {
+        out << "# stats-json ";
+        write_merged_stats_json(out, service, options.router);
+        out << "\n";
+        out.flush();
+        continue;
+      }
+      if (!mode.empty()) {
+        error("stats: unknown option '" + mode + "'");
+        continue;
+      }
       const EngineStats engine_stats = service.stats();
       out << "# engine ";
       write_engine_stats_json(out, engine_stats);
@@ -203,6 +334,50 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
         out << "# replica ";
         ReplicaCache::write_stats_json(out, options.router->replica_stats());
         out << "\n";
+      }
+      out.flush();
+    } else if (command == "metrics") {
+      out << "# metrics begin\n";
+      write_metrics_text(out, service, options.router);
+      out << "# metrics end\n";
+      out.flush();
+    } else if (command == "trace") {
+      std::string id_text;
+      tokens >> id_text;
+      obs::Telemetry* const telemetry = service.telemetry();
+      if (telemetry == nullptr) {
+        error("trace: telemetry disabled");
+        continue;
+      }
+      const std::uint64_t id = obs::id_from_hex(id_text);
+      obs::Trace trace;
+      if (id == 0 || !telemetry->tracer.find(id, trace)) {
+        out << "# trace " << (id_text.empty() ? "-" : id_text)
+            << " not-found\n";
+        out.flush();
+        continue;
+      }
+      print_trace(out, trace);
+      out.flush();
+    } else if (command == "traces" || command == "slowlog") {
+      obs::Telemetry* const telemetry = service.telemetry();
+      if (telemetry == nullptr) {
+        error(command + ": telemetry disabled");
+        continue;
+      }
+      double limit = 32;
+      std::string limit_text;
+      if (tokens >> limit_text &&
+          (!parse_double(limit_text, limit) || limit < 1)) {
+        error(command + ": bad limit '" + limit_text + "'");
+        continue;
+      }
+      const auto count = static_cast<std::size_t>(limit);
+      const std::vector<obs::Trace> list =
+          command == "traces" ? telemetry->tracer.recent(count)
+                              : telemetry->tracer.slow(count);
+      for (const obs::Trace& trace : list) {
+        print_trace_header(out, "trace-entry", trace);
       }
       out.flush();
     } else if (command == "sync") {

@@ -13,6 +13,19 @@
 //   stats                    emit '# engine ...' / '# hits ...' (per-tier
 //                            breakdown: exact / dominating / warm_start /
 //                            miss) / '# near_miss N' / '# cache ...' JSON
+//   stats --json             one '# stats-json {...}' line: the merged
+//                            document (engine/hits/cache, router/replica/
+//                            net_clients when fabric, telemetry registry
+//                            when on)
+//   metrics                  prometheus text exposition between
+//                            '# metrics begin' and '# metrics end'
+//   trace <hex-id>           render one trace: a '# trace ...' header
+//                            plus one '# span ...' line per hop (or
+//                            '# trace <id> not-found')
+//   traces [limit]           one '# trace-entry ...' line per recent
+//                            trace, newest first (default 32)
+//   slowlog [limit]          one '# trace-entry ...' line per slow
+//                            trace, newest first (default 32)
 //   sync                     flush: print every pending reply in
 //                            submission order (EOF implies a sync)
 //
@@ -52,5 +65,21 @@ struct ServeResult {
 /// Runs one request stream to EOF against the service.
 ServeResult run_serve(std::istream& in, std::ostream& out,
                       SolveService& service, const ServeOptions& options = {});
+
+/// One merged JSON stats document:
+///   {"engine":..,"hits":..,"cache":..
+///    [,"router":..,"replica":..,"net_clients":{"rank<r>":{..}}]
+///    [,"telemetry":<registry JSON>]}
+/// — the payload of `stats --json` and of the fabric's kStatsRequest.
+void write_merged_stats_json(std::ostream& out, SolveService& service,
+                             ShardRouter* router);
+
+/// Prometheus text exposition: the telemetry registry (when the service
+/// has one) plus prts_engine_* / prts_router_* counter lines derived
+/// from the stats snapshots — the monotone counters a scraper needs
+/// exist even with telemetry off. Payload of the `metrics` command and
+/// of the fabric's kMetricsRequest.
+void write_metrics_text(std::ostream& out, SolveService& service,
+                        ShardRouter* router);
 
 }  // namespace prts::service

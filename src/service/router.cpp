@@ -8,9 +8,18 @@
 #include <utility>
 
 #include "net/frame.hpp"
+#include "service/protocol.hpp"
 
 namespace prts::service {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Seconds between two steady-clock points, floored at zero.
+double seconds_since(Clock::time_point from, Clock::time_point to) noexcept {
+  const double elapsed = std::chrono::duration<double>(to - from).count();
+  return elapsed < 0.0 ? 0.0 : elapsed;
+}
 
 /// The owner serves at most this many keys per kReplicaFetch frame — a
 /// hostile or buggy peer must not turn one fetch into a whole-cache
@@ -35,11 +44,7 @@ net::FrameHandler make_fabric_handler(SolveService& service,
         return reply;
       case net::FrameType::kStatsRequest: {
         std::ostringstream out;
-        out << "{\"engine\":";
-        write_engine_stats_json(out, service.stats());
-        out << ",\"cache\":";
-        ShardedSolutionCache::write_stats_json(out, service.cache_stats());
-        out << "}";
+        write_merged_stats_json(out, service, router ? router() : nullptr);
         reply.type = net::FrameType::kStatsReply;
         reply.payload = out.str();
         return reply;
@@ -54,15 +59,34 @@ net::FrameHandler make_fabric_handler(SolveService& service,
         }
         // Blocking wait: one frame in flight per connection, and the
         // FrameServer runs this on its own pool.
-        const SolveReply answer =
-            service.submit(std::move(*decoded)).get();
+        SolveReply answer = service.submit(std::move(*decoded)).get();
         // Peer traffic is what makes an owned key hot — feed the
         // gossip digest.
         if (ShardRouter* owner = router ? router() : nullptr) {
           owner->note_owned_hit(answer.key);
         }
+        // Ship this rank's spans back so the origin can merge them
+        // into the one trace the request travels under. The local
+        // tracer keeps its copy — `trace <id>` resolves on either
+        // rank.
+        if (obs::Telemetry* telemetry = service.telemetry();
+            telemetry != nullptr && answer.trace_id != 0) {
+          obs::Trace trace;
+          if (telemetry->tracer.find(answer.trace_id, trace)) {
+            answer.remote_spans = std::move(trace.spans);
+          }
+        }
         reply.type = net::FrameType::kSolveReply;
         reply.payload = encode_wire_reply(answer);
+        return reply;
+      }
+      case net::FrameType::kMetricsRequest: {
+        // Any rank can scrape any other: the full text exposition of
+        // this rank's registry (plus the engine/router counter sets).
+        std::ostringstream out;
+        write_metrics_text(out, service, router ? router() : nullptr);
+        reply.type = net::FrameType::kMetricsReply;
+        reply.payload = out.str();
         return reply;
       }
       case net::FrameType::kGossipDigest: {
@@ -148,11 +172,23 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
       replicas_(config_.replica),
       forward_pool_(std::max<std::size_t>(1, config_.forward_threads)) {
   if (config_.world_size == 0) config_.world_size = 1;
+  if (config_.telemetry != nullptr) {
+    obs::Registry& metrics = config_.telemetry->metrics;
+    wire_hist_ = &metrics.histogram("router_wire_seconds");
+    router_latency_hist_ = &metrics.histogram("router_request_latency_seconds");
+  }
   clients_.resize(config_.world_size);
   for (std::size_t r = 0; r < config_.world_size; ++r) {
     if (r == config_.rank || r >= config_.peers.size()) continue;
+    net::FrameClientConfig client_config = config_.client;
+    if (config_.telemetry != nullptr) {
+      // Per-peer counter families: suspect churn toward rank 2 must be
+      // attributable to rank 2, not smeared across the fabric.
+      client_config.metrics = &config_.telemetry->metrics;
+      client_config.metrics_prefix = "net_client_rank" + std::to_string(r) + "_";
+    }
     clients_[r] = std::make_unique<net::FrameClient>(
-        config_.peers[r].host, config_.peers[r].port, config_.client);
+        config_.peers[r].host, config_.peers[r].port, std::move(client_config));
   }
   if (config_.gossip_interval_seconds > 0.0 && config_.world_size > 1) {
     gossip_thread_ = std::thread([this] {
@@ -208,6 +244,22 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
                                          std::move(canonical), key);
   }
 
+  // Remote shard: the router owns this request's trace from here on.
+  // Every submitter gets its OWN trace id (dedup twins included — each
+  // waiter's latency story differs), minted before the replica probe so
+  // locally-absorbed hits are traced too. The engine path above never
+  // reaches this: submit_canonicalized mints there.
+  obs::Telemetry* const telemetry = config_.telemetry;
+  const Clock::time_point arrival = Clock::now();
+  if (telemetry != nullptr) {
+    const std::string label = request.solver + ":" + to_hex(key);
+    if (request.trace_id == 0) {
+      request.trace_id = telemetry->tracer.start(label);
+    } else {
+      telemetry->tracer.start_with_id(request.trace_id, label);
+    }
+  }
+
   // Replica tier: a repeat hit on a peer's key that was forwarded (or
   // prefetched) before is answered here, with the same per-waiter label
   // translation a cache hit gets — no network round trip.
@@ -227,6 +279,16 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
       } else {
         reply.status = ReplyStatus::kInfeasible;
       }
+      if (telemetry != nullptr && request.trace_id != 0) {
+        const double elapsed = seconds_since(arrival, Clock::now());
+        telemetry->tracer.record(request.trace_id, "replica_lookup",
+                                 static_cast<int>(config_.rank), 0.0, elapsed);
+        telemetry->tracer.finish(request.trace_id, elapsed);
+        if (router_latency_hist_ != nullptr) {
+          router_latency_hist_->record(elapsed);
+        }
+      }
+      reply.trace_id = request.trace_id;
       return ready_reply_future(std::move(reply));
     }
   }
@@ -239,7 +301,8 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
     ++stats_.deduplicated;
     it->second->waiters.push_back(
         ForwardWaiter{{}, canonical, request.deadline_seconds,
-                      request.deadline_policy, true});
+                      request.deadline_policy, true, request.trace_id,
+                      arrival});
     return it->second->waiters.back().promise.get_future();
   }
 
@@ -268,9 +331,11 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   forward->deadline_policy = request.deadline_policy;
   forward->key = key;
   forward->owner_rank = owner;
+  forward->trace_id = request.trace_id;
   forward->waiters.push_back(ForwardWaiter{{}, canonical,
                                            request.deadline_seconds,
-                                           request.deadline_policy, false});
+                                           request.deadline_policy, false,
+                                           request.trace_id, arrival});
   std::future<SolveReply> future =
       forward->waiters.back().promise.get_future();
   in_flight_.emplace(key, forward.get());
@@ -300,10 +365,15 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
   SolveRequest remote_request{forward->canonical->instance, forward->solver,
                               forward->bounds, forward->deadline_seconds,
                               forward->deadline_policy, forward->warm};
+  // The first submitter's trace id rides on the wire; the owner records
+  // its engine spans under it and ships them back in the reply.
+  remote_request.trace_id = forward->trace_id;
   net::Frame frame;
   frame.type = net::FrameType::kSolveRequest;
   frame.payload = encode_wire_request(remote_request);
 
+  obs::Telemetry* const telemetry = config_.telemetry;
+  const Clock::time_point wire_start = Clock::now();
   std::optional<SolveReply> remote;
   if (const auto reply_frame = client.call(frame)) {
     if (reply_frame->type == net::FrameType::kSolveReply) {
@@ -311,6 +381,8 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
       remote = decode_wire_reply(reply_frame->payload, error);
     }
   }
+  const double wire_seconds = seconds_since(wire_start, Clock::now());
+  if (wire_hist_ != nullptr) wire_hist_->record(wire_seconds);
 
   // A remote answer is only authoritative when the owner actually
   // answered the question; rejections and errors degrade to a local
@@ -336,6 +408,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
       ++stats_.forwarded;
       if (remote->cache_hit) ++stats_.forward_hits;
     }
+    const Clock::time_point finished_at = Clock::now();
     for (ForwardWaiter& waiter : waiters) {
       SolveReply reply;
       reply.status = remote->status;
@@ -350,6 +423,29 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
         reply.solution =
             to_original_labels(*remote->solution, *waiter.canonical);
       }
+      if (telemetry != nullptr && waiter.trace_id != 0) {
+        // Each waiter's spans are offsets from ITS submit point. The
+        // owner's spans came back as offsets from the owner's submit
+        // point; shifting them by this waiter's wire-start offset lines
+        // the two ranks' work up on one timeline (clock skew between
+        // ranks is absorbed — only the origin's clock is used for
+        // placement).
+        const double wire_offset = seconds_since(waiter.submitted, wire_start);
+        telemetry->tracer.record(waiter.trace_id, "wire_round_trip",
+                                 static_cast<int>(config_.rank), wire_offset,
+                                 wire_seconds);
+        for (const obs::Span& span : remote->remote_spans) {
+          obs::Span shifted = span;
+          shifted.start_seconds += wire_offset;
+          telemetry->tracer.record(waiter.trace_id, std::move(shifted));
+        }
+        const double total = seconds_since(waiter.submitted, finished_at);
+        telemetry->tracer.finish(waiter.trace_id, total);
+        if (router_latency_hist_ != nullptr) {
+          router_latency_hist_->record(total);
+        }
+      }
+      reply.trace_id = waiter.trace_id;
       waiter.promise.set_value(std::move(reply));
     }
     return;
@@ -382,6 +478,16 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     SolveRequest local_request{forward->canonical->instance, forward->solver,
                                forward->bounds, waiter.deadline_seconds,
                                waiter.deadline_policy, forward->warm};
+    // The waiter's own trace follows it onto the failover path: the
+    // engine adopts the id, so the trace shows the dead wire exchange
+    // AND the local rescue solve — the whole story of the request.
+    local_request.trace_id = waiter.trace_id;
+    if (telemetry != nullptr && waiter.trace_id != 0) {
+      telemetry->tracer.record(waiter.trace_id, "forward_failover",
+                               static_cast<int>(config_.rank),
+                               seconds_since(waiter.submitted, wire_start),
+                               wire_seconds);
+    }
     futures.push_back(service_.submit_canonicalized(std::move(local_request),
                                                     identity, forward->key));
   }
@@ -391,6 +497,17 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     if (reply.solution) {
       reply.solution =
           to_original_labels(*reply.solution, *waiters[i].canonical);
+    }
+    if (telemetry != nullptr && waiters[i].trace_id != 0) {
+      // The engine finished the trace with only the rescue-solve span's
+      // clock; re-finish with the full router-side total (finish keeps
+      // the max) and feed the router latency histogram — failover
+      // requests must not vanish from the tail.
+      const double total = seconds_since(waiters[i].submitted, Clock::now());
+      telemetry->tracer.finish(waiters[i].trace_id, total);
+      if (router_latency_hist_ != nullptr) {
+        router_latency_hist_->record(total);
+      }
     }
     waiters[i].promise.set_value(std::move(reply));
   }
@@ -548,6 +665,15 @@ bool ShardRouter::peer_suspect(std::size_t rank) const {
 RouterStats ShardRouter::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+std::vector<std::pair<std::size_t, net::FrameClientStats>>
+ShardRouter::client_stats() const {
+  std::vector<std::pair<std::size_t, net::FrameClientStats>> out;
+  for (std::size_t r = 0; r < clients_.size(); ++r) {
+    if (clients_[r]) out.emplace_back(r, clients_[r]->stats());
+  }
+  return out;
 }
 
 void ShardRouter::write_stats_json(std::ostream& out,

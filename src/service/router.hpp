@@ -115,6 +115,13 @@ struct RouterConfig {
   /// Keys with fewer hits since the last round are not worth
   /// announcing (a single hit is not "hot").
   std::uint64_t gossip_min_hits = 2;
+
+  /// This rank's telemetry, shared with its SolveService (the same
+  /// Telemetry object so traces begun by the router continue in the
+  /// engine and vice versa). nullptr = observability off. Must outlive
+  /// the router; per-peer FrameClient counters register under
+  /// net_client_rank<r>_*.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Monotonic router counters (snapshot via ShardRouter::stats).
@@ -187,6 +194,12 @@ class ShardRouter {
   ReplicaStats replica_stats() const { return replicas_.stats(); }
   static void write_stats_json(std::ostream& out, const RouterStats& stats);
 
+  /// Per-peer FrameClient counters, one (rank, stats) pair per wired
+  /// peer (self has no client) — surfaces reconnect/backoff/suspect
+  /// churn in the merged stats document.
+  std::vector<std::pair<std::size_t, net::FrameClientStats>> client_stats()
+      const;
+
  private:
   /// One forward in flight: the canonical request plus every waiter
   /// attached to it. Each waiter keeps its own label translation and
@@ -198,6 +211,8 @@ class ShardRouter {
     double deadline_seconds;
     DeadlinePolicy deadline_policy;
     bool deduplicated = false;
+    std::uint64_t trace_id = 0;  ///< this waiter's own trace
+    std::chrono::steady_clock::time_point submitted{};
   };
   struct Forward {
     std::shared_ptr<const CanonicalInstance> canonical;
@@ -213,6 +228,9 @@ class ShardRouter {
     CanonicalHash key;
     std::size_t owner_rank;
     std::vector<ForwardWaiter> waiters;
+    /// The first submitter's trace id, carried on the wire so the
+    /// owner's spans land in the same trace.
+    std::uint64_t trace_id = 0;
   };
 
   void run_forward(std::shared_ptr<Forward> forward);
@@ -232,6 +250,11 @@ class ShardRouter {
   std::size_t outstanding_prefetches_ = 0;
   std::condition_variable prefetch_cv_;
   RouterStats stats_;
+
+  /// Telemetry handles resolved once at construction; non-null iff
+  /// config_.telemetry is set.
+  obs::Histogram* wire_hist_ = nullptr;
+  obs::Histogram* router_latency_hist_ = nullptr;
 
   std::mutex gossip_mutex_;
   std::condition_variable gossip_cv_;

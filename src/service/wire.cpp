@@ -4,6 +4,7 @@
 #include <functional>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 
 namespace prts::service {
@@ -45,6 +46,9 @@ std::string encode_wire_request(const SolveRequest& request) {
       << "\n";
   out << "deadline " << canonical_number(request.deadline_seconds) << "\n";
   out << "policy " << policy_name(request.deadline_policy) << "\n";
+  if (request.trace_id != 0) {
+    out << "trace " << obs::id_to_hex(request.trace_id) << "\n";
+  }
   if (request.warm_start && request.warm_start->incumbent) {
     // The incumbent rides as a key-less cache entry line; the floor is
     // recomputed from its metrics on the far side.
@@ -107,6 +111,14 @@ std::optional<SolveRequest> decode_wire_request(std::string_view payload,
     return bad("unknown policy '" + value + "'");
   }
   if (!std::getline(in, line)) return bad("expected 'instance'");
+  // Optional trace id (a payload without one still decodes — the line
+  // joined the v1 format later).
+  std::uint64_t trace_id = 0;
+  if (take_field(line, "trace", value)) {
+    trace_id = obs::id_from_hex(value);
+    if (trace_id == 0) return bad("malformed trace id '" + value + "'");
+    if (!std::getline(in, line)) return bad("expected 'instance'");
+  }
   std::optional<Mapping> warm_mapping;
   if (take_field(line, "warm", value)) {
     CanonicalHash ignored_key;
@@ -146,8 +158,10 @@ std::optional<SolveRequest> decode_wire_request(std::string_view payload,
     hint.incumbent = solver::Solution{std::move(*warm_mapping), metrics};
     warm = std::move(hint);
   }
-  return SolveRequest{std::move(*parsed.instance), std::move(solver), bounds,
-                      deadline_seconds, policy, std::move(warm)};
+  SolveRequest request{std::move(*parsed.instance), std::move(solver), bounds,
+                       deadline_seconds, policy, std::move(warm)};
+  request.trace_id = trace_id;
+  return request;
 }
 
 std::string encode_wire_reply(const SolveReply& reply) {
@@ -162,6 +176,12 @@ std::string encode_wire_reply(const SolveReply& reply) {
   out << "cost " << canonical_number(reply.cost_seconds) << "\n";
   if (reply.status == ReplyStatus::kError) {
     out << "error " << reply.error << "\n";
+  }
+  for (const obs::Span& span : reply.remote_spans) {
+    out << "span " << span.rank << " "
+        << canonical_number(span.start_seconds) << " "
+        << canonical_number(span.duration_seconds) << " " << span.name
+        << "\n";
   }
   if (reply.status == ReplyStatus::kSolved ||
       reply.status == ReplyStatus::kInfeasible) {
@@ -231,6 +251,21 @@ std::optional<SolveReply> decode_wire_reply(std::string_view payload,
   while (std::getline(in, line)) {
     if (take_field(line, "error", value)) {
       reply.error = value;
+    } else if (take_field(line, "span", value)) {
+      // "<rank> <start> <duration> <name>"; the name is the line tail
+      // (span names never contain spaces, but tolerating them is free).
+      std::istringstream fields(value);
+      obs::Span span;
+      std::string start_text;
+      std::string duration_text;
+      if (!(fields >> span.rank >> start_text >> duration_text) ||
+          !parse_canonical_number(start_text, span.start_seconds) ||
+          !parse_canonical_number(duration_text, span.duration_seconds)) {
+        return bad("malformed span '" + value + "'");
+      }
+      std::getline(fields >> std::ws, span.name);
+      if (span.name.empty()) return bad("span missing name");
+      reply.remote_spans.push_back(std::move(span));
     } else if (take_field(line, "entry", value)) {
       CachedSolution entry;
       std::string why;

@@ -11,6 +11,9 @@
 //   latency <canonical_number|inf>
 //   deadline <canonical_number|inf>
 //   policy reject|downgrade
+//   trace <hex16>              (optional: the origin's trace id; the
+//                               owner records its spans under it so the
+//                               forwarded solve stays ONE trace)
 //   warm <encode_cache_entry>  (optional: the requester's best local
 //                               near-miss incumbent, canonical labels;
 //                               its key field is ignored)
@@ -27,6 +30,10 @@
 //   cost <canonical_number>    (recorded solve cost; feeds the
 //                               requester's adaptive replica TTL)
 //   error <message>            (only when status == error)
+//   span <rank> <start> <dur> <name>
+//                              (0+ lines: the answering rank's trace
+//                               spans, offsets from ITS submit point;
+//                               the origin shifts and merges them)
 //   entry <encode_cache_entry> (only when a solution/infeasible answer
 //                               is present; carries key + solution)
 //   key <hash-hex>             (only when no entry line is present)

@@ -1,5 +1,7 @@
 #include "solver/solver.hpp"
 
+#include <chrono>
+
 namespace prts::solver {
 namespace {
 
@@ -56,6 +58,19 @@ bool tri_criteria_better(const MappingMetrics& a,
     return a.worst_latency < b.worst_latency;
   }
   return a.processors_used < b.processors_used;
+}
+
+std::optional<Solution> timed_solve(const PreparedSolver& session,
+                                    const Bounds& bounds,
+                                    const WarmStart* warm, double& seconds) {
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Solution> solution = warm && !warm->empty()
+                                         ? session.solve(bounds, *warm)
+                                         : session.solve(bounds);
+  seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+  return solution;
 }
 
 std::unique_ptr<PreparedSolver> Solver::prepare(

@@ -108,6 +108,15 @@ class PreparedSolver {
   }
 };
 
+/// Runs `session.solve(bounds)` — with the hint when `warm` is
+/// non-null and non-empty — and reports the wall-clock solve time
+/// through `seconds`. One shared timing point, so the cache's per-entry
+/// cost accounting and the telemetry histograms can never disagree
+/// about what a solve cost.
+std::optional<Solution> timed_solve(const PreparedSolver& session,
+                                    const Bounds& bounds,
+                                    const WarmStart* warm, double& seconds);
+
 /// The uniform engine interface. Implementations are stateless and
 /// thread-safe: concurrent solve()/prepare() calls on one solver object
 /// are safe.

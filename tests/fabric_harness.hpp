@@ -32,6 +32,7 @@
 
 #include "common/thread_pool.hpp"
 #include "net/frame_server.hpp"
+#include "obs/trace.hpp"
 #include "service/engine.hpp"
 #include "service/router.hpp"
 
@@ -117,7 +118,14 @@ class FabricHarness {
     // resolves its rank's router lazily — it does not exist yet).
     for (std::size_t r = 0; r < options_.world; ++r) {
       auto rank = std::make_unique<Rank>();
-      rank->service = std::make_unique<SolveService>(options_.service);
+      // Every rank gets its own telemetry (the real deployment shape:
+      // one Telemetry per process), shared by its service and router so
+      // a forwarded solve's spans land in one trace per rank.
+      rank->telemetry = std::make_unique<obs::Telemetry>();
+      rank->telemetry->rank = static_cast<int>(r);
+      ServiceConfig service_config = options_.service;
+      service_config.telemetry = rank->telemetry.get();
+      rank->service = std::make_unique<SolveService>(service_config);
       rank->server_pool = std::make_unique<ThreadPool>(server_threads);
       start_server(*rank, /*port=*/0);
       rank->port = rank->server->port();
@@ -133,6 +141,7 @@ class FabricHarness {
       config.world_size = options_.world;
       config.rank = r;
       config.peers = peers;
+      config.telemetry = ranks_[r]->telemetry.get();
       ranks_[r]->router =
           std::make_unique<ShardRouter>(*ranks_[r]->service, config);
       ranks_[r]->router_ptr.store(ranks_[r]->router.get());
@@ -158,6 +167,9 @@ class FabricHarness {
 
   std::size_t world() const noexcept { return ranks_.size(); }
   SolveService& service(std::size_t rank) { return *ranks_.at(rank)->service; }
+  obs::Telemetry& telemetry(std::size_t rank) {
+    return *ranks_.at(rank)->telemetry;
+  }
   ShardRouter& router(std::size_t rank) { return *ranks_.at(rank)->router; }
   FaultInjector& faults(std::size_t rank) { return ranks_.at(rank)->faults; }
   std::uint16_t port(std::size_t rank) const { return ranks_.at(rank)->port; }
@@ -208,6 +220,9 @@ class FabricHarness {
 
  private:
   struct Rank {
+    /// First member: destroyed last, after every component holding a
+    /// pointer into it.
+    std::unique_ptr<obs::Telemetry> telemetry;
     std::unique_ptr<SolveService> service;
     std::unique_ptr<ThreadPool> server_pool;
     std::unique_ptr<net::FrameServer> server;

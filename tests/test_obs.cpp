@@ -1,0 +1,477 @@
+// The observability layer: histogram quantiles against a sorted
+// reference on randomized samples, bucket-boundary placement, lock-free
+// recording and snapshot-and-reset under concurrency, tracer ring /
+// slow-ring semantics, and the cross-rank tracing guarantees over the
+// in-process fabric harness — a forwarded solve yields ONE trace whose
+// spans name both ranks, and the trace survives failover after a rank
+// kill.
+#include "fabric_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame_client.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+
+namespace prts::service {
+namespace {
+
+using testing::FabricHarness;
+
+// ---------------------------------------------------------- histogram
+
+/// Nearest-rank reference quantile, the same rank formula the histogram
+/// uses — the two must land in the same bucket.
+double reference_quantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[rank - 1];
+}
+
+TEST(ObsHistogram, QuantilesTrackSortedReferenceOnRandomSamples) {
+  std::mt19937 rng(42);
+  // Log-uniform over the histogram's finite range: every decade gets
+  // traffic, so the test exercises many buckets, not one.
+  std::uniform_real_distribution<double> exponent(std::log(2e-6),
+                                                  std::log(50.0));
+  obs::Histogram hist;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double value = std::exp(exponent(rng));
+    samples.push_back(value);
+    hist.record(value);
+  }
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, samples.size());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double truth = reference_quantile(samples, q);
+    const double estimate = snap.quantile(q);
+    // Estimate and truth share a bucket, so their ratio is bounded by
+    // the bucket width 10^0.1 ~ 1.2589 (plus float slack).
+    EXPECT_GT(estimate, truth / 1.27) << "q=" << q;
+    EXPECT_LT(estimate, truth * 1.27) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogram, BucketBoundaryValuesLandInclusively) {
+  // Bucket i covers (upper_bound(i-1), upper_bound(i)]: the bound value
+  // itself belongs to the bucket it names.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{10},
+                              std::size_t{39}, std::size_t{79}}) {
+    const double bound = obs::Histogram::upper_bound(i);
+    EXPECT_EQ(obs::Histogram::bucket_index(bound), i) << "bound " << bound;
+    EXPECT_EQ(obs::Histogram::bucket_index(bound * 1.0001), i + 1);
+  }
+  // Below the first bound, zero and negative all land in bucket 0.
+  EXPECT_EQ(obs::Histogram::bucket_index(2e-7), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(-1.0), 0u);
+  // Above the last finite bound: the overflow bucket.
+  EXPECT_EQ(obs::Histogram::bucket_index(1000.0),
+            obs::Histogram::kFiniteBuckets);
+
+  obs::Histogram hist;
+  hist.record(1000.0);
+  // The overflow bucket reports the largest finite bound rather than
+  // inventing a value beyond the histogram's range.
+  EXPECT_DOUBLE_EQ(
+      hist.snapshot().quantile(0.5),
+      obs::Histogram::upper_bound(obs::Histogram::kFiniteBuckets - 1));
+}
+
+TEST(ObsHistogram, ConcurrentRecordingLosesNothing) {
+  obs::Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(1e-5 * (1 + t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) expected_sum += kPerThread * 1e-5 * (1 + t);
+  EXPECT_NEAR(snap.sum, expected_sum, expected_sum * 1e-9);
+}
+
+TEST(ObsHistogram, SnapshotAndResetPartitionsConcurrentTraffic) {
+  obs::Histogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> done{false};
+  std::uint64_t scraped = 0;
+  // A scraper racing the recorders: every record must land in exactly
+  // one snapshot — nothing lost, nothing double-counted.
+  std::thread scraper([&] {
+    while (!done.load()) {
+      scraped += hist.snapshot_and_reset().count;
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&hist] {
+      for (int i = 0; i < kPerThread; ++i) hist.record(1e-4);
+    });
+  }
+  for (std::thread& thread : recorders) thread.join();
+  done.store(true);
+  scraper.join();
+  scraped += hist.snapshot_and_reset().count;
+  EXPECT_EQ(scraped, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(hist.snapshot().count, 0u);
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(ObsRegistry, ExpositionCarriesEveryRegisteredMetric) {
+  obs::Registry registry;
+  registry.counter("requests_total").add(3);
+  registry.gauge("queue_depth").set(7.0);
+  registry.histogram("latency_seconds").record(0.002);
+
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_p99"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(line[0])) ||
+                line[0] == '_')
+        << line;
+  }
+
+  std::ostringstream json;
+  registry.write_json(json);
+  EXPECT_EQ(json.str().front(), '{');
+  EXPECT_EQ(json.str().back(), '}');
+  EXPECT_NE(json.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"histograms\""), std::string::npos);
+}
+
+TEST(ObsRegistry, ReferencesAreStableAndCountersReset) {
+  obs::Registry registry;
+  obs::Counter& counter = registry.counter("hits_total");
+  EXPECT_EQ(&counter, &registry.counter("hits_total"));
+  counter.add(5);
+  EXPECT_EQ(counter.exchange(), 5u);
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+// ------------------------------------------------------------- tracer
+
+bool has_span(const obs::Trace& trace, const std::string& name, int rank) {
+  for (const obs::Span& span : trace.spans) {
+    if (span.name == name && span.rank == rank) return true;
+  }
+  return false;
+}
+
+TEST(ObsTracer, StartRecordFinishRoundTrip) {
+  obs::Tracer tracer;
+  const std::uint64_t id = tracer.start("heur-p:abc");
+  ASSERT_NE(id, 0u);
+  tracer.record(id, "solver_run", 0, 0.001, 0.5);
+  tracer.finish(id, 0.6);
+  obs::Trace trace;
+  ASSERT_TRUE(tracer.find(id, trace));
+  EXPECT_EQ(trace.label, "heur-p:abc");
+  EXPECT_TRUE(trace.finished);
+  EXPECT_DOUBLE_EQ(trace.total_seconds, 0.6);
+  ASSERT_EQ(trace.spans.size(), 1u);
+  EXPECT_TRUE(has_span(trace, "solver_run", 0));
+  // Upsert finish keeps the max: a later re-finish with a larger total
+  // (the router amending after failover) wins, a smaller one does not.
+  tracer.finish(id, 0.4);
+  tracer.find(id, trace);
+  EXPECT_DOUBLE_EQ(trace.total_seconds, 0.6);
+  tracer.finish(id, 0.9);
+  tracer.find(id, trace);
+  EXPECT_DOUBLE_EQ(trace.total_seconds, 0.9);
+}
+
+TEST(ObsTracer, RingEvictsOldestAndIgnoresUnknownIds) {
+  obs::TracerConfig config;
+  config.capacity = 4;
+  obs::Tracer tracer(config);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(tracer.start("t"));
+  obs::Trace trace;
+  EXPECT_FALSE(tracer.find(ids[0], trace));  // evicted
+  EXPECT_TRUE(tracer.find(ids.back(), trace));
+  EXPECT_LE(tracer.recent(32).size(), 4u);
+  // Recording against an evicted id is a silent no-op, not a crash.
+  tracer.record(ids[0], "late", 0, 0.0, 0.1);
+  tracer.finish(ids[0], 0.1);
+}
+
+TEST(ObsTracer, SlowTracesAreCopiedAndLoggedOnce) {
+  std::ostringstream log;
+  obs::TracerConfig config;
+  config.slow_threshold_seconds = 0.01;
+  config.slow_log = &log;
+  obs::Tracer tracer(config);
+
+  const std::uint64_t fast = tracer.start("fast");
+  tracer.finish(fast, 0.001);
+  EXPECT_EQ(tracer.slow_count(), 0u);
+
+  const std::uint64_t slow = tracer.start("slow");
+  tracer.record(slow, "solver_run", 0, 0.0, 0.02);
+  tracer.finish(slow, 0.02);
+  EXPECT_EQ(tracer.slow_count(), 1u);
+  ASSERT_EQ(tracer.slow(8).size(), 1u);
+  EXPECT_EQ(tracer.slow(8)[0].id, slow);
+  EXPECT_NE(log.str().find("[slow-trace]"), std::string::npos);
+  EXPECT_NE(log.str().find(obs::id_to_hex(slow)), std::string::npos);
+  // A second finish (the failover amend path) does not double-log.
+  tracer.finish(slow, 0.03);
+  EXPECT_EQ(tracer.slow_count(), 1u);
+}
+
+TEST(ObsTracer, ExternalIdsAreAdoptedAndHexRoundTrips) {
+  obs::Tracer tracer;
+  tracer.start_with_id(0xdeadbeef12345678ull, "adopted");
+  obs::Trace trace;
+  ASSERT_TRUE(tracer.find(0xdeadbeef12345678ull, trace));
+  EXPECT_EQ(trace.label, "adopted");
+
+  EXPECT_EQ(obs::id_from_hex(obs::id_to_hex(0xdeadbeef12345678ull)),
+            0xdeadbeef12345678ull);
+  EXPECT_EQ(obs::id_to_hex(0xdeadbeef12345678ull).size(), 16u);
+  EXPECT_EQ(obs::id_from_hex("nonsense"), 0u);
+  EXPECT_EQ(obs::id_from_hex(""), 0u);
+}
+
+// -------------------------------------------------- engine integration
+
+Instance hom_instance() {
+  std::vector<Task> tasks{{10.0, 2.0}, {4.0, 1.0}, {20.0, 1.0}, {6.0, 0.0}};
+  return Instance{TaskChain(std::move(tasks)),
+                  Platform::homogeneous(5, 1.0, 1e-8, 1.0, 1e-5, 2)};
+}
+
+TEST(EngineTelemetry, SolveAndCacheHitEachGetTheirOwnTrace) {
+  obs::Telemetry telemetry;
+  ServiceConfig config;
+  config.threads = 2;
+  config.telemetry = &telemetry;
+  SolveService engine(config);
+  const SolveRequest request{hom_instance(), "heur-p", {}};
+
+  const SolveReply cold = engine.submit(request).get();
+  ASSERT_EQ(cold.status, ReplyStatus::kSolved);
+  ASSERT_NE(cold.trace_id, 0u);
+  obs::Trace cold_trace;
+  ASSERT_TRUE(telemetry.tracer.find(cold.trace_id, cold_trace));
+  EXPECT_TRUE(cold_trace.finished);
+  EXPECT_TRUE(has_span(cold_trace, "batch_wait", 0));
+  EXPECT_TRUE(has_span(cold_trace, "solver_run", 0));
+  EXPECT_GT(cold_trace.total_seconds, 0.0);
+
+  const SolveReply warm = engine.submit(request).get();
+  ASSERT_TRUE(warm.cache_hit);
+  ASSERT_NE(warm.trace_id, 0u);
+  EXPECT_NE(warm.trace_id, cold.trace_id);
+  obs::Trace warm_trace;
+  ASSERT_TRUE(telemetry.tracer.find(warm.trace_id, warm_trace));
+  EXPECT_TRUE(has_span(warm_trace, "cache_lookup", 0));
+
+  EXPECT_EQ(telemetry.metrics.counter("engine_requests_total").value(), 2u);
+  EXPECT_EQ(telemetry.metrics.histogram("engine_request_latency_seconds")
+                .snapshot()
+                .count,
+            2u);
+}
+
+TEST(ProtocolTelemetry, ServeCommandsExposeMetricsAndTraces) {
+  obs::Telemetry telemetry;
+  ServiceConfig config;
+  config.threads = 2;
+  config.telemetry = &telemetry;
+  SolveService engine(config);
+
+  std::istringstream script(
+      "instance a\n"
+      "prts-instance v1\n"
+      "tasks 2\n"
+      "10 1\n"
+      "5 0\n"
+      "platform 3 1 1e-05 2\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "end\n"
+      "solve a heur-p inf inf\n"
+      "sync\n"
+      "stats --json\n"
+      "metrics\n"
+      "traces\n");
+  std::ostringstream out;
+  const ServeResult result = run_serve(script, out, engine);
+  EXPECT_EQ(result.protocol_errors, 0u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# stats-json {\"engine\""), std::string::npos);
+  EXPECT_NE(text.find("\"telemetry\""), std::string::npos);
+  EXPECT_NE(text.find("# metrics begin"), std::string::npos);
+  EXPECT_NE(text.find("prts_engine_submitted_total 1"), std::string::npos);
+  EXPECT_NE(text.find("engine_requests_total 1"), std::string::npos);
+  EXPECT_NE(text.find("# metrics end"), std::string::npos);
+  EXPECT_NE(text.find("# trace-entry id="), std::string::npos);
+
+  // Round-trip: the id printed by `traces` resolves via `trace <id>`.
+  const std::size_t pos = text.find("# trace-entry id=");
+  const std::string id_hex = text.substr(pos + 17, 16);
+  std::istringstream follow_up("trace " + id_hex + "\ntrace 0123\n");
+  std::ostringstream detail;
+  run_serve(follow_up, detail, engine);
+  EXPECT_NE(detail.str().find("# trace id=" + id_hex), std::string::npos);
+  EXPECT_NE(detail.str().find("# span rank=0 name="), std::string::npos);
+  EXPECT_NE(detail.str().find("not-found"), std::string::npos);
+}
+
+TEST(ProtocolTelemetry, TraceCommandsErrorWhenTelemetryOff) {
+  ServiceConfig config;
+  config.threads = 1;
+  SolveService engine(config);
+  std::istringstream script("traces\ntrace 0011223344556677\nslowlog\n");
+  std::ostringstream out;
+  const ServeResult result = run_serve(script, out, engine);
+  EXPECT_EQ(result.protocol_errors, 3u);
+  EXPECT_NE(out.str().find("telemetry disabled"), std::string::npos);
+}
+
+// --------------------------------------------------- fabric telemetry
+
+FabricHarness::Options fast_options(std::size_t world) {
+  FabricHarness::Options options;
+  options.world = world;
+  options.service.threads = 2;
+  options.router.client.connect_timeout_seconds = 1.0;
+  options.router.client.reply_timeout_seconds = 10.0;
+  options.router.client.backoff_initial_seconds = 0.05;
+  return options;
+}
+
+SolveRequest remote_request(FabricHarness& harness, const Instance& instance,
+                            std::size_t owner, double salt = 0.0) {
+  return SolveRequest{instance, "heur-p",
+                      harness.bounds_on_rank(instance, "heur-p", owner, salt)};
+}
+
+TEST(FabricTelemetry, ForwardedSolveYieldsOneTraceNamingBothRanks) {
+  FabricHarness harness(fast_options(2));
+  const Instance instance = hom_instance();
+  const SolveRequest request = remote_request(harness, instance, /*owner=*/1);
+
+  const SolveReply reply = harness.router(0).submit(request).get();
+  ASSERT_EQ(reply.status, ReplyStatus::kSolved);
+  ASSERT_NE(reply.trace_id, 0u);
+
+  // ONE trace id, per-hop spans from both ranks, on the origin.
+  obs::Trace origin;
+  ASSERT_TRUE(harness.telemetry(0).tracer.find(reply.trace_id, origin));
+  EXPECT_TRUE(origin.finished);
+  std::set<int> ranks;
+  for (const obs::Span& span : origin.spans) ranks.insert(span.rank);
+  EXPECT_TRUE(ranks.count(0)) << "origin spans missing";
+  EXPECT_TRUE(ranks.count(1)) << "owner spans not merged";
+  EXPECT_TRUE(has_span(origin, "wire_round_trip", 0));
+  EXPECT_TRUE(has_span(origin, "solver_run", 1));
+  // Remote spans are shifted into the origin's timeline: none may start
+  // before the wire exchange did.
+  double wire_start = 0.0;
+  for (const obs::Span& span : origin.spans) {
+    if (span.name == "wire_round_trip") wire_start = span.start_seconds;
+  }
+  for (const obs::Span& span : origin.spans) {
+    if (span.rank == 1) EXPECT_GE(span.start_seconds, wire_start);
+  }
+
+  // The same id resolves on the owner too (`trace <id>` on either rank).
+  obs::Trace owner;
+  ASSERT_TRUE(harness.telemetry(1).tracer.find(reply.trace_id, owner));
+  EXPECT_TRUE(owner.finished);
+  EXPECT_TRUE(has_span(owner, "solver_run", 1));
+
+  // The per-peer client counters registered under the origin's metrics.
+  EXPECT_GE(harness.telemetry(0)
+                .metrics.counter("net_client_rank1_calls_total")
+                .value(),
+            1u);
+}
+
+TEST(FabricTelemetry, TraceSurvivesFailoverAfterRankKill) {
+  FabricHarness harness(fast_options(2));
+  const Instance instance = hom_instance();
+  const SolveRequest request = remote_request(harness, instance, /*owner=*/1);
+  harness.kill(1);
+
+  const SolveReply reply = harness.router(0).submit(request).get();
+  ASSERT_EQ(reply.status, ReplyStatus::kSolved);
+  ASSERT_NE(reply.trace_id, 0u);
+  EXPECT_EQ(harness.router(0).stats().local_fallbacks, 1u);
+
+  obs::Trace trace;
+  ASSERT_TRUE(harness.telemetry(0).tracer.find(reply.trace_id, trace));
+  EXPECT_TRUE(trace.finished);
+  // The whole story in one trace: the dead wire exchange, then the
+  // local rescue solve.
+  EXPECT_TRUE(has_span(trace, "forward_failover", 0));
+  EXPECT_TRUE(has_span(trace, "solver_run", 0));
+  for (const obs::Span& span : trace.spans) EXPECT_EQ(span.rank, 0);
+}
+
+TEST(FabricTelemetry, MetricsFrameScrapesAnyRank) {
+  FabricHarness harness(fast_options(2));
+  const Instance instance = hom_instance();
+  ASSERT_EQ(harness.router(0)
+                .submit(remote_request(harness, instance, 1))
+                .get()
+                .status,
+            ReplyStatus::kSolved);
+
+  for (std::size_t r = 0; r < harness.world(); ++r) {
+    net::FrameClient client("127.0.0.1", harness.port(r));
+    net::Frame request;
+    request.type = net::FrameType::kMetricsRequest;
+    const auto reply = client.call(request);
+    ASSERT_TRUE(reply.has_value()) << "rank " << r;
+    ASSERT_EQ(reply->type, net::FrameType::kMetricsReply);
+    EXPECT_NE(reply->payload.find("prts_engine_submitted_total"),
+              std::string::npos);
+    EXPECT_NE(reply->payload.find("prts_router_forwarded_total"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace prts::service

@@ -3,7 +3,8 @@
 # -Wall -Wextra), run the tier-1 ctest suite, smoke-test near-miss
 # reuse on a bound sweep, then smoke-test the distributed solve fabric
 # with three real prts_cli processes on loopback — including hot-entry
-# replication and killing a rank mid-run.
+# replication, telemetry scrapes (prometheus exposition from every rank,
+# monotone counters, a cross-rank trace) and killing a rank mid-run.
 #
 #   tools/ci.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug tools/ci.sh
@@ -162,6 +163,73 @@ owner_submitted=$(( $(counter "$FAB/out1" submitted) ))
 [ "$owner_submitted" -ge 1 ] ||
   { echo "FAIL: rank 1 never saw a forwarded solve" >&2; exit 1; }
 
+# ---------------------------------------------------------------------------
+# Telemetry smoke: scrape every live rank's prometheus exposition over
+# the fabric's kMetricsRequest frame, twice with traffic in between —
+# counters must be monotone and every exposition line well-formed — and
+# assert rank 0 holds at least one trace whose spans name two ranks
+# (the cross-rank tracing guarantee, via the line protocol's `traces`).
+# ---------------------------------------------------------------------------
+# metric_value <file> <name>: the sample value of a prometheus line.
+metric_value() {
+  local v
+  v=$(grep "^$2 " "$1" 2>/dev/null | tail -1 | awk '{print $2}')
+  echo "${v:-0}"
+}
+for r in 0 1 2; do
+  port_var="P$r"
+  "$CLI" scrape "127.0.0.1:${!port_var}" > "$FAB/scrape${r}_a.txt" ||
+    { echo "FAIL: scrape of rank $r failed" >&2; exit 1; }
+  [ -s "$FAB/scrape${r}_a.txt" ] ||
+    { echo "FAIL: empty exposition from rank $r" >&2; exit 1; }
+done
+# Repeat traffic between the scrapes: remote-shard repeats rise as
+# replica hits on rank 0, owned keys as engine submissions.
+{
+  for i in $(seq 1 16); do echo "solve inst heur-p inf $((1000 + i))"; done
+  echo "sync"
+} >&8
+wait_reply_lines "$FAB/out0" 48
+for r in 0 1 2; do
+  port_var="P$r"
+  "$CLI" scrape "127.0.0.1:${!port_var}" > "$FAB/scrape${r}_b.txt" ||
+    { echo "FAIL: second scrape of rank $r failed" >&2; exit 1; }
+  # Every line is a comment or "name[{labels}] value" — a malformed
+  # exposition line would break standard scrapers.
+  if grep -vE '^#' "$FAB/scrape${r}_b.txt" |
+     grep -vE '^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? [+-]?([0-9.]+([eE][+-]?[0-9]+)?|Inf|NaN)$' |
+     grep -q .; then
+    echo "FAIL: malformed exposition line from rank $r:" >&2
+    grep -vE '^#' "$FAB/scrape${r}_b.txt" |
+      grep -vE '^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? [+-]?([0-9.]+([eE][+-]?[0-9]+)?|Inf|NaN)$' |
+      head -3 >&2
+    exit 1
+  fi
+  for m in prts_engine_submitted_total prts_router_forwarded_total \
+           prts_router_replica_hits_total net_server_frames_total; do
+    a=$(metric_value "$FAB/scrape${r}_a.txt" "$m")
+    b=$(metric_value "$FAB/scrape${r}_b.txt" "$m")
+    [ "$b" -ge "$a" ] ||
+      { echo "FAIL: $m went backwards on rank $r ($a -> $b)" >&2; exit 1; }
+  done
+done
+# The repeat pass was absorbed by rank 0's replica tier — its counter
+# must have strictly risen between the two scrapes.
+rh_a=$(metric_value "$FAB/scrape0_a.txt" prts_router_replica_hits_total)
+rh_b=$(metric_value "$FAB/scrape0_b.txt" prts_router_replica_hits_total)
+[ "$rh_b" -gt "$rh_a" ] ||
+  { echo "FAIL: replica hits did not rise between scrapes ($rh_a -> $rh_b)" >&2; exit 1; }
+
+echo "traces 200" >&8
+for _ in $(seq 1 100); do
+  grep -q '# trace-entry' "$FAB/out0" && break
+  sleep 0.05
+done
+grep -qE '# trace-entry .*ranks=[0-9]+,[0-9]+' "$FAB/out0" ||
+  { echo "FAIL: no cross-rank trace on rank 0" >&2; exit 1; }
+echo "telemetry smoke test OK: replica_hits $rh_a -> $rh_b," \
+     "cross-rank traces present"
+
 # Phase 2: kill rank 1 mid-run. Its already-replicated keys must still
 # be served (replica hits rise, zero errors), and 24 fresh keys must be
 # answered cleanly — the ones rank 1 owns via local fallback.
@@ -173,7 +241,7 @@ kill "$PID1" && wait "$PID1" 2>/dev/null || true
   echo "sync"
   echo "stats"
 } >&8
-wait_reply_lines "$FAB/out0" 72
+wait_reply_lines "$FAB/out0" 88
 exec 8>&- 9>&-
 wait "$PID0" || { echo "FAIL: rank 0 exited non-zero" >&2; exit 1; }
 kill "$PID2" 2>/dev/null || true
@@ -189,7 +257,7 @@ if grep -q $'\terror\t' "$FAB/out0"; then
   exit 1
 fi
 replies=$(grep -c $'^[0-9]*\t' "$FAB/out0" || true)
-[ "$replies" -eq 72 ] || { echo "FAIL: expected 72 replies, got $replies" >&2; exit 1; }
+[ "$replies" -eq 88 ] || { echo "FAIL: expected 88 replies, got $replies" >&2; exit 1; }
 
 echo "fabric smoke test OK: forwarded=$forwarded" \
      "replica_hits=$replica_hits_after" \

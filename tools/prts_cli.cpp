@@ -34,7 +34,7 @@
 //       [--listen PORT] [--world N] [--rank R] [--peers h:p,h:p,...]
 //       [--replica-mb M] [--replica-ttl SECONDS]
 //       [--replica-ttl-cost FACTOR] [--gossip-interval S]
-//       [--no-input]
+//       [--no-input] [--slow-ms MS]
 //       run the batched solve service over a line-protocol request
 //       stream (see src/service/protocol.hpp for the format); with
 //       --listen/--world/--rank/--peers the process joins the
@@ -49,7 +49,14 @@
 //       --near-miss off disables bounds-monotone near-miss reuse
 //       (dominating hits + warm starts; on by default, answer bytes
 //       are identical either way); --no-input serves network traffic
-//       only until SIGINT/SIGTERM
+//       only until SIGINT/SIGTERM; every serve carries telemetry (a
+//       metrics registry + request tracer, see src/obs/) reachable via
+//       the protocol's `stats --json` / `metrics` / `trace <id>` /
+//       `traces` / `slowlog` commands and the fabric's kMetricsRequest
+//       frame; --slow-ms logs traces slower than MS ms to stderr
+//   prts_cli scrape HOST:PORT
+//       fetch one prometheus text exposition from a running serve rank
+//       (its --listen port) and print it on stdout
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -83,7 +90,9 @@
 #include "scenario/campaign.hpp"
 #include "scenario/emit.hpp"
 #include "scenario/spec.hpp"
+#include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/engine.hpp"
 #include "service/fusion.hpp"
@@ -536,6 +545,24 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
 
   const bool no_input = flags.has("no-input");
 
+  // Telemetry is always on for serve (nanoseconds per request); it must
+  // outlive the engine, router and server, so it is declared before all
+  // of them. --slow-ms additionally logs slow traces to stderr the
+  // moment they finish.
+  const double slow_ms = flags.number("slow-ms", 0);
+  if (slow_ms < 0) {
+    std::cerr << "--slow-ms must be >= 0\n";
+    return 2;
+  }
+  obs::TracerConfig tracer_config;
+  if (slow_ms > 0) {
+    tracer_config.slow_threshold_seconds = slow_ms / 1e3;
+    tracer_config.slow_log = &std::cerr;
+  }
+  obs::Telemetry telemetry(tracer_config);
+  telemetry.rank = static_cast<int>(rank);
+  config.telemetry = &telemetry;
+
   // Open the request stream before constructing the service, so an
   // error exit never abandons live worker threads.
   std::ifstream request_file;
@@ -610,7 +637,7 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
         port,
         service::make_fabric_handler(
             engine, [&router_ptr] { return router_ptr.load(); }),
-        *server_pool);
+        *server_pool, net::kDefaultMaxPayload, &telemetry.metrics);
     if (!server) {
       std::cerr << "cannot listen on port " << port << "\n";
       return 1;
@@ -628,6 +655,7 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     router_config.replica.ttl_seconds = replica_ttl;
     router_config.replica.ttl_cost_factor = replica_ttl_cost;
     router_config.gossip_interval_seconds = gossip_interval;
+    router_config.telemetry = &telemetry;
     router = std::make_unique<service::ShardRouter>(engine, router_config);
     router_ptr.store(router.get());
     options.router = router.get();
@@ -678,12 +706,33 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   return result.protocol_errors == 0 ? 0 : 1;
 }
 
+/// One kMetricsRequest exchange against a running serve rank; the
+/// prometheus text lands on stdout (monitoring's stream), diagnostics
+/// on stderr.
+int cmd_scrape(const std::string& target) {
+  const auto parsed = service::parse_peer_list(target);
+  if (!parsed || parsed->size() != 1) {
+    std::cerr << "scrape needs one HOST:PORT target\n";
+    return 2;
+  }
+  net::FrameClient client((*parsed)[0].host, (*parsed)[0].port);
+  net::Frame request;
+  request.type = net::FrameType::kMetricsRequest;
+  const auto reply = client.call(request);
+  if (!reply || reply->type != net::FrameType::kMetricsReply) {
+    std::cerr << "scrape: no metrics reply from " << target << "\n";
+    return 1;
+  }
+  std::cout << reply->payload;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: prts_cli generate|solve|evaluate|simulate|dot|"
-                 "trace|solvers|campaign|serve ...\n";
+                 "trace|solvers|campaign|serve|scrape ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -701,6 +750,13 @@ int main(int argc, char** argv) {
         argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
     const Flags flags(argc, argv, has_path ? 3 : 2);
     return cmd_serve(has_path ? argv[2] : "-", flags);
+  }
+  if (command == "scrape") {
+    if (argc != 3) {
+      std::cerr << "usage: prts_cli scrape HOST:PORT\n";
+      return 2;
+    }
+    return cmd_scrape(argv[2]);
   }
   const Flags flags(argc, argv, 2);
   if (command == "generate") return cmd_generate(flags);
