@@ -7,12 +7,21 @@
 // is overhead < 5% on this path, and the quantiles are the numbers the
 // ROADMAP's tail-latency framing asks for.
 //
+// A second phase measures the same warm path under concurrent load: N
+// closed-loop client threads hammer one instrumented engine and each
+// records its own per-request wall latency, so the reported
+// p50/p99/p999 (and jitter = p99 - p50) include queueing and
+// cross-client interference that the sequential phase cannot see.
+//
 //   latency_profile [--requests N] [--unique U] [--solver NAME]
-//                   [--threads T] [--quick] [--out PATH]
+//                   [--threads T] [--clients C] [--quick] [--out PATH]
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "model/generator.hpp"
@@ -57,12 +66,77 @@ double run_workload(const std::vector<Instance>& instances,
   return seconds;
 }
 
+struct ConcurrentResult {
+  double seconds = 0.0;
+  double rps = 0.0;
+  std::vector<double> latencies;  ///< sorted, seconds
+
+  double quantile(double q) const {
+    if (latencies.empty()) return 0.0;
+    const auto index = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1) + 0.5);
+    return latencies[std::min(index, latencies.size() - 1)];
+  }
+};
+
+/// Closed-loop concurrent phase: `clients` threads split `requests`
+/// between them against one shared engine; every thread clocks each of
+/// its own requests end to end.
+ConcurrentResult run_concurrent(const std::vector<Instance>& instances,
+                                std::size_t requests,
+                                const std::string& solver,
+                                std::size_t threads, std::size_t clients,
+                                obs::Telemetry* telemetry) {
+  service::ServiceConfig config;
+  config.threads = threads;
+  config.max_queue_depth = requests + clients + 1;
+  config.telemetry = telemetry;
+  service::SolveService engine(config);
+
+  ConcurrentResult result;
+  std::mutex mutex;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      // Interleave so every client cycles the whole instance set.
+      std::vector<double> mine;
+      const std::size_t share =
+          requests / clients + (c < requests % clients ? 1 : 0);
+      mine.reserve(share);
+      for (std::size_t r = 0; r < share; ++r) {
+        service::SolveRequest request{
+            instances[(c + r * clients) % instances.size()], solver, {}};
+        const auto begin = std::chrono::steady_clock::now();
+        engine.submit(std::move(request)).get();
+        mine.push_back(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - begin)
+                           .count());
+      }
+      const std::lock_guard<std::mutex> lock(mutex);
+      result.latencies.insert(result.latencies.end(), mine.begin(),
+                              mine.end());
+    });
+  }
+  for (std::thread& client : pool) client.join();
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.rps = result.seconds > 0.0
+                   ? static_cast<double>(result.latencies.size()) /
+                         result.seconds
+                   : 0.0;
+  std::sort(result.latencies.begin(), result.latencies.end());
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t requests = 5000;
   std::size_t unique = 4;
   std::size_t threads = 0;
+  std::size_t clients = 8;
   std::string solver = "heur-p";
   std::string out_path = "BENCH_observability.json";
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +150,8 @@ int main(int argc, char** argv) {
       unique = std::stoul(next());
     } else if (arg == "--threads") {
       threads = std::stoul(next());
+    } else if (arg == "--clients") {
+      clients = std::stoul(next());
     } else if (arg == "--solver") {
       solver = next();
     } else if (arg == "--out") {
@@ -83,13 +159,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--quick") {
       requests = 500;
       unique = 3;
+      clients = 4;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
       return 2;
     }
   }
-  if (unique == 0 || requests == 0) {
-    std::cerr << "--requests and --unique must be positive\n";
+  if (unique == 0 || requests == 0 || clients == 0) {
+    std::cerr << "--requests, --unique and --clients must be positive\n";
     return 2;
   }
 
@@ -128,6 +205,16 @@ int main(int argc, char** argv) {
               << " samples, expected " << requests << "\n";
   }
 
+  // C: concurrent closed-loop load on a fresh instrumented engine —
+  // client-side latencies, so queueing shows up in the quantiles.
+  obs::Telemetry concurrent_telemetry;
+  const ConcurrentResult concurrent = run_concurrent(
+      instances, requests, solver, threads, clients, &concurrent_telemetry);
+  const double concurrent_p50 = concurrent.quantile(0.50);
+  const double concurrent_p99 = concurrent.quantile(0.99);
+  const double concurrent_p999 = concurrent.quantile(0.999);
+  const double jitter = concurrent_p99 - concurrent_p50;
+
   std::cout << "latency profile: " << requests << " warm-path requests over "
             << unique << " unique instances, solver " << solver << "\n"
             << "  telemetry off  " << off_rps << " req/s\n"
@@ -136,7 +223,11 @@ int main(int argc, char** argv) {
             << "  latency p50 " << latency.quantile(0.50) * 1e6 << " us, p90 "
             << latency.quantile(0.90) * 1e6 << " us, p99 "
             << latency.quantile(0.99) * 1e6 << " us, p999 "
-            << latency.quantile(0.999) * 1e6 << " us\n";
+            << latency.quantile(0.999) * 1e6 << " us\n"
+            << "  concurrent (" << clients << " clients) " << concurrent.rps
+            << " req/s, p50 " << concurrent_p50 * 1e6 << " us, p99 "
+            << concurrent_p99 * 1e6 << " us, p999 " << concurrent_p999 * 1e6
+            << " us, jitter " << jitter * 1e6 << " us\n";
 
   std::ofstream out(out_path);
   if (!out) {
@@ -152,6 +243,12 @@ int main(int argc, char** argv) {
       << ",\"mean\":" << latency.mean() << ",\"p50\":" << latency.quantile(0.5)
       << ",\"p90\":" << latency.quantile(0.9)
       << ",\"p99\":" << latency.quantile(0.99)
-      << ",\"p999\":" << latency.quantile(0.999) << "}}\n";
+      << ",\"p999\":" << latency.quantile(0.999)
+      << "},\"concurrent\":{\"clients\":" << clients
+      << ",\"requests\":" << concurrent.latencies.size()
+      << ",\"seconds\":" << concurrent.seconds
+      << ",\"rps\":" << concurrent.rps << ",\"p50\":" << concurrent_p50
+      << ",\"p99\":" << concurrent_p99 << ",\"p999\":" << concurrent_p999
+      << ",\"jitter\":" << jitter << "}}\n";
   return 0;
 }

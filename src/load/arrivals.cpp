@@ -1,0 +1,183 @@
+#include "load/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "model/serialize.hpp"
+
+namespace prts::load {
+
+const char* process_name(Process process) noexcept {
+  switch (process) {
+    case Process::kPoisson:
+      return "poisson";
+    case Process::kBursty:
+      return "bursty";
+    case Process::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+bool parse_process(const std::string& text, Process& process) {
+  if (text == "poisson") {
+    process = Process::kPoisson;
+  } else if (text == "bursty") {
+    process = Process::kBursty;
+  } else if (text == "uniform") {
+    process = Process::kUniform;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Cumulative Zipf(s) table over ranks 1..n, normalized to end at 1.
+std::vector<double> zipf_cumulative(std::size_t n, double s) {
+  std::vector<double> cumulative(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += s == 0.0 ? 1.0 : 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative[k] = total;
+  }
+  for (double& value : cumulative) value /= total;
+  return cumulative;
+}
+
+std::size_t draw_index(Rng& rng, const std::vector<double>& cumulative) {
+  const double u = rng.uniform01();
+  const auto it =
+      std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative.size()) - 1));
+}
+
+}  // namespace
+
+LoadTrace generate_arrivals(const ArrivalConfig& config) {
+  if (config.rate <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: rate must be > 0");
+  }
+  if (config.duration_seconds <= 0.0) {
+    throw std::invalid_argument("generate_arrivals: duration must be > 0");
+  }
+  if (config.key_count == 0) {
+    throw std::invalid_argument("generate_arrivals: key_count must be > 0");
+  }
+  if (config.solver_mix.empty()) {
+    throw std::invalid_argument("generate_arrivals: empty solver mix");
+  }
+
+  // Separate streams per concern: changing the solver mix must not
+  // reshuffle arrival *times*, so a mix tweak stays comparable.
+  Rng time_rng(config.seed);
+  Rng key_rng = time_rng.split();
+  Rng solver_rng = time_rng.split();
+  Rng bounds_rng = time_rng.split();
+
+  const std::vector<double> key_cumulative =
+      zipf_cumulative(config.key_count, config.zipf_s);
+  std::vector<double> solver_cumulative;
+  {
+    double total = 0.0;
+    for (const auto& [name, weight] : config.solver_mix) {
+      if (weight < 0.0) {
+        throw std::invalid_argument(
+            "generate_arrivals: negative solver weight");
+      }
+      total += weight;
+      solver_cumulative.push_back(total);
+    }
+    if (total <= 0.0) {
+      throw std::invalid_argument(
+          "generate_arrivals: solver mix weights sum to zero");
+    }
+    for (double& value : solver_cumulative) value /= total;
+  }
+
+  // MMPP-2 calibration: overall mean rate fixed at config.rate.
+  //   rate = (1-f)*calm + f*factor*calm  =>  calm = rate / (1-f+f*factor)
+  // and the calm dwell keeps the burst fraction at f.
+  const double fraction =
+      std::clamp(config.burst_fraction, 1e-6, 1.0 - 1e-6);
+  const double factor = std::max(config.burst_rate_factor, 1.0);
+  const double calm_rate =
+      config.rate / (1.0 - fraction + fraction * factor);
+  const double burst_rate = calm_rate * factor;
+  const double burst_dwell = std::max(config.burst_dwell_seconds, 1e-3);
+  const double calm_dwell = burst_dwell * (1.0 - fraction) / fraction;
+
+  LoadTrace trace;
+  bool bursting = false;
+  double time = 0.0;
+  double next_switch =
+      config.process == Process::kBursty
+          ? time_rng.exponential(1.0 / calm_dwell)
+          : std::numeric_limits<double>::infinity();
+  while (true) {
+    double current_rate = config.rate;
+    if (config.process == Process::kBursty) {
+      current_rate = bursting ? burst_rate : calm_rate;
+    }
+    const double step = config.process == Process::kUniform
+                            ? 1.0 / current_rate
+                            : time_rng.exponential(current_rate);
+    if (config.process == Process::kBursty && time + step > next_switch) {
+      // Exponential inter-arrivals are memoryless: jumping to the
+      // switch point and redrawing at the new rate is exact.
+      time = next_switch;
+      bursting = !bursting;
+      next_switch = time + time_rng.exponential(
+                               1.0 / (bursting ? burst_dwell : calm_dwell));
+      continue;
+    }
+    time += step;
+    if (time >= config.duration_seconds) break;
+
+    ArrivalEvent event;
+    event.time_seconds = time;
+    event.instance = draw_index(key_rng, key_cumulative);
+    event.solver =
+        config.solver_mix[draw_index(solver_rng, solver_cumulative)].first;
+    // Per-key latency-bound ladder around the paper workload's makespan
+    // scale (15 tasks, work <= 100, speed 1): loose enough to usually
+    // be feasible, tight enough that rungs are distinct cache keys.
+    const std::size_t rungs = std::max<std::size_t>(config.bounds_per_key, 1);
+    const auto rung = static_cast<std::size_t>(
+        bounds_rng.uniform_int(0, static_cast<std::int64_t>(rungs) - 1));
+    event.bounds.latency_bound =
+        1000.0 + 50.0 * static_cast<double>(rung) +
+        static_cast<double>(event.instance);
+    trace.events.push_back(std::move(event));
+  }
+
+  trace.meta["process"] = process_name(config.process);
+  trace.meta["rate"] = canonical_number(config.rate);
+  trace.meta["duration_seconds"] = canonical_number(config.duration_seconds);
+  trace.meta["seed"] = std::to_string(config.seed);
+  trace.meta["key_count"] = std::to_string(config.key_count);
+  trace.meta["zipf_s"] = canonical_number(config.zipf_s);
+  trace.meta["bounds_per_key"] = std::to_string(config.bounds_per_key);
+  if (config.process == Process::kBursty) {
+    trace.meta["burst_rate_factor"] = canonical_number(factor);
+    trace.meta["burst_fraction"] = canonical_number(fraction);
+    trace.meta["burst_dwell_seconds"] = canonical_number(burst_dwell);
+  }
+  {
+    std::string mix;
+    for (const auto& [name, weight] : config.solver_mix) {
+      if (!mix.empty()) mix += ",";
+      mix += name + ":" + canonical_number(weight);
+    }
+    trace.meta["solver_mix"] = mix;
+  }
+  return trace;
+}
+
+}  // namespace prts::load

@@ -1,0 +1,71 @@
+// Arrival-process generation (src/load/): turns a workload description
+// (process shape, offered rate, key popularity, solver mix) into a
+// deterministic LoadTrace. Everything is driven by one prts::Rng seed:
+// same config, same trace, bit for bit.
+//
+// Processes:
+//   - Poisson: exponential inter-arrivals at the offered rate — the
+//     open-loop null hypothesis.
+//   - Bursty: a 2-state MMPP (calm/burst). The burst state arrives
+//     `burst_rate_factor` times faster and the state dwell times are
+//     chosen so the long-run average equals `rate` and the fraction of
+//     time spent bursting equals `burst_fraction` — so a bursty run is
+//     comparable to a Poisson run at the same nominal rate, but
+//     stresses queues with clustered arrivals.
+//   - Uniform: fixed inter-arrival 1/rate — the smoothest offered load,
+//     useful as a lower bound on queueing noise.
+//
+// Key popularity is Zipf(s) over `key_count` instance indices (s = 0
+// degenerates to uniform), matching the hot-key skew the fabric's
+// replication tier exists for. Each arrival also draws a solver from
+// `solver_mix` and a latency bound from a small per-key ladder, so
+// cache keys (instance, solver, bounds) repeat realistically instead of
+// being all-distinct or all-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "load/trace.hpp"
+
+namespace prts::load {
+
+enum class Process { kPoisson, kBursty, kUniform };
+
+const char* process_name(Process process) noexcept;
+/// Returns false on unknown name ("poisson", "bursty", "uniform").
+bool parse_process(const std::string& text, Process& process);
+
+struct ArrivalConfig {
+  Process process = Process::kPoisson;
+  double rate = 100.0;  ///< mean arrivals per second (> 0)
+  double duration_seconds = 5.0;
+
+  /// Bursty only: burst-state rate multiplier, long-run fraction of
+  /// time in burst, and mean burst dwell time.
+  double burst_rate_factor = 4.0;
+  double burst_fraction = 0.2;
+  double burst_dwell_seconds = 0.25;
+
+  std::size_t key_count = 16;  ///< distinct instance indices
+  double zipf_s = 1.1;         ///< 0 = uniform popularity
+
+  /// Weighted solver draw, e.g. {{"portfolio", 0.8}, {"exact", 0.2}}.
+  std::vector<std::pair<std::string, double>> solver_mix = {
+      {"portfolio", 1.0}};
+
+  /// Distinct latency bounds drawn per key (>= 1). The ladder spans
+  /// loose bounds around the paper workload's makespan scale, so some
+  /// requests share cache keys and some only near-miss.
+  std::size_t bounds_per_key = 4;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates the schedule. Events are in non-decreasing time order and
+/// the config is recorded in trace.meta.
+LoadTrace generate_arrivals(const ArrivalConfig& config);
+
+}  // namespace prts::load

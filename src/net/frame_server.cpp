@@ -12,16 +12,18 @@ std::unique_ptr<FrameServer> FrameServer::start(std::uint16_t port,
                                                 FrameHandler handler,
                                                 ThreadPool& pool,
                                                 std::size_t max_payload,
-                                                obs::Registry* metrics) {
+                                                obs::Registry* metrics,
+                                                obs::Watchdog* watchdog) {
   auto listener = Listener::open(port);
   if (!listener) return nullptr;
-  return std::unique_ptr<FrameServer>(new FrameServer(
-      std::move(*listener), std::move(handler), pool, max_payload, metrics));
+  return std::unique_ptr<FrameServer>(
+      new FrameServer(std::move(*listener), std::move(handler), pool,
+                      max_payload, metrics, watchdog));
 }
 
 FrameServer::FrameServer(Listener listener, FrameHandler handler,
                          ThreadPool& pool, std::size_t max_payload,
-                         obs::Registry* metrics)
+                         obs::Registry* metrics, obs::Watchdog* watchdog)
     : listener_(std::move(listener)),
       handler_(std::move(handler)),
       pool_(pool),
@@ -34,6 +36,7 @@ FrameServer::FrameServer(Listener listener, FrameHandler handler,
       protocol_errors_counter_(
           metrics ? &metrics->counter("net_server_protocol_errors_total")
                   : nullptr),
+      heartbeat_(watchdog ? &watchdog->component("frame_server") : nullptr),
       accept_thread_([this] { accept_loop(); }) {}
 
 FrameServer::~FrameServer() { stop(); }
@@ -43,6 +46,7 @@ void FrameServer::accept_loop() {
     auto accepted = listener_.accept();
     if (!accepted) break;  // listener closed
     auto socket = std::make_shared<Socket>(std::move(*accepted));
+    if (heartbeat_) heartbeat_->beat();
     const int fd = socket->fd();
     {
       // Register before the pool task exists: stop() must be able to
@@ -85,19 +89,34 @@ void FrameServer::serve_connection(
         ++stats_.frames;
       }
       if (frames_counter_) frames_counter_->add();
+      // Load brackets the handler call: a frame stuck inside the
+      // handler keeps load > 0, so a silent wedge ages into a stall.
+      if (heartbeat_) heartbeat_->add_load(1);
       std::optional<Frame> reply;
       try {
         reply = handler_(request);
       } catch (const std::exception& error) {
         // A throwing handler must not kill the connection loop's
         // bookkeeping — answer with an error frame and close.
+        if (heartbeat_) {
+          heartbeat_->add_load(-1);
+          heartbeat_->beat();
+        }
         Frame failure;
         failure.type = FrameType::kError;
         failure.payload = std::string("handler error: ") + error.what();
         write_frame(socket, failure);
         break;
       } catch (...) {
+        if (heartbeat_) {
+          heartbeat_->add_load(-1);
+          heartbeat_->beat();
+        }
         break;
+      }
+      if (heartbeat_) {
+        heartbeat_->add_load(-1);
+        heartbeat_->beat();
       }
       if (!reply || !write_frame(socket, *reply)) break;
       continue;

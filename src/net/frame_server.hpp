@@ -28,6 +28,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
 
 namespace prts::net {
 
@@ -49,11 +50,15 @@ class FrameServer {
   /// nullptr when the port cannot be bound. When `metrics` is set the
   /// server mirrors its counters into it as net_server_connections_total
   /// / net_server_frames_total / net_server_protocol_errors_total (the
-  /// registry must outlive the server).
+  /// registry must outlive the server). When `watchdog` is set the
+  /// server registers a "frame_server" heartbeat: load tracks frames
+  /// currently inside the handler, beats mark accepts and handled
+  /// frames — a handler wedged on a dead peer shows up as a stall.
   static std::unique_ptr<FrameServer> start(
       std::uint16_t port, FrameHandler handler, ThreadPool& pool,
       std::size_t max_payload = kDefaultMaxPayload,
-      obs::Registry* metrics = nullptr);
+      obs::Registry* metrics = nullptr,
+      obs::Watchdog* watchdog = nullptr);
 
   ~FrameServer();
 
@@ -71,7 +76,8 @@ class FrameServer {
 
  private:
   FrameServer(Listener listener, FrameHandler handler, ThreadPool& pool,
-              std::size_t max_payload, obs::Registry* metrics);
+              std::size_t max_payload, obs::Registry* metrics,
+              obs::Watchdog* watchdog);
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<Socket>& socket_ptr);
@@ -91,6 +97,8 @@ class FrameServer {
   obs::Counter* connections_counter_ = nullptr;
   obs::Counter* frames_counter_ = nullptr;
   obs::Counter* protocol_errors_counter_ = nullptr;
+  /// "frame_server" liveness handle; null when no watchdog was given.
+  obs::Heartbeat* heartbeat_ = nullptr;
   std::thread accept_thread_;
 };
 

@@ -140,6 +140,26 @@ double Histogram::Snapshot::quantile(double q) const noexcept {
   return upper_bound(kFiniteBuckets - 1);
 }
 
+void Histogram::Snapshot::merge(const Snapshot& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    counts[i] += other.counts[i];
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+Histogram::Snapshot Histogram::Snapshot::delta_since(
+    const Snapshot& earlier) const noexcept {
+  Snapshot window;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    window.counts[i] =
+        counts[i] >= earlier.counts[i] ? counts[i] - earlier.counts[i] : 0;
+    window.count += window.counts[i];
+  }
+  window.sum = sum >= earlier.sum ? sum - earlier.sum : 0.0;
+  return window;
+}
+
 Counter& Registry::counter(const std::string& name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -159,6 +179,21 @@ Histogram& Registry::histogram(const std::string& name) {
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->snapshot());
+  }
+  return snap;
 }
 
 void Registry::write_json(std::ostream& out) const {

@@ -100,6 +100,18 @@ class Histogram {
     /// the largest finite bound.
     double quantile(double q) const noexcept;
     double mean() const noexcept { return count ? sum / count : 0.0; }
+
+    /// Adds `other`'s buckets into this snapshot. Because buckets are
+    /// fixed and identical across all histograms, aggregating N ranks'
+    /// snapshots yields exactly the histogram a single rank would have
+    /// recorded from the union of their samples — the basis for
+    /// fleet-wide quantiles.
+    void merge(const Snapshot& other) noexcept;
+
+    /// The per-window difference `this - earlier` (counts clamped at
+    /// zero against torn reads): what was recorded between two
+    /// cumulative snapshots. The flight recorder's per-tick view.
+    Snapshot delta_since(const Snapshot& earlier) const noexcept;
   };
 
   /// Consistent-enough snapshot (each bucket read atomically).
@@ -115,6 +127,15 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// A point-in-time copy of every metric in a Registry — the unit the
+/// flight recorder diffs tick over tick, and what a cross-rank
+/// aggregator merges.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
+};
+
 /// The string-keyed registry. Registration (counter/gauge/histogram)
 /// takes a mutex and returns a stable reference; resolve once, record
 /// forever. Metric names should be prometheus-shaped
@@ -125,6 +146,11 @@ class Registry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+
+  /// Non-destructive copy of every metric's current value (counters and
+  /// histograms stay cumulative — scrapers and the flight recorder can
+  /// coexist because nobody resets shared state).
+  RegistrySnapshot snapshot() const;
 
   /// One JSON object:
   ///   {"counters":{...},"gauges":{...},

@@ -24,7 +24,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
 
 namespace prts::obs {
 
@@ -125,6 +127,12 @@ struct Telemetry {
   int rank = 0;
   Registry metrics;
   Tracer tracer;
+  /// Per-component heartbeats + stall detection, mirrored into
+  /// `metrics`. Inert (no thread) until watchdog.start().
+  Watchdog watchdog{&metrics};
+  /// Bounded ring of per-tick metric deltas (the `timeseries` protocol
+  /// command). Inert until recorder.start() or a manual tick_now().
+  FlightRecorder recorder{&metrics};
 
   Telemetry() = default;
   explicit Telemetry(TracerConfig tracer_config) : tracer(tracer_config) {}

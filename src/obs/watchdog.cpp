@@ -1,0 +1,140 @@
+#include "obs/watchdog.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace prts::obs {
+
+Watchdog::Watchdog(Registry* metrics)
+    : metrics_(metrics),
+      stalls_counter_(metrics ? &metrics->counter("watchdog_stalls_total")
+                              : nullptr),
+      stalled_gauge_(
+          metrics ? &metrics->gauge("watchdog_stalled_components") : nullptr),
+      components_gauge_(metrics ? &metrics->gauge("watchdog_components")
+                                : nullptr) {}
+
+Watchdog::~Watchdog() { stop(); }
+
+Heartbeat& Watchdog::component(const std::string& name,
+                               double expected_interval_seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& slot : components_) {
+    if (slot->name_ == name) {
+      // Refresh: a revived component must not be flagged for the time
+      // it spent dead, and its periodic expectation may have changed.
+      slot->expected_interval_seconds_ = expected_interval_seconds;
+      slot->beat();
+      return *slot;
+    }
+  }
+  auto slot = std::make_unique<Heartbeat>();
+  slot->name_ = name;
+  slot->expected_interval_seconds_ = expected_interval_seconds;
+  slot->beat();
+  components_.push_back(std::move(slot));
+  stalled_.push_back(false);
+  if (components_gauge_) {
+    components_gauge_->set(static_cast<double>(components_.size()));
+  }
+  return *components_.back();
+}
+
+std::vector<Stall> Watchdog::check() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Stall> stalls;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Heartbeat& hb = *components_[i];
+    const double age = hb.age_seconds();
+    const std::int64_t load = hb.load();
+    bool stalled = false;
+    if (hb.expected_interval_seconds_ > 0.0) {
+      const double threshold =
+          std::max(config_.periodic_factor * hb.expected_interval_seconds_,
+                   config_.stall_threshold_seconds);
+      stalled = age > threshold;
+    } else {
+      stalled = load > 0 && age > config_.stall_threshold_seconds;
+    }
+    if (stalled) {
+      stalls.push_back(Stall{hb.name_, age, load});
+      if (!stalled_[i]) {
+        // Entering the stalled state: one episode, however many polls
+        // it lasts.
+        stalled_[i] = true;
+        ++stalls_total_;
+        if (stalls_counter_) stalls_counter_->add();
+      }
+    } else {
+      stalled_[i] = false;
+    }
+  }
+  if (stalled_gauge_) stalled_gauge_->set(static_cast<double>(stalls.size()));
+  return stalls;
+}
+
+void Watchdog::start(WatchdogConfig config) {
+  stop();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    config_ = config;
+    monitor_stop_ = false;
+  }
+  monitor_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto interval = std::chrono::duration<double>(
+          std::max(config_.poll_interval_seconds, 1e-3));
+      if (monitor_cv_.wait_for(lock, interval,
+                               [this] { return monitor_stop_; })) {
+        return;
+      }
+      lock.unlock();
+      check();
+      lock.lock();
+    }
+  });
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+std::uint64_t Watchdog::stalls_total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_total_;
+}
+
+WatchdogConfig Watchdog::config() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+void Watchdog::write_json(std::ostream& out) {
+  const std::vector<Stall> stalls = check();
+  std::uint64_t total;
+  std::size_t component_count;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    total = stalls_total_;
+    component_count = components_.size();
+  }
+  out << "{\"stalls_total\":" << total
+      << ",\"components\":" << component_count << ",\"stalled\":[";
+  bool first = true;
+  for (const Stall& stall : stalls) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"component\":\"" << stall.component
+        << "\",\"age_seconds\":" << stall.age_seconds
+        << ",\"load\":" << stall.load << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace prts::obs

@@ -107,6 +107,8 @@ SolveService::SolveService(ServiceConfig config)
         &telemetry->metrics.histogram("engine_batch_wait_seconds");
     solver_run_hist_ =
         &telemetry->metrics.histogram("engine_solver_run_seconds");
+    queue_depth_gauge_ = &telemetry->metrics.gauge("engine_queue_depth");
+    heartbeat_ = &telemetry->watchdog.component("engine");
   }
 }
 
@@ -235,6 +237,16 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     return ready_reply_future(std::move(reply));
   }
   ++outstanding_;
+  if (queue_depth_gauge_) {
+    queue_depth_gauge_->set(static_cast<double>(outstanding_));
+  }
+  if (heartbeat_) {
+    // The idle→busy transition beats once so the runner gets a full
+    // stall threshold to pick the work up; after that only the runner's
+    // own progress resets the age.
+    if (outstanding_ == 1) heartbeat_->beat();
+    heartbeat_->set_load(static_cast<std::int64_t>(outstanding_));
+  }
 
   auto query = std::make_unique<PendingQuery>();
   query->canonical = canonical;
@@ -330,6 +342,7 @@ void SolveService::run_next_batch() {
     queries = std::move(batch->queries);
     ++stats_.batches;
   }
+  if (heartbeat_) heartbeat_->beat();
 
   const solver::SolverRegistry& registry =
       config_.registry ? *config_.registry : solver::SolverRegistry::builtin();
@@ -496,6 +509,13 @@ void SolveService::finish_query(PendingQuery& query,
     if (outcome.warm_started) ++stats_.warm_started;
     if (outcome.invoked) ++stats_.solver_invocations;
     --outstanding_;
+    if (queue_depth_gauge_) {
+      queue_depth_gauge_->set(static_cast<double>(outstanding_));
+    }
+    if (heartbeat_) {
+      heartbeat_->set_load(static_cast<std::int64_t>(outstanding_));
+      heartbeat_->beat();
+    }
     if (outstanding_ == 0) idle_cv_.notify_all();
   }
   obs::Telemetry* const telemetry = config_.telemetry;

@@ -351,6 +351,13 @@ class SolveService {
   obs::Histogram* request_latency_hist_ = nullptr;
   obs::Histogram* batch_wait_hist_ = nullptr;
   obs::Histogram* solver_run_hist_ = nullptr;
+  /// Sampled to outstanding_ on submit and completion — the queue depth
+  /// a scrape or flight-recorder tick sees is the instantaneous one.
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  /// "engine" liveness: load mirrors outstanding_; beats come from the
+  /// batch runner so a wedged runner under continuous arrivals still
+  /// ages out and trips the watchdog.
+  obs::Heartbeat* heartbeat_ = nullptr;
 
   /// Declared last: destroyed first, so draining batch tasks still see
   /// a live mutex, cache and maps during ~SolveService.

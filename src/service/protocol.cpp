@@ -96,6 +96,37 @@ void print_trace(std::ostream& out, const obs::Trace& trace) {
   }
 }
 
+/// One flight-recorder tick as a `# tick` line: fixed key=value prefix
+/// for grep, JSON body for machine consumers.
+void print_tick(std::ostream& out, const obs::FlightRecorder::Tick& tick) {
+  out << "# tick seq=" << tick.seq << " t=" << tick.uptime_seconds
+      << " dt=" << tick.interval_seconds << " {\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : tick.counter_deltas) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << delta;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : tick.gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << value;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, window] : tick.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << window.count
+        << ",\"mean\":" << window.mean << ",\"p50\":" << window.p50
+        << ",\"p90\":" << window.p90 << ",\"p99\":" << window.p99
+        << ",\"p999\":" << window.p999 << "}";
+  }
+  out << "}}\n";
+}
+
 }  // namespace
 
 void write_merged_stats_json(std::ostream& out, SolveService& service,
@@ -128,6 +159,8 @@ void write_merged_stats_json(std::ostream& out, SolveService& service,
   if (obs::Telemetry* telemetry = service.telemetry()) {
     out << ",\"telemetry\":";
     telemetry->metrics.write_json(out);
+    out << ",\"watchdog\":";
+    telemetry->watchdog.write_json(out);
   }
   out << "}";
 }
@@ -379,6 +412,28 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
       for (const obs::Trace& trace : list) {
         print_trace_header(out, "trace-entry", trace);
       }
+      out.flush();
+    } else if (command == "timeseries") {
+      obs::Telemetry* const telemetry = service.telemetry();
+      if (telemetry == nullptr) {
+        error("timeseries: telemetry disabled");
+        continue;
+      }
+      double limit = 0;  // 0 = whole ring
+      std::string limit_text;
+      if (tokens >> limit_text &&
+          (!parse_double(limit_text, limit) || limit < 1)) {
+        error("timeseries: bad limit '" + limit_text + "'");
+        continue;
+      }
+      const std::vector<obs::FlightRecorder::Tick> ticks =
+          telemetry->recorder.recent(static_cast<std::size_t>(limit));
+      out << "# timeseries ticks=" << telemetry->recorder.total_ticks()
+          << " window=" << ticks.size() << "\n";
+      for (const obs::FlightRecorder::Tick& tick : ticks) {
+        print_tick(out, tick);
+      }
+      out << "# timeseries end\n";
       out.flush();
     } else if (command == "sync") {
       flush();

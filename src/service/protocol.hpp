@@ -16,7 +16,7 @@
 //   stats --json             one '# stats-json {...}' line: the merged
 //                            document (engine/hits/cache, router/replica/
 //                            net_clients when fabric, telemetry registry
-//                            when on)
+//                            + watchdog verdict when on)
 //   metrics                  prometheus text exposition between
 //                            '# metrics begin' and '# metrics end'
 //   trace <hex-id>           render one trace: a '# trace ...' header
@@ -26,6 +26,11 @@
 //                            trace, newest first (default 32)
 //   slowlog [limit]          one '# trace-entry ...' line per slow
 //                            trace, newest first (default 32)
+//   timeseries [n]           flight-recorder window: a '# timeseries
+//                            ticks=<total> window=<k>' header, one
+//                            '# tick seq=.. t=.. dt=.. {json}' line per
+//                            tick (oldest first; whole ring when n is
+//                            omitted), then '# timeseries end'
 //   sync                     flush: print every pending reply in
 //                            submission order (EOF implies a sync)
 //
@@ -69,7 +74,7 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
 /// One merged JSON stats document:
 ///   {"engine":..,"hits":..,"cache":..
 ///    [,"router":..,"replica":..,"net_clients":{"rank<r>":{..}}]
-///    [,"telemetry":<registry JSON>]}
+///    [,"telemetry":<registry JSON>,"watchdog":<stall verdict>]}
 /// — the payload of `stats --json` and of the fabric's kStatsRequest.
 void write_merged_stats_json(std::ostream& out, SolveService& service,
                              ShardRouter* router);

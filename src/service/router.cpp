@@ -176,6 +176,7 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
     obs::Registry& metrics = config_.telemetry->metrics;
     wire_hist_ = &metrics.histogram("router_wire_seconds");
     router_latency_hist_ = &metrics.histogram("router_request_latency_seconds");
+    inflight_gauge_ = &metrics.gauge("router_inflight_forwards");
   }
   clients_.resize(config_.world_size);
   for (std::size_t r = 0; r < config_.world_size; ++r) {
@@ -191,6 +192,10 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
         config_.peers[r].host, config_.peers[r].port, std::move(client_config));
   }
   if (config_.gossip_interval_seconds > 0.0 && config_.world_size > 1) {
+    if (config_.telemetry != nullptr) {
+      gossip_heartbeat_ = &config_.telemetry->watchdog.component(
+          "router_gossip", config_.gossip_interval_seconds);
+    }
     gossip_thread_ = std::thread([this] {
       const std::chrono::duration<double> interval(
           config_.gossip_interval_seconds);
@@ -202,6 +207,7 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
         }
         lock.unlock();
         gossip_now();
+        if (gossip_heartbeat_ != nullptr) gossip_heartbeat_->beat();
         lock.lock();
       }
     });
@@ -339,6 +345,9 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   std::future<SolveReply> future =
       forward->waiters.back().promise.get_future();
   in_flight_.emplace(key, forward.get());
+  if (inflight_gauge_ != nullptr) {
+    inflight_gauge_->set(static_cast<double>(in_flight_.size()));
+  }
   lock.unlock();
 
   auto task = forward_pool_.submit(
@@ -404,6 +413,9 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       in_flight_.erase(forward->key);
+      if (inflight_gauge_ != nullptr) {
+        inflight_gauge_->set(static_cast<double>(in_flight_.size()));
+      }
       waiters = std::move(forward->waiters);
       ++stats_.forwarded;
       if (remote->cache_hit) ++stats_.forward_hits;
@@ -463,6 +475,9 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     in_flight_.erase(forward->key);
+    if (inflight_gauge_ != nullptr) {
+      inflight_gauge_->set(static_cast<double>(in_flight_.size()));
+    }
     waiters = std::move(forward->waiters);
     ++stats_.forward_failures;
     ++stats_.local_fallbacks;

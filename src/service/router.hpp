@@ -255,6 +255,10 @@ class ShardRouter {
   /// config_.telemetry is set.
   obs::Histogram* wire_hist_ = nullptr;
   obs::Histogram* router_latency_hist_ = nullptr;
+  /// Sampled to in_flight_.size() at forward insert/erase.
+  obs::Gauge* inflight_gauge_ = nullptr;
+  /// Periodic "router_gossip" heartbeat: expected every gossip interval.
+  obs::Heartbeat* gossip_heartbeat_ = nullptr;
 
   std::mutex gossip_mutex_;
   std::condition_variable gossip_cv_;

@@ -245,8 +245,9 @@ class FabricHarness {
       if (!node->faults.admit()) return std::nullopt;  // dropped
       return fabric(frame);
     };
-    rank.server = net::FrameServer::start(port, std::move(wrapped),
-                                          *rank.server_pool);
+    rank.server = net::FrameServer::start(
+        port, std::move(wrapped), *rank.server_pool, net::kDefaultMaxPayload,
+        &rank.telemetry->metrics, &rank.telemetry->watchdog);
     if (!rank.server) {
       throw std::runtime_error("fabric harness: cannot bind port " +
                                std::to_string(port));

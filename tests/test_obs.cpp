@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "net/frame_client.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "service/protocol.hpp"
 
 namespace prts::service {
@@ -366,6 +368,215 @@ TEST(ProtocolTelemetry, TraceCommandsErrorWhenTelemetryOff) {
   std::ostringstream out;
   const ServeResult result = run_serve(script, out, engine);
   EXPECT_EQ(result.protocol_errors, 3u);
+  EXPECT_NE(out.str().find("telemetry disabled"), std::string::npos);
+}
+
+// -------------------------------------------------- histogram merging
+
+TEST(ObsHistogram, MergeAcrossRanksEqualsUnionHistogram) {
+  // Three "ranks" record disjoint sample streams; merging their
+  // snapshots must be indistinguishable from one rank having seen the
+  // union — same counts, sum, and every quantile.
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> exponent(std::log(1e-5),
+                                                  std::log(10.0));
+  obs::Histogram union_hist;
+  std::vector<obs::Histogram> ranks(3);
+  for (int i = 0; i < 30000; ++i) {
+    const double value = std::exp(exponent(rng));
+    union_hist.record(value);
+    ranks[i % 3].record(value);
+  }
+  obs::Histogram::Snapshot merged = ranks[0].snapshot();
+  merged.merge(ranks[1].snapshot());
+  merged.merge(ranks[2].snapshot());
+  const obs::Histogram::Snapshot truth = union_hist.snapshot();
+  EXPECT_EQ(merged.count, truth.count);
+  EXPECT_NEAR(merged.sum, truth.sum, truth.sum * 1e-12);
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), truth.quantile(q)) << "q=" << q;
+  }
+}
+
+// ----------------------------------------------------- flight recorder
+
+TEST(ObsFlightRecorder, TickDeltasDescribeOnlyThatWindow) {
+  obs::Registry registry;
+  obs::FlightRecorder recorder(&registry);
+  registry.counter("requests_total").add(5);
+  registry.counter("idle_total").add(2);
+  recorder.tick_now();
+
+  registry.counter("requests_total").add(3);
+  registry.gauge("queue_depth").set(9.0);
+  registry.histogram("latency_seconds").record(0.001);
+  registry.histogram("latency_seconds").record(0.004);
+  recorder.tick_now();
+
+  const std::vector<obs::FlightRecorder::Tick> ticks = recorder.recent();
+  ASSERT_EQ(ticks.size(), 2u);
+  // Tick 0 baselines against zero: the pre-existing counts are its
+  // window.
+  EXPECT_EQ(ticks[0].counter_deltas.at("requests_total"), 5u);
+  // Tick 1 sees only what moved since tick 0 — and idle_total, which
+  // did not move, is dropped from the delta map entirely.
+  EXPECT_EQ(ticks[1].counter_deltas.at("requests_total"), 3u);
+  EXPECT_EQ(ticks[1].counter_deltas.count("idle_total"), 0u);
+  EXPECT_DOUBLE_EQ(ticks[1].gauges.at("queue_depth"), 9.0);
+  const auto& window = ticks[1].histograms.at("latency_seconds");
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_NEAR(window.mean, 0.0025, 0.0025);
+  EXPECT_GT(window.p99, window.p50 * 0.99);
+  // The registry itself stayed cumulative: nothing was reset.
+  EXPECT_EQ(registry.counter("requests_total").value(), 8u);
+  EXPECT_EQ(registry.histogram("latency_seconds").snapshot().count, 2u);
+}
+
+TEST(ObsFlightRecorder, RingWrapsKeepingTheNewestTicks) {
+  obs::Registry registry;
+  obs::FlightRecorder recorder(&registry);
+  obs::FlightRecorderConfig config;
+  config.capacity = 4;
+  recorder.configure(config);
+  for (int i = 0; i < 10; ++i) {
+    registry.counter("ticker_total").add(1);
+    recorder.tick_now();
+  }
+  EXPECT_EQ(recorder.total_ticks(), 10u);
+  const std::vector<obs::FlightRecorder::Tick> all = recorder.recent();
+  ASSERT_EQ(all.size(), 4u);
+  // Oldest-first, and the survivors are exactly the last four seqs.
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].seq, 6u + i);
+    EXPECT_EQ(all[i].counter_deltas.at("ticker_total"), 1u);
+  }
+  const std::vector<obs::FlightRecorder::Tick> two = recorder.recent(2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].seq, 8u);
+  EXPECT_EQ(two[1].seq, 9u);
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(ObsWatchdog, OnDemandComponentStallsOnlyUnderLoad) {
+  obs::Registry registry;
+  obs::Watchdog watchdog(&registry);
+  obs::WatchdogConfig config;
+  config.stall_threshold_seconds = 0.05;
+  config.poll_interval_seconds = 10.0;  // monitor thread effectively off
+  watchdog.start(config);
+  watchdog.stop();  // keep the config, drive check() by hand
+
+  obs::Heartbeat& engine = watchdog.component("engine");
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // Idle and silent: innocent.
+  EXPECT_TRUE(watchdog.check().empty());
+  EXPECT_EQ(watchdog.stalls_total(), 0u);
+
+  // Busy and silent: wedged — and one episode counts once, however
+  // often the monitor polls it.
+  engine.set_load(3);
+  std::vector<obs::Stall> stalls = watchdog.check();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].component, "engine");
+  EXPECT_EQ(stalls[0].load, 3);
+  watchdog.check();
+  watchdog.check();
+  EXPECT_EQ(watchdog.stalls_total(), 1u);
+
+  // Progress clears it; a later silence is a NEW episode.
+  engine.beat();
+  EXPECT_TRUE(watchdog.check().empty());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_EQ(watchdog.check().size(), 1u);
+  EXPECT_EQ(watchdog.stalls_total(), 2u);
+
+  // The registry mirrors follow.
+  EXPECT_EQ(registry.counter("watchdog_stalls_total").value(), 2u);
+  std::ostringstream json;
+  watchdog.write_json(json);
+  EXPECT_NE(json.str().find("\"stalls_total\":2"), std::string::npos);
+  EXPECT_NE(json.str().find("\"component\":\"engine\""), std::string::npos);
+}
+
+TEST(ObsWatchdog, PeriodicComponentStallsEvenWhenIdle) {
+  obs::Watchdog watchdog;
+  obs::WatchdogConfig config;
+  config.stall_threshold_seconds = 0.01;
+  config.periodic_factor = 2.0;  // stalls at 2 * 0.03 = 0.06s of silence
+  config.poll_interval_seconds = 10.0;
+  watchdog.start(config);
+  watchdog.stop();
+
+  obs::Heartbeat& gossip = watchdog.component("router_gossip", 0.03);
+  EXPECT_TRUE(watchdog.check().empty());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Load is zero, but a periodic component has no excuse for silence.
+  const std::vector<obs::Stall> stalls = watchdog.check();
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].component, "router_gossip");
+  gossip.beat();
+  EXPECT_TRUE(watchdog.check().empty());
+
+  // Re-registration refreshes the same slot rather than leaking a
+  // second stale "router_gossip".
+  EXPECT_EQ(&watchdog.component("router_gossip", 0.03), &gossip);
+}
+
+// ----------------------------------------------- timeseries over serve
+
+TEST(ProtocolTelemetry, TimeseriesReturnsTheRecordedWindow) {
+  obs::Telemetry telemetry;
+  ServiceConfig config;
+  config.threads = 2;
+  config.telemetry = &telemetry;
+  SolveService engine(config);
+
+  std::istringstream warm(
+      "instance a\n"
+      "prts-instance v1\n"
+      "tasks 2\n"
+      "10 1\n"
+      "5 0\n"
+      "platform 3 1 1e-05 2\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "1 1e-08\n"
+      "end\n"
+      "solve a heur-p inf inf\n"
+      "sync\n");
+  std::ostringstream warm_out;
+  ASSERT_EQ(run_serve(warm, warm_out, engine).protocol_errors, 0u);
+  telemetry.recorder.tick_now();
+  telemetry.recorder.tick_now();
+
+  std::istringstream script("timeseries\ntimeseries 1\ntimeseries bogus\n");
+  std::ostringstream out;
+  const ServeResult result = run_serve(script, out, engine);
+  EXPECT_EQ(result.protocol_errors, 1u);  // the bogus limit
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# timeseries ticks=2 window=2"), std::string::npos);
+  EXPECT_NE(text.find("# timeseries ticks=2 window=1"), std::string::npos);
+  // The solve landed in tick 0's window.
+  EXPECT_NE(text.find("# tick seq=0"), std::string::npos);
+  EXPECT_NE(text.find("engine_requests_total"), std::string::npos);
+  EXPECT_NE(text.find("# timeseries end"), std::string::npos);
+
+  // Watchdog verdict rides along in stats --json.
+  std::istringstream stats_script("stats --json\n");
+  std::ostringstream stats_out;
+  run_serve(stats_script, stats_out, engine);
+  EXPECT_NE(stats_out.str().find("\"watchdog\":{\"stalls_total\":0"),
+            std::string::npos);
+}
+
+TEST(ProtocolTelemetry, TimeseriesErrorsWhenTelemetryOff) {
+  ServiceConfig config;
+  config.threads = 1;
+  SolveService engine(config);
+  std::istringstream script("timeseries\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(script, out, engine).protocol_errors, 1u);
   EXPECT_NE(out.str().find("telemetry disabled"), std::string::npos);
 }
 

@@ -4,7 +4,9 @@
 # reuse on a bound sweep, then smoke-test the distributed solve fabric
 # with three real prts_cli processes on loopback — including hot-entry
 # replication, telemetry scrapes (prometheus exposition from every rank,
-# monotone counters, a cross-rank trace) and killing a rank mid-run.
+# monotone counters, a cross-rank trace), killing a rank mid-run, and an
+# open-loop SLO smoke (watch-mode scrape deltas, 5s of Poisson load with
+# another mid-run rank kill, watchdog verdict asserted clean).
 #
 #   tools/ci.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug tools/ci.sh
@@ -242,6 +244,53 @@ kill "$PID1" && wait "$PID1" 2>/dev/null || true
   echo "stats"
 } >&8
 wait_reply_lines "$FAB/out0" 88
+
+# ---------------------------------------------------------------------------
+# Open-loop SLO smoke: ranks 0 and 2 are still up (rank 1 is dead).
+# First a watch-mode scrape of rank 0 — two iterations, counter deltas,
+# nonzero exit on any malformed exposition line. Then 5 seconds of
+# open-loop Poisson load through the wire pool against ranks 0 and 2,
+# with rank 2 killed mid-run: the SLO report must still be emitted and
+# pass (generous bounds — the pool fails over, the router degrades to
+# local solving), with zero stuck waiters, and afterwards rank 0's
+# watchdog must report zero stall episodes.
+# ---------------------------------------------------------------------------
+"$CLI" scrape "127.0.0.1:$P0" --watch 1 --count 2 > "$FAB/watch0.txt" ||
+  { echo "FAIL: watch-mode scrape of rank 0 failed" >&2; exit 1; }
+grep -q '# scrape delta' "$FAB/watch0.txt" ||
+  { echo "FAIL: watch-mode scrape printed no delta report" >&2; exit 1; }
+
+( sleep 2; kill "$PID2" 2>/dev/null ) &
+KILLER=$!
+"$CLI" loadgen --targets "127.0.0.1:$P0,127.0.0.1:$P2" \
+    --rate 100 --duration 5 --seed 11 --keys 8 \
+    --record "$FAB/openloop_trace.txt" \
+    --slo "p99<=5s;error_rate<=0.05" --out "$FAB/openloop.json" ||
+  { echo "FAIL: open-loop run missed its SLO or left stuck waiters" >&2
+    cat "$FAB/openloop.json" 2>/dev/null >&2; exit 1; }
+wait "$KILLER" 2>/dev/null || true
+[ -s "$FAB/openloop.json" ] ||
+  { echo "FAIL: loadgen emitted no SLO report" >&2; exit 1; }
+grep -q '"unresolved":0' "$FAB/openloop.json" ||
+  { echo "FAIL: open-loop run left stuck waiters" >&2; exit 1; }
+grep -q '"slo":{"pass":true' "$FAB/openloop.json" ||
+  { echo "FAIL: SLO verdict missing or failing in report" >&2; exit 1; }
+[ -s "$FAB/openloop_trace.txt" ] &&
+  grep -q '^prts-load-trace v1' "$FAB/openloop_trace.txt" ||
+  { echo "FAIL: recorded arrival trace missing or malformed" >&2; exit 1; }
+
+# Rank 0 took the whole storm (forwards to two dead peers included)
+# without any component stalling.
+echo "stats --json" >&8
+for _ in $(seq 1 100); do
+  grep -q '"watchdog"' "$FAB/out0" && break
+  sleep 0.05
+done
+grep -q '"watchdog":{"stalls_total":0' "$FAB/out0" ||
+  { echo "FAIL: watchdog reported stalls on rank 0" >&2; exit 1; }
+echo "open-loop smoke test OK: $(grep -o '"offered_rate":[0-9.]*' \
+    "$FAB/openloop.json"), $(grep -o '"answered":[0-9]*' "$FAB/openloop.json")"
+
 exec 8>&- 9>&-
 wait "$PID0" || { echo "FAIL: rank 0 exited non-zero" >&2; exit 1; }
 kill "$PID2" 2>/dev/null || true

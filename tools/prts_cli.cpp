@@ -53,10 +53,32 @@
 //       metrics registry + request tracer, see src/obs/) reachable via
 //       the protocol's `stats --json` / `metrics` / `trace <id>` /
 //       `traces` / `slowlog` commands and the fabric's kMetricsRequest
-//       frame; --slow-ms logs traces slower than MS ms to stderr
-//   prts_cli scrape HOST:PORT
-//       fetch one prometheus text exposition from a running serve rank
-//       (its --listen port) and print it on stdout
+//       frame; --slow-ms logs traces slower than MS ms to stderr;
+//       --flight-interval S sets the flight-recorder tick period
+//       (default 1s, 0 disables; window via the `timeseries` command)
+//       and --stall-ms MS the watchdog stall threshold (default 2000,
+//       0 disables; verdict in `stats --json` under "watchdog")
+//   prts_cli scrape HOST:PORT [--watch S] [--count N]
+//       fetch prometheus text expositions from a running serve rank
+//       (its --listen port). One shot by default; --watch S re-scrapes
+//       every S seconds (N times with --count, forever without) and
+//       prints counter deltas between scrapes. Exits nonzero on a
+//       malformed exposition line or a counter that went backwards.
+//   prts_cli loadgen --targets h:p[,h:p...] [--rate R] [--duration S]
+//       [--process poisson|bursty|uniform] [--seed S] [--keys K]
+//       [--zipf Z] [--mix name:w,name:w] [--tasks N] [--procs P]
+//       [--connections C] [--record PATH] [--replay PATH] [--slo SPEC]
+//       [--out PATH] [--search] [--min-rate R] [--max-rate R]
+//       [--step-duration S]
+//       open-loop load against running serve ranks: arrivals fire at
+//       their scheduled instants regardless of completions, latency is
+//       measured from the scheduled arrival (queueing honesty under
+//       overload). --record/--replay round-trip the deterministic
+//       arrival trace; --slo (e.g. "p99<=50ms;error_rate<=0.01") turns
+//       the run into a pass/fail check; --search steps the rate to find
+//       the max sustainable throughput at the SLO. Emits a JSON report
+//       (stdout or --out); exit 0 iff the SLO held and nothing was left
+//       unresolved.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -90,6 +112,9 @@
 #include "scenario/campaign.hpp"
 #include "scenario/emit.hpp"
 #include "scenario/spec.hpp"
+#include "load/arrivals.hpp"
+#include "load/generator.hpp"
+#include "load/slo.hpp"
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
 #include "obs/trace.hpp"
@@ -563,6 +588,27 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   telemetry.rank = static_cast<int>(rank);
   config.telemetry = &telemetry;
 
+  // Flight recorder + stall watchdog ride the telemetry object, so
+  // their threads stop in ~Telemetry after everything they observe has
+  // been torn down.
+  const double flight_interval = flags.number("flight-interval", 1.0);
+  const double stall_ms = flags.number("stall-ms", 2000);
+  if (flight_interval < 0 || stall_ms < 0) {
+    std::cerr << "--flight-interval and --stall-ms must be >= 0\n";
+    return 2;
+  }
+  if (flight_interval > 0) {
+    obs::FlightRecorderConfig recorder_config;
+    recorder_config.interval_seconds = flight_interval;
+    telemetry.recorder.configure(recorder_config);
+    telemetry.recorder.start();
+  }
+  if (stall_ms > 0) {
+    obs::WatchdogConfig watchdog_config;
+    watchdog_config.stall_threshold_seconds = stall_ms / 1e3;
+    telemetry.watchdog.start(watchdog_config);
+  }
+
   // Open the request stream before constructing the service, so an
   // error exit never abandons live worker threads.
   std::ifstream request_file;
@@ -637,7 +683,8 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
         port,
         service::make_fabric_handler(
             engine, [&router_ptr] { return router_ptr.load(); }),
-        *server_pool, net::kDefaultMaxPayload, &telemetry.metrics);
+        *server_pool, net::kDefaultMaxPayload, &telemetry.metrics,
+        &telemetry.watchdog);
     if (!server) {
       std::cerr << "cannot listen on port " << port << "\n";
       return 1;
@@ -706,25 +753,287 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   return result.protocol_errors == 0 ? 0 : 1;
 }
 
-/// One kMetricsRequest exchange against a running serve rank; the
-/// prometheus text lands on stdout (monitoring's stream), diagnostics
-/// on stderr.
-int cmd_scrape(const std::string& target) {
+/// Validates one prometheus exposition line (sample lines only; '#'
+/// comments pass). On success fills name (including any {labels}) and
+/// value.
+bool parse_exposition_line(const std::string& line, std::string& name,
+                           double& value) {
+  std::size_t pos = 0;
+  const auto name_char = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    return first ? alpha : alpha || (c >= '0' && c <= '9');
+  };
+  if (line.empty() || !name_char(line[0], true)) return false;
+  while (pos < line.size() && name_char(line[pos], pos == 0)) ++pos;
+  std::size_t name_end = pos;
+  if (pos < line.size() && line[pos] == '{') {
+    const std::size_t close = line.find('}', pos);
+    if (close == std::string::npos) return false;
+    name_end = close + 1;
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  name = line.substr(0, name_end);
+  const std::string value_text = line.substr(pos + 1);
+  if (value_text.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(value_text.c_str(), &end);
+  return end == value_text.c_str() + value_text.size();
+}
+
+/// kMetricsRequest exchanges against a running serve rank; prometheus
+/// text lands on stdout (monitoring's stream), diagnostics on stderr.
+/// --watch S repeats every S seconds printing counter deltas; any
+/// malformed sample line or backwards counter makes the exit nonzero.
+int cmd_scrape(const std::string& target, const Flags& flags) {
   const auto parsed = service::parse_peer_list(target);
   if (!parsed || parsed->size() != 1) {
     std::cerr << "scrape needs one HOST:PORT target\n";
     return 2;
   }
-  net::FrameClient client((*parsed)[0].host, (*parsed)[0].port);
-  net::Frame request;
-  request.type = net::FrameType::kMetricsRequest;
-  const auto reply = client.call(request);
-  if (!reply || reply->type != net::FrameType::kMetricsReply) {
-    std::cerr << "scrape: no metrics reply from " << target << "\n";
-    return 1;
+  const double watch = flags.number("watch", 0);
+  if (watch < 0) {
+    std::cerr << "--watch must be >= 0\n";
+    return 2;
   }
-  std::cout << reply->payload;
-  return 0;
+  // Default: one scrape normally, forever under --watch.
+  const auto count = static_cast<std::size_t>(
+      flags.number("count", watch > 0 ? 0 : 1));
+
+  net::FrameClient client((*parsed)[0].host, (*parsed)[0].port);
+  std::map<std::string, double> previous;
+  bool backwards = false;
+  for (std::size_t iteration = 0; count == 0 || iteration < count;
+       ++iteration) {
+    if (iteration > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(watch));
+    }
+    net::Frame request;
+    request.type = net::FrameType::kMetricsRequest;
+    const auto reply = client.call(request);
+    if (!reply || reply->type != net::FrameType::kMetricsReply) {
+      std::cerr << "scrape: no metrics reply from " << target << "\n";
+      return 1;
+    }
+    std::map<std::string, double> samples;
+    std::istringstream lines(reply->payload);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(lines, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::string name;
+      double value = 0.0;
+      if (!parse_exposition_line(line, name, value)) {
+        std::cerr << "scrape: malformed exposition line " << lineno << ": "
+                  << line << "\n";
+        return 1;
+      }
+      samples[name] = value;
+    }
+    if (iteration == 0) {
+      std::cout << reply->payload;
+      std::cout.flush();
+    } else {
+      // Counter deltas only (monotone families); gauges move freely.
+      std::cout << "# scrape delta " << iteration << "\n";
+      for (const auto& [name, value] : samples) {
+        if (name.find("_total") == std::string::npos) continue;
+        const auto it = previous.find(name);
+        const double before = it == previous.end() ? 0.0 : it->second;
+        if (value < before) {
+          std::cerr << "scrape: counter went backwards: " << name << " "
+                    << before << " -> " << value << "\n";
+          backwards = true;
+        }
+        if (value != before) {
+          std::cout << name << " +" << (value - before) << "\n";
+        }
+      }
+      std::cout.flush();
+    }
+    previous = std::move(samples);
+  }
+  return backwards ? 1 : 0;
+}
+
+/// Open-loop load against running serve ranks; see the usage block.
+int cmd_loadgen(const Flags& flags) {
+  const auto targets_text = flags.get("targets");
+  const auto parsed_targets = service::parse_peer_list(targets_text);
+  if (!parsed_targets || parsed_targets->empty()) {
+    std::cerr << "loadgen needs --targets HOST:PORT[,HOST:PORT...]\n";
+    return 2;
+  }
+
+  load::ArrivalConfig arrivals;
+  arrivals.rate = flags.number("rate", 50);
+  arrivals.duration_seconds = flags.number("duration", 5);
+  arrivals.seed = static_cast<std::uint64_t>(flags.number("seed", 1));
+  arrivals.key_count = static_cast<std::size_t>(flags.number("keys", 16));
+  arrivals.zipf_s = flags.number("zipf", 1.1);
+  arrivals.bounds_per_key =
+      static_cast<std::size_t>(flags.number("bounds-per-key", 4));
+  if (!parse_process(flags.get("process", "poisson"), arrivals.process)) {
+    std::cerr << "loadgen: unknown --process (poisson|bursty|uniform)\n";
+    return 2;
+  }
+  if (flags.has("mix")) {
+    arrivals.solver_mix.clear();
+    std::stringstream mix(flags.get("mix"));
+    std::string entry;
+    while (std::getline(mix, entry, ',')) {
+      const std::size_t colon = entry.find(':');
+      if (colon == std::string::npos) {
+        std::cerr << "loadgen: --mix wants name:weight,name:weight\n";
+        return 2;
+      }
+      arrivals.solver_mix.emplace_back(entry.substr(0, colon),
+                                       std::stod(entry.substr(colon + 1)));
+    }
+  }
+
+  // Instance corpus: one deterministic random chain per key, sized by
+  // --tasks/--procs. Small defaults keep individual solves cheap so the
+  // interesting signal is queueing, not raw solver cost.
+  const auto tasks = static_cast<std::size_t>(flags.number("tasks", 10));
+  const auto procs = static_cast<std::size_t>(flags.number("procs", 4));
+  std::vector<Instance> instances;
+  for (std::size_t k = 0; k < arrivals.key_count; ++k) {
+    Rng rng(9000 + k);
+    ChainConfig chain_config;
+    chain_config.task_count = tasks;
+    instances.push_back(Instance{
+        random_chain(rng, chain_config),
+        Platform::homogeneous(procs, paper::kHomSpeed,
+                              paper::kProcessorFailureRate, paper::kBandwidth,
+                              paper::kLinkFailureRate,
+                              paper::kMaxReplication)});
+  }
+
+  load::SloSpec slo;
+  if (flags.has("slo")) {
+    std::string error;
+    if (!load::parse_slo(flags.get("slo"), slo, &error)) {
+      std::cerr << "loadgen: " << error << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<load::WirePool::Target> targets;
+  for (const auto& peer : *parsed_targets) {
+    targets.push_back(load::WirePool::Target{peer.host, peer.port});
+  }
+  load::WirePool pool(
+      targets, static_cast<std::size_t>(flags.number("connections", 2)));
+
+  std::ofstream out_file;
+  if (flags.has("out")) {
+    out_file.open(flags.get("out"));
+    if (!out_file) {
+      std::cerr << "loadgen: cannot write '" << flags.get("out") << "'\n";
+      return 1;
+    }
+  }
+  std::ostream& report = flags.has("out") ? out_file : std::cout;
+
+  const auto print_latency = [&](std::ostream& out,
+                                 const load::RunResult& result) {
+    out << "{\"p50\":" << result.quantile(0.50)
+        << ",\"p90\":" << result.quantile(0.90)
+        << ",\"p99\":" << result.quantile(0.99)
+        << ",\"p999\":" << result.quantile(0.999)
+        << ",\"mean\":" << result.mean_latency() << "}";
+  };
+  const auto print_run = [&](std::ostream& out,
+                             const load::RunResult& result) {
+    out << "\"submitted\":" << result.submitted
+        << ",\"answered\":" << result.answered
+        << ",\"rejected\":" << result.rejected
+        << ",\"errors\":" << result.errors
+        << ",\"unresolved\":" << result.unresolved
+        << ",\"offered_rate\":" << result.offered_rate
+        << ",\"achieved_rate\":" << result.achieved_rate
+        << ",\"wall_seconds\":" << result.wall_seconds << ",\"latency\":";
+    print_latency(out, result);
+  };
+
+  if (flags.has("search")) {
+    if (slo.empty()) {
+      std::cerr << "loadgen: --search requires --slo\n";
+      return 2;
+    }
+    load::SearchOptions search_options;
+    search_options.min_rate = flags.number("min-rate", 25);
+    search_options.max_rate = flags.number("max-rate", 1600);
+    const double step_duration =
+        flags.number("step-duration", arrivals.duration_seconds);
+    const auto run_at = [&](double rate) {
+      load::ArrivalConfig step = arrivals;
+      step.rate = rate;
+      step.duration_seconds = step_duration;
+      std::cerr << "# loadgen step rate=" << rate << "\n";
+      return load::run_open_loop(load::generate_arrivals(step), instances,
+                                 pool.submit_fn());
+    };
+    const load::SearchResult search =
+        load::max_sustainable_rate(run_at, slo, search_options);
+    report << "{\"mode\":\"search\",\"sustainable_rps_at_slo\":"
+           << search.sustainable_rate << ",\"steps\":[";
+    bool first = true;
+    for (const load::StepOutcome& step : search.steps) {
+      if (!first) report << ",";
+      first = false;
+      report << "{\"rate\":" << step.rate
+             << ",\"pass\":" << (step.pass ? "true" : "false")
+             << ",\"submitted\":" << step.submitted
+             << ",\"answered\":" << step.answered
+             << ",\"rejected\":" << step.rejected
+             << ",\"errors\":" << step.errors
+             << ",\"unresolved\":" << step.unresolved
+             << ",\"p50\":" << step.p50 << ",\"p99\":" << step.p99
+             << ",\"slo\":";
+      load::write_slo_json(report, step.report);
+      report << "}";
+    }
+    report << "]}\n";
+    return search.sustainable_rate > 0.0 ? 0 : 1;
+  }
+
+  // Single run: generate (or replay) one trace, optionally record it.
+  load::LoadTrace trace;
+  if (flags.has("replay")) {
+    std::ifstream in(flags.get("replay"));
+    std::string error;
+    if (!in || !load::read_trace(in, trace, &error)) {
+      std::cerr << "loadgen: cannot replay '" << flags.get("replay")
+                << "': " << (error.empty() ? "cannot open" : error) << "\n";
+      return 1;
+    }
+  } else {
+    trace = load::generate_arrivals(arrivals);
+  }
+  if (flags.has("record")) {
+    std::ofstream record(flags.get("record"));
+    if (!record) {
+      std::cerr << "loadgen: cannot write '" << flags.get("record") << "'\n";
+      return 1;
+    }
+    load::write_trace(record, trace);
+  }
+
+  const load::RunResult result =
+      load::run_open_loop(trace, instances, pool.submit_fn());
+  const load::SloReport verdict = load::evaluate_slo(slo, result);
+  report << "{\"mode\":\"single\",";
+  print_run(report, result);
+  if (!slo.empty()) {
+    report << ",\"slo\":";
+    load::write_slo_json(report, verdict);
+  }
+  report << "}\n";
+  return verdict.pass && result.unresolved == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -732,7 +1041,7 @@ int cmd_scrape(const std::string& target) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: prts_cli generate|solve|evaluate|simulate|dot|"
-                 "trace|solvers|campaign|serve|scrape ...\n";
+                 "trace|solvers|campaign|serve|scrape|loadgen ...\n";
     return 2;
   }
   const std::string command = argv[1];
@@ -752,11 +1061,18 @@ int main(int argc, char** argv) {
     return cmd_serve(has_path ? argv[2] : "-", flags);
   }
   if (command == "scrape") {
-    if (argc != 3) {
-      std::cerr << "usage: prts_cli scrape HOST:PORT\n";
+    const bool has_target = argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
+    if (!has_target) {
+      std::cerr << "usage: prts_cli scrape HOST:PORT [--watch S] "
+                   "[--count N]\n";
       return 2;
     }
-    return cmd_scrape(argv[2]);
+    const Flags flags(argc, argv, 3);
+    return cmd_scrape(argv[2], flags);
+  }
+  if (command == "loadgen") {
+    const Flags flags(argc, argv, 2);
+    return cmd_loadgen(flags);
   }
   const Flags flags(argc, argv, 2);
   if (command == "generate") return cmd_generate(flags);
