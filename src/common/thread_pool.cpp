@@ -21,7 +21,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     if (stopping_) return;  // idempotent (second call, or after dtor race)
     stopping_ = true;
   }
@@ -34,7 +34,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> result = packaged.get_future();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     if (stopping_) {
       // Submit-after-shutdown used to be undefined behavior (a task
       // pushed on a drained queue with no workers); report it through
@@ -54,7 +54,7 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock<obs::ProfiledMutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profiler.hpp"
+
 namespace prts {
 
 /// Fixed-size pool of worker threads consuming a shared FIFO task queue.
@@ -47,13 +49,21 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Attaches a contention probe to the queue mutex (see
+  /// obs::ProfiledMutex). The probe must outlive the pool; nullptr
+  /// detaches.
+  void attach_mutex_probe(const obs::ProfiledMutex::Probe* probe) noexcept {
+    mutex_.attach(probe);
+  }
+
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  obs::ProfiledMutex mutex_;
+  /// _any: the queue mutex is a ProfiledMutex, not std::mutex.
+  std::condition_variable_any cv_;
   bool stopping_ = false;
 };
 

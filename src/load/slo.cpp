@@ -28,47 +28,85 @@ bool known_metric(const std::string& metric) {
 
 }  // namespace
 
+bool parse_comparison(const std::string& text, Comparison& comparison,
+                      std::string* error) {
+  comparison = Comparison{};
+  // Trim surrounding whitespace.
+  const auto begin = text.find_first_not_of(" \t");
+  if (begin == std::string::npos) return fail(error, "empty comparison");
+  const std::string part =
+      text.substr(begin, text.find_last_not_of(" \t") - begin + 1);
+
+  // Two-character operators first so "<=" is not read as "<".
+  std::size_t at = std::string::npos;
+  std::size_t op_len = 0;
+  for (const char* op : {"<=", ">=", "<", ">"}) {
+    at = part.find(op);
+    if (at != std::string::npos) {
+      op_len = std::char_traits<char>::length(op);
+      break;
+    }
+  }
+  if (at == std::string::npos || at == 0) {
+    return fail(error, "missing comparison operator in '" + part + "'");
+  }
+  comparison.metric = part.substr(0, at);
+  comparison.op = part.substr(at, op_len);
+
+  std::string bound_text = part.substr(at + op_len);
+  double scale = 1.0;
+  if (bound_text.size() > 2 &&
+      bound_text.compare(bound_text.size() - 2, 2, "ms") == 0) {
+    scale = 1e-3;
+    bound_text.resize(bound_text.size() - 2);
+  } else if (bound_text.size() > 2 &&
+             bound_text.compare(bound_text.size() - 2, 2, "us") == 0) {
+    scale = 1e-6;
+    bound_text.resize(bound_text.size() - 2);
+  } else if (bound_text.size() > 1 && bound_text.back() == 's') {
+    bound_text.pop_back();
+  }
+  double value = 0.0;
+  if (!parse_canonical_number(bound_text, value) || std::isnan(value)) {
+    return fail(error, "bad bound '" + part.substr(at + op_len) + "'");
+  }
+  comparison.bound = value * scale;
+  return true;
+}
+
+bool comparison_holds(double value, const std::string& op,
+                      double bound) noexcept {
+  if (op == "<=") return value <= bound;
+  if (op == ">=") return value >= bound;
+  if (op == "<") return value < bound;
+  if (op == ">") return value > bound;
+  return false;
+}
+
 bool parse_slo(const std::string& text, SloSpec& spec, std::string* error) {
   spec = SloSpec{};
   std::stringstream parts(text);
   std::string part;
   while (std::getline(parts, part, ';')) {
-    // Trim surrounding whitespace.
-    const auto begin = part.find_first_not_of(" \t");
-    if (begin == std::string::npos) continue;
-    part = part.substr(begin, part.find_last_not_of(" \t") - begin + 1);
-
-    const std::size_t op = part.find("<=");
-    if (op == std::string::npos) {
+    if (part.find_first_not_of(" \t") == std::string::npos) continue;
+    Comparison comparison;
+    std::string why;
+    if (!parse_comparison(part, comparison, &why)) {
+      return fail(error, "slo: " + why);
+    }
+    // An SLO is a promise that bad things stay below a line: only "<="
+    // makes sense, and only over the run-report metric set.
+    if (comparison.op != "<=") {
       return fail(error, "slo: missing '<=' in '" + part + "'");
     }
-    SloCriterion criterion;
-    criterion.metric = part.substr(0, op);
-    if (!known_metric(criterion.metric)) {
-      return fail(error, "slo: unknown metric '" + criterion.metric + "'");
+    if (!known_metric(comparison.metric)) {
+      return fail(error, "slo: unknown metric '" + comparison.metric + "'");
     }
-    std::string bound_text = part.substr(op + 2);
-    double scale = 1.0;
-    if (is_latency_metric(criterion.metric)) {
-      if (bound_text.size() > 2 &&
-          bound_text.compare(bound_text.size() - 2, 2, "ms") == 0) {
-        scale = 1e-3;
-        bound_text.resize(bound_text.size() - 2);
-      } else if (bound_text.size() > 2 &&
-                 bound_text.compare(bound_text.size() - 2, 2, "us") == 0) {
-        scale = 1e-6;
-        bound_text.resize(bound_text.size() - 2);
-      } else if (bound_text.size() > 1 && bound_text.back() == 's') {
-        bound_text.pop_back();
-      }
+    if (comparison.bound < 0.0) {
+      return fail(error, "slo: bad bound in '" + part + "'");
     }
-    double value = 0.0;
-    if (!parse_canonical_number(bound_text, value) || value < 0.0 ||
-        std::isnan(value)) {
-      return fail(error, "slo: bad bound '" + part.substr(op + 2) + "'");
-    }
-    criterion.bound = value * scale;
-    spec.criteria.push_back(std::move(criterion));
+    spec.criteria.push_back(
+        SloCriterion{std::move(comparison.metric), comparison.bound});
   }
   if (spec.criteria.empty()) return fail(error, "slo: empty spec");
   return true;

@@ -26,6 +26,26 @@
 
 namespace prts::load {
 
+/// One parsed "metric OP bound[suffix]" clause — the comparison grammar
+/// shared by SLO criteria (restricted to "<=") and the alert rules in
+/// src/obs/alerts.hpp (any op). ms/us/s suffixes on the bound scale it
+/// into seconds.
+struct Comparison {
+  std::string metric;
+  std::string op;  ///< one of "<=", ">=", "<", ">"
+  double bound = 0.0;
+};
+
+/// Parses one comparison clause. Returns false (setting `error` when
+/// given) on a missing operator or malformed bound; metric names are
+/// not validated here — callers own their metric namespace.
+bool parse_comparison(const std::string& text, Comparison& comparison,
+                      std::string* error = nullptr);
+
+/// Evaluates `value OP bound`; false on an unknown operator string.
+bool comparison_holds(double value, const std::string& op,
+                      double bound) noexcept;
+
 struct SloCriterion {
   std::string metric;  ///< p50|p90|p99|p999|mean|error_rate|reject_rate
   double bound = 0.0;  ///< seconds for latency metrics, fraction for rates

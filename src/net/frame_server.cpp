@@ -13,17 +13,19 @@ std::unique_ptr<FrameServer> FrameServer::start(std::uint16_t port,
                                                 ThreadPool& pool,
                                                 std::size_t max_payload,
                                                 obs::Registry* metrics,
-                                                obs::Watchdog* watchdog) {
+                                                obs::Watchdog* watchdog,
+                                                obs::Profiler* profiler) {
   auto listener = Listener::open(port);
   if (!listener) return nullptr;
   return std::unique_ptr<FrameServer>(
       new FrameServer(std::move(*listener), std::move(handler), pool,
-                      max_payload, metrics, watchdog));
+                      max_payload, metrics, watchdog, profiler));
 }
 
 FrameServer::FrameServer(Listener listener, FrameHandler handler,
                          ThreadPool& pool, std::size_t max_payload,
-                         obs::Registry* metrics, obs::Watchdog* watchdog)
+                         obs::Registry* metrics, obs::Watchdog* watchdog,
+                         obs::Profiler* profiler)
     : listener_(std::move(listener)),
       handler_(std::move(handler)),
       pool_(pool),
@@ -37,6 +39,9 @@ FrameServer::FrameServer(Listener listener, FrameHandler handler,
           metrics ? &metrics->counter("net_server_protocol_errors_total")
                   : nullptr),
       heartbeat_(watchdog ? &watchdog->component("frame_server") : nullptr),
+      profiler_(profiler),
+      handler_component_(profiler ? &profiler->component("frame_handler")
+                                  : nullptr),
       accept_thread_([this] { accept_loop(); }) {}
 
 FrameServer::~FrameServer() { stop(); }
@@ -92,6 +97,8 @@ void FrameServer::serve_connection(
       // Load brackets the handler call: a frame stuck inside the
       // handler keeps load > 0, so a silent wedge ages into a stall.
       if (heartbeat_) heartbeat_->add_load(1);
+      std::optional<obs::ScopedSample> handler_sample;
+      if (profiler_ && profiler_->enabled()) handler_sample.emplace();
       std::optional<Frame> reply;
       try {
         reply = handler_(request);
@@ -113,6 +120,9 @@ void FrameServer::serve_connection(
           heartbeat_->beat();
         }
         break;
+      }
+      if (handler_sample) {
+        obs::Profiler::record(*handler_component_, handler_sample->finish());
       }
       if (heartbeat_) {
         heartbeat_->add_load(-1);

@@ -28,6 +28,7 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/watchdog.hpp"
 
 namespace prts::net {
@@ -54,11 +55,15 @@ class FrameServer {
   /// server registers a "frame_server" heartbeat: load tracks frames
   /// currently inside the handler, beats mark accepts and handled
   /// frames — a handler wedged on a dead peer shows up as a stall.
+  /// When `profiler` is set every handler invocation is sampled into
+  /// the "frame_handler" component (cpu/wall/alloc attribution of peer
+  /// traffic).
   static std::unique_ptr<FrameServer> start(
       std::uint16_t port, FrameHandler handler, ThreadPool& pool,
       std::size_t max_payload = kDefaultMaxPayload,
       obs::Registry* metrics = nullptr,
-      obs::Watchdog* watchdog = nullptr);
+      obs::Watchdog* watchdog = nullptr,
+      obs::Profiler* profiler = nullptr);
 
   ~FrameServer();
 
@@ -77,7 +82,7 @@ class FrameServer {
  private:
   FrameServer(Listener listener, FrameHandler handler, ThreadPool& pool,
               std::size_t max_payload, obs::Registry* metrics,
-              obs::Watchdog* watchdog);
+              obs::Watchdog* watchdog, obs::Profiler* profiler);
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<Socket>& socket_ptr);
@@ -99,6 +104,9 @@ class FrameServer {
   obs::Counter* protocol_errors_counter_ = nullptr;
   /// "frame_server" liveness handle; null when no watchdog was given.
   obs::Heartbeat* heartbeat_ = nullptr;
+  /// "frame_handler" profile component; null when no profiler was given.
+  obs::Profiler* profiler_ = nullptr;
+  obs::Profiler::Component* handler_component_ = nullptr;
   std::thread accept_thread_;
 };
 

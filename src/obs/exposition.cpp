@@ -1,0 +1,90 @@
+#include "obs/exposition.hpp"
+
+#include <cstdlib>
+
+namespace prts::obs {
+
+bool parse_exposition_line(const std::string& line, std::string& name,
+                           double& value) {
+  std::size_t pos = 0;
+  const auto name_char = [](char c, bool first) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    return first ? alpha : alpha || (c >= '0' && c <= '9');
+  };
+  if (line.empty() || !name_char(line[0], true)) return false;
+  while (pos < line.size() && name_char(line[pos], pos == 0)) ++pos;
+  std::size_t name_end = pos;
+  if (pos < line.size() && line[pos] == '{') {
+    const std::size_t close = line.find('}', pos);
+    if (close == std::string::npos) return false;
+    name_end = close + 1;
+    pos = close + 1;
+  }
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  name = line.substr(0, name_end);
+  const std::string value_text = line.substr(pos + 1);
+  if (value_text.empty()) return false;
+  char* end = nullptr;
+  value = std::strtod(value_text.c_str(), &end);
+  return end == value_text.c_str() + value_text.size();
+}
+
+namespace {
+
+constexpr const char* kStartTimeGauge = "process_start_time_seconds";
+
+bool is_counter(const std::string& name) {
+  return name.find("_total") != std::string::npos;
+}
+
+}  // namespace
+
+ScrapeDeltaTracker::Result ScrapeDeltaTracker::feed(
+    const std::map<std::string, double>& samples) {
+  Result result;
+  if (!have_previous_) {
+    result.first = true;
+    previous_ = samples;
+    have_previous_ = true;
+    return result;
+  }
+
+  // A restart is only credible when the start-time gauge actually
+  // moved; a missing gauge on either side leaves lower counters as
+  // errors (better a false alarm than silently eating a corruption).
+  bool any_lower = false;
+  for (const auto& [name, value] : samples) {
+    if (!is_counter(name)) continue;
+    const auto it = previous_.find(name);
+    if (it != previous_.end() && value < it->second) {
+      any_lower = true;
+      break;
+    }
+  }
+  if (any_lower) {
+    const auto now_it = samples.find(kStartTimeGauge);
+    const auto before_it = previous_.find(kStartTimeGauge);
+    if (now_it != samples.end() && before_it != previous_.end() &&
+        now_it->second != before_it->second) {
+      result.restart = true;
+    }
+  }
+
+  for (const auto& [name, value] : samples) {
+    if (!is_counter(name)) continue;
+    const auto it = previous_.find(name);
+    const double before =
+        result.restart || it == previous_.end() ? 0.0 : it->second;
+    if (value < before) {
+      result.backwards.push_back(name);
+      continue;
+    }
+    if (value != before) result.deltas.push_back(Delta{name, value - before});
+  }
+
+  previous_ = samples;
+  return result;
+}
+
+}  // namespace prts::obs

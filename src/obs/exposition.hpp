@@ -1,0 +1,64 @@
+// Exposition-side helpers (src/obs/): the consumer half of the
+// prometheus text format that write_prometheus() produces. A scraper
+// needs two things a registry never does: to validate sample lines it
+// did not render itself, and to turn successive cumulative scrapes into
+// per-interval counter deltas without crying wolf when the target
+// restarted.
+//
+// The restart case is the subtle one. A counter that reads lower than
+// last scrape is either corruption (a real monotonicity bug worth a
+// nonzero exit) or a process restart (counters legitimately back to
+// zero). The two are distinguished by process_start_time_seconds: every
+// Telemetry stamps it at construction, so a fresh value alongside lower
+// counters means "new process, new baseline", while lower counters
+// under an unchanged start time is an error. ScrapeDeltaTracker
+// encapsulates exactly that verdict so prts_cli and tests share it.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prts::obs {
+
+/// Validates one prometheus exposition sample line. Returns false for
+/// malformed lines; '#' comments and blank lines are NOT accepted here
+/// (the caller skips them — this validates samples only). On success
+/// fills `name` (including any {labels} block verbatim) and `value`.
+bool parse_exposition_line(const std::string& line, std::string& name,
+                           double& value);
+
+/// Turns successive cumulative scrapes of one target into counter
+/// deltas, with restart detection keyed on process_start_time_seconds.
+class ScrapeDeltaTracker {
+ public:
+  struct Delta {
+    std::string name;
+    double value = 0.0;  ///< increment since the previous scrape
+  };
+
+  struct Result {
+    /// First scrape ever seen: no baseline, no deltas.
+    bool first = false;
+    /// The target restarted between scrapes (counters reset AND
+    /// process_start_time_seconds changed). Deltas are computed from a
+    /// zero baseline — the new process's counts are all new increments.
+    bool restart = false;
+    /// Counters that decreased without a restart: genuine monotonicity
+    /// violations. Empty on a healthy scrape.
+    std::vector<std::string> backwards;
+    /// Nonzero increments for *_total families, name-ordered.
+    std::vector<Delta> deltas;
+  };
+
+  /// Feeds the cumulative samples of one scrape and returns the verdict
+  /// against the previous one. The sample map becomes the new baseline
+  /// (after a restart, the baseline is the fresh process's samples).
+  Result feed(const std::map<std::string, double>& samples);
+
+ private:
+  std::map<std::string, double> previous_;
+  bool have_previous_ = false;
+};
+
+}  // namespace prts::obs

@@ -63,7 +63,7 @@ void FlightRecorder::tick_now() {
                             std::chrono::steady_clock::now() - started_at_)
                             .count();
 
-  const std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   Tick tick;
   tick.seq = total_ticks_++;
   tick.uptime_seconds = uptime;
@@ -92,8 +92,20 @@ void FlightRecorder::tick_now() {
   }
   previous_ = std::move(current);
   previous_uptime_ = uptime;
+  Tick completed = tick;
   ring_.push_back(std::move(tick));
   while (ring_.size() > config_.capacity) ring_.pop_front();
+  const auto observer = observer_;
+  lock.unlock();
+  // Outside the recorder lock: the observer (the alert engine) sets
+  // registry gauges and must not be able to deadlock against a
+  // concurrent recent()/configure().
+  if (observer) observer(completed);
+}
+
+void FlightRecorder::set_observer(std::function<void(const Tick&)> observer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  observer_ = std::move(observer);
 }
 
 std::vector<FlightRecorder::Tick> FlightRecorder::recent(

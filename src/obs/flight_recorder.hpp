@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -77,6 +78,11 @@ class FlightRecorder {
   /// Takes one tick immediately (also what the tick thread calls).
   void tick_now();
 
+  /// Called with a copy of every completed tick, outside the recorder's
+  /// lock (the observer may touch the registry). One observer; set
+  /// before start() — the alert engine hook in obs::Telemetry.
+  void set_observer(std::function<void(const Tick&)> observer);
+
   /// Oldest-first copies of the most recent `limit` ticks (the whole
   /// ring when limit == 0 or exceeds it).
   std::vector<Tick> recent(std::size_t limit = 0) const;
@@ -90,6 +96,7 @@ class FlightRecorder {
 
   mutable std::mutex mutex_;
   FlightRecorderConfig config_;
+  std::function<void(const Tick&)> observer_;
   RegistrySnapshot previous_;      ///< cumulative baseline of last tick
   double previous_uptime_ = 0.0;
   std::deque<Tick> ring_;          ///< oldest at front

@@ -170,4 +170,16 @@ std::uint64_t id_from_hex(const std::string& text) {
   return id;
 }
 
+
+void Telemetry::init() {
+  // Wall-clock birth time: a scraper comparing two expositions tells a
+  // counter reset apart from corruption by whether this moved.
+  metrics.gauge("process_start_time_seconds")
+      .set(std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+               .count());
+  recorder.set_observer(
+      [this](const FlightRecorder::Tick& tick) { alerts.evaluate(tick); });
+}
+
 }  // namespace prts::obs

@@ -24,8 +24,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/alerts.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/watchdog.hpp"
 
 namespace prts::obs {
@@ -38,6 +40,19 @@ struct Span {
   int rank = 0;
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
+  /// Profiler attribution (src/obs/profiler.hpp), all zero when the
+  /// profiler is off: thread-CPU seconds spent inside the span (so
+  /// duration - cpu = time the recording thread was blocked) and the
+  /// span's allocation bill.
+  double cpu_seconds = 0.0;
+  std::uint64_t alloc_count = 0;
+  std::uint64_t alloc_bytes = 0;
+
+  /// Time the recording thread spent off-CPU inside the span.
+  double blocked_seconds() const noexcept {
+    return duration_seconds > cpu_seconds ? duration_seconds - cpu_seconds
+                                          : 0.0;
+  }
 };
 
 /// A completed or in-flight request trace.
@@ -130,12 +145,30 @@ struct Telemetry {
   /// Per-component heartbeats + stall detection, mirrored into
   /// `metrics`. Inert (no thread) until watchdog.start().
   Watchdog watchdog{&metrics};
+  /// Dual-clock + allocation + contention attribution, accumulated
+  /// into `metrics` as profile_*/mutex_* families. On by default;
+  /// instrumented call sites check profiler.enabled() per request.
+  Profiler profiler{&metrics};
+  /// Alert rules over flight-recorder tick windows, mirrored into
+  /// `metrics` (alerts_firing + per-rule families). Evaluated on every
+  /// recorder tick via the observer hooked up below.
+  AlertEngine alerts{&metrics};
   /// Bounded ring of per-tick metric deltas (the `timeseries` protocol
   /// command). Inert until recorder.start() or a manual tick_now().
+  /// Declared after `alerts`: the tick thread calls into the alert
+  /// engine, so the recorder must be destroyed first.
   FlightRecorder recorder{&metrics};
 
-  Telemetry() = default;
-  explicit Telemetry(TracerConfig tracer_config) : tracer(tracer_config) {}
+  Telemetry() { init(); }
+  explicit Telemetry(TracerConfig tracer_config) : tracer(tracer_config) {
+    init();
+  }
+
+ private:
+  /// Shared constructor tail: stamps process_start_time_seconds (the
+  /// restart discriminator scrape --watch keys on) and routes recorder
+  /// ticks into the alert engine.
+  void init();
 };
 
 }  // namespace prts::obs

@@ -23,8 +23,11 @@ Heartbeat& Watchdog::component(const std::string& name,
     if (slot->name_ == name) {
       // Refresh: a revived component must not be flagged for the time
       // it spent dead, and its periodic expectation may have changed.
+      // The refresh beat spans the dead time — not a missed-beat
+      // episode, so the gap it records is discarded.
       slot->expected_interval_seconds_ = expected_interval_seconds;
       slot->beat();
+      slot->max_gap_ns_.store(0, std::memory_order_relaxed);
       return *slot;
     }
   }
@@ -53,6 +56,19 @@ std::vector<Stall> Watchdog::check() {
           std::max(config_.periodic_factor * hb.expected_interval_seconds_,
                    config_.stall_threshold_seconds);
       stalled = age > threshold;
+      // Missed-beat detection: the component froze longer than the
+      // threshold but recovered before this poll saw a stale age (a
+      // SIGSTOP'd process can't age its own heartbeat — the oversized
+      // gap its *next* beat records is the only evidence left). One
+      // fire-and-resolved episode; a stall counted the normal way
+      // already owns its recovery gap.
+      const double gap = static_cast<double>(components_[i]->max_gap_ns_.exchange(
+                             0, std::memory_order_relaxed)) /
+                         1e9;
+      if (!stalled && !stalled_[i] && gap > threshold) {
+        ++stalls_total_;
+        if (stalls_counter_) stalls_counter_->add();
+      }
     } else {
       stalled = load > 0 && age > config_.stall_threshold_seconds;
     }

@@ -44,9 +44,20 @@ namespace prts::obs {
 /// lifetime; all methods are lock-free.
 class Heartbeat {
  public:
-  /// Progress happened now.
+  /// Progress happened now. Also remembers the largest inter-beat gap
+  /// since the watchdog last looked: a periodic component that froze
+  /// and recovered *between* two monitor polls still shows up as a
+  /// missed-beat episode instead of racing the poll (see check()).
   void beat() noexcept {
-    last_beat_ns_.store(now_ns(), std::memory_order_relaxed);
+    const std::int64_t now = now_ns();
+    const std::int64_t previous =
+        last_beat_ns_.exchange(now, std::memory_order_relaxed);
+    if (previous == 0) return;  // registration beat: no gap yet
+    const std::int64_t gap = now - previous;
+    std::int64_t seen = max_gap_ns_.load(std::memory_order_relaxed);
+    while (gap > seen && !max_gap_ns_.compare_exchange_weak(
+                             seen, gap, std::memory_order_relaxed)) {
+    }
   }
 
   /// Outstanding work items (on-demand components are only expected to
@@ -83,6 +94,9 @@ class Heartbeat {
   std::string name_;
   double expected_interval_seconds_ = 0.0;  ///< > 0: periodic
   std::atomic<std::int64_t> last_beat_ns_{0};
+  /// Largest inter-beat gap since the last check(); read-and-reset by
+  /// the watchdog.
+  std::atomic<std::int64_t> max_gap_ns_{0};
   std::atomic<std::int64_t> load_{0};
 };
 

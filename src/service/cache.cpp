@@ -242,7 +242,7 @@ ShardedSolutionCache::ShardedSolutionCache(Config config)
 std::optional<CachedSolution> ShardedSolutionCache::lookup(
     const CanonicalHash& key) {
   Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -256,7 +256,7 @@ std::optional<CachedSolution> ShardedSolutionCache::lookup(
 std::optional<CachedSolution> ShardedSolutionCache::peek(
     const CanonicalHash& key) const {
   const Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return std::nullopt;
   return it->second->value;
@@ -265,7 +265,7 @@ std::optional<CachedSolution> ShardedSolutionCache::peek(
 std::optional<ShardedSolutionCache::EntrySummary>
 ShardedSolutionCache::peek_summary(const CanonicalHash& key) const {
   const Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) return std::nullopt;
   EntrySummary summary;
@@ -279,7 +279,7 @@ ShardedSolutionCache::peek_summary(const CanonicalHash& key) const {
 
 bool ShardedSolutionCache::contains(const CanonicalHash& key) const {
   const Shard& shard = shard_of(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
   return shard.index.count(key) > 0;
 }
 
@@ -318,7 +318,7 @@ void ShardedSolutionCache::insert(const CanonicalHash& key,
   const solver::Bounds bounds = indexable ? *value.bounds : solver::Bounds{};
   {
     Shard& shard = shard_of(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
     const auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.bytes -= it->second->bytes;
@@ -339,7 +339,7 @@ void ShardedSolutionCache::insert(const CanonicalHash& key,
   if (!indexable) return;
 
   NearShard& near = near_shard_of(instance_key);
-  const std::lock_guard<std::mutex> lock(near.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(near.mutex);
   std::vector<NearEntry>& entries = near.map[instance_key];
   for (const NearEntry& entry : entries) {
     // A request key is a function of (instance, solver, bounds): the
@@ -357,7 +357,7 @@ void ShardedSolutionCache::insert(const CanonicalHash& key,
 std::optional<CachedSolution> ShardedSolutionCache::find_dominating(
     const CanonicalHash& instance_key, const solver::Bounds& bounds) {
   NearShard& near = near_shard_of(instance_key);
-  const std::lock_guard<std::mutex> lock(near.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(near.mutex);
   const auto it = near.map.find(instance_key);
   if (it == near.map.end()) return std::nullopt;
   std::vector<NearEntry>& entries = it->second;
@@ -400,7 +400,7 @@ std::optional<CachedSolution> ShardedSolutionCache::find_dominating(
 std::optional<CachedSolution> ShardedSolutionCache::find_feasible(
     const CanonicalHash& instance_key, const solver::Bounds& bounds) {
   NearShard& near = near_shard_of(instance_key);
-  const std::lock_guard<std::mutex> lock(near.mutex);
+  const std::lock_guard<obs::ProfiledMutex> lock(near.mutex);
   const auto it = near.map.find(instance_key);
   if (it == near.map.end()) return std::nullopt;
   std::vector<NearEntry>& entries = it->second;
@@ -434,13 +434,13 @@ std::optional<CachedSolution> ShardedSolutionCache::find_feasible(
 
 void ShardedSolutionCache::clear() {
   for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
   }
   for (NearShard& near : near_shards_) {
-    const std::lock_guard<std::mutex> lock(near.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(near.mutex);
     near.map.clear();
   }
 }
@@ -450,7 +450,7 @@ CacheStats ShardedSolutionCache::stats() const {
   stats.shards = shards_.size();
   stats.capacity_bytes = per_shard_capacity_ * shards_.size();
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.insertions += shard.insertions;
@@ -459,7 +459,7 @@ CacheStats ShardedSolutionCache::stats() const {
     stats.bytes += shard.bytes;
   }
   for (const NearShard& near : near_shards_) {
-    const std::lock_guard<std::mutex> lock(near.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(near.mutex);
     stats.near_hits += near.near_hits;
     for (const auto& [key, entries] : near.map) {
       stats.near_entries += entries.size();
@@ -471,7 +471,7 @@ CacheStats ShardedSolutionCache::stats() const {
 void ShardedSolutionCache::save_tsv(std::ostream& out) const {
   out << "# prts-solution-cache v1\n";
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
     for (const Entry& entry : shard.lru) {
       out << encode_cache_entry(entry.key, entry.value) << "\n";
     }
@@ -504,7 +504,7 @@ void ShardedSolutionCache::save_binary(std::ostream& out) const {
   // whole write) and encode each blob once.
   std::vector<std::pair<CanonicalHash, std::string>> blobs;
   for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
     for (const Entry& entry : shard.lru) {
       std::string blob = encode_cache_entry(entry.key, entry.value);
       // The loader rejects blobs over kBinaryMaxBlobBytes as corrupt;
@@ -621,6 +621,12 @@ void ShardedSolutionCache::write_stats_json(std::ostream& out,
       << ",\"bytes\":" << stats.bytes
       << ",\"capacity_bytes\":" << stats.capacity_bytes
       << ",\"shards\":" << stats.shards << "}";
+}
+
+void ShardedSolutionCache::attach_mutex_probe(
+    const obs::ProfiledMutex::Probe* probe) noexcept {
+  for (Shard& shard : shards_) shard.mutex.attach(probe);
+  for (NearShard& near : near_shards_) near.mutex.attach(probe);
 }
 
 // ----------------------------------------------------------- replica tier

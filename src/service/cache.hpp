@@ -41,6 +41,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "service/canonical.hpp"
 #include "solver/solver.hpp"
 
@@ -228,6 +229,12 @@ class ShardedSolutionCache {
   /// Writes the stats snapshot as one JSON object.
   static void write_stats_json(std::ostream& out, const CacheStats& stats);
 
+  /// Attaches one shared contention probe to every shard mutex (main
+  /// and near-index alike): per-shard contention aggregates into a
+  /// single "cache_shard" family instead of 2N histogram families. The
+  /// probe must outlive the cache; nullptr detaches.
+  void attach_mutex_probe(const obs::ProfiledMutex::Probe* probe) noexcept;
+
  private:
   struct Entry {
     CanonicalHash key;
@@ -236,7 +243,7 @@ class ShardedSolutionCache {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable obs::ProfiledMutex mutex;
     std::list<Entry> lru;  ///< front = most recent
     std::unordered_map<CanonicalHash, std::list<Entry>::iterator, CanonicalKeyHasher>
         index;
@@ -261,7 +268,7 @@ class ShardedSolutionCache {
   /// them). Lock order: an index mutex may be held while peeking a main
   /// shard, never the reverse.
   struct NearShard {
-    mutable std::mutex mutex;
+    mutable obs::ProfiledMutex mutex;
     std::unordered_map<CanonicalHash, std::vector<NearEntry>,
                        CanonicalKeyHasher>
         map;

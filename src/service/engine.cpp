@@ -10,6 +10,59 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// RAII profile of one submit-path exit: however submit_canonicalized
+/// returns (cache hit, dedup, rejection, batch scheduled), the
+/// per-request allocation counters advance exactly once. Allocation
+/// accounting (two relaxed TLS loads) runs on every request so
+/// engine_allocs_per_request stays exact; the dual-clock component
+/// sample costs CPU-clock syscalls and is taken only when the
+/// profiler's 1-in-N gate says so. Inert until start().
+struct SubmitProfile {
+  obs::Profiler::Component* component = nullptr;
+  obs::Counter* allocs_total = nullptr;
+  obs::Counter* alloc_bytes_total = nullptr;
+  obs::Counter* requests_total = nullptr;
+  obs::Gauge* per_request = nullptr;
+  std::optional<obs::AllocScope> allocs;
+  std::optional<obs::ScopedSample> sample;
+
+  void start(bool sampled) {
+    allocs.emplace();
+    if (sampled) sample.emplace();
+  }
+
+  /// The probes' current reading (for span attribution mid-path).
+  /// Unsampled requests still report their exact allocation delta; the
+  /// clock fields stay zero rather than paying the syscalls.
+  obs::WorkSample snapshot() const noexcept {
+    if (sample) return sample->finish();
+    obs::WorkSample work;
+    if (allocs) {
+      const obs::AllocCounts delta = allocs->delta();
+      work.alloc_count = delta.count;
+      work.alloc_bytes = delta.bytes;
+    }
+    return work;
+  }
+
+  ~SubmitProfile() {
+    if (!allocs) return;
+    const obs::AllocCounts delta = allocs->delta();
+    if (allocs_total) allocs_total->add(delta.count);
+    if (alloc_bytes_total) alloc_bytes_total->add(delta.bytes);
+    if (per_request && requests_total && allocs_total) {
+      const std::uint64_t requests = requests_total->value();
+      if (requests > 0) {
+        per_request->set(static_cast<double>(allocs_total->value()) /
+                         static_cast<double>(requests));
+      }
+    }
+    if (sample && component != nullptr) {
+      obs::Profiler::record(*component, sample->finish());
+    }
+  }
+};
+
 /// True when a deadline measured from `submitted` has elapsed at `now`.
 bool deadline_expired(double deadline_seconds, Clock::time_point submitted,
                       Clock::time_point now) noexcept {
@@ -101,6 +154,14 @@ SolveService::SolveService(ServiceConfig config)
       pool_(config_.threads) {
   if (obs::Telemetry* telemetry = config_.telemetry) {
     requests_counter_ = &telemetry->metrics.counter("engine_requests_total");
+    errors_counter_ = &telemetry->metrics.counter("engine_errors_total");
+    rejected_counter_ = &telemetry->metrics.counter("engine_rejected_total");
+    request_allocs_counter_ =
+        &telemetry->metrics.counter("engine_request_allocs_total");
+    request_alloc_bytes_counter_ =
+        &telemetry->metrics.counter("engine_request_alloc_bytes_total");
+    allocs_per_request_gauge_ =
+        &telemetry->metrics.gauge("engine_allocs_per_request");
     request_latency_hist_ =
         &telemetry->metrics.histogram("engine_request_latency_seconds");
     batch_wait_hist_ =
@@ -109,16 +170,40 @@ SolveService::SolveService(ServiceConfig config)
         &telemetry->metrics.histogram("engine_solver_run_seconds");
     queue_depth_gauge_ = &telemetry->metrics.gauge("engine_queue_depth");
     heartbeat_ = &telemetry->watchdog.component("engine");
+    prof_canonicalize_ = &telemetry->profiler.component("canonicalize");
+    prof_submit_ = &telemetry->profiler.component("submit_path");
+    prof_cache_lookup_ = &telemetry->profiler.component("cache_lookup");
+    prof_near_miss_ = &telemetry->profiler.component("near_miss_lookup");
+    prof_solver_run_ = &telemetry->profiler.component("solver_run");
+    prof_fallback_ = &telemetry->profiler.component("fallback_solve");
+    prof_batch_wait_ = &telemetry->profiler.component("batch_wait");
+    queue_probe_ =
+        obs::ProfiledMutex::make_probe(telemetry->metrics, "engine_queue");
+    mutex_.attach(&queue_probe_);
+    cache_probe_ =
+        obs::ProfiledMutex::make_probe(telemetry->metrics, "cache_shard");
+    cache_.attach_mutex_probe(&cache_probe_);
+    pool_probe_ =
+        obs::ProfiledMutex::make_probe(telemetry->metrics, "engine_pool");
+    pool_.attach_mutex_probe(&pool_probe_);
   }
 }
 
 SolveService::~SolveService() { wait_idle(); }
 
 std::future<SolveReply> SolveService::submit(SolveRequest request) {
+  // Canonicalization runs on every submit, so its dual-clock sample is
+  // 1-in-N — two CPU-clock syscalls per request would dominate the warm
+  // path's own cost.
+  const bool sampled =
+      config_.telemetry && config_.telemetry->profiler.should_sample();
+  std::optional<obs::ScopedSample> sample;
+  if (sampled) sample.emplace();
   auto canonical = std::make_shared<const CanonicalInstance>(
       canonicalize(request.instance));
   const CanonicalHash key =
       request_key(*canonical, request.solver, request.bounds);
+  if (sampled) obs::Profiler::record(*prof_canonicalize_, sample->finish());
   return submit_canonicalized(std::move(request), std::move(canonical), key);
 }
 
@@ -131,8 +216,19 @@ std::future<SolveReply> SolveService::submit_canonicalized(
   obs::Telemetry* const telemetry = config_.telemetry;
   const Clock::time_point arrival = Clock::now();
   std::uint64_t trace_id = request.trace_id;
+  // Submit-path attribution: one sample covering this call however it
+  // exits, feeding submit_path and the allocations-per-request gauge.
+  SubmitProfile submit_profile;
   if (telemetry) {
     requests_counter_->add();
+    if (telemetry->profiler.enabled()) {
+      submit_profile.component = prof_submit_;
+      submit_profile.allocs_total = request_allocs_counter_;
+      submit_profile.alloc_bytes_total = request_alloc_bytes_counter_;
+      submit_profile.requests_total = requests_counter_;
+      submit_profile.per_request = allocs_per_request_gauge_;
+      submit_profile.start(telemetry->profiler.should_sample());
+    }
     const std::string label = request.solver + ":" + to_hex(key);
     if (trace_id == 0) {
       trace_id = telemetry->tracer.start(label);
@@ -161,13 +257,25 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     }
     if (telemetry) {
       const double elapsed = seconds_since(arrival, Clock::now());
-      telemetry->tracer.record(
-          trace_id, near_miss ? "near_miss_lookup" : "cache_lookup",
-          telemetry->rank, 0.0, elapsed);
+      const obs::WorkSample work = submit_profile.snapshot();
+      obs::Span span;
+      span.name = near_miss ? "near_miss_lookup" : "cache_lookup";
+      span.rank = telemetry->rank;
+      span.duration_seconds = elapsed;
+      span.cpu_seconds = work.cpu_seconds < elapsed ? work.cpu_seconds
+                                                    : elapsed;
+      span.alloc_count = work.alloc_count;
+      span.alloc_bytes = work.alloc_bytes;
+      telemetry->tracer.record(trace_id, std::move(span));
       telemetry->tracer.finish(trace_id, elapsed);
       request_latency_hist_->record(elapsed);
+      if (submit_profile.sample) {
+        obs::Profiler::record(near_miss ? *prof_near_miss_
+                                        : *prof_cache_lookup_,
+                              work);
+      }
     }
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     ++stats_.submitted;
     ++(near_miss ? stats_.dominating_hits : stats_.cache_hits);
     ++stats_.completed;
@@ -205,7 +313,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     merge_warm_hint(bkey, request.bounds, warm);
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<obs::ProfiledMutex> lock(mutex_);
   ++stats_.submitted;
 
   // Deduplication: attach to an identical in-flight request. The waiter
@@ -229,6 +337,7 @@ std::future<SolveReply> SolveService::submit_canonicalized(
     reply.key = key;
     reply.trace_id = trace_id;
     if (telemetry) {
+      rejected_counter_->add();
       const double elapsed = seconds_since(arrival, Clock::now());
       telemetry->tracer.record(trace_id, "rejected_queue", telemetry->rank,
                                0.0, elapsed);
@@ -323,7 +432,7 @@ void SolveService::run_next_batch() {
   std::shared_ptr<Batch> batch;
   std::vector<std::unique_ptr<PendingQuery>> queries;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     if (open_batches_.empty()) return;  // defensive; see run_next_batch doc
     auto best = open_batches_.begin();
     for (auto it = std::next(best); it != open_batches_.end(); ++it) {
@@ -349,6 +458,8 @@ void SolveService::run_next_batch() {
   const auto engine = registry.find(batch->solver_name);
   const bool monotone =
       engine && engine->bounds_monotone(batch->canonical->instance);
+  const bool profiled =
+      config_.telemetry && config_.telemetry->profiler.enabled();
   std::unique_ptr<solver::PreparedSolver> session;
 
   for (auto& query : queries) {
@@ -366,7 +477,7 @@ void SolveService::run_next_batch() {
       bool any_downgrade = false;
       {
         // submit() may still be appending waiters to this query.
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
         for (const Waiter& waiter : query->waiters) {
           if (!deadline_expired(waiter.deadline_seconds, waiter.submitted,
                                 now)) {
@@ -388,6 +499,8 @@ void SolveService::run_next_batch() {
         bool answered_from_cache = false;
         if (config_.cache_enabled) {
           const auto probe_start = Clock::now();
+          std::optional<obs::ScopedSample> probe_sample;
+          if (profiled) probe_sample.emplace();
           // peek: the submit-path lookup already counted this key's
           // miss; the re-probe must not count a second one.
           std::optional<CachedSolution> cached = cache_.peek(query->key);
@@ -406,9 +519,17 @@ void SolveService::run_next_batch() {
             outcome.kind = QueryOutcome::Kind::kAnswered;
             outcome.solver_used = batch->solver_name;
             answered_from_cache = true;
+            const obs::WorkSample work =
+                probe_sample ? probe_sample->finish() : obs::WorkSample{};
+            if (probe_sample) {
+              obs::Profiler::record(outcome.near_miss ? *prof_near_miss_
+                                                      : *prof_cache_lookup_,
+                                    work);
+            }
             outcome.spans.push_back(QueryOutcome::TimedSpan{
                 outcome.near_miss ? "near_miss_lookup" : "cache_lookup",
-                probe_start, seconds_since(probe_start, Clock::now())});
+                probe_start, seconds_since(probe_start, Clock::now()),
+                work.cpu_seconds, work.alloc_count, work.alloc_bytes});
           }
         }
         if (!answered_from_cache) {
@@ -417,6 +538,8 @@ void SolveService::run_next_batch() {
           merge_warm_hint(batch->key, query->bounds, query->warm);
           if (!session) session = engine->prepare(batch->canonical->instance);
           const auto solve_start = Clock::now();
+          std::optional<obs::ScopedSample> solve_sample;
+          if (profiled) solve_sample.emplace();
           const solver::WarmStart* hint =
               query->warm && !query->warm->empty() ? &*query->warm : nullptr;
           // Recorded per entry so Retention::kCost can keep expensive
@@ -427,8 +550,15 @@ void SolveService::run_next_batch() {
           outcome.warm_started = hint != nullptr;
           outcome.invoked = true;
           outcome.cost_seconds = cost_seconds;
+          const obs::WorkSample solve_work =
+              solve_sample ? solve_sample->finish() : obs::WorkSample{};
+          if (solve_sample) {
+            obs::Profiler::record(*prof_solver_run_, solve_work);
+          }
           outcome.spans.push_back(QueryOutcome::TimedSpan{
-              "solver_run", solve_start, cost_seconds});
+              "solver_run", solve_start, cost_seconds,
+              solve_work.cpu_seconds, solve_work.alloc_count,
+              solve_work.alloc_bytes});
           if (solver_run_hist_) solver_run_hist_->record(cost_seconds);
           if (config_.cache_enabled) {
             // The near-miss metadata makes this solve a reusable point
@@ -451,11 +581,20 @@ void SolveService::run_next_batch() {
           // Late: answer fast with the fallback engine. Not cached —
           // the key names the solver the caller asked for.
           const auto fallback_start = Clock::now();
+          std::optional<obs::ScopedSample> fallback_sample;
+          if (profiled) fallback_sample.emplace();
           outcome.canonical_solution =
               fallback->solve(query->canonical->instance, query->bounds);
+          const obs::WorkSample fallback_work =
+              fallback_sample ? fallback_sample->finish() : obs::WorkSample{};
+          if (fallback_sample) {
+            obs::Profiler::record(*prof_fallback_, fallback_work);
+          }
           outcome.spans.push_back(QueryOutcome::TimedSpan{
               "fallback_solve", fallback_start,
-              seconds_since(fallback_start, Clock::now())});
+              seconds_since(fallback_start, Clock::now()),
+              fallback_work.cpu_seconds, fallback_work.alloc_count,
+              fallback_work.alloc_bytes});
           outcome.kind = QueryOutcome::Kind::kFallback;
           outcome.solver_used = config_.fallback_solver;
           // A warm incumbent (cached from the *requested* solver at
@@ -490,7 +629,7 @@ void SolveService::finish_query(PendingQuery& query,
   std::vector<Waiter> waiters;
   bool any_rejected = false;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     in_flight_.erase(query.key);
     waiters = std::move(query.waiters);
     for (const Waiter& waiter : waiters) {
@@ -501,9 +640,15 @@ void SolveService::finish_query(PendingQuery& query,
       }
     }
     stats_.completed += waiters.size();
-    if (outcome.kind == QueryOutcome::Kind::kError) ++stats_.errors;
+    if (outcome.kind == QueryOutcome::Kind::kError) {
+      ++stats_.errors;
+      if (errors_counter_) errors_counter_->add();
+    }
     if (outcome.kind == QueryOutcome::Kind::kFallback) ++stats_.downgraded;
-    if (any_rejected) ++stats_.rejected_deadline;
+    if (any_rejected) {
+      ++stats_.rejected_deadline;
+      if (rejected_counter_) rejected_counter_->add();
+    }
     if (outcome.near_miss) ++stats_.dominating_hits;
     if (outcome.cache_hit && !outcome.near_miss) ++stats_.cache_hits;
     if (outcome.warm_started) ++stats_.warm_started;
@@ -530,11 +675,23 @@ void SolveService::finish_query(PendingQuery& query,
           seconds_since(waiter.submitted, outcome.processing_started);
       telemetry->tracer.record(waiter.trace_id, "batch_wait",
                                telemetry->rank, 0.0, wait);
+      if (telemetry->profiler.enabled() && prof_batch_wait_) {
+        // Queue wait is blocked time by construction: the request was
+        // owned by no thread, so the sample is wall-only.
+        obs::WorkSample queued;
+        queued.wall_seconds = wait;
+        obs::Profiler::record(*prof_batch_wait_, queued);
+      }
       for (const QueryOutcome::TimedSpan& span : outcome.spans) {
-        telemetry->tracer.record(
-            waiter.trace_id, span.name, telemetry->rank,
-            seconds_since(waiter.submitted, span.start),
-            span.duration_seconds);
+        obs::Span rendered;
+        rendered.name = span.name;
+        rendered.rank = telemetry->rank;
+        rendered.start_seconds = seconds_since(waiter.submitted, span.start);
+        rendered.duration_seconds = span.duration_seconds;
+        rendered.cpu_seconds = span.cpu_seconds;
+        rendered.alloc_count = span.alloc_count;
+        rendered.alloc_bytes = span.alloc_bytes;
+        telemetry->tracer.record(waiter.trace_id, std::move(rendered));
       }
       telemetry->tracer.finish(waiter.trace_id, total);
       request_latency_hist_->record(total);
@@ -580,12 +737,12 @@ void SolveService::finish_query(PendingQuery& query,
 }
 
 void SolveService::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<obs::ProfiledMutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
 EngineStats SolveService::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
   return stats_;
 }
 

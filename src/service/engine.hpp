@@ -297,11 +297,15 @@ class SolveService {
 
     /// Work phases recorded while the batch worker ran this query, in
     /// absolute time: finish_query converts them into per-waiter span
-    /// offsets (each waiter has its own submit time and trace).
+    /// offsets (each waiter has its own submit time and trace). The
+    /// cpu/alloc attribution rides along when the profiler is on.
     struct TimedSpan {
       const char* name;
       std::chrono::steady_clock::time_point start;
       double duration_seconds;
+      double cpu_seconds;
+      std::uint64_t alloc_count;
+      std::uint64_t alloc_bytes;
     };
     std::vector<TimedSpan> spans;
     std::chrono::steady_clock::time_point processing_started{};
@@ -335,8 +339,11 @@ class SolveService {
   ServiceConfig config_;
   ShardedSolutionCache cache_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable idle_cv_;
+  /// The engine's central lock, contention-profiled as "engine_queue"
+  /// when telemetry is on.
+  mutable obs::ProfiledMutex mutex_;
+  /// _any: idle_cv_ waits on the ProfiledMutex above.
+  std::condition_variable_any idle_cv_;
   std::size_t outstanding_ = 0;  ///< accepted, not yet answered
   std::unordered_map<CanonicalHash, PendingQuery*, CanonicalKeyHasher> in_flight_;
   std::unordered_map<CanonicalHash, std::shared_ptr<Batch>, CanonicalKeyHasher>
@@ -348,9 +355,34 @@ class SolveService {
   /// locks the registry); non-null iff config_.telemetry is set, and
   /// every record afterward is a lock-free relaxed add.
   obs::Counter* requests_counter_ = nullptr;
+  /// Error/rejection counters, the alert engine's error_rate /
+  /// reject_rate numerators (rejected = queue + deadline rejections).
+  obs::Counter* errors_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  /// Submit-path allocation bill: totals plus the derived
+  /// engine_allocs_per_request gauge (allocs_total / requests_total) —
+  /// the zero-allocation rebuild's headline number.
+  obs::Counter* request_allocs_counter_ = nullptr;
+  obs::Counter* request_alloc_bytes_counter_ = nullptr;
+  obs::Gauge* allocs_per_request_gauge_ = nullptr;
   obs::Histogram* request_latency_hist_ = nullptr;
   obs::Histogram* batch_wait_hist_ = nullptr;
   obs::Histogram* solver_run_hist_ = nullptr;
+  /// Profiler component handles (profile_<name>_* counters), resolved
+  /// once; null iff the telemetry registry is absent.
+  obs::Profiler::Component* prof_canonicalize_ = nullptr;
+  obs::Profiler::Component* prof_submit_ = nullptr;
+  obs::Profiler::Component* prof_cache_lookup_ = nullptr;
+  obs::Profiler::Component* prof_near_miss_ = nullptr;
+  obs::Profiler::Component* prof_solver_run_ = nullptr;
+  obs::Profiler::Component* prof_fallback_ = nullptr;
+  obs::Profiler::Component* prof_batch_wait_ = nullptr;
+  /// Contention probes (stable addresses the mutexes point at): the
+  /// engine's own queue lock, one shared probe over every cache shard,
+  /// and the worker pool's queue lock.
+  obs::ProfiledMutex::Probe queue_probe_;
+  obs::ProfiledMutex::Probe cache_probe_;
+  obs::ProfiledMutex::Probe pool_probe_;
   /// Sampled to outstanding_ on submit and completion — the queue depth
   /// a scrape or flight-recorder tick sees is the instantaneous one.
   obs::Gauge* queue_depth_gauge_ = nullptr;

@@ -161,6 +161,10 @@ void write_merged_stats_json(std::ostream& out, SolveService& service,
     telemetry->metrics.write_json(out);
     out << ",\"watchdog\":";
     telemetry->watchdog.write_json(out);
+    out << ",\"profile\":";
+    telemetry->profiler.write_json(out);
+    out << ",\"alerts\":";
+    telemetry->alerts.write_json(out);
   }
   out << "}";
 }
@@ -434,6 +438,28 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
         print_tick(out, tick);
       }
       out << "# timeseries end\n";
+      out.flush();
+    } else if (command == "profile") {
+      obs::Telemetry* const telemetry = service.telemetry();
+      if (telemetry == nullptr) {
+        error("profile: telemetry disabled");
+        continue;
+      }
+      std::string filter;
+      tokens >> filter;  // optional component-name substring
+      out << "# profile ";
+      telemetry->profiler.write_json(out, filter);
+      out << "\n";
+      out.flush();
+    } else if (command == "alerts") {
+      obs::Telemetry* const telemetry = service.telemetry();
+      if (telemetry == nullptr) {
+        error("alerts: telemetry disabled");
+        continue;
+      }
+      out << "# alerts ";
+      telemetry->alerts.write_json(out);
+      out << "\n";
       out.flush();
     } else if (command == "sync") {
       flush();

@@ -177,6 +177,10 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
     wire_hist_ = &metrics.histogram("router_wire_seconds");
     router_latency_hist_ = &metrics.histogram("router_request_latency_seconds");
     inflight_gauge_ = &metrics.gauge("router_inflight_forwards");
+    prof_wire_ = &config_.telemetry->profiler.component("wire_round_trip");
+    prof_replica_ = &config_.telemetry->profiler.component("replica_lookup");
+    inflight_probe_ = obs::ProfiledMutex::make_probe(metrics, "router_inflight");
+    mutex_.attach(&inflight_probe_);
   }
   clients_.resize(config_.world_size);
   for (std::size_t r = 0; r < config_.world_size; ++r) {
@@ -226,7 +230,7 @@ ShardRouter::~ShardRouter() {
 std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   if (config_.world_size <= 1) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
       ++stats_.local;
     }
     return service_.submit(std::move(request));
@@ -241,7 +245,7 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   if (owner == config_.rank || !clients_[owner]) {
     note_owned_hit(key);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
       ++stats_.local;
     }
     // The canonical form was already computed to pick the shard; the
@@ -270,9 +274,13 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   // prefetched) before is answered here, with the same per-waiter label
   // translation a cache hit gets — no network round trip.
   if (replicas_.enabled()) {
+    std::optional<obs::ScopedSample> replica_sample;
+    if (telemetry != nullptr && telemetry->profiler.enabled()) {
+      replica_sample.emplace();
+    }
     if (auto cached = replicas_.lookup(key)) {
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
         ++stats_.replica_hits;
       }
       SolveReply reply;
@@ -287,8 +295,18 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
       }
       if (telemetry != nullptr && request.trace_id != 0) {
         const double elapsed = seconds_since(arrival, Clock::now());
-        telemetry->tracer.record(request.trace_id, "replica_lookup",
-                                 static_cast<int>(config_.rank), 0.0, elapsed);
+        const obs::WorkSample work =
+            replica_sample ? replica_sample->finish() : obs::WorkSample{};
+        if (replica_sample) obs::Profiler::record(*prof_replica_, work);
+        obs::Span span;
+        span.name = "replica_lookup";
+        span.rank = static_cast<int>(config_.rank);
+        span.duration_seconds = elapsed;
+        span.cpu_seconds = work.cpu_seconds < elapsed ? work.cpu_seconds
+                                                      : elapsed;
+        span.alloc_count = work.alloc_count;
+        span.alloc_bytes = work.alloc_bytes;
+        telemetry->tracer.record(request.trace_id, std::move(span));
         telemetry->tracer.finish(request.trace_id, elapsed);
         if (router_latency_hist_ != nullptr) {
           router_latency_hist_->record(elapsed);
@@ -299,7 +317,7 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
     }
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<obs::ProfiledMutex> lock(mutex_);
 
   // Router-level dedup: identical remote-shard requests already being
   // forwarded get a waiter on the same exchange.
@@ -383,6 +401,13 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
 
   obs::Telemetry* const telemetry = config_.telemetry;
   const Clock::time_point wire_start = Clock::now();
+  // Dual-clock sample over the exchange: nearly all of it is blocked
+  // time (the forward thread waits on the peer), which is exactly what
+  // distinguishes a slow peer from a slow local solver in the profile.
+  std::optional<obs::ScopedSample> wire_sample;
+  if (telemetry != nullptr && telemetry->profiler.enabled()) {
+    wire_sample.emplace();
+  }
   std::optional<SolveReply> remote;
   if (const auto reply_frame = client.call(frame)) {
     if (reply_frame->type == net::FrameType::kSolveReply) {
@@ -391,6 +416,9 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     }
   }
   const double wire_seconds = seconds_since(wire_start, Clock::now());
+  const obs::WorkSample wire_work =
+      wire_sample ? wire_sample->finish() : obs::WorkSample{};
+  if (wire_sample) obs::Profiler::record(*prof_wire_, wire_work);
   if (wire_hist_ != nullptr) wire_hist_->record(wire_seconds);
 
   // A remote answer is only authoritative when the owner actually
@@ -411,7 +439,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     }
     std::vector<ForwardWaiter> waiters;
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
       in_flight_.erase(forward->key);
       if (inflight_gauge_ != nullptr) {
         inflight_gauge_->set(static_cast<double>(in_flight_.size()));
@@ -443,9 +471,17 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
         // ranks is absorbed — only the origin's clock is used for
         // placement).
         const double wire_offset = seconds_since(waiter.submitted, wire_start);
-        telemetry->tracer.record(waiter.trace_id, "wire_round_trip",
-                                 static_cast<int>(config_.rank), wire_offset,
-                                 wire_seconds);
+        obs::Span wire_span;
+        wire_span.name = "wire_round_trip";
+        wire_span.rank = static_cast<int>(config_.rank);
+        wire_span.start_seconds = wire_offset;
+        wire_span.duration_seconds = wire_seconds;
+        wire_span.cpu_seconds = wire_work.cpu_seconds < wire_seconds
+                                    ? wire_work.cpu_seconds
+                                    : wire_seconds;
+        wire_span.alloc_count = wire_work.alloc_count;
+        wire_span.alloc_bytes = wire_work.alloc_bytes;
+        telemetry->tracer.record(waiter.trace_id, std::move(wire_span));
         for (const obs::Span& span : remote->remote_spans) {
           obs::Span shifted = span;
           shifted.start_seconds += wire_offset;
@@ -473,7 +509,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
   // local cache fills under the same key a recovered owner would use.
   std::vector<ForwardWaiter> waiters;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     in_flight_.erase(forward->key);
     if (inflight_gauge_ != nullptr) {
       inflight_gauge_->set(static_cast<double>(in_flight_.size()));
@@ -530,7 +566,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
 
 void ShardRouter::note_owned_hit(const CanonicalHash& key) {
   if (config_.world_size <= 1 || shard_of(key) != config_.rank) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
   if (const auto it = owned_hits_.find(key); it != owned_hits_.end()) {
     ++it->second;
     return;
@@ -548,7 +584,7 @@ void ShardRouter::gossip_now() {
   if (config_.world_size <= 1) return;
   std::vector<GossipDigest::Entry> hot;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     hot.reserve(owned_hits_.size());
     for (const auto& [key, count] : owned_hits_) {
       if (count >= config_.gossip_min_hits) {
@@ -579,7 +615,7 @@ void ShardRouter::gossip_now() {
   for (std::size_t r = 0; r < clients_.size(); ++r) {
     if (!clients_[r]) continue;
     const auto ack = clients_[r]->call(frame);
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     if (ack && ack->type == net::FrameType::kPong) {
       ++stats_.gossip_sent;
     } else {
@@ -590,7 +626,7 @@ void ShardRouter::gossip_now() {
 
 void ShardRouter::handle_gossip_digest(GossipDigest digest) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     ++stats_.gossip_received;
   }
   // Only the sender's own keys are prefetchable from the sender; a
@@ -617,7 +653,7 @@ void ShardRouter::handle_gossip_digest(GossipDigest digest) {
   // two ranks gossiping at each other over their shared per-peer
   // connections.
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     ++outstanding_prefetches_;
   }
   auto task = forward_pool_.submit(
@@ -661,14 +697,14 @@ void ShardRouter::run_prefetch(std::size_t owner,
 }
 
 void ShardRouter::finish_prefetch(std::size_t fetched) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
   stats_.prefetched += fetched;
   --outstanding_prefetches_;
   prefetch_cv_.notify_all();
 }
 
 void ShardRouter::wait_prefetches_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_lock<obs::ProfiledMutex> lock(mutex_);
   prefetch_cv_.wait(lock, [this] { return outstanding_prefetches_ == 0; });
 }
 
@@ -678,7 +714,7 @@ bool ShardRouter::peer_suspect(std::size_t rank) const {
 }
 
 RouterStats ShardRouter::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
   return stats_;
 }
 

@@ -242,13 +242,16 @@ class ShardRouter {
   std::vector<std::unique_ptr<net::FrameClient>> clients_;  ///< [rank]
   ReplicaCache replicas_;
 
-  mutable std::mutex mutex_;
+  /// The router's central lock (in-flight map, stats, hit counts),
+  /// contention-profiled as "router_inflight" when telemetry is on.
+  mutable obs::ProfiledMutex mutex_;
   std::unordered_map<CanonicalHash, Forward*, CanonicalKeyHasher> in_flight_;
   /// Hits on owned keys since the last gossip round (windowed counts:
   /// gossip_now snapshots and clears, so "hot" means *recently* hot).
   std::unordered_map<CanonicalHash, std::uint64_t, CanonicalKeyHasher> owned_hits_;
   std::size_t outstanding_prefetches_ = 0;
-  std::condition_variable prefetch_cv_;
+  /// _any: waits on the ProfiledMutex above.
+  std::condition_variable_any prefetch_cv_;
   RouterStats stats_;
 
   /// Telemetry handles resolved once at construction; non-null iff
@@ -259,6 +262,12 @@ class ShardRouter {
   obs::Gauge* inflight_gauge_ = nullptr;
   /// Periodic "router_gossip" heartbeat: expected every gossip interval.
   obs::Heartbeat* gossip_heartbeat_ = nullptr;
+  /// Profiler components: the wire exchange (nearly all blocked time —
+  /// the forward thread waits on the peer) and the replica-tier probe.
+  obs::Profiler::Component* prof_wire_ = nullptr;
+  obs::Profiler::Component* prof_replica_ = nullptr;
+  /// Contention probe the in-flight mutex points at.
+  obs::ProfiledMutex::Probe inflight_probe_;
 
   std::mutex gossip_mutex_;
   std::condition_variable gossip_cv_;

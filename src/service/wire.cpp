@@ -182,6 +182,16 @@ std::string encode_wire_reply(const SolveReply& reply) {
         << canonical_number(span.start_seconds) << " "
         << canonical_number(span.duration_seconds) << " " << span.name
         << "\n";
+    // Profiler attribution rides as an optional follow-line ('span'
+    // carries the name as its tail, so new fields cannot extend it):
+    // emitted only when nonzero, so pre-profiler decoders — which error
+    // on unknown lines — only see it from ranks that also encode it
+    // alongside, and new decoders accept replies without it.
+    if (span.cpu_seconds > 0.0 || span.alloc_count > 0 ||
+        span.alloc_bytes > 0) {
+      out << "spanx " << canonical_number(span.cpu_seconds) << " "
+          << span.alloc_count << " " << span.alloc_bytes << "\n";
+    }
   }
   if (reply.status == ReplyStatus::kSolved ||
       reply.status == ReplyStatus::kInfeasible) {
@@ -266,6 +276,24 @@ std::optional<SolveReply> decode_wire_reply(std::string_view payload,
       std::getline(fields >> std::ws, span.name);
       if (span.name.empty()) return bad("span missing name");
       reply.remote_spans.push_back(std::move(span));
+    } else if (take_field(line, "spanx", value)) {
+      // "<cpu_seconds> <alloc_count> <alloc_bytes>", amending the most
+      // recent span. A spanx with no preceding span is tolerated and
+      // dropped (never a decode error — the span data is advisory).
+      if (reply.remote_spans.empty()) continue;
+      obs::Span& span = reply.remote_spans.back();
+      std::istringstream fields(value);
+      std::string cpu_text;
+      double cpu_seconds = 0.0;
+      std::uint64_t alloc_count = 0;
+      std::uint64_t alloc_bytes = 0;
+      if (!(fields >> cpu_text >> alloc_count >> alloc_bytes) ||
+          !parse_canonical_number(cpu_text, cpu_seconds)) {
+        return bad("malformed spanx '" + value + "'");
+      }
+      span.cpu_seconds = cpu_seconds;
+      span.alloc_count = alloc_count;
+      span.alloc_bytes = alloc_bytes;
     } else if (take_field(line, "entry", value)) {
       CachedSolution entry;
       std::string why;

@@ -17,17 +17,23 @@
 //     arranges dedup waiters or kills the rank;
 //   - drop_next(n): swallow the next n admitted frames without a reply
 //     (the connection closes, exactly like a peer dying mid-exchange);
+//   - delay(seconds): sleep every admitted frame at the gate before the
+//     handler runs — a *slow* peer (overloaded, GC-pausing, swapping)
+//     rather than a dead one, so requesters see long wire round trips
+//     that should attribute as blocked time, not compute;
 //   - kill()/revive(): stop the rank's FrameServer / restart it on the
 //     same port (SO_REUSEADDR makes the rebind reliable).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -71,15 +77,35 @@ class FaultInjector {
     return dropped_;
   }
 
+  /// Every admitted frame sleeps this long at the gate before the
+  /// handler runs (0 restores full speed). Models a slow-but-alive
+  /// peer; the delay is inbound, so the *requester's* wire round trip
+  /// stretches while its own solver stays idle.
+  void delay(double seconds) {
+    delay_ns_.store(seconds <= 0.0
+                        ? 0
+                        : static_cast<std::int64_t>(seconds * 1e9),
+                    std::memory_order_relaxed);
+  }
+
   /// Called by the handler wrapper: waits out a pause, then reports
-  /// whether the frame may proceed (false = drop it).
+  /// whether the frame may proceed (false = drop it). Admitted frames
+  /// additionally serve the configured slow-peer delay.
   bool admit() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return !paused_; });
-    if (drop_remaining_ > 0) {
-      --drop_remaining_;
-      ++dropped_;
-      return false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return !paused_; });
+      if (drop_remaining_ > 0) {
+        --drop_remaining_;
+        ++dropped_;
+        return false;
+      }
+    }
+    // Sleep outside the lock: a slow rank must still be pausable and
+    // must not serialize its concurrent inbound frames on the gate.
+    const std::int64_t delay = delay_ns_.load(std::memory_order_relaxed);
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
     }
     return true;
   }
@@ -90,6 +116,7 @@ class FaultInjector {
   bool paused_ = false;
   std::size_t drop_remaining_ = 0;
   std::uint64_t dropped_ = 0;
+  std::atomic<std::int64_t> delay_ns_{0};
 };
 
 class FabricHarness {
@@ -247,7 +274,8 @@ class FabricHarness {
     };
     rank.server = net::FrameServer::start(
         port, std::move(wrapped), *rank.server_pool, net::kDefaultMaxPayload,
-        &rank.telemetry->metrics, &rank.telemetry->watchdog);
+        &rank.telemetry->metrics, &rank.telemetry->watchdog,
+        &rank.telemetry->profiler);
     if (!rank.server) {
       throw std::runtime_error("fabric harness: cannot bind port " +
                                std::to_string(port));

@@ -11,7 +11,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <map>
+#include <memory>
 #include <random>
 #include <set>
 #include <sstream>
@@ -20,8 +23,11 @@
 #include <vector>
 
 #include "net/frame_client.hpp"
+#include "obs/alerts.hpp"
+#include "obs/exposition.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/watchdog.hpp"
 #include "service/protocol.hpp"
@@ -624,7 +630,9 @@ TEST(FabricTelemetry, ForwardedSolveYieldsOneTraceNamingBothRanks) {
     if (span.name == "wire_round_trip") wire_start = span.start_seconds;
   }
   for (const obs::Span& span : origin.spans) {
-    if (span.rank == 1) EXPECT_GE(span.start_seconds, wire_start);
+    if (span.rank == 1) {
+      EXPECT_GE(span.start_seconds, wire_start);
+    }
   }
 
   // The same id resolves on the owner too (`trace <id>` on either rank).
@@ -682,6 +690,317 @@ TEST(FabricTelemetry, MetricsFrameScrapesAnyRank) {
     EXPECT_NE(reply->payload.find("prts_router_forwarded_total"),
               std::string::npos);
   }
+}
+
+// ------------------------------------------------------------ profiler
+
+TEST(ObsProfiler, DualClockSeparatesComputeFromBlocking) {
+  // Busy span: wall and thread-CPU both advance, and CPU never exceeds
+  // wall beyond clock granularity.
+  const obs::ScopedSample busy;
+  volatile double sink = 0.0;
+  const auto spin_until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+  while (std::chrono::steady_clock::now() < spin_until) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  }
+  const obs::WorkSample busy_work = busy.finish();
+  EXPECT_GT(busy_work.wall_seconds, 0.04);
+  EXPECT_GT(busy_work.cpu_seconds, 0.02);
+  EXPECT_LE(busy_work.cpu_seconds, busy_work.wall_seconds + 0.005);
+
+  // Sleeping span: wall advances, CPU barely moves — the whole region
+  // reads as blocked time.
+  const obs::ScopedSample idle;
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const obs::WorkSample idle_work = idle.finish();
+  EXPECT_GT(idle_work.wall_seconds, 0.05);
+  EXPECT_LT(idle_work.cpu_seconds, 0.02);
+  EXPECT_GT(idle_work.blocked_seconds(), 0.03);
+}
+
+TEST(ObsProfiler, AllocationAccountingIsPerThread) {
+  // A scope on this thread sees exactly its own allocations, even while
+  // another thread churns the heap concurrently.
+  std::atomic<bool> stop{false};
+  std::thread noisy([&stop] {
+    while (!stop.load()) {
+      std::vector<std::string> junk;
+      for (int i = 0; i < 64; ++i) junk.emplace_back(128, 'x');
+    }
+  });
+
+  constexpr std::size_t kAllocs = 100;
+  constexpr std::size_t kBytes = 256;
+  std::vector<std::unique_ptr<char[]>> mine;
+  mine.reserve(kAllocs);  // pre-size: the loop below allocates only blocks
+  const obs::AllocScope scope;
+  for (std::size_t i = 0; i < kAllocs; ++i) {
+    mine.push_back(std::make_unique<char[]>(kBytes));
+  }
+  const obs::AllocCounts delta = scope.delta();
+  stop.store(true);
+  noisy.join();
+
+  EXPECT_GE(delta.count, kAllocs);
+  EXPECT_LT(delta.count, kAllocs + 16) << "foreign-thread allocs leaked in";
+  EXPECT_GE(delta.bytes, kAllocs * kBytes);
+}
+
+TEST(ObsProfiler, ProfiledMutexCountsContentionAndWaitTime) {
+  obs::Registry registry;
+  const obs::ProfiledMutex::Probe probe =
+      obs::ProfiledMutex::make_probe(registry, "test");
+  obs::ProfiledMutex mutex;
+  mutex.attach(&probe);
+
+  mutex.lock();  // uncontended: fast path
+  std::thread waiter([&mutex] {
+    mutex.lock();  // contended: blocks until the holder lets go
+    mutex.unlock();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  mutex.unlock();
+  waiter.join();
+
+  EXPECT_EQ(probe.acquisitions->value(), 2u);
+  EXPECT_EQ(probe.contended->value(), 1u);
+  EXPECT_EQ(probe.wait->snapshot().count, 1u);
+
+  // The profiler's rollup decodes the same story from the registry.
+  const obs::Profiler profiler(&registry);
+  const std::vector<obs::Profiler::MutexStats> mutexes = profiler.mutexes();
+  ASSERT_EQ(mutexes.size(), 1u);
+  EXPECT_EQ(mutexes[0].name, "test");
+  EXPECT_EQ(mutexes[0].acquisitions, 2u);
+  EXPECT_EQ(mutexes[0].contended, 1u);
+  EXPECT_GT(mutexes[0].wait_seconds, 0.05);
+}
+
+TEST(ObsProfiler, ComponentsAggregateIntoRegistryAndJson) {
+  obs::Registry registry;
+  obs::Profiler profiler(&registry);
+  obs::WorkSample sample;
+  sample.wall_seconds = 0.010;
+  sample.cpu_seconds = 0.004;
+  sample.alloc_count = 7;
+  sample.alloc_bytes = 512;
+  profiler.record("solver_run", sample);
+  profiler.record("solver_run", sample);
+  profiler.record("wire_round_trip", sample);
+
+  const std::vector<obs::Profiler::ComponentStats> all = profiler.stats();
+  ASSERT_EQ(all.size(), 2u);  // name-sorted
+  EXPECT_EQ(all[0].name, "solver_run");
+  EXPECT_EQ(all[0].samples, 2u);
+  EXPECT_NEAR(all[0].wall_seconds, 0.020, 1e-4);
+  EXPECT_NEAR(all[0].blocked_seconds, 0.012, 1e-4);
+  EXPECT_EQ(all[0].alloc_count, 14u);
+  EXPECT_EQ(all[0].alloc_bytes, 1024u);
+
+  const std::vector<obs::Profiler::ComponentStats> filtered =
+      profiler.stats("wire_round_trip");
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].name, "wire_round_trip");
+
+  std::ostringstream json;
+  profiler.write_json(json);
+  EXPECT_EQ(json.str().rfind("{\"enabled\":true,\"components\":[", 0), 0u);
+  EXPECT_NE(json.str().find("\"name\":\"solver_run\",\"samples\":2"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- alerts
+
+obs::FlightRecorder::Tick gauge_tick(std::uint64_t seq, double queue_depth) {
+  obs::FlightRecorder::Tick tick;
+  tick.seq = seq;
+  tick.uptime_seconds = static_cast<double>(seq);
+  tick.interval_seconds = 1.0;
+  tick.gauges["engine_queue_depth"] = queue_depth;
+  return tick;
+}
+
+TEST(ObsAlerts, ParsesGrammarAndRejectsGarbage) {
+  obs::AlertRule rule;
+  std::string error;
+  ASSERT_TRUE(obs::parse_alert_rule(
+      "engine_request_latency_seconds_p99>50ms;for=3;hold=7", rule, &error))
+      << error;
+  EXPECT_EQ(rule.metric, "engine_request_latency_seconds_p99");
+  EXPECT_EQ(rule.op, ">");
+  EXPECT_NEAR(rule.bound, 0.05, 1e-12);
+  EXPECT_EQ(rule.for_ticks, 3);
+  EXPECT_EQ(rule.hold_ticks, 7);
+
+  ASSERT_TRUE(obs::parse_alert_rule("error_rate>=0.01", rule));
+  EXPECT_EQ(rule.op, ">=");
+  EXPECT_EQ(rule.for_ticks, 1);  // defaults
+  EXPECT_EQ(rule.hold_ticks, 3);
+
+  for (const char* bad :
+       {"", "nonsense", ">5", "queue>", "q>1;for=x", "q>1;for=0",
+        "q>1;bogus=2"}) {
+    EXPECT_FALSE(obs::parse_alert_rule(bad, rule, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(ObsAlerts, ForAndHoldDebounceDeterministically) {
+  obs::Registry registry;
+  obs::AlertEngine alerts(&registry);
+  std::string error;
+  ASSERT_TRUE(
+      alerts.add_rule("engine_queue_depth>100;for=2;hold=2", &error))
+      << error;
+
+  alerts.evaluate(gauge_tick(0, 150));  // breach 1 of 2: armed, not firing
+  EXPECT_EQ(alerts.firing_count(), 0u);
+  alerts.evaluate(gauge_tick(1, 150));  // breach 2 of 2: fires
+  EXPECT_EQ(alerts.firing_count(), 1u);
+  EXPECT_EQ(registry.gauge("alerts_firing").value(), 1.0);
+  alerts.evaluate(gauge_tick(2, 150));  // still breaching: no re-fire
+  EXPECT_EQ(alerts.firing_count(), 1u);
+  alerts.evaluate(gauge_tick(3, 50));  // clean 1 of 2: holds
+  EXPECT_EQ(alerts.firing_count(), 1u);
+  alerts.evaluate(gauge_tick(4, 50));  // clean 2 of 2: resolves
+  EXPECT_EQ(alerts.firing_count(), 0u);
+  EXPECT_EQ(registry.gauge("alerts_firing").value(), 0.0);
+
+  const std::vector<obs::AlertEngine::RuleState> states = alerts.states();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_FALSE(states[0].firing);
+  EXPECT_EQ(states[0].fired_total, 1u);
+  EXPECT_EQ(states[0].resolved_total, 1u);
+  EXPECT_EQ(states[0].ticks_evaluated, 5u);
+
+  std::ostringstream json;
+  alerts.write_json(json);
+  EXPECT_EQ(json.str().rfind("{\"firing\":0,\"rules\":[", 0), 0u);
+  EXPECT_NE(json.str().find("\"fired\":1"), std::string::npos);
+}
+
+TEST(ObsAlerts, CounterDeltaRuleSeesOnlyTheTickWindow) {
+  obs::AlertEngine alerts(nullptr);
+  ASSERT_TRUE(alerts.add_rule("watchdog_stalls_total_delta>0;hold=2"));
+
+  obs::FlightRecorder::Tick stall = gauge_tick(0, 0);
+  stall.counter_deltas["watchdog_stalls_total"] = 1;
+  alerts.evaluate(stall);  // for=1 default: fires on the first breach
+  EXPECT_EQ(alerts.firing_count(), 1u);
+
+  // The counter never moves again: absent delta reads as zero, and two
+  // clean ticks resolve the alert.
+  alerts.evaluate(gauge_tick(1, 0));
+  EXPECT_EQ(alerts.firing_count(), 1u);
+  alerts.evaluate(gauge_tick(2, 0));
+  EXPECT_EQ(alerts.firing_count(), 0u);
+  ASSERT_EQ(alerts.states().size(), 1u);
+  EXPECT_EQ(alerts.states()[0].fired_total, 1u);
+  EXPECT_EQ(alerts.states()[0].resolved_total, 1u);
+}
+
+// ---------------------------------------------------------- exposition
+
+TEST(ObsExposition, ParsesSampleLinesAndRejectsMalformed) {
+  std::string name;
+  double value = 0.0;
+  EXPECT_TRUE(obs::parse_exposition_line("engine_requests_total 42", name,
+                                         value));
+  EXPECT_EQ(name, "engine_requests_total");
+  EXPECT_EQ(value, 42.0);
+  EXPECT_TRUE(obs::parse_exposition_line("hist_bucket{le=\"0.1\"} 7", name,
+                                         value));
+  EXPECT_EQ(name, "hist_bucket{le=\"0.1\"}");
+  for (const char* bad : {"", "1bad 2", "name", "name x", "name 1 2x"}) {
+    EXPECT_FALSE(obs::parse_exposition_line(bad, name, value)) << bad;
+  }
+}
+
+TEST(ObsExposition, TrackerDistinguishesRestartFromBackwards) {
+  obs::ScrapeDeltaTracker tracker;
+  const std::map<std::string, double> baseline{
+      {"a_total", 10}, {"process_start_time_seconds", 111}, {"depth", 5}};
+  const obs::ScrapeDeltaTracker::Result first = tracker.feed(baseline);
+  EXPECT_TRUE(first.first);
+  EXPECT_TRUE(first.deltas.empty());
+
+  // Healthy advance: one counter delta, gauges ignored.
+  const obs::ScrapeDeltaTracker::Result advance = tracker.feed(
+      {{"a_total", 15}, {"process_start_time_seconds", 111}, {"depth", 9}});
+  EXPECT_FALSE(advance.first);
+  EXPECT_FALSE(advance.restart);
+  EXPECT_TRUE(advance.backwards.empty());
+  ASSERT_EQ(advance.deltas.size(), 1u);
+  EXPECT_EQ(advance.deltas[0].name, "a_total");
+  EXPECT_EQ(advance.deltas[0].value, 5.0);
+
+  // Counters reset AND a fresh start time: a restart, deltas rebase
+  // from zero — not an error.
+  const obs::ScrapeDeltaTracker::Result restart = tracker.feed(
+      {{"a_total", 3}, {"process_start_time_seconds", 222}});
+  EXPECT_TRUE(restart.restart);
+  EXPECT_TRUE(restart.backwards.empty());
+  ASSERT_EQ(restart.deltas.size(), 1u);
+  EXPECT_EQ(restart.deltas[0].value, 3.0);
+
+  // A counter that shrinks under an unchanged start time is a genuine
+  // monotonicity violation.
+  const obs::ScrapeDeltaTracker::Result corrupt = tracker.feed(
+      {{"a_total", 1}, {"process_start_time_seconds", 222}});
+  EXPECT_FALSE(corrupt.restart);
+  ASSERT_EQ(corrupt.backwards.size(), 1u);
+  EXPECT_EQ(corrupt.backwards[0], "a_total");
+}
+
+// ------------------------------------------- protocol: profile / alerts
+
+TEST(ProtocolTelemetry, ProfileAndAlertsCommandsRenderState) {
+  obs::Telemetry telemetry;
+  ASSERT_TRUE(telemetry.alerts.add_rule("engine_queue_depth>1e9"));
+  ServiceConfig config;
+  config.threads = 2;
+  config.telemetry = &telemetry;
+  SolveService engine(config);
+  const SolveRequest request{hom_instance(), "heur-p", {}};
+  ASSERT_EQ(engine.submit(request).get().status, ReplyStatus::kSolved);
+
+  std::istringstream script(
+      "profile\nprofile solver_run\nalerts\nstats --json\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(script, out, engine).protocol_errors, 0u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# profile {\"enabled\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"solver_run\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"engine_queue\""), std::string::npos);
+  EXPECT_NE(text.find("# alerts {\"firing\":0"), std::string::npos);
+  EXPECT_NE(text.find("engine_queue_depth>1e9"), std::string::npos);
+  EXPECT_NE(text.find("\"profile\":{\"enabled\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"alerts\":{\"firing\":0"), std::string::npos);
+
+  // The filtered view narrows to the named component only.
+  const std::size_t filtered_pos = text.find("# profile ", 11);
+  ASSERT_NE(filtered_pos, std::string::npos);
+  const std::string filtered =
+      text.substr(filtered_pos, text.find('\n', filtered_pos) - filtered_pos);
+  EXPECT_NE(filtered.find("solver_run"), std::string::npos);
+  EXPECT_EQ(filtered.find("cache_lookup"), std::string::npos);
+
+  // The submit path's allocation accounting surfaced per request.
+  EXPECT_GT(telemetry.metrics.gauge("engine_allocs_per_request").value(),
+            0.0);
+}
+
+TEST(ProtocolTelemetry, ProfileAndAlertsErrorWhenTelemetryOff) {
+  ServiceConfig config;
+  config.threads = 1;
+  SolveService engine(config);
+  std::istringstream script("profile\nalerts\n");
+  std::ostringstream out;
+  EXPECT_EQ(run_serve(script, out, engine).protocol_errors, 2u);
+  EXPECT_NE(out.str().find("profile: telemetry disabled"),
+            std::string::npos);
+  EXPECT_NE(out.str().find("alerts: telemetry disabled"), std::string::npos);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "load/generator.hpp"
 #include "model/generator.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/profiler.hpp"
 #include "obs/watchdog.hpp"
 #include "service/protocol.hpp"
 
@@ -150,6 +151,62 @@ TEST(FabricSoak, OpenLoopSurvivesContinuousFaultInjection) {
   EXPECT_EQ(run_serve(script, out, fabric.service(0)).protocol_errors, 0u);
   EXPECT_NE(out.str().find("# tick seq="), std::string::npos);
   EXPECT_NE(out.str().find("# timeseries end"), std::string::npos);
+}
+
+// A slow-but-alive peer (rank 1 sleeps every inbound frame at the
+// harness gate, well under the watchdog's stall bar). The requester's
+// profiler must attribute the stretch as *blocked* time on
+// wire_round_trip — the forward thread off-CPU waiting on the peer —
+// and not as work on its local solver, which never ran for these keys.
+TEST(FabricSoak, SlowPeerAttributesBlockedTimeToWireNotSolver) {
+  FabricHarness::Options options;
+  options.world = 2;
+  options.service.threads = 2;
+  options.router.client.connect_timeout_seconds = 1.0;
+  options.router.client.reply_timeout_seconds = 10.0;
+  options.router.client.backoff_initial_seconds = 0.05;
+  FabricHarness fabric(options);
+
+  Rng rng(7300);
+  ChainConfig chain_config;
+  chain_config.task_count = 8;
+  const Instance instance{
+      random_chain(rng, chain_config),
+      Platform::homogeneous(4, paper::kHomSpeed, paper::kProcessorFailureRate,
+                            paper::kBandwidth, paper::kLinkFailureRate,
+                            paper::kMaxReplication)};
+
+  constexpr double kPeerDelaySeconds = 0.25;
+  constexpr int kForwards = 4;
+  fabric.faults(1).delay(kPeerDelaySeconds);
+  for (int i = 0; i < kForwards; ++i) {
+    SolveRequest request{
+        instance, "heur-p",
+        fabric.bounds_on_rank(instance, "heur-p", /*owner=*/1, i * 16.0)};
+    const SolveReply reply = fabric.router(0).submit(request).get();
+    ASSERT_EQ(reply.status, ReplyStatus::kSolved);
+  }
+  fabric.faults(1).delay(0.0);
+
+  double wire_blocked = 0.0;
+  double solver_blocked = 0.0;
+  std::uint64_t wire_samples = 0;
+  for (const obs::Profiler::ComponentStats& component :
+       fabric.telemetry(0).profiler.stats()) {
+    if (component.name == "wire_round_trip") {
+      wire_blocked = component.blocked_seconds;
+      wire_samples = component.samples;
+    }
+    if (component.name == "solver_run") {
+      solver_blocked = component.blocked_seconds;
+    }
+  }
+  EXPECT_EQ(wire_samples, static_cast<std::uint64_t>(kForwards));
+  // Every forward absorbed at least the injected gate delay off-CPU.
+  EXPECT_GT(wire_blocked, 0.8 * kPeerDelaySeconds * kForwards);
+  // The stall did NOT attribute to local compute: these keys were
+  // solved by the owner, so rank 0's solver shows at most noise.
+  EXPECT_LT(solver_blocked, 0.5 * wire_blocked);
 }
 
 }  // namespace

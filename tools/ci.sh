@@ -27,6 +27,23 @@ cmake --build "$BUILD" -j "$JOBS"
 CLI="$BUILD/prts_cli"
 
 # ---------------------------------------------------------------------------
+# Profiler overhead gate: the A/B bench (telemetry on in both arms,
+# only Profiler::set_enabled flips) must stay under 5% on the warm
+# path, and the instrumented arm must report the allocations-per-hit
+# number the hot-path rebuild tracks.
+# ---------------------------------------------------------------------------
+"$BUILD/profile_overhead" --quick --out "$BUILD/BENCH_profile.json"
+overhead=$(grep -o '"overhead_pct":[^,]*' "$BUILD/BENCH_profile.json" |
+           cut -d: -f2)
+awk -v v="${overhead:-100}" 'BEGIN { exit !(v < 5.0) }' ||
+  { echo "FAIL: profiler overhead ${overhead}% >= 5%" >&2; exit 1; }
+allocs_hit=$(grep -o '"allocs_per_warm_hit":[^,]*' "$BUILD/BENCH_profile.json" |
+             cut -d: -f2)
+awk -v v="${allocs_hit:-0}" 'BEGIN { exit !(v > 0) }' ||
+  { echo "FAIL: bench reported zero allocations per warm hit" >&2; exit 1; }
+echo "profiler overhead gate OK: ${overhead}% (allocs/warm-hit ${allocs_hit})"
+
+# ---------------------------------------------------------------------------
 # Near-miss smoke test: a paced descending period sweep over one
 # instance. Steps whose optimum is unchanged must be served from the
 # bounds-monotone index — the '# near_miss' stats counter rises and the
@@ -232,6 +249,40 @@ grep -qE '# trace-entry .*ranks=[0-9]+,[0-9]+' "$FAB/out0" ||
 echo "telemetry smoke test OK: replica_hits $rh_a -> $rh_b," \
      "cross-rank traces present"
 
+# ---------------------------------------------------------------------------
+# Profiler smoke: with all three ranks up and warm from the traffic
+# above, the `profile` protocol command on rank 0 must render a
+# well-formed rollup (components + mutexes), every rank's scrape must
+# export profile_* families, and the always-on allocation accounting
+# must have produced a nonzero engine_allocs_per_request gauge.
+# ---------------------------------------------------------------------------
+echo "profile" >&8
+for _ in $(seq 1 100); do
+  grep -q '# profile ' "$FAB/out0" && break
+  sleep 0.05
+done
+grep -q '# profile {"enabled":true,"components":\[' "$FAB/out0" ||
+  { echo "FAIL: profile command malformed on rank 0" >&2; exit 1; }
+grep '# profile ' "$FAB/out0" | grep -q '"name":"submit_path"' ||
+  { echo "FAIL: profile rollup lost the submit_path component" >&2; exit 1; }
+grep '# profile ' "$FAB/out0" | grep -q '"mutexes":\[' ||
+  { echo "FAIL: profile rollup lost the mutex table" >&2; exit 1; }
+echo "profile" >&9
+for _ in $(seq 1 100); do
+  grep -q '# profile ' "$FAB/out1" && break
+  sleep 0.05
+done
+grep -q '# profile {"enabled":true' "$FAB/out1" ||
+  { echo "FAIL: profile command malformed on rank 1" >&2; exit 1; }
+for r in 0 1 2; do
+  grep -q '^profile_' "$FAB/scrape${r}_b.txt" ||
+    { echo "FAIL: rank $r exports no profile_* families" >&2; exit 1; }
+done
+apr=$(metric_value "$FAB/scrape0_b.txt" engine_allocs_per_request)
+awk -v v="$apr" 'BEGIN { exit !(v > 0) }' ||
+  { echo "FAIL: engine_allocs_per_request is zero on rank 0" >&2; exit 1; }
+echo "profiler smoke test OK: allocs_per_request=$apr"
+
 # Phase 2: kill rank 1 mid-run. Its already-replicated keys must still
 # be served (replica hits rise, zero errors), and 24 fresh keys must be
 # answered cleanly — the ones rank 1 owns via local fallback.
@@ -290,6 +341,51 @@ grep -q '"watchdog":{"stalls_total":0' "$FAB/out0" ||
   { echo "FAIL: watchdog reported stalls on rank 0" >&2; exit 1; }
 echo "open-loop smoke test OK: $(grep -o '"offered_rate":[0-9.]*' \
     "$FAB/openloop.json"), $(grep -o '"answered":[0-9]*' "$FAB/openloop.json")"
+
+# ---------------------------------------------------------------------------
+# Alert smoke: every serve carries the default rule
+# "watchdog_stalls_total_delta>0;hold=5". Freeze the last live rank
+# with SIGSTOP for longer than the 2s stall threshold — on resume its
+# watchdog books a stall episode (the periodic gossip component's
+# missed-beat gap), the next flight-recorder tick sees the delta and
+# the rule fires (`scrape --alerts` exits 3). With the rank healthy
+# again the rule must then resolve within the 5-tick hold (exit 0).
+# Deliberately last, after rank 0's stall-free verdict above: a frozen
+# peer also stretches *other* ranks' gossip exchanges past the stall
+# bar, so this fault must not precede any watchdog-clean assertion.
+# ---------------------------------------------------------------------------
+kill -STOP "$PID0"
+sleep 3.2
+kill -CONT "$PID0"
+alert_fired=0
+for _ in $(seq 1 60); do
+  rc=0
+  "$CLI" scrape "127.0.0.1:$P0" --alerts > "$FAB/alerts0.txt" 2>/dev/null ||
+    rc=$?
+  [ "$rc" -eq 3 ] && { alert_fired=1; break; }
+  [ "$rc" -eq 0 ] ||
+    { echo "FAIL: alert scrape of rank 0 failed (rc=$rc)" >&2; exit 1; }
+  sleep 0.25
+done
+[ "$alert_fired" = "1" ] ||
+  { echo "FAIL: frozen rank 0 never fired the watchdog stall alert" >&2
+    cat "$FAB/alerts0.txt" >&2; exit 1; }
+grep -q '^alert_watchdog_stalls' "$FAB/alerts0.txt" ||
+  { echo "FAIL: firing scrape does not name the watchdog rule" >&2; exit 1; }
+alert_resolved=0
+for _ in $(seq 1 60); do
+  rc=0
+  "$CLI" scrape "127.0.0.1:$P0" --alerts > "$FAB/alerts0.txt" 2>/dev/null ||
+    rc=$?
+  [ "$rc" -eq 0 ] && { alert_resolved=1; break; }
+  [ "$rc" -eq 3 ] ||
+    { echo "FAIL: alert scrape of rank 0 failed (rc=$rc)" >&2; exit 1; }
+  sleep 0.5
+done
+[ "$alert_resolved" = "1" ] ||
+  { echo "FAIL: watchdog stall alert never resolved after revive" >&2
+    cat "$FAB/alerts0.txt" >&2; exit 1; }
+echo "alert smoke test OK: stall rule fired and resolved after revive"
 
 exec 8>&- 9>&-
 wait "$PID0" || { echo "FAIL: rank 0 exited non-zero" >&2; exit 1; }

@@ -34,7 +34,7 @@
 //       [--listen PORT] [--world N] [--rank R] [--peers h:p,h:p,...]
 //       [--replica-mb M] [--replica-ttl SECONDS]
 //       [--replica-ttl-cost FACTOR] [--gossip-interval S]
-//       [--no-input] [--slow-ms MS]
+//       [--no-input] [--slow-ms MS] [--alert RULE]...
 //       run the batched solve service over a line-protocol request
 //       stream (see src/service/protocol.hpp for the format); with
 //       --listen/--world/--rank/--peers the process joins the
@@ -57,13 +57,25 @@
 //       --flight-interval S sets the flight-recorder tick period
 //       (default 1s, 0 disables; window via the `timeseries` command)
 //       and --stall-ms MS the watchdog stall threshold (default 2000,
-//       0 disables; verdict in `stats --json` under "watchdog")
-//   prts_cli scrape HOST:PORT [--watch S] [--count N]
+//       0 disables; verdict in `stats --json` under "watchdog");
+//       an in-process profiler attributes cpu/wall/blocked time,
+//       allocations and lock contention per component (`profile
+//       [filter]` and `alerts` protocol commands, profile_*/mutex_*
+//       scrape families); --alert RULE (repeatable, load::slo grammar
+//       plus ;for=N;hold=N debounce, e.g.
+//       "engine_queue_depth>100;for=3") adds health-alert rules
+//       evaluated every flight-recorder tick, on top of the always-on
+//       default rule "watchdog_stalls_total_delta>0;hold=5"
+//   prts_cli scrape HOST:PORT [--watch S] [--count N] [--alerts]
 //       fetch prometheus text expositions from a running serve rank
 //       (its --listen port). One shot by default; --watch S re-scrapes
 //       every S seconds (N times with --count, forever without) and
-//       prints counter deltas between scrapes. Exits nonzero on a
-//       malformed exposition line or a counter that went backwards.
+//       prints counter deltas between scrapes; a target restart
+//       (counters reset + fresh process_start_time_seconds) resets the
+//       baseline instead of failing. --alerts prints only the
+//       alerts_firing / alert_* families and exits 3 while any rule is
+//       firing. Exits nonzero on a malformed exposition line or a
+//       counter that went backwards without a restart.
 //   prts_cli loadgen --targets h:p[,h:p...] [--rate R] [--duration S]
 //       [--process poisson|bursty|uniform] [--seed S] [--keys K]
 //       [--zipf Z] [--mix name:w,name:w] [--tasks N] [--procs P]
@@ -117,6 +129,7 @@
 #include "load/slo.hpp"
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
+#include "obs/exposition.hpp"
 #include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/engine.hpp"
@@ -144,11 +157,12 @@ class Flags {
         std::exit(2);
       }
       arg = arg.substr(2);
+      std::string value;
       if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-        values_[arg] = argv[++i];
-      } else {
-        values_[arg] = "";
+        value = argv[++i];
       }
+      values_[arg] = value;
+      ordered_.emplace_back(std::move(arg), std::move(value));
     }
   }
 
@@ -165,8 +179,19 @@ class Flags {
     return it == values_.end() ? fallback : std::stod(it->second);
   }
 
+  /// Every value given for a repeatable flag, in command-line order
+  /// (get/number see only the last occurrence).
+  std::vector<std::string> all(const std::string& name) const {
+    std::vector<std::string> values;
+    for (const auto& [flag, value] : ordered_) {
+      if (flag == name) values.push_back(value);
+    }
+    return values;
+  }
+
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::string> values_;  ///< last occurrence wins
+  std::vector<std::pair<std::string, std::string>> ordered_;
 };
 
 Instance read_instance_or_die() {
@@ -609,6 +634,22 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     telemetry.watchdog.start(watchdog_config);
   }
 
+  // Health alerts: evaluated on every flight-recorder tick. Every serve
+  // gets the stall rule by default (a watchdog episode should page even
+  // if nobody passed --alert); --alert RULE adds more, repeatable.
+  {
+    std::vector<std::string> alert_rules = flags.all("alert");
+    alert_rules.insert(alert_rules.begin(),
+                       "watchdog_stalls_total_delta>0;hold=5");
+    for (const std::string& rule_text : alert_rules) {
+      std::string error;
+      if (!telemetry.alerts.add_rule(rule_text, &error)) {
+        std::cerr << "--alert '" << rule_text << "': " << error << "\n";
+        return 2;
+      }
+    }
+  }
+
   // Open the request stream before constructing the service, so an
   // error exit never abandons live worker threads.
   std::ifstream request_file;
@@ -684,7 +725,7 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
         service::make_fabric_handler(
             engine, [&router_ptr] { return router_ptr.load(); }),
         *server_pool, net::kDefaultMaxPayload, &telemetry.metrics,
-        &telemetry.watchdog);
+        &telemetry.watchdog, &telemetry.profiler);
     if (!server) {
       std::cerr << "cannot listen on port " << port << "\n";
       return 1;
@@ -753,39 +794,14 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   return result.protocol_errors == 0 ? 0 : 1;
 }
 
-/// Validates one prometheus exposition line (sample lines only; '#'
-/// comments pass). On success fills name (including any {labels}) and
-/// value.
-bool parse_exposition_line(const std::string& line, std::string& name,
-                           double& value) {
-  std::size_t pos = 0;
-  const auto name_char = [](char c, bool first) {
-    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                       c == '_' || c == ':';
-    return first ? alpha : alpha || (c >= '0' && c <= '9');
-  };
-  if (line.empty() || !name_char(line[0], true)) return false;
-  while (pos < line.size() && name_char(line[pos], pos == 0)) ++pos;
-  std::size_t name_end = pos;
-  if (pos < line.size() && line[pos] == '{') {
-    const std::size_t close = line.find('}', pos);
-    if (close == std::string::npos) return false;
-    name_end = close + 1;
-    pos = close + 1;
-  }
-  if (pos >= line.size() || line[pos] != ' ') return false;
-  name = line.substr(0, name_end);
-  const std::string value_text = line.substr(pos + 1);
-  if (value_text.empty()) return false;
-  char* end = nullptr;
-  value = std::strtod(value_text.c_str(), &end);
-  return end == value_text.c_str() + value_text.size();
-}
-
 /// kMetricsRequest exchanges against a running serve rank; prometheus
 /// text lands on stdout (monitoring's stream), diagnostics on stderr.
-/// --watch S repeats every S seconds printing counter deltas; any
-/// malformed sample line or backwards counter makes the exit nonzero.
+/// --watch S repeats every S seconds printing counter deltas (a target
+/// restart — fresh process_start_time_seconds alongside reset counters
+/// — restarts the baseline, it is not an error); --alerts prints only
+/// the alert families and exits 3 while any rule is firing. Any
+/// malformed sample line or a counter that went backwards without a
+/// restart makes the exit nonzero.
 int cmd_scrape(const std::string& target, const Flags& flags) {
   const auto parsed = service::parse_peer_list(target);
   if (!parsed || parsed->size() != 1) {
@@ -800,10 +816,12 @@ int cmd_scrape(const std::string& target, const Flags& flags) {
   // Default: one scrape normally, forever under --watch.
   const auto count = static_cast<std::size_t>(
       flags.number("count", watch > 0 ? 0 : 1));
+  const bool alerts_only = flags.has("alerts");
 
   net::FrameClient client((*parsed)[0].host, (*parsed)[0].port);
-  std::map<std::string, double> previous;
+  obs::ScrapeDeltaTracker tracker;
   bool backwards = false;
+  bool alerts_firing = false;
   for (std::size_t iteration = 0; count == 0 || iteration < count;
        ++iteration) {
     if (iteration > 0) {
@@ -825,36 +843,50 @@ int cmd_scrape(const std::string& target, const Flags& flags) {
       if (line.empty() || line[0] == '#') continue;
       std::string name;
       double value = 0.0;
-      if (!parse_exposition_line(line, name, value)) {
+      if (!obs::parse_exposition_line(line, name, value)) {
         std::cerr << "scrape: malformed exposition line " << lineno << ": "
                   << line << "\n";
         return 1;
       }
       samples[name] = value;
     }
-    if (iteration == 0) {
-      std::cout << reply->payload;
-      std::cout.flush();
-    } else {
-      // Counter deltas only (monotone families); gauges move freely.
-      std::cout << "# scrape delta " << iteration << "\n";
+    if (alerts_only) {
+      // Alert state only: the firing count plus every per-rule family.
+      alerts_firing = false;
+      const auto firing_it = samples.find("alerts_firing");
+      if (firing_it != samples.end() && firing_it->second > 0) {
+        alerts_firing = true;
+      }
       for (const auto& [name, value] : samples) {
-        if (name.find("_total") == std::string::npos) continue;
-        const auto it = previous.find(name);
-        const double before = it == previous.end() ? 0.0 : it->second;
-        if (value < before) {
-          std::cerr << "scrape: counter went backwards: " << name << " "
-                    << before << " -> " << value << "\n";
-          backwards = true;
-        }
-        if (value != before) {
-          std::cout << name << " +" << (value - before) << "\n";
+        if (name == "alerts_firing" || name.rfind("alert_", 0) == 0) {
+          std::cout << name << " " << value << "\n";
         }
       }
       std::cout.flush();
+      continue;
     }
-    previous = std::move(samples);
+    const obs::ScrapeDeltaTracker::Result verdict = tracker.feed(samples);
+    if (verdict.first) {
+      std::cout << reply->payload;
+      std::cout.flush();
+      continue;
+    }
+    if (verdict.restart) {
+      // Counters reset with a fresh process start time: the target
+      // restarted. New baseline, not a monotonicity violation.
+      std::cout << "# scrape restart detected (new process baseline)\n";
+    }
+    std::cout << "# scrape delta " << iteration << "\n";
+    for (const std::string& name : verdict.backwards) {
+      std::cerr << "scrape: counter went backwards: " << name << "\n";
+      backwards = true;
+    }
+    for (const obs::ScrapeDeltaTracker::Delta& delta : verdict.deltas) {
+      std::cout << delta.name << " +" << delta.value << "\n";
+    }
+    std::cout.flush();
   }
+  if (alerts_only && alerts_firing) return 3;
   return backwards ? 1 : 0;
 }
 
@@ -1064,7 +1096,7 @@ int main(int argc, char** argv) {
     const bool has_target = argc > 2 && std::strncmp(argv[2], "--", 2) != 0;
     if (!has_target) {
       std::cerr << "usage: prts_cli scrape HOST:PORT [--watch S] "
-                   "[--count N]\n";
+                   "[--count N] [--alerts]\n";
       return 2;
     }
     const Flags flags(argc, argv, 3);
