@@ -8,7 +8,7 @@
 #include <optional>
 #include <thread>
 
-#include "net/frame_client.hpp"
+#include "net/mux_client.hpp"
 #include "service/wire.hpp"
 
 namespace prts::load {
@@ -188,7 +188,7 @@ struct WirePool::Impl {
     std::promise<service::SolveReply> promise;
   };
 
-  std::vector<std::unique_ptr<net::FrameClient>> clients;
+  std::vector<std::unique_ptr<net::MuxFrameClient>> clients;
   std::vector<std::thread> workers;
 
   std::mutex mutex;
@@ -212,13 +212,14 @@ struct WirePool::Impl {
       net::Frame frame;
       frame.type = net::FrameType::kSolveRequest;
       frame.payload = service::encode_wire_request(*job.request);
-      // Own connection first, then fail over across the others — a dead
-      // target degrades the pool, it does not fail its share of the
-      // load. FrameClient::call is internally serialized (cross-worker
-      // use is safe) and suspect peers fail fast after the first
+      // Home connection first (workers spread round-robin over the
+      // clients), then fail over across the others — a dead target
+      // degrades the pool, it does not fail its share of the load.
+      // Many workers calling one MuxFrameClient pipeline on its single
+      // connection, and suspect peers fail fast after the first
       // timeout, so the sweep is cheap once a corpse is known.
       for (std::size_t attempt = 0; attempt < clients.size(); ++attempt) {
-        net::FrameClient& client =
+        net::MuxFrameClient& client =
             *clients[(index + attempt) % clients.size()];
         const std::optional<net::Frame> answer = client.call(frame);
         if (!answer || answer->type != net::FrameType::kSolveReply) continue;
@@ -236,19 +237,31 @@ struct WirePool::Impl {
   }
 };
 
-WirePool::WirePool(std::vector<Target> targets, std::size_t connections)
+WirePool::WirePool(std::vector<Target> targets, std::size_t connections,
+                   std::size_t workers)
     : impl_(std::make_unique<Impl>()) {
   connections = std::max<std::size_t>(connections, 1);
   for (const Target& target : targets) {
     for (std::size_t c = 0; c < connections; ++c) {
-      impl_->clients.push_back(std::make_unique<net::FrameClient>(
+      impl_->clients.push_back(std::make_unique<net::MuxFrameClient>(
           target.host, target.port, net::FrameClientConfig{}));
     }
   }
-  for (std::size_t i = 0; i < impl_->clients.size(); ++i) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(8, 4 * impl_->clients.size());
+  }
+  for (std::size_t i = 0; i < workers; ++i) {
     impl_->workers.emplace_back(
         [impl = impl_.get(), i] { impl->worker(i); });
   }
+}
+
+std::uint64_t WirePool::max_inflight_per_connection() const {
+  std::uint64_t max_inflight = 0;
+  for (const auto& client : impl_->clients) {
+    max_inflight = std::max(max_inflight, client->stats().max_inflight);
+  }
+  return max_inflight;
 }
 
 WirePool::~WirePool() { shutdown(); }

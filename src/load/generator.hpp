@@ -16,9 +16,9 @@
 // Targets: anything shaped like submit(SolveRequest) ->
 // future<SolveReply>. In-process that is SolveService::submit or
 // ShardRouter::submit (both truly non-blocking); across the wire,
-// WirePool presents the same interface over a set of FrameClient
-// connections fed by a bounded worker pool — the queue wait inside the
-// pool counts toward latency, exactly as it should.
+// WirePool presents the same interface over a set of pipelined
+// MuxFrameClient connections fed by a bounded worker pool — the queue
+// wait inside the pool counts toward latency, exactly as it should.
 #pragma once
 
 #include <cstdint>
@@ -78,12 +78,15 @@ RunResult run_open_loop(const LoadTrace& trace,
                         const SubmitFn& submit,
                         const OpenLoopOptions& options = {});
 
-/// A SubmitFn over the wire: `connections` FrameClient links per target
-/// address, fed round-robin from a bounded queue by one worker thread
-/// per connection. submit() never blocks on the network — it enqueues
-/// and returns a future, so the open-loop property survives the hop to
-/// a real fabric. A failed exchange (dead peer, timeout) resolves the
-/// future with ReplyStatus::kError rather than dropping it.
+/// A SubmitFn over the wire: `connections` MuxFrameClient links per
+/// target address, fed round-robin from a bounded queue by a worker
+/// pool. The mux links pipeline (protocol v2 request ids), so workers
+/// outnumber connections — ONE connection carries many in-flight
+/// solves, which is the whole point. submit() never blocks on the
+/// network — it enqueues and returns a future, so the open-loop
+/// property survives the hop to a real fabric. A failed exchange (dead
+/// peer, timeout) resolves the future with ReplyStatus::kError rather
+/// than dropping it.
 class WirePool {
  public:
   struct Target {
@@ -91,14 +94,22 @@ class WirePool {
     std::uint16_t port = 0;
   };
 
-  /// `connections` is per target (>= 1).
-  WirePool(std::vector<Target> targets, std::size_t connections = 2);
+  /// `connections` is per target (>= 1). `workers` sizes the blocking
+  /// worker pool (= the max in-flight exchanges); 0 picks
+  /// max(8, 4 * total connections).
+  WirePool(std::vector<Target> targets, std::size_t connections = 1,
+           std::size_t workers = 0);
   ~WirePool();
 
   WirePool(const WirePool&) = delete;
   WirePool& operator=(const WirePool&) = delete;
 
   std::future<service::SolveReply> submit(service::SolveRequest request);
+
+  /// High-water mark of in-flight exchanges on any single connection
+  /// (max over the per-client FrameClientStats watermarks) — the
+  /// pipelining proof the CI smoke asserts on.
+  std::uint64_t max_inflight_per_connection() const;
 
   SubmitFn submit_fn() {
     return [this](service::SolveRequest request) {

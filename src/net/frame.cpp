@@ -23,14 +23,27 @@ std::uint32_t get_u32_be(const unsigned char* in) noexcept {
          static_cast<std::uint32_t>(in[3]);
 }
 
-/// Validates a 12-byte header; kFrame here means "header well-formed".
+std::uint16_t get_u16_be(const unsigned char* in) noexcept {
+  return static_cast<std::uint16_t>((static_cast<std::uint16_t>(in[0]) << 8) |
+                                    static_cast<std::uint16_t>(in[1]));
+}
+
+std::size_t header_bytes_for(std::uint8_t version) noexcept {
+  return version == kProtocolVersion2 ? kFrameHeaderBytesV2
+                                      : kFrameHeaderBytes;
+}
+
+/// Validates the 12-byte common header prefix; kFrame here means
+/// "header well-formed" (a v2 header still owes 4 id bytes).
 DecodeStatus check_header(const unsigned char* header,
                           std::size_t max_payload,
                           std::uint32_t& length) noexcept {
   if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return DecodeStatus::kBadMagic;
   }
-  if (header[4] != kProtocolVersion) return DecodeStatus::kBadVersion;
+  if (header[4] != kProtocolVersion && header[4] != kProtocolVersion2) {
+    return DecodeStatus::kBadVersion;
+  }
   length = get_u32_be(header + 8);
   if (length > max_payload) return DecodeStatus::kOversized;
   return DecodeStatus::kFrame;
@@ -39,16 +52,26 @@ DecodeStatus check_header(const unsigned char* header,
 }  // namespace
 
 std::string encode_frame(const Frame& frame) {
+  const std::size_t header_bytes = header_bytes_for(frame.version);
+  const std::uint64_t id = frame.request_id & kMaxRequestId;
   std::string bytes;
-  bytes.resize(kFrameHeaderBytes + frame.payload.size());
+  bytes.resize(header_bytes + frame.payload.size());
   std::memcpy(bytes.data(), kMagic, sizeof(kMagic));
   bytes[4] = static_cast<char>(frame.version);
   bytes[5] = static_cast<char>(frame.type);
-  bytes[6] = 0;
-  bytes[7] = 0;
+  if (frame.version == kProtocolVersion2) {
+    bytes[6] = static_cast<char>((id >> 40) & 0xff);
+    bytes[7] = static_cast<char>((id >> 32) & 0xff);
+  } else {
+    bytes[6] = 0;
+    bytes[7] = 0;
+  }
   put_u32_be(bytes.data() + 8,
              static_cast<std::uint32_t>(frame.payload.size()));
-  std::memcpy(bytes.data() + kFrameHeaderBytes, frame.payload.data(),
+  if (frame.version == kProtocolVersion2) {
+    put_u32_be(bytes.data() + 12, static_cast<std::uint32_t>(id & 0xffffffffu));
+  }
+  std::memcpy(bytes.data() + header_bytes, frame.payload.data(),
               frame.payload.size());
   return bytes;
 }
@@ -65,13 +88,19 @@ DecodeResult decode_frame(std::string_view buffer, std::size_t max_payload) {
     result.status = verdict;
     return result;
   }
-  if (buffer.size() < kFrameHeaderBytes + length) return result;
+  const std::size_t header_bytes = header_bytes_for(header[4]);
+  if (buffer.size() < header_bytes + length) return result;
 
   result.status = DecodeStatus::kFrame;
   result.frame.version = header[4];
   result.frame.type = static_cast<FrameType>(header[5]);
-  result.frame.payload.assign(buffer.data() + kFrameHeaderBytes, length);
-  result.consumed = kFrameHeaderBytes + length;
+  if (header[4] == kProtocolVersion2) {
+    result.frame.request_id =
+        (static_cast<std::uint64_t>(get_u16_be(header + 6)) << 32) |
+        static_cast<std::uint64_t>(get_u32_be(header + 12));
+  }
+  result.frame.payload.assign(buffer.data() + header_bytes, length);
+  result.consumed = header_bytes + length;
   return result;
 }
 
@@ -97,13 +126,27 @@ DecodeResult FrameDecoder::next() {
 
 FrameReadStatus read_frame(Socket& socket, Frame& frame,
                            std::size_t max_payload) {
-  unsigned char header[kFrameHeaderBytes];
+  unsigned char header[kFrameHeaderBytesV2];
   // The first byte separates "clean EOF between frames" from "peer died
-  // mid-frame" — the robustness tests distinguish the two.
+  // mid-frame" — the robustness tests distinguish the two. A receive
+  // timeout anywhere is its own verdict: the connection may be fine,
+  // the peer is just slow.
   std::size_t got = 0;
-  if (!socket.recv_some(header, 1, got)) return FrameReadStatus::kClosed;
-  if (!socket.recv_all(header + 1, sizeof(header) - 1)) {
-    return FrameReadStatus::kTruncated;
+  switch (socket.recv_some_status(header, 1, got)) {
+    case Socket::RecvStatus::kOk:
+      break;
+    case Socket::RecvStatus::kTimeout:
+      return FrameReadStatus::kTimeout;
+    default:
+      return FrameReadStatus::kClosed;
+  }
+  switch (socket.recv_exact(header + 1, kFrameHeaderBytes - 1)) {
+    case Socket::RecvStatus::kOk:
+      break;
+    case Socket::RecvStatus::kTimeout:
+      return FrameReadStatus::kTimeout;
+    default:
+      return FrameReadStatus::kTruncated;
   }
 
   std::uint32_t length = 0;
@@ -120,9 +163,31 @@ FrameReadStatus read_frame(Socket& socket, Frame& frame,
 
   frame.version = header[4];
   frame.type = static_cast<FrameType>(header[5]);
+  frame.request_id = 0;
+  if (frame.version == kProtocolVersion2) {
+    switch (socket.recv_exact(header + kFrameHeaderBytes,
+                              kFrameHeaderBytesV2 - kFrameHeaderBytes)) {
+      case Socket::RecvStatus::kOk:
+        break;
+      case Socket::RecvStatus::kTimeout:
+        return FrameReadStatus::kTimeout;
+      default:
+        return FrameReadStatus::kTruncated;
+    }
+    frame.request_id =
+        (static_cast<std::uint64_t>(get_u16_be(header + 6)) << 32) |
+        static_cast<std::uint64_t>(get_u32_be(header + 12));
+  }
   frame.payload.resize(length);
-  if (length > 0 && !socket.recv_all(frame.payload.data(), length)) {
-    return FrameReadStatus::kTruncated;
+  if (length > 0) {
+    switch (socket.recv_exact(frame.payload.data(), length)) {
+      case Socket::RecvStatus::kOk:
+        break;
+      case Socket::RecvStatus::kTimeout:
+        return FrameReadStatus::kTimeout;
+      default:
+        return FrameReadStatus::kTruncated;
+    }
   }
   return FrameReadStatus::kOk;
 }

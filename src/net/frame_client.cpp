@@ -18,39 +18,51 @@ FrameClient::FrameClient(std::string host, std::uint16_t port,
     fast_failures_counter_ =
         &config_.metrics->counter(prefix + "fast_failures_total");
     suspects_counter_ = &config_.metrics->counter(prefix + "suspects_total");
+    timeouts_counter_ = &config_.metrics->counter(prefix + "timeouts_total");
   }
 }
 
-bool FrameClient::ensure_connected_locked() {
+bool FrameClient::ensure_connected_io_locked() {
   if (socket_.valid()) return true;
-  if (backoff_seconds_ > 0.0 && Clock::now() < next_attempt_) {
-    ++stats_.fast_failures;
-    if (fast_failures_counter_) fast_failures_counter_->add();
-    return false;
+  {
+    const std::lock_guard<std::mutex> state(state_mutex_);
+    if (backoff_seconds_ > 0.0 && Clock::now() < next_attempt_) {
+      ++stats_.fast_failures;
+      if (fast_failures_counter_) fast_failures_counter_->add();
+      return false;
+    }
   }
   auto connected =
       tcp_connect(host_, port_, config_.connect_timeout_seconds);
   if (!connected) {
-    mark_failed_locked();
+    mark_failed_io_locked(/*timeout=*/false);
     return false;
   }
   socket_ = std::move(*connected);
   socket_.set_receive_timeout(config_.reply_timeout_seconds);
+  const std::lock_guard<std::mutex> state(state_mutex_);
   ++stats_.connects;
   if (connects_counter_) connects_counter_->add();
   return true;
 }
 
-void FrameClient::mark_failed_locked() {
+void FrameClient::mark_failed_io_locked(bool timeout) {
   socket_.close();
+  const std::lock_guard<std::mutex> state(state_mutex_);
+  if (timeout) {
+    ++stats_.timeouts;
+    if (timeouts_counter_) timeouts_counter_->add();
+  }
   if (backoff_seconds_ == 0.0) {
     // Healthy -> suspect edge, not every failure inside the window.
     ++stats_.suspects;
     if (suspects_counter_) suspects_counter_->add();
   }
+  const double initial = timeout ? config_.backoff_timeout_initial_seconds
+                                 : config_.backoff_initial_seconds;
   backoff_seconds_ =
       backoff_seconds_ == 0.0
-          ? config_.backoff_initial_seconds
+          ? initial
           : std::min(backoff_seconds_ * 2.0, config_.backoff_max_seconds);
   next_attempt_ =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -58,40 +70,53 @@ void FrameClient::mark_failed_locked() {
 }
 
 std::optional<Frame> FrameClient::call(const Frame& request) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.calls;
-  if (calls_counter_) calls_counter_->add();
-  if (!ensure_connected_locked()) {
+  const std::lock_guard<std::mutex> lock(io_mutex_);
+  {
+    const std::lock_guard<std::mutex> state(state_mutex_);
+    ++stats_.calls;
+    stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight, 1);
+    if (calls_counter_) calls_counter_->add();
+  }
+  if (!ensure_connected_io_locked()) {
+    const std::lock_guard<std::mutex> state(state_mutex_);
     ++stats_.failures;
     if (failures_counter_) failures_counter_->add();
     return std::nullopt;
   }
   Frame reply;
-  if (!write_frame(socket_, request) ||
-      read_frame(socket_, reply, config_.max_payload) !=
-          FrameReadStatus::kOk) {
-    mark_failed_locked();
+  FrameReadStatus status = FrameReadStatus::kClosed;
+  if (write_frame(socket_, request)) {
+    status = read_frame(socket_, reply, config_.max_payload);
+  }
+  if (status != FrameReadStatus::kOk) {
+    // A timed-out reply still poisons the connection (the late reply
+    // would desynchronize the lock-step pairing), but it arms the
+    // gentler slow-peer backoff instead of the refused-peer one.
+    mark_failed_io_locked(status == FrameReadStatus::kTimeout);
+    const std::lock_guard<std::mutex> state(state_mutex_);
     ++stats_.failures;
     if (failures_counter_) failures_counter_->add();
     return std::nullopt;
   }
+  const std::lock_guard<std::mutex> state(state_mutex_);
   backoff_seconds_ = 0.0;  // healthy again
   return reply;
 }
 
 bool FrameClient::suspect() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> state(state_mutex_);
   return backoff_seconds_ > 0.0 && Clock::now() < next_attempt_;
 }
 
 FrameClientStats FrameClient::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> state(state_mutex_);
   return stats_;
 }
 
 void FrameClient::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<std::mutex> lock(io_mutex_);
   socket_.close();
+  const std::lock_guard<std::mutex> state(state_mutex_);
   backoff_seconds_ = 0.0;
 }
 

@@ -8,9 +8,15 @@
 // fabric one timeout, not one per forwarded miss. A successful
 // exchange resets the backoff.
 //
-// Thread safety: call() serializes callers on an internal mutex (one
+// Thread safety: call() serializes callers on an IO mutex (one
 // in-flight exchange per connection; replies are matched to requests by
-// ordering).
+// ordering). Health probes — suspect(), stats() — read a separate state
+// mutex and never wait behind an in-flight round trip: the router polls
+// suspect() on its submit path while solves are on the wire.
+//
+// For pipelined traffic (many in-flight exchanges on one connection)
+// see MuxFrameClient in net/mux_client.hpp; this client stays the v1
+// interop path and the simple tool-client.
 #pragma once
 
 #include <chrono>
@@ -30,24 +36,37 @@ struct FrameClientConfig {
   /// Receive timeout per reply; covers the peer's solve time.
   double reply_timeout_seconds = 120.0;
   double backoff_initial_seconds = 0.2;
+  /// Initial backoff after a *reply timeout*: the peer answered the
+  /// connect, it is slow, not gone — back off more gently than a
+  /// refused connection so one long solve does not eclipse a healthy
+  /// peer for a full refusal window.
+  double backoff_timeout_initial_seconds = 0.05;
   double backoff_max_seconds = 5.0;
   std::size_t max_payload = kDefaultMaxPayload;
 
   /// When set, the client mirrors its counters into this registry under
-  /// `metrics_prefix` + {calls,failures,connects,fast_failures,suspects}
-  /// + "_total" — reconnect churn and suspect transitions become
-  /// scrapeable instead of silent. Must outlive the client.
+  /// `metrics_prefix` + {calls,failures,connects,fast_failures,suspects,
+  /// timeouts} + "_total" — reconnect churn and suspect transitions
+  /// become scrapeable instead of silent. The mux client additionally
+  /// keeps prefix+"inflight" (gauge) and prefix+"mux_depth" (histogram)
+  /// live. Must outlive the client.
   obs::Registry* metrics = nullptr;
   std::string metrics_prefix = "net_client_";
 };
 
-/// Monotonic counters, snapshot under the client mutex.
+/// Monotonic counters, snapshot under the client state mutex. Shared
+/// with MuxFrameClient, which also maintains the inflight watermark.
 struct FrameClientStats {
   std::uint64_t calls = 0;
   std::uint64_t failures = 0;  ///< calls answered nullopt
   std::uint64_t connects = 0;  ///< successful (re)connects
   std::uint64_t fast_failures = 0;  ///< rejected inside the backoff window
   std::uint64_t suspects = 0;  ///< healthy -> suspect transitions
+  std::uint64_t timeouts = 0;  ///< failures that were reply timeouts
+  /// High-water mark of concurrently outstanding exchanges on one
+  /// connection. The lock-step client caps this at 1 by construction;
+  /// the mux client is only doing its job when it exceeds 1.
+  std::uint64_t max_inflight = 0;
 };
 
 class FrameClient {
@@ -77,16 +96,22 @@ class FrameClient {
  private:
   using Clock = std::chrono::steady_clock;
 
-  /// Locked helpers.
-  bool ensure_connected_locked();
-  void mark_failed_locked();
+  /// Called with io_mutex_ held; takes state_mutex_ internally.
+  bool ensure_connected_io_locked();
+  void mark_failed_io_locked(bool timeout);
 
   const std::string host_;
   const std::uint16_t port_;
   const FrameClientConfig config_;
 
-  mutable std::mutex mutex_;
-  Socket socket_;
+  /// Serializes the wire exchange (connect + write + read). Never taken
+  /// while state_mutex_ is held.
+  mutable std::mutex io_mutex_;
+  Socket socket_;  ///< guarded by io_mutex_
+
+  /// Guards backoff + stats only; held for nanoseconds, so suspect()
+  /// and stats() return immediately even mid-round-trip.
+  mutable std::mutex state_mutex_;
   double backoff_seconds_ = 0.0;      ///< 0 = healthy
   Clock::time_point next_attempt_{};  ///< meaningful when backoff > 0
   FrameClientStats stats_;
@@ -98,6 +123,7 @@ class FrameClient {
   obs::Counter* connects_counter_ = nullptr;
   obs::Counter* fast_failures_counter_ = nullptr;
   obs::Counter* suspects_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
 };
 
 }  // namespace prts::net

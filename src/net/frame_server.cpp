@@ -50,85 +50,153 @@ void FrameServer::accept_loop() {
   while (!stopping_.load()) {
     auto accepted = listener_.accept();
     if (!accepted) break;  // listener closed
+    reap_finished();
     auto socket = std::make_shared<Socket>(std::move(*accepted));
     if (heartbeat_) heartbeat_->beat();
     const int fd = socket->fd();
     {
-      // Register before the pool task exists: stop() must be able to
-      // wake this connection even if the task has not started yet.
+      // Register before the reader thread exists: stop() must be able
+      // to wake this connection even if the thread has not started yet.
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_.load()) break;
       ++stats_.connections;
       if (connections_counter_) connections_counter_->add();
       open_fds_.insert(fd);
-    }
-    auto future =
-        pool_.submit([this, socket] { serve_connection(socket); });
-    // A shut-down pool destroys the task unrun (exceptional future);
-    // deregister here or stop() would wait for this connection forever.
-    // The local `socket` copy keeps the fd alive past the erase.
-    if (future.wait_for(std::chrono::seconds(0)) ==
-        std::future_status::ready) {
-      try {
-        future.get();
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        open_fds_.erase(fd);
-        drained_cv_.notify_all();
-      }
+      const std::uint64_t conn_id = next_conn_id_++;
+      connections_.emplace(
+          conn_id, std::thread([this, conn_id, socket] {
+            serve_connection(conn_id, socket);
+          }));
     }
   }
 }
 
-void FrameServer::serve_connection(
-    const std::shared_ptr<Socket>& socket_ptr) {
+void FrameServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::uint64_t conn_id : finished_) {
+      auto it = connections_.find(conn_id);
+      if (it == connections_.end()) continue;
+      done.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void FrameServer::begin_handler() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++pending_handlers_;
+}
+
+void FrameServer::end_handler() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  --pending_handlers_;
+  drained_cv_.notify_all();
+}
+
+bool FrameServer::handle_frame(const Frame& request, Socket& socket,
+                               std::mutex& write_mutex) {
+  // Load brackets the handler call: a frame stuck inside the handler
+  // keeps load > 0, so a silent wedge ages into a stall.
+  if (heartbeat_) heartbeat_->add_load(1);
+  std::optional<obs::ScopedSample> handler_sample;
+  if (profiler_ && profiler_->enabled()) handler_sample.emplace();
+  std::optional<Frame> reply;
+  try {
+    reply = handler_(request);
+  } catch (const std::exception& error) {
+    // A throwing handler must not kill the connection's bookkeeping —
+    // answer with an error frame and close.
+    if (heartbeat_) {
+      heartbeat_->add_load(-1);
+      heartbeat_->beat();
+    }
+    Frame failure;
+    failure.version = request.version;
+    failure.request_id = request.request_id;
+    failure.type = FrameType::kError;
+    failure.payload = std::string("handler error: ") + error.what();
+    const std::lock_guard<std::mutex> write_lock(write_mutex);
+    write_frame(socket, failure);
+    return false;
+  } catch (...) {
+    if (heartbeat_) {
+      heartbeat_->add_load(-1);
+      heartbeat_->beat();
+    }
+    return false;
+  }
+  if (handler_sample) {
+    obs::Profiler::record(*handler_component_, handler_sample->finish());
+  }
+  if (heartbeat_) {
+    heartbeat_->add_load(-1);
+    heartbeat_->beat();
+  }
+  if (!reply) return false;
+  // The reply answers in the requester's dialect: same version, same
+  // correlation id (0 under v1, where ordering is the correlation).
+  reply->version = request.version;
+  reply->request_id = request.request_id;
+  const std::lock_guard<std::mutex> write_lock(write_mutex);
+  return write_frame(socket, *reply);
+}
+
+void FrameServer::serve_connection(std::uint64_t conn_id,
+                                   std::shared_ptr<Socket> socket_ptr) {
   Socket& socket = *socket_ptr;
   const int fd = socket.fd();
+  auto write_mutex = std::make_shared<std::mutex>();
   while (!stopping_.load()) {
-    Frame request;
+    auto request = std::make_shared<Frame>();
     const FrameReadStatus status =
-        read_frame(socket, request, max_payload_);
+        read_frame(socket, *request, max_payload_);
     if (status == FrameReadStatus::kOk) {
       {
         const std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.frames;
       }
       if (frames_counter_) frames_counter_->add();
-      // Load brackets the handler call: a frame stuck inside the
-      // handler keeps load > 0, so a silent wedge ages into a stall.
-      if (heartbeat_) heartbeat_->add_load(1);
-      std::optional<obs::ScopedSample> handler_sample;
-      if (profiler_ && profiler_->enabled()) handler_sample.emplace();
-      std::optional<Frame> reply;
-      try {
-        reply = handler_(request);
-      } catch (const std::exception& error) {
-        // A throwing handler must not kill the connection loop's
-        // bookkeeping — answer with an error frame and close.
-        if (heartbeat_) {
-          heartbeat_->add_load(-1);
-          heartbeat_->beat();
+      if (request->version == kProtocolVersion2) {
+        // Pipelined path: hand the handler to the pool and keep
+        // reading — the reply is written (id-correlated) whenever it
+        // is ready, out of order with its neighbours. A handler that
+        // declines or a failed write shuts the socket down, which
+        // kicks this loop out of read_frame.
+        begin_handler();
+        auto future = pool_.submit(
+            [this, request, socket_ptr, write_mutex] {
+              if (!handle_frame(*request, *socket_ptr, *write_mutex)) {
+                socket_ptr->shutdown();
+              }
+              end_handler();
+            });
+        // A shut-down pool destroys the task unrun (exceptional
+        // future); degrade to inline lock-step handling.
+        if (future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+          bool rejected = false;
+          try {
+            future.get();
+          } catch (...) {
+            rejected = true;
+          }
+          if (rejected) {
+            const bool keep =
+                handle_frame(*request, socket, *write_mutex);
+            end_handler();
+            if (!keep) break;
+          }
         }
-        Frame failure;
-        failure.type = FrameType::kError;
-        failure.payload = std::string("handler error: ") + error.what();
-        write_frame(socket, failure);
-        break;
-      } catch (...) {
-        if (heartbeat_) {
-          heartbeat_->add_load(-1);
-          heartbeat_->beat();
-        }
-        break;
+        continue;
       }
-      if (handler_sample) {
-        obs::Profiler::record(*handler_component_, handler_sample->finish());
-      }
-      if (heartbeat_) {
-        heartbeat_->add_load(-1);
-        heartbeat_->beat();
-      }
-      if (!reply || !write_frame(socket, *reply)) break;
+      // v1 lock-step: handle inline, reply before the next read.
+      if (!handle_frame(*request, socket, *write_mutex)) break;
       continue;
     }
     if (status == FrameReadStatus::kBadMagic ||
@@ -147,6 +215,7 @@ void FrameServer::serve_connection(
                         : status == FrameReadStatus::kBadVersion
                             ? "unsupported protocol version"
                             : "payload too large";
+        const std::lock_guard<std::mutex> write_lock(*write_mutex);
         write_frame(socket, error);
       }
     }
@@ -154,9 +223,12 @@ void FrameServer::serve_connection(
   }
   {
     // Deregister while the socket is still open, so stop() can never
-    // shut down a descriptor that has already been recycled.
+    // shut down a descriptor that has already been recycled. In-flight
+    // v2 handlers hold their own shared_ptr to the socket; their
+    // writes fail harmlessly once the peer is gone.
     const std::lock_guard<std::mutex> lock(mutex_);
     open_fds_.erase(fd);
+    finished_.push_back(conn_id);
     drained_cv_.notify_all();
   }
 }
@@ -169,9 +241,21 @@ void FrameServer::stop() {
   listener_.close();
   std::unique_lock<std::mutex> lock(mutex_);
   for (const int fd : open_fds_) ::shutdown(fd, SHUT_RDWR);
-  drained_cv_.wait(lock, [this] { return open_fds_.empty(); });
+  drained_cv_.wait(lock, [this] {
+    return open_fds_.empty() && pending_handlers_ == 0;
+  });
+  std::vector<std::thread> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [conn_id, thread] : connections_) {
+    remaining.push_back(std::move(thread));
+  }
+  connections_.clear();
+  finished_.clear();
   lock.unlock();
   if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& thread : remaining) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 FrameServerStats FrameServer::stats() const {

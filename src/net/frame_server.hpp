@@ -1,6 +1,11 @@
 // The fabric's listening side: one accept thread hands each connection
-// to a task on a caller-supplied ThreadPool, where a read/handle/write
-// loop serves framed requests until the peer disconnects.
+// to a dedicated reader thread. v1 frames are handled inline in the
+// reader (the legacy lock-step read→handle→write discipline, replies in
+// request order); v2 frames are dispatched to the caller-supplied
+// ThreadPool, replies stamped with the request id and written under a
+// per-connection write mutex whenever they finish — so one connection
+// carries many concurrent solves and a slow one no longer blocks the
+// pings, gossip digests and scrapes behind it.
 //
 // Robustness contract (exercised by tests/test_net.cpp): malformed
 // magic, version mismatch and oversized length fields are answered with
@@ -8,10 +13,9 @@
 // server keeps accepting new connections. Truncated frames and
 // mid-stream disconnects just close the connection.
 //
-// Connections occupy a pool thread for their lifetime, so the pool must
-// be dedicated to the server (or sized for the expected number of
-// long-lived peer links) — do NOT share the solve engine's pool, or
-// idle peer connections will starve solves.
+// The pool is the handler executor: size it for the desired number of
+// concurrently-running handlers, not for the number of peer links
+// (idle connections cost a parked reader thread, not a pool slot).
 #pragma once
 
 #include <atomic>
@@ -22,7 +26,9 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "net/frame.hpp"
@@ -34,8 +40,10 @@
 namespace prts::net {
 
 /// Answers one request frame; nullopt closes the connection without a
-/// reply. Runs on a pool thread; must be thread-safe across
-/// connections.
+/// reply (for a v2 request this also aborts the other in-flight
+/// exchanges on that connection — a deliberate peer-death simulation).
+/// Runs on a pool thread; must be thread-safe across connections and,
+/// under v2, across concurrent frames of ONE connection.
 using FrameHandler = std::function<std::optional<Frame>(const Frame&)>;
 
 /// Monotonic counters (snapshot; the server keeps running).
@@ -74,7 +82,7 @@ class FrameServer {
   std::uint16_t port() const noexcept { return listener_.port(); }
 
   /// Stops accepting, wakes every connection's blocked read, and waits
-  /// for connection loops to drain. Idempotent.
+  /// for connection loops and in-flight handlers to drain. Idempotent.
   void stop();
 
   FrameServerStats stats() const;
@@ -85,7 +93,22 @@ class FrameServer {
               obs::Watchdog* watchdog, obs::Profiler* profiler);
 
   void accept_loop();
-  void serve_connection(const std::shared_ptr<Socket>& socket_ptr);
+  void serve_connection(std::uint64_t conn_id,
+                        std::shared_ptr<Socket> socket_ptr);
+
+  /// Runs the handler for one frame and writes the reply (version and
+  /// request id echoed from the request, write serialized on
+  /// `write_mutex`). False when the connection must close.
+  bool handle_frame(const Frame& request, Socket& socket,
+                    std::mutex& write_mutex);
+
+  void begin_handler();
+  void end_handler();
+
+  /// Joins reader threads whose connections have finished; called from
+  /// the accept loop so a long-lived server does not accumulate dead
+  /// thread handles.
+  void reap_finished();
 
   Listener listener_;
   FrameHandler handler_;
@@ -96,6 +119,10 @@ class FrameServer {
   mutable std::mutex mutex_;
   std::condition_variable drained_cv_;
   std::unordered_set<int> open_fds_;  ///< live connection descriptors
+  std::uint64_t next_conn_id_ = 0;
+  std::unordered_map<std::uint64_t, std::thread> connections_;
+  std::vector<std::uint64_t> finished_;  ///< conn ids ready to join
+  std::size_t pending_handlers_ = 0;     ///< v2 handlers in the pool
   FrameServerStats stats_;
   /// Registry counters resolved once at construction; null when
   /// mirroring is off.

@@ -1,0 +1,161 @@
+// A pipelined request/reply client over ONE framed TCP connection:
+// protocol v2 request-id multiplexing (net/frame.hpp), so many solves,
+// pings, gossip digests and scrapes are in flight simultaneously where
+// FrameClient carries exactly one.
+//
+// Shape (the classic async-transport trio): callers enqueue
+// (frame, promise) pairs via call_async(); a writer thread drains the
+// queue onto the socket, stamping each frame with a fresh 48-bit id; a
+// dedicated reader thread demultiplexes out-of-order replies through an
+// id -> promise map. Per-request deadlines are swept by the reader on a
+// short receive-timeout tick, so an abandoned request resolves nullopt
+// without poisoning the connection — unlike the lock-step client, a
+// late reply is simply dropped by id, framing is never lost.
+//
+// Failure model, matching FrameClient so the router's failover path is
+// unchanged: connection death (EOF, IO error, protocol garbage, or a
+// peer gone silent past the reply timeout) fails ALL outstanding
+// promises with nullopt — exactly once per waiter — and arms an
+// exponential backoff window during which calls fail fast. Reply
+// timeouts arm the gentler slow-peer backoff; refused connections the
+// full one.
+//
+// Interop: on connect the client sends a v2 kPing. A v2 server echoes
+// the id (mux mode); a v1 peer answers kBadVersion with a v1 kError and
+// closes, and the client silently reconnects in v1 lock-step mode — the
+// writer thread then performs one blocking exchange at a time, so mixed
+// fleets survive a rolling upgrade.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/frame.hpp"
+#include "net/frame_client.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+
+namespace prts::net {
+
+class MuxFrameClient {
+ public:
+  MuxFrameClient(std::string host, std::uint16_t port,
+                 FrameClientConfig config = {});
+  ~MuxFrameClient();
+
+  MuxFrameClient(const MuxFrameClient&) = delete;
+  MuxFrameClient& operator=(const MuxFrameClient&) = delete;
+
+  const std::string& host() const noexcept { return host_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Enqueues one exchange; the future resolves with the peer's reply,
+  /// or nullopt on connect failure, connection death, deadline expiry,
+  /// or fast-fail inside the backoff window. Never blocks on IO.
+  /// The default deadline is config.reply_timeout_seconds.
+  std::future<std::optional<Frame>> call_async(Frame request);
+
+  /// Same with an explicit per-request deadline (seconds from now;
+  /// <= 0 expires immediately, +inf never).
+  std::future<std::optional<Frame>> call_async(Frame request,
+                                               double deadline_seconds);
+
+  /// Blocking convenience: call_async + get. Many threads may call
+  /// concurrently; their exchanges share the connection in flight.
+  std::optional<Frame> call(const Frame& request);
+
+  /// True while calls would fail fast (inside the backoff window).
+  /// Never waits behind in-flight IO.
+  bool suspect() const;
+
+  /// True when the peer negotiated down to v1 lock-step (no mux).
+  bool peer_is_v1() const;
+
+  FrameClientStats stats() const;
+
+  /// Replies that matched no outstanding id (late arrivals after a
+  /// deadline expiry, or a confused peer); dropped, connection kept.
+  std::uint64_t unknown_replies() const;
+
+  /// Drops the connection, failing all outstanding promises, and clears
+  /// the backoff (next call reconnects immediately).
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Job {
+    Frame frame;
+    std::promise<std::optional<Frame>> promise;
+    Clock::time_point deadline;
+  };
+
+  struct Pending {
+    std::promise<std::optional<Frame>> promise;
+    Clock::time_point deadline;
+    Clock::time_point written;
+  };
+
+  /// Reader tick: bounds how stale a deadline sweep can be.
+  static constexpr double kSweepIntervalSeconds = 0.05;
+
+  void worker_loop();
+  void reader_loop(std::shared_ptr<Socket> socket, std::uint64_t generation);
+
+  /// Connect + version negotiation, called unlocked. On success returns
+  /// the socket and sets `v1_mode`; nullopt sets `timeout` when the
+  /// failure was a slow reply rather than a refused connection.
+  std::shared_ptr<Socket> connect_and_negotiate(bool& v1_mode, bool& timeout);
+
+  /// All *_locked helpers require mutex_.
+  void fail_connection_locked(std::uint64_t generation, bool timeout);
+  void fail_queue_locked(bool fast);
+  void arm_backoff_locked(bool timeout);
+  void resolve_locked(Pending& pending, std::optional<Frame> reply);
+  void update_depth_locked();
+  void sweep_deadlines_locked(std::uint64_t generation);
+
+  const std::string host_;
+  const std::uint16_t port_;
+  const FrameClientConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  Clock::time_point soonest_deadline_ = Clock::time_point::max();
+  std::uint64_t next_id_ = 1;
+  std::uint64_t generation_ = 0;  ///< bumped on every connection death
+  bool stop_ = false;
+  bool v1_mode_ = false;
+  std::shared_ptr<Socket> conn_;  ///< null while disconnected
+  Clock::time_point last_rx_{};   ///< last inbound frame on conn_
+  double backoff_seconds_ = 0.0;
+  Clock::time_point next_attempt_{};
+  FrameClientStats stats_;
+  std::uint64_t unknown_replies_ = 0;
+
+  std::thread worker_;
+  std::thread reader_;  ///< joined by the worker between connections
+
+  obs::Counter* calls_counter_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
+  obs::Counter* connects_counter_ = nullptr;
+  obs::Counter* fast_failures_counter_ = nullptr;
+  obs::Counter* suspects_counter_ = nullptr;
+  obs::Counter* timeouts_counter_ = nullptr;
+  obs::Counter* unknown_replies_counter_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* depth_histogram_ = nullptr;
+};
+
+}  // namespace prts::net

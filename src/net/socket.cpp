@@ -71,27 +71,39 @@ bool Socket::send_all(const void* data, std::size_t size) noexcept {
 }
 
 bool Socket::recv_all(void* data, std::size_t size) noexcept {
+  return recv_exact(data, size) == RecvStatus::kOk;
+}
+
+Socket::RecvStatus Socket::recv_exact(void* data, std::size_t size) noexcept {
   char* bytes = static_cast<char*>(data);
   while (size > 0) {
     std::size_t got = 0;
-    if (!recv_some(bytes, size, got)) return false;
+    const RecvStatus status = recv_some_status(bytes, size, got);
+    if (status != RecvStatus::kOk) return status;
     bytes += got;
     size -= got;
   }
-  return true;
+  return RecvStatus::kOk;
 }
 
 bool Socket::recv_some(void* data, std::size_t capacity,
                        std::size_t& got) noexcept {
+  return recv_some_status(data, capacity, got) == RecvStatus::kOk;
+}
+
+Socket::RecvStatus Socket::recv_some_status(void* data, std::size_t capacity,
+                                            std::size_t& got) noexcept {
   got = 0;
   for (;;) {
     const ssize_t received = ::recv(fd_, data, capacity, 0);
     if (received > 0) {
       got = static_cast<std::size_t>(received);
-      return true;
+      return RecvStatus::kOk;
     }
-    if (received < 0 && errno == EINTR) continue;
-    return false;  // EOF (0) or error/timeout
+    if (received == 0) return RecvStatus::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::kTimeout;
+    return RecvStatus::kError;
   }
 }
 

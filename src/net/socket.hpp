@@ -49,12 +49,30 @@ class Socket {
   /// error. Retries EINTR.
   bool send_all(const void* data, std::size_t size) noexcept;
 
+  /// Why a receive stopped short: a receive *timeout* (the peer is slow
+  /// or wedged, but the connection may well be alive) is a different
+  /// verdict from EOF or a hard error — the frame layer backs the two
+  /// off differently.
+  enum class RecvStatus {
+    kOk,       ///< the requested bytes arrived
+    kClosed,   ///< orderly EOF
+    kTimeout,  ///< SO_RCVTIMEO elapsed (EAGAIN/EWOULDBLOCK)
+    kError,    ///< any other socket error (reset, shutdown, ...)
+  };
+
   /// Receives exactly `size` bytes; false on EOF, error or timeout.
   bool recv_all(void* data, std::size_t size) noexcept;
+
+  /// recv_all with the failure reason surfaced.
+  RecvStatus recv_exact(void* data, std::size_t size) noexcept;
 
   /// One recv call: true with got > 0 on data, false on EOF/error.
   bool recv_some(void* data, std::size_t capacity,
                  std::size_t& got) noexcept;
+
+  /// recv_some with the failure reason surfaced (kOk implies got > 0).
+  RecvStatus recv_some_status(void* data, std::size_t capacity,
+                              std::size_t& got) noexcept;
 
  private:
   int fd_ = -1;

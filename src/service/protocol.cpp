@@ -152,7 +152,9 @@ void write_merged_stats_json(std::ostream& out, SolveService& service,
           << ",\"failures\":" << stats.failures
           << ",\"connects\":" << stats.connects
           << ",\"fast_failures\":" << stats.fast_failures
-          << ",\"suspects\":" << stats.suspects << "}";
+          << ",\"suspects\":" << stats.suspects
+          << ",\"timeouts\":" << stats.timeouts
+          << ",\"max_inflight\":" << stats.max_inflight << "}";
     }
     out << "}";
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -192,7 +193,7 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
       client_config.metrics = &config_.telemetry->metrics;
       client_config.metrics_prefix = "net_client_rank" + std::to_string(r) + "_";
     }
-    clients_[r] = std::make_unique<net::FrameClient>(
+    clients_[r] = std::make_unique<net::MuxFrameClient>(
         config_.peers[r].host, config_.peers[r].port, std::move(client_config));
   }
   if (config_.gossip_interval_seconds > 0.0 && config_.world_size > 1) {
@@ -383,7 +384,7 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
 }
 
 void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
-  net::FrameClient& client = *clients_[forward->owner_rank];
+  net::MuxFrameClient& client = *clients_[forward->owner_rank];
 
   // The forwarded request carries the *canonical* instance, so the
   // owner's reply is already in canonical labels — each waiter then
@@ -525,9 +526,20 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
       canonicalize(forward->canonical->instance));
   std::vector<std::future<SolveReply>> futures;
   futures.reserve(waiters.size());
+  const Clock::time_point failover_at = Clock::now();
   for (const ForwardWaiter& waiter : waiters) {
+    // Charge the dead wire exchange against the waiter's budget: the
+    // rescue solve gets what REMAINS of the deadline, not a fresh full
+    // grant. Floored at zero so an already-expired waiter hits the
+    // engine's downgrade/reject policy immediately instead of burning
+    // a worker on an answer nobody is waiting for.
+    double remaining_seconds = waiter.deadline_seconds;
+    if (std::isfinite(remaining_seconds)) {
+      remaining_seconds -= seconds_since(waiter.submitted, failover_at);
+      if (remaining_seconds < 0.0) remaining_seconds = 0.0;
+    }
     SolveRequest local_request{forward->canonical->instance, forward->solver,
-                               forward->bounds, waiter.deadline_seconds,
+                               forward->bounds, remaining_seconds,
                                waiter.deadline_policy, forward->warm};
     // The waiter's own trace follows it onto the failover path: the
     // engine adopts the id, so the trace shows the dead wire exchange

@@ -6,9 +6,11 @@
 //
 // A submitted request is canonicalized once; keys this rank owns go
 // straight to the local SolveService, keys owned by a peer are
-// forwarded over a FrameClient as the *canonical* instance (so the
-// remote answer comes back in canonical labels and each waiter
-// translates into its own). Identical remote-shard requests submitted
+// forwarded over a per-peer MuxFrameClient (protocol v2: one connection
+// carries many in-flight forwards, replies correlated by request id) as
+// the *canonical* instance (so the remote answer comes back in
+// canonical labels and each waiter translates into its own). Identical
+// remote-shard requests submitted
 // while a forward is in flight attach to it — the router-level
 // counterpart of the engine's in-flight dedup, so a thundering herd of
 // isomorphic misses costs one network exchange.
@@ -32,12 +34,14 @@
 //
 // Degradation: a peer that cannot be reached (or answers garbage)
 // makes the request fall back to the local engine — correctness never
-// depends on the fabric, only capacity does. The FrameClient marks the
+// depends on the fabric, only capacity does. The mux client marks the
 // peer suspect and fails fast during its backoff window, so a dead
-// peer costs one connect timeout, not one per request. Failover of an
-// in-flight forward re-submits every attached waiter locally with its
-// own deadline/policy; the engine's dedup collapses them to exactly
-// one solve.
+// peer costs one connect timeout, not one per request, and connection
+// death fails every in-flight forward at once — failover fires exactly
+// once per waiter. Failover re-submits every attached waiter locally
+// with its own deadline policy and its *remaining* deadline budget
+// (time already burned on the wire is charged, floored at zero); the
+// engine's dedup collapses them to exactly one solve.
 #pragma once
 
 #include <condition_variable>
@@ -56,6 +60,7 @@
 #include "common/thread_pool.hpp"
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
+#include "net/mux_client.hpp"
 #include "service/engine.hpp"
 #include "service/wire.hpp"
 
@@ -97,12 +102,11 @@ struct RouterConfig {
   std::vector<PeerAddress> peers;
   net::FrameClientConfig client;
   /// Threads running blocking forward exchanges (and replica
-  /// prefetches). Note exchanges to one peer additionally serialize on
-  /// that peer's single connection (FrameClient matches replies to
-  /// requests by ordering), so this caps concurrency *across* peers;
-  /// per-peer pipelining is a follow-up (see ROADMAP "Fabric
-  /// hardening").
-  std::size_t forward_threads = 4;
+  /// prefetches). Peer links are protocol-v2 MuxFrameClients, so
+  /// exchanges to ONE peer pipeline on its single connection (replies
+  /// correlate by request id) — this caps total in-flight forwards,
+  /// per peer and across peers alike.
+  std::size_t forward_threads = 8;
 
   /// The replica tier (capacity_bytes 0 disables replication).
   ReplicaCache::Config replica;
@@ -239,7 +243,7 @@ class ShardRouter {
 
   SolveService& service_;
   RouterConfig config_;
-  std::vector<std::unique_ptr<net::FrameClient>> clients_;  ///< [rank]
+  std::vector<std::unique_ptr<net::MuxFrameClient>> clients_;  ///< [rank]
   ReplicaCache replicas_;
 
   /// The router's central lock (in-flight map, stats, hit counts),

@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "service/wire.hpp"
 
@@ -322,6 +325,79 @@ TEST(FabricFailover, RevivedRankServesAgainAfterBackoff) {
   ASSERT_EQ(reply.status, ReplyStatus::kSolved);
   EXPECT_EQ(harness.router(0).stats().forwarded, 1u);
   EXPECT_GE(harness.service(1).stats().submitted, 1u);
+}
+
+// ------------------------------------------- pipelined forwards (mux)
+
+TEST(FabricMux, ConcurrentForwardsPipelineOnOneConnection) {
+  FabricHarness::Options options = fast_options(2);
+  options.router.forward_threads = 8;
+  FabricHarness harness(options);
+  const Instance instance = hom_instance();
+  // A slightly slow owner, so the eight forwards genuinely overlap on
+  // the wire instead of winning the race one at a time.
+  harness.faults(1).delay(0.05);
+
+  std::vector<std::future<SolveReply>> futures;
+  for (int i = 0; i < 8; ++i) {
+    // Disjoint salt windows guarantee eight distinct request keys.
+    futures.push_back(harness.router(0).submit(
+        remote_request(harness, instance, 1, /*salt=*/i * 5000.0)));
+  }
+  std::set<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (auto& future : futures) {
+    const SolveReply reply = future.get();
+    ASSERT_EQ(reply.status, ReplyStatus::kSolved);
+    ASSERT_TRUE(reply.solution.has_value());
+    keys.insert({reply.key.hi, reply.key.lo});
+  }
+  // Eight distinct answers for eight distinct keys — correlation by
+  // request id, not arrival order.
+  EXPECT_EQ(keys.size(), 8u);
+  EXPECT_EQ(harness.router(0).stats().forwarded, 8u);
+  EXPECT_EQ(harness.service(1).stats().submitted, 8u);
+  // All of it rode ONE TCP connection to the owner...
+  EXPECT_EQ(harness.telemetry(1)
+                .metrics.counter("net_server_connections_total")
+                .value(),
+            1u);
+  // ...with several exchanges in flight at once on that connection.
+  for (const auto& [rank, stats] : harness.router(0).client_stats()) {
+    if (rank == 1) EXPECT_GT(stats.max_inflight, 1u);
+  }
+}
+
+// ------------------------------------ failover deadline-budget charge
+
+TEST(FabricFailover, FailoverChargesElapsedTimeAgainstTheDeadline) {
+  FabricHarness::Options options = fast_options(2);
+  // The forward must burn longer on the wire than the waiter's whole
+  // deadline: reply timeout 0.2s > deadline 0.15s.
+  options.router.client.reply_timeout_seconds = 0.2;
+  FabricHarness harness(options);
+  const Instance instance = hom_instance();
+
+  // Warm the connection first so negotiation is out of the way, then
+  // wedge the owner: every inbound frame sleeps 1s at the gate.
+  ASSERT_EQ(harness.router(0)
+                .submit(remote_request(harness, instance, 1, /*salt=*/9000.0))
+                .get()
+                .status,
+            ReplyStatus::kSolved);
+  harness.faults(1).delay(1.0);
+
+  SolveRequest request = remote_request(harness, instance, 1);
+  request.deadline_seconds = 0.15;
+  request.deadline_policy = DeadlinePolicy::kReject;
+  const SolveReply reply = harness.router(0).submit(request).get();
+
+  // By the time the forward fails over (~0.2s), the 0.15s deadline is
+  // already spent. The local fallback must be charged the elapsed time
+  // — zero budget remains, so a kReject waiter is rejected. Before the
+  // fix, failover re-granted the full deadline and this tiny instance
+  // solved instantly, hiding the SLO breach.
+  EXPECT_EQ(reply.status, ReplyStatus::kRejectedDeadline);
+  EXPECT_GE(harness.router(0).stats().forward_failures, 1u);
 }
 
 // ------------------------------------------------- gossip wire codecs

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <future>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "common/thread_pool.hpp"
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
+#include "net/mux_client.hpp"
 #include "net/socket.hpp"
 
 namespace prts::net {
@@ -69,9 +72,50 @@ TEST(FrameCodec, BadMagicIsRejected) {
 
 TEST(FrameCodec, VersionMismatchIsRejected) {
   Frame frame = make_frame(FrameType::kPing, "x");
-  frame.version = kProtocolVersion + 1;
+  // Version 2 is the mux protocol now; 3 is the first unknown version.
+  frame.version = kProtocolVersion2 + 1;
   EXPECT_EQ(decode_frame(encode_frame(frame)).status,
             DecodeStatus::kBadVersion);
+}
+
+TEST(FrameCodec, V2RoundTripPreservesRequestId) {
+  Frame frame = make_frame(FrameType::kSolveRequest, "pipelined");
+  frame.version = kProtocolVersion2;
+  frame.request_id = 0x123456789abcull;  // all six id bytes exercised
+  const std::string bytes = encode_frame(frame);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytesV2 + frame.payload.size());
+
+  const DecodeResult decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+  EXPECT_EQ(decoded.frame.version, kProtocolVersion2);
+  EXPECT_EQ(decoded.frame.request_id, 0x123456789abcull);
+  EXPECT_EQ(decoded.frame.payload, "pipelined");
+  EXPECT_EQ(decoded.consumed, bytes.size());
+}
+
+TEST(FrameCodec, V2MaxAndZeroRequestIdsRoundTrip) {
+  for (const std::uint64_t id : {std::uint64_t{0}, kMaxRequestId}) {
+    Frame frame = make_frame(FrameType::kPong, "");
+    frame.version = kProtocolVersion2;
+    frame.request_id = id;
+    const DecodeResult decoded = decode_frame(encode_frame(frame));
+    ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+    EXPECT_EQ(decoded.frame.request_id, id);
+  }
+}
+
+TEST(FrameCodec, V1FramesAlwaysDecodeWithIdZero) {
+  // A v1 header has no id field; whatever the struct carried must not
+  // leak onto the wire (bytes 6..7 stay reserved-zero).
+  Frame frame = make_frame(FrameType::kPing, "legacy");
+  frame.request_id = 0xdeadbeefull;
+  const std::string bytes = encode_frame(frame);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + frame.payload.size());
+  EXPECT_EQ(bytes[6], '\0');
+  EXPECT_EQ(bytes[7], '\0');
+  const DecodeResult decoded = decode_frame(bytes);
+  ASSERT_EQ(decoded.status, DecodeStatus::kFrame);
+  EXPECT_EQ(decoded.frame.request_id, 0u);
 }
 
 TEST(FrameCodec, OversizedLengthIsRejectedNotAllocated) {
@@ -121,14 +165,18 @@ void expect_same_frames(const std::vector<Frame>& decoded,
   for (std::size_t i = 0; i < sent.size(); ++i) {
     EXPECT_EQ(decoded[i].version, sent[i].version) << "frame " << i;
     EXPECT_EQ(decoded[i].type, sent[i].type) << "frame " << i;
+    EXPECT_EQ(decoded[i].request_id, sent[i].request_id) << "frame " << i;
     EXPECT_EQ(decoded[i].payload, sent[i].payload) << "frame " << i;
   }
 }
 
 TEST(FrameDecoderProperty, EverySplitPointOfATwoFrameStreamDecodesTheSame) {
+  Frame second = make_frame(FrameType::kPong, "");
+  second.version = kProtocolVersion2;  // id bytes split across cuts too
+  second.request_id = 0xabcdef012345ull;
   const std::vector<Frame> sent{
       make_frame(FrameType::kSolveRequest, "first payload"),
-      make_frame(FrameType::kPong, ""),
+      second,
   };
   std::string stream;
   for (const Frame& frame : sent) stream += encode_frame(frame);
@@ -150,12 +198,21 @@ TEST(FrameDecoderProperty, RandomChunkingsOfARandomStreamAreInvariant) {
   for (int round = 0; round < 50; ++round) {
     // A random valid stream: 1..8 frames, payloads 0..300 bytes of
     // arbitrary octets (framing must not care about payload content).
+    // Versions mix v1 and v2 mid-stream — the decoder sizes each header
+    // off its own version byte, so an interleaved stream must be
+    // chunking-invariant too.
     std::vector<Frame> sent;
     const std::size_t frame_count =
         static_cast<std::size_t>(rng.uniform_int(1, 8));
     for (std::size_t f = 0; f < frame_count; ++f) {
       Frame frame;
       frame.type = static_cast<FrameType>(rng.uniform_int(0, 9));
+      if (rng.uniform_int(0, 1) == 1) {
+        frame.version = kProtocolVersion2;
+        frame.request_id = static_cast<std::uint64_t>(
+            rng.uniform_int(0, std::numeric_limits<std::int64_t>::max()) &
+            static_cast<std::int64_t>(kMaxRequestId));
+      }
       std::string payload(
           static_cast<std::size_t>(rng.uniform_int(0, 300)), '\0');
       for (char& byte : payload) {
@@ -466,6 +523,304 @@ TEST(FrameClientTest, MidStreamServerDeathYieldsNulloptNotHang) {
   fixture.reset();  // kills the server, connection drops mid-stream
   EXPECT_FALSE(client.call(make_frame(FrameType::kPing, "x")).has_value());
   EXPECT_TRUE(client.suspect());
+}
+
+TEST(FrameClientTest, ReplyTimeoutIsCountedSeparatelyWithGentleBackoff) {
+  // A peer that accepts and then never answers: the verdict must be
+  // kTimeout (counted in stats.timeouts), not a generic failure, and
+  // the backoff window must be the short slow-peer one.
+  auto listener = Listener::open(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread sink([&listener] {
+    auto accepted = listener->accept();
+    if (!accepted) return;
+    Frame swallowed;
+    read_frame(*accepted, swallowed);  // read the request, never reply
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  });
+  FrameClientConfig config;
+  config.reply_timeout_seconds = 0.1;
+  config.backoff_timeout_initial_seconds = 0.05;
+  config.backoff_initial_seconds = 60.0;  // a refusal would pin suspect()
+  FrameClient client("127.0.0.1", listener->port(), config);
+  EXPECT_FALSE(client.call(make_frame(FrameType::kPing, "x")).has_value());
+  EXPECT_EQ(client.stats().timeouts, 1u);
+  EXPECT_TRUE(client.suspect());
+  // Gentle window: a slow peer is eclipsed for 50ms, not 60s.
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(client.suspect());
+  sink.join();
+}
+
+TEST(FrameClientTest, StatsAndSuspectDoNotBlockBehindInflightCall) {
+  // Regression for the mutex split: health probes must return while a
+  // round trip is parked on the wire.
+  ThreadPool pool(2);
+  auto server = FrameServer::start(
+      0,
+      [](const Frame& request) -> std::optional<Frame> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return request;
+      },
+      pool);
+  ASSERT_NE(server, nullptr);
+  FrameClient client("127.0.0.1", server->port());
+  std::future<bool> slow_call = std::async(std::launch::async, [&client] {
+    return client.call(make_frame(FrameType::kPing, "slow")).has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto probe_start = std::chrono::steady_clock::now();
+  (void)client.suspect();
+  (void)client.stats();
+  const double probe_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    probe_start)
+          .count();
+  EXPECT_LT(probe_seconds, 0.15);  // far less than the 300ms still on the wire
+  EXPECT_TRUE(slow_call.get());
+}
+
+// ----------------------------------------------------------- mux client
+
+TEST(MuxClientTest, ConcurrentCallsShareOneConnectionWithDistinctAnswers) {
+  ThreadPool pool(8);
+  auto server = FrameServer::start(
+      0,
+      [](const Frame& request) -> std::optional<Frame> {
+        // A small stagger so several exchanges overlap on the wire.
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        Frame reply = request;
+        reply.type = FrameType::kPong;
+        return reply;
+      },
+      pool);
+  ASSERT_NE(server, nullptr);
+  MuxFrameClient client("127.0.0.1", server->port());
+  std::vector<std::future<std::optional<Frame>>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(
+        client.call_async(make_frame(FrameType::kPing, std::to_string(i))));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::optional<Frame> reply = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_TRUE(reply.has_value()) << "call " << i;
+    EXPECT_EQ(reply->type, FrameType::kPong);
+    EXPECT_EQ(reply->payload, std::to_string(i)) << "call " << i;
+  }
+  // Pipelining proof: one TCP connection (plus the negotiation probe is
+  // the same connection), several exchanges outstanding at once.
+  EXPECT_EQ(server->stats().connections, 1u);
+  EXPECT_GT(client.stats().max_inflight, 1u);
+  EXPECT_FALSE(client.peer_is_v1());
+}
+
+TEST(MuxClientTest, OutOfOrderRepliesCorrelateByRequestId) {
+  ThreadPool pool(4);
+  auto server = FrameServer::start(
+      0,
+      [](const Frame& request) -> std::optional<Frame> {
+        if (request.payload == "slow") {
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+        }
+        Frame reply = request;
+        reply.type = FrameType::kPong;
+        return reply;
+      },
+      pool);
+  ASSERT_NE(server, nullptr);
+  MuxFrameClient client("127.0.0.1", server->port());
+  auto slow = client.call_async(make_frame(FrameType::kPing, "slow"));
+  auto fast = client.call_async(make_frame(FrameType::kPing, "fast"));
+  // The fast reply overtakes the slow one on the shared connection...
+  const std::optional<Frame> fast_reply = fast.get();
+  ASSERT_TRUE(fast_reply.has_value());
+  EXPECT_EQ(fast_reply->payload, "fast");
+  EXPECT_NE(slow.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  // ...and each waiter still gets its own answer.
+  const std::optional<Frame> slow_reply = slow.get();
+  ASSERT_TRUE(slow_reply.has_value());
+  EXPECT_EQ(slow_reply->payload, "slow");
+}
+
+/// Serves the v2 negotiation ping on a raw socket: reads one frame,
+/// echoes a v2 kPong with the same request id. Returns the accepted
+/// socket (nullopt on failure).
+std::optional<Socket> accept_and_negotiate_v2(Listener& listener) {
+  auto accepted = listener.accept();
+  if (!accepted) return std::nullopt;
+  Frame ping;
+  if (read_frame(*accepted, ping) != FrameReadStatus::kOk) return std::nullopt;
+  Frame pong;
+  pong.version = kProtocolVersion2;
+  pong.type = FrameType::kPong;
+  pong.request_id = ping.request_id;
+  if (!write_frame(*accepted, pong)) return std::nullopt;
+  return accepted;
+}
+
+TEST(MuxClientTest, ReplyForUnknownIdIsDroppedAndConnectionSurvives) {
+  auto listener = Listener::open(0);
+  ASSERT_TRUE(listener.has_value());
+  std::thread server([&listener] {
+    auto socket = accept_and_negotiate_v2(*listener);
+    ASSERT_TRUE(socket.has_value());
+    Frame request;
+    ASSERT_EQ(read_frame(*socket, request), FrameReadStatus::kOk);
+    // A reply nobody asked for, then the real one.
+    Frame bogus;
+    bogus.version = kProtocolVersion2;
+    bogus.type = FrameType::kPong;
+    bogus.request_id = request.request_id + 999;
+    ASSERT_TRUE(write_frame(*socket, bogus));
+    Frame reply = request;
+    reply.type = FrameType::kPong;
+    ASSERT_TRUE(write_frame(*socket, reply));
+    // Hold the connection open until the client is done with it.
+    Frame ignored;
+    read_frame(*socket, ignored);
+  });
+  {
+    MuxFrameClient client("127.0.0.1", listener->port());
+    const std::optional<Frame> reply =
+        client.call(make_frame(FrameType::kPing, "real"));
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->payload, "real");
+    EXPECT_EQ(client.unknown_replies(), 1u);
+    EXPECT_FALSE(client.suspect());
+  }
+  server.join();
+}
+
+TEST(MuxClientTest, MidStreamDeathFailsAllOutstandingPromises) {
+  auto listener = Listener::open(0);
+  ASSERT_TRUE(listener.has_value());
+  constexpr int kOutstanding = 4;
+  std::thread server([&listener] {
+    auto socket = accept_and_negotiate_v2(*listener);
+    ASSERT_TRUE(socket.has_value());
+    for (int i = 0; i < kOutstanding; ++i) {
+      Frame request;
+      ASSERT_EQ(read_frame(*socket, request), FrameReadStatus::kOk);
+    }
+    socket->close();  // dies with every exchange still outstanding
+  });
+  FrameClientConfig config;
+  config.reply_timeout_seconds = 30.0;  // death must come from EOF, not expiry
+  MuxFrameClient client("127.0.0.1", listener->port(), config);
+  std::vector<std::future<std::optional<Frame>>> futures;
+  for (int i = 0; i < kOutstanding; ++i) {
+    futures.push_back(
+        client.call_async(make_frame(FrameType::kPing, std::to_string(i))));
+  }
+  for (auto& future : futures) {
+    // Exactly once per waiter, promptly, with nullopt — never a hang.
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_FALSE(future.get().has_value());
+  }
+  EXPECT_TRUE(client.suspect());
+  EXPECT_GE(client.stats().failures, static_cast<std::uint64_t>(kOutstanding));
+  server.join();
+}
+
+TEST(MuxClientTest, PerRequestDeadlineExpiresWithoutKillingTheConnection) {
+  ThreadPool pool(4);
+  auto server = FrameServer::start(
+      0,
+      [](const Frame& request) -> std::optional<Frame> {
+        if (request.payload == "glacial") {
+          std::this_thread::sleep_for(std::chrono::milliseconds(600));
+        }
+        Frame reply = request;
+        reply.type = FrameType::kPong;
+        return reply;
+      },
+      pool);
+  ASSERT_NE(server, nullptr);
+  MuxFrameClient client("127.0.0.1", server->port());
+  // A steady heartbeat keeps bytes flowing, so the expiring request is
+  // "slow solve", not "silent peer" — only it may fail.
+  auto warm = client.call(make_frame(FrameType::kPing, "warm"));
+  ASSERT_TRUE(warm.has_value());
+  auto doomed =
+      client.call_async(make_frame(FrameType::kPing, "glacial"), 0.15);
+  std::optional<Frame> heartbeat;
+  for (int i = 0; i < 4; ++i) {
+    heartbeat = client.call(make_frame(FrameType::kPing, "beat"));
+    ASSERT_TRUE(heartbeat.has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  ASSERT_EQ(doomed.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_FALSE(doomed.get().has_value());
+  EXPECT_GE(client.stats().timeouts, 1u);
+  // The connection survived the expiry: later calls still answered,
+  // and the glacial reply that eventually lands is dropped by id.
+  EXPECT_TRUE(client.call(make_frame(FrameType::kPing, "after")).has_value());
+  EXPECT_EQ(server->stats().connections, 1u);
+}
+
+TEST(MuxClientTest, V1PeerNegotiatesDownToLockStep) {
+  auto listener = Listener::open(0);
+  ASSERT_TRUE(listener.has_value());
+  // A faithful v1 peer: rejects the v2 probe the way the old server
+  // rejected unknown versions (v1 kError + close), then serves plain
+  // v1 lock-step echo on the reconnect.
+  std::thread server([&listener] {
+    {
+      auto probe = listener->accept();
+      ASSERT_TRUE(probe.has_value());
+      Frame request;
+      ASSERT_EQ(read_frame(*probe, request), FrameReadStatus::kOk);
+      EXPECT_EQ(request.version, kProtocolVersion2);
+      Frame error;
+      error.type = FrameType::kError;
+      error.payload = "unsupported protocol version";
+      ASSERT_TRUE(write_frame(*probe, error));
+    }  // close: exactly what a v1 server does after a version error
+    auto session = listener->accept();
+    ASSERT_TRUE(session.has_value());
+    for (;;) {
+      Frame request;
+      if (read_frame(*session, request) != FrameReadStatus::kOk) return;
+      EXPECT_EQ(request.version, kProtocolVersion);  // ids stripped
+      EXPECT_EQ(request.request_id, 0u);
+      Frame reply = request;
+      reply.type = FrameType::kPong;
+      if (!write_frame(*session, reply)) return;
+    }
+  });
+  {
+    MuxFrameClient client("127.0.0.1", listener->port());
+    for (int i = 0; i < 3; ++i) {
+      const std::optional<Frame> reply =
+          client.call(make_frame(FrameType::kPing, "v1 " + std::to_string(i)));
+      ASSERT_TRUE(reply.has_value()) << "call " << i;
+      EXPECT_EQ(reply->payload, "v1 " + std::to_string(i));
+    }
+    EXPECT_TRUE(client.peer_is_v1());
+    // Lock-step by construction: the watermark never exceeds the
+    // queue depth seen at enqueue, and exchanges serialize.
+    listener->close();
+  }
+  server.join();
+}
+
+TEST(MuxClientTest, NoServerFailsCleanlyAndArmsBackoff) {
+  FrameClientConfig config;
+  config.connect_timeout_seconds = 0.5;
+  config.backoff_initial_seconds = 60.0;  // window outlives the test
+  MuxFrameClient client("127.0.0.1", 1, config);
+  EXPECT_FALSE(client.call(make_frame(FrameType::kPing, "x")).has_value());
+  EXPECT_TRUE(client.suspect());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.call(make_frame(FrameType::kPing, "y")).has_value());
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  EXPECT_LT(seconds, 0.25);
+  EXPECT_GE(client.stats().fast_failures, 1u);
 }
 
 }  // namespace

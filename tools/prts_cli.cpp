@@ -129,6 +129,7 @@
 #include "load/slo.hpp"
 #include "net/frame_client.hpp"
 #include "net/frame_server.hpp"
+#include "net/mux_client.hpp"
 #include "obs/exposition.hpp"
 #include "obs/trace.hpp"
 #include "service/cache.hpp"
@@ -818,7 +819,9 @@ int cmd_scrape(const std::string& target, const Flags& flags) {
       flags.number("count", watch > 0 ? 0 : 1));
   const bool alerts_only = flags.has("alerts");
 
-  net::FrameClient client((*parsed)[0].host, (*parsed)[0].port);
+  // Mux client: a scrape shares the rank's connection machinery with
+  // in-flight solves without queueing behind them.
+  net::MuxFrameClient client((*parsed)[0].host, (*parsed)[0].port);
   obs::ScrapeDeltaTracker tracker;
   bool backwards = false;
   bool alerts_firing = false;
@@ -957,8 +960,11 @@ int cmd_loadgen(const Flags& flags) {
   for (const auto& peer : *parsed_targets) {
     targets.push_back(load::WirePool::Target{peer.host, peer.port});
   }
+  // One mux connection per target pipelines many in-flight solves;
+  // --workers caps total concurrent exchanges across the pool.
   load::WirePool pool(
-      targets, static_cast<std::size_t>(flags.number("connections", 2)));
+      targets, static_cast<std::size_t>(flags.number("connections", 1)),
+      static_cast<std::size_t>(flags.number("workers", 0)));
 
   std::ofstream out_file;
   if (flags.has("out")) {
@@ -1060,6 +1066,10 @@ int cmd_loadgen(const Flags& flags) {
   const load::SloReport verdict = load::evaluate_slo(slo, result);
   report << "{\"mode\":\"single\",";
   print_run(report, result);
+  // Pipelining watermark: >1 proves a single connection carried
+  // concurrent in-flight solves (the ci.sh open-loop smoke asserts it).
+  report << ",\"net_client_inflight_max\":"
+         << pool.max_inflight_per_connection();
   if (!slo.empty()) {
     report << ",\"slo\":";
     load::write_slo_json(report, verdict);
