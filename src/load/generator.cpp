@@ -188,7 +188,12 @@ struct WirePool::Impl {
     std::promise<service::SolveReply> promise;
   };
 
+  /// Guarded by `mutex` for membership (add_target may grow it while
+  /// workers run); the pointed-to clients themselves are never removed,
+  /// so a worker's per-job snapshot of raw pointers stays valid.
   std::vector<std::unique_ptr<net::MuxFrameClient>> clients;
+  std::size_t connections_per_target = 1;
+  std::string auth_token;
   std::vector<std::thread> workers;
 
   std::mutex mutex;
@@ -199,12 +204,18 @@ struct WirePool::Impl {
   void worker(std::size_t index) {
     for (;;) {
       Job job;
+      std::vector<net::MuxFrameClient*> targets;
       {
         std::unique_lock<std::mutex> lock(mutex);
         cv.wait(lock, [this] { return stopping || !queue.empty(); });
         if (queue.empty()) return;  // stopping && drained
         job = std::move(queue.front());
         queue.pop_front();
+        // Per-job snapshot: the client set may grow (add_target) while
+        // this exchange is in flight, and the failover sweep below must
+        // not race a vector reallocation.
+        targets.reserve(clients.size());
+        for (const auto& client : clients) targets.push_back(client.get());
       }
       service::SolveReply reply;
       reply.status = service::ReplyStatus::kError;
@@ -218,9 +229,9 @@ struct WirePool::Impl {
       // Many workers calling one MuxFrameClient pipeline on its single
       // connection, and suspect peers fail fast after the first
       // timeout, so the sweep is cheap once a corpse is known.
-      for (std::size_t attempt = 0; attempt < clients.size(); ++attempt) {
+      for (std::size_t attempt = 0; attempt < targets.size(); ++attempt) {
         net::MuxFrameClient& client =
-            *clients[(index + attempt) % clients.size()];
+            *targets[(index + attempt) % targets.size()];
         const std::optional<net::Frame> answer = client.call(frame);
         if (!answer || answer->type != net::FrameType::kSolveReply) continue;
         std::string decode_error;
@@ -238,13 +249,17 @@ struct WirePool::Impl {
 };
 
 WirePool::WirePool(std::vector<Target> targets, std::size_t connections,
-                   std::size_t workers)
+                   std::size_t workers, std::string auth_token)
     : impl_(std::make_unique<Impl>()) {
   connections = std::max<std::size_t>(connections, 1);
+  impl_->connections_per_target = connections;
+  impl_->auth_token = std::move(auth_token);
+  net::FrameClientConfig client_config;
+  client_config.auth_token = impl_->auth_token;
   for (const Target& target : targets) {
     for (std::size_t c = 0; c < connections; ++c) {
       impl_->clients.push_back(std::make_unique<net::MuxFrameClient>(
-          target.host, target.port, net::FrameClientConfig{}));
+          target.host, target.port, client_config));
     }
   }
   if (workers == 0) {
@@ -256,8 +271,20 @@ WirePool::WirePool(std::vector<Target> targets, std::size_t connections,
   }
 }
 
+void WirePool::add_target(const Target& target) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->stopping) return;
+  net::FrameClientConfig client_config;
+  client_config.auth_token = impl_->auth_token;
+  for (std::size_t c = 0; c < impl_->connections_per_target; ++c) {
+    impl_->clients.push_back(std::make_unique<net::MuxFrameClient>(
+        target.host, target.port, client_config));
+  }
+}
+
 std::uint64_t WirePool::max_inflight_per_connection() const {
   std::uint64_t max_inflight = 0;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
   for (const auto& client : impl_->clients) {
     max_inflight = std::max(max_inflight, client->stats().max_inflight);
   }

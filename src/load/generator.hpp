@@ -96,15 +96,24 @@ class WirePool {
 
   /// `connections` is per target (>= 1). `workers` sizes the blocking
   /// worker pool (= the max in-flight exchanges); 0 picks
-  /// max(8, 4 * total connections).
+  /// max(8, 4 * total connections). A non-empty `auth_token` is
+  /// presented on every (re)connect — required to drive an
+  /// `--auth-token` fleet.
   WirePool(std::vector<Target> targets, std::size_t connections = 1,
-           std::size_t workers = 0);
+           std::size_t workers = 0, std::string auth_token = {});
   ~WirePool();
 
   WirePool(const WirePool&) = delete;
   WirePool& operator=(const WirePool&) = delete;
 
   std::future<service::SolveReply> submit(service::SolveRequest request);
+
+  /// Wires `connections` new links to a target that joined the fleet
+  /// after the pool was built (elastic membership: the load keeps
+  /// flowing while the fleet grows). Thread-safe against submit() and
+  /// in-flight workers; already-queued jobs may still drain to the old
+  /// target set.
+  void add_target(const Target& target);
 
   /// High-water mark of in-flight exchanges on any single connection
   /// (max over the per-client FrameClientStats watermarks) — the

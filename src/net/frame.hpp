@@ -68,6 +68,23 @@ enum class FrameType : std::uint8_t {
   kReplicaFetchReply = 9,  ///< payload: service::encode_replica_entries
   kMetricsRequest = 10,    ///< payload ignored; scrape this rank
   kMetricsReply = 11,      ///< payload: prometheus-style text exposition
+  kJoinRequest = 12,       ///< payload: service::encode_join_request (a
+                           ///< rank dialing any seed to enter the
+                           ///< fleet); answered with kMembershipUpdate
+  kMembershipUpdate = 13,  ///< payload: service::encode_membership_update
+                           ///< (epoch-stamped member list); answered
+                           ///< with the receiver's own merged view
+  kHandoffBegin = 14,      ///< payload: service::encode_handoff stamp —
+                           ///< "I am about to stream N cache entries
+                           ///< your ring slice now owns"
+  kHandoffChunk = 15,      ///< payload: handoff stamp + bounded batch of
+                           ///< cache entries (PRTS1 entry codec)
+  kHandoffDone = 16,       ///< payload: handoff stamp (entries = total
+                           ///< streamed); closes one handoff
+  kAuth = 17,              ///< payload: shared-secret token; must be a
+                           ///< connection's first frame when the server
+                           ///< has a token configured. kPong on success,
+                           ///< kError + close on mismatch.
 };
 
 struct Frame {

@@ -4,10 +4,45 @@
 #include <utility>
 
 namespace prts::net {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t x = (state += 0x9e3779b97f4a7c15ULL);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double jittered_backoff(double seconds, double jitter_fraction,
+                        std::uint64_t& state) {
+  const double jitter = std::min(std::max(jitter_fraction, 0.0), 1.0);
+  if (jitter == 0.0 || seconds <= 0.0) return seconds;
+  // 53 uniform bits -> [0, 1) -> [1 - jitter, 1 + jitter).
+  const double unit =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return seconds * (1.0 - jitter + 2.0 * jitter * unit);
+}
+
+std::uint64_t jitter_seed_for(const std::string& host, std::uint16_t port) {
+  // FNV-1a over "host:port"; forced non-zero so it never collides with
+  // the "derive me" sentinel.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : host) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  hash = (hash ^ (port & 0xff)) * 1099511628211ULL;
+  hash = (hash ^ (port >> 8)) * 1099511628211ULL;
+  return hash == 0 ? 1 : hash;
+}
 
 FrameClient::FrameClient(std::string host, std::uint16_t port,
                          FrameClientConfig config)
     : host_(std::move(host)), port_(port), config_(std::move(config)) {
+  jitter_state_ = config_.backoff_jitter_seed != 0
+                      ? config_.backoff_jitter_seed
+                      : jitter_seed_for(host_, port_);
   // Resolve the registry counters once (registration locks); every
   // bump afterward is a lock-free relaxed add.
   if (config_.metrics != nullptr) {
@@ -40,6 +75,21 @@ bool FrameClient::ensure_connected_io_locked() {
   }
   socket_ = std::move(*connected);
   socket_.set_receive_timeout(config_.reply_timeout_seconds);
+  if (!config_.auth_token.empty()) {
+    // Authenticate before anything else rides the connection; the
+    // server rejects any other first frame when a token is configured.
+    Frame auth;
+    auth.type = FrameType::kAuth;
+    auth.payload = config_.auth_token;
+    Frame reply;
+    if (!write_frame(socket_, auth) ||
+        read_frame(socket_, reply, config_.max_payload) !=
+            FrameReadStatus::kOk ||
+        reply.type != FrameType::kPong) {
+      mark_failed_io_locked(/*timeout=*/false);
+      return false;
+    }
+  }
   const std::lock_guard<std::mutex> state(state_mutex_);
   ++stats_.connects;
   if (connects_counter_) connects_counter_->add();
@@ -64,9 +114,14 @@ void FrameClient::mark_failed_io_locked(bool timeout) {
       backoff_seconds_ == 0.0
           ? initial
           : std::min(backoff_seconds_ * 2.0, config_.backoff_max_seconds);
+  // The doubling state stays clean; only the armed window is jittered,
+  // so restarted peers' clients de-synchronize without ever shortening
+  // the asymptotic backoff.
+  const double window =
+      jittered_backoff(backoff_seconds_, config_.backoff_jitter, jitter_state_);
   next_attempt_ =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(backoff_seconds_));
+                         std::chrono::duration<double>(window));
 }
 
 std::optional<Frame> FrameClient::call(const Frame& request) {

@@ -31,6 +31,17 @@
 
 namespace prts::net {
 
+/// `seconds` scaled by a factor drawn uniformly from
+/// [1 - jitter_fraction, 1 + jitter_fraction], advancing `state` with a
+/// splitmix64 step — deterministic per seed (testable), different
+/// across seeds (herd-breaking). jitter_fraction is clamped to [0, 1].
+double jittered_backoff(double seconds, double jitter_fraction,
+                        std::uint64_t& state);
+
+/// A stable non-zero jitter seed derived from a peer address (used when
+/// FrameClientConfig::backoff_jitter_seed is 0).
+std::uint64_t jitter_seed_for(const std::string& host, std::uint16_t port);
+
 struct FrameClientConfig {
   double connect_timeout_seconds = 2.0;
   /// Receive timeout per reply; covers the peer's solve time.
@@ -42,7 +53,21 @@ struct FrameClientConfig {
   /// peer for a full refusal window.
   double backoff_timeout_initial_seconds = 0.05;
   double backoff_max_seconds = 5.0;
+  /// Each armed backoff window is multiplied by a factor drawn
+  /// uniformly from [1 - jitter, 1 + jitter]: after a rank restart,
+  /// its peers' reconnects de-synchronize instead of arriving as one
+  /// thundering herd on identical doubled schedules. 0 disables.
+  double backoff_jitter = 0.25;
+  /// Seed for the jitter stream; 0 derives one from host:port so two
+  /// clients of the same peer in one process still diverge.
+  std::uint64_t backoff_jitter_seed = 0;
   std::size_t max_payload = kDefaultMaxPayload;
+
+  /// When non-empty, sent as a kAuth frame immediately after every
+  /// (re)connect, before any request — the shared-secret handshake of
+  /// FrameServer::start's auth_token. A rejected token closes the
+  /// connection and arms the normal backoff.
+  std::string auth_token;
 
   /// When set, the client mirrors its counters into this registry under
   /// `metrics_prefix` + {calls,failures,connects,fast_failures,suspects,
@@ -114,6 +139,7 @@ class FrameClient {
   mutable std::mutex state_mutex_;
   double backoff_seconds_ = 0.0;      ///< 0 = healthy
   Clock::time_point next_attempt_{};  ///< meaningful when backoff > 0
+  std::uint64_t jitter_state_;        ///< advanced per armed window
   FrameClientStats stats_;
 
   /// Registry counters resolved once at construction (see

@@ -14,22 +14,25 @@ std::unique_ptr<FrameServer> FrameServer::start(std::uint16_t port,
                                                 std::size_t max_payload,
                                                 obs::Registry* metrics,
                                                 obs::Watchdog* watchdog,
-                                                obs::Profiler* profiler) {
+                                                obs::Profiler* profiler,
+                                                std::string auth_token) {
   auto listener = Listener::open(port);
   if (!listener) return nullptr;
   return std::unique_ptr<FrameServer>(
       new FrameServer(std::move(*listener), std::move(handler), pool,
-                      max_payload, metrics, watchdog, profiler));
+                      max_payload, metrics, watchdog, profiler,
+                      std::move(auth_token)));
 }
 
 FrameServer::FrameServer(Listener listener, FrameHandler handler,
                          ThreadPool& pool, std::size_t max_payload,
                          obs::Registry* metrics, obs::Watchdog* watchdog,
-                         obs::Profiler* profiler)
+                         obs::Profiler* profiler, std::string auth_token)
     : listener_(std::move(listener)),
       handler_(std::move(handler)),
       pool_(pool),
       max_payload_(max_payload),
+      auth_token_(std::move(auth_token)),
       connections_counter_(
           metrics ? &metrics->counter("net_server_connections_total")
                   : nullptr),
@@ -37,6 +40,9 @@ FrameServer::FrameServer(Listener listener, FrameHandler handler,
           metrics ? &metrics->counter("net_server_frames_total") : nullptr),
       protocol_errors_counter_(
           metrics ? &metrics->counter("net_server_protocol_errors_total")
+                  : nullptr),
+      auth_failures_counter_(
+          metrics ? &metrics->counter("net_server_auth_failures_total")
                   : nullptr),
       heartbeat_(watchdog ? &watchdog->component("frame_server") : nullptr),
       profiler_(profiler),
@@ -152,6 +158,7 @@ void FrameServer::serve_connection(std::uint64_t conn_id,
   Socket& socket = *socket_ptr;
   const int fd = socket.fd();
   auto write_mutex = std::make_shared<std::mutex>();
+  bool authed = auth_token_.empty();
   while (!stopping_.load()) {
     auto request = std::make_shared<Frame>();
     const FrameReadStatus status =
@@ -162,6 +169,33 @@ void FrameServer::serve_connection(std::uint64_t conn_id,
         ++stats_.frames;
       }
       if (frames_counter_) frames_counter_->add();
+      if (request->type == FrameType::kAuth || !authed) {
+        // The auth gate runs before the handler ever sees a frame.
+        // kAuth on an open (or already-authed) server is answered
+        // benignly, so a token-configured client can talk to a
+        // token-free server.
+        Frame reply;
+        reply.version = request->version;
+        reply.request_id = request->request_id;
+        if (request->type == FrameType::kAuth &&
+            (authed || request->payload == auth_token_)) {
+          authed = true;
+          reply.type = FrameType::kPong;
+          const std::lock_guard<std::mutex> write_lock(*write_mutex);
+          if (!write_frame(socket, reply)) break;
+          continue;
+        }
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.auth_failures;
+        }
+        if (auth_failures_counter_) auth_failures_counter_->add();
+        reply.type = FrameType::kError;
+        reply.payload = "authentication required";
+        const std::lock_guard<std::mutex> write_lock(*write_mutex);
+        write_frame(socket, reply);
+        break;
+      }
       if (request->version == kProtocolVersion2) {
         // Pipelined path: hand the handler to the pool and keep
         // reading — the reply is written (id-correlated) whenever it

@@ -51,6 +51,7 @@ struct FrameServerStats {
   std::uint64_t connections = 0;
   std::uint64_t frames = 0;           ///< well-formed frames handled
   std::uint64_t protocol_errors = 0;  ///< bad magic/version/length
+  std::uint64_t auth_failures = 0;    ///< wrong token / missing handshake
 };
 
 class FrameServer {
@@ -65,13 +66,17 @@ class FrameServer {
   /// frames — a handler wedged on a dead peer shows up as a stall.
   /// When `profiler` is set every handler invocation is sampled into
   /// the "frame_handler" component (cpu/wall/alloc attribution of peer
-  /// traffic).
+  /// traffic). When `auth_token` is non-empty every connection must
+  /// present it in a kAuth frame before anything else: any other first
+  /// frame (or a wrong token) is answered with kError, counted in
+  /// net_server_auth_failures_total, and the connection is closed.
   static std::unique_ptr<FrameServer> start(
       std::uint16_t port, FrameHandler handler, ThreadPool& pool,
       std::size_t max_payload = kDefaultMaxPayload,
       obs::Registry* metrics = nullptr,
       obs::Watchdog* watchdog = nullptr,
-      obs::Profiler* profiler = nullptr);
+      obs::Profiler* profiler = nullptr,
+      std::string auth_token = {});
 
   ~FrameServer();
 
@@ -90,7 +95,8 @@ class FrameServer {
  private:
   FrameServer(Listener listener, FrameHandler handler, ThreadPool& pool,
               std::size_t max_payload, obs::Registry* metrics,
-              obs::Watchdog* watchdog, obs::Profiler* profiler);
+              obs::Watchdog* watchdog, obs::Profiler* profiler,
+              std::string auth_token);
 
   void accept_loop();
   void serve_connection(std::uint64_t conn_id,
@@ -114,6 +120,7 @@ class FrameServer {
   FrameHandler handler_;
   ThreadPool& pool_;
   const std::size_t max_payload_;
+  const std::string auth_token_;  ///< empty = authentication off
 
   std::atomic<bool> stopping_{false};
   mutable std::mutex mutex_;
@@ -129,6 +136,7 @@ class FrameServer {
   obs::Counter* connections_counter_ = nullptr;
   obs::Counter* frames_counter_ = nullptr;
   obs::Counter* protocol_errors_counter_ = nullptr;
+  obs::Counter* auth_failures_counter_ = nullptr;
   /// "frame_server" liveness handle; null when no watchdog was given.
   obs::Heartbeat* heartbeat_ = nullptr;
   /// "frame_handler" profile component; null when no profiler was given.

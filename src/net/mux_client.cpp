@@ -22,6 +22,9 @@ Clock::time_point deadline_from(double seconds) {
 MuxFrameClient::MuxFrameClient(std::string host, std::uint16_t port,
                                FrameClientConfig config)
     : host_(std::move(host)), port_(port), config_(std::move(config)) {
+  jitter_state_ = config_.backoff_jitter_seed != 0
+                      ? config_.backoff_jitter_seed
+                      : jitter_seed_for(host_, port_);
   if (config_.metrics != nullptr) {
     const std::string& prefix = config_.metrics_prefix;
     calls_counter_ = &config_.metrics->counter(prefix + "calls_total");
@@ -277,6 +280,10 @@ std::shared_ptr<Socket> MuxFrameClient::connect_and_negotiate(bool& v1_mode,
   auto connected = tcp_connect(host_, port_, config_.connect_timeout_seconds);
   if (!connected) return nullptr;
   auto socket = std::make_shared<Socket>(std::move(*connected));
+  socket->set_receive_timeout(config_.connect_timeout_seconds > 0.0
+                                  ? config_.connect_timeout_seconds
+                                  : 2.0);
+  if (!authenticate(*socket)) return nullptr;
 
   // Version probe: a v2 peer echoes the id on a kPong; a v1 peer
   // rejects the version byte with a v1 kError and closes. Bounded by
@@ -289,9 +296,6 @@ std::shared_ptr<Socket> MuxFrameClient::connect_and_negotiate(bool& v1_mode,
     ping.request_id = next_id_++;
     if (next_id_ > kMaxRequestId) next_id_ = 1;
   }
-  socket->set_receive_timeout(config_.connect_timeout_seconds > 0.0
-                                  ? config_.connect_timeout_seconds
-                                  : 2.0);
   if (!write_frame(*socket, ping)) return nullptr;
   Frame reply;
   const FrameReadStatus status =
@@ -310,14 +314,28 @@ std::shared_ptr<Socket> MuxFrameClient::connect_and_negotiate(bool& v1_mode,
   }
   if (status == FrameReadStatus::kOk && reply.version == kProtocolVersion) {
     // v1 peer: it answered (then closed) — reconnect in lock-step mode.
+    // The fresh connection re-authenticates (per-connection state).
     auto fresh = tcp_connect(host_, port_, config_.connect_timeout_seconds);
     if (!fresh) return nullptr;
     auto v1_socket = std::make_shared<Socket>(std::move(*fresh));
     v1_socket->set_receive_timeout(config_.reply_timeout_seconds);
+    if (!authenticate(*v1_socket)) return nullptr;
     v1_mode = true;
     return v1_socket;
   }
   return nullptr;
+}
+
+bool MuxFrameClient::authenticate(Socket& socket) {
+  if (config_.auth_token.empty()) return true;
+  Frame auth;
+  auth.type = FrameType::kAuth;
+  auth.payload = config_.auth_token;
+  Frame reply;
+  return write_frame(socket, auth) &&
+         read_frame(socket, reply, config_.max_payload) ==
+             FrameReadStatus::kOk &&
+         reply.type == FrameType::kPong;
 }
 
 void MuxFrameClient::fail_connection_locked(std::uint64_t generation,
@@ -365,9 +383,13 @@ void MuxFrameClient::arm_backoff_locked(bool timeout) {
       backoff_seconds_ == 0.0
           ? initial
           : std::min(backoff_seconds_ * 2.0, config_.backoff_max_seconds);
+  // Jitter only the armed window (not the doubling state): peers of a
+  // restarted rank spread their reconnects instead of herding.
+  const double window =
+      jittered_backoff(backoff_seconds_, config_.backoff_jitter, jitter_state_);
   next_attempt_ =
       Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(backoff_seconds_));
+                         std::chrono::duration<double>(window));
 }
 
 void MuxFrameClient::update_depth_locked() {

@@ -116,6 +116,10 @@ class MuxFrameClient {
   /// failure was a slow reply rather than a refused connection.
   std::shared_ptr<Socket> connect_and_negotiate(bool& v1_mode, bool& timeout);
 
+  /// Sends the configured auth token on a fresh socket and waits for
+  /// the server's kPong; true when no token is configured.
+  bool authenticate(Socket& socket);
+
   /// All *_locked helpers require mutex_.
   void fail_connection_locked(std::uint64_t generation, bool timeout);
   void fail_queue_locked(bool fast);
@@ -141,6 +145,7 @@ class MuxFrameClient {
   Clock::time_point last_rx_{};   ///< last inbound frame on conn_
   double backoff_seconds_ = 0.0;
   Clock::time_point next_attempt_{};
+  std::uint64_t jitter_state_;  ///< advanced per armed backoff window
   FrameClientStats stats_;
   std::uint64_t unknown_replies_ = 0;
 

@@ -468,6 +468,15 @@ CacheStats ShardedSolutionCache::stats() const {
   return stats;
 }
 
+std::vector<CanonicalHash> ShardedSolutionCache::keys() const {
+  std::vector<CanonicalHash> keys;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<obs::ProfiledMutex> lock(shard.mutex);
+    for (const Entry& entry : shard.lru) keys.push_back(entry.key);
+  }
+  return keys;
+}
+
 void ShardedSolutionCache::save_tsv(std::ostream& out) const {
   out << "# prts-solution-cache v1\n";
   for (const Shard& shard : shards_) {

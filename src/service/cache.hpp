@@ -198,6 +198,12 @@ class ShardedSolutionCache {
 
   CacheStats stats() const;
 
+  /// Snapshot of every resident key, shard iteration order (one shard
+  /// locked at a time — concurrent insertions may or may not appear).
+  /// The membership handoff scans this to find the slice a new owner
+  /// takes, then streams the entries via peek().
+  std::vector<CanonicalHash> keys() const;
+
   /// Writes every entry as one encode_cache_entry line. Shard iteration
   /// order; not sorted (the reload order is irrelevant).
   void save_tsv(std::ostream& out) const;

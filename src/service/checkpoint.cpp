@@ -1,0 +1,97 @@
+#include "service/checkpoint.hpp"
+
+#include <cstdio>
+
+#include <chrono>
+#include <fstream>
+
+namespace prts::service {
+
+Checkpointer::Checkpointer(const ShardedSolutionCache& cache, Config config)
+    : cache_(cache), config_(std::move(config)) {
+  if (config_.telemetry != nullptr) {
+    obs::Registry& metrics = config_.telemetry->metrics;
+    checkpoints_counter_ = &metrics.counter("checkpoint_total");
+    failures_counter_ = &metrics.counter("checkpoint_failures_total");
+    duration_hist_ = &metrics.histogram("checkpoint_seconds");
+  }
+  if (config_.interval_seconds > 0.0) {
+    timer_ = std::thread(&Checkpointer::timer_loop, this);
+  }
+}
+
+Checkpointer::~Checkpointer() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (timer_.joinable()) timer_.join();
+}
+
+bool Checkpointer::checkpoint_now(std::string* error) {
+  const std::lock_guard<std::mutex> write_lock(write_mutex_);
+  const auto started = std::chrono::steady_clock::now();
+  const std::string tmp = config_.path + ".tmp";
+  std::size_t bytes = 0;
+  bool ok = false;
+  std::string reason;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      reason = "cannot open '" + tmp + "' for writing";
+    } else {
+      cache_.save_binary(out);
+      out.flush();
+      if (!out) {
+        reason = "write to '" + tmp + "' failed";
+      } else {
+        bytes = static_cast<std::size_t>(out.tellp());
+        ok = true;
+      }
+    }
+  }
+  if (ok && std::rename(tmp.c_str(), config_.path.c_str()) != 0) {
+    reason = "rename '" + tmp + "' -> '" + config_.path + "' failed";
+    ok = false;
+  }
+  if (!ok) std::remove(tmp.c_str());
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ok) {
+    ++stats_.checkpoints;
+    stats_.last_entries = cache_.stats().entries;
+    stats_.last_bytes = bytes;
+    stats_.last_seconds = seconds;
+    if (checkpoints_counter_) checkpoints_counter_->add();
+    if (duration_hist_) duration_hist_->record(seconds);
+  } else {
+    ++stats_.failures;
+    if (failures_counter_) failures_counter_->add();
+    if (error) *error = reason;
+  }
+  return ok;
+}
+
+Checkpointer::Stats Checkpointer::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Checkpointer::timer_loop() {
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.interval_seconds));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) return;
+    lock.unlock();
+    checkpoint_now();
+    lock.lock();
+  }
+}
+
+}  // namespace prts::service

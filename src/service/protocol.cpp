@@ -1,5 +1,6 @@
 #include "service/protocol.hpp"
 
+#include "service/checkpoint.hpp"
 #include "service/router.hpp"
 
 #include <charconv>
@@ -157,6 +158,11 @@ void write_merged_stats_json(std::ostream& out, SolveService& service,
           << ",\"max_inflight\":" << stats.max_inflight << "}";
     }
     out << "}";
+    if (router->elastic()) {
+      out << ",\"membership\":";
+      ShardRouter::write_membership_stats_json(out,
+                                               router->membership_stats());
+    }
   }
   if (obs::Telemetry* telemetry = service.telemetry()) {
     out << ",\"telemetry\":";
@@ -196,6 +202,10 @@ void write_metrics_text(std::ostream& out, SolveService& service,
     out << "# TYPE prts_engine_" << name << "_total counter\n"
         << "prts_engine_" << name << "_total " << value << "\n";
   }
+  // Live cache occupancy: the warm-rejoin signal (a restarted rank that
+  // loaded its checkpoint scrapes > 0 before the first request lands).
+  out << "# TYPE prts_cache_entries gauge\n"
+      << "prts_cache_entries " << service.cache_stats().entries << "\n";
   if (router == nullptr) return;
   const RouterStats rs = router->stats();
   const std::pair<const char*, std::uint64_t> router_counters[] = {
@@ -214,6 +224,26 @@ void write_metrics_text(std::ostream& out, SolveService& service,
   for (const auto& [name, value] : router_counters) {
     out << "# TYPE prts_router_" << name << "_total counter\n"
         << "prts_router_" << name << "_total " << value << "\n";
+  }
+  if (!router->elastic()) return;
+  const MembershipStats ms = router->membership_stats();
+  out << "# TYPE prts_membership_epoch gauge\n"
+      << "prts_membership_epoch " << ms.epoch << "\n"
+      << "# TYPE prts_membership_members gauge\n"
+      << "prts_membership_members " << ms.members << "\n";
+  const std::pair<const char*, std::uint64_t> membership_counters[] = {
+      {"joins", ms.joins},
+      {"deaths", ms.deaths},
+      {"suspects", ms.suspects},
+      {"handoffs_started", ms.handoffs_started},
+      {"handoffs_completed", ms.handoffs_completed},
+      {"handoff_entries_sent", ms.handoff_entries_sent},
+      {"handoff_entries_received", ms.handoff_entries_received},
+      {"double_writes", ms.double_writes},
+  };
+  for (const auto& [name, value] : membership_counters) {
+    out << "# TYPE prts_membership_" << name << "_total counter\n"
+        << "prts_membership_" << name << "_total " << value << "\n";
   }
 }
 
@@ -462,6 +492,24 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
       out << "# alerts ";
       telemetry->alerts.write_json(out);
       out << "\n";
+      out.flush();
+    } else if (command == "checkpoint") {
+      if (options.checkpointer == nullptr) {
+        error("checkpoint: checkpointing disabled");
+        continue;
+      }
+      std::string why;
+      const bool ok = options.checkpointer->checkpoint_now(&why);
+      const Checkpointer::Stats cp = options.checkpointer->stats();
+      out << "# checkpoint {\"ok\":" << (ok ? "true" : "false")
+          << ",\"path\":\"" << options.checkpointer->path() << "\""
+          << ",\"checkpoints\":" << cp.checkpoints
+          << ",\"failures\":" << cp.failures
+          << ",\"entries\":" << cp.last_entries
+          << ",\"bytes\":" << cp.last_bytes
+          << ",\"seconds\":" << cp.last_seconds;
+      if (!ok) out << ",\"error\":\"" << why << "\"";
+      out << "}\n";
       out.flush();
     } else if (command == "sync") {
       flush();

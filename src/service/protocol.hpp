@@ -31,6 +31,10 @@
 //                            '# tick seq=.. t=.. dt=.. {json}' line per
 //                            tick (oldest first; whole ring when n is
 //                            omitted), then '# timeseries end'
+//   checkpoint               one synchronous cache snapshot via the
+//                            wired Checkpointer: a '# checkpoint
+//                            {...}' JSON line (ok/path/entries/bytes),
+//                            or an error when checkpointing is off
 //   sync                     flush: print every pending reply in
 //                            submission order (EOF implies a sync)
 //
@@ -50,6 +54,7 @@
 namespace prts::service {
 
 class ShardRouter;
+class Checkpointer;
 
 struct ServeOptions {
   /// Deadline applied to requests that do not carry deadline=...
@@ -60,6 +65,10 @@ struct ServeOptions {
   /// fabric (local shard -> `service`, remote shards -> peers) and
   /// 'stats' additionally emits a '# router ...' JSON line.
   ShardRouter* router = nullptr;
+
+  /// When set, the `checkpoint` command snapshots the cache through it
+  /// (the background interval timer, if any, runs independently).
+  Checkpointer* checkpointer = nullptr;
 };
 
 struct ServeResult {
@@ -74,6 +83,7 @@ ServeResult run_serve(std::istream& in, std::ostream& out,
 /// One merged JSON stats document:
 ///   {"engine":..,"hits":..,"cache":..
 ///    [,"router":..,"replica":..,"net_clients":{"rank<r>":{..}}]
+///    [,"membership":..  — elastic routers only]
 ///    [,"telemetry":<registry JSON>,"watchdog":<stall verdict>]}
 /// — the payload of `stats --json` and of the fabric's kStatsRequest.
 void write_merged_stats_json(std::ostream& out, SolveService& service,

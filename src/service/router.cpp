@@ -31,6 +31,15 @@ constexpr std::size_t kMaxFetchKeys = 1024;
 /// map stays bounded even when gossip never runs to clear it.
 constexpr std::size_t kMaxTrackedHotKeys = 4096;
 
+/// Config invariants the rest of the router leans on, applied before
+/// any member (the Membership in particular) is constructed from it.
+RouterConfig normalize(RouterConfig config) {
+  if (config.world_size == 0) config.world_size = 1;
+  config.membership.self_rank = config.rank;
+  if (config.advertise.host.empty()) config.advertise.host = "127.0.0.1";
+  return config;
+}
+
 }  // namespace
 
 net::FrameHandler make_fabric_handler(SolveService& service,
@@ -62,9 +71,12 @@ net::FrameHandler make_fabric_handler(SolveService& service,
         // FrameServer runs this on its own pool.
         SolveReply answer = service.submit(std::move(*decoded)).get();
         // Peer traffic is what makes an owned key hot — feed the
-        // gossip digest.
+        // gossip digest. And under elastic membership, an answer for a
+        // key the ring has since assigned elsewhere is copied to its
+        // new owner (the handoff-window double-write).
         if (ShardRouter* owner = router ? router() : nullptr) {
           owner->note_owned_hit(answer.key);
+          owner->maybe_double_write(answer.key);
         }
         // Ship this rank's spans back so the origin can merge them
         // into the one trace the request travels under. The local
@@ -128,6 +140,21 @@ net::FrameHandler make_fabric_handler(SolveService& service,
         reply.payload = encode_replica_entries(entries);
         return reply;
       }
+      case net::FrameType::kJoinRequest:
+      case net::FrameType::kMembershipUpdate:
+      case net::FrameType::kHandoffBegin:
+      case net::FrameType::kHandoffChunk:
+      case net::FrameType::kHandoffDone: {
+        // The elastic-membership frame families belong to the router
+        // (the Membership merge rules + handoff bookkeeping live
+        // there). A node without one cannot host a fleet.
+        if (ShardRouter* member = router ? router() : nullptr) {
+          return member->handle_fabric_frame(request);
+        }
+        reply.type = net::FrameType::kError;
+        reply.payload = "membership disabled";
+        return reply;
+      }
       default:
         reply.type = net::FrameType::kError;
         reply.payload = "unexpected frame type";
@@ -169,10 +196,10 @@ std::optional<std::vector<PeerAddress>> parse_peer_list(
 
 ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
     : service_(service),
-      config_(std::move(config)),
+      config_(normalize(std::move(config))),
+      membership_(config_.membership),
       replicas_(config_.replica),
       forward_pool_(std::max<std::size_t>(1, config_.forward_threads)) {
-  if (config_.world_size == 0) config_.world_size = 1;
   if (config_.telemetry != nullptr) {
     obs::Registry& metrics = config_.telemetry->metrics;
     wire_hist_ = &metrics.histogram("router_wire_seconds");
@@ -182,28 +209,57 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
     prof_replica_ = &config_.telemetry->profiler.component("replica_lookup");
     inflight_probe_ = obs::ProfiledMutex::make_probe(metrics, "router_inflight");
     mutex_.attach(&inflight_probe_);
-  }
-  clients_.resize(config_.world_size);
-  for (std::size_t r = 0; r < config_.world_size; ++r) {
-    if (r == config_.rank || r >= config_.peers.size()) continue;
-    net::FrameClientConfig client_config = config_.client;
-    if (config_.telemetry != nullptr) {
-      // Per-peer counter families: suspect churn toward rank 2 must be
-      // attributable to rank 2, not smeared across the fabric.
-      client_config.metrics = &config_.telemetry->metrics;
-      client_config.metrics_prefix = "net_client_rank" + std::to_string(r) + "_";
+    if (config_.elastic) {
+      epoch_gauge_ = &metrics.gauge("membership_epoch");
+      members_gauge_ = &metrics.gauge("membership_members");
+      joins_counter_ = &metrics.counter("membership_joins_total");
+      deaths_counter_ = &metrics.counter("membership_deaths_total");
+      suspects_counter_ = &metrics.counter("membership_suspects_total");
+      handoff_entries_sent_counter_ =
+          &metrics.counter("handoff_entries_sent_total");
+      handoff_entries_received_counter_ =
+          &metrics.counter("handoff_entries_received_total");
+      handoff_chunk_hist_ = &metrics.histogram("handoff_chunk_seconds");
     }
-    clients_[r] = std::make_unique<net::MuxFrameClient>(
-        config_.peers[r].host, config_.peers[r].port, std::move(client_config));
   }
-  if (config_.gossip_interval_seconds > 0.0 && config_.world_size > 1) {
-    if (config_.telemetry != nullptr) {
-      gossip_heartbeat_ = &config_.telemetry->watchdog.component(
-          "router_gossip", config_.gossip_interval_seconds);
+  if (config_.elastic) {
+    // Found a fleet of one; the seed (when configured) merges us into
+    // the real fleet below, or the heartbeat loop retries while alone.
+    Member self;
+    self.rank = config_.rank;
+    self.host = config_.advertise.host;
+    self.port = config_.advertise.port;
+    membership_.bootstrap({std::move(self)});
+    publish_membership_gauges();
+    if (config_.join_seed) join_now();
+  } else {
+    // The static fabric wires every peer up front (the addresses are
+    // fixed for the process lifetime).
+    for (std::size_t r = 0; r < config_.world_size; ++r) {
+      if (r != config_.rank) client_for(r);
     }
-    gossip_thread_ = std::thread([this] {
-      const std::chrono::duration<double> interval(
-          config_.gossip_interval_seconds);
+  }
+
+  // The fabric timer: gossip rounds on a static router, heartbeat
+  // rounds (+ gossip, when due) on an elastic one.
+  const double interval_seconds = config_.elastic
+                                      ? config_.heartbeat_interval_seconds
+                                      : config_.gossip_interval_seconds;
+  const bool want_timer =
+      interval_seconds > 0.0 && (config_.elastic || config_.world_size > 1);
+  if (want_timer) {
+    if (config_.telemetry != nullptr) {
+      if (config_.elastic) {
+        membership_heartbeat_ = &config_.telemetry->watchdog.component(
+            "router_membership", interval_seconds);
+      } else {
+        gossip_heartbeat_ = &config_.telemetry->watchdog.component(
+            "router_gossip", config_.gossip_interval_seconds);
+      }
+    }
+    gossip_thread_ = std::thread([this, interval_seconds] {
+      const std::chrono::duration<double> interval(interval_seconds);
+      Clock::time_point last_gossip = Clock::now();
       std::unique_lock<std::mutex> lock(gossip_mutex_);
       while (!gossip_stop_) {
         if (gossip_cv_.wait_for(lock, interval,
@@ -211,8 +267,21 @@ ShardRouter::ShardRouter(SolveService& service, RouterConfig config)
           break;
         }
         lock.unlock();
-        gossip_now();
-        if (gossip_heartbeat_ != nullptr) gossip_heartbeat_->beat();
+        if (config_.elastic) {
+          heartbeat_now();
+          if (membership_heartbeat_ != nullptr) membership_heartbeat_->beat();
+          // Gossip piggybacks on the heartbeat timer: run a round
+          // whenever its own (usually longer) interval has lapsed.
+          if (config_.gossip_interval_seconds > 0.0 &&
+              seconds_since(last_gossip, Clock::now()) >=
+                  config_.gossip_interval_seconds) {
+            gossip_now();
+            last_gossip = Clock::now();
+          }
+        } else {
+          gossip_now();
+          if (gossip_heartbeat_ != nullptr) gossip_heartbeat_->beat();
+        }
         lock.lock();
       }
     });
@@ -226,10 +295,80 @@ ShardRouter::~ShardRouter() {
   }
   gossip_cv_.notify_all();
   if (gossip_thread_.joinable()) gossip_thread_.join();
-}  // forward_pool_ then drains forwards and prefetches
+}  // forward_pool_ then drains forwards, prefetches and handoffs
+
+net::MuxFrameClient* ShardRouter::client_for(std::size_t rank) {
+  if (rank == config_.rank) return nullptr;
+  PeerAddress address;
+  if (config_.elastic) {
+    const auto member = membership_.member(rank);
+    if (!member || member->port == 0) return nullptr;
+    address.host = member->host.empty() ? "127.0.0.1" : member->host;
+    address.port = member->port;
+  } else {
+    if (rank >= config_.peers.size()) return nullptr;
+    address = config_.peers[rank];
+    if (address.port == 0) return nullptr;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(clients_mutex_);
+    const auto it = clients_.find(rank);
+    if (it != clients_.end()) {
+      if (it->second->host() == address.host &&
+          it->second->port() == address.port) {
+        return it->second.get();
+      }
+      // The member restarted on a new address: retire (not destroy —
+      // an in-flight exchange may still be blocked inside) and rewire.
+      retired_clients_.push_back(std::move(it->second));
+      clients_.erase(it);
+    }
+  }
+  net::FrameClientConfig client_config = config_.client;
+  if (config_.telemetry != nullptr) {
+    // Per-peer counter families: suspect churn toward rank 2 must be
+    // attributable to rank 2, not smeared across the fabric. A rewired
+    // client re-registers the same family — the counters just continue.
+    client_config.metrics = &config_.telemetry->metrics;
+    client_config.metrics_prefix =
+        "net_client_rank" + std::to_string(rank) + "_";
+  }
+  auto created = std::make_unique<net::MuxFrameClient>(
+      address.host, address.port, std::move(client_config));
+  const std::lock_guard<std::mutex> lock(clients_mutex_);
+  // emplace keeps the incumbent on a create race; the loser is simply
+  // destroyed (it has no traffic yet).
+  const auto [it, inserted] = clients_.emplace(rank, std::move(created));
+  return it->second.get();
+}
+
+net::MuxFrameClient* ShardRouter::client_lookup(std::size_t rank) const {
+  const std::lock_guard<std::mutex> lock(clients_mutex_);
+  const auto it = clients_.find(rank);
+  return it == clients_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::size_t> ShardRouter::peer_ranks() const {
+  std::vector<std::size_t> ranks;
+  if (config_.elastic) {
+    for (const Member& member : membership_.view().members) {
+      if (member.rank != config_.rank) ranks.push_back(member.rank);
+    }
+  } else {
+    for (std::size_t r = 0; r < config_.world_size; ++r) {
+      if (r != config_.rank && r < config_.peers.size()) ranks.push_back(r);
+    }
+  }
+  return ranks;
+}
+
+bool ShardRouter::known_rank(std::size_t rank) const {
+  return config_.elastic ? membership_.contains(rank)
+                         : rank < config_.world_size;
+}
 
 std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
-  if (config_.world_size <= 1) {
+  if (!distributed()) {
     {
       const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
       ++stats_.local;
@@ -242,8 +381,10 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
   const CanonicalHash key =
       request_key(*canonical, request.solver, request.bounds);
   const std::size_t owner = shard_of(key);
+  net::MuxFrameClient* const owner_client =
+      owner == config_.rank ? nullptr : client_for(owner);
 
-  if (owner == config_.rank || !clients_[owner]) {
+  if (owner == config_.rank || owner_client == nullptr) {
     note_owned_hit(key);
     {
       const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
@@ -384,7 +525,11 @@ std::future<SolveReply> ShardRouter::submit(SolveRequest request) {
 }
 
 void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
-  net::MuxFrameClient& client = *clients_[forward->owner_rank];
+  // Resolved at run time, not submit time: under elastic membership the
+  // owner may have died (or been rewired) since the forward was queued.
+  // A vanished client degrades to the failover path below, exactly like
+  // an unreachable peer.
+  net::MuxFrameClient* const client = client_for(forward->owner_rank);
 
   // The forwarded request carries the *canonical* instance, so the
   // owner's reply is already in canonical labels — each waiter then
@@ -410,10 +555,12 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
     wire_sample.emplace();
   }
   std::optional<SolveReply> remote;
-  if (const auto reply_frame = client.call(frame)) {
-    if (reply_frame->type == net::FrameType::kSolveReply) {
-      std::string error;
-      remote = decode_wire_reply(reply_frame->payload, error);
+  if (client != nullptr) {
+    if (const auto reply_frame = client->call(frame)) {
+      if (reply_frame->type == net::FrameType::kSolveReply) {
+        std::string error;
+        remote = decode_wire_reply(reply_frame->payload, error);
+      }
     }
   }
   const double wire_seconds = seconds_since(wire_start, Clock::now());
@@ -577,7 +724,7 @@ void ShardRouter::run_forward(std::shared_ptr<Forward> forward) {
 }
 
 void ShardRouter::note_owned_hit(const CanonicalHash& key) {
-  if (config_.world_size <= 1 || shard_of(key) != config_.rank) return;
+  if (!distributed() || shard_of(key) != config_.rank) return;
   const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
   if (const auto it = owned_hits_.find(key); it != owned_hits_.end()) {
     ++it->second;
@@ -593,7 +740,7 @@ void ShardRouter::note_owned_hit(const CanonicalHash& key) {
 }
 
 void ShardRouter::gossip_now() {
-  if (config_.world_size <= 1) return;
+  if (!distributed()) return;
   std::vector<GossipDigest::Entry> hot;
   {
     const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
@@ -624,9 +771,10 @@ void ShardRouter::gossip_now() {
   net::Frame frame;
   frame.type = net::FrameType::kGossipDigest;
   frame.payload = encode_gossip_digest(digest);
-  for (std::size_t r = 0; r < clients_.size(); ++r) {
-    if (!clients_[r]) continue;
-    const auto ack = clients_[r]->call(frame);
+  for (const std::size_t r : peer_ranks()) {
+    net::MuxFrameClient* const client = client_for(r);
+    if (client == nullptr) continue;
+    const auto ack = client->call(frame);
     const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
     if (ack && ack->type == net::FrameType::kPong) {
       ++stats_.gossip_sent;
@@ -642,9 +790,9 @@ void ShardRouter::handle_gossip_digest(GossipDigest digest) {
     ++stats_.gossip_received;
   }
   // Only the sender's own keys are prefetchable from the sender; a
-  // digest naming another rank (or this one) is ignored key-by-key.
-  if (digest.rank >= config_.world_size || digest.rank == config_.rank ||
-      !clients_[digest.rank] || !replicas_.enabled()) {
+  // digest naming an unknown rank (or this one) is ignored.
+  if (digest.rank == config_.rank || !known_rank(digest.rank) ||
+      !replicas_.enabled()) {
     return;
   }
   std::sort(digest.entries.begin(), digest.entries.end(),
@@ -688,19 +836,22 @@ void ShardRouter::run_prefetch(std::size_t owner,
   frame.type = net::FrameType::kReplicaFetch;
   frame.payload = encode_replica_fetch(keys);
   std::size_t fetched = 0;
-  if (const auto reply = clients_[owner]->call(frame)) {
-    if (reply->type == net::FrameType::kReplicaFetchReply) {
-      std::string error;
-      if (auto entries = decode_replica_entries(reply->payload, error)) {
-        for (auto& [key, value] : *entries) {
-          // Accept only keys this fetch asked for (and hence validated
-          // as owned by `owner`) — a confused peer must not plant
-          // foreign entries in the replica tier.
-          if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
-            continue;
+  net::MuxFrameClient* const client = client_for(owner);
+  if (client != nullptr) {
+    if (const auto reply = client->call(frame)) {
+      if (reply->type == net::FrameType::kReplicaFetchReply) {
+        std::string error;
+        if (auto entries = decode_replica_entries(reply->payload, error)) {
+          for (auto& [key, value] : *entries) {
+            // Accept only keys this fetch asked for (and hence validated
+            // as owned by `owner`) — a confused peer must not plant
+            // foreign entries in the replica tier.
+            if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+              continue;
+            }
+            replicas_.insert(key, std::move(value));
+            ++fetched;
           }
-          replicas_.insert(key, std::move(value));
-          ++fetched;
         }
       }
     }
@@ -721,8 +872,439 @@ void ShardRouter::wait_prefetches_idle() {
 }
 
 bool ShardRouter::peer_suspect(std::size_t rank) const {
-  return rank < clients_.size() && clients_[rank] &&
-         clients_[rank]->suspect();
+  net::MuxFrameClient* const client = client_lookup(rank);
+  return client != nullptr && client->suspect();
+}
+
+// --- Elastic membership -------------------------------------------------
+
+std::uint64_t ShardRouter::epoch() const { return membership_.epoch(); }
+
+MembershipView ShardRouter::membership_view() const {
+  return membership_.view();
+}
+
+MembershipStats ShardRouter::membership_stats() const {
+  MembershipStats out;
+  {
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+    out = membership_stats_;
+  }
+  out.epoch = membership_.epoch();
+  out.members = membership_.member_count();
+  return out;
+}
+
+bool ShardRouter::join_now() {
+  if (!config_.elastic || !config_.join_seed) return false;
+  // A transient lock-step client: the join is a one-shot exchange with
+  // whatever seed the operator named, not necessarily a future peer —
+  // no counter family, no persistent connection.
+  net::FrameClientConfig seed_config = config_.client;
+  seed_config.metrics = nullptr;
+  net::FrameClient seed(config_.join_seed->host, config_.join_seed->port,
+                        std::move(seed_config));
+  Member self;
+  self.rank = config_.rank;
+  self.host = config_.advertise.host;
+  self.port = config_.advertise.port;
+  net::Frame frame;
+  frame.type = net::FrameType::kJoinRequest;
+  frame.payload = encode_join_request(self);
+  const auto reply = seed.call(frame);
+  if (!reply || reply->type != net::FrameType::kMembershipUpdate) {
+    return false;
+  }
+  std::string error;
+  const auto update = decode_membership_update(reply->payload, error);
+  if (!update) return false;
+  const auto changes = membership_.handle_update(update->view);
+  membership_.note_heard_from(update->from);
+  apply_membership_changes(changes);
+  return membership_.member_count() > 1;
+}
+
+void ShardRouter::heartbeat_now() {
+  if (!config_.elastic) return;
+  // A rank still alone keeps dialing its seed — an unreachable seed at
+  // startup (rolling restart, slow peer) must not strand the rank
+  // outside the fleet forever.
+  if (membership_.member_count() <= 1 && config_.join_seed) join_now();
+
+  const auto ticked = membership_.tick();
+  if (!ticked.suspected.empty() || !ticked.died.empty()) {
+    {
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+      membership_stats_.suspects += ticked.suspected.size();
+      membership_stats_.deaths += ticked.died.size();
+      // A dead rank's handoff dedup is forgotten: if it rejoins later
+      // (new epoch) it deserves a fresh stream.
+      for (const std::size_t rank : ticked.died) {
+        handoff_epochs_.erase(rank);
+      }
+    }
+    if (suspects_counter_ != nullptr) {
+      suspects_counter_->add(ticked.suspected.size());
+    }
+    if (deaths_counter_ != nullptr) {
+      deaths_counter_->add(ticked.died.size());
+    }
+    publish_membership_gauges();
+  }
+
+  // One view exchange per live peer, dispatched to the forward pool so
+  // a dead peer's connect timeout stalls a pool worker, never the
+  // timer. At most one exchange per peer in flight: the timer must not
+  // stack rounds onto a slow peer.
+  const MembershipView view = membership_.view();
+  MembershipUpdate update;
+  update.from = config_.rank;
+  update.view = view;
+  net::Frame frame;
+  frame.type = net::FrameType::kMembershipUpdate;
+  frame.payload = encode_membership_update(update);
+  for (const Member& member : view.members) {
+    if (member.rank == config_.rank) continue;
+    {
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+      if (!heartbeats_in_flight_.insert(member.rank).second) continue;
+    }
+    auto task = forward_pool_.submit([this, rank = member.rank, frame] {
+      std::optional<net::Frame> reply;
+      if (net::MuxFrameClient* const client = client_for(rank)) {
+        reply = client->call(frame);
+      }
+      if (reply && reply->type == net::FrameType::kMembershipUpdate) {
+        std::string error;
+        if (const auto peer_update =
+                decode_membership_update(reply->payload, error)) {
+          const auto changes = membership_.handle_update(peer_update->view);
+          membership_.note_heard_from(peer_update->from);
+          apply_membership_changes(changes);
+        }
+      }
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+      heartbeats_in_flight_.erase(rank);
+    });
+    // A shut-down pool never runs the task; release the in-flight
+    // marker so a later (revived) round is not blocked forever.
+    if (task.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      try {
+        task.get();
+      } catch (...) {
+        const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+        heartbeats_in_flight_.erase(member.rank);
+      }
+    }
+  }
+}
+
+void ShardRouter::apply_membership_changes(
+    const Membership::ChangeSet& changes) {
+  if (!changes.changed) return;
+  publish_membership_gauges();
+  if (!changes.joined.empty() || !changes.left.empty()) {
+    std::size_t joins = 0;
+    {
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+      for (const Member& member : changes.joined) {
+        if (member.rank != config_.rank) ++joins;
+      }
+      membership_stats_.joins += joins;
+      // Members a higher-epoch view dropped were detected dead by a
+      // peer; count them here too so every rank's death counter moves.
+      membership_stats_.deaths += changes.left.size();
+      for (const std::size_t rank : changes.left) {
+        handoff_epochs_.erase(rank);
+      }
+    }
+    if (joins_counter_ != nullptr && joins > 0) joins_counter_->add(joins);
+    if (deaths_counter_ != nullptr && !changes.left.empty()) {
+      deaths_counter_->add(changes.left.size());
+    }
+  }
+  for (const Member& member : changes.joined) {
+    if (member.rank == config_.rank) continue;
+    // Wire (or rewire, on an address change) the client now, then
+    // stream the newcomer the slice the ring just assigned it.
+    client_for(member.rank);
+    schedule_handoff(member);
+  }
+}
+
+void ShardRouter::schedule_handoff(const Member& target) {
+  const std::uint64_t epoch = membership_.epoch();
+  {
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+    // Equal-epoch updates naming the same joiner arrive from several
+    // peers; one stream per (target, epoch) is enough.
+    auto& last = handoff_epochs_[target.rank];
+    if (last >= epoch) return;
+    last = epoch;
+    ++membership_stats_.handoffs_started;
+    ++outstanding_handoffs_;
+  }
+  auto task = forward_pool_.submit(
+      [this, target, epoch] { run_handoff(target, epoch); });
+  // A shut-down pool never runs the task; release the bookkeeping.
+  if (task.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    try {
+      task.get();
+    } catch (...) {
+      finish_handoff(false);
+    }
+  }
+}
+
+void ShardRouter::run_handoff(Member target, std::uint64_t epoch) {
+  net::MuxFrameClient* const client = client_for(target.rank);
+  if (client == nullptr) {
+    finish_handoff(false);
+    return;
+  }
+  // The slice: every owned entry the ring now assigns to the newcomer.
+  // keys() is a point-in-time snapshot; entries answered during the
+  // stream are covered by the double-write path, entries evicted before
+  // their chunk simply drop out (peek misses are skipped).
+  std::vector<CanonicalHash> slice;
+  for (const CanonicalHash& key : service_.cache().keys()) {
+    if (shard_of(key) == target.rank) slice.push_back(key);
+  }
+  if (slice.empty()) {
+    finish_handoff(true);
+    return;
+  }
+
+  HandoffStamp stamp;
+  stamp.epoch = epoch;
+  stamp.from = config_.rank;
+  stamp.entries = slice.size();
+  net::Frame begin;
+  begin.type = net::FrameType::kHandoffBegin;
+  begin.payload = encode_handoff_begin(stamp);
+  const auto begin_ack = client->call(begin);
+  if (!begin_ack || begin_ack->type != net::FrameType::kPong) {
+    finish_handoff(false);
+    return;
+  }
+
+  // Bounded chunks: each frame carries at most handoff_chunk_entries
+  // entries, so neither the frame size nor the receiver's cache hold
+  // time grows with the slice.
+  const std::size_t per_chunk =
+      std::max<std::size_t>(1, config_.handoff_chunk_entries);
+  std::size_t sent_entries = 0;
+  std::size_t sent_chunks = 0;
+  bool aborted = false;
+  for (std::size_t offset = 0; offset < slice.size() && !aborted;
+       offset += per_chunk) {
+    HandoffChunk chunk;
+    chunk.epoch = epoch;
+    chunk.from = config_.rank;
+    const std::size_t end = std::min(slice.size(), offset + per_chunk);
+    for (std::size_t i = offset; i < end; ++i) {
+      if (auto value = service_.cache().peek(slice[i])) {
+        chunk.entries.emplace_back(slice[i], std::move(*value));
+      }
+    }
+    if (chunk.entries.empty()) continue;
+    net::Frame frame;
+    frame.type = net::FrameType::kHandoffChunk;
+    frame.payload = encode_handoff_chunk(chunk);
+    const Clock::time_point chunk_start = Clock::now();
+    const auto ack = client->call(frame);
+    if (handoff_chunk_hist_ != nullptr) {
+      handoff_chunk_hist_->record(seconds_since(chunk_start, Clock::now()));
+    }
+    if (!ack || ack->type != net::FrameType::kPong) {
+      aborted = true;
+      break;
+    }
+    sent_entries += chunk.entries.size();
+    ++sent_chunks;
+  }
+
+  {
+    const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+    membership_stats_.handoff_chunks_sent += sent_chunks;
+    membership_stats_.handoff_entries_sent += sent_entries;
+  }
+  if (handoff_entries_sent_counter_ != nullptr && sent_entries > 0) {
+    handoff_entries_sent_counter_->add(sent_entries);
+  }
+  if (aborted) {
+    finish_handoff(false);
+    return;
+  }
+
+  stamp.entries = sent_entries;
+  net::Frame done;
+  done.type = net::FrameType::kHandoffDone;
+  done.payload = encode_handoff_done(stamp);
+  client->call(done);  // best-effort: the chunks already landed
+  finish_handoff(true);
+}
+
+void ShardRouter::finish_handoff(bool completed) {
+  const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+  if (completed) ++membership_stats_.handoffs_completed;
+  --outstanding_handoffs_;
+  prefetch_cv_.notify_all();
+}
+
+void ShardRouter::wait_handoffs_idle() {
+  std::unique_lock<obs::ProfiledMutex> lock(mutex_);
+  prefetch_cv_.wait(lock, [this] { return outstanding_handoffs_ == 0; });
+}
+
+void ShardRouter::maybe_double_write(const CanonicalHash& key) {
+  if (!config_.elastic) return;
+  const std::size_t owner = membership_.owner_of(key);
+  if (owner == config_.rank) return;
+  // The transition-window write path: this rank just answered a key the
+  // ring assigns elsewhere (the requester dialed the old owner, or the
+  // bulk stream has not reached this entry yet). Copy the answer over
+  // asynchronously — the reply to the requester must not wait on it.
+  auto task = forward_pool_.submit([this, key, owner] {
+    auto value = service_.cache().peek(key);
+    if (!value) return;  // evicted already; the new owner will re-solve
+    net::MuxFrameClient* const client = client_for(owner);
+    if (client == nullptr) return;
+    HandoffChunk chunk;
+    chunk.epoch = membership_.epoch();
+    chunk.from = config_.rank;
+    chunk.entries.emplace_back(key, std::move(*value));
+    net::Frame frame;
+    frame.type = net::FrameType::kHandoffChunk;
+    frame.payload = encode_handoff_chunk(chunk);
+    const auto ack = client->call(frame);
+    if (ack && ack->type == net::FrameType::kPong) {
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+      ++membership_stats_.double_writes;
+    }
+  });
+  // Best-effort: a shut-down pool simply drops the copy.
+  if (task.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+    try {
+      task.get();
+    } catch (...) {
+    }
+  }
+}
+
+net::Frame ShardRouter::handle_fabric_frame(const net::Frame& request) {
+  net::Frame reply;
+  if (!config_.elastic) {
+    reply.type = net::FrameType::kError;
+    reply.payload = "membership disabled";
+    return reply;
+  }
+  switch (request.type) {
+    case net::FrameType::kJoinRequest:
+      return handle_join_frame(request);
+    case net::FrameType::kMembershipUpdate:
+      return handle_membership_frame(request);
+    case net::FrameType::kHandoffBegin:
+    case net::FrameType::kHandoffChunk:
+    case net::FrameType::kHandoffDone:
+      return handle_handoff_frame(request);
+    default:
+      reply.type = net::FrameType::kError;
+      reply.payload = "unexpected membership frame";
+      return reply;
+  }
+}
+
+net::Frame ShardRouter::handle_join_frame(const net::Frame& request) {
+  net::Frame reply;
+  std::string error;
+  const auto member = decode_join_request(request.payload, error);
+  if (!member) {
+    reply.type = net::FrameType::kError;
+    reply.payload = "bad join request: " + error;
+    return reply;
+  }
+  apply_membership_changes(membership_.handle_join(*member));
+  // The reply carries the merged view: the joiner adopts it (higher
+  // epoch) and learns the whole fleet from this one exchange.
+  MembershipUpdate update;
+  update.from = config_.rank;
+  update.view = membership_.view();
+  reply.type = net::FrameType::kMembershipUpdate;
+  reply.payload = encode_membership_update(update);
+  return reply;
+}
+
+net::Frame ShardRouter::handle_membership_frame(const net::Frame& request) {
+  net::Frame reply;
+  std::string error;
+  const auto update = decode_membership_update(request.payload, error);
+  if (!update) {
+    reply.type = net::FrameType::kError;
+    reply.payload = "bad membership update: " + error;
+    return reply;
+  }
+  const auto changes = membership_.handle_update(update->view);
+  membership_.note_heard_from(update->from);
+  apply_membership_changes(changes);
+  // Answer with our (possibly newer) view — a stale sender catches up
+  // on the same exchange.
+  MembershipUpdate ours;
+  ours.from = config_.rank;
+  ours.view = membership_.view();
+  reply.type = net::FrameType::kMembershipUpdate;
+  reply.payload = encode_membership_update(ours);
+  return reply;
+}
+
+net::Frame ShardRouter::handle_handoff_frame(const net::Frame& request) {
+  net::Frame reply;
+  std::string error;
+  if (request.type == net::FrameType::kHandoffChunk) {
+    auto chunk = decode_handoff_chunk(request.payload, error);
+    if (!chunk) {
+      reply.type = net::FrameType::kError;
+      reply.payload = "bad handoff chunk: " + error;
+      return reply;
+    }
+    membership_.note_heard_from(chunk->from);
+    const std::size_t count = chunk->entries.size();
+    for (auto& [key, value] : chunk->entries) {
+      // Entries are immutable under their canonical key, so inserting
+      // a chunk replayed by a retrying sender is harmless.
+      service_.cache().insert(key, std::move(value));
+    }
+    {
+      const std::lock_guard<obs::ProfiledMutex> lock(mutex_);
+      ++membership_stats_.handoff_chunks_received;
+      membership_stats_.handoff_entries_received += count;
+    }
+    if (handoff_entries_received_counter_ != nullptr && count > 0) {
+      handoff_entries_received_counter_->add(count);
+    }
+    reply.type = net::FrameType::kPong;
+    return reply;
+  }
+  // kHandoffBegin / kHandoffDone: bookkeeping stamps — ack and refresh
+  // the sender's heartbeat (a rank mid-stream is certainly alive).
+  const auto stamp = decode_handoff_stamp(request.payload, error);
+  if (!stamp) {
+    reply.type = net::FrameType::kError;
+    reply.payload = "bad handoff stamp: " + error;
+    return reply;
+  }
+  membership_.note_heard_from(stamp->from);
+  reply.type = net::FrameType::kPong;
+  return reply;
+}
+
+void ShardRouter::publish_membership_gauges() {
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->set(static_cast<double>(membership_.epoch()));
+  }
+  if (members_gauge_ != nullptr) {
+    members_gauge_->set(static_cast<double>(membership_.member_count()));
+  }
 }
 
 RouterStats ShardRouter::stats() const {
@@ -733,9 +1315,15 @@ RouterStats ShardRouter::stats() const {
 std::vector<std::pair<std::size_t, net::FrameClientStats>>
 ShardRouter::client_stats() const {
   std::vector<std::pair<std::size_t, net::FrameClientStats>> out;
-  for (std::size_t r = 0; r < clients_.size(); ++r) {
-    if (clients_[r]) out.emplace_back(r, clients_[r]->stats());
+  {
+    const std::lock_guard<std::mutex> lock(clients_mutex_);
+    out.reserve(clients_.size());
+    for (const auto& [rank, client] : clients_) {
+      out.emplace_back(rank, client->stats());
+    }
   }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
@@ -752,6 +1340,22 @@ void ShardRouter::write_stats_json(std::ostream& out,
       << ",\"gossip_sent\":" << stats.gossip_sent
       << ",\"gossip_failures\":" << stats.gossip_failures
       << ",\"gossip_received\":" << stats.gossip_received << "}";
+}
+
+void ShardRouter::write_membership_stats_json(std::ostream& out,
+                                              const MembershipStats& stats) {
+  out << "{\"epoch\":" << stats.epoch
+      << ",\"members\":" << stats.members
+      << ",\"joins\":" << stats.joins
+      << ",\"deaths\":" << stats.deaths
+      << ",\"suspects\":" << stats.suspects
+      << ",\"handoffs_started\":" << stats.handoffs_started
+      << ",\"handoffs_completed\":" << stats.handoffs_completed
+      << ",\"handoff_chunks_sent\":" << stats.handoff_chunks_sent
+      << ",\"handoff_chunks_received\":" << stats.handoff_chunks_received
+      << ",\"handoff_entries_sent\":" << stats.handoff_entries_sent
+      << ",\"handoff_entries_received\":" << stats.handoff_entries_received
+      << ",\"double_writes\":" << stats.double_writes << "}";
 }
 
 }  // namespace prts::service

@@ -55,6 +55,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -62,6 +63,7 @@
 #include "net/frame_server.hpp"
 #include "net/mux_client.hpp"
 #include "service/engine.hpp"
+#include "service/membership.hpp"
 #include "service/wire.hpp"
 
 namespace prts::service {
@@ -99,8 +101,31 @@ struct RouterConfig {
   std::size_t world_size = 1;
   std::size_t rank = 0;
   /// One address per rank; the entry at `rank` is ignored (self).
+  /// Unused in elastic mode, where the member list is dynamic.
   std::vector<PeerAddress> peers;
   net::FrameClientConfig client;
+
+  /// Elastic membership (src/service/membership.hpp): ranks join by
+  /// dialing any seed, ownership follows the consistent-hash ring, and
+  /// join/leave/death moves only the affected key slices (streamed by
+  /// their old owners as kHandoff* frames). When false the router is
+  /// the classic static fabric: fixed world_size, `hi mod world`.
+  bool elastic = false;
+  /// Failure-detection knobs (self_rank is overwritten with `rank`).
+  Membership::Config membership;
+  /// This rank's own address, announced to the fleet on join and
+  /// carried in every membership view.
+  PeerAddress advertise;
+  /// Any live member to dial on startup; nullopt founds a new fleet.
+  /// Unreachable seeds are retried from the heartbeat loop.
+  std::optional<PeerAddress> join_seed;
+  /// Seconds between heartbeat rounds (membership-view exchanges +
+  /// failure-detection ticks); <= 0 disables the timer (tests drive
+  /// rounds via heartbeat_now()). Elastic only.
+  double heartbeat_interval_seconds = 0.5;
+  /// Cache entries per kHandoffChunk frame — bounds both the frame
+  /// size and how long the receiving rank's handler holds its cache.
+  std::size_t handoff_chunk_entries = 64;
   /// Threads running blocking forward exchanges (and replica
   /// prefetches). Peer links are protocol-v2 MuxFrameClients, so
   /// exchanges to ONE peer pipeline on its single connection (replies
@@ -144,6 +169,25 @@ struct RouterStats {
   std::uint64_t gossip_received = 0;  ///< digests received from peers
 };
 
+/// Elastic-membership counters (snapshot via membership_stats; all
+/// zero on a static router).
+struct MembershipStats {
+  std::uint64_t epoch = 0;   ///< current membership epoch
+  std::size_t members = 0;   ///< current member count (incl. self)
+  std::uint64_t joins = 0;   ///< members admitted (seen joining)
+  std::uint64_t deaths = 0;  ///< members removed after silence
+  std::uint64_t suspects = 0;          ///< healthy -> suspect transitions
+  std::uint64_t handoffs_started = 0;  ///< slices this rank began streaming
+  std::uint64_t handoffs_completed = 0;  ///< ... streamed to the end
+  std::uint64_t handoff_chunks_sent = 0;
+  std::uint64_t handoff_chunks_received = 0;
+  std::uint64_t handoff_entries_sent = 0;
+  std::uint64_t handoff_entries_received = 0;
+  /// Answers served for a key the ring now assigns elsewhere, copied to
+  /// the new owner (the transition-window write path).
+  std::uint64_t double_writes = 0;
+};
+
 class ShardRouter {
  public:
   /// The service answers local-shard requests and degraded remote ones;
@@ -159,9 +203,21 @@ class ShardRouter {
 
   std::size_t rank() const noexcept { return config_.rank; }
   std::size_t world_size() const noexcept { return config_.world_size; }
+  bool elastic() const noexcept { return config_.elastic; }
 
-  std::size_t shard_of(const CanonicalHash& key) const noexcept {
-    return static_cast<std::size_t>(key.hi % config_.world_size);
+  /// The rank owning `key`: the consistent-hash ring under elastic
+  /// membership, `hi mod world` on the static fabric.
+  std::size_t shard_of(const CanonicalHash& key) const {
+    return config_.elastic
+               ? membership_.owner_of(key)
+               : static_cast<std::size_t>(key.hi % config_.world_size);
+  }
+
+  /// True when requests can route to another rank right now (static:
+  /// world > 1; elastic: more than one live member).
+  bool distributed() const {
+    return config_.elastic ? membership_.member_count() > 1
+                           : config_.world_size > 1;
   }
 
   /// Routes one request; the future resolves exactly like
@@ -194,9 +250,46 @@ class ShardRouter {
   /// bench determinism).
   void wait_prefetches_idle();
 
+  // --- Elastic membership (no-ops / empty on a static router) ---
+
+  /// The current membership epoch (0 when not elastic).
+  std::uint64_t epoch() const;
+  MembershipView membership_view() const;
+  MembershipStats membership_stats() const;
+
+  /// Dials the configured join seed once, synchronously: kJoinRequest
+  /// out, the seed's merged view adopted from the reply. True when the
+  /// fleet now has more than one member. Called by the constructor and
+  /// retried by the heartbeat loop while the rank is still alone.
+  bool join_now();
+
+  /// One synchronous heartbeat round: failure-detection tick, then one
+  /// kMembershipUpdate exchange per live peer (dispatched to the
+  /// forward pool — a dead peer's connect timeout never stalls the
+  /// caller). Also called by the interval timer.
+  void heartbeat_now();
+
+  /// Handles the membership/handoff frame families (kJoinRequest,
+  /// kMembershipUpdate, kHandoffBegin/Chunk/Done) — the server half of
+  /// the elastic protocol, called by make_fabric_handler. kError on a
+  /// static router.
+  net::Frame handle_fabric_frame(const net::Frame& request);
+
+  /// Ships the freshly-answered `key` to its new ring owner when the
+  /// ring no longer assigns it here (one async single-entry handoff
+  /// chunk): the handoff-window double-write. No-op when not elastic
+  /// or the key is still ours.
+  void maybe_double_write(const CanonicalHash& key);
+
+  /// Blocks until every scheduled handoff stream has completed (test
+  /// and bench determinism).
+  void wait_handoffs_idle();
+
   RouterStats stats() const;
   ReplicaStats replica_stats() const { return replicas_.stats(); }
   static void write_stats_json(std::ostream& out, const RouterStats& stats);
+  static void write_membership_stats_json(std::ostream& out,
+                                          const MembershipStats& stats);
 
   /// Per-peer FrameClient counters, one (rank, stats) pair per wired
   /// peer (self has no client) — surfaces reconnect/backoff/suspect
@@ -241,9 +334,49 @@ class ShardRouter {
   void run_prefetch(std::size_t owner, std::vector<CanonicalHash> keys);
   void finish_prefetch(std::size_t fetched);
 
+  /// The client wired to `rank`, lazily created from the membership
+  /// view (elastic) or the static peer list; nullptr for self and for
+  /// ranks with no known address. Created clients live until the
+  /// router dies (an address change retires the old client without
+  /// destroying it — in-flight exchanges may still hold it).
+  net::MuxFrameClient* client_for(std::size_t rank);
+  /// client_for without the create (health probes).
+  net::MuxFrameClient* client_lookup(std::size_t rank) const;
+  /// Every rank this one should talk to right now (membership view or
+  /// static peer list; never self).
+  std::vector<std::size_t> peer_ranks() const;
+  /// True when `rank` is a rank gossip/prefetch may trust.
+  bool known_rank(std::size_t rank) const;
+
+  /// Reacts to a membership change: counters/gauges, client retirement
+  /// on address change, and one scheduled handoff stream per joined
+  /// member (this rank streams the slice the ring now assigns to the
+  /// newcomer).
+  void apply_membership_changes(const Membership::ChangeSet& changes);
+  void schedule_handoff(const Member& target);
+  void run_handoff(Member target, std::uint64_t epoch);
+  void finish_handoff(bool completed);
+  /// Updates the epoch/member-count gauges from the current view.
+  void publish_membership_gauges();
+
+  net::Frame handle_join_frame(const net::Frame& request);
+  net::Frame handle_membership_frame(const net::Frame& request);
+  net::Frame handle_handoff_frame(const net::Frame& request);
+
   SolveService& service_;
   RouterConfig config_;
-  std::vector<std::unique_ptr<net::MuxFrameClient>> clients_;  ///< [rank]
+  Membership membership_;  ///< inert on a static router
+
+  /// Guards the client map only (leaf lock: taken while neither mutex_
+  /// nor the membership lock is held... and never the reverse).
+  mutable std::mutex clients_mutex_;
+  std::unordered_map<std::size_t, std::unique_ptr<net::MuxFrameClient>>
+      clients_;
+  /// Clients replaced after an address change (a restarted member on a
+  /// new port). Kept alive until destruction: a forward in flight may
+  /// still be blocked inside one.
+  std::vector<std::unique_ptr<net::MuxFrameClient>> retired_clients_;
+
   ReplicaCache replicas_;
 
   /// The router's central lock (in-flight map, stats, hit counts),
@@ -254,9 +387,19 @@ class ShardRouter {
   /// gossip_now snapshots and clears, so "hot" means *recently* hot).
   std::unordered_map<CanonicalHash, std::uint64_t, CanonicalKeyHasher> owned_hits_;
   std::size_t outstanding_prefetches_ = 0;
-  /// _any: waits on the ProfiledMutex above.
+  std::size_t outstanding_handoffs_ = 0;
+  /// _any: waits on the ProfiledMutex above (prefetch AND handoff
+  /// drains — notify_all covers both predicates).
   std::condition_variable_any prefetch_cv_;
   RouterStats stats_;
+  MembershipStats membership_stats_;
+  /// Last epoch a handoff stream was scheduled toward each rank — the
+  /// dedup that keeps one membership change from streaming the same
+  /// slice twice (equal-epoch updates arrive from several peers).
+  std::unordered_map<std::size_t, std::uint64_t> handoff_epochs_;
+  /// Ranks with a heartbeat exchange currently in flight (the timer
+  /// must not stack exchanges onto a slow peer).
+  std::unordered_set<std::size_t> heartbeats_in_flight_;
 
   /// Telemetry handles resolved once at construction; non-null iff
   /// config_.telemetry is set.
@@ -273,6 +416,21 @@ class ShardRouter {
   /// Contention probe the in-flight mutex points at.
   obs::ProfiledMutex::Probe inflight_probe_;
 
+  /// Elastic telemetry handles; non-null iff telemetry is on AND the
+  /// router is elastic.
+  obs::Gauge* epoch_gauge_ = nullptr;
+  obs::Gauge* members_gauge_ = nullptr;
+  obs::Counter* joins_counter_ = nullptr;
+  obs::Counter* deaths_counter_ = nullptr;
+  obs::Counter* suspects_counter_ = nullptr;
+  obs::Counter* handoff_entries_sent_counter_ = nullptr;
+  obs::Counter* handoff_entries_received_counter_ = nullptr;
+  obs::Histogram* handoff_chunk_hist_ = nullptr;
+  /// Periodic "router_membership" heartbeat (elastic timer liveness).
+  obs::Heartbeat* membership_heartbeat_ = nullptr;
+
+  /// The periodic fabric timer: gossip rounds on a static router,
+  /// heartbeat rounds (+ gossip, when due) on an elastic one.
   std::mutex gossip_mutex_;
   std::condition_variable gossip_cv_;
   bool gossip_stop_ = false;

@@ -481,4 +481,195 @@ decode_replica_entries(std::string_view payload, std::string& error) {
   return entries;
 }
 
+namespace {
+
+/// "<key> <unsigned>" field; false (with a reason) on malformed digits.
+template <typename Unsigned>
+bool read_unsigned_field(std::istream& in, std::string_view key,
+                         Unsigned& out, std::string& error) {
+  std::string line;
+  std::string value;
+  if (!std::getline(in, line) || !take_field(line, key, value)) {
+    error = "expected '" + std::string(key) + " <n>'";
+    return false;
+  }
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    error = "malformed " + std::string(key) + " '" + value + "'";
+    return false;
+  }
+  return true;
+}
+
+/// "<rank> <port> <host>" member line of the membership update codec.
+bool parse_member_line(const std::string& line, Member& member,
+                       std::string& error) {
+  const char* first = line.data();
+  const char* last = line.data() + line.size();
+  auto [after_rank, rank_ec] = std::from_chars(first, last, member.rank);
+  if (rank_ec != std::errc{} || after_rank == last || *after_rank != ' ') {
+    error = "expected '<rank> <port> <host>' in '" + line + "'";
+    return false;
+  }
+  auto [after_port, port_ec] =
+      std::from_chars(after_rank + 1, last, member.port);
+  if (port_ec != std::errc{} || after_port == last || *after_port != ' ') {
+    error = "expected '<rank> <port> <host>' in '" + line + "'";
+    return false;
+  }
+  member.host.assign(after_port + 1, last);
+  return true;
+}
+
+}  // namespace
+
+std::string encode_join_request(const Member& member) {
+  std::ostringstream out;
+  out << "prts-join v1\n";
+  out << "rank " << member.rank << "\n";
+  out << "port " << member.port << "\n";
+  out << "host " << member.host << "\n";
+  return out.str();
+}
+
+std::optional<Member> decode_join_request(std::string_view payload,
+                                          std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != "prts-join v1") {
+    error = "expected header 'prts-join v1'";
+    return std::nullopt;
+  }
+  Member member;
+  if (!read_unsigned_field(in, "rank", member.rank, error)) return std::nullopt;
+  if (!read_unsigned_field(in, "port", member.port, error)) return std::nullopt;
+  std::string value;
+  if (!std::getline(in, line) || !take_field(line, "host", value)) {
+    error = "expected 'host <h>'";
+    return std::nullopt;
+  }
+  member.host = value;
+  return member;
+}
+
+std::string encode_membership_update(const MembershipUpdate& update) {
+  std::ostringstream out;
+  out << "prts-membership v1\n";
+  out << "from " << update.from << "\n";
+  out << "epoch " << update.view.epoch << "\n";
+  out << "members " << update.view.members.size() << "\n";
+  for (const Member& member : update.view.members) {
+    out << member.rank << " " << member.port << " " << member.host << "\n";
+  }
+  return out.str();
+}
+
+std::optional<MembershipUpdate> decode_membership_update(
+    std::string_view payload, std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != "prts-membership v1") {
+    error = "expected header 'prts-membership v1'";
+    return std::nullopt;
+  }
+  MembershipUpdate update;
+  if (!read_unsigned_field(in, "from", update.from, error)) {
+    return std::nullopt;
+  }
+  if (!read_unsigned_field(in, "epoch", update.view.epoch, error)) {
+    return std::nullopt;
+  }
+  const bool ok = read_counted_lines(
+      in, "members", error, [&](const std::string& member_line) {
+        Member member;
+        if (!parse_member_line(member_line, member, error)) return false;
+        update.view.members.push_back(std::move(member));
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return update;
+}
+
+namespace {
+
+std::string encode_handoff_stamp(const char* header,
+                                 const HandoffStamp& stamp) {
+  std::ostringstream out;
+  out << header << "\n";
+  out << "epoch " << stamp.epoch << "\n";
+  out << "from " << stamp.from << "\n";
+  out << "entries " << stamp.entries << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string encode_handoff_begin(const HandoffStamp& stamp) {
+  return encode_handoff_stamp("prts-handoff-begin v1", stamp);
+}
+
+std::string encode_handoff_done(const HandoffStamp& stamp) {
+  return encode_handoff_stamp("prts-handoff-done v1", stamp);
+}
+
+std::optional<HandoffStamp> decode_handoff_stamp(std::string_view payload,
+                                                 std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || (line != "prts-handoff-begin v1" &&
+                                  line != "prts-handoff-done v1")) {
+    error = "expected a handoff begin/done header";
+    return std::nullopt;
+  }
+  HandoffStamp stamp;
+  if (!read_unsigned_field(in, "epoch", stamp.epoch, error) ||
+      !read_unsigned_field(in, "from", stamp.from, error) ||
+      !read_unsigned_field(in, "entries", stamp.entries, error)) {
+    return std::nullopt;
+  }
+  return stamp;
+}
+
+std::string encode_handoff_chunk(const HandoffChunk& chunk) {
+  std::ostringstream out;
+  out << "prts-handoff-chunk v1\n";
+  out << "epoch " << chunk.epoch << "\n";
+  out << "from " << chunk.from << "\n";
+  out << "entries " << chunk.entries.size() << "\n";
+  for (const auto& [key, value] : chunk.entries) {
+    out << encode_cache_entry(key, value) << "\n";
+  }
+  return out.str();
+}
+
+std::optional<HandoffChunk> decode_handoff_chunk(std::string_view payload,
+                                                 std::string& error) {
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != "prts-handoff-chunk v1") {
+    error = "expected header 'prts-handoff-chunk v1'";
+    return std::nullopt;
+  }
+  HandoffChunk chunk;
+  if (!read_unsigned_field(in, "epoch", chunk.epoch, error) ||
+      !read_unsigned_field(in, "from", chunk.from, error)) {
+    return std::nullopt;
+  }
+  const bool ok = read_counted_lines(
+      in, "entries", error, [&](const std::string& entry_line) {
+        CanonicalHash key;
+        CachedSolution value;
+        std::string why;
+        if (!parse_cache_entry(entry_line, key, value, why)) {
+          error = "entry: " + why;
+          return false;
+        }
+        chunk.entries.emplace_back(key, std::move(value));
+        return true;
+      });
+  if (!ok) return std::nullopt;
+  return chunk;
+}
+
 }  // namespace prts::service

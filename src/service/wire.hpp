@@ -65,6 +65,7 @@
 #include <vector>
 
 #include "service/engine.hpp"
+#include "service/membership.hpp"
 
 namespace prts::service {
 
@@ -105,5 +106,76 @@ std::string encode_replica_entries(
 
 std::optional<std::vector<std::pair<CanonicalHash, CachedSolution>>>
 decode_replica_entries(std::string_view payload, std::string& error);
+
+// Membership codecs (kJoinRequest / kMembershipUpdate):
+//
+//   prts-join v1
+//   rank <r>
+//   port <p>
+//   host <h>
+//
+//   prts-membership v1
+//   from <sender rank>
+//   epoch <e>
+//   members <n>
+//   <rank> <port> <host>       x n  (host last: it is the only field
+//                                    that could ever hold a space)
+
+std::string encode_join_request(const Member& member);
+
+std::optional<Member> decode_join_request(std::string_view payload,
+                                          std::string& error);
+
+/// A full epoch-stamped view plus who sent it (the receiver refreshes
+/// the sender's heartbeat from `from`).
+struct MembershipUpdate {
+  std::size_t from = 0;
+  MembershipView view;
+};
+
+std::string encode_membership_update(const MembershipUpdate& update);
+
+std::optional<MembershipUpdate> decode_membership_update(
+    std::string_view payload, std::string& error);
+
+// Handoff codecs (kHandoffBegin / kHandoffChunk / kHandoffDone): the
+// old owner streams a new member's ring slice as bounded batches of
+// cache-entry lines (the PRTS1 entry codec), bracketed by begin/done
+// stamps.
+//
+//   prts-handoff-begin v1 | prts-handoff-done v1
+//   epoch <e>
+//   from <sender rank>
+//   entries <n>                (begin: announced total; done: streamed)
+//
+//   prts-handoff-chunk v1
+//   epoch <e>
+//   from <sender rank>
+//   entries <n>
+//   <encode_cache_entry>       x n
+
+struct HandoffStamp {
+  std::uint64_t epoch = 0;
+  std::size_t from = 0;
+  std::size_t entries = 0;
+};
+
+std::string encode_handoff_begin(const HandoffStamp& stamp);
+std::string encode_handoff_done(const HandoffStamp& stamp);
+
+/// Decodes a begin OR done stamp (same body, different header).
+std::optional<HandoffStamp> decode_handoff_stamp(std::string_view payload,
+                                                 std::string& error);
+
+struct HandoffChunk {
+  std::uint64_t epoch = 0;
+  std::size_t from = 0;
+  std::vector<std::pair<CanonicalHash, CachedSolution>> entries;
+};
+
+std::string encode_handoff_chunk(const HandoffChunk& chunk);
+
+std::optional<HandoffChunk> decode_handoff_chunk(std::string_view payload,
+                                                 std::string& error);
 
 }  // namespace prts::service

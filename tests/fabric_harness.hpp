@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -131,16 +132,39 @@ class FabricHarness {
     RouterConfig router;
     /// Per-rank FrameServer pool size; must exceed the number of
     /// long-lived inbound peer connections (each occupies a thread).
-    std::size_t server_threads = 0;  ///< 0: world + 2
+    std::size_t server_threads = 0;  ///< 0: world + 2 (elastic: world + 8)
+    /// Elastic fleet instead of the static one: rank 0 founds it alone,
+    /// every later rank joins by dialing rank 0, ownership follows the
+    /// consistent-hash ring and joins stream handoffs. `world` is the
+    /// *initial* size — add_rank() grows the fleet mid-test, retire()
+    /// shrinks it (true process death, unlike kill()). The router
+    /// template's membership / heartbeat knobs apply as configured;
+    /// with heartbeat_interval_seconds <= 0 the harness drives rounds
+    /// itself inside wait_for_members().
+    bool elastic = false;
   };
 
   FabricHarness() : FabricHarness(Options()) {}
 
   explicit FabricHarness(Options options) : options_(options) {
     if (options_.world == 0) throw std::runtime_error("world must be >= 1");
-    const std::size_t server_threads =
-        options_.server_threads ? options_.server_threads
-                                : options_.world + 2;
+    server_threads_ = options_.server_threads
+                          ? options_.server_threads
+                          : options_.world + (options_.elastic ? 8 : 2);
+    if (options_.elastic) {
+      // Elastic fleet: rank 0 founds it, later ranks join through it.
+      // Each rank is fully wired (server AND router) before the next
+      // joins — the join exchange needs a live seed router.
+      for (std::size_t r = 0; r < options_.world; ++r) {
+        spawn_elastic_rank(r == 0 ? std::optional<PeerAddress>()
+                                  : std::optional<PeerAddress>(PeerAddress{
+                                        "127.0.0.1", ranks_[0]->port}));
+      }
+      // Ranks > 1 learned of each other only via rank 0; let the view
+      // spread before the test starts routing.
+      wait_for_members(options_.world);
+      return;
+    }
     // Phase 1: services + servers on ephemeral ports (the handler
     // resolves its rank's router lazily — it does not exist yet).
     for (std::size_t r = 0; r < options_.world; ++r) {
@@ -153,7 +177,7 @@ class FabricHarness {
       ServiceConfig service_config = options_.service;
       service_config.telemetry = rank->telemetry.get();
       rank->service = std::make_unique<SolveService>(service_config);
-      rank->server_pool = std::make_unique<ThreadPool>(server_threads);
+      rank->server_pool = std::make_unique<ThreadPool>(server_threads_);
       start_server(*rank, /*port=*/0);
       rank->port = rank->server->port();
       ranks_.push_back(std::move(rank));
@@ -222,24 +246,114 @@ class FabricHarness {
     start_server(node, node.port);
   }
 
+  /// True while the rank participates in the fabric (never retired).
+  bool alive(std::size_t rank) const {
+    return ranks_.at(rank)->router != nullptr;
+  }
+
+  /// Spawns one brand-new rank that joins the fleet by dialing `seed`;
+  /// returns its index. Elastic mode only. The caller typically follows
+  /// with wait_for_members(expected) — the join reaches the seed
+  /// synchronously, the rest of the fleet learns by heartbeat.
+  std::size_t add_rank(std::size_t seed = 0) {
+    if (!options_.elastic) {
+      throw std::runtime_error("add_rank: static fleets cannot grow");
+    }
+    const auto& seed_node = *ranks_.at(seed);
+    if (!seed_node.server || !seed_node.router) {
+      throw std::runtime_error("add_rank: seed rank is down");
+    }
+    return spawn_elastic_rank(PeerAddress{"127.0.0.1", seed_node.port});
+  }
+
+  /// Tears the rank down for good — server, router, heartbeat timer,
+  /// peer clients — the real "process died" scenario (kill() only
+  /// severs the server; the rank's router keeps heartbeating). The
+  /// service and its cache stay inspectable. Peers notice through
+  /// silence: suspect after suspect_after_seconds, removed (epoch bump,
+  /// ring shrink) after dead_after_seconds.
+  void retire(std::size_t rank) {
+    auto& node = *ranks_.at(rank);
+    // Same ordering as the destructor: stop admitting router lookups,
+    // drain in-flight handlers (which may hold the still-live router),
+    // only then destroy the router.
+    node.router_ptr.store(nullptr);
+    if (node.server) {
+      node.server->stop();
+      node.server.reset();
+    }
+    node.router.reset();
+  }
+
+  /// Blocks until every live rank agrees the fleet has exactly `count`
+  /// members (and, when nonzero, an epoch >= `min_epoch` — the
+  /// monotonicity handle for join/death assertions). When the router
+  /// template disables the heartbeat timer, heartbeat rounds are driven
+  /// from here. Throws on timeout.
+  void wait_for_members(std::size_t count, double timeout_seconds = 10.0,
+                        std::uint64_t min_epoch = 0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(timeout_seconds));
+    for (;;) {
+      bool converged = false;
+      for (auto& rank : ranks_) {
+        if (!rank->router) continue;
+        if (options_.router.heartbeat_interval_seconds <= 0.0) {
+          rank->router->heartbeat_now();
+        }
+        const MembershipView view = rank->router->membership_view();
+        if (view.members.size() == count && view.epoch >= min_epoch) {
+          converged = true;  // needs every live rank to agree, see below
+        } else {
+          converged = false;
+          break;
+        }
+      }
+      if (converged) return;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        throw std::runtime_error(
+            "fabric harness: fleet never converged to " +
+            std::to_string(count) + " member(s)");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+
   /// Scans latency bounds >= 1000 (unconstraining for the tiny test
   /// instances, so every minted key is *solvable*) for one whose
   /// request key lands on `owner`; `salt` de-overlaps scans so repeated
   /// calls mint distinct keys. Other bounds are taken from `base` (set
   /// base.period_bound *before* calling — bounds are part of the key).
+  /// On an elastic fleet ownership is the ring's *current* opinion
+  /// (asked of the first live router) — mint keys after convergence,
+  /// and expect them to migrate when the fleet changes.
   solver::Bounds bounds_on_rank(const Instance& instance,
                                 const std::string& solver_name,
                                 std::size_t owner, double salt = 0.0,
                                 solver::Bounds base = {}) const {
+    const ShardRouter* ring = nullptr;
+    if (options_.elastic) {
+      for (const auto& rank : ranks_) {
+        if (rank->router) {
+          ring = rank->router.get();
+          break;
+        }
+      }
+      if (ring == nullptr) {
+        throw std::runtime_error("bounds_on_rank: no live rank to ask");
+      }
+    }
     const CanonicalInstance canonical = canonicalize(instance);
     for (double latency = 1000.0 + salt; latency < 4000.0 + salt;
          latency += 1.0) {
       solver::Bounds bounds = base;
       bounds.latency_bound = latency;
-      if (request_key(canonical, solver_name, bounds).hi % ranks_.size() ==
-          owner) {
-        return bounds;
-      }
+      const CanonicalHash key = request_key(canonical, solver_name, bounds);
+      const std::size_t landed =
+          ring != nullptr ? ring->shard_of(key) : key.hi % ranks_.size();
+      if (landed == owner) return bounds;
     }
     throw std::runtime_error("no bounds found landing on rank " +
                              std::to_string(owner));
@@ -258,6 +372,41 @@ class FabricHarness {
     FaultInjector faults;
     std::uint16_t port = 0;
   };
+
+  /// Builds one fully-wired elastic rank (telemetry, service, server on
+  /// an ephemeral port, router) at index ranks_.size(); with a seed it
+  /// joins synchronously inside the router constructor.
+  std::size_t spawn_elastic_rank(std::optional<PeerAddress> seed) {
+    const std::size_t r = ranks_.size();
+    auto rank = std::make_unique<Rank>();
+    rank->telemetry = std::make_unique<obs::Telemetry>();
+    rank->telemetry->rank = static_cast<int>(r);
+    ServiceConfig service_config = options_.service;
+    service_config.telemetry = rank->telemetry.get();
+    rank->service = std::make_unique<SolveService>(service_config);
+    rank->server_pool = std::make_unique<ThreadPool>(server_threads_);
+    start_server(*rank, /*port=*/0);
+    rank->port = rank->server->port();
+    RouterConfig config = options_.router;
+    config.world_size = 1;
+    config.rank = r;
+    config.peers.clear();
+    config.elastic = true;
+    config.advertise = PeerAddress{"127.0.0.1", rank->port};
+    config.join_seed = std::move(seed);
+    config.telemetry = rank->telemetry.get();
+    // Hold inbound frames while the router is being born: the seed
+    // schedules its handoff stream the moment it admits the join (which
+    // happens *inside* this router constructor), so the first
+    // kHandoffBegin can beat the router_ptr publication. The pause gate
+    // turns that race into a short wait.
+    rank->faults.pause();
+    rank->router = std::make_unique<ShardRouter>(*rank->service, config);
+    rank->router_ptr.store(rank->router.get());
+    rank->faults.resume();
+    ranks_.push_back(std::move(rank));
+    return r;
+  }
 
   void start_server(Rank& rank, std::uint16_t port) {
     // The wrapper applies the rank's fault levers before the real
@@ -283,6 +432,7 @@ class FabricHarness {
   }
 
   Options options_;
+  std::size_t server_threads_ = 0;
   std::vector<std::unique_ptr<Rank>> ranks_;
 };
 

@@ -807,6 +807,114 @@ TEST(MuxClientTest, V1PeerNegotiatesDownToLockStep) {
   server.join();
 }
 
+// ------------------------------------------------------ backoff jitter
+
+TEST(BackoffJitter, DrawsStayInsideTheFractionBandAndActuallySpread) {
+  std::uint64_t state = jitter_seed_for("127.0.0.1", 4242);
+  ASSERT_NE(state, 0u);
+  const double base = 0.2;
+  const double jitter = 0.25;
+  double lo = 1e9;
+  double hi = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    const double drawn = jittered_backoff(base, jitter, state);
+    EXPECT_GE(drawn, base * (1.0 - jitter));
+    EXPECT_LE(drawn, base * (1.0 + jitter));
+    lo = std::min(lo, drawn);
+    hi = std::max(hi, drawn);
+  }
+  // The herd-breaking property: the stream genuinely spreads over the
+  // band instead of collapsing to the midpoint (64 uniform draws reach
+  // both outer 15% tails with overwhelming probability).
+  EXPECT_LT(lo, base * 0.85);
+  EXPECT_GT(hi, base * 1.15);
+}
+
+TEST(BackoffJitter, SameSeedSameStreamDifferentSeedsDiverge) {
+  std::uint64_t a = jitter_seed_for("10.0.0.1", 9000);
+  std::uint64_t b = jitter_seed_for("10.0.0.1", 9000);
+  std::uint64_t c = jitter_seed_for("10.0.0.1", 9001);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    const double from_a = jittered_backoff(1.0, 0.25, a);
+    EXPECT_DOUBLE_EQ(from_a, jittered_backoff(1.0, 0.25, b));
+    if (from_a != jittered_backoff(1.0, 0.25, c)) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffJitter, ZeroJitterIsExactAndFractionIsClamped) {
+  std::uint64_t state = 1;
+  EXPECT_DOUBLE_EQ(jittered_backoff(0.5, 0.0, state), 0.5);
+  // A fraction above 1 clamps to 1: a drawn window may reach 0 but
+  // never goes negative.
+  for (int i = 0; i < 32; ++i) {
+    const double drawn = jittered_backoff(0.5, 7.0, state);
+    EXPECT_GE(drawn, 0.0);
+    EXPECT_LE(drawn, 1.0);
+  }
+}
+
+// ------------------------------------------------------- authentication
+
+TEST(FrameAuth, WrongTokenIsRejectedCountedAndRightTokenAdmits) {
+  ThreadPool pool{4};
+  obs::Registry metrics;
+  auto server = FrameServer::start(
+      0,
+      [](const Frame& request) -> std::optional<Frame> {
+        Frame reply = request;
+        reply.type = FrameType::kPong;
+        return reply;
+      },
+      pool, kDefaultMaxPayload, &metrics, nullptr, nullptr, "sesame");
+  ASSERT_NE(server, nullptr);
+
+  // No token: the first frame is not kAuth — answered with kError (or
+  // already torn down), never handled.
+  {
+    FrameClient anonymous("127.0.0.1", server->port());
+    const auto reply = anonymous.call(make_frame(FrameType::kPing, ""));
+    EXPECT_TRUE(!reply.has_value() || reply->type == FrameType::kError);
+  }
+  // Wrong token: the handshake itself is refused.
+  {
+    FrameClientConfig config;
+    config.auth_token = "wrong";
+    FrameClient impostor("127.0.0.1", server->port(), config);
+    EXPECT_FALSE(impostor.call(make_frame(FrameType::kPing, "")).has_value());
+  }
+  EXPECT_GE(server->stats().auth_failures, 2u);
+  EXPECT_GE(metrics.counter("net_server_auth_failures_total").value(), 2u);
+
+  // The right token admits lock-step and mux clients alike.
+  FrameClientConfig config;
+  config.auth_token = "sesame";
+  FrameClient client("127.0.0.1", server->port(), config);
+  const auto reply = client.call(make_frame(FrameType::kPing, "open"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kPong);
+  EXPECT_EQ(reply->payload, "open");
+
+  MuxFrameClient mux("127.0.0.1", server->port(), config);
+  const auto mux_reply = mux.call(make_frame(FrameType::kPing, "mux"));
+  ASSERT_TRUE(mux_reply.has_value());
+  EXPECT_EQ(mux_reply->payload, "mux");
+}
+
+TEST(FrameAuth, TokenOnAnOpenServerIsHarmless) {
+  // A client configured with a token against a server that never asked
+  // for one: the kAuth frame is just another frame — the server must
+  // acknowledge rather than choke, so one config can span mixed fleets.
+  EchoFixture fixture;
+  FrameClientConfig config;
+  config.auth_token = "sesame";
+  FrameClient client("127.0.0.1", fixture.server->port(), config);
+  const auto reply = client.call(make_frame(FrameType::kPing, "hello"));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->payload, "hello");
+}
+
 TEST(MuxClientTest, NoServerFailsCleanlyAndArmsBackoff) {
   FrameClientConfig config;
   config.connect_timeout_seconds = 0.5;

@@ -696,12 +696,20 @@ TEST(FabricTelemetry, MetricsFrameScrapesAnyRank) {
 
 TEST(ObsProfiler, DualClockSeparatesComputeFromBlocking) {
   // Busy span: wall and thread-CPU both advance, and CPU never exceeds
-  // wall beyond clock granularity.
+  // wall beyond clock granularity. Spin until the thread has ACCRUED
+  // the CPU time the assertion wants (not a fixed wall window): on a
+  // loaded machine the scheduler can starve this thread to a sliver of
+  // a fixed window's CPU.
   const obs::ScopedSample busy;
+  const double cpu_start = obs::thread_cpu_seconds();
   volatile double sink = 0.0;
-  const auto spin_until =
+  const auto spin_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  const auto spin_floor =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
-  while (std::chrono::steady_clock::now() < spin_until) {
+  while (std::chrono::steady_clock::now() < spin_floor ||
+         (obs::thread_cpu_seconds() - cpu_start < 0.03 &&
+          std::chrono::steady_clock::now() < spin_deadline)) {
     for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
   }
   const obs::WorkSample busy_work = busy.finish();

@@ -153,6 +153,130 @@ TEST(FabricSoak, OpenLoopSurvivesContinuousFaultInjection) {
   EXPECT_NE(out.str().find("# timeseries end"), std::string::npos);
 }
 
+// Elastic membership under open-loop load: a 3-rank elastic fleet
+// serves a paced arrival stream while a 4th rank joins mid-run and an
+// original rank is retired (true process death) mid-run. The bar: every
+// future resolves (zero stuck waiters), zero kError leaks (failover +
+// the membership transition window absorb both reshapes), the epoch
+// only ever advances, the survivors converge on the 3-member view, and
+// every answer minted before the chaos replays byte-identically after.
+TEST(FabricSoak, ElasticJoinAndDeathUnderOpenLoopLoad) {
+  FabricHarness::Options options;
+  options.world = 3;
+  options.elastic = true;
+  options.service.threads = 2;
+  options.router.client.connect_timeout_seconds = 1.0;
+  options.router.client.reply_timeout_seconds = 5.0;
+  options.router.client.backoff_initial_seconds = 0.05;
+  options.router.heartbeat_interval_seconds = 0.05;
+  options.router.membership.suspect_after_seconds = 0.4;
+  options.router.membership.dead_after_seconds = 0.8;
+  FabricHarness fabric(options);
+
+  // References resolved up front: add_rank() grows the harness's rank
+  // vector mid-run, so concurrent threads must not walk it.
+  ShardRouter& router0 = fabric.router(0);
+  ShardRouter& router2 = fabric.router(2);
+
+  std::vector<Instance> instances;
+  for (std::size_t k = 0; k < 8; ++k) {
+    Rng rng(6100 + k);
+    ChainConfig chain_config;
+    chain_config.task_count = 8;
+    instances.push_back(Instance{
+        random_chain(rng, chain_config),
+        Platform::homogeneous(4, paper::kHomSpeed,
+                              paper::kProcessorFailureRate, paper::kBandwidth,
+                              paper::kLinkFailureRate,
+                              paper::kMaxReplication)});
+  }
+
+  // Answers minted before any reshape — the byte-identity baseline.
+  std::vector<SolveRequest> pinned;
+  std::vector<SolveReply> first;
+  for (int i = 0; i < 9; ++i) {
+    pinned.push_back(SolveRequest{
+        instances[static_cast<std::size_t>(i) % instances.size()], "heur-p",
+        fabric.bounds_on_rank(instances[static_cast<std::size_t>(i) %
+                                        instances.size()],
+                              "heur-p", static_cast<std::size_t>(i) % 3,
+                              50.0 * i)});
+    first.push_back(router0.submit(pinned.back()).get());
+    ASSERT_EQ(first.back().status, ReplyStatus::kSolved);
+  }
+
+  // Epoch watcher: membership may only ever move forward, sampled
+  // continuously on two ranks that live through the whole run.
+  std::atomic<bool> watch_stop{false};
+  std::atomic<bool> epoch_monotone{true};
+  std::thread watcher([&] {
+    std::uint64_t last0 = router0.epoch();
+    std::uint64_t last2 = router2.epoch();
+    while (!watch_stop.load()) {
+      const std::uint64_t now0 = router0.epoch();
+      const std::uint64_t now2 = router2.epoch();
+      if (now0 < last0 || now2 < last2) epoch_monotone.store(false);
+      last0 = now0;
+      last2 = now2;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // The membership chaos script: one join, one death, both mid-load.
+  std::thread chaos([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    fabric.add_rank();  // rank 3 dials rank 0, slices stream to it
+    std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+    fabric.retire(1);  // an original rank dies for good
+  });
+
+  load::ArrivalConfig arrival_config;
+  arrival_config.rate = 120;
+  arrival_config.duration_seconds = 4.0;
+  arrival_config.key_count = 8;
+  arrival_config.seed = 131;
+  const load::LoadTrace trace = load::generate_arrivals(arrival_config);
+  const load::RunResult result = load::run_open_loop(
+      trace, instances, [&router0](SolveRequest request) {
+        return router0.submit(std::move(request));
+      });
+
+  chaos.join();
+  // Let the survivors finish detecting the death, then freeze the view.
+  fabric.wait_for_members(3);
+  watch_stop.store(true);
+  watcher.join();
+
+  // The open-loop bar, unchanged by elasticity: every future resolved,
+  // every request answered or explicitly rejected, no error leaks.
+  EXPECT_EQ(result.submitted, trace.events.size());
+  EXPECT_EQ(result.unresolved, 0u) << "stuck waiters";
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(result.answered + result.rejected, result.submitted);
+  EXPECT_GT(result.answered, 0u);
+  EXPECT_TRUE(epoch_monotone.load());
+
+  // Survivors agree: 3 members (0, 2, 3), one join and one death seen.
+  for (ShardRouter* router : {&router0, &router2}) {
+    const MembershipStats stats = router->membership_stats();
+    EXPECT_EQ(stats.members, 3u);
+    EXPECT_GE(stats.joins, 1u);
+    EXPECT_GE(stats.deaths, 1u);
+  }
+  EXPECT_FALSE(fabric.alive(1));
+
+  // Every pre-chaos answer replays byte-identically from whoever owns
+  // the key now — handed-off, double-written, replicated or re-solved.
+  for (std::size_t i = 0; i < pinned.size(); ++i) {
+    const SolveReply replay = router0.submit(pinned[i]).get();
+    ASSERT_EQ(replay.status, ReplyStatus::kSolved) << "pinned " << i;
+    ASSERT_TRUE(replay.solution.has_value());
+    EXPECT_EQ(replay.solution->mapping, first[i].solution->mapping);
+    EXPECT_EQ(replay.solution->metrics, first[i].solution->metrics);
+    EXPECT_EQ(replay.key, first[i].key);
+  }
+}
+
 // A slow-but-alive peer (rank 1 sleeps every inbound frame at the
 // harness gate, well under the watchdog's stall bar). The requester's
 // profiler must attribute the stretch as *blocked* time on

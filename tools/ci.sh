@@ -6,7 +6,11 @@
 # replication, telemetry scrapes (prometheus exposition from every rank,
 # monotone counters, a cross-rank trace), killing a rank mid-run, and an
 # open-loop SLO smoke (watch-mode scrape deltas, 5s of Poisson load with
-# another mid-run rank kill, watchdog verdict asserted clean).
+# another mid-run rank kill, watchdog verdict asserted clean). Last, an
+# elastic-membership smoke: a 2-rank fleet founded by join (no static
+# --peers), a 3rd rank joining under open-loop load (live handoff
+# asserted), a SIGKILL'd rank detected dead, and a warm rejoin from its
+# background checkpoint (cache entries > 0 on the first scrape).
 #
 #   tools/ci.sh                 # Release build into ./build
 #   BUILD_TYPE=Debug tools/ci.sh
@@ -435,3 +439,152 @@ echo "fabric smoke test OK: forwarded=$forwarded" \
      "replica_hits=$replica_hits_after" \
      "local_fallbacks=$(counter "$FAB/out0" local_fallbacks)" \
      "prefetched=$(counter "$FAB/out0" prefetched)"
+
+# ---------------------------------------------------------------------------
+# Elastic membership smoke: real prts_cli processes, no static --peers.
+# Rank 0 founds the fleet, rank 1 joins it; under 6 s of open-loop load
+# a 3rd rank joins (rank 0's membership converges to 3 and the joiner
+# receives handoff entries for its ring slice), then rank 1 is
+# SIGKILL'd — the load run must still pass its SLO with zero stuck
+# waiters and the survivors must book the death. Finally rank 1 rejoins
+# *warm* from the background checkpoint its dead incarnation left
+# behind: its very first scrape shows prts_cache_entries > 0, before
+# any request has landed.
+# ---------------------------------------------------------------------------
+ELA="$BUILD/elastic_smoke"
+rm -rf "$ELA" && mkdir -p "$ELA"
+
+# wait_metric <host:port> <name> <op> <want>: poll the target's scrape
+# until `value op want` holds (awk numeric semantics; missing -> 0).
+wait_metric() {
+  local v
+  for _ in $(seq 1 150); do
+    v=$("$CLI" scrape "$1" 2>/dev/null | grep "^$2 " | tail -1 |
+        awk '{print $2}')
+    if awk -v v="${v:-0}" -v w="$4" "BEGIN { exit !(v $3 w) }"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "elastic smoke: timed out waiting for $2 $3 $4 on $1" \
+       "(last: ${v:-none})" >&2
+  return 1
+}
+
+# Fast-failure-detection knobs shared by every elastic rank.
+ELASTIC_KNOBS="--elastic --heartbeat-interval 0.1 --suspect-after 0.8 \
+  --dead-after 1.6"
+
+elastic_up=0
+for attempt in 1 2 3 4 5; do
+  # A base below the fabric smoke's 21000+ range, so a lingering
+  # TIME_WAIT from phase 2 can never collide.
+  E0=$((15000 + (RANDOM % 1500) * 3))
+  E1=$((E0 + 1))
+  E2=$((E0 + 2))
+  # shellcheck disable=SC2086
+  "$CLI" serve --listen "$E0" --rank 0 $ELASTIC_KNOBS \
+      --checkpoint "$ELA/ckpt0.bin" --checkpoint-interval 0.5 \
+      --no-input > "$ELA/out0" 2> "$ELA/err0" &
+  EPID0=$!
+  # shellcheck disable=SC2086
+  "$CLI" serve --listen "$E1" --rank 1 $ELASTIC_KNOBS \
+      --join "127.0.0.1:$E0" \
+      --checkpoint "$ELA/ckpt1.bin" --checkpoint-interval 0.5 \
+      --no-input > "$ELA/out1" 2> "$ELA/err1" &
+  EPID1=$!
+  for _ in $(seq 1 40); do
+    if grep -q "listening" "$ELA/err0" 2>/dev/null &&
+       grep -q "listening" "$ELA/err1" 2>/dev/null; then
+      elastic_up=1
+      break
+    fi
+    kill -0 "$EPID0" 2>/dev/null && kill -0 "$EPID1" 2>/dev/null || break
+    sleep 0.05
+  done
+  [ "$elastic_up" = "1" ] && break
+  echo "elastic smoke: port base $E0 unavailable, retrying" >&2
+  kill "$EPID0" "$EPID1" 2>/dev/null || true
+  wait "$EPID0" "$EPID1" 2>/dev/null || true
+done
+[ "$elastic_up" = "1" ] ||
+  { echo "elastic smoke: could not bind ports" >&2; exit 1; }
+
+# The join propagates: both ranks converge on a 2-member view.
+wait_metric "127.0.0.1:$E0" prts_membership_members == 2 ||
+  { echo "FAIL: rank 1's join never reached rank 0" >&2; exit 1; }
+wait_metric "127.0.0.1:$E1" prts_membership_members == 2 ||
+  { echo "FAIL: rank 1 never learned the full member list" >&2; exit 1; }
+
+# Open-loop load against both founders while the fleet reshapes. 24
+# distinct keys: enough that the mid-run joiner's ring slice contains
+# cached entries to hand off (each key lands on the joiner w.p. ~1/3).
+"$CLI" loadgen --targets "127.0.0.1:$E0,127.0.0.1:$E1" \
+    --rate 80 --duration 6 --seed 17 --keys 24 \
+    --slo "p99<=5s;error_rate<=0.05" --out "$ELA/openloop.json" \
+    > "$ELA/loadgen.txt" 2>&1 &
+LOADPID=$!
+
+sleep 1.5
+# shellcheck disable=SC2086
+"$CLI" serve --listen "$E2" --rank 2 $ELASTIC_KNOBS \
+    --join "127.0.0.1:$E0" --no-input > "$ELA/out2" 2> "$ELA/err2" &
+EPID2=$!
+wait_metric "127.0.0.1:$E0" prts_membership_members == 3 ||
+  { echo "FAIL: mid-run join never converged on rank 0" >&2; exit 1; }
+# The live handoff actually streamed: the joiner received cache entries
+# for the ring slice it now owns, while the load kept flowing.
+wait_metric "127.0.0.1:$E2" prts_membership_handoff_entries_received_total \
+    ">=" 1 ||
+  { echo "FAIL: joiner received no handoff entries" >&2; exit 1; }
+
+sleep 1
+# disown first: the shell would otherwise print an asynchronous
+# "Killed" job notice into the CI log.
+disown "$EPID1"
+kill -9 "$EPID1"
+
+wait "$LOADPID" ||
+  { echo "FAIL: elastic open-loop run missed its SLO" >&2
+    cat "$ELA/openloop.json" 2>/dev/null >&2; exit 1; }
+grep -q '"unresolved":0' "$ELA/openloop.json" ||
+  { echo "FAIL: elastic open-loop run left stuck waiters" >&2; exit 1; }
+grep -q '"slo":{"pass":true' "$ELA/openloop.json" ||
+  { echo "FAIL: SLO verdict missing or failing in elastic report" >&2
+    exit 1; }
+
+# Silence -> suspect -> dead: the survivors drop the killed rank and
+# book the death.
+wait_metric "127.0.0.1:$E0" prts_membership_members == 2 ||
+  { echo "FAIL: killed rank 1 was never declared dead" >&2; exit 1; }
+wait_metric "127.0.0.1:$E0" prts_membership_deaths_total ">=" 1 ||
+  { echo "FAIL: rank 0 booked no membership death" >&2; exit 1; }
+
+# Warm rejoin: the dead incarnation's background checkpoint must exist
+# (interval 0.5 s, atomic rename — a SIGKILL never leaves it torn) and
+# must bring the cache back before the first request.
+[ -s "$ELA/ckpt1.bin" ] ||
+  { echo "FAIL: rank 1 left no background checkpoint" >&2; exit 1; }
+# shellcheck disable=SC2086
+"$CLI" serve --listen "$E1" --rank 1 $ELASTIC_KNOBS \
+    --join "127.0.0.1:$E0" --warm-start "$ELA/ckpt1.bin" \
+    --no-input > "$ELA/out1b" 2> "$ELA/err1b" &
+EPID1=$!
+for _ in $(seq 1 40); do
+  grep -q "listening" "$ELA/err1b" 2>/dev/null && break
+  sleep 0.05
+done
+warm_entries=$(grep -o 'warm-start: [0-9]*' "$ELA/err1b" | awk '{print $2}')
+[ "${warm_entries:-0}" -ge 1 ] ||
+  { echo "FAIL: warm rejoin loaded no checkpoint entries" >&2; exit 1; }
+wait_metric "127.0.0.1:$E1" prts_cache_entries ">=" 1 ||
+  { echo "FAIL: rejoined rank 1 scrapes an empty cache" >&2; exit 1; }
+wait_metric "127.0.0.1:$E0" prts_membership_members == 3 ||
+  { echo "FAIL: warm rejoin never converged on rank 0" >&2; exit 1; }
+
+kill "$EPID0" "$EPID1" "$EPID2" 2>/dev/null || true
+wait "$EPID0" ||
+  { echo "FAIL: elastic rank 0 exited non-zero" >&2; exit 1; }
+wait "$EPID1" "$EPID2" 2>/dev/null || true
+echo "elastic smoke test OK: join under load, handoff streamed," \
+     "death detected, warm rejoin with $warm_entries entries"

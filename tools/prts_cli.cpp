@@ -34,6 +34,10 @@
 //       [--listen PORT] [--world N] [--rank R] [--peers h:p,h:p,...]
 //       [--replica-mb M] [--replica-ttl SECONDS]
 //       [--replica-ttl-cost FACTOR] [--gossip-interval S]
+//       [--elastic] [--advertise HOST:PORT] [--join HOST:PORT]
+//       [--heartbeat-interval S] [--suspect-after S] [--dead-after S]
+//       [--vnodes N] [--checkpoint cache.bin] [--checkpoint-interval S]
+//       [--auth-token TOKEN]
 //       [--no-input] [--slow-ms MS] [--alert RULE]...
 //       run the batched solve service over a line-protocol request
 //       stream (see src/service/protocol.hpp for the format); with
@@ -65,8 +69,25 @@
 //       plus ;for=N;hold=N debounce, e.g.
 //       "engine_queue_depth>100;for=3") adds health-alert rules
 //       evaluated every flight-recorder tick, on top of the always-on
-//       default rule "watchdog_stalls_total_delta>0;hold=5"
+//       default rule "watchdog_stalls_total_delta>0;hold=5";
+//       --elastic replaces the static --world/--rank/--peers fleet
+//       with dynamic membership: the rank founds a fleet of one (or
+//       dials --join HOST:PORT, any live member), announces itself as
+//       --advertise HOST:PORT (default 127.0.0.1:listen-port),
+//       exchanges heartbeat views every --heartbeat-interval seconds,
+//       suspects a silent peer after --suspect-after and removes it
+//       after --dead-after; ownership follows a consistent-hash ring
+//       (--vnodes virtual nodes per member) and join/leave streams
+//       only the affected key slices between owners; --checkpoint
+//       snapshots the cache to a PRTS1 file (atomic rename) every
+//       --checkpoint-interval seconds (0 = only the `checkpoint`
+//       command and the shutdown snapshot), so a SIGKILLed rank
+//       restarts warm via --warm-start; --auth-token TOKEN (or env
+//       PRTS_AUTH) requires every inbound connection to authenticate
+//       before its first real frame and is used for outbound fabric
+//       connections alike
 //   prts_cli scrape HOST:PORT [--watch S] [--count N] [--alerts]
+//       [--auth-token TOKEN]
 //       fetch prometheus text expositions from a running serve rank
 //       (its --listen port). One shot by default; --watch S re-scrapes
 //       every S seconds (N times with --count, forever without) and
@@ -81,7 +102,7 @@
 //       [--zipf Z] [--mix name:w,name:w] [--tasks N] [--procs P]
 //       [--connections C] [--record PATH] [--replay PATH] [--slo SPEC]
 //       [--out PATH] [--search] [--min-rate R] [--max-rate R]
-//       [--step-duration S]
+//       [--step-duration S] [--auth-token TOKEN]
 //       open-loop load against running serve ranks: arrivals fire at
 //       their scheduled instants regardless of completions, latency is
 //       measured from the scheduled arrival (queueing honesty under
@@ -95,6 +116,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -133,6 +155,7 @@
 #include "obs/exposition.hpp"
 #include "obs/trace.hpp"
 #include "service/cache.hpp"
+#include "service/checkpoint.hpp"
 #include "service/engine.hpp"
 #include "service/fusion.hpp"
 #include "service/protocol.hpp"
@@ -512,6 +535,17 @@ int cmd_campaign(const std::string& spec_path, const Flags& flags) {
   return 0;
 }
 
+/// Shared-secret frame auth, used by serve and by the tools that dial
+/// a fleet (scrape, loadgen): --auth-token wins, env var PRTS_AUTH is
+/// the no-secrets-on-the-command-line alternative.
+std::string resolve_auth_token(const Flags& flags) {
+  std::string token = flags.get("auth-token");
+  if (token.empty()) {
+    if (const char* env = std::getenv("PRTS_AUTH")) token = env;
+  }
+  return token;
+}
+
 /// True when the path names the compact PRTS1 snapshot (by extension).
 bool is_binary_cache_path(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".bin") == 0;
@@ -558,10 +592,24 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   }
 
   // Fabric topology: every flag validated before any thread starts.
+  const bool elastic = flags.has("elastic");
   const std::size_t world =
       static_cast<std::size_t>(flags.number("world", 1));
   const std::size_t rank = static_cast<std::size_t>(flags.number("rank", 0));
-  if (world == 0 || rank >= world) {
+  if (elastic) {
+    // Elastic membership replaces the static topology wholesale: the
+    // fleet is whatever joined, not a fixed world size.
+    if (world != 1 || flags.has("peers")) {
+      std::cerr << "--elastic is incompatible with --world/--peers (the "
+                   "member list is dynamic)\n";
+      return 2;
+    }
+    if (!flags.has("listen")) {
+      std::cerr << "--elastic requires --listen (members must be able to "
+                   "reach this rank)\n";
+      return 2;
+    }
+  } else if (world == 0 || rank >= world) {
     std::cerr << "--rank must be < --world (got rank " << rank << ", world "
               << world << ")\n";
     return 2;
@@ -573,6 +621,53 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   if (replica_mb < 0 || replica_ttl_cost < 0 || gossip_interval < 0) {
     std::cerr << "--replica-mb, --replica-ttl-cost and --gossip-interval "
                  "must be >= 0\n";
+    return 2;
+  }
+
+  // Elastic-membership knobs (ignored when not --elastic).
+  const double heartbeat_interval = flags.number("heartbeat-interval", 0.5);
+  const double suspect_after = flags.number("suspect-after", 2.0);
+  const double dead_after = flags.number("dead-after", 5.0);
+  const double vnodes = flags.number("vnodes", 64);
+  if (heartbeat_interval < 0 || suspect_after <= 0 || dead_after <= 0 ||
+      vnodes < 1) {
+    std::cerr << "--heartbeat-interval must be >= 0; --suspect-after, "
+                 "--dead-after > 0; --vnodes >= 1\n";
+    return 2;
+  }
+  std::optional<service::PeerAddress> join_seed;
+  if (flags.has("join")) {
+    const auto parsed = service::parse_peer_list(flags.get("join"));
+    if (!parsed || parsed->size() != 1) {
+      std::cerr << "--join needs one HOST:PORT\n";
+      return 2;
+    }
+    if (!elastic) {
+      std::cerr << "--join requires --elastic\n";
+      return 2;
+    }
+    join_seed = parsed->front();
+  }
+  service::PeerAddress advertise;
+  if (flags.has("advertise")) {
+    const auto parsed = service::parse_peer_list(flags.get("advertise"));
+    if (!parsed || parsed->size() != 1) {
+      std::cerr << "--advertise needs one HOST:PORT\n";
+      return 2;
+    }
+    advertise = parsed->front();
+  }
+
+  const std::string auth_token = resolve_auth_token(flags);
+
+  const std::string checkpoint_path = flags.get("checkpoint");
+  const double checkpoint_interval = flags.number("checkpoint-interval", 0);
+  if (checkpoint_interval < 0) {
+    std::cerr << "--checkpoint-interval must be >= 0\n";
+    return 2;
+  }
+  if (checkpoint_interval > 0 && checkpoint_path.empty()) {
+    std::cerr << "--checkpoint-interval requires --checkpoint PATH\n";
     return 2;
   }
 
@@ -642,6 +737,12 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
     std::vector<std::string> alert_rules = flags.all("alert");
     alert_rules.insert(alert_rules.begin(),
                        "watchdog_stalls_total_delta>0;hold=5");
+    if (elastic) {
+      // A member going suspect is the membership layer's page-worthy
+      // signal: either a peer is dying or this rank is partitioned.
+      alert_rules.insert(alert_rules.begin(),
+                         "membership_suspects_total_delta>0;hold=3");
+    }
     for (const std::string& rule_text : alert_rules) {
       std::string error;
       if (!telemetry.alerts.add_rule(rule_text, &error)) {
@@ -726,28 +827,66 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
         service::make_fabric_handler(
             engine, [&router_ptr] { return router_ptr.load(); }),
         *server_pool, net::kDefaultMaxPayload, &telemetry.metrics,
-        &telemetry.watchdog, &telemetry.profiler);
+        &telemetry.watchdog, &telemetry.profiler, auth_token);
     if (!server) {
       std::cerr << "cannot listen on port " << port << "\n";
       return 1;
     }
-    std::cerr << "# listening on port " << server->port() << " (rank "
-              << rank << "/" << world << ")\n";
+    if (elastic) {
+      std::cerr << "# listening on port " << server->port() << " (rank "
+                << rank << ", elastic)\n";
+    } else {
+      std::cerr << "# listening on port " << server->port() << " (rank "
+                << rank << "/" << world << ")\n";
+    }
   }
-  if (world > 1) {
+  if (world > 1 || elastic) {
     service::RouterConfig router_config;
     router_config.world_size = world;
     router_config.rank = rank;
     router_config.peers = std::move(peers);
+    router_config.client.auth_token = auth_token;
     router_config.replica.capacity_bytes =
         static_cast<std::size_t>(replica_mb * 1024 * 1024);
     router_config.replica.ttl_seconds = replica_ttl;
     router_config.replica.ttl_cost_factor = replica_ttl_cost;
     router_config.gossip_interval_seconds = gossip_interval;
     router_config.telemetry = &telemetry;
+    if (elastic) {
+      router_config.elastic = true;
+      router_config.membership.suspect_after_seconds = suspect_after;
+      router_config.membership.dead_after_seconds = dead_after;
+      router_config.membership.ring.virtual_nodes =
+          static_cast<std::size_t>(vnodes);
+      router_config.heartbeat_interval_seconds = heartbeat_interval;
+      router_config.join_seed = join_seed;
+      if (advertise.port == 0) {
+        // The natural default: this rank is reachable where it listens.
+        advertise.host = "127.0.0.1";
+        advertise.port = server->port();
+      }
+      router_config.advertise = advertise;
+    }
     router = std::make_unique<service::ShardRouter>(engine, router_config);
     router_ptr.store(router.get());
     options.router = router.get();
+    if (elastic) {
+      std::cerr << "# membership: epoch " << router->epoch() << ", "
+                << router->membership_view().members.size() << " member(s)\n";
+    }
+  }
+
+  // Live background checkpointing: snapshots keep flowing while the
+  // rank serves; a SIGKILL loses at most one interval of inserts.
+  std::unique_ptr<service::Checkpointer> checkpointer;
+  if (!checkpoint_path.empty()) {
+    service::Checkpointer::Config checkpoint_config;
+    checkpoint_config.path = checkpoint_path;
+    checkpoint_config.interval_seconds = checkpoint_interval;
+    checkpoint_config.telemetry = &telemetry;
+    checkpointer = std::make_unique<service::Checkpointer>(engine.cache(),
+                                                           checkpoint_config);
+    options.checkpointer = checkpointer.get();
   }
 
   service::ServeResult result;
@@ -763,6 +902,16 @@ int cmd_serve(const std::string& request_path, const Flags& flags) {
   }
 
   if (server) server->stop();
+
+  // The shutdown snapshot: whatever the interval timer missed since its
+  // last tick is captured now, so a clean exit never loses entries.
+  if (checkpointer) {
+    std::string why;
+    if (!checkpointer->checkpoint_now(&why)) {
+      std::cerr << "checkpoint '" << checkpointer->path() << "': " << why
+                << "\n";
+    }
+  }
 
   if (flags.has("save-cache")) {
     const std::string path = flags.get("save-cache");
@@ -821,7 +970,10 @@ int cmd_scrape(const std::string& target, const Flags& flags) {
 
   // Mux client: a scrape shares the rank's connection machinery with
   // in-flight solves without queueing behind them.
-  net::MuxFrameClient client((*parsed)[0].host, (*parsed)[0].port);
+  net::FrameClientConfig client_config;
+  client_config.auth_token = resolve_auth_token(flags);
+  net::MuxFrameClient client((*parsed)[0].host, (*parsed)[0].port,
+                             client_config);
   obs::ScrapeDeltaTracker tracker;
   bool backwards = false;
   bool alerts_firing = false;
@@ -964,7 +1116,8 @@ int cmd_loadgen(const Flags& flags) {
   // --workers caps total concurrent exchanges across the pool.
   load::WirePool pool(
       targets, static_cast<std::size_t>(flags.number("connections", 1)),
-      static_cast<std::size_t>(flags.number("workers", 0)));
+      static_cast<std::size_t>(flags.number("workers", 0)),
+      resolve_auth_token(flags));
 
   std::ofstream out_file;
   if (flags.has("out")) {
